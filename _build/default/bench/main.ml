@@ -1,0 +1,137 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper (experiments
+   E1-E18 from DESIGN.md) and prints them; pass --full for the larger
+   parameter sets, --only ID to run a single experiment, --skip-exps to
+   jump to the microbenchmarks.
+
+   Part 2 runs bechamel microbenchmarks of the hot paths: one Test.make
+   per packing algorithm (per table row of E1), plus the substrate
+   operations (first-fit index, exact packer, PRNG, binary strings). *)
+
+open Bechamel
+open Toolkit
+
+let usage = "bench [--full] [--only ID] [--skip-exps] [--skip-micro]"
+let full = ref false
+let only = ref None
+let skip_exps = ref false
+let skip_micro = ref false
+
+let parse_args () =
+  let spec =
+    [
+      ("--full", Arg.Set full, " use the full (slow) experiment parameters");
+      ("--only", Arg.String (fun s -> only := Some s), "ID run a single experiment");
+      ("--skip-exps", Arg.Set skip_exps, " skip the paper experiments");
+      ("--skip-micro", Arg.Set skip_micro, " skip the microbenchmarks");
+    ]
+  in
+  Arg.parse (Arg.align spec) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage
+
+(* ---- Part 1: the paper's tables and figures ---- *)
+
+let run_experiments () =
+  let quick = not !full in
+  let entries =
+    match !only with
+    | None -> Dbp_experiments.Registry.all
+    | Some id -> (
+        match Dbp_experiments.Registry.find id with
+        | Some e -> [ e ]
+        | None ->
+            Printf.eprintf "unknown experiment %S\n" id;
+            exit 2)
+  in
+  List.iter
+    (fun (e : Dbp_experiments.Registry.entry) ->
+      let t0 = Unix.gettimeofday () in
+      print_string (e.run ~quick);
+      Printf.printf "[%s finished in %.1fs]\n\n" e.experiment (Unix.gettimeofday () -. t0);
+      flush stdout)
+    entries
+
+(* ---- Part 2: microbenchmarks ---- *)
+
+let instance_of workload mu seed =
+  match workload with
+  | `General -> Dbp_experiments.Workload_defs.general ~mu ~seed
+  | `Binary -> Dbp_experiments.Workload_defs.binary ~mu ~seed
+  | `Aligned -> Dbp_experiments.Workload_defs.aligned ~mu ~seed
+
+let pack_test name factory workload mu =
+  let inst = instance_of workload mu 1 in
+  Test.make ~name (Staged.stage (fun () -> Dbp_sim.Engine.run factory inst))
+
+let micro_tests () =
+  let open Dbp_util in
+  [
+    (* One packing benchmark per Table 1 row / algorithm family. *)
+    pack_test "HA/general mu=256" (Dbp_core.Ha.policy ()) `General 256;
+    pack_test "CDFF/binary mu=1024" (Dbp_core.Cdff.policy ()) `Binary 1024;
+    pack_test "CDFF/aligned mu=256" (Dbp_core.Cdff.policy ()) `Aligned 256;
+    pack_test "FF/general mu=256" Dbp_baselines.Any_fit.first_fit `General 256;
+    pack_test "CD/general mu=256" (Dbp_baselines.Classify_duration.policy ()) `General 256;
+    pack_test "SpanGreedy/general mu=256" Dbp_baselines.Span_greedy.policy `General 256;
+    (* Offline optimum (the denominator of every ratio). *)
+    (let inst = instance_of `General 64 1 in
+     Test.make ~name:"OPT_R exact/general mu=64"
+       (Staged.stage (fun () -> Dbp_offline.Opt_repack.exact inst)));
+    (* Substrate: first-fit segment-tree index. *)
+    Test.make ~name:"Ff_index push+query x1000"
+      (Staged.stage (fun () ->
+           let t = Dbp_sim.Ff_index.create () in
+           for i = 0 to 999 do
+             ignore (Dbp_sim.Ff_index.push t ~residual:(i * 7919 mod 1_000_000))
+           done;
+           for i = 0 to 999 do
+             ignore (Dbp_sim.Ff_index.first_fit t (i * 104729 mod 1_000_000))
+           done));
+    (* Substrate: exact static bin packing. *)
+    (let rng = Prng.create ~seed:42 in
+     let sizes =
+       Array.init 40 (fun _ -> Load.of_units (1 + Prng.int_below rng Load.capacity))
+     in
+     Test.make ~name:"Exact.min_bins 40 items"
+       (Staged.stage (fun () -> Dbp_binpack.Exact.min_bins sizes)));
+    (* Substrate: PRNG. *)
+    (let rng = Prng.create ~seed:1 in
+     Test.make ~name:"Prng.int_below x1000"
+       (Staged.stage (fun () ->
+            for _ = 1 to 1000 do
+              ignore (Prng.int_below rng 12345)
+            done)));
+    (* Substrate: binary-string combinatorics. *)
+    Test.make ~name:"Binary_strings.expectation n=24"
+      (Staged.stage (fun () -> Dbp_analysis.Binary_strings.expectation ~bits:24));
+  ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  print_endline "Microbenchmarks (time per run):";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
+          in
+          let pretty =
+            if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+            else Printf.sprintf "%8.1f ns" ns
+          in
+          Printf.printf "  %-32s %s\n" (Test.Elt.name elt) pretty;
+          flush stdout)
+        (Test.elements test))
+    tests
+
+let () =
+  parse_args ();
+  if not !skip_exps then run_experiments ();
+  if not !skip_micro then run_micro ()

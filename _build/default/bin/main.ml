@@ -1,0 +1,325 @@
+(* dbp — command-line driver for the clairvoyant dynamic bin packing
+   reproduction: run algorithms on workloads, sweep mu, reproduce the
+   paper's tables and figures by experiment id. *)
+
+open Cmdliner
+open Dbp_experiments
+
+let algorithm_names = [ "HA"; "CDFF"; "FF"; "BF"; "WF"; "NF"; "CD"; "RT"; "SpanGreedy" ]
+
+let algorithm_of_name ~mu_hint name =
+  match String.uppercase_ascii name with
+  | "HA" -> Some (Dbp_core.Ha.policy ())
+  | "CDFF" -> Some (Dbp_core.Cdff.policy ())
+  | "FF" -> Some Dbp_baselines.Any_fit.first_fit
+  | "BF" -> Some Dbp_baselines.Any_fit.best_fit
+  | "WF" -> Some Dbp_baselines.Any_fit.worst_fit
+  | "NF" -> Some Dbp_baselines.Any_fit.next_fit
+  | "CD" -> Some (Dbp_baselines.Classify_duration.policy ())
+  | "RT" -> Some (Dbp_baselines.Rt_classify.auto ~mu_hint)
+  | "SPANGREEDY" | "SG" -> Some Dbp_baselines.Span_greedy.policy
+  | _ -> None
+
+let workload_names = [ "general"; "uniform"; "aligned"; "binary"; "pinning"; "cdkiller"; "cloud" ]
+
+let workload_of_name name ~mu ~seed =
+  match String.lowercase_ascii name with
+  | "general" -> Some (Workload_defs.general ~mu ~seed)
+  | "uniform" -> Some (Workload_defs.general_uniform ~mu ~seed)
+  | "aligned" -> Some (Workload_defs.aligned ~mu ~seed)
+  | "binary" -> Some (Workload_defs.binary ~mu ~seed)
+  | "pinning" -> Some (Workload_defs.pinning ~mu ~seed)
+  | "cdkiller" -> Some (Workload_defs.cd_killer ~mu ~seed)
+  | "cloud" -> Some (Dbp_workloads.Cloud_traces.generate ~seed ())
+  | _ -> None
+
+(* ---- common args ---- *)
+
+let full_flag =
+  Arg.(value & flag & info [ "full" ] ~doc:"Use the full (slow) parameter sets.")
+
+let mu_arg =
+  Arg.(value & opt int 256 & info [ "mu" ] ~docv:"MU" ~doc:"Max/min duration ratio.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt string "general"
+    & info [ "workload"; "w" ] ~docv:"NAME"
+        ~doc:(Printf.sprintf "Workload: %s." (String.concat ", " workload_names)))
+
+let algorithms_arg =
+  Arg.(
+    value
+    & opt (list string) [ "HA"; "CDFF"; "FF"; "CD" ]
+    & info [ "algorithms"; "a" ] ~docv:"NAMES"
+        ~doc:(Printf.sprintf "Comma-separated algorithms: %s." (String.concat ", " algorithm_names)))
+
+let fail fmt = Printf.ksprintf (fun msg -> `Error (false, msg)) fmt
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Registry.entry) ->
+        Printf.printf "%-5s %-16s %s\n" e.experiment e.id e.title)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproducible experiments.")
+    Term.(const run $ const ())
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (e.g. table1, E8, corollary58).")
+  in
+  let run id full =
+    match Registry.find id with
+    | Some e ->
+        print_string (e.run ~quick:(not full));
+        `Ok ()
+    | None -> fail "unknown experiment %S; try `dbp list'" id
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one table/figure/theorem by id.")
+    Term.(ret (const run $ id $ full_flag))
+
+(* ---- all ---- *)
+
+let all_cmd =
+  let run full =
+    List.iter
+      (fun (e : Registry.entry) ->
+        print_string (e.run ~quick:(not full));
+        print_newline ())
+      Registry.all
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment in order.")
+    Term.(const run $ full_flag)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let algorithm =
+    Arg.(
+      value & opt string "HA"
+      & info [ "algorithm"; "a" ] ~docv:"NAME" ~doc:"Algorithm to run.")
+  in
+  let chart = Arg.(value & flag & info [ "chart" ] ~doc:"Print the packing chart.") in
+  let input =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input"; "i" ] ~docv:"CSV"
+          ~doc:"Pack an instance from a CSV file (id,arrival,departure,size) instead of a generated workload.")
+  in
+  let run algorithm workload mu seed chart input =
+    let instance =
+      match input with
+      | Some path -> (
+          match Dbp_instance.Io.of_file ~path with
+          | inst -> Some inst
+          | exception Failure msg ->
+              prerr_endline msg;
+              None)
+      | None -> workload_of_name workload ~mu ~seed
+    in
+    match instance with
+    | None -> fail "no instance (unknown workload %S or unreadable input)" workload
+    | Some inst -> (
+        match algorithm_of_name ~mu_hint:(float_of_int mu) algorithm with
+        | None -> fail "unknown algorithm %S" algorithm
+        | Some factory ->
+            let m = Dbp_analysis.Ratio.measure ~name:algorithm factory inst in
+            Format.printf "%a@." Dbp_analysis.Ratio.pp m;
+            Printf.printf "items=%d span=%d demand=%.1f mu=%.0f\n"
+              (Dbp_instance.Instance.length inst)
+              (Dbp_instance.Instance.span inst)
+              (Dbp_instance.Instance.demand inst)
+              m.mu;
+            if chart then begin
+              let res = Dbp_sim.Engine.run factory inst in
+              print_string (Dbp_report.Gantt.packing_chart inst res.store)
+            end;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one algorithm on one workload instance.")
+    Term.(
+      ret (const run $ algorithm $ workload_arg $ mu_arg $ seed_arg $ chart $ input))
+
+(* ---- export ---- *)
+
+let export_cmd =
+  let dir =
+    Arg.(
+      value & opt string "figures"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory (created if missing).")
+  in
+  let run dir mu =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let write name contents =
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents);
+      Printf.printf "wrote %s\n" path
+    in
+    (* Text figures. *)
+    List.iter
+      (fun id ->
+        match Registry.find id with
+        | Some e -> write (id ^ ".txt") (e.run ~quick:true)
+        | None -> ())
+      [ "figure1"; "figure2"; "figure3" ];
+    (* The binary instance itself, for external tools. *)
+    let mu_pow2 = Dbp_util.Ints.pow2 (Dbp_util.Ints.ceil_log2 (max 2 mu)) in
+    write
+      (Printf.sprintf "sigma_%d.csv" mu_pow2)
+      (Dbp_instance.Io.to_string (Dbp_workloads.Binary_input.generate ~mu:mu_pow2));
+    (* Ratio curves as SVG, one per family. *)
+    let svg_sweep name workload mus =
+      let curves =
+        Dbp_analysis.Sweep.run
+          ~algorithms:(Common.core_roster ~mu_hint:(float_of_int (List.fold_left max 2 mus)))
+          ~workload ~mus ~seeds:[ 1; 2; 3 ] ()
+      in
+      let series =
+        List.map
+          (fun (c : Dbp_analysis.Sweep.curve) ->
+            ( c.algorithm,
+              Array.of_list
+                (List.map
+                   (fun (p : Dbp_analysis.Sweep.point) ->
+                     (Float.log2 p.mu, p.ratios.mean))
+                   c.points) ))
+          curves
+      in
+      let path = Filename.concat dir (name ^ ".svg") in
+      Dbp_report.Svg.write_file ~path ~width:640.0 ~height:400.0
+        (Dbp_report.Svg.line_chart ~width:640.0 ~height:400.0 ~series
+           ~x_label:"log2 mu" ~y_label:"ratio" ());
+      Printf.printf "wrote %s\n" path
+    in
+    svg_sweep "ratios_general" Workload_defs.general [ 4; 16; 64; 256 ];
+    svg_sweep "ratios_aligned" Workload_defs.aligned [ 4; 16; 64; 256 ];
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write figures (txt/SVG) and instances (CSV) to a directory.")
+    Term.(ret (const run $ dir $ mu_arg))
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let mus =
+    Arg.(
+      value
+      & opt (list int) [ 4; 16; 64; 256 ]
+      & info [ "mus" ] ~docv:"LIST" ~doc:"Comma-separated mu values.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3 ]
+      & info [ "seeds" ] ~docv:"LIST" ~doc:"Comma-separated seeds.")
+  in
+  let svg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"PATH" ~doc:"Also write an SVG chart of the curves.")
+  in
+  let run workload algorithms mus seeds svg =
+    let mu_hint = float_of_int (List.fold_left max 2 mus) in
+    let resolve name =
+      match algorithm_of_name ~mu_hint name with
+      | Some f -> Ok (name, f)
+      | None -> Error name
+    in
+    let resolved = List.map resolve algorithms in
+    match List.find_opt Result.is_error resolved with
+    | Some (Error name) -> fail "unknown algorithm %S" name
+    | _ -> (
+        let algorithms = List.filter_map Result.to_option resolved in
+        let workload_fn ~mu ~seed =
+          match workload_of_name workload ~mu ~seed with
+          | Some inst -> inst
+          | None -> invalid_arg ("unknown workload " ^ workload)
+        in
+        match workload_of_name workload ~mu:4 ~seed:1 with
+        | None -> fail "unknown workload %S" workload
+        | Some _ ->
+            let curves =
+              Dbp_analysis.Sweep.run ~algorithms ~workload:workload_fn ~mus ~seeds ()
+            in
+            print_string (Common.curve_table curves);
+            List.iter
+              (fun (c : Dbp_analysis.Sweep.curve) ->
+                print_endline
+                  (Common.fit_line c.algorithm (Dbp_analysis.Sweep.fit_curve c)))
+              curves;
+            (match svg with
+            | None -> ()
+            | Some path ->
+                let series =
+                  List.map
+                    (fun (c : Dbp_analysis.Sweep.curve) ->
+                      ( c.algorithm,
+                        Array.of_list
+                          (List.map
+                             (fun (p : Dbp_analysis.Sweep.point) ->
+                               (Float.log2 p.mu, p.ratios.mean))
+                             c.points) ))
+                    curves
+                in
+                Dbp_report.Svg.write_file ~path ~width:640.0 ~height:400.0
+                  (Dbp_report.Svg.line_chart ~width:640.0 ~height:400.0 ~series
+                     ~x_label:"log2 mu" ~y_label:"ratio" ());
+                Printf.printf "wrote %s\n" path);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep mu and measure competitive ratios.")
+    Term.(ret (const run $ workload_arg $ algorithms_arg $ mus $ seeds $ svg))
+
+(* ---- adversary ---- *)
+
+let adversary_cmd =
+  let algorithm =
+    Arg.(
+      value & opt string "HA"
+      & info [ "algorithm"; "a" ] ~docv:"NAME" ~doc:"Algorithm to attack.")
+  in
+  let run algorithm mu =
+    match algorithm_of_name ~mu_hint:(float_of_int mu) algorithm with
+    | None -> fail "unknown algorithm %S" algorithm
+    | Some factory ->
+        let outcome = Dbp_workloads.Adversary.run ~mu factory in
+        let m = Dbp_analysis.Ratio.of_run outcome.result outcome.instance in
+        Printf.printf "adversary vs %s at mu=%d: released %d items, target %d bins\n"
+          algorithm mu outcome.items_released outcome.target_bins;
+        Format.printf "%a@." Dbp_analysis.Ratio.pp m;
+        Printf.printf "sqrt(log2 mu) = %.2f\n"
+          (Dbp_core.Theory.sqrt_log_mu (float_of_int mu));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "adversary" ~doc:"Run the Theorem 4.3 adaptive adversary.")
+    Term.(ret (const run $ algorithm $ mu_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "dbp" ~version:"1.0.0"
+       ~doc:"Clairvoyant dynamic bin packing (Azar & Vainstein, SPAA 2017) — simulator and experiment harness.")
+    [ list_cmd; experiment_cmd; all_cmd; run_cmd; sweep_cmd; adversary_cmd; export_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Adversary Dbp_analysis Dbp_baselines Dbp_core Dbp_workloads List Printf Ratio

@@ -1,0 +1,1 @@
+examples/binary_strings_demo.ml: Array Binary_strings Dbp_analysis Dbp_core Dbp_instance Dbp_sim Dbp_util Dbp_workloads Engine Ints List Printf String

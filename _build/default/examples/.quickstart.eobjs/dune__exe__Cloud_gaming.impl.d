@@ -1,0 +1,1 @@
+examples/cloud_gaming.ml: Cloud_traces Dbp_baselines Dbp_core Dbp_instance Dbp_offline Dbp_sim Dbp_workloads Printf

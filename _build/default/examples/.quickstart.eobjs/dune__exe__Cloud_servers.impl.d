@@ -1,0 +1,1 @@
+examples/cloud_servers.ml: Dbp_analysis Dbp_baselines Dbp_core Dbp_instance Dbp_report Dbp_workloads General_random List Printf Ratio

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dbp_core Dbp_instance Dbp_offline Dbp_report Dbp_sim Dbp_util Engine Instance Item List Printf

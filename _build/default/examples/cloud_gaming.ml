@@ -1,0 +1,43 @@
+(* Cloud gaming dispatch: the clairvoyant application of Section 1. Play
+   requests arrive with a predictable session length (Li et al. [8]);
+   each running game server costs money per minute it is up. This example
+   simulates three days of diurnal traffic and compares a clairvoyant
+   dispatcher (HA) with the duration-oblivious incumbent (First-Fit),
+   pricing the difference.
+
+   Run with: dune exec examples/cloud_gaming.exe *)
+
+open Dbp_workloads
+
+let dollars_per_server_hour = 0.35
+
+let () =
+  let instance = Cloud_traces.generate ~seed:7 () in
+  Printf.printf "trace: %d sessions over 3 days (1 tick = 1 minute), mu = %.0f\n\n"
+    (Dbp_instance.Instance.length instance)
+    (Dbp_instance.Instance.mu instance);
+  let run name factory =
+    let r = Dbp_sim.Engine.run factory instance in
+    let hours = float_of_int r.cost /. 60.0 in
+    Printf.printf "%-22s %8d server-minutes  = %7.1f server-hours  = $%8.2f\n" name
+      r.cost hours
+      (hours *. dollars_per_server_hour);
+    r.cost
+  in
+  let ha = run "HA (clairvoyant)" (Dbp_core.Ha.policy ()) in
+  let sg = run "SpanGreedy (clairv.)" Dbp_baselines.Span_greedy.policy in
+  let ff = run "FirstFit (oblivious)" Dbp_baselines.Any_fit.first_fit in
+  let lower = (Dbp_offline.Bounds.compute instance).lower in
+  Printf.printf "%-22s %8d server-minutes (no schedule can do better)\n\n"
+    "lower bound" lower;
+  let vs a b = 100.0 *. (1.0 -. (float_of_int a /. float_of_int b)) in
+  Printf.printf
+    "Using the predicted session lengths, SpanGreedy saves %.1f%% of server\n\
+     time vs duration-oblivious FirstFit (%.1f%% above the absolute floor).\n"
+    (vs sg ff)
+    (100.0 *. (float_of_int sg /. float_of_int lower -. 1.0));
+  Printf.printf
+    "Worst-case-optimal HA costs %.1f%% more than FirstFit here: benign diurnal\n\
+     traffic never triggers the pinning pathologies HA insures against (run\n\
+     `dbp experiment nonclairvoyant` to see FirstFit pay ~mu/2 when they do).\n"
+    (-.vs ha ff)

@@ -1,0 +1,36 @@
+(* Quickstart: build a small clairvoyant instance by hand, pack it with
+   the paper's Hybrid Algorithm, and compare against the exact repacking
+   optimum.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Dbp_instance
+open Dbp_sim
+
+let () =
+  (* Five requests: (arrival, departure, size). Departure times are known
+     at arrival — that's the clairvoyant setting. *)
+  let specs = [ (0, 8, 0.5); (0, 2, 0.4); (1, 3, 0.3); (4, 8, 0.5); (5, 7, 0.25) ] in
+  let items =
+    List.mapi
+      (fun id (arrival, departure, size) ->
+        Item.make ~id ~arrival ~departure ~size:(Dbp_util.Load.of_float size))
+      specs
+  in
+  let instance = Instance.of_items items in
+  Printf.printf "instance: %d items, span %d, demand %.2f bin-ticks, mu = %.0f\n\n"
+    (Instance.length instance) (Instance.span instance) (Instance.demand instance)
+    (Instance.mu instance);
+
+  (* Run the Hybrid Algorithm (Theorem 3.2: O(sqrt(log mu))-competitive). *)
+  let result = Engine.run (Dbp_core.Ha.policy ()) instance in
+  Printf.printf "HA cost: %d bin-ticks using %d bins (max %d open at once)\n"
+    result.cost result.bins_opened result.max_open;
+
+  (* How good is that? Compare with the exact repacking optimum. *)
+  let opt = Dbp_offline.Opt_repack.exact instance in
+  Printf.printf "OPT_R:   %d bin-ticks (exact = %b)\n" opt.cost opt.exact;
+  Printf.printf "ratio:   %.3f\n\n" (float_of_int result.cost /. float_of_int opt.cost);
+
+  (* Visualize who went where. *)
+  print_string (Dbp_report.Gantt.packing_chart instance result.store)

@@ -1,0 +1,1 @@
+lib/analysis/binary_strings.mli:

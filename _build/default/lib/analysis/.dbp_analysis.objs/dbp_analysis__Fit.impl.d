@@ -1,0 +1,1 @@
+lib/analysis/fit.ml: Array Dbp_util Float Format List Stats

@@ -1,0 +1,1 @@
+lib/analysis/momentary.ml: Array Dbp_binpack Dbp_offline Dbp_sim Engine List Opt_repack

@@ -1,0 +1,1 @@
+lib/analysis/momentary.mli: Dbp_binpack Dbp_instance Dbp_sim Engine Instance

@@ -1,0 +1,1 @@
+lib/analysis/ratio.ml: Bounds Dbp_binpack Dbp_instance Dbp_offline Dbp_sim Engine Format Instance List Opt_repack

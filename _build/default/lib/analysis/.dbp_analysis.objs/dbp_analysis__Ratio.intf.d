@@ -1,0 +1,1 @@
+lib/analysis/ratio.mli: Dbp_binpack Dbp_instance Dbp_sim Engine Format Instance Policy

@@ -1,0 +1,1 @@
+lib/analysis/sweep.ml: Array Dbp_binpack Dbp_util Dbp_workloads Fit List Ratio Stats

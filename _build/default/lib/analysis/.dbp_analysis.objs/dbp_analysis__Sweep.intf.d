@@ -1,0 +1,1 @@
+lib/analysis/sweep.mli: Dbp_instance Dbp_sim Dbp_util Fit Instance Policy

@@ -1,0 +1,75 @@
+let max0 ~bits t =
+  if bits < 0 || bits > 62 then invalid_arg "Binary_strings.max0: bits out of [0, 62]";
+  if t < 0 then invalid_arg "Binary_strings.max0: negative value";
+  let best = ref 0 and run = ref 0 in
+  for k = 0 to bits - 1 do
+    if (t lsr k) land 1 = 0 then begin
+      incr run;
+      if !run > !best then best := !run
+    end
+    else run := 0
+  done;
+  !best
+
+let max0_string s =
+  let best = ref 0 and run = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' ->
+          incr run;
+          if !run > !best then best := !run
+      | '1' -> run := 0
+      | _ -> invalid_arg "Binary_strings.max0_string: not a bitstring")
+    s;
+  !best
+
+(* Strings of length n avoiding any zero-run longer than k decompose as
+   blocks "0^j 1" with j <= k, plus a trailing block of <= k zeros:
+   f(n) = sum_(j=0..k) f(n - 1 - j), f(m) = 1 for m <= 0 handled by
+   seeding. Counts fit in an int for bits <= 62 since f(n) <= 2^n. *)
+let count_with_max0_at_most ~bits k =
+  if bits < 0 || bits > 62 then
+    invalid_arg "Binary_strings.count_with_max0_at_most: bits out of [0, 62]";
+  if k < 0 then 0
+  else if k >= bits then 1 lsl bits
+  else begin
+    let f = Array.make (bits + 1) 0 in
+    (* f.(m) = number of length-m strings with all zero-runs <= k,
+       *assuming the string is followed by a virtual 1* — equivalently,
+       no run of more than k zeros anywhere. Base: empty string. *)
+    f.(0) <- 1;
+    for m = 1 to bits do
+      (* The string either is all zeros (allowed iff m <= k) or starts
+         with j <= min(k, m-1) zeros followed by a 1. *)
+      let acc = ref (if m <= k then 1 else 0) in
+      for j = 0 to min k (m - 1) do
+        acc := !acc + f.(m - 1 - j)
+      done;
+      f.(m) <- !acc
+    done;
+    f.(bits)
+  end
+
+let histogram ~bits =
+  let total = float_of_int (1 lsl bits) in
+  Array.init (bits + 1) (fun k ->
+      let le_k = count_with_max0_at_most ~bits k in
+      let le_km1 = count_with_max0_at_most ~bits (k - 1) in
+      float_of_int (le_k - le_km1) /. total)
+
+let expectation ~bits =
+  let h = histogram ~bits in
+  let e = ref 0.0 in
+  Array.iteri (fun k p -> e := !e +. (float_of_int k *. p)) h;
+  !e
+
+let sum_over_range ~bits =
+  (* sum max0 = sum_(k>=1) #{strings with max0 >= k}
+             = sum_(k>=1) (2^bits - count(<= k-1)). *)
+  let total = 1 lsl bits in
+  let acc = ref 0 in
+  for k = 1 to bits do
+    acc := !acc + (total - count_with_max0_at_most ~bits (k - 1))
+  done;
+  !acc

@@ -1,0 +1,35 @@
+(** Longest-zero-run combinatorics of binary strings (Section 5.1).
+
+    CDFF's open-bin count on the binary input is
+    [max_0(binary t) + 1] (Corollary 5.8), so the algorithm's cost is
+    governed by the expected longest run of zeros in a random bitstring:
+    [E[max_0] <= 2 log2 n] (Lemma 5.9) and
+    [sum_(t < mu) max_0(binary t) <= 2 mu log log mu] (Corollary
+    5.10). This module computes those quantities exactly. *)
+
+val max0 : bits:int -> int -> int
+(** Longest run of zero bits in the [bits]-wide representation of a
+    non-negative int (leading zeros count, as in the paper where
+    [binary t] is [log mu] bits wide). [bits] in [0, 62]. *)
+
+val max0_string : string -> int
+(** Longest run of ['0'] characters in a literal bitstring (helper for
+    tests and tables). *)
+
+val count_with_max0_at_most : bits:int -> int -> int
+(** Number of [bits]-wide strings whose longest zero-run is <= k,
+    via the (k+1)-step linear recurrence. [count ~bits k = 2^bits] for
+    [k >= bits]. *)
+
+val expectation : bits:int -> float
+(** Exact [E[max_0]] over uniformly random [bits]-wide strings, from the
+    run-length distribution — the quantity Lemma 5.9 bounds by
+    [2 log2 bits]. *)
+
+val sum_over_range : bits:int -> int
+(** [sum over t in [0, 2^bits) of max0 ~bits t] — exactly
+    [2^bits * expectation ~bits], computed without enumeration; the
+    left-hand side of Corollary 5.10. *)
+
+val histogram : bits:int -> float array
+(** [P(max_0 = k)] for k in [0, bits]. Sums to 1. *)

@@ -1,0 +1,53 @@
+open Dbp_util
+
+type model = Sqrt_log | Log_log | Log | Linear_mu | Constant
+
+let name = function
+  | Sqrt_log -> "sqrt(log mu)"
+  | Log_log -> "log log mu"
+  | Log -> "log mu"
+  | Linear_mu -> "mu"
+  | Constant -> "constant"
+
+let log2c x = Float.max 0.0 (Float.log2 x)
+
+let transform model mu =
+  if mu < 1.0 then invalid_arg "Fit.transform: mu < 1";
+  match model with
+  | Sqrt_log -> sqrt (log2c mu)
+  | Log_log -> log2c (Float.max 1.0 (log2c mu))
+  | Log -> log2c mu
+  | Linear_mu -> mu
+  | Constant -> 1.0
+
+type fitted = { model : model; slope : float; intercept : float; r2 : float }
+
+let fit model ~mus ~ys =
+  if Array.length mus <> Array.length ys then invalid_arg "Fit.fit: length mismatch";
+  match model with
+  | Constant ->
+      let mean = Stats.mean ys in
+      let ss_tot =
+        Array.fold_left (fun acc y -> acc +. ((y -. mean) *. (y -. mean))) 0.0 ys
+      in
+      let r2 = if ss_tot = 0.0 then 1.0 else 0.0 in
+      { model; slope = 0.0; intercept = mean; r2 }
+  | _ ->
+      let x = Array.map (transform model) mus in
+      let f = Stats.linear_fit ~x ~y:ys in
+      { model; slope = f.slope; intercept = f.intercept; r2 = f.r2 }
+
+let best ?(candidates = [ Sqrt_log; Log_log; Log; Linear_mu; Constant ]) ~mus ~ys () =
+  match candidates with
+  | [] -> invalid_arg "Fit.best: no candidates"
+  | first :: rest ->
+      List.fold_left
+        (fun acc model ->
+          let f = fit model ~mus ~ys in
+          if f.r2 > acc.r2 then f else acc)
+        (fit first ~mus ~ys) rest
+
+let pp ppf f =
+  Format.fprintf ppf "%.3f * %s %s %.3f (R^2 = %.4f)" f.slope (name f.model)
+    (if f.intercept >= 0.0 then "+" else "-")
+    (Float.abs f.intercept) f.r2

@@ -1,0 +1,35 @@
+(** Growth-model fitting for [mu]-sweeps.
+
+    The paper predicts how each algorithm's competitive ratio scales
+    with [mu]: HA like [sqrt(log mu)], CDFF on aligned inputs like
+    [log log mu], non-clairvoyant First-Fit like [mu]. Fitting
+    [ratio ~ a * g(mu) + b] for each candidate [g] and comparing R^2
+    turns "the shape holds" into a number the experiment tables can
+    report. *)
+
+type model =
+  | Sqrt_log  (** g(mu) = sqrt(log2 mu) — Theorems 3.2/4.3 *)
+  | Log_log  (** g(mu) = log2(log2 mu) — Theorem 5.1 *)
+  | Log  (** g(mu) = log2 mu — pure classify-by-duration *)
+  | Linear_mu  (** g(mu) = mu — non-clairvoyant First-Fit *)
+  | Constant  (** g(mu) = 1 — no growth *)
+
+val name : model -> string
+val transform : model -> float -> float
+(** [g(mu)]; requires mu >= 1. *)
+
+type fitted = {
+  model : model;
+  slope : float;
+  intercept : float;
+  r2 : float;
+}
+
+val fit : model -> mus:float array -> ys:float array -> fitted
+(** Least squares of [ys] against [transform model mu]. [Constant] fits
+    slope 0 at the mean with R^2 measured accordingly. *)
+
+val best : ?candidates:model list -> mus:float array -> ys:float array -> unit -> fitted
+(** The candidate with the highest R^2 (default: all five models). *)
+
+val pp : Format.formatter -> fitted -> unit

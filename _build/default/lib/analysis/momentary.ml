@@ -1,0 +1,48 @@
+open Dbp_sim
+open Dbp_offline
+
+type t = { usage_ratio : float; momentary_ratio : float; max_bins_ratio : float }
+
+(* ON's open-bin count is piecewise constant between event ticks, and
+   OPT's segments break exactly at event ticks, so on each OPT segment
+   the ON count is the last series sample at or before the segment
+   start. *)
+let on_count_at series =
+  let n = Array.length series in
+  fun t ->
+    let rec bsearch lo hi acc =
+      if lo > hi then acc
+      else begin
+        let mid = (lo + hi) / 2 in
+        let tick, count = series.(mid) in
+        if tick <= t then bsearch (mid + 1) hi count else bsearch lo (mid - 1) acc
+      end
+    in
+    bsearch 0 (n - 1) 0
+
+let measure ?solver (res : Engine.result) inst =
+  let solver =
+    match solver with Some s -> s | None -> Dbp_binpack.Solver.create ()
+  in
+  let opt_segments = Opt_repack.series ~solver inst in
+  let opt_cost =
+    List.fold_left (fun acc (t0, t1, bins) -> acc + (bins * (t1 - t0))) 0 opt_segments
+  in
+  let lookup = on_count_at res.series in
+  let momentary = ref 0.0 and opt_peak = ref 0 in
+  List.iter
+    (fun (t0, _, opt_bins) ->
+      if opt_bins > 0 then begin
+        let r = float_of_int (lookup t0) /. float_of_int opt_bins in
+        if r > !momentary then momentary := r;
+        if opt_bins > !opt_peak then opt_peak := opt_bins
+      end)
+    opt_segments;
+  {
+    usage_ratio =
+      (if opt_cost = 0 then 1.0 else float_of_int res.cost /. float_of_int opt_cost);
+    momentary_ratio = !momentary;
+    max_bins_ratio =
+      (if !opt_peak = 0 then 1.0
+       else float_of_int res.max_open /. float_of_int !opt_peak);
+  }

@@ -1,0 +1,23 @@
+(** The alternative goal functions discussed in the paper's introduction,
+    for comparing against MinUsageTime (experiment E20).
+
+    The *momentary* goal function is the worst instantaneous ratio
+    between the online algorithm's open bins and the momentary optimum;
+    the *max-bins* goal function compares the peaks. The introduction
+    argues both fail to distinguish "briefly bad" from "always bad"
+    schedules — these measurements make that concrete. *)
+
+open Dbp_instance
+open Dbp_sim
+
+type t = {
+  usage_ratio : float;  (** MinUsageTime: ON(sigma) / OPT_R(sigma) *)
+  momentary_ratio : float;
+      (** max over t of ON_t / OPT_t (OPT_t = momentary optimal packing
+          number; ticks where nothing is active are skipped) *)
+  max_bins_ratio : float;  (** peak ON bins / peak OPT_t *)
+}
+
+val measure :
+  ?solver:Dbp_binpack.Solver.t -> Engine.result -> Instance.t -> t
+(** Requires the result of a completed run on exactly this instance. *)

@@ -1,0 +1,72 @@
+open Dbp_instance
+open Dbp_sim
+open Dbp_offline
+
+type opt_kind = Opt_r_exact | Opt_r_proxy | Lower_bound_only
+
+type measurement = {
+  algorithm : string;
+  cost : int;
+  opt : int;
+  opt_kind : opt_kind;
+  ratio : float;
+  bins_opened : int;
+  max_open : int;
+  mu : float;
+}
+
+let opt_estimate ?solver inst =
+  if Instance.is_empty inst then (0, Opt_r_exact)
+  else begin
+    let r = Opt_repack.exact ?solver inst in
+    if r.exact then (r.cost, Opt_r_exact)
+    else begin
+      (* Budget blown somewhere: the computed value is only an upper
+         bound; keep it but clamp with the provable lower bound and flag
+         the row. *)
+      let lb = (Bounds.compute inst).lower in
+      if r.cost > 2 * lb then (lb, Lower_bound_only) else (r.cost, Opt_r_proxy)
+    end
+  end
+
+let of_result ~mu (res : Engine.result) opt opt_kind =
+  {
+    algorithm = res.name;
+    cost = res.cost;
+    opt;
+    opt_kind;
+    ratio = (if opt = 0 then 1.0 else float_of_int res.cost /. float_of_int opt);
+    bins_opened = res.bins_opened;
+    max_open = res.max_open;
+    mu;
+  }
+
+let of_run ?solver res inst =
+  let opt, kind = opt_estimate ?solver inst in
+  let mu = if Instance.is_empty inst then 1.0 else Instance.mu inst in
+  of_result ~mu res opt kind
+
+let measure ?solver ~name factory inst =
+  let res = Engine.run factory inst in
+  let m = of_run ?solver res inst in
+  { m with algorithm = name }
+
+let compare_algorithms ?solver algorithms inst =
+  let solver = match solver with Some s -> s | None -> Dbp_binpack.Solver.create () in
+  let opt, kind = opt_estimate ~solver inst in
+  let mu = if Instance.is_empty inst then 1.0 else Instance.mu inst in
+  List.map
+    (fun (name, factory) ->
+      let res = Engine.run factory inst in
+      { (of_result ~mu res opt kind) with algorithm = name })
+    algorithms
+
+let pp ppf m =
+  let kind =
+    match m.opt_kind with
+    | Opt_r_exact -> "exact"
+    | Opt_r_proxy -> "proxy"
+    | Lower_bound_only -> "LB"
+  in
+  Format.fprintf ppf "%s: cost=%d opt=%d(%s) ratio=%.3f" m.algorithm m.cost m.opt kind
+    m.ratio

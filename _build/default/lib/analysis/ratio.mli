@@ -1,0 +1,51 @@
+(** Competitive-ratio measurement: run an algorithm and divide by the
+    best optimum estimate available for the instance.
+
+    The denominator is, in order of preference: the exact repacking
+    optimum [OPT_R] (when every segment solves within budget), else the
+    FFD-repack proxy clamped from below by the provable lower bound. The
+    [opt_kind] field records which one was used so experiment tables can
+    flag conservative rows. *)
+
+open Dbp_instance
+open Dbp_sim
+
+type opt_kind = Opt_r_exact | Opt_r_proxy | Lower_bound_only
+
+type measurement = {
+  algorithm : string;
+  cost : int;
+  opt : int;
+  opt_kind : opt_kind;
+  ratio : float;
+  bins_opened : int;
+  max_open : int;
+  mu : float;
+}
+
+val opt_estimate : ?solver:Dbp_binpack.Solver.t -> Instance.t -> int * opt_kind
+(** Best available estimate of [OPT_R] (bin x ticks). *)
+
+val measure :
+  ?solver:Dbp_binpack.Solver.t ->
+  name:string ->
+  Policy.factory ->
+  Instance.t ->
+  measurement
+(** Run the policy on the instance and relate its cost to
+    {!opt_estimate}. An empty instance yields ratio 1. *)
+
+val of_run :
+  ?solver:Dbp_binpack.Solver.t -> Engine.result -> Instance.t -> measurement
+(** Like {!measure} for an already-executed run (used with the adaptive
+    adversary, where the instance exists only after the run). *)
+
+val compare_algorithms :
+  ?solver:Dbp_binpack.Solver.t ->
+  (string * Policy.factory) list ->
+  Instance.t ->
+  measurement list
+(** Measure several algorithms on one instance, sharing the OPT
+    computation. *)
+
+val pp : Format.formatter -> measurement -> unit

@@ -1,0 +1,77 @@
+open Dbp_util
+
+type point = {
+  mu : float;
+  ratios : Stats.summary;
+  costs : Stats.summary;
+  opt_exact_fraction : float;
+}
+
+type curve = { algorithm : string; points : point list }
+
+let point_of_measurements ~mu measurements =
+  let arr = Array.of_list measurements in
+  let ratios = Stats.summarize (Array.map (fun (m : Ratio.measurement) -> m.ratio) arr) in
+  let costs =
+    Stats.summarize (Array.map (fun (m : Ratio.measurement) -> float_of_int m.cost) arr)
+  in
+  let exact =
+    Array.fold_left
+      (fun acc (m : Ratio.measurement) ->
+        acc + match m.opt_kind with Ratio.Opt_r_exact -> 1 | _ -> 0)
+      0 arr
+  in
+  {
+    mu;
+    ratios;
+    costs;
+    opt_exact_fraction = float_of_int exact /. float_of_int (Array.length arr);
+  }
+
+let run ~algorithms ~workload ~mus ~seeds () =
+  let solver = Dbp_binpack.Solver.create () in
+  let curves =
+    List.map
+      (fun (name, _) -> (name, ref []))
+      algorithms
+  in
+  List.iter
+    (fun mu ->
+      let per_seed =
+        List.map
+          (fun seed ->
+            let inst = workload ~mu ~seed in
+            Ratio.compare_algorithms ~solver algorithms inst)
+          seeds
+      in
+      List.iter
+        (fun (name, acc) ->
+          let ms =
+            List.concat_map
+              (List.filter (fun (m : Ratio.measurement) -> m.algorithm = name))
+              per_seed
+          in
+          acc := point_of_measurements ~mu:(float_of_int mu) ms :: !acc)
+        curves)
+    mus;
+  List.map (fun (name, acc) -> { algorithm = name; points = List.rev !acc }) curves
+
+let fit_curve ?candidates curve =
+  let mus = Array.of_list (List.map (fun p -> p.mu) curve.points) in
+  let ys = Array.of_list (List.map (fun p -> p.ratios.Stats.mean) curve.points) in
+  Fit.best ?candidates ~mus ~ys ()
+
+let adversarial ~algorithms ~mus () =
+  let solver = Dbp_binpack.Solver.create () in
+  List.map
+    (fun (name, factory) ->
+      let points =
+        List.map
+          (fun mu ->
+            let outcome = Dbp_workloads.Adversary.run ~mu factory in
+            let m = Ratio.of_run ~solver outcome.result outcome.instance in
+            point_of_measurements ~mu:(float_of_int mu) [ { m with algorithm = name } ])
+          mus
+      in
+      { algorithm = name; points })
+    algorithms

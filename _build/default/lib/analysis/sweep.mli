@@ -1,0 +1,41 @@
+(** [mu]-sweep driver: measure algorithms across a range of [mu] values
+    and several seeds, producing the points the experiment tables and
+    fits consume. *)
+
+open Dbp_instance
+open Dbp_sim
+
+type point = {
+  mu : float;  (** nominal mu of the sweep point *)
+  ratios : Dbp_util.Stats.summary;  (** over seeds *)
+  costs : Dbp_util.Stats.summary;
+  opt_exact_fraction : float;  (** how many seeds had exact OPT_R *)
+}
+
+type curve = {
+  algorithm : string;
+  points : point list;
+}
+
+val run :
+  algorithms:(string * Policy.factory) list ->
+  workload:(mu:int -> seed:int -> Instance.t) ->
+  mus:int list ->
+  seeds:int list ->
+  unit ->
+  curve list
+(** One shared bin-packing solver cache per sweep. Instances are built
+    once per (mu, seed) and shared by all algorithms. *)
+
+val fit_curve : ?candidates:Fit.model list -> curve -> Fit.fitted
+(** Fit the curve's mean ratios against its mu values. *)
+
+val adversarial :
+  algorithms:(string * Policy.factory) list ->
+  mus:int list ->
+  unit ->
+  curve list
+(** Like {!run} but each algorithm faces the Theorem 4.3 adaptive
+    adversary (which generates a different instance per algorithm), so
+    instances are per-algorithm and there is a single deterministic
+    "seed". *)

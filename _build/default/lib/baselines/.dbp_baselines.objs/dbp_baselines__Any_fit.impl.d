@@ -1,0 +1,1 @@
+lib/baselines/any_fit.ml: Dbp_binpack Dbp_sim Fit_group Option Policy

@@ -1,0 +1,1 @@
+lib/baselines/any_fit.mli: Dbp_binpack Dbp_sim Policy

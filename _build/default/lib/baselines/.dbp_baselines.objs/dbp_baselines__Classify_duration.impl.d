@@ -1,0 +1,1 @@
+lib/baselines/classify_duration.ml: Bin_store Dbp_binpack Dbp_instance Dbp_sim Fit_group Hashtbl Item Policy Printf

@@ -1,0 +1,1 @@
+lib/baselines/classify_duration.mli: Dbp_binpack Dbp_sim Policy

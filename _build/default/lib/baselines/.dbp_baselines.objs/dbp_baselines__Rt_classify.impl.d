@@ -1,0 +1,1 @@
+lib/baselines/rt_classify.ml: Bin_store Dbp_binpack Dbp_instance Dbp_sim Fit_group Float Hashtbl Item Policy Printf

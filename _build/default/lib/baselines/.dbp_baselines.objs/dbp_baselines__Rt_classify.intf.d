@@ -1,0 +1,1 @@
+lib/baselines/rt_classify.mli: Dbp_binpack Dbp_sim Policy

@@ -1,0 +1,1 @@
+lib/baselines/span_greedy.ml: Bin_store Dbp_instance Dbp_sim Dbp_util Hashtbl Item List Load Policy

@@ -1,0 +1,1 @@
+lib/baselines/span_greedy.mli: Dbp_sim Policy

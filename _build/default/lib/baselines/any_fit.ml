@@ -1,0 +1,23 @@
+open Dbp_sim
+module H = Dbp_binpack.Heuristics
+
+let rule_name = function
+  | H.First_fit -> "FF"
+  | H.Best_fit -> "BF"
+  | H.Worst_fit -> "WF"
+  | H.Next_fit -> "NF"
+
+let policy ?name rule store =
+  let name = Option.value name ~default:(rule_name rule) in
+  let group = Fit_group.create ~rule ~label:name () in
+  {
+    Policy.name;
+    on_arrival = (fun ~now r -> Fit_group.place group store ~now r);
+    on_departure =
+      (fun ~now:_ _ ~bin ~closed -> Fit_group.note_depart group store bin ~closed);
+  }
+
+let first_fit store = policy H.First_fit store
+let best_fit store = policy H.Best_fit store
+let worst_fit store = policy H.Worst_fit store
+let next_fit store = policy H.Next_fit store

@@ -1,0 +1,18 @@
+(** Any-Fit online baselines: one shared pool of bins, no duration
+    classification.
+
+    First-Fit is the canonical non-clairvoyant baseline of the paper's
+    Table 1 row 3: [mu + 4]-competitive and no deterministic algorithm
+    beats [mu] in the non-clairvoyant setting ([7], [13]). These policies
+    ignore departure times entirely, so they behave identically in the
+    clairvoyant and non-clairvoyant settings. *)
+
+open Dbp_sim
+
+val policy : ?name:string -> Dbp_binpack.Heuristics.rule -> Policy.factory
+(** Pack every arrival by the given rule over all open bins. *)
+
+val first_fit : Policy.factory
+val best_fit : Policy.factory
+val worst_fit : Policy.factory
+val next_fit : Policy.factory

@@ -1,0 +1,12 @@
+(** Pure Classify-by-Duration: a separate First-Fit bin family per
+    duration class [(2^(i-1), 2^i]].
+
+    One of the two natural strategies the paper's Techniques section
+    discusses: it is [Omega(log mu)]-competitive in the worst case (one
+    item per class forces [log mu] bins against OPT's one — workload E17)
+    but performs well when load within each class is high. HA's CD bins
+    are this strategy applied selectively. *)
+
+open Dbp_sim
+
+val policy : ?rule:Dbp_binpack.Heuristics.rule -> unit -> Policy.factory

@@ -1,0 +1,32 @@
+(** Geometric duration classifier in the style of Ren & Tang [10] — the
+    prior state of the art the paper improves on.
+
+    Ren & Tang's clairvoyant algorithm achieves
+    [min_(n>=1) mu^(1/n) + n + 3 = O(log mu / log log mu)] by grouping
+    durations into [n] geometric classes of ratio [mu^(1/n)] and packing
+    each class separately. Their paper is not available in this sealed
+    environment; this module reconstructs the stated scheme (documented
+    as a substitution in DESIGN.md): duration class
+    [j = floor(n * log_mu(duration / d_min))], First-Fit within a class.
+    With [n = 1] it degenerates to plain First-Fit; with
+    [n = log2 mu] it approaches pure Classify-by-Duration. *)
+
+open Dbp_sim
+
+val policy :
+  ?rule:Dbp_binpack.Heuristics.rule ->
+  classes:int ->
+  mu_hint:float ->
+  ?min_duration:int ->
+  unit ->
+  Policy.factory
+(** [classes] is [n >= 1]; [mu_hint] the assumed max/min duration ratio
+    (durations beyond it are clamped into the last class);
+    [min_duration] defaults to 1 tick. *)
+
+val optimal_classes : mu:float -> int
+(** The [n] minimizing the reconstructed bound [mu^(1/n) + n + 3] —
+    approximately [log mu / log log mu]. *)
+
+val auto : mu_hint:float -> Policy.factory
+(** {!policy} with [classes = optimal_classes ~mu:mu_hint]. *)

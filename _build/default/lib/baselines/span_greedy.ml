@@ -1,0 +1,35 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+
+let policy store =
+  (* latest departure among a bin's current items; monotone per bin
+     because capacity admits an item now iff it admits it at every
+     future moment (members only depart). *)
+  let horizon : (Bin_store.bin_id, int) Hashtbl.t = Hashtbl.create 64 in
+  let on_arrival ~now (r : Item.t) =
+    let best = ref None in
+    List.iter
+      (fun bin ->
+        if Load.fits r.size ~into:(Bin_store.load store bin) then begin
+          let h = Hashtbl.find horizon bin in
+          let extension = max 0 (r.departure - h) in
+          match !best with
+          | Some (_, e) when e <= extension -> ()
+          | _ -> best := Some (bin, extension)
+        end)
+      (Bin_store.open_bins store);
+    match !best with
+    | Some (bin, extension) when extension < Item.duration r ->
+        Bin_store.insert store bin r;
+        let h = Hashtbl.find horizon bin in
+        if r.departure > h then Hashtbl.replace horizon bin r.departure;
+        bin
+    | _ ->
+        let bin = Bin_store.open_bin store ~now ~label:"SG" in
+        Bin_store.insert store bin r;
+        Hashtbl.replace horizon bin r.departure;
+        bin
+  in
+  let on_departure ~now:_ _ ~bin ~closed = if closed then Hashtbl.remove horizon bin in
+  { Policy.name = "SpanGreedy"; on_arrival; on_departure }

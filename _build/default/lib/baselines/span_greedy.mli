@@ -1,0 +1,14 @@
+(** Span-aware greedy: a clairvoyant Any-Fit variant that picks the open
+    bin whose usage-time extension is smallest.
+
+    Placing an item departing at [f] into a bin whose latest current
+    departure is [g] extends that bin's usage by [max 0 (f - g)]; opening
+    a new bin costs the item's full duration. The greedy chooses the
+    cheapest option (ties: earliest bin). This is the natural
+    cost-myopic clairvoyant heuristic; {!Dbp_offline.Dual_coloring} uses
+    it as the stand-in for Ren & Tang's offline 4-approximation when
+    bounding the non-repacking optimum from above. *)
+
+open Dbp_sim
+
+val policy : Policy.factory

@@ -1,0 +1,1 @@
+lib/binpack/exact.ml: Array Dbp_util Hashtbl Heuristics Int Ints Load Lower_bounds Vec

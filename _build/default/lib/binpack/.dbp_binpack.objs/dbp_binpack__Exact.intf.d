@@ -1,0 +1,1 @@
+lib/binpack/exact.mli: Dbp_util Load

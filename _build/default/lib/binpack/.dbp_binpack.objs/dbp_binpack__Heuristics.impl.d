@@ -1,0 +1,1 @@
+lib/binpack/heuristics.ml: Array Dbp_util Load Vec

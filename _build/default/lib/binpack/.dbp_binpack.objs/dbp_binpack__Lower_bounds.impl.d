@@ -1,0 +1,1 @@
+lib/binpack/lower_bounds.ml: Array Dbp_util Int Ints List Load

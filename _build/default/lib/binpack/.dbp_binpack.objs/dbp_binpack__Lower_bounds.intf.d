@@ -1,0 +1,1 @@
+lib/binpack/lower_bounds.mli: Dbp_util Load

@@ -1,0 +1,1 @@
+lib/binpack/solver.ml: Array Dbp_util Exact Hashtbl Int Load

@@ -1,0 +1,1 @@
+lib/binpack/solver.mli: Dbp_util Exact Load

@@ -1,0 +1,97 @@
+open Dbp_util
+
+type result = { bins : int; exact : bool; nodes : int }
+
+exception Node_budget
+
+(* All-equal item sets (the adversary workloads produce these in bulk)
+   have a closed form: floor(C/s) items per bin. *)
+let all_equal units =
+  Array.length units > 0 && Array.for_all (fun s -> s = units.(0)) units
+
+let min_bins ?(node_limit = 200_000) sizes =
+  Array.iter
+    (fun s ->
+      if Load.to_units s > Load.capacity then
+        invalid_arg "Exact.min_bins: item larger than a bin")
+    sizes;
+  let n = Array.length sizes in
+  if n = 0 then { bins = 0; exact = true; nodes = 0 }
+  else begin
+    let units = Array.map Load.to_units sizes in
+    Array.sort (fun a b -> Int.compare b a) units;
+    let c = Load.capacity in
+    if all_equal units then begin
+      let per_bin = c / units.(0) in
+      if per_bin = 0 then { bins = n; exact = true; nodes = 0 }
+      else { bins = Ints.ceil_div n per_bin; exact = true; nodes = 0 }
+    end
+    else begin
+      let lower = Lower_bounds.best sizes in
+      let best = ref (Heuristics.ffd sizes) in
+      if !best = lower then { bins = !best; exact = true; nodes = 0 }
+      else begin
+        (* suffix_sum.(i) = total units of items i..n-1, for the volume
+           completion bound. *)
+        let suffix_sum = Array.make (n + 1) 0 in
+        for i = n - 1 downto 0 do
+          suffix_sum.(i) <- suffix_sum.(i + 1) + units.(i)
+        done;
+        let nodes = ref 0 in
+        let residuals = Vec.create () in
+        let exception Optimal_found in
+        let rec place i =
+          incr nodes;
+          if !nodes > node_limit then raise Node_budget;
+          if i = n then begin
+            best := min !best (Vec.length residuals);
+            if !best <= lower then raise Optimal_found
+          end
+          else begin
+            let used = Vec.length residuals in
+            let free = Vec.fold_left ( + ) 0 residuals in
+            let need =
+              if suffix_sum.(i) > free then Ints.ceil_div (suffix_sum.(i) - free) c
+              else 0
+            in
+            if used + need < !best then begin
+              let s = units.(i) in
+              (* Perfect fit dominates every other placement. *)
+              match Vec.find_index (fun r -> r = s) residuals with
+              | Some j ->
+                  Vec.set residuals j 0;
+                  place (i + 1);
+                  Vec.set residuals j s
+              | None ->
+                  let tried = Hashtbl.create 8 in
+                  for j = 0 to used - 1 do
+                    let r = Vec.get residuals j in
+                    if r >= s && not (Hashtbl.mem tried r) then begin
+                      Hashtbl.add tried r ();
+                      Vec.set residuals j (r - s);
+                      place (i + 1);
+                      Vec.set residuals j r
+                    end
+                  done;
+                  (* New bin: only worthwhile if it can still beat the
+                     incumbent. *)
+                  if used + 1 < !best then begin
+                    Vec.push residuals (c - s);
+                    place (i + 1);
+                    ignore (Vec.pop residuals)
+                  end
+            end
+          end
+        in
+        let exact =
+          try
+            place 0;
+            true
+          with
+          | Optimal_found -> true
+          | Node_budget -> !best = lower
+        in
+        { bins = !best; exact; nodes = !nodes }
+      end
+    end
+  end

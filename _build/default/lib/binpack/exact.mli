@@ -1,0 +1,20 @@
+(** Exact bin packing by branch-and-bound (Martello-Toth style).
+
+    Items are placed in non-increasing size order; branches try existing
+    bins with distinct residuals, then a fresh bin; subtrees are cut with
+    the {!Lower_bounds} volume completion bound and a perfect-fit
+    dominance rule. A node budget keeps worst cases bounded: when it is
+    exhausted the best feasible solution found so far (at worst FFD) is
+    returned and flagged as inexact. *)
+
+open Dbp_util
+
+type result = {
+  bins : int;  (** bin count of the best packing found. *)
+  exact : bool;  (** [true] iff [bins] is provably optimal. *)
+  nodes : int;  (** search nodes explored. *)
+}
+
+val min_bins : ?node_limit:int -> Load.t array -> result
+(** [min_bins sizes] packs all items. Default [node_limit] is 200_000.
+    Raises [Invalid_argument] if a size exceeds one bin. *)

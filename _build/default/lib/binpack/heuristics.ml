@@ -1,0 +1,62 @@
+open Dbp_util
+
+type rule = First_fit | Best_fit | Worst_fit | Next_fit
+
+(* All rules differ only in which open bin they try; [select] returns the
+   index of the chosen bin among those that fit, or None to open a new
+   one. Loads are plain ints here (Vec of accumulated units). *)
+let select rule (bins : Load.t Vec.t) (size : Load.t) =
+  let fits i = Load.fits size ~into:(Vec.get bins i) in
+  let n = Vec.length bins in
+  match rule with
+  | First_fit ->
+      let rec loop i = if i >= n then None else if fits i then Some i else loop (i + 1) in
+      loop 0
+  | Next_fit -> if n > 0 && fits (n - 1) then Some (n - 1) else None
+  | Best_fit ->
+      let best = ref None in
+      for i = 0 to n - 1 do
+        if fits i then
+          match !best with
+          | Some j when Load.(Vec.get bins i <= Vec.get bins j) -> ()
+          | _ -> best := Some i
+      done;
+      !best
+  | Worst_fit ->
+      let best = ref None in
+      for i = 0 to n - 1 do
+        if fits i then
+          match !best with
+          | Some j when Load.(Vec.get bins j <= Vec.get bins i) -> ()
+          | _ -> best := Some i
+      done;
+      !best
+
+let pack rule sizes =
+  Array.iter
+    (fun s ->
+      if not (Load.fits s ~into:Load.zero) then
+        invalid_arg "Heuristics.pack: item larger than a bin")
+    sizes;
+  let bins = Vec.create () in
+  Array.map
+    (fun size ->
+      match select rule bins size with
+      | Some i ->
+          Vec.set bins i (Load.add (Vec.get bins i) size);
+          i
+      | None ->
+          Vec.push bins size;
+          Vec.length bins - 1)
+    sizes
+
+let count rule sizes =
+  let assignment = pack rule sizes in
+  Array.fold_left (fun acc b -> max acc (b + 1)) 0 assignment
+
+let count_decreasing rule sizes =
+  let sorted = Array.copy sizes in
+  Array.sort (fun a b -> Load.compare b a) sorted;
+  count rule sorted
+
+let ffd sizes = count_decreasing First_fit sizes

@@ -1,0 +1,28 @@
+(** Classical one-dimensional bin packing heuristics on a static item set.
+
+    Sizes are fixed-point loads (see {!Dbp_util.Load}); every size must be
+    at most one bin. These are the momentary packers used by the offline
+    repacking optimum and as upper bounds inside the exact solver. *)
+
+open Dbp_util
+
+type rule =
+  | First_fit  (** earliest-opened bin that fits *)
+  | Best_fit  (** fullest bin that fits *)
+  | Worst_fit  (** emptiest bin that fits *)
+  | Next_fit  (** only the most recently opened bin *)
+
+val pack : rule -> Load.t array -> int array
+(** [pack rule sizes] processes items in array order and returns the bin
+    index (0-based, in bin-opening order) assigned to each item. Raises
+    [Invalid_argument] if any size exceeds [Load.one]. *)
+
+val count : rule -> Load.t array -> int
+(** Number of bins [pack] opens. *)
+
+val count_decreasing : rule -> Load.t array -> int
+(** Like {!count} after sorting sizes in non-increasing order (FFD, BFD,
+    ...). *)
+
+val ffd : Load.t array -> int
+(** First-fit decreasing: the standard upper bound, within 11/9 OPT + 1. *)

@@ -1,0 +1,41 @@
+open Dbp_util
+
+let l1 sizes =
+  let total = Array.fold_left (fun acc s -> acc + Load.to_units s) 0 sizes in
+  Ints.ceil_div total Load.capacity
+
+(* Martello & Toth's L2. For a threshold k in [0, C/2]:
+     N1 = items with size > C - k        (each needs a private bin)
+     N2 = items with size in (C/2, C-k]  (pairwise incompatible)
+     N3 = items with size in [k, C/2]
+   L2(k) = |N1| + |N2| + max(0, ceil((sum N3 - (|N2|*C - sum N2)) / C)).
+   Only thresholds equal to some item size (or 0) can change the value, so
+   we iterate over distinct sizes <= C/2. *)
+let l2 sizes =
+  let c = Load.capacity in
+  let units = Array.map Load.to_units sizes in
+  Array.sort (fun a b -> Int.compare b a) units;
+  let n = Array.length units in
+  let thresholds =
+    let acc = ref [ 0 ] in
+    Array.iter (fun s -> if s <= c / 2 then acc := s :: !acc) units;
+    List.sort_uniq Int.compare !acc
+  in
+  let value_at k =
+    let n1 = ref 0 and n2 = ref 0 and sum2 = ref 0 and sum3 = ref 0 in
+    for i = 0 to n - 1 do
+      let s = units.(i) in
+      if s > c - k then incr n1
+      else if s > c / 2 then begin
+        incr n2;
+        sum2 := !sum2 + s
+      end
+      else if s >= k then sum3 := !sum3 + s
+    done;
+    let spare2 = (!n2 * c) - !sum2 in
+    let extra = if !sum3 > spare2 then Ints.ceil_div (!sum3 - spare2) c else 0 in
+    !n1 + !n2 + extra
+  in
+  List.fold_left (fun acc k -> max acc (value_at k)) 0 thresholds
+
+let best sizes = max (l1 sizes) (l2 sizes)

@@ -1,0 +1,18 @@
+(** Lower bounds on the optimal number of bins for a static item set.
+
+    [l1] is the volume bound; [l2] is Martello & Toth's bound, which
+    dominates [l1]. Used to prune the exact branch-and-bound solver and to
+    certify heuristic solutions as optimal. *)
+
+open Dbp_util
+
+val l1 : Load.t array -> int
+(** ceil of total size. 0 for an empty set. *)
+
+val l2 : Load.t array -> int
+(** Martello-Toth L2 bound: maximizes over thresholds [k <= capacity/2]
+    the count of large items plus the volume of medium items that cannot
+    share bins with them. Always [>= l1]. *)
+
+val best : Load.t array -> int
+(** [max (l1 sizes) (l2 sizes)]. *)

@@ -1,0 +1,38 @@
+open Dbp_util
+
+module Key = struct
+  type t = int array
+
+  let equal = ( = )
+
+  (* The default [Hashtbl.hash] only inspects ~10 values; multisets here
+     can be long and share prefixes, so hash deeply. *)
+  let hash (k : t) = Hashtbl.hash_param 500 500 k
+end
+
+module Cache = Hashtbl.Make (Key)
+
+type t = {
+  node_limit : int;
+  cache : Exact.result Cache.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(node_limit = 20_000) () =
+  { node_limit; cache = Cache.create 1024; hits = 0; misses = 0 }
+
+let min_bins t sizes =
+  let key = Array.map Load.to_units sizes in
+  Array.sort Int.compare key;
+  match Cache.find_opt t.cache key with
+  | Some r ->
+      t.hits <- t.hits + 1;
+      r
+  | None ->
+      t.misses <- t.misses + 1;
+      let r = Exact.min_bins ~node_limit:t.node_limit sizes in
+      Cache.add t.cache key r;
+      r
+
+let stats t = (t.hits, t.misses)

@@ -1,0 +1,22 @@
+(** Memoizing front-end for momentary bin packing.
+
+    The repacking optimum evaluates [BP(active items at t)] on every
+    event interval; consecutive intervals usually share their size
+    multiset, so results are cached keyed by the sorted size multiset. *)
+
+open Dbp_util
+
+type t
+
+val create : ?node_limit:int -> unit -> t
+(** Fresh solver with an empty cache. Default [node_limit] is 20_000 —
+    deliberately lower than {!Exact.min_bins}'s default: the repacking
+    optimum solves thousands of segments and a budget-limited segment
+    only ever overestimates by the tail of the FFD gap. *)
+
+val min_bins : t -> Load.t array -> Exact.result
+(** Optimal (or budget-limited, see {!Exact.result.exact}) bin count for
+    the multiset of sizes. *)
+
+val stats : t -> int * int
+(** [(hits, misses)] of the cache since creation. *)

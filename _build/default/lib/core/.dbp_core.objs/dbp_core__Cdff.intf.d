@@ -1,0 +1,1 @@
+lib/core/cdff.mli: Dbp_binpack Dbp_sim Policy

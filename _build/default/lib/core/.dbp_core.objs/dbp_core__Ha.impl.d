@@ -1,0 +1,1 @@
+lib/core/ha.ml: Bin_store Dbp_binpack Dbp_instance Dbp_sim Dbp_util Fit_group Hashtbl Item Load Option Policy Printf

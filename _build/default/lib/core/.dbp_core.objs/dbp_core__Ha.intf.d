@@ -1,0 +1,1 @@
+lib/core/ha.mli: Dbp_binpack Dbp_sim Policy

@@ -1,0 +1,37 @@
+(** CDFF — Classify-by-Duration-First-Fit (Algorithm 2):
+    [O(log log mu)]-competitive on aligned inputs (Theorem 5.1).
+
+    Aligned inputs (Definition 2.1) release items of duration class [i]
+    (duration in [(2^(i-1), 2^i]]) only at multiples of [2^i]. CDFF keeps
+    *rows* of bins. At time [t], let [m_t] be the largest class that may
+    legally arrive ([m_t = ntz(t - segment_start)], or the top class at a
+    segment start); an arriving item of class [i] is packed First-Fit
+    into row [m_t - i]. Longer-lived items therefore sit in lower rows,
+    and the row occupancy over a binary input follows the longest run of
+    zeros in [binary(t)] (Lemma 5.5, Corollary 5.8) — which is how the
+    [O(log log mu)] bound emerges.
+
+    The implementation performs the paper's online segment partition: a
+    new segment starts whenever an item arrives at or after the current
+    segment's horizon [segment_start + 2^n], with [n] re-learned from the
+    arrivals at the segment's first tick (so [mu] need not be known in
+    advance). Bins are opened lazily (an empty bin costs nothing, so this
+    matches the paper's cost model exactly).
+
+    Fed a non-aligned input CDFF still packs validly — out-of-range rows
+    are clamped to row 0 — but the competitive guarantee is void; callers
+    can check {!Dbp_instance.Instance.is_aligned} first. *)
+
+open Dbp_sim
+
+val policy : ?rule:Dbp_binpack.Heuristics.rule -> unit -> Policy.factory
+(** [rule] is the Any-Fit rule within each row; default (paper) is
+    First-Fit. *)
+
+type gauge = {
+  mutable rows_active : int;  (** rows currently holding open bins *)
+  mutable max_row_bins : int;  (** high-water of open bins in one row *)
+  mutable segments : int;  (** segments the partition produced *)
+}
+
+val instrumented : ?rule:Dbp_binpack.Heuristics.rule -> unit -> Policy.factory * gauge

@@ -1,0 +1,105 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+
+type gauge = {
+  mutable gn_open : int;
+  mutable cd_open : int;
+  mutable max_gn : int;
+  mutable max_classes : int;
+}
+
+let default_threshold i = 1.0 /. (2.0 *. sqrt (float_of_int i))
+
+(* Threshold in load units for duration class i. *)
+let threshold_units threshold i =
+  let f = threshold i in
+  if f <= 0.0 then invalid_arg "Ha: non-positive threshold";
+  int_of_float (f *. float_of_int Load.capacity)
+
+let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_threshold) gauge
+    store =
+  let gn = Fit_group.create ~rule ~label:"GN" () in
+  let cd : (int * int, Fit_group.t) Hashtbl.t = Hashtbl.create 32 in
+  let type_load : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let owner : (Bin_store.bin_id, Fit_group.t) Hashtbl.t = Hashtbl.create 64 in
+  let classes = Hashtbl.create 8 in
+  let update () =
+    match gauge with
+    | None -> ()
+    | Some g ->
+        g.gn_open <- Fit_group.open_count gn;
+        g.cd_open <- Hashtbl.fold (fun _ grp acc -> acc + Fit_group.open_count grp) cd 0;
+        if g.gn_open > g.max_gn then g.max_gn <- g.gn_open;
+        g.max_classes <- max g.max_classes (Hashtbl.length classes)
+  in
+  let cd_group_of ty =
+    match Hashtbl.find_opt cd ty with
+    | Some grp -> grp
+    | None ->
+        let i, c = ty in
+        let grp = Fit_group.create ~rule ~label:(Printf.sprintf "CD(%d,%d)" i c) () in
+        Hashtbl.replace cd ty grp;
+        grp
+  in
+  let on_arrival ~now (r : Item.t) =
+    let ty = Item.ha_type r in
+    let i = fst ty in
+    Hashtbl.replace classes i ();
+    let total =
+      Option.value (Hashtbl.find_opt type_load ty) ~default:0 + Load.to_units r.size
+    in
+    Hashtbl.replace type_load ty total;
+    let place_cd fresh =
+      let grp = cd_group_of ty in
+      let bin =
+        if fresh then Fit_group.place_new grp store ~now r
+        else Fit_group.place grp store ~now r
+      in
+      Hashtbl.replace owner bin grp;
+      bin
+    in
+    let bin =
+      match Hashtbl.find_opt cd ty with
+      | Some grp when Fit_group.open_count grp > 0 -> place_cd false
+      | _ ->
+          if total <= threshold_units threshold i then begin
+            let bin = Fit_group.place gn store ~now r in
+            Hashtbl.replace owner bin gn;
+            bin
+          end
+          else place_cd true
+    in
+    update ();
+    bin
+  in
+  let on_departure ~now:_ (r : Item.t) ~bin ~closed =
+    let ty = Item.ha_type r in
+    let remaining =
+      Option.value (Hashtbl.find_opt type_load ty) ~default:0 - Load.to_units r.size
+    in
+    if remaining > 0 then Hashtbl.replace type_load ty remaining
+    else Hashtbl.remove type_load ty;
+    let grp =
+      match Hashtbl.find_opt owner bin with
+      | Some grp -> grp
+      | None -> invalid_arg "Ha.on_departure: unowned bin"
+    in
+    Fit_group.note_depart grp store bin ~closed;
+    if closed then begin
+      Hashtbl.remove owner bin;
+      (* Drop exhausted CD groups so type tables stay small; a type's
+         bins never come back once closed (its arrival block has
+         passed). *)
+      if grp != gn && Fit_group.open_count grp = 0 then Hashtbl.remove cd ty
+    end;
+    update ()
+  in
+  { Policy.name = "HA"; on_arrival; on_departure }
+
+let policy ?rule ?threshold () store = make ?rule ?threshold None store
+
+let instrumented ?rule ?threshold () =
+  let gauge = { gn_open = 0; cd_open = 0; max_gn = 0; max_classes = 0 } in
+  let factory store = make ?rule ?threshold (Some gauge) store in
+  (factory, gauge)

@@ -1,0 +1,48 @@
+(** The Hybrid Algorithm (Algorithm 1): [O(sqrt(log mu))]-competitive
+    clairvoyant packing for general inputs (Theorem 3.2).
+
+    HA classifies each item by its type [(i, c)] (duration class and
+    arrival block, {!Dbp_instance.Item.ha_type}) and keeps two kinds of
+    bins: GN (general) bins shared by all low-volume types, and CD
+    (classify-by-duration) bins private to one type. An arriving item of
+    type [T] goes
+
+    - into the open CD bins of [T] (Any-Fit), if any exist;
+    - else into the GN bins (Any-Fit), if the total active load of type
+      [T] — including the item — is at most the threshold [1/(2 sqrt i)];
+    - else into a freshly opened CD bin for [T].
+
+    The threshold caps the total GN load at [sum_i 1/sqrt(i) =
+    O(sqrt(log mu))] (Lemma 3.3) while ensuring each CD family carries
+    enough load that the optimum must pay for it (Lemma 3.5). HA needs no
+    advance knowledge of [mu]. *)
+
+open Dbp_sim
+
+val policy :
+  ?rule:Dbp_binpack.Heuristics.rule ->
+  ?threshold:(int -> float) ->
+  unit ->
+  Policy.factory
+(** [rule] is the Any-Fit rule used inside both bin families (footnote 1
+    of the paper: any Any-Fit works; default First-Fit — the paper's
+    choice). [threshold i] is the GN admission cap for duration class [i]
+    as a fraction of a bin; default [1 /. (2 sqrt i)]. Used by the
+    ablation experiments E14/E16. *)
+
+type gauge = {
+  mutable gn_open : int;  (** currently open GN bins *)
+  mutable cd_open : int;  (** currently open CD bins, all types *)
+  mutable max_gn : int;  (** high-water mark of [gn_open] — Lemma 3.3 *)
+  mutable max_classes : int;  (** distinct duration classes seen *)
+}
+
+val instrumented :
+  ?rule:Dbp_binpack.Heuristics.rule ->
+  ?threshold:(int -> float) ->
+  unit ->
+  Policy.factory * gauge
+(** Like {!policy} but also returns a live gauge (updated as the run
+    proceeds) so tests can check the Lemma 3.3 invariant
+    [GN_t <= 2 + 4 sqrt(log mu)] on every prefix. The gauge observes the
+    most recent policy instance the factory created. *)

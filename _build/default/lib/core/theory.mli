@@ -1,0 +1,42 @@
+(** Closed-form quantities from the paper, for plotting measured curves
+    against predicted ones and for asserting invariants in tests.
+
+    All take [mu] (the max/min duration ratio) as a float > = 1; logs are
+    base 2 as in the paper. *)
+
+val log2 : float -> float
+(** Base-2 log clamped below at 0 (so [mu = 1] inputs yield 0, not
+    -inf). *)
+
+val sqrt_log_mu : float -> float
+(** [sqrt (log2 mu)] — the general-input upper/lower bound scale
+    (Theorems 3.2 and 4.3). *)
+
+val log_log_mu : float -> float
+(** [log2 (log2 mu)] clamped below at 0 — the aligned-input scale
+    (Theorem 5.1). *)
+
+val gn_bound : float -> float
+(** Lemma 3.3: at any time HA keeps at most [2 + 4 sqrt(log2 mu)] GN bins
+    open. *)
+
+val cdff_binary_bound : float -> float
+(** Proposition 5.3: [CDFF(sigma_mu) <= (2 log log mu + 1) OPT_R], and
+    [OPT_R(sigma_mu) = mu], so this is also the per-tick average open-bin
+    bound. *)
+
+val max0_expectation_bound : int -> float
+(** Lemma 5.9: for [n] i.i.d. fair bits, [E[max_0] <= 2 log2 n]. *)
+
+val lemma31_upper : demand:float -> span:float -> float
+(** Lemma 3.1(2): [OPT_R <= 2 d(sigma) + 2 span(sigma)]. *)
+
+val reduction_span_factor : float
+(** Observation 1: [span(sigma') <= 4 span(sigma)]. *)
+
+val reduction_demand_factor : float
+(** Observation 2: [d(sigma') <= 4 d(sigma)]. *)
+
+val adversary_bins : float -> int
+(** The bin target [ceil (sqrt (log2 mu))] the Theorem 4.3 adversary
+    forces at every time step. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Common Dbp_analysis Dbp_baselines Dbp_binpack Dbp_core List String Sweep Workload_defs

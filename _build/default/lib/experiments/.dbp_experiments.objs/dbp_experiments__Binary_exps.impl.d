@@ -1,0 +1,1 @@
+lib/experiments/binary_exps.ml: Array Binary_strings Common Dbp_analysis Dbp_core Dbp_report Dbp_sim Dbp_util Engine Ints List Table Workload_defs

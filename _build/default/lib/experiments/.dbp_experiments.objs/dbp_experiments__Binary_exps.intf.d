@@ -1,0 +1,1 @@
+lib/experiments/binary_exps.mli:

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Dbp_analysis Dbp_baselines Dbp_core Dbp_report Dbp_sim Fit Format List Policy Printf String Sweep

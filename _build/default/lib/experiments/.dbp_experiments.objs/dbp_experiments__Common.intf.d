@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Dbp_analysis Dbp_sim Policy

@@ -1,0 +1,1 @@
+lib/experiments/contrast_exps.ml: Array Common Dbp_analysis Dbp_baselines Dbp_binpack Dbp_core Dbp_offline Dbp_report Dbp_util Dbp_workloads List Ratio String Sweep Table Workload_defs

@@ -1,0 +1,1 @@
+lib/experiments/contrast_exps.mli:

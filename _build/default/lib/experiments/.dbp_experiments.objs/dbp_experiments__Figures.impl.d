@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Common Dbp_core Dbp_report Dbp_sim Engine Gantt Printf Workload_defs

@@ -1,0 +1,1 @@
+lib/experiments/lemma_exps.ml: Bounds Common Dbp_binpack Dbp_core Dbp_offline Dbp_report Dbp_sim Dbp_util Dbp_workloads Float Ints List Opt_repack Table Workload_defs

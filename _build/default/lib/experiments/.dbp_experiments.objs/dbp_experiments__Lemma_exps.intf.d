@@ -1,0 +1,1 @@
+lib/experiments/lemma_exps.mli:

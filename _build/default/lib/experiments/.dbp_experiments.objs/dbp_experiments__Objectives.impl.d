@@ -1,0 +1,1 @@
+lib/experiments/objectives.ml: Common Dbp_analysis Dbp_baselines Dbp_binpack Dbp_core Dbp_report Dbp_sim List Momentary Printf Table Workload_defs

@@ -1,0 +1,1 @@
+lib/experiments/open_problem.ml: Common Dbp_analysis Dbp_binpack Dbp_report Dbp_workloads List Ratio String Sweep Table

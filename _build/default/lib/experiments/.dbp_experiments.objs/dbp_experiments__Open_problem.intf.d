@@ -1,0 +1,1 @@
+lib/experiments/open_problem.mli:

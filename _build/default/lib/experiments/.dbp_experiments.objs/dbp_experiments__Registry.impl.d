@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Binary_exps Contrast_exps Figures Lemma_exps List Objectives Open_problem String Table1 Theorem_exps

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Common Dbp_analysis Dbp_baselines Dbp_core Dbp_report Dbp_util Fit Float Format List Printf Sweep Table Workload_defs

@@ -1,0 +1,1 @@
+lib/experiments/theorem_exps.ml: Common Dbp_analysis Dbp_baselines Dbp_core Dbp_report List String Sweep Workload_defs

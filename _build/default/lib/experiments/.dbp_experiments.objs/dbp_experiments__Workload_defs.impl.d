@@ -1,0 +1,1 @@
+lib/experiments/workload_defs.ml: Aligned_random Binary_input Cd_killer Dbp_util Dbp_workloads General_random Pinning

@@ -1,0 +1,1 @@
+lib/experiments/workload_defs.mli: Dbp_instance Instance

@@ -1,0 +1,82 @@
+open Dbp_analysis
+
+let ha_threshold ~quick =
+  let mus = if quick then [ 16; 64; 256 ] else [ 16; 64; 256; 1024; 4096 ] in
+  let algorithms =
+    [
+      ("1/(2 sqrt i)", Dbp_core.Ha.policy ());
+      ("flat 1/2", Dbp_core.Ha.policy ~threshold:(fun _ -> 0.5) ());
+      ("1/(2 i)", Dbp_core.Ha.policy ~threshold:(fun i -> 0.5 /. float_of_int i) ());
+      ( "1/2^i",
+        Dbp_core.Ha.policy ~threshold:(fun i -> 1.0 /. float_of_int (1 lsl min i 30)) ()
+      );
+    ]
+  in
+  let random =
+    Sweep.run ~algorithms ~workload:Workload_defs.general ~mus
+      ~seeds:(Common.seeds ~quick) ()
+  in
+  let adversarial = Sweep.adversarial ~algorithms ~mus () in
+  Common.section "E14 / ablation: HA's GN admission threshold"
+    ("General random inputs:\n" ^ Common.curve_table random
+    ^ "\nAdaptive adversary:\n"
+    ^ Common.curve_table adversarial
+    ^ "\nMeasured finding (honest): at laptop-scale mu the flat 1/2 threshold is\n\
+       at least as good as the paper's 1/(2 sqrt i) on both input families —\n\
+       it routes almost everything to the shared GN pool, behaving like\n\
+       First-Fit, which these workloads don't punish. The sqrt profile's value\n\
+       is the *worst-case guarantee*: a flat threshold admits up to ~log(mu)/2\n\
+       of GN load, so Lemma 3.3's O(sqrt(log mu)) GN-bin bound — and with it\n\
+       the Theorem 3.2 proof — fails for it; the gap would only materialize\n\
+       once the number of simultaneously active duration classes is large\n\
+       (mu >> 2^16). Steeper profiles (1/(2i), 1/2^i) are strictly worse both\n\
+       in theory and in these measurements: they open CD bins for types that\n\
+       never accumulate enough load to justify them.\n")
+
+let cdff_rows ~quick =
+  let mus = if quick then [ 4; 16; 64; 256 ] else [ 4; 16; 64; 256; 1024; 4096 ] in
+  let algorithms =
+    [
+      ("CDFF (dynamic rows)", Dbp_core.Cdff.policy ());
+      ("static rows (=CD)", Dbp_baselines.Classify_duration.policy ());
+    ]
+  in
+  let binary = Sweep.run ~algorithms ~workload:Workload_defs.binary ~mus ~seeds:[ 0 ] () in
+  let aligned =
+    Sweep.run ~algorithms ~workload:Workload_defs.aligned ~mus
+      ~seeds:(Common.seeds ~quick) ()
+  in
+  let fits =
+    List.map
+      (fun (c : Sweep.curve) -> Common.fit_line c.algorithm (Sweep.fit_curve c))
+      binary
+  in
+  Common.section "E15 / ablation: CDFF's dynamic row remapping vs static rows"
+    ("Binary input sigma_mu:\n" ^ Common.curve_table binary
+    ^ "\nBest-fit growth models (binary input):\n"
+    ^ String.concat "\n" fits ^ "\n\nAligned random inputs:\n"
+    ^ Common.curve_table aligned
+    ^ "\nExpected shape: static rows cost ~log mu on sigma_mu (every class keeps a\n\
+       bin open at all times); dynamic remapping collapses that to ~log log mu —\n\
+       the exponential gap the paper claims.\n")
+
+let any_fit_rule ~quick =
+  let mus = if quick then [ 16; 64; 256 ] else [ 16; 64; 256; 1024 ] in
+  let open Dbp_binpack.Heuristics in
+  let algorithms =
+    [
+      ("HA/FirstFit", Dbp_core.Ha.policy ~rule:First_fit ());
+      ("HA/BestFit", Dbp_core.Ha.policy ~rule:Best_fit ());
+      ("HA/WorstFit", Dbp_core.Ha.policy ~rule:Worst_fit ());
+      ("HA/NextFit", Dbp_core.Ha.policy ~rule:Next_fit ());
+    ]
+  in
+  let curves =
+    Sweep.run ~algorithms ~workload:Workload_defs.general ~mus
+      ~seeds:(Common.seeds ~quick) ()
+  in
+  Common.section "E16 / ablation: the Any-Fit rule inside HA (paper footnote 1)"
+    (Common.curve_table curves
+    ^ "\nExpected shape: First/Best/Worst-Fit are interchangeable (the paper's\n\
+       footnote 1); Next-Fit is an Any-Fit rule only in a loose sense and may\n\
+       trail slightly.\n")

@@ -1,0 +1,13 @@
+(** Experiments E14-E16: ablations of the paper's design choices.
+
+    - E14: HA's GN-admission threshold [1/(2 sqrt i)] against flat and
+      steeper alternatives — the sqrt profile is what balances GN volume
+      (Lemma 3.3) against CD bin count (Lemma 3.5).
+    - E15: CDFF's dynamic row remapping against static
+      one-row-per-class (= pure Classify-by-Duration) — the paper
+      credits the remapping for the exponential improvement.
+    - E16: the Any-Fit rule inside HA (footnote 1: any of them works). *)
+
+val ha_threshold : quick:bool -> string
+val cdff_rows : quick:bool -> string
+val any_fit_rule : quick:bool -> string

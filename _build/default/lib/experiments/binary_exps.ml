@@ -1,0 +1,78 @@
+open Dbp_util
+open Dbp_sim
+open Dbp_analysis
+open Dbp_report
+
+let corollary58 ~quick =
+  let mus = if quick then [ 4; 16; 64; 256 ] else [ 4; 16; 64; 256; 1024; 4096 ] in
+  let table =
+    Table.create ~columns:[ "mu"; "ticks checked"; "mismatches"; "max open bins" ]
+  in
+  List.iter
+    (fun mu ->
+      let n = Ints.floor_log2 mu in
+      let res = Engine.run (Dbp_core.Cdff.policy ()) (Workload_defs.binary ~mu ~seed:0) in
+      let checked = ref 0 and mismatches = ref 0 and max_open = ref 0 in
+      Array.iter
+        (fun (t, open_bins) ->
+          if t >= 0 && t < mu then begin
+            incr checked;
+            max_open := max !max_open open_bins;
+            if open_bins <> Binary_strings.max0 ~bits:n t + 1 then incr mismatches
+          end)
+        res.series;
+      Table.add_row table
+        [
+          Table.cell_int mu;
+          Table.cell_int !checked;
+          Table.cell_int !mismatches;
+          Table.cell_int !max_open;
+        ])
+    mus;
+  Common.section
+    "E9 / Corollary 5.8: CDFF open bins at t+ = max_0(binary t) + 1 on sigma_mu"
+    (Table.render table ^ "\n(0 mismatches = the identity holds exactly)\n")
+
+let lemma59 ~quick =
+  let top = if quick then 16 else 24 in
+  let table =
+    Table.create
+      ~columns:[ "n (bits)"; "E[max_0] exact"; "bound 2 log2 n"; "sum over 2^n strings" ]
+  in
+  let ns = List.filter (fun n -> n <= top) [ 2; 4; 8; 12; 16; 20; 24 ] in
+  List.iter
+    (fun n ->
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float (Binary_strings.expectation ~bits:n);
+          Table.cell_float (Dbp_core.Theory.max0_expectation_bound n);
+          Table.cell_int (Binary_strings.sum_over_range ~bits:n);
+        ])
+    ns;
+  Common.section "E10 / Lemma 5.9 + Corollary 5.10: longest zero-run expectation"
+    (Table.render table)
+
+let prop53 ~quick =
+  let mus = if quick then [ 4; 16; 64; 256; 1024 ] else [ 4; 16; 64; 256; 1024; 4096; 16384; 65536 ] in
+  let table =
+    Table.create
+      ~columns:[ "mu"; "CDFF cost"; "cost / mu"; "bound 2 log log mu + 1"; "within" ]
+  in
+  List.iter
+    (fun mu ->
+      let res = Engine.run (Dbp_core.Cdff.policy ()) (Workload_defs.binary ~mu ~seed:0) in
+      let per_tick = float_of_int res.cost /. float_of_int mu in
+      let bound = Dbp_core.Theory.cdff_binary_bound (float_of_int mu) in
+      Table.add_row table
+        [
+          Table.cell_int mu;
+          Table.cell_int res.cost;
+          Table.cell_float per_tick;
+          Table.cell_float bound;
+          (if per_tick <= bound then "yes" else "NO");
+        ])
+    mus;
+  Common.section
+    "E11 / Proposition 5.3: CDFF(sigma_mu) <= (2 log log mu + 1) mu (OPT_R >= mu)"
+    (Table.render table)

@@ -1,0 +1,12 @@
+(** Experiments E9-E11: the binary-string backbone of Section 5.
+
+    - E9 (Corollary 5.8): on [sigma_mu], CDFF's open-bin count at [t^+]
+      equals [max_0(binary t) + 1] for *every* tick — checked exactly.
+    - E10 (Lemma 5.9 / Corollary 5.10): exact [E[max_0]] versus the
+      [2 log2 n] bound.
+    - E11 (Proposition 5.3): [CDFF(sigma_mu) / mu] versus
+      [2 log log mu + 1]. *)
+
+val corollary58 : quick:bool -> string
+val lemma59 : quick:bool -> string
+val prop53 : quick:bool -> string

@@ -1,0 +1,55 @@
+open Dbp_sim
+open Dbp_analysis
+
+let clairvoyant_roster ~mu_hint : (string * Policy.factory) list =
+  [
+    ("HA", Dbp_core.Ha.policy ());
+    ("CDFF", Dbp_core.Cdff.policy ());
+    ("FF", Dbp_baselines.Any_fit.first_fit);
+    ("BF", Dbp_baselines.Any_fit.best_fit);
+    ("CD", Dbp_baselines.Classify_duration.policy ());
+    ("RT", Dbp_baselines.Rt_classify.auto ~mu_hint);
+    ("SpanGreedy", Dbp_baselines.Span_greedy.policy);
+  ]
+
+let core_roster ~mu_hint:_ : (string * Policy.factory) list =
+  [
+    ("HA", Dbp_core.Ha.policy ());
+    ("CDFF", Dbp_core.Cdff.policy ());
+    ("FF", Dbp_baselines.Any_fit.first_fit);
+    ("CD", Dbp_baselines.Classify_duration.policy ());
+  ]
+
+let quick_mus = [ 4; 16; 64; 256; 1024 ]
+let full_mus = [ 4; 16; 64; 256; 1024; 4096; 16384 ]
+let seeds ~quick = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let section title body =
+  Printf.sprintf "%s\n%s\n%s\n" title (String.make (String.length title) '=') body
+
+let fit_line name fitted = Format.asprintf "%-10s fits as %a" name Fit.pp fitted
+
+let curve_table ?(extra = []) curves =
+  match curves with
+  | [] -> "(no data)\n"
+  | first :: _ ->
+      let columns =
+        "mu"
+        :: List.map (fun (c : Sweep.curve) -> c.algorithm) curves
+        @ List.map fst extra
+      in
+      let table = Dbp_report.Table.create ~columns in
+      List.iteri
+        (fun i (p : Sweep.point) ->
+          let row =
+            Dbp_report.Table.cell_int (int_of_float p.mu)
+            :: List.map
+                 (fun (c : Sweep.curve) ->
+                   let q = List.nth c.points i in
+                   Dbp_report.Table.cell_ratio q.ratios.mean)
+                 curves
+            @ List.map (fun (_, f) -> f p) extra
+          in
+          Dbp_report.Table.add_row table row)
+        first.points;
+      Dbp_report.Table.render table

@@ -1,0 +1,33 @@
+(** Shared pieces of the experiment harness: the standard algorithm
+    roster, sweep parameter sets, and report formatting helpers. *)
+
+open Dbp_sim
+
+val clairvoyant_roster : mu_hint:float -> (string * Policy.factory) list
+(** HA and CDFF (the paper's algorithms) plus the baselines: First-Fit,
+    Best-Fit, pure Classify-by-Duration, the Ren-Tang-style classifier
+    (tuned for [mu_hint]) and the span-aware greedy. *)
+
+val core_roster : mu_hint:float -> (string * Policy.factory) list
+(** The four algorithms the paper's story revolves around: HA, CDFF,
+    FF, CD. *)
+
+val quick_mus : int list
+(** Powers of two for fast (default) sweeps. *)
+
+val full_mus : int list
+(** Larger sweep for `--full` runs. *)
+
+val seeds : quick:bool -> int list
+
+val section : string -> string -> string
+(** Title + body with an underline, for stitching reports together. *)
+
+val fit_line : string -> Dbp_analysis.Fit.fitted -> string
+
+val curve_table :
+  ?extra:(string * (Dbp_analysis.Sweep.point -> string)) list ->
+  Dbp_analysis.Sweep.curve list ->
+  string
+(** One row per [mu], one ratio column per algorithm; [extra] appends
+    per-point columns computed from the first curve. *)

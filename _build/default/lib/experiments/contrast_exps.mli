@@ -1,0 +1,14 @@
+(** Experiments E13, E17, E18: the contrast workloads.
+
+    - E13: on the pinning family, duration-oblivious First-Fit pays
+      [Theta(mu)] while clairvoyant algorithms stay polylogarithmic
+      (Table 1, row 3); also measures the Dual-Coloring stand-in's
+      distance from [OPT_R] (Theorem 4.2's factor 4).
+    - E17: the one-thin-item-per-class family where pure
+      Classify-by-Duration pays [Theta(log mu)] and HA's GN bins shine.
+    - E18: the synthetic cloud-gaming trace — the paper's motivating
+      scenario. *)
+
+val nonclairvoyant : quick:bool -> string
+val cd_killer : quick:bool -> string
+val cloud : quick:bool -> string

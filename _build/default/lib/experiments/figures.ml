@@ -1,0 +1,29 @@
+open Dbp_sim
+open Dbp_report
+
+let figure1 ~quick:_ =
+  (* An aligned random run dense enough that several rows hold multiple
+     bins, snapshotted at an interesting moment (highest open-bin
+     count). *)
+  let inst = Workload_defs.aligned ~mu:64 ~seed:7 in
+  let res = Engine.run (Dbp_core.Cdff.policy ()) inst in
+  let at, _ =
+    Array.fold_left
+      (fun (bt, bc) (t, c) -> if c > bc then (t, c) else (bt, bc))
+      (0, -1) res.series
+  in
+  Common.section "Figure 1: CDFF's bins, one row of bins per duration class"
+    (Gantt.snapshot inst res.store ~at)
+
+let figure2 ~quick:_ =
+  let inst = Workload_defs.binary ~mu:8 ~seed:0 in
+  Common.section "Figure 2: the binary input sigma_8 (one segment per item)"
+    (Gantt.items_chart inst)
+
+let figure3 ~quick:_ =
+  let inst = Workload_defs.binary ~mu:8 ~seed:0 in
+  let res = Engine.run (Dbp_core.Cdff.policy ()) inst in
+  Common.section "Figure 3: CDFF's packing of sigma_8 (one row per bin)"
+    (Gantt.packing_chart inst res.store
+    ^ Printf.sprintf "\ncost = %d bin-ticks over [0, 8); bins opened = %d\n" res.cost
+        res.bins_opened)

@@ -1,0 +1,10 @@
+(** Experiments E2-E4: the paper's figures as terminal charts.
+
+    - Figure 1: CDFF's rows of bins at a moment in time (snapshot of an
+      aligned random run).
+    - Figure 2: the binary input [sigma_8], one row per item.
+    - Figure 3: how CDFF packs [sigma_8], one row per bin. *)
+
+val figure1 : quick:bool -> string
+val figure2 : quick:bool -> string
+val figure3 : quick:bool -> string

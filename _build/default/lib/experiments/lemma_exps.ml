@@ -1,0 +1,81 @@
+open Dbp_util
+open Dbp_offline
+open Dbp_report
+
+let lemma31 ~quick =
+  let seeds = if quick then List.init 10 succ else List.init 40 succ in
+  let solver = Dbp_binpack.Solver.create () in
+  let table =
+    Table.create
+      ~columns:
+        [ "workload"; "instances"; "max OPT_R/lower"; "max OPT_R/2ceil-int"; "holds" ]
+  in
+  let families =
+    [
+      ("general mu=64", fun seed -> Workload_defs.general ~mu:64 ~seed);
+      ("general mu=256", fun seed -> Workload_defs.general ~mu:256 ~seed);
+      ("aligned mu=64", fun seed -> Workload_defs.aligned ~mu:64 ~seed);
+      ("uniform mu=64", fun seed -> Workload_defs.general_uniform ~mu:64 ~seed);
+    ]
+  in
+  List.iter
+    (fun (name, make) ->
+      let worst_lb = ref 0.0 and worst_ub = ref 0.0 and ok = ref true in
+      List.iter
+        (fun seed ->
+          let inst = make seed in
+          let b = Bounds.compute inst in
+          let opt = (Opt_repack.exact ~solver inst).cost in
+          if opt < b.lower || opt > b.lemma31_upper then ok := false;
+          worst_lb := Float.max !worst_lb (float_of_int opt /. float_of_int b.lower);
+          worst_ub :=
+            Float.max !worst_ub (float_of_int opt /. float_of_int b.lemma31_upper))
+        seeds;
+      Table.add_row table
+        [
+          name;
+          Table.cell_int (List.length seeds);
+          Table.cell_float !worst_lb;
+          Table.cell_float !worst_ub;
+          (if !ok then "yes" else "NO");
+        ])
+    families;
+  Common.section
+    "E5 / Lemma 3.1: lower <= OPT_R <= 2 * ceil-integral, measured"
+    (Table.render table
+    ^ "\n(both ratio columns must lie in [*, 1]: OPT_R/lower >= 1, OPT_R/upper <= 1)\n")
+
+let lemma33 ~quick =
+  let mus = if quick then [ 16; 64; 256 ] else [ 16; 64; 256; 1024; 4096 ] in
+  let seeds = Common.seeds ~quick in
+  let table =
+    Table.create
+      ~columns:[ "mu"; "max GN bins seen"; "bound 2+4sqrt(log mu)"; "holds" ]
+  in
+  List.iter
+    (fun mu ->
+      let worst = ref 0 in
+      List.iter
+        (fun seed ->
+          let factory, gauge = Dbp_core.Ha.instrumented () in
+          ignore (Dbp_sim.Engine.run factory (Workload_defs.general ~mu ~seed));
+          worst := max !worst gauge.max_gn;
+          let factory, gauge = Dbp_core.Ha.instrumented () in
+          let outcome =
+            (* the adversary stresses GN too *)
+            Dbp_workloads.Adversary.run ~mu:(max 2 (Ints.pow2 (Ints.ceil_log2 mu))) factory
+          in
+          ignore outcome;
+          worst := max !worst gauge.max_gn)
+        seeds;
+      let bound = Dbp_core.Theory.gn_bound (float_of_int mu) in
+      Table.add_row table
+        [
+          Table.cell_int mu;
+          Table.cell_int !worst;
+          Table.cell_float bound;
+          (if float_of_int !worst <= bound then "yes" else "NO");
+        ])
+    mus;
+  Common.section "E6 / Lemma 3.3: HA's general bins stay below 2 + 4 sqrt(log mu)"
+    (Table.render table)

@@ -1,0 +1,10 @@
+(** Experiments E5-E6: the structural lemmas of Section 3.
+
+    - E5 (Lemma 3.1): the repacking optimum is sandwiched —
+      [lower <= OPT_R <= int 2 ceil(S_t) dt <= 2 d + 2 span] — measured
+      on random instances.
+    - E6 (Lemma 3.3): HA never holds more than [2 + 4 sqrt(log mu)] GN
+      bins open, measured across workloads. *)
+
+val lemma31 : quick:bool -> string
+val lemma33 : quick:bool -> string

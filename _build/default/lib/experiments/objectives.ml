@@ -1,0 +1,53 @@
+open Dbp_analysis
+open Dbp_report
+
+let run ~quick =
+  let mu = if quick then 64 else 256 in
+  let solver = Dbp_binpack.Solver.create () in
+  let table =
+    Table.create
+      ~columns:
+        [ "workload"; "algorithm"; "usage-time"; "momentary"; "max-bins" ]
+  in
+  let families =
+    [
+      ("pinning", Workload_defs.pinning ~mu ~seed:0);
+      ("general", Workload_defs.general ~mu ~seed:1);
+      ("binary", Workload_defs.binary ~mu ~seed:0);
+    ]
+  in
+  let algorithms =
+    [
+      ("FF", Dbp_baselines.Any_fit.first_fit);
+      ("HA", Dbp_core.Ha.policy ());
+      ("CDFF", Dbp_core.Cdff.policy ());
+    ]
+  in
+  List.iter
+    (fun (wname, inst) ->
+      List.iter
+        (fun (aname, factory) ->
+          let res = Dbp_sim.Engine.run factory inst in
+          let m = Momentary.measure ~solver res inst in
+          Table.add_row table
+            [
+              wname;
+              aname;
+              Table.cell_ratio m.usage_ratio;
+              Table.cell_ratio m.momentary_ratio;
+              Table.cell_ratio m.max_bins_ratio;
+            ])
+        algorithms)
+    families;
+  Common.section
+    (Printf.sprintf
+       "E20 / goal functions compared (mu = %d): usage-time vs momentary vs max-bins"
+       mu)
+    (Table.render table
+    ^ "\nThe introduction's point, quantified. The max-bins objective scores FF on\n\
+       the pinning family at 1.00x — it never opens more bins than OPT's peak —\n\
+       while FF actually wastes ~mu/2 of all server time; only the usage-time\n\
+       objective sees the accumulated waste. Conversely, the momentary objective\n\
+       over-penalizes harmless transients: CDFF's t=0 burst on the binary input\n\
+       scores log mu + 1 momentarily although its total usage is within\n\
+       2 log log mu + 1 of optimal.\n")

@@ -1,0 +1,13 @@
+(** Experiment E20: MinUsageTime versus the older goal functions.
+
+    The paper's introduction motivates MinUsageTime by noting that both
+    the max-bins objective and the momentary objective "fail to
+    distinguish between the case where the online algorithm's cost is
+    high throughout the entire process and the case where it is only
+    momentarily high". This experiment measures all three objectives for
+    the same runs: on the pinning family First-Fit looks acceptable under
+    the momentary/max-bins objectives while its usage-time ratio explodes
+    — exactly the phenomenon the paper's objective is designed to
+    expose. *)
+
+val run : quick:bool -> string

@@ -1,0 +1,18 @@
+(** Experiment E19: the paper's open problem, probed empirically.
+
+    For aligned inputs the paper leaves a gap: CDFF is
+    [O(log log mu)]-competitive but the best known lower bound is
+    constant. Two measurements bear on it:
+
+    - the binary input [sigma_mu] *does* force CDFF itself to
+      [Theta(log log mu)] (its analysis is tight for CDFF) — but plain
+      First-Fit handles [sigma_mu] optimally, so [sigma_mu] is not a
+      lower bound against every algorithm;
+    - the Theorem 4.3 adversary restricted to aligned release times
+      loses most of its power: at odd ticks it can only release
+      duration-1 items, and the measured ratios flatten out.
+
+    Together these illustrate why the aligned case resists the paper's
+    lower-bound technique. *)
+
+val run : quick:bool -> string

@@ -1,0 +1,136 @@
+type entry = {
+  id : string;
+  experiment : string;
+  title : string;
+  run : quick:bool -> string;
+}
+
+let all =
+  [
+    {
+      id = "table1";
+      experiment = "E1";
+      title = "Table 1: bounds summary, measured";
+      run = (fun ~quick -> Table1.run ~quick);
+    };
+    {
+      id = "figure1";
+      experiment = "E2";
+      title = "Figure 1: CDFF bin rows snapshot";
+      run = (fun ~quick -> Figures.figure1 ~quick);
+    };
+    {
+      id = "figure2";
+      experiment = "E3";
+      title = "Figure 2: binary input sigma_8";
+      run = (fun ~quick -> Figures.figure2 ~quick);
+    };
+    {
+      id = "figure3";
+      experiment = "E4";
+      title = "Figure 3: CDFF packing of sigma_8";
+      run = (fun ~quick -> Figures.figure3 ~quick);
+    };
+    {
+      id = "lemma31";
+      experiment = "E5";
+      title = "Lemma 3.1: OPT_R sandwich bounds";
+      run = (fun ~quick -> Lemma_exps.lemma31 ~quick);
+    };
+    {
+      id = "lemma33";
+      experiment = "E6";
+      title = "Lemma 3.3: HA GN-bin bound";
+      run = (fun ~quick -> Lemma_exps.lemma33 ~quick);
+    };
+    {
+      id = "theorem32";
+      experiment = "E7";
+      title = "Theorem 3.2: HA ~ sqrt(log mu) on general inputs";
+      run = (fun ~quick -> Theorem_exps.theorem32 ~quick);
+    };
+    {
+      id = "theorem43";
+      experiment = "E8";
+      title = "Theorem 4.3: adversarial lower bound";
+      run = (fun ~quick -> Theorem_exps.theorem43 ~quick);
+    };
+    {
+      id = "corollary58";
+      experiment = "E9";
+      title = "Corollary 5.8: exact row-count identity";
+      run = (fun ~quick -> Binary_exps.corollary58 ~quick);
+    };
+    {
+      id = "lemma59";
+      experiment = "E10";
+      title = "Lemma 5.9 / Corollary 5.10: longest zero runs";
+      run = (fun ~quick -> Binary_exps.lemma59 ~quick);
+    };
+    {
+      id = "prop53";
+      experiment = "E11";
+      title = "Proposition 5.3: CDFF on sigma_mu";
+      run = (fun ~quick -> Binary_exps.prop53 ~quick);
+    };
+    {
+      id = "theorem51";
+      experiment = "E12";
+      title = "Theorem 5.1: CDFF ~ log log mu on aligned inputs";
+      run = (fun ~quick -> Theorem_exps.theorem51 ~quick);
+    };
+    {
+      id = "nonclairvoyant";
+      experiment = "E13";
+      title = "Table 1 row 3: pinning family, FF ~ mu";
+      run = (fun ~quick -> Contrast_exps.nonclairvoyant ~quick);
+    };
+    {
+      id = "ablation_ha";
+      experiment = "E14";
+      title = "Ablation: HA threshold profile";
+      run = (fun ~quick -> Ablations.ha_threshold ~quick);
+    };
+    {
+      id = "ablation_cdff";
+      experiment = "E15";
+      title = "Ablation: CDFF dynamic vs static rows";
+      run = (fun ~quick -> Ablations.cdff_rows ~quick);
+    };
+    {
+      id = "ablation_fit";
+      experiment = "E16";
+      title = "Ablation: Any-Fit rule inside HA";
+      run = (fun ~quick -> Ablations.any_fit_rule ~quick);
+    };
+    {
+      id = "cd_killer";
+      experiment = "E17";
+      title = "CD killer: Omega(log mu) for pure classify-by-duration";
+      run = (fun ~quick -> Contrast_exps.cd_killer ~quick);
+    };
+    {
+      id = "cloud";
+      experiment = "E18";
+      title = "Cloud-gaming trace scenario";
+      run = (fun ~quick -> Contrast_exps.cloud ~quick);
+    };
+    {
+      id = "open_problem";
+      experiment = "E19";
+      title = "Open problem: aligned lower-bound probes";
+      run = (fun ~quick -> Open_problem.run ~quick);
+    };
+    {
+      id = "objectives";
+      experiment = "E20";
+      title = "Goal functions: usage-time vs momentary vs max-bins";
+      run = (fun ~quick -> Objectives.run ~quick);
+    };
+  ]
+
+let find key =
+  let key = String.lowercase_ascii key in
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.id = key || String.lowercase_ascii e.experiment = key)
+    all

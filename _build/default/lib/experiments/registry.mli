@@ -1,0 +1,16 @@
+(** The experiment registry: stable ids (DESIGN.md's experiment index)
+    mapped to runners. Used by both the bench harness (run everything)
+    and the CLI (run one by id). *)
+
+type entry = {
+  id : string;  (** e.g. "table1", "theorem43" *)
+  experiment : string;  (** DESIGN.md id, e.g. "E1" *)
+  title : string;
+  run : quick:bool -> string;
+}
+
+val all : entry list
+(** In presentation order. *)
+
+val find : string -> entry option
+(** Look up by [id] or [experiment] (case-insensitive). *)

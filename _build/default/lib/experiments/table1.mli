@@ -1,0 +1,8 @@
+(** Experiment E1: the paper's Table 1, regenerated empirically.
+
+    For each cell of the bounds table the harness measures the relevant
+    algorithm on the relevant input family across a [mu] sweep, reports
+    the measured ratio at the largest [mu], and fits the growth model the
+    paper predicts. *)
+
+val run : quick:bool -> string

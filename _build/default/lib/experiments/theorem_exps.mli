@@ -1,0 +1,12 @@
+(** Experiments E7, E8, E12: the paper's three headline bounds.
+
+    - E7 (Theorem 3.2): HA's measured competitive ratio on general
+      inputs grows like [sqrt(log mu)].
+    - E8 (Theorem 4.3): the adaptive adversary forces every implemented
+      online algorithm to [Omega(sqrt(log mu))].
+    - E12 (Theorem 5.1): CDFF's ratio on aligned inputs grows like
+      [log log mu] and beats HA there. *)
+
+val theorem32 : quick:bool -> string
+val theorem43 : quick:bool -> string
+val theorem51 : quick:bool -> string

@@ -1,0 +1,43 @@
+open Dbp_workloads
+
+let horizon_for mu = max 64 (min (4 * mu) 2048)
+
+let general ~mu ~seed =
+  General_random.generate
+    ~config:
+      {
+        General_random.default with
+        horizon = horizon_for mu;
+        max_duration = mu;
+        dist = Dyadic_uniform;
+      }
+    ~seed ()
+
+let general_uniform ~mu ~seed =
+  General_random.generate
+    ~config:
+      {
+        General_random.default with
+        horizon = horizon_for mu;
+        max_duration = mu;
+        dist = Uniform;
+      }
+    ~seed ()
+
+let aligned ~mu ~seed =
+  Aligned_random.generate
+    ~config:
+      {
+        Aligned_random.default with
+        top_class = Dbp_util.Ints.ceil_log2 mu;
+        horizon = horizon_for mu;
+      }
+    ~seed ()
+
+let binary ~mu ~seed:_ = Binary_input.generate ~mu
+
+let pinning ~mu ~seed:_ =
+  let k = min mu 256 in
+  Pinning.generate ~groups:k ~k ~mu ()
+
+let cd_killer ~mu ~seed:_ = Cd_killer.generate ~mu ()

@@ -1,0 +1,25 @@
+(** Canonical workload builders used across experiments, parameterized
+    by [mu] and [seed] so sweeps are reproducible. *)
+
+open Dbp_instance
+
+val general : mu:int -> seed:int -> Instance.t
+(** General random clairvoyant workload with dyadic-uniform durations,
+    [max_duration = mu], horizon scaled with (and capped by) [mu]. *)
+
+val general_uniform : mu:int -> seed:int -> Instance.t
+(** Same but uniform durations. *)
+
+val aligned : mu:int -> seed:int -> Instance.t
+(** Aligned random workload with top class [log2 mu]. [mu] must be a
+    power of two. *)
+
+val binary : mu:int -> seed:int -> Instance.t
+(** The deterministic binary input (seed ignored). *)
+
+val pinning : mu:int -> seed:int -> Instance.t
+(** The First-Fit pinning instance (seed ignored); group count capped so
+    instance sizes stay manageable. *)
+
+val cd_killer : mu:int -> seed:int -> Instance.t
+(** One thin item per class at every legal arrival (seed ignored). *)

@@ -1,0 +1,1 @@
+lib/instance/instance.ml: Array Dbp_util Float Format Hashtbl Item List Load

@@ -1,0 +1,1 @@
+lib/instance/io.ml: Array Buffer Dbp_util Fun Instance Item List Load Printf String

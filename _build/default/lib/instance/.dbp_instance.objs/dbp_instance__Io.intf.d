@@ -1,0 +1,1 @@
+lib/instance/io.mli: Instance

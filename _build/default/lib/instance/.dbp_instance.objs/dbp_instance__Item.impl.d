@@ -1,0 +1,1 @@
+lib/instance/item.ml: Dbp_util Format Int Ints Load

@@ -1,0 +1,1 @@
+lib/instance/item.mli: Dbp_util Format Load

@@ -1,0 +1,1 @@
+lib/instance/profile.ml: Array Dbp_util Hashtbl Instance Int Ints Item List Load Option

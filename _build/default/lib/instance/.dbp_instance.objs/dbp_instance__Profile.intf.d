@@ -1,0 +1,1 @@
+lib/instance/profile.mli: Instance

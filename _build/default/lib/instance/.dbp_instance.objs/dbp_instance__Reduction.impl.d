@@ -1,0 +1,1 @@
+lib/instance/reduction.ml: Array Dbp_util Instance Ints Item List

@@ -1,0 +1,1 @@
+lib/instance/reduction.mli: Instance Item

@@ -1,0 +1,91 @@
+open Dbp_util
+
+type t = { items : Item.t array }
+
+let of_items l =
+  let items = Array.of_list l in
+  Array.sort Item.compare items;
+  let seen = Hashtbl.create (Array.length items) in
+  Array.iter
+    (fun (r : Item.t) ->
+      if Hashtbl.mem seen r.id then invalid_arg "Instance.of_items: duplicate item id";
+      Hashtbl.add seen r.id ())
+    items;
+  { items }
+
+let items t = t.items
+let length t = Array.length t.items
+let is_empty t = length t = 0
+
+let find t id =
+  match Array.find_opt (fun (r : Item.t) -> r.id = id) t.items with
+  | Some r -> r
+  | None -> raise Not_found
+
+let nonempty t op = if is_empty t then invalid_arg ("Instance." ^ op ^ ": empty instance")
+
+let fold_durations f init t =
+  Array.fold_left (fun acc r -> f acc (Item.duration r)) init t.items
+
+let min_duration t =
+  nonempty t "min_duration";
+  fold_durations min max_int t
+
+let max_duration t =
+  nonempty t "max_duration";
+  fold_durations max 0 t
+
+let mu t = float_of_int (max_duration t) /. float_of_int (min_duration t)
+let log2_mu t = Float.log2 (mu t)
+
+let start_time t =
+  nonempty t "start_time";
+  t.items.(0).arrival
+
+let end_time t =
+  nonempty t "end_time";
+  Array.fold_left (fun acc (r : Item.t) -> max acc r.departure) 0 t.items
+
+let demand_units t =
+  Array.fold_left
+    (fun acc (r : Item.t) -> acc + (Load.to_units r.size * Item.duration r))
+    0 t.items
+
+let demand t = float_of_int (demand_units t) /. float_of_int Load.capacity
+
+(* Sweep the interval endpoints; count coverage. Items are sorted by
+   arrival so a single pass with a running frontier suffices. *)
+let span t =
+  if is_empty t then 0
+  else begin
+    let total = ref 0 and frontier = ref t.items.(0).arrival in
+    Array.iter
+      (fun (r : Item.t) ->
+        if r.arrival > !frontier then frontier := r.arrival;
+        if r.departure > !frontier then begin
+          total := !total + (r.departure - !frontier);
+          frontier := r.departure
+        end)
+      t.items;
+    !total
+  end
+
+let active_at t at =
+  Array.to_list t.items |> List.filter (fun r -> Item.is_active r ~at)
+
+let is_aligned t = Array.for_all Item.is_aligned t.items
+let is_contiguous t = is_empty t || span t = end_time t - start_time t
+
+let union a b = of_items (Array.to_list a.items @ Array.to_list b.items)
+
+let shift t offset =
+  of_items
+    (Array.to_list t.items
+    |> List.map (fun (r : Item.t) ->
+           Item.make ~id:r.id ~arrival:(r.arrival + offset)
+             ~departure:(r.departure + offset) ~size:r.size))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d items:@,%a@]" (length t)
+    (Format.pp_print_array ~pp_sep:Format.pp_print_cut Item.pp)
+    t.items

@@ -1,0 +1,64 @@
+(** An input sequence [sigma]: a finite set of items with distinct ids,
+    stored in arrival order (ties broken by id — the order the online
+    algorithm must handle them in). *)
+
+type t
+
+val of_items : Item.t list -> t
+(** Sorts by [(arrival, id)]. Raises [Invalid_argument] on duplicate
+    ids. The empty instance is allowed. *)
+
+val items : t -> Item.t array
+(** The items in processing order. Do not mutate. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val find : t -> int -> Item.t
+(** Item by id; raises [Not_found]. *)
+
+val min_duration : t -> int
+(** Raises [Invalid_argument] when empty. *)
+
+val max_duration : t -> int
+
+val mu : t -> float
+(** max/min duration ratio; 1.0 for instances with a single duration. *)
+
+val log2_mu : t -> float
+(** [log2 (mu t)], the quantity the paper's bounds are phrased in. *)
+
+val start_time : t -> int
+(** Earliest arrival. *)
+
+val end_time : t -> int
+(** Latest departure. *)
+
+val demand_units : t -> int
+(** d(sigma) in load-units x ticks: [sum size * duration]. *)
+
+val demand : t -> float
+(** d(sigma) in bin x ticks. *)
+
+val span : t -> int
+(** Measure (in ticks) of the union of the item intervals. *)
+
+val active_at : t -> int -> Item.t list
+(** Items whose interval contains the tick, in processing order. *)
+
+val is_aligned : t -> bool
+(** Definition 2.1 holds for every item. *)
+
+val is_contiguous : t -> bool
+(** The union of intervals is a single interval (the standing assumption
+    of Section 3; [span = end_time - start_time]). Empty instances are
+    contiguous. *)
+
+val union : t -> t -> t
+(** Merge two instances; ids must remain distinct. *)
+
+val shift : t -> int -> t
+(** Translate every item in time by a (possibly negative) offset; arrival
+    times must remain non-negative. *)
+
+val pp : Format.formatter -> t -> unit

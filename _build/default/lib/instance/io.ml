@@ -1,0 +1,60 @@
+open Dbp_util
+
+let header = "id,arrival,departure,size"
+
+let to_channel oc inst =
+  output_string oc header;
+  output_char oc '\n';
+  Array.iter
+    (fun (r : Item.t) ->
+      Printf.fprintf oc "%d,%d,%d,%.9f\n" r.id r.arrival r.departure
+        (Load.to_float r.size))
+    (Instance.items inst)
+
+let to_file ~path inst =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc inst)
+
+let to_string inst =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun (r : Item.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%.9f\n" r.id r.arrival r.departure
+           (Load.to_float r.size)))
+    (Instance.items inst);
+  Buffer.contents buf
+
+let parse_line ~lineno line =
+  match String.split_on_char ',' line with
+  | [ id; arrival; departure; size ] -> (
+      try
+        Item.make ~id:(int_of_string (String.trim id))
+          ~arrival:(int_of_string (String.trim arrival))
+          ~departure:(int_of_string (String.trim departure))
+          ~size:(Load.of_float (float_of_string (String.trim size)))
+      with
+      | Failure _ -> failwith (Printf.sprintf "line %d: malformed number" lineno)
+      | Invalid_argument msg -> failwith (Printf.sprintf "line %d: %s" lineno msg))
+  | _ -> failwith (Printf.sprintf "line %d: expected 4 comma-separated fields" lineno)
+
+let of_string s =
+  let items = ref [] in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i line ->
+         let line = String.trim line in
+         let is_header = line = header in
+         if line <> "" && (not is_header) && line.[0] <> '#' then
+           items := parse_line ~lineno:(i + 1) line :: !items);
+  try Instance.of_items !items
+  with Invalid_argument msg -> failwith msg
+
+let of_file ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,17 @@
+(** Plain-text instance exchange, so external traces can be packed and
+    instances can be archived with experiment results.
+
+    Format: one item per line, [id,arrival,departure,size], where [size]
+    is a decimal fraction of a bin in [0, 1]. Lines starting with ['#']
+    and blank lines are ignored. A header line [id,arrival,...] is
+    tolerated on input and written on output. *)
+
+val to_channel : out_channel -> Instance.t -> unit
+val to_file : path:string -> Instance.t -> unit
+val to_string : Instance.t -> string
+
+val of_string : string -> Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input;
+    item validation errors ([Invalid_argument]) are converted too. *)
+
+val of_file : path:string -> Instance.t

@@ -1,0 +1,23 @@
+open Dbp_util
+
+type t = { id : int; arrival : int; departure : int; size : Load.t }
+
+let make ~id ~arrival ~departure ~size =
+  if arrival < 0 then invalid_arg "Item.make: negative arrival";
+  if departure <= arrival then invalid_arg "Item.make: departure <= arrival";
+  if Load.to_units size > Load.capacity then invalid_arg "Item.make: size > 1 bin";
+  { id; arrival; departure; size }
+
+let duration r = r.departure - r.arrival
+let is_active r ~at = r.arrival <= at && at < r.departure
+let length_class r = Ints.ceil_log2 (duration r)
+let ha_class r = max 1 (length_class r)
+let arrival_block r = Ints.ceil_div r.arrival (Ints.pow2 (ha_class r))
+let ha_type r = (ha_class r, arrival_block r)
+let is_aligned r = r.arrival mod Ints.pow2 (length_class r) = 0
+
+let compare a b =
+  match Int.compare a.arrival b.arrival with 0 -> Int.compare a.id b.id | c -> c
+
+let pp ppf r =
+  Format.fprintf ppf "#%d[%d,%d)x%a" r.id r.arrival r.departure Load.pp r.size

@@ -1,0 +1,46 @@
+(** Items (requests) of the dynamic bin packing problem.
+
+    An item occupies [size] of a bin during the half-open tick interval
+    [[arrival, departure)). The paper's closed intervals [[t_r, f_r]] have
+    the same measure; half-open intervals make "departures happen before
+    arrivals at the same instant" (the paper's [t^-]/[t^+] convention)
+    unambiguous. *)
+
+open Dbp_util
+
+type t = private { id : int; arrival : int; departure : int; size : Load.t }
+
+val make : id:int -> arrival:int -> departure:int -> size:Load.t -> t
+(** Requires [0 <= arrival < departure] and [size <= Load.one]. *)
+
+val duration : t -> int
+(** [departure - arrival], always >= 1. *)
+
+val is_active : t -> at:int -> bool
+(** Whether [at] lies in [[arrival, departure)). *)
+
+val length_class : t -> int
+(** The index [i >= 0] with [duration] in [(2^(i-1), 2^i]]; class 0 is
+    duration 1. This is the classification CDFF and aligned inputs use. *)
+
+val ha_class : t -> int
+(** [max 1 (length_class r)]: the paper's HA assumes classes start at 1
+    (so the [1/(2 sqrt i)] threshold is defined); duration-1 items join
+    class 1. *)
+
+val arrival_block : t -> int
+(** The index [c >= 0] with [arrival] in [((c-1)*2^i, c*2^i]] for
+    [i = ha_class]; [arrival = 0] gives [c = 0]. *)
+
+val ha_type : t -> int * int
+(** The HA type [(i, c)] = [(ha_class, arrival_block)]. *)
+
+val is_aligned : t -> bool
+(** Whether the item respects Definition 2.1: arrival is a multiple of
+    [2^length_class]. *)
+
+val compare : t -> t -> int
+(** Orders by [(arrival, id)] — the order the online algorithm must
+    process simultaneous arrivals in. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+open Dbp_util
+
+type segment = { start : int; stop : int; load_units : int; count : int }
+type t = { segs : segment array }
+
+(* Sweep the +size / -size deltas at each event tick. *)
+let of_instance inst =
+  let deltas = Hashtbl.create 64 in
+  let add t du dc =
+    let u, c = Option.value (Hashtbl.find_opt deltas t) ~default:(0, 0) in
+    Hashtbl.replace deltas t (u + du, c + dc)
+  in
+  Array.iter
+    (fun (r : Item.t) ->
+      add r.arrival (Load.to_units r.size) 1;
+      add r.departure (-Load.to_units r.size) (-1))
+    (Instance.items inst);
+  let ticks = Hashtbl.fold (fun t _ acc -> t :: acc) deltas [] |> List.sort Int.compare in
+  let segs = ref [] in
+  let load = ref 0 and count = ref 0 in
+  let rec walk = function
+    | [] | [ _ ] -> ()
+    | t0 :: (t1 :: _ as rest) ->
+        let du, dc = Hashtbl.find deltas t0 in
+        load := !load + du;
+        count := !count + dc;
+        if !count > 0 then
+          segs := { start = t0; stop = t1; load_units = !load; count = !count } :: !segs;
+        walk rest
+  in
+  walk ticks;
+  { segs = Array.of_list (List.rev !segs) }
+
+let segments t = Array.to_list t.segs
+let max_load_units t = Array.fold_left (fun acc s -> max acc s.load_units) 0 t.segs
+let max_count t = Array.fold_left (fun acc s -> max acc s.count) 0 t.segs
+
+let demand_units t =
+  Array.fold_left (fun acc s -> acc + (s.load_units * (s.stop - s.start))) 0 t.segs
+
+let ceil_integral t =
+  Array.fold_left
+    (fun acc s -> acc + (Ints.ceil_div s.load_units Load.capacity * (s.stop - s.start)))
+    0 t.segs
+
+let span t = Array.fold_left (fun acc s -> acc + (s.stop - s.start)) 0 t.segs
+
+let load_at t at =
+  match Array.find_opt (fun s -> s.start <= at && at < s.stop) t.segs with
+  | Some s -> s.load_units
+  | None -> 0

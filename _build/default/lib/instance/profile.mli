@@ -1,0 +1,38 @@
+(** The load profile [S_t]: total active load as a step function of time.
+
+    The paper's bounds are integrals over this function:
+    [d(sigma) = int S_t dt] (the time-space bound) and
+    [int ceil(S_t) dt], the fractional-rounding lower bound on
+    [OPT_R]. Segments are maximal half-open intervals on which the active
+    item set is constant. *)
+
+type segment = {
+  start : int;
+  stop : int;  (** half-open: the segment covers [[start, stop)). *)
+  load_units : int;  (** total active load, in {!Load.capacity} units. *)
+  count : int;  (** number of active items. *)
+}
+
+type t
+
+val of_instance : Instance.t -> t
+
+val segments : t -> segment list
+(** Only segments with at least one active item, in time order. *)
+
+val max_load_units : t -> int
+val max_count : t -> int
+
+val demand_units : t -> int
+(** [int S_t dt] in load-units x ticks; equals
+    {!Instance.demand_units}. *)
+
+val ceil_integral : t -> int
+(** [int ceil(S_t) dt] in bin x ticks — a lower bound on any packing's
+    usage time, repacking or not. *)
+
+val span : t -> int
+(** Total tick measure with at least one active item. *)
+
+val load_at : t -> int -> int
+(** [S_t] in load units at a tick (0 outside every segment). *)

@@ -1,0 +1,12 @@
+open Dbp_util
+
+let reduced_departure (r : Item.t) =
+  let i, c = Item.ha_type r in
+  (c + 1) * Ints.pow2 i
+
+let apply inst =
+  Instance.of_items
+    (Array.to_list (Instance.items inst)
+    |> List.map (fun (r : Item.t) ->
+           Item.make ~id:r.id ~arrival:r.arrival ~departure:(reduced_departure r)
+             ~size:r.size))

@@ -1,0 +1,20 @@
+(** The departure-rounding reduction of Section 3.
+
+    [sigma'] extends each item's departure to the end of the arrival
+    block of its HA type: an item of type [(i, c)] departs at
+    [(c+1) * 2^i]. Consequences used by the paper's analysis, all
+    property-tested here:
+
+    - intersecting items of equal type depart together in [sigma'];
+    - each duration grows by a factor < 4 (Observations 1 and 2:
+      [span(sigma') <= 4 span(sigma)], [d(sigma') <= 4 d(sigma)]);
+    - for aligned inputs the reduction rounds the departure up to the
+      next multiple of [2^i]. *)
+
+val apply : Instance.t -> Instance.t
+(** The reduced instance [sigma']; item ids and arrivals are
+    preserved. *)
+
+val reduced_departure : Item.t -> int
+(** [(c + 1) * 2^i] for the item's HA type [(i, c)]. Always at least the
+    item's own departure. *)

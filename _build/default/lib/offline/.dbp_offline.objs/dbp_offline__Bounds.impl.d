@@ -1,0 +1,1 @@
+lib/offline/bounds.ml: Dbp_instance Dbp_util Ints Load Profile

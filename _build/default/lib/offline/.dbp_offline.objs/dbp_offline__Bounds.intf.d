@@ -1,0 +1,1 @@
+lib/offline/bounds.mli: Dbp_instance

@@ -1,0 +1,1 @@
+lib/offline/dual_coloring.ml: Dbp_baselines Dbp_sim Offline_ffd Opt_repack

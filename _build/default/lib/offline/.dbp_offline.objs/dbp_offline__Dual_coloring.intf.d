@@ -1,0 +1,1 @@
+lib/offline/dual_coloring.mli: Dbp_binpack Dbp_instance

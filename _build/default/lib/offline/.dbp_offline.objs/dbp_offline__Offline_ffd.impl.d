@@ -1,0 +1,1 @@
+lib/offline/offline_ffd.ml: Array Dbp_instance Dbp_util Instance Int Item List Load Timeline Vec

@@ -1,0 +1,1 @@
+lib/offline/offline_ffd.mli: Dbp_instance

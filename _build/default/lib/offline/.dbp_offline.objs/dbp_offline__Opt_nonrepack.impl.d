@@ -1,0 +1,1 @@
+lib/offline/opt_nonrepack.ml: Array Bounds Dbp_baselines Dbp_instance Dbp_sim Dbp_util Instance Item List Load Vec

@@ -1,0 +1,1 @@
+lib/offline/opt_nonrepack.mli: Dbp_instance

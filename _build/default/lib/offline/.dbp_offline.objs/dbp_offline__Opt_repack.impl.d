@@ -1,0 +1,1 @@
+lib/offline/opt_repack.ml: Array Dbp_binpack Dbp_instance Dbp_util Hashtbl Heuristics Instance Int Item List Load Solver

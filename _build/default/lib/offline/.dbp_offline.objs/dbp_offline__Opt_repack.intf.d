@@ -1,0 +1,1 @@
+lib/offline/opt_repack.mli: Dbp_binpack Dbp_instance Solver

@@ -1,0 +1,19 @@
+open Dbp_util
+open Dbp_instance
+
+type t = {
+  demand_units : int;
+  span : int;
+  ceil_integral : int;
+  lower : int;
+  lemma31_upper : int;
+}
+
+let compute inst =
+  let profile = Profile.of_instance inst in
+  let demand_units = Profile.demand_units profile in
+  let span = Profile.span profile in
+  let ceil_integral = Profile.ceil_integral profile in
+  { demand_units; span; ceil_integral; lower = ceil_integral; lemma31_upper = 2 * ceil_integral }
+
+let demand_ceil t = Ints.ceil_div t.demand_units Load.capacity

@@ -1,0 +1,22 @@
+(** The paper's offline bounds on the MinUsageTime optimum (Section 3).
+
+    All costs are in bin x ticks. For every instance:
+    [lower <= OPT_R <= OPT_NR] and [OPT_R <= lemma31_upper]. *)
+
+type t = {
+  demand_units : int;  (** d(sigma), in load-units x ticks *)
+  span : int;  (** span(sigma) *)
+  ceil_integral : int;  (** int ceil(S_t) dt *)
+  lower : int;
+      (** best provable lower bound on OPT_R (and hence on every
+          algorithm): the ceil integral, which dominates both the
+          time-space bound [d] and the span bound. *)
+  lemma31_upper : int;
+      (** Lemma 3.1(1): [OPT_R <= int 2 ceil(S_t) dt]. Also at most
+          [2 d + 2 span] (Lemma 3.1(2)), which it dominates. *)
+}
+
+val compute : Dbp_instance.Instance.t -> t
+
+val demand_ceil : t -> int
+(** [ceil (d sigma)] in bin x ticks — the time-space bound. *)

@@ -1,0 +1,14 @@
+(* The substitute combines two feasible non-repacking packings and takes
+   the cheaper: Offline_ffd covers the pinning-style traps (long items
+   first, so nothing pins a bin), Span_greedy covers workloads where
+   arrival-order consolidation wins. Either alone is a valid OPT_NR
+   upper bound; the minimum is a tighter one. *)
+
+let cost inst =
+  min
+    (Offline_ffd.pack inst).cost
+    (Dbp_sim.Engine.run Dbp_baselines.Span_greedy.policy inst).cost
+
+let ratio_to_opt_r ?solver inst =
+  let opt = Opt_repack.exact ?solver inst in
+  if opt.cost = 0 then 1.0 else float_of_int (cost inst) /. float_of_int opt.cost

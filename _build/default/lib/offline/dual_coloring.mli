@@ -1,0 +1,18 @@
+(** Stand-in for Ren & Tang's Dual Coloring offline 4-approximation.
+
+    The paper uses DC [10] only to bridge the repacking and non-repacking
+    optima in the lower-bound proof (Theorem 4.2: [DC <= 4 OPT_R], and DC
+    never repacks, so [OPT_NR <= 4 OPT_R]). The DC paper is not available
+    in this environment; per DESIGN.md we substitute the cheaper of two
+    feasible non-repacking packings — {!Offline_ffd}
+    (longest-duration-first, immune to the pinning trap) and the online
+    span-greedy — and *measure* the ratio to the exact [OPT_R] instead
+    of inheriting a proof. The experiment harness (E13) checks the
+    measured ratio stays below 4 on every evaluated family;
+    {!ratio_to_opt_r} exposes the measurement. *)
+
+val cost : Dbp_instance.Instance.t -> int
+(** Cost of the substitute non-repacking offline packing. *)
+
+val ratio_to_opt_r : ?solver:Dbp_binpack.Solver.t -> Dbp_instance.Instance.t -> float
+(** [cost / OPT_R] — the empirical analogue of Theorem 4.2's factor 4. *)

@@ -1,0 +1,71 @@
+open Dbp_util
+open Dbp_instance
+
+type result = { cost : int; bins : int }
+
+type bin = {
+  mutable members : Item.t list;
+  profile : Timeline.t;  (** the bin's load over time *)
+}
+
+let pack_bins inst =
+  let items = Array.copy (Instance.items inst) in
+  (* Longest first; ties by arrival then id for determinism. *)
+  Array.sort
+    (fun (a : Item.t) (b : Item.t) ->
+      match Int.compare (Item.duration b) (Item.duration a) with
+      | 0 -> Item.compare a b
+      | c -> c)
+    items;
+  let bins = Vec.create () in
+  let placed = Array.map (fun (r : Item.t) -> (r.id, -1)) items in
+  Array.iteri
+    (fun i (r : Item.t) ->
+      let fits b =
+        Timeline.max_on b.profile ~lo:r.arrival ~hi:r.departure + Load.to_units r.size
+        <= Load.capacity
+      in
+      let target =
+        match Vec.find_index fits bins with
+        | Some j -> j
+        | None ->
+            Vec.push bins { members = []; profile = Timeline.create () };
+            Vec.length bins - 1
+      in
+      let b = Vec.get bins target in
+      b.members <- r :: b.members;
+      Timeline.add b.profile ~lo:r.arrival ~hi:r.departure
+        ~units:(Load.to_units r.size);
+      placed.(i) <- (r.id, target))
+    items;
+  (bins, placed)
+
+(* A bin's usage is the measure of the union of its member intervals,
+   not the bounding box: long gaps between tenancies are not billed (the
+   bin closes when empty; a new bin would be opened instead — costing
+   the same — so this matches the online accounting). *)
+let bin_usage b =
+  let sorted =
+    List.sort (fun (a : Item.t) (b : Item.t) -> Int.compare a.arrival b.arrival) b.members
+  in
+  let total = ref 0 and frontier = ref min_int in
+  List.iter
+    (fun (m : Item.t) ->
+      if m.arrival > !frontier then frontier := m.arrival;
+      if m.departure > !frontier then begin
+        total := !total + (m.departure - !frontier);
+        frontier := m.departure
+      end)
+    sorted;
+  !total
+
+let pack inst =
+  let bins, _ = pack_bins inst in
+  {
+    cost = Vec.fold_left (fun acc b -> acc + bin_usage b) 0 bins;
+    bins = Vec.length bins;
+  }
+
+let assignment inst =
+  let _, placed = pack_bins inst in
+  Array.to_list placed

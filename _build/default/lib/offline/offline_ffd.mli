@@ -1,0 +1,21 @@
+(** Offline First-Fit Decreasing by duration — a non-repacking offline
+    packer in the spirit of the busy-time 4-approximations (Flammini et
+    al.; Ren & Tang's Dual Coloring plays this role in the paper).
+
+    Items are processed longest-duration first (offline: the whole input
+    is visible) and placed into the first bin that can hold them for
+    their entire interval; long items therefore share bins with other
+    long items instead of being pinned under short ones, which is exactly
+    the failure mode that makes *online* First-Fit [Theta(mu)]. The
+    result is a feasible non-repacking packing, i.e. an upper bound on
+    [OPT_NR]. *)
+
+type result = {
+  cost : int;  (** total usage time, bin x ticks *)
+  bins : int;
+}
+
+val pack : Dbp_instance.Instance.t -> result
+
+val assignment : Dbp_instance.Instance.t -> (int * int) list
+(** [(item_id, bin_index)] of the packing, for inspection and tests. *)

@@ -1,0 +1,89 @@
+open Dbp_util
+open Dbp_instance
+
+type result = { cost : int; exact : bool; nodes : int }
+
+(* Bin state during the search. Items are placed in arrival order, so a
+   bin's load at a candidate's arrival accounts for every member that
+   can ever overlap it: members only depart afterwards, hence "fits at
+   arrival" = "fits forever". *)
+type bin = {
+  mutable members : Item.t list;
+  mutable span : int;  (** measure of the union of member intervals *)
+  mutable frontier : int;  (** latest departure seen *)
+}
+
+exception Node_budget
+
+let upper_bound inst =
+  let candidates =
+    [ Dbp_baselines.Any_fit.first_fit; Dbp_baselines.Span_greedy.policy ]
+  in
+  List.fold_left
+    (fun acc policy -> min acc (Dbp_sim.Engine.run policy inst).cost)
+    max_int candidates
+
+let exact ?(node_limit = 2_000_000) inst =
+  let n = Instance.length inst in
+  if n > 24 then None
+  else if n = 0 then Some { cost = 0; exact = true; nodes = 0 }
+  else begin
+    let items = Instance.items inst in
+    let lower = (Bounds.compute inst).lower in
+    let best = ref max_int in
+    let bins = Vec.create () in
+    let nodes = ref 0 in
+    let exception Optimal in
+    let load_at (b : bin) t =
+      List.fold_left
+        (fun acc (m : Item.t) -> if m.departure > t then acc + Load.to_units m.size else acc)
+        0 b.members
+    in
+    let total_span () = Vec.fold_left (fun acc b -> acc + b.span) 0 bins in
+    let rec place i =
+      incr nodes;
+      if !nodes > node_limit then raise Node_budget;
+      if i = n then begin
+        let c = total_span () in
+        if c < !best then best := c;
+        if !best <= lower then raise Optimal
+      end
+      else begin
+        let r = items.(i) in
+        let used = Vec.length bins in
+        let try_bin b =
+          (* add r, recurse, undo *)
+          let old_span = b.span and old_frontier = b.frontier in
+          let gap_start = max b.frontier r.arrival in
+          b.span <- b.span + max 0 (r.departure - gap_start);
+          b.frontier <- max b.frontier r.departure;
+          b.members <- r :: b.members;
+          place (i + 1);
+          b.members <- List.tl b.members;
+          b.span <- old_span;
+          b.frontier <- old_frontier
+        in
+        if total_span () < !best then begin
+          for j = 0 to used - 1 do
+            let b = Vec.get bins j in
+            if load_at b r.arrival + Load.to_units r.size <= Load.capacity then try_bin b
+          done;
+          (* One fresh bin; further empties are symmetric. *)
+          let b = { members = []; span = 0; frontier = r.arrival } in
+          Vec.push bins b;
+          try_bin b;
+          ignore (Vec.pop bins)
+        end
+      end
+    in
+    let exact =
+      try
+        place 0;
+        true
+      with
+      | Optimal -> true
+      | Node_budget -> false
+    in
+    let cost = if !best = max_int then upper_bound inst else !best in
+    Some { cost; exact; nodes = !nodes }
+  end

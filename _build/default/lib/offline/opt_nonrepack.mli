@@ -1,0 +1,25 @@
+(** The non-repacking optimum [OPT_NR]: the cheapest assignment of items
+    to bins that is never allowed to move an item.
+
+    [OPT_R <= OPT_NR <= ON] for every valid online algorithm [ON]. The
+    exact value is found by branch-and-bound over assignments and is
+    practical only for small instances; larger instances get a sandwich
+    [OPT_R <= OPT_NR <= upper_bound] from the exact repacking optimum and
+    the best feasible non-repacking packing we can construct. *)
+
+type result = {
+  cost : int;  (** bin x ticks *)
+  exact : bool;  (** proven optimal *)
+  nodes : int;
+}
+
+val exact : ?node_limit:int -> Dbp_instance.Instance.t -> result option
+(** [None] when the instance exceeds 24 items (the search is factorial);
+    otherwise branch-and-bound with symmetry breaking. On node-budget
+    exhaustion returns the incumbent with [exact = false]. Default
+    [node_limit] is 2_000_000. *)
+
+val upper_bound : Dbp_instance.Instance.t -> int
+(** Cost of the best feasible non-repacking packing among the
+    constructive offline/clairvoyant heuristics (First-Fit, span-greedy);
+    an upper bound on [OPT_NR] usable at any scale. *)

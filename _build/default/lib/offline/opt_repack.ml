@@ -1,0 +1,68 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_binpack
+
+type result = { cost : int; exact : bool; segments : int; max_active : int }
+
+(* Sweep the event timeline keeping the multiset of active sizes;
+   [solve] maps the multiset to a bin count (and whether it is exact). *)
+let sweep inst ~solve =
+  let events =
+    Array.to_list (Instance.items inst)
+    |> List.concat_map (fun (r : Item.t) ->
+           [ (r.arrival, `Arrive r); (r.departure, `Depart r) ])
+    |> List.sort (fun (t1, e1) (t2, e2) ->
+           match Int.compare t1 t2 with
+           | 0 -> (
+               (* departures first, matching the online convention *)
+               match (e1, e2) with
+               | `Depart _, `Arrive _ -> -1
+               | `Arrive _, `Depart _ -> 1
+               | _ -> 0)
+           | c -> c)
+  in
+  let active : (int, Load.t) Hashtbl.t = Hashtbl.create 64 in
+  let cost = ref 0 and all_exact = ref true in
+  let segments = ref 0 and max_active = ref 0 in
+  let series = ref [] in
+  let flush t0 t1 =
+    if t1 > t0 && Hashtbl.length active > 0 then begin
+      let sizes = Array.of_seq (Hashtbl.to_seq_values active) in
+      let bins, exact = solve sizes in
+      if not exact then all_exact := false;
+      cost := !cost + (bins * (t1 - t0));
+      incr segments;
+      max_active := max !max_active (Array.length sizes);
+      series := (t0, t1, bins) :: !series
+    end
+  in
+  let rec walk prev = function
+    | [] -> ()
+    | (t, ev) :: rest ->
+        (match prev with Some p when t > p -> flush p t | _ -> ());
+        (match ev with
+        | `Arrive (r : Item.t) -> Hashtbl.replace active r.id r.size
+        | `Depart (r : Item.t) -> Hashtbl.remove active r.id);
+        walk (Some t) rest
+  in
+  walk None events;
+  ( { cost = !cost; exact = !all_exact; segments = !segments; max_active = !max_active },
+    List.rev !series )
+
+let exact ?solver inst =
+  let solver = match solver with Some s -> s | None -> Solver.create () in
+  let solve sizes =
+    let r = Solver.min_bins solver sizes in
+    (r.bins, r.exact)
+  in
+  fst (sweep inst ~solve)
+
+let ffd_proxy inst = fst (sweep inst ~solve:(fun sizes -> (Heuristics.ffd sizes, false)))
+
+let series ?solver inst =
+  let solver = match solver with Some s -> s | None -> Solver.create () in
+  let solve sizes =
+    let r = Solver.min_bins solver sizes in
+    (r.bins, r.exact)
+  in
+  snd (sweep inst ~solve)

@@ -1,0 +1,38 @@
+(** The repacking optimum [OPT_R].
+
+    An optimal algorithm allowed to repack at any moment packs, at every
+    instant, the currently active items optimally; hence
+    [OPT_R(sigma) = int BP(active(t)) dt] where [BP] is the optimal
+    static bin packing number. Time is partitioned at item events and
+    each constant-active-set segment is solved with the exact
+    branch-and-bound packer (cached by size multiset).
+
+    If a segment exhausts the solver's node budget, that segment's value
+    is the best feasible packing found (an upper bound) and the result is
+    flagged inexact — competitive ratios measured against it are then
+    conservative (under-estimates). *)
+
+open Dbp_binpack
+
+type result = {
+  cost : int;  (** OPT_R in bin x ticks *)
+  exact : bool;  (** every segment solved to optimality *)
+  segments : int;
+  max_active : int;  (** peak number of simultaneously active items *)
+}
+
+val exact : ?solver:Solver.t -> Dbp_instance.Instance.t -> result
+(** The repacking optimum. The solver (and its cache) may be shared
+    across calls of a sweep. *)
+
+val ffd_proxy : Dbp_instance.Instance.t -> result
+(** Upper-bound proxy: FFD instead of exact packing per segment
+    ([exact = false]). By the FFD structure this is at most
+    [int 2 ceil(S_t) dt], i.e. within 2x of OPT_R (Lemma 3.1); it is fast
+    enough for instances whose segments are too wide for the exact
+    solver. *)
+
+val series :
+  ?solver:Solver.t -> Dbp_instance.Instance.t -> (int * int * int) list
+(** [(start, stop, bins)] per segment: OPT_R's momentary bin count, for
+    figures and for the momentary-ratio experiments. *)

@@ -1,0 +1,1 @@
+lib/report/gantt.ml: Array Bin_store Buffer Bytes Char Dbp_instance Dbp_sim Dbp_util Instance Int Ints Item List Load Printf String

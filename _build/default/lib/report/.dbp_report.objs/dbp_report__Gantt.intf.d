@@ -1,0 +1,1 @@
+lib/report/gantt.mli: Bin_store Dbp_instance Dbp_sim Instance

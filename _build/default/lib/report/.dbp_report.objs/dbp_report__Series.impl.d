@@ -1,0 +1,1 @@
+lib/report/series.ml: Array Buffer Bytes Float List Printf String

@@ -1,0 +1,1 @@
+lib/report/svg.ml: Array Buffer Float Fun List Printf String

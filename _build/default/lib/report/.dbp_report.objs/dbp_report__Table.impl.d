@@ -1,0 +1,1 @@
+lib/report/table.ml: Array Buffer Dbp_util List Printf String Vec

@@ -1,0 +1,13 @@
+(** Minimal CSV output (RFC-4180 quoting) for exporting experiment data
+    to external plotting tools. *)
+
+val escape : string -> string
+(** Quote a field if it contains commas, quotes or newlines. *)
+
+val line : string list -> string
+(** One CSV record, no trailing newline. *)
+
+val to_string : header:string list -> string list list -> string
+(** Header plus rows, newline-terminated. *)
+
+val write_file : path:string -> header:string list -> string list list -> unit

@@ -1,0 +1,97 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+
+let horizon inst = if Instance.is_empty inst then 1 else Instance.end_time inst
+
+(* Columns-per-tick scaling: one column per [scale] ticks. *)
+let scale_for ~width ~ticks = max 1 (Ints.ceil_div ticks (max 1 width))
+
+let item_letter (r : Item.t) = Char.chr (Char.code 'a' + (r.id mod 26))
+
+let items_chart ?(width = 72) inst =
+  let ticks = horizon inst in
+  let scale = scale_for ~width ~ticks in
+  let cols = Ints.ceil_div ticks scale in
+  let buf = Buffer.create 1024 in
+  let items = Array.to_list (Instance.items inst) in
+  let classes =
+    List.map Item.length_class items |> List.sort_uniq Int.compare |> List.rev
+  in
+  List.iter
+    (fun cls ->
+      Buffer.add_string buf (Printf.sprintf "class %d (len in (%d, %d]):\n" cls
+         (Ints.pow2 cls / 2) (Ints.pow2 cls));
+      List.iter
+        (fun (r : Item.t) ->
+          if Item.length_class r = cls then begin
+            let row = Bytes.make cols ' ' in
+            for c = 0 to cols - 1 do
+              let t0 = c * scale in
+              if r.arrival < (c + 1) * scale && r.departure > t0 then
+                Bytes.set row c (item_letter r)
+            done;
+            Buffer.add_string buf
+              (Printf.sprintf "  %-12s |%s|\n"
+                 (Printf.sprintf "#%d[%d,%d)" r.id r.arrival r.departure)
+                 (Bytes.to_string row))
+          end)
+        items)
+    classes;
+  Buffer.contents buf
+
+let packing_chart ?(width = 72) inst store =
+  let ticks = horizon inst in
+  let scale = scale_for ~width ~ticks in
+  let cols = Ints.ceil_div ticks scale in
+  let buf = Buffer.create 1024 in
+  let items = Instance.items inst in
+  for bin = 0 to Bin_store.bins_opened store - 1 do
+    let row = Bytes.make cols ' ' in
+    Array.iter
+      (fun (r : Item.t) ->
+        if Bin_store.bin_of_item store r.id = bin then
+          for c = 0 to cols - 1 do
+            let t0 = c * scale in
+            if r.arrival < (c + 1) * scale && r.departure > t0 then begin
+              (* Later-drawn overlaps become '*' so collisions are
+                 visible rather than silently overwritten. *)
+              if Bytes.get row c = ' ' then Bytes.set row c (item_letter r)
+              else Bytes.set row c '*'
+            end
+          done)
+      items;
+    Buffer.add_string buf
+      (Printf.sprintf "%-14s |%s|\n"
+         (Printf.sprintf "b%d %s" bin (Bin_store.label store bin))
+         (Bytes.to_string row))
+  done;
+  Buffer.contents buf
+
+let snapshot inst store ~at =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "open bins at t=%d:\n" at);
+  for bin = 0 to Bin_store.bins_opened store - 1 do
+    let open_now =
+      Bin_store.opened_at store bin <= at
+      && match Bin_store.closed_at store bin with None -> true | Some c -> c > at
+    in
+    if open_now then begin
+      let members =
+        Array.to_list (Instance.items inst)
+        |> List.filter (fun (r : Item.t) ->
+               Bin_store.bin_of_item store r.id = bin && Item.is_active r ~at)
+      in
+      let load =
+        List.fold_left (fun acc (r : Item.t) -> acc + Load.to_units r.size) 0 members
+      in
+      let tenths = load * 10 / Load.capacity in
+      Buffer.add_string buf
+        (Printf.sprintf "  b%-3d %-8s [%-10s] %.2f  (%d items)\n" bin
+           (Bin_store.label store bin)
+           (String.make (min 10 tenths) '#')
+           (float_of_int load /. float_of_int Load.capacity)
+           (List.length members))
+    end
+  done;
+  Buffer.contents buf

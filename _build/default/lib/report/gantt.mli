@@ -1,0 +1,23 @@
+(** ASCII Gantt renderings of instances and packings — the paper's
+    Figures 1, 2 and 3 as terminal output.
+
+    All charts use one text column per [scale] ticks; items shorter than
+    a column still occupy one cell. *)
+
+open Dbp_instance
+open Dbp_sim
+
+val items_chart : ?width:int -> Instance.t -> string
+(** Figure 2 style: one row per item, grouped by duration class (longest
+    class first), each item drawn over its active interval. [width] is
+    the maximum chart width in columns (default 72). *)
+
+val packing_chart : ?width:int -> Instance.t -> Bin_store.t -> string
+(** Figure 3 style: one row per bin (in opening order, with its label);
+    each item of the instance is drawn as a run of its own letter inside
+    the bin that packed it. Requires the store of a completed run on
+    exactly this instance. *)
+
+val snapshot : Instance.t -> Bin_store.t -> at:int -> string
+(** Figure 1 style: the bins open at tick [at], one row each, with a
+    load bar ([#] = 1/10 bin) and the count of items they hold. *)

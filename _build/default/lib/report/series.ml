@@ -1,0 +1,48 @@
+type t = { label : string; points : (float * float) array }
+
+let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let plot ?(width = 64) ?(height = 16) ?(x_label = "x") ?(y_label = "y") series =
+  let all = List.concat_map (fun s -> Array.to_list s.points) series in
+  if all = [] then invalid_arg "Series.plot: no points";
+  let xs = List.map fst all and ys = List.map snd all in
+  let x_min = List.fold_left Float.min infinity xs in
+  let x_max = List.fold_left Float.max neg_infinity xs in
+  let y_min = Float.min 0.0 (List.fold_left Float.min infinity ys) in
+  let y_max = List.fold_left Float.max neg_infinity ys in
+  let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+  let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+  let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+  List.iteri
+    (fun i s ->
+      let marker = markers.(i mod Array.length markers) in
+      Array.iter
+        (fun (x, y) ->
+          let col =
+            int_of_float (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+          in
+          let row =
+            int_of_float (Float.round ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+          in
+          let row = height - 1 - row in
+          if row >= 0 && row < height && col >= 0 && col < width then
+            Bytes.set grid.(row) col marker)
+        s.points)
+    series;
+  let buf = Buffer.create (width * height * 2) in
+  Buffer.add_string buf (Printf.sprintf "%s (%.3g .. %.3g)\n" y_label y_min y_max);
+  Array.iteri
+    (fun i row ->
+      let y = y_max -. (float_of_int i /. float_of_int (height - 1) *. y_span) in
+      Buffer.add_string buf (Printf.sprintf "%8.2f |%s|\n" y (Bytes.to_string row)))
+    grid;
+  Buffer.add_string buf
+    (Printf.sprintf "         %s\n" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "         %s: %.3g .. %.3g\n" x_label x_min x_max);
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "         %c = %s\n" markers.(i mod Array.length markers) s.label))
+    series;
+  Buffer.contents buf

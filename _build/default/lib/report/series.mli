@@ -1,0 +1,18 @@
+(** ASCII scatter/line plots for sweep curves (terminal "figures"). *)
+
+type t = {
+  label : string;
+  points : (float * float) array;  (** (x, y) *)
+}
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  t list ->
+  string
+(** Render one or more series in a shared frame; each series uses its
+    own marker character (first letter of its label, or a cycling
+    default). Default 64 x 16 characters of plotting area. Raises
+    [Invalid_argument] when there are no points at all. *)

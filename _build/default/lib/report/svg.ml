@@ -1,0 +1,101 @@
+type element = string
+
+let esc s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rect ~x ~y ~w ~h ?(fill = "none") ?(stroke = "black") () =
+  Printf.sprintf
+    {|<rect x="%g" y="%g" width="%g" height="%g" fill="%s" stroke="%s"/>|} x y w h fill
+    stroke
+
+let line ~x1 ~y1 ~x2 ~y2 ?(stroke = "black") ?(width = 1.0) () =
+  Printf.sprintf
+    {|<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="%g"/>|} x1 y1 x2
+    y2 stroke width
+
+let text ~x ~y ?(size = 12.0) ?(fill = "black") s =
+  Printf.sprintf {|<text x="%g" y="%g" font-size="%g" fill="%s">%s</text>|} x y size
+    fill (esc s)
+
+let polyline ~points ?(stroke = "black") ?(width = 1.5) () =
+  let pts =
+    points |> List.map (fun (x, y) -> Printf.sprintf "%g,%g" x y) |> String.concat " "
+  in
+  Printf.sprintf {|<polyline points="%s" fill="none" stroke="%s" stroke-width="%g"/>|}
+    pts stroke width
+
+let circle ~cx ~cy ~r ?(fill = "black") () =
+  Printf.sprintf {|<circle cx="%g" cy="%g" r="%g" fill="%s"/>|} cx cy r fill
+
+let to_string ~width ~height elements =
+  Printf.sprintf
+    {|<?xml version="1.0" encoding="UTF-8"?>
+<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">
+%s
+</svg>
+|}
+    width height width height
+    (String.concat "\n" elements)
+
+let write_file ~path ~width ~height elements =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~width ~height elements))
+
+let palette = [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let line_chart ~width ~height ~series ?(x_label = "x") ?(y_label = "y") () =
+  let margin = 45.0 in
+  let px0 = margin and py0 = height -. margin in
+  let px1 = width -. 15.0 and py1 = 15.0 in
+  let all = List.concat_map (fun (_, pts) -> Array.to_list pts) series in
+  if all = [] then invalid_arg "Svg.line_chart: no points";
+  let xs = List.map fst all and ys = List.map snd all in
+  let x_min = List.fold_left Float.min infinity xs in
+  let x_max = List.fold_left Float.max neg_infinity xs in
+  let y_min = Float.min 0.0 (List.fold_left Float.min infinity ys) in
+  let y_max = List.fold_left Float.max neg_infinity ys in
+  let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+  let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+  let sx x = px0 +. ((x -. x_min) /. x_span *. (px1 -. px0)) in
+  let sy y = py0 +. ((y -. y_min) /. y_span *. (py1 -. py0)) in
+  let frame =
+    [
+      line ~x1:px0 ~y1:py0 ~x2:px1 ~y2:py0 ();
+      line ~x1:px0 ~y1:py0 ~x2:px0 ~y2:py1 ();
+      text ~x:(px1 -. 30.0) ~y:(py0 +. 30.0) x_label;
+      text ~x:5.0 ~y:py1 y_label;
+      text ~x:px0 ~y:(py0 +. 15.0) (Printf.sprintf "%.3g" x_min);
+      text ~x:(px1 -. 30.0) ~y:(py0 +. 15.0) (Printf.sprintf "%.3g" x_max);
+      text ~x:5.0 ~y:(py0 +. 4.0) (Printf.sprintf "%.3g" y_min);
+      text ~x:5.0 ~y:(py1 +. 16.0) (Printf.sprintf "%.3g" y_max);
+    ]
+  in
+  let curves =
+    List.mapi
+      (fun i (label, pts) ->
+        let colour = palette.(i mod Array.length palette) in
+        let scaled = Array.to_list pts |> List.map (fun (x, y) -> (sx x, sy y)) in
+        [
+          polyline ~points:scaled ~stroke:colour ();
+          text
+            ~x:(px1 -. 110.0)
+            ~y:(py1 +. 16.0 +. (16.0 *. float_of_int i))
+            ~fill:colour label;
+        ]
+        @ List.map (fun (x, y) -> circle ~cx:x ~cy:y ~r:2.5 ~fill:colour ()) scaled)
+      series
+    |> List.concat
+  in
+  frame @ curves

@@ -1,0 +1,38 @@
+(** Minimal SVG writer — enough to export figures without external
+    dependencies. Coordinates are in user units; the generated files
+    open in any browser. *)
+
+type element
+
+val rect :
+  x:float -> y:float -> w:float -> h:float -> ?fill:string -> ?stroke:string ->
+  unit -> element
+
+val line :
+  x1:float -> y1:float -> x2:float -> y2:float -> ?stroke:string -> ?width:float ->
+  unit -> element
+
+val text :
+  x:float -> y:float -> ?size:float -> ?fill:string -> string -> element
+
+val polyline : points:(float * float) list -> ?stroke:string -> ?width:float ->
+  unit -> element
+
+val circle : cx:float -> cy:float -> r:float -> ?fill:string -> unit -> element
+
+val to_string : width:float -> height:float -> element list -> string
+(** A complete standalone SVG document. *)
+
+val write_file : path:string -> width:float -> height:float -> element list -> unit
+
+val line_chart :
+  width:float ->
+  height:float ->
+  series:(string * (float * float) array) list ->
+  ?x_label:string ->
+  ?y_label:string ->
+  unit ->
+  element list
+(** Axis frame, scaled polylines (one colour per series from a fixed
+    palette), and a legend. Compose with extra elements before
+    writing. *)

@@ -1,0 +1,51 @@
+open Dbp_util
+
+type t = { columns : string list; rows : string list Vec.t }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { columns; rows = Vec.create () }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  Vec.push t.rows row
+
+let widths t =
+  let w = Array.of_list (List.map String.length t.columns) in
+  Vec.iter (List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell))) t.rows;
+  w
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let render t =
+  let w = widths t in
+  let line cells sep =
+    List.mapi (fun i c -> pad w.(i) c) cells |> String.concat sep
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.columns "  ");
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "  " (Array.to_list (Array.map (fun n -> String.make n '-') w)));
+  Buffer.add_char buf '\n';
+  Vec.iter
+    (fun row ->
+      Buffer.add_string buf (line row "  ");
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let render_markdown t =
+  let buf = Buffer.create 256 in
+  let row cells =
+    Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n")
+  in
+  row t.columns;
+  row (List.map (fun _ -> "---") t.columns);
+  Vec.iter row t.rows;
+  Buffer.contents buf
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 3) f = Printf.sprintf "%.*f" decimals f
+let cell_ratio f = Printf.sprintf "%.2fx" f

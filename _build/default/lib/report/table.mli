@@ -1,0 +1,25 @@
+(** Aligned text tables for experiment output.
+
+    A table is a header plus string rows; rendering pads every column to
+    its widest cell. Numeric helpers keep formatting consistent across
+    the experiment harness. *)
+
+type t
+
+val create : columns:string list -> t
+(** Column headers; every row must match their count. *)
+
+val add_row : t -> string list -> unit
+
+val render : t -> string
+(** ASCII rendering with a separator under the header. *)
+
+val render_markdown : t -> string
+(** GitHub-flavoured markdown (for EXPERIMENTS.md). *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+(** Default 3 decimals. *)
+
+val cell_ratio : float -> string
+(** Fixed 2 decimals with an 'x' suffix, e.g. "3.21x". *)

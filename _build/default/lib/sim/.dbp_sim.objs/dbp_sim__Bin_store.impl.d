@@ -1,0 +1,1 @@
+lib/sim/bin_store.ml: Dbp_instance Dbp_util Hashtbl Item List Load Vec

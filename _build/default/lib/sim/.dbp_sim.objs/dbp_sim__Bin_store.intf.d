@@ -1,0 +1,1 @@
+lib/sim/bin_store.mli: Dbp_instance Dbp_util Item Load

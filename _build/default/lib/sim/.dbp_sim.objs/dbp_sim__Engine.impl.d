@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Bin_store Dbp_instance Dbp_util Heap Instance Int Item Policy Vec

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Bin_store Dbp_instance Instance Item Policy

@@ -1,0 +1,1 @@
+lib/sim/ff_index.ml: Array

@@ -1,0 +1,1 @@
+lib/sim/fit_group.ml: Bin_store Dbp_binpack Dbp_instance Dbp_util Ff_index Hashtbl Item List Load Vec

@@ -1,0 +1,1 @@
+lib/sim/fit_group.mli: Bin_store Dbp_binpack Dbp_instance Item

@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Bin_store Dbp_instance Item

@@ -1,0 +1,1 @@
+lib/sim/policy.mli: Bin_store Dbp_instance Item

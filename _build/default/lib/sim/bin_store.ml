@@ -1,0 +1,104 @@
+open Dbp_util
+open Dbp_instance
+
+type bin_id = int
+
+type bin = {
+  id : bin_id;
+  mutable blabel : string;
+  bopened_at : int;
+  mutable bclosed_at : int option;
+  mutable bload : Load.t;
+  mutable items : Item.t list;  (** reverse insertion order *)
+}
+
+type t = {
+  bins : bin Vec.t;
+  mutable live : bin_id list;  (** open bins, reverse opening order *)
+  current : (int, bin_id) Hashtbl.t;  (** active item id -> bin *)
+  history : (int * bin_id) Vec.t;
+  ever : (int, bin_id) Hashtbl.t;
+  mutable n_open : int;
+  mutable hw_open : int;
+  mutable done_usage : int;
+}
+
+let create () =
+  {
+    bins = Vec.create ();
+    live = [];
+    current = Hashtbl.create 64;
+    history = Vec.create ();
+    ever = Hashtbl.create 64;
+    n_open = 0;
+    hw_open = 0;
+    done_usage = 0;
+  }
+
+let bin t id =
+  if id < 0 || id >= Vec.length t.bins then invalid_arg "Bin_store: unknown bin id";
+  Vec.get t.bins id
+
+let open_bin t ~now ~label =
+  let id = Vec.length t.bins in
+  Vec.push t.bins
+    { id; blabel = label; bopened_at = now; bclosed_at = None; bload = Load.zero; items = [] };
+  t.live <- id :: t.live;
+  t.n_open <- t.n_open + 1;
+  if t.n_open > t.hw_open then t.hw_open <- t.n_open;
+  id
+
+let insert t id (r : Item.t) =
+  let b = bin t id in
+  if b.bclosed_at <> None then invalid_arg "Bin_store.insert: bin is closed";
+  if Hashtbl.mem t.current r.id then invalid_arg "Bin_store.insert: item already packed";
+  if not (Load.fits r.size ~into:b.bload) then invalid_arg "Bin_store.insert: does not fit";
+  b.bload <- Load.add b.bload r.size;
+  b.items <- r :: b.items;
+  Hashtbl.replace t.current r.id id;
+  Hashtbl.replace t.ever r.id id;
+  Vec.push t.history (r.id, id)
+
+let remove t ~now ~item_id =
+  match Hashtbl.find_opt t.current item_id with
+  | None -> raise Not_found
+  | Some id ->
+      Hashtbl.remove t.current item_id;
+      let b = bin t id in
+      let r =
+        match List.find_opt (fun (r : Item.t) -> r.id = item_id) b.items with
+        | Some r -> r
+        | None -> assert false
+      in
+      b.items <- List.filter (fun (x : Item.t) -> x.id <> item_id) b.items;
+      b.bload <- Load.sub b.bload r.size;
+      let closed = b.items = [] in
+      if closed then begin
+        b.bclosed_at <- Some now;
+        t.live <- List.filter (fun i -> i <> id) t.live;
+        t.n_open <- t.n_open - 1;
+        t.done_usage <- t.done_usage + (now - b.bopened_at)
+      end;
+      (id, closed)
+
+let load t id = (bin t id).bload
+let residual t id = Load.residual (bin t id).bload
+let is_open t id = (bin t id).bclosed_at = None
+let label t id = (bin t id).blabel
+let relabel t id label = (bin t id).blabel <- label
+let opened_at t id = (bin t id).bopened_at
+let closed_at t id = (bin t id).bclosed_at
+let contents t id = List.rev (bin t id).items
+let open_bins t = List.rev t.live
+let open_count t = t.n_open
+let bins_opened t = Vec.length t.bins
+let max_open t = t.hw_open
+
+let usage t ~now =
+  List.fold_left (fun acc id -> acc + (now - (bin t id).bopened_at)) t.done_usage t.live
+
+let closed_usage t = t.done_usage
+let assignment t = Vec.to_list t.history
+
+let bin_of_item t item_id =
+  match Hashtbl.find_opt t.ever item_id with Some id -> id | None -> raise Not_found

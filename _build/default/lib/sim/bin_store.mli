@@ -1,0 +1,72 @@
+(** The shared bin substrate all online algorithms pack into.
+
+    The store is the single source of truth for bin contents, loads and —
+    crucially — the MinUsageTime objective: every bin accrues usage from
+    its opening tick to the tick its last item departs (the paper's
+    convention that an emptied bin closes and is never reused). Algorithms
+    decide *which* bin receives an item; the store enforces capacity and
+    does the accounting, so all algorithms are costed identically. *)
+
+open Dbp_util
+open Dbp_instance
+
+type bin_id = int
+type t
+
+val create : unit -> t
+
+val open_bin : t -> now:int -> label:string -> bin_id
+(** Open a fresh bin at tick [now]. [label] is free-form metadata used by
+    traces and figures (e.g. ["GN"], ["CD(3,7)"], ["row2"]). *)
+
+val insert : t -> bin_id -> Item.t -> unit
+(** Raises [Invalid_argument] if the bin is closed, the item does not
+    fit, or the item id is already packed. *)
+
+val remove : t -> now:int -> item_id:int -> bin_id * bool
+(** Remove a departed item. Returns its bin and whether that bin became
+    empty and was therefore closed at [now]. Raises [Not_found] for an
+    unknown item id. *)
+
+val load : t -> bin_id -> Load.t
+val residual : t -> bin_id -> Load.t
+val is_open : t -> bin_id -> bool
+val label : t -> bin_id -> string
+
+val relabel : t -> bin_id -> string -> unit
+(** Rename a bin (CDFF re-anchors its row indices when it learns a larger
+    top class at a segment start; row labels must follow). *)
+
+val opened_at : t -> bin_id -> int
+
+val closed_at : t -> bin_id -> int option
+(** Closing tick, or [None] while open. *)
+
+val contents : t -> bin_id -> Item.t list
+(** Items currently in the bin, in insertion order. *)
+
+val open_bins : t -> bin_id list
+(** Open bins in opening order (the First-Fit scan order). *)
+
+val open_count : t -> int
+val bins_opened : t -> int
+(** Total bins ever opened. *)
+
+val max_open : t -> int
+(** High-water mark of simultaneously open bins. *)
+
+val usage : t -> now:int -> int
+(** Accumulated usage time (bin x ticks) counting open bins up to
+    [now]. This is the MinUsageTime objective. *)
+
+val closed_usage : t -> int
+(** Usage of closed bins only; equals [usage ~now] once every item has
+    departed. *)
+
+val assignment : t -> (int * bin_id) list
+(** Permanent log of [(item_id, bin)] placements, including departed
+    items, in placement order. *)
+
+val bin_of_item : t -> int -> bin_id
+(** Bin that ever held the item (including after departure); raises
+    [Not_found]. *)

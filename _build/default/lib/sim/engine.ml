@@ -1,0 +1,101 @@
+open Dbp_instance
+open Dbp_util
+
+type result = {
+  name : string;
+  cost : int;
+  bins_opened : int;
+  max_open : int;
+  series : (int * int) array;
+  store : Bin_store.t;
+}
+
+module Interactive = struct
+  type t = {
+    store : Bin_store.t;
+    policy : Policy.t;
+    departures : Item.t Heap.t;  (** pending, ordered by (departure, id) *)
+    released : Item.t Vec.t;
+    series : (int * int) Vec.t;
+    mutable clock : int;
+  }
+
+  let cmp_departure (a : Item.t) (b : Item.t) =
+    match Int.compare a.departure b.departure with
+    | 0 -> Int.compare a.id b.id
+    | c -> c
+
+  let start factory =
+    let store = Bin_store.create () in
+    {
+      store;
+      policy = factory store;
+      departures = Heap.create ~cmp:cmp_departure;
+      released = Vec.create ();
+      series = Vec.create ();
+      clock = 0;
+    }
+
+  let record t tick =
+    (* One sample per event tick: overwrite the sample if the tick
+       repeats (multiple events at one tick). *)
+    let n = Vec.length t.series in
+    let sample = (tick, Bin_store.open_count t.store) in
+    if n > 0 && fst (Vec.last t.series) = tick then Vec.set t.series (n - 1) sample
+    else Vec.push t.series sample
+
+  (* Process all departures due at ticks <= [upto]. *)
+  let drain_until t upto =
+    let rec loop () =
+      match Heap.peek t.departures with
+      | Some (r : Item.t) when r.departure <= upto ->
+          let r = Heap.pop_exn t.departures in
+          t.clock <- max t.clock r.departure;
+          let bin, closed = Bin_store.remove t.store ~now:r.departure ~item_id:r.id in
+          t.policy.on_departure ~now:r.departure r ~bin ~closed;
+          record t r.departure;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+
+  let advance_to t upto =
+    if upto < t.clock then invalid_arg "Engine.advance_to: time in the past";
+    drain_until t upto;
+    t.clock <- upto
+
+  let open_count t = Bin_store.open_count t.store
+  let now t = t.clock
+
+  let arrive t (r : Item.t) =
+    if r.arrival < t.clock then invalid_arg "Engine.arrive: arrival in the past";
+    drain_until t r.arrival;
+    t.clock <- r.arrival;
+    let bin = t.policy.on_arrival ~now:r.arrival r in
+    if Bin_store.bin_of_item t.store r.id <> bin then
+      invalid_arg "Engine.arrive: policy returned a bin it did not pack into";
+    Heap.add t.departures r;
+    Vec.push t.released r;
+    record t r.arrival;
+    bin
+
+  let finish t =
+    drain_until t max_int;
+    let result =
+      {
+        name = t.policy.name;
+        cost = Bin_store.closed_usage t.store;
+        bins_opened = Bin_store.bins_opened t.store;
+        max_open = Bin_store.max_open t.store;
+        series = Vec.to_array t.series;
+        store = t.store;
+      }
+    in
+    (result, Instance.of_items (Vec.to_list t.released))
+end
+
+let run factory inst =
+  let t = Interactive.start factory in
+  Array.iter (fun r -> ignore (Interactive.arrive t r)) (Instance.items inst);
+  let result, _ = Interactive.finish t in
+  result

@@ -1,0 +1,52 @@
+(** Discrete-event execution of an online algorithm.
+
+    Two entry points: {!run} replays a fixed {!Dbp_instance.Instance.t};
+    the {!Interactive} interface lets an *adaptive adversary* release
+    items one at a time while observing the algorithm's open-bin count
+    (Theorem 4.3's lower-bound construction needs this). Both share the
+    event core: at each tick, all due departures are processed before any
+    arrival. *)
+
+open Dbp_instance
+
+type result = {
+  name : string;  (** algorithm name *)
+  cost : int;  (** MinUsageTime objective, in bin x ticks *)
+  bins_opened : int;
+  max_open : int;  (** peak simultaneously-open bins *)
+  series : (int * int) array;
+      (** (tick, open bins after all events of that tick), at every event
+          tick, in time order *)
+  store : Bin_store.t;  (** post-run store, for traces and figures *)
+}
+
+val run : Policy.factory -> Instance.t -> result
+(** Simulate the full instance. Raises whatever the policy raises;
+    [Invalid_argument] if the policy returns a bin the item was not
+    inserted into. *)
+
+module Interactive : sig
+  type t
+
+  val start : Policy.factory -> t
+
+  val arrive : t -> Item.t -> Bin_store.bin_id
+  (** Release one item. Its arrival must be >= the latest event time so
+      far; due departures are processed first. *)
+
+  val advance_to : t -> int -> unit
+  (** Process all departures due at ticks <= the given tick (the [t^-]
+      state) without releasing anything. Adversaries must call this
+      before observing {!open_count} at a new tick — otherwise they see
+      stale bins that have already emptied. *)
+
+  val open_count : t -> int
+  (** The adversary's observable: currently open bins. *)
+
+  val now : t -> int
+  (** Latest event tick processed. *)
+
+  val finish : t -> result * Instance.t
+  (** Drain the remaining departures; returns the run result and the
+      instance that was released (for offline OPT evaluation). *)
+end

@@ -1,0 +1,83 @@
+type t = {
+  mutable cap : int;  (** leaf count, a power of two *)
+  mutable tree : int array;  (** 1-based heap layout; tree.(1) is the root *)
+  mutable n : int;
+}
+
+let inactive = -1
+
+let create () = { cap = 8; tree = Array.make 16 inactive; n = 0 }
+
+let rec update_path t i =
+  if i >= 1 then begin
+    let l = 2 * i and r = (2 * i) + 1 in
+    if l < 2 * t.cap then begin
+      let v = max t.tree.(l) (if r < 2 * t.cap then t.tree.(r) else inactive) in
+      if t.tree.(i) <> v then begin
+        t.tree.(i) <- v;
+        update_path t (i / 2)
+      end
+    end
+  end
+
+let grow t =
+  let cap' = 2 * t.cap in
+  let tree' = Array.make (2 * cap') inactive in
+  (* Copy leaves, then rebuild internal nodes bottom-up. *)
+  Array.blit t.tree t.cap tree' cap' t.cap;
+  for i = cap' - 1 downto 1 do
+    tree'.(i) <- max tree'.(2 * i) tree'.((2 * i) + 1)
+  done;
+  t.cap <- cap';
+  t.tree <- tree'
+
+let set_leaf t slot v =
+  let i = t.cap + slot in
+  t.tree.(i) <- v;
+  update_path t (i / 2)
+
+let push t ~residual =
+  if t.n = t.cap then grow t;
+  let slot = t.n in
+  t.n <- t.n + 1;
+  set_leaf t slot residual;
+  slot
+
+let check t slot op =
+  if slot < 0 || slot >= t.n then invalid_arg ("Ff_index." ^ op ^ ": bad slot")
+
+let set t slot residual =
+  check t slot "set";
+  set_leaf t slot residual
+
+let deactivate t slot =
+  check t slot "deactivate";
+  set_leaf t slot inactive
+
+let residual t slot =
+  check t slot "residual";
+  t.tree.(t.cap + slot)
+
+let length t = t.n
+
+let first_fit t need =
+  if need < 0 then invalid_arg "Ff_index.first_fit: negative need";
+  if t.tree.(1) < need then None
+  else begin
+    (* Descend left-first towards the leftmost adequate leaf. *)
+    let rec descend i =
+      if i >= t.cap then Some (i - t.cap)
+      else if t.tree.(2 * i) >= need then descend (2 * i)
+      else descend ((2 * i) + 1)
+    in
+    match descend 1 with
+    | Some slot when slot < t.n -> Some slot
+    | _ -> None
+  end
+
+let active t =
+  let rec loop slot acc =
+    if slot < 0 then acc
+    else loop (slot - 1) (if t.tree.(t.cap + slot) >= 0 then slot :: acc else acc)
+  in
+  loop (t.n - 1) []

@@ -1,0 +1,34 @@
+(** Leftmost-fit index: a max segment tree over bin residuals.
+
+    First-Fit must find the *earliest-opened* bin whose residual capacity
+    admits an item. A linear scan is O(open bins) per placement; this
+    index answers the query in O(log n) by storing, per tree node, the
+    maximum residual in its span and descending left-first. Slots are
+    assigned in bin-opening order, so "leftmost slot" = "earliest bin". *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> residual:int -> int
+(** Append a slot with the given residual; returns the slot index. *)
+
+val set : t -> int -> int -> unit
+(** [set t slot residual] updates a slot (e.g. after an insertion). *)
+
+val deactivate : t -> int -> unit
+(** Mark a slot unusable (its bin closed). Equivalent to residual -1. *)
+
+val residual : t -> int -> int
+(** Current residual of a slot (-1 when deactivated). *)
+
+val length : t -> int
+(** Number of slots ever pushed. *)
+
+val first_fit : t -> int -> int option
+(** [first_fit t need] is the smallest slot index with residual >=
+    [need], if any. [need] must be non-negative. *)
+
+val active : t -> int list
+(** Active slots in increasing order (linear; used by non-FF rules and
+    tests). *)

@@ -1,0 +1,52 @@
+(** An ordered family of bins packed with an Any-Fit rule.
+
+    Every algorithm in the paper reduces to Any-Fit placement within some
+    family of bins — First-Fit uses one group, pure Classify-by-Duration
+    one group per duration class, HA one GN group plus one group per CD
+    type, CDFF one group per row. This module owns the family's placement
+    logic: pick a bin by the rule, open a new bin when none fits, and
+    keep the first-fit index in sync with the store.
+
+    A bin belongs to exactly one group; the owning algorithm must call
+    {!note_close} when the engine reports that a departure closed the
+    bin. *)
+
+open Dbp_instance
+
+type t
+
+val create : ?rule:Dbp_binpack.Heuristics.rule -> label:string -> unit -> t
+(** A fresh empty group. [rule] defaults to [First_fit]. [label] prefixes
+    the labels of bins the group opens. *)
+
+val place : t -> Bin_store.t -> now:int -> Item.t -> Bin_store.bin_id
+(** Pack the item into the group, opening a new bin when no open bin of
+    the group fits. *)
+
+val place_new : t -> Bin_store.t -> now:int -> Item.t -> Bin_store.bin_id
+(** Force-open a new bin for the item (HA opens a fresh CD bin when a
+    type's load first crosses its threshold). *)
+
+val note_insert : t -> Bin_store.t -> Bin_store.bin_id -> unit
+(** Resync one bin's residual after an out-of-band insertion. Normally
+    unnecessary ({!place} resyncs itself). *)
+
+val note_close : t -> Bin_store.bin_id -> unit
+(** Mark a member bin closed. Unknown bins raise [Invalid_argument]. *)
+
+val note_depart : t -> Bin_store.t -> Bin_store.bin_id -> closed:bool -> unit
+(** Handle a departure from a member bin: {!note_close} when the bin
+    emptied, otherwise resync its residual (departures free capacity the
+    placement index must see). Policies must call this on every
+    departure. *)
+
+val owns : t -> Bin_store.bin_id -> bool
+val open_count : t -> int
+val open_bins : t -> Bin_store.bin_id list
+(** Open member bins in opening order. *)
+
+val label : t -> string
+
+val relabel : t -> Bin_store.t -> string -> unit
+(** Rename the group and its open member bins (future bins use the new
+    label too). *)

@@ -1,0 +1,20 @@
+open Dbp_instance
+
+type t = {
+  name : string;
+  on_arrival : now:int -> Item.t -> Bin_store.bin_id;
+  on_departure : now:int -> Item.t -> bin:Bin_store.bin_id -> closed:bool -> unit;
+}
+
+type factory = Bin_store.t -> t
+
+let non_clairvoyant factory store =
+  let inner = factory store in
+  let mask (r : Item.t) =
+    Item.make ~id:r.id ~arrival:r.arrival ~departure:(r.arrival + 1) ~size:r.size
+  in
+  {
+    name = inner.name ^ "-nc";
+    on_arrival = (fun ~now r -> inner.on_arrival ~now (mask r));
+    on_departure = (fun ~now r ~bin ~closed -> inner.on_departure ~now (mask r) ~bin ~closed);
+  }

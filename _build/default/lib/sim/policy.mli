@@ -1,0 +1,29 @@
+(** The online-algorithm interface.
+
+    A policy reacts to arrivals and departures; the engine owns the clock
+    and the event order (departures strictly before arrivals at the same
+    tick — the paper's [t^-] convention). Policies must pack each arrival
+    immediately and may never repack: the only mutation available is
+    placing the arriving item into a {!Bin_store} bin. *)
+
+open Dbp_instance
+
+type t = {
+  name : string;
+  on_arrival : now:int -> Item.t -> Bin_store.bin_id;
+      (** Pack the item (clairvoyantly: the item carries its departure
+          time) and return the chosen bin. *)
+  on_departure : now:int -> Item.t -> bin:Bin_store.bin_id -> closed:bool -> unit;
+      (** Called after the store removed the item. [closed] reports
+          whether the bin emptied (algorithms drop it from their own
+          structures). *)
+}
+
+type factory = Bin_store.t -> t
+(** Algorithms are created per-run around the engine's store. *)
+
+val non_clairvoyant : factory -> factory
+(** Wrap a policy so it sees every arriving item with a masked departure
+    time (set to [arrival + 1]). Duration-oblivious baselines (plain
+    First-Fit in the non-clairvoyant setting) are expressed this way; the
+    engine still departs items at their true times. *)

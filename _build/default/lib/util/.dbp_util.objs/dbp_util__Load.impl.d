@@ -1,0 +1,1 @@
+lib/util/load.ml: Float Format Int

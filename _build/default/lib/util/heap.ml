@@ -1,0 +1,62 @@
+type 'a t = { cmp : 'a -> 'a -> int; v : 'a Vec.t }
+
+let create ~cmp = { cmp; v = Vec.create () }
+let length h = Vec.length h.v
+let is_empty h = Vec.is_empty h.v
+
+let swap h i j =
+  let x = Vec.get h.v i in
+  Vec.set h.v i (Vec.get h.v j);
+  Vec.set h.v j x
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (Vec.get h.v i) (Vec.get h.v parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = Vec.length h.v in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < n && h.cmp (Vec.get h.v l) (Vec.get h.v i) < 0 then l else i in
+  let smallest =
+    if r < n && h.cmp (Vec.get h.v r) (Vec.get h.v smallest) < 0 then r else smallest
+  in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let add h x =
+  Vec.push h.v x;
+  sift_up h (Vec.length h.v - 1)
+
+let peek h = if is_empty h then None else Some (Vec.get h.v 0)
+
+let pop h =
+  let n = Vec.length h.v in
+  if n = 0 then None
+  else begin
+    let top = Vec.get h.v 0 in
+    let last = Vec.pop h.v in
+    if n > 1 then begin
+      Vec.set h.v 0 last;
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_exn h =
+  match pop h with Some x -> x | None -> invalid_arg "Heap.pop_exn: empty"
+
+let of_list ~cmp l =
+  let h = create ~cmp in
+  List.iter (add h) l;
+  h
+
+let drain h =
+  let rec loop acc = match pop h with None -> List.rev acc | Some x -> loop (x :: acc) in
+  loop []

@@ -1,0 +1,29 @@
+(** Binary min-heaps over an arbitrary ordering.
+
+    Used for the simulator event queue and for best-first search in the
+    exact packers. Not stable: ties are popped in unspecified order, so
+    callers needing determinism must break ties inside [cmp]. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (smallest element popped first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}; raises [Invalid_argument] when empty. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val drain : 'a t -> 'a list
+(** Pop everything; the result is sorted by [cmp]. Empties the heap. *)

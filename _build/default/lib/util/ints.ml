@@ -1,0 +1,33 @@
+let is_pow2 n =
+  if n <= 0 then invalid_arg "Ints.is_pow2: non-positive argument";
+  n land (n - 1) = 0
+
+let pow2 k =
+  if k < 0 || k > 61 then invalid_arg "Ints.pow2: exponent out of [0, 61]";
+  1 lsl k
+
+let floor_log2 n =
+  if n <= 0 then invalid_arg "Ints.floor_log2: non-positive argument";
+  let rec loop acc n = if n = 1 then acc else loop (acc + 1) (n lsr 1) in
+  loop 0 n
+
+let ceil_log2 n =
+  if n <= 0 then invalid_arg "Ints.ceil_log2: non-positive argument";
+  let k = floor_log2 n in
+  if n = 1 lsl k then k else k + 1
+
+let ntz n =
+  if n <= 0 then invalid_arg "Ints.ntz: non-positive argument";
+  floor_log2 (n land (-n))
+
+let popcount n =
+  if n < 0 then invalid_arg "Ints.popcount: negative argument";
+  let rec loop acc n = if n = 0 then acc else loop (acc + (n land 1)) (n lsr 1) in
+  loop 0 n
+
+let ceil_div a b =
+  if a < 0 then invalid_arg "Ints.ceil_div: negative numerator";
+  if b <= 0 then invalid_arg "Ints.ceil_div: non-positive denominator";
+  (a + b - 1) / b
+
+let ceil_to_multiple a b = ceil_div a b * b

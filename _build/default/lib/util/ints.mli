@@ -1,0 +1,34 @@
+(** Bit-level integer utilities used throughout the packing simulator.
+
+    All functions operate on non-negative [int] values (the simulator
+    timeline and load arithmetic are integer-based); arguments outside the
+    documented domain raise [Invalid_argument]. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is [true] iff [n] is a power of two. [n] must be positive. *)
+
+val pow2 : int -> int
+(** [pow2 k] is [2^k]. [k] must be in [0, 61]. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is the largest [k] with [2^k <= n]. [n] must be positive. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the smallest [k] with [n <= 2^k]. [n] must be
+    positive. [ceil_log2 1 = 0]. *)
+
+val ntz : int -> int
+(** [ntz n] is the number of trailing zero bits of [n]; the largest [k]
+    such that [2^k] divides [n]. [n] must be positive. *)
+
+val popcount : int -> int
+(** [popcount n] is the number of set bits in [n]. [n] must be
+    non-negative. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil (a / b)] over the integers. [a] must be
+    non-negative, [b] positive. *)
+
+val ceil_to_multiple : int -> int -> int
+(** [ceil_to_multiple a b] is the smallest multiple of [b] that is [>= a].
+    [a] must be non-negative, [b] positive. *)

@@ -1,0 +1,43 @@
+type t = int
+
+let capacity = 1_000_000_000
+let zero = 0
+let one = capacity
+
+let of_units u =
+  if u < 0 then invalid_arg "Load.of_units: negative";
+  u
+
+let to_units l = l
+
+let of_fraction ~num ~den =
+  if num < 0 then invalid_arg "Load.of_fraction: negative numerator";
+  if den <= 0 then invalid_arg "Load.of_fraction: non-positive denominator";
+  num * capacity / den
+
+let of_float f =
+  let f = Float.min 1.0 (Float.max 0.0 f) in
+  int_of_float (Float.round (f *. float_of_int capacity))
+
+let to_float l = float_of_int l /. float_of_int capacity
+let add a b = a + b
+
+let sub a b =
+  if b > a then invalid_arg "Load.sub: negative result";
+  a - b
+
+let scale l k =
+  if k < 0 then invalid_arg "Load.scale: negative factor";
+  l * k
+
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) (a : int) (b : int) = a <= b
+let ( < ) (a : int) (b : int) = a < b
+let fits l ~into = into + l <= one
+
+let residual used =
+  if used > one then invalid_arg "Load.residual: over capacity";
+  one - used
+
+let pp ppf l = Format.fprintf ppf "%.6g" (to_float l)

@@ -1,0 +1,58 @@
+(** Fixed-point item sizes (bin loads).
+
+    A bin has capacity 1; item sizes live in [0, 1]. Floating-point sizes
+    would make "fits in this bin" and "total load strictly exceeds 1"
+    depend on rounding noise — e.g. [log mu] items of size [1 /. log mu]
+    can sum to just above 1.0 and spuriously open a bin, breaking the
+    exact CDFF row-count identity of Corollary 5.8. Sizes are therefore
+    integers out of {!capacity}.
+
+    Values are non-negative but deliberately not capped at {!one}: sums of
+    loads (e.g. HA's per-type gauges, [S_t] profiles) reuse the type. *)
+
+type t = private int
+
+val capacity : int
+(** Integer units per unit of bin capacity (10^9). *)
+
+val zero : t
+val one : t
+(** A full bin. *)
+
+val of_units : int -> t
+(** Raw constructor; [units] must be non-negative. *)
+
+val to_units : t -> int
+
+val of_fraction : num:int -> den:int -> t
+(** [of_fraction ~num ~den] is [num/den] of a bin, rounded down so that
+    [den] items of size [of_fraction ~num:1 ~den] always fit in one bin.
+    Requires [num >= 0] and [den > 0]. *)
+
+val of_float : float -> t
+(** Nearest fixed-point value; clamps to [0, 1]. *)
+
+val to_float : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] requires [b <= a]. *)
+
+val scale : t -> int -> t
+(** [scale l k] is [k] copies of [l]; [k] must be non-negative. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+
+val fits : t -> into:t -> bool
+(** [fits l ~into:used] iff a bin already holding [used] can accept [l],
+    i.e. [used + l <= one]. *)
+
+val residual : t -> t
+(** [residual used] is the free space [one - used] of a bin holding
+    [used]; requires [used <= one]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as a decimal fraction of a bin, e.g. [0.25]. *)

@@ -1,0 +1,114 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: stateless stream used only to expand seeds into xoshiro
+   state, per the xoshiro authors' recommendation. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_state64 st =
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  (* xoshiro's state must not be all zero; splitmix output makes this
+     astronomically unlikely but guard anyway. *)
+  if Int64.(equal (logor (logor s0 s1) (logor s2 s3)) 0L) then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create ~seed = of_state64 (ref (Int64.of_int seed))
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_state64 (ref (bits64 t))
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* Non-negative 61-bit value: 2^61 is still representable in OCaml's
+   63-bit ints, so the rejection limit below cannot overflow. *)
+let bits61 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 3)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Prng.int_below: non-positive bound";
+  (* Rejection sampling over the largest multiple of n below 2^61. *)
+  let limit = (1 lsl 61) - ((1 lsl 61) mod n) in
+  let rec loop () =
+    let x = bits61 t in
+    if x < limit then x mod n else loop ()
+  in
+  loop ()
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in_range: lo > hi";
+  lo + int_below t (hi - lo + 1)
+
+let float_unit t =
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int x *. 0x1p-53
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let bernoulli t ~p = float_unit t < p
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: non-positive mean";
+  let u = 1.0 -. float_unit t in
+  -.mean *. log u
+
+let normal t ~mu ~sigma =
+  let u1 = 1.0 -. float_unit t in
+  let u2 = float_unit t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let log_normal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let pareto t ~alpha ~x_min =
+  if alpha <= 0.0 || x_min <= 0.0 then invalid_arg "Prng.pareto: non-positive parameter";
+  let u = 1.0 -. float_unit t in
+  x_min /. (u ** (1.0 /. alpha))
+
+let rec poisson t ~lambda =
+  if lambda < 0.0 then invalid_arg "Prng.poisson: negative lambda";
+  if lambda = 0.0 then 0
+  else if lambda > 30.0 then
+    (* Poisson(a + b) = Poisson(a) + Poisson(b): halve until Knuth's
+       product method is numerically safe. *)
+    poisson t ~lambda:(lambda /. 2.0) + poisson t ~lambda:(lambda /. 2.0)
+  else begin
+    let threshold = exp (-.lambda) in
+    let rec loop k p =
+      let p = p *. float_unit t in
+      if p <= threshold then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Prng.choice: empty array";
+  a.(int_below t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  done

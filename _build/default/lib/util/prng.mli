@@ -1,0 +1,61 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    Workload generators must be reproducible across runs and machines, so
+    the simulator never uses [Stdlib.Random]. The core generator is
+    xoshiro256** seeded through splitmix64; [split] derives statistically
+    independent child streams so parallel sweeps can share one master
+    seed. *)
+
+type t
+
+val create : seed:int -> t
+(** Generator deterministically derived from [seed]. *)
+
+val split : t -> t
+(** A child generator independent of the parent's future output. Advances
+    the parent. *)
+
+val copy : t -> t
+(** Snapshot with identical future output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is uniform on [0, n-1] (rejection sampling, unbiased).
+    [n] must be positive. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform on the inclusive range [lo, hi]. Requires [lo <= hi]. *)
+
+val float_unit : t -> float
+(** Uniform on [0, 1) with 53-bit resolution. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [true] with probability [p] (clamped to [0, 1]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponential variate with the given mean. [mean] must be positive. *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian variate (Box-Muller). *)
+
+val log_normal : t -> mu:float -> sigma:float -> float
+(** exp of a Gaussian — heavy-tailed durations for cloud traces. *)
+
+val pareto : t -> alpha:float -> x_min:float -> float
+(** Pareto variate with shape [alpha] and scale [x_min]; both positive. *)
+
+val poisson : t -> lambda:float -> int
+(** Poisson variate. Exact (Knuth) for small [lambda]; for [lambda > 30]
+    uses the split property Poisson(a+b) = Poisson(a) + Poisson(b) to stay
+    exact without floating-point underflow. [lambda] must be
+    non-negative. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

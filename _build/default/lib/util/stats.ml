@@ -1,0 +1,99 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    ss /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+  end
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    max = sorted.(Array.length sorted - 1);
+    median = quantile xs 0.5;
+  }
+
+let ci95_half_width xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0 else 1.96 *. stddev xs /. sqrt (float_of_int n)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit ~x ~y =
+  let n = Array.length x in
+  if n <> Array.length y then invalid_arg "Stats.linear_fit: length mismatch";
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least 2 points";
+  let mx = mean x and my = mean y in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = x.(i) -. mx and dy = y.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 then invalid_arg "Stats.linear_fit: constant x";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 =
+    if !syy = 0.0 then 1.0 (* constant y fitted exactly by slope 0 *)
+    else begin
+      let ss_res = ref 0.0 in
+      for i = 0 to n - 1 do
+        let e = y.(i) -. ((slope *. x.(i)) +. intercept) in
+        ss_res := !ss_res +. (e *. e)
+      done;
+      1.0 -. (!ss_res /. !syy)
+    end
+  in
+  { slope; intercept; r2 }
+
+let pearson ~x ~y =
+  let n = Array.length x in
+  if n <> Array.length y then invalid_arg "Stats.pearson: length mismatch";
+  if n < 2 then invalid_arg "Stats.pearson: need at least 2 points";
+  let mx = mean x and my = mean y in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = x.(i) -. mx and dy = y.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  !sxy /. sqrt (!sxx *. !syy)

@@ -1,0 +1,40 @@
+(** Descriptive statistics and least-squares fitting.
+
+    Used by the experiment harness to summarize competitive-ratio samples
+    and to fit the paper's growth models ([a*sqrt(log mu) + b], etc.) to
+    measured sweeps. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator). *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [0, 1]; linear interpolation between order
+    statistics. *)
+
+val ci95_half_width : float array -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean ([1.96 * stddev / sqrt n]); 0 for fewer than 2 samples. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination; 1 for a perfect fit. *)
+}
+
+val linear_fit : x:float array -> y:float array -> fit
+(** Ordinary least squares [y ~ slope * x + intercept]. Arrays must have
+    equal length >= 2 and [x] must not be constant. *)
+
+val pearson : x:float array -> y:float array -> float
+(** Correlation coefficient; NaN if either side is constant. *)

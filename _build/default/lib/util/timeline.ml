@@ -1,0 +1,45 @@
+module IntMap = Map.Make (Int)
+
+(* Keys are segment starts; the value is the function's value on
+   [key, next_key). An absent prefix (before the first key) is 0; the
+   map always ends with a segment whose value returns to 0 once touched
+   ranges end (we insert boundaries at both ends of every [add]). *)
+type t = { mutable m : int IntMap.t }
+
+let create () = { m = IntMap.empty }
+
+let value_at t at =
+  match IntMap.find_last_opt (fun k -> k <= at) t.m with
+  | Some (_, v) -> v
+  | None -> 0
+
+let ensure_boundary t at =
+  if not (IntMap.mem at t.m) then t.m <- IntMap.add at (value_at t at) t.m
+
+(* Both operations walk only the boundaries inside [lo, hi) (plus the
+   O(log n) seek), so cost is proportional to the touched range. *)
+let add t ~lo ~hi ~units =
+  if lo >= hi then invalid_arg "Timeline.add: empty range";
+  ensure_boundary t lo;
+  ensure_boundary t hi;
+  let rec bump seq =
+    match Seq.uncons seq with
+    | Some ((k, v), rest) when k < hi ->
+        t.m <- IntMap.add k (v + units) t.m;
+        bump rest
+    | _ -> ()
+  in
+  bump (IntMap.to_seq_from lo t.m)
+
+let max_on t ~lo ~hi =
+  if lo >= hi then invalid_arg "Timeline.max_on: empty range";
+  let best = ref (value_at t lo) in
+  let rec scan seq =
+    match Seq.uncons seq with
+    | Some ((k, v), rest) when k < hi ->
+        if v > !best then best := v;
+        scan rest
+    | _ -> ()
+  in
+  scan (IntMap.to_seq_from lo t.m);
+  !best

@@ -1,0 +1,23 @@
+(** A step function over integer time supporting range-add and
+    range-max — the load profile of one bin.
+
+    Used by offline packers to answer "does this item fit in this bin
+    for its whole interval" in O(log n + k) where [k] is the number of
+    existing boundaries inside the queried range, instead of rescanning
+    every member item. *)
+
+type t
+
+val create : unit -> t
+(** The zero function. *)
+
+val add : t -> lo:int -> hi:int -> units:int -> unit
+(** Add [units] on [[lo, hi)). [units] may be negative; requires
+    [lo < hi]. *)
+
+val max_on : t -> lo:int -> hi:int -> int
+(** Maximum value on [[lo, hi)); 0 for ranges the function never
+    touched. Requires [lo < hi]. *)
+
+val value_at : t -> int -> int
+(** The value at one tick. *)

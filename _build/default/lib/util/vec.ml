@@ -1,0 +1,95 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+let is_empty v = v.len = 0
+
+let check_index v i op =
+  if i < 0 || i >= v.len then invalid_arg ("Vec." ^ op ^ ": index out of bounds")
+
+let get v i =
+  check_index v i "get";
+  v.data.(i)
+
+let set v i x =
+  check_index v i "set";
+  v.data.(i) <- x
+
+(* Doubling growth; the first push allocates a small block seeded with the
+   pushed element so no dummy value is ever needed. *)
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data' = Array.make cap' x in
+  Array.blit v.data 0 data' 0 v.len;
+  v.data <- data'
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.len - 1)
+
+let clear v =
+  v.data <- [||];
+  v.len <- 0
+
+let swap_remove v i =
+  check_index v i "swap_remove";
+  let x = v.data.(i) in
+  v.len <- v.len - 1;
+  v.data.(i) <- v.data.(v.len);
+  x
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let find_index p v =
+  let rec loop i =
+    if i >= v.len then None else if p v.data.(i) then Some i else loop (i + 1)
+  in
+  loop 0
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.len - 1) []
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_array a =
+  let v = create () in
+  Array.iter (push v) a;
+  v

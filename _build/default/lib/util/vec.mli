@@ -1,0 +1,50 @@
+(** Growable arrays.
+
+    OCaml 5.1 predates [Stdlib.Dynarray]; this module provides the subset
+    the simulator needs, with amortized O(1) [push] and O(1) random
+    access. Indices are 0-based; out-of-range accesses raise
+    [Invalid_argument]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty vector. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+(** Append an element at the end. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element; raises [Invalid_argument] when
+    empty. *)
+
+val last : 'a t -> 'a
+(** The last element; raises [Invalid_argument] when empty. *)
+
+val clear : 'a t -> unit
+(** Remove every element (releases the storage). *)
+
+val swap_remove : 'a t -> int -> 'a
+(** [swap_remove v i] removes and returns element [i] in O(1) by moving
+    the last element into slot [i]; element order is not preserved. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val find_index : ('a -> bool) -> 'a t -> int option
+(** Index of the first element satisfying the predicate. *)
+
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+(** [of_array a] copies [a]; later mutation of [a] does not affect the
+    vector. *)

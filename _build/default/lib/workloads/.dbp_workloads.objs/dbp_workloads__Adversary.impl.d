@@ -1,0 +1,1 @@
+lib/workloads/adversary.ml: Dbp_instance Dbp_sim Dbp_util Engine Instance Ints Item List Load

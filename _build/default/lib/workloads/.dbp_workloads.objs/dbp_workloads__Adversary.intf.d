@@ -1,0 +1,1 @@
+lib/workloads/adversary.mli: Dbp_instance Dbp_sim Engine Policy

@@ -1,0 +1,1 @@
+lib/workloads/aligned_random.ml: Dbp_instance Dbp_util Instance Ints Item Load Prng

@@ -1,0 +1,1 @@
+lib/workloads/aligned_random.mli: Dbp_instance

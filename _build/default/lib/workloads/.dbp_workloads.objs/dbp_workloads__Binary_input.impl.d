@@ -1,0 +1,1 @@
+lib/workloads/binary_input.ml: Dbp_instance Dbp_util Instance Ints Item Load

@@ -1,0 +1,1 @@
+lib/workloads/binary_input.mli: Dbp_instance

@@ -1,0 +1,1 @@
+lib/workloads/cd_killer.ml: Dbp_instance Dbp_util Instance Ints Item Load

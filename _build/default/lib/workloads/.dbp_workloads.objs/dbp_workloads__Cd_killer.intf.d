@@ -1,0 +1,1 @@
+lib/workloads/cd_killer.mli: Dbp_instance

@@ -1,0 +1,1 @@
+lib/workloads/cloud_traces.ml: Array Dbp_instance Dbp_util Float Instance Item Load Prng

@@ -1,0 +1,1 @@
+lib/workloads/cloud_traces.mli: Dbp_instance

@@ -1,0 +1,1 @@
+lib/workloads/general_random.mli: Dbp_instance

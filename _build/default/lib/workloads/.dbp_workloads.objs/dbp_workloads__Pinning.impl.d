@@ -1,0 +1,1 @@
+lib/workloads/pinning.ml: Dbp_instance Dbp_util Instance Item Load Option

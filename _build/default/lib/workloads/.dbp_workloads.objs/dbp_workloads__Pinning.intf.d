@@ -1,0 +1,1 @@
+lib/workloads/pinning.mli: Dbp_instance

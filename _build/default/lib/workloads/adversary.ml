@@ -1,0 +1,68 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+
+type outcome = {
+  result : Engine.result;
+  instance : Instance.t;
+  target_bins : int;
+  items_released : int;
+}
+
+let check_mu mu =
+  if mu < 2 || not (Ints.is_pow2 mu) then
+    invalid_arg "Adversary: mu must be a power of two >= 2";
+  Ints.floor_log2 mu
+
+let target ~n = max 1 (int_of_float (ceil (sqrt (float_of_int n))))
+
+let burst_item ~mu ~t ~k ~size =
+  let n = Ints.floor_log2 mu in
+  Item.make ~id:((t * (n + 1)) + k) ~arrival:t ~departure:(t + Ints.pow2 k) ~size
+
+let sigma_star ~mu ~t =
+  let n = check_mu mu in
+  let size = Load.of_fraction ~num:1 ~den:(target ~n) in
+  Instance.of_items (List.init (n + 1) (fun k -> burst_item ~mu ~t ~k ~size))
+
+let run ~mu policy =
+  let n = check_mu mu in
+  let tgt = target ~n in
+  let size = Load.of_fraction ~num:1 ~den:tgt in
+  let sim = Engine.Interactive.start policy in
+  let released = ref 0 in
+  for t = 0 to mu - 1 do
+    (* Process the departures due by t so the open-bin observation is
+       the true t^- state, then release sigma*_t shortest-first and stop
+       as soon as the algorithm holds the target number of open bins
+       (possibly immediately, if earlier bursts' bins are still open). *)
+    Engine.Interactive.advance_to sim t;
+    let k = ref 0 in
+    while !k <= n && Engine.Interactive.open_count sim < tgt do
+      ignore (Engine.Interactive.arrive sim (burst_item ~mu ~t ~k:!k ~size));
+      incr released;
+      incr k
+    done
+  done;
+  let result, instance = Engine.Interactive.finish sim in
+  { result; instance; target_bins = tgt; items_released = !released }
+
+let run_aligned ?target:tgt_opt ~mu policy =
+  let n = check_mu mu in
+  let tgt = match tgt_opt with Some t -> max 1 t | None -> target ~n in
+  let size = Load.of_fraction ~num:1 ~den:tgt in
+  let sim = Engine.Interactive.start policy in
+  let released = ref 0 in
+  for t = 0 to mu - 1 do
+    Engine.Interactive.advance_to sim t;
+    (* Only classes whose dyadic grid contains t may be released. *)
+    let top = if t = 0 then n else min n (Ints.ntz t) in
+    let k = ref 0 in
+    while !k <= top && Engine.Interactive.open_count sim < tgt do
+      ignore (Engine.Interactive.arrive sim (burst_item ~mu ~t ~k:!k ~size));
+      incr released;
+      incr k
+    done
+  done;
+  let result, instance = Engine.Interactive.finish sim in
+  { result; instance; target_bins = tgt; items_released = !released }

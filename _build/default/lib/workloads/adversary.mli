@@ -1,0 +1,38 @@
+(** The Theorem 4.3 adaptive adversary: forces *any* deterministic
+    clairvoyant online algorithm to competitive ratio
+    [Omega(sqrt(log mu))].
+
+    At every integer time [t_i] in [[0, mu)], the adversary releases a
+    prefix of [sigma*_(t_i)] — one item per duration [1, 2, 4, ..., mu],
+    shortest first, each of load [1 / ceil(sqrt(log mu))] — and stops the
+    burst as soon as it observes the algorithm holding
+    [ceil(sqrt(log mu))] open bins. The algorithm therefore keeps
+    [~sqrt(log mu)] bins open for the entire horizon (cost
+    [>= mu sqrt(log mu)]) while the released volume stays small enough
+    that [OPT_R = O(mu)]. *)
+
+open Dbp_sim
+
+type outcome = {
+  result : Engine.result;
+  instance : Dbp_instance.Instance.t;  (** what was actually released *)
+  target_bins : int;  (** [ceil (sqrt (log2 mu))] *)
+  items_released : int;
+}
+
+val run : mu:int -> Policy.factory -> outcome
+(** [mu] must be a power of two >= 2. Deterministic given the policy. *)
+
+val run_aligned : ?target:int -> mu:int -> Policy.factory -> outcome
+(** The same adversary restricted to *aligned* releases (Definition 2.1):
+    at tick [t] it may only release items of duration [2^k] with [2^k]
+    dividing [t]. This is the empirical probe of the paper's open
+    problem — whether the aligned lower bound can be pushed above
+    [Omega(1)]. Weaker than {!run} by construction: at odd ticks it can
+    release only duration-1 items. [target] overrides the forced
+    open-bin count (default [ceil (sqrt (log2 mu))]). *)
+
+val sigma_star : mu:int -> t:int -> Dbp_instance.Instance.t
+(** The full burst [sigma*_t] of Definition 4.1 (ids are
+    [t * (log mu + 1) + k] so bursts at different times can be
+    combined). *)

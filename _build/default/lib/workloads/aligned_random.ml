@@ -1,0 +1,57 @@
+open Dbp_util
+open Dbp_instance
+
+type config = {
+  top_class : int;
+  horizon : int;
+  rate : float;
+  min_size : float;
+  max_size : float;
+  seed_anchor : bool;
+}
+
+let default =
+  {
+    top_class = 8;
+    horizon = 256;
+    rate = 0.4;
+    min_size = 0.05;
+    max_size = 0.4;
+    seed_anchor = true;
+  }
+
+let generate ?(config = default) ~seed () =
+  if config.top_class < 0 then invalid_arg "Aligned_random: negative top_class";
+  if config.horizon < 1 then invalid_arg "Aligned_random: empty horizon";
+  if config.min_size <= 0.0 || config.max_size > 1.0 || config.min_size > config.max_size
+  then invalid_arg "Aligned_random: bad size range";
+  let rng = Prng.create ~seed in
+  let items = ref [] in
+  let id = ref 0 in
+  let size () =
+    Load.of_float
+      (config.min_size +. (Prng.float_unit rng *. (config.max_size -. config.min_size)))
+  in
+  let add ~arrival ~cls =
+    (* duration in (2^(cls-1), 2^cls]: the dyadic range of the class *)
+    let hi = Ints.pow2 cls in
+    let lo = (hi / 2) + 1 in
+    let duration = Prng.int_in_range rng ~lo ~hi in
+    items :=
+      Item.make ~id:!id ~arrival ~departure:(arrival + duration) ~size:(size ())
+      :: !items;
+    incr id
+  in
+  if config.seed_anchor then add ~arrival:0 ~cls:config.top_class;
+  for cls = 0 to config.top_class do
+    let step = Ints.pow2 cls in
+    let slot = ref 0 in
+    while !slot * step < config.horizon do
+      let k = Prng.poisson rng ~lambda:config.rate in
+      for _ = 1 to k do
+        add ~arrival:(!slot * step) ~cls
+      done;
+      incr slot
+    done
+  done;
+  Instance.of_items !items

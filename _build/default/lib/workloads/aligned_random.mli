@@ -1,0 +1,25 @@
+(** Random aligned inputs (Definition 2.1): items of duration class [i]
+    arrive only at multiples of [2^i].
+
+    Used to evaluate CDFF beyond the structured binary input (experiment
+    E12): arrivals per slot are Poisson, durations are uniform within the
+    class's dyadic range, classes are weighted towards an expected load
+    per tick. *)
+
+type config = {
+  top_class : int;  (** largest class; [mu <= 2^top_class] *)
+  horizon : int;  (** arrivals occur in [[0, horizon)) *)
+  rate : float;  (** expected items per (slot, class) pair *)
+  min_size : float;  (** item sizes uniform in [[min_size, max_size]] *)
+  max_size : float;
+  seed_anchor : bool;
+      (** when true (default), force one item of the top class at t = 0
+          so the instance realizes [mu = 2^top_class] and starts a
+          single CDFF segment. *)
+}
+
+val default : config
+
+val generate : ?config:config -> seed:int -> unit -> Dbp_instance.Instance.t
+(** Deterministic in [seed]. The result always satisfies
+    [Instance.is_aligned]. *)

@@ -1,0 +1,31 @@
+open Dbp_util
+open Dbp_instance
+
+let generate ~mu =
+  if mu < 2 || not (Ints.is_pow2 mu) then
+    invalid_arg "Binary_input.generate: mu must be a power of two >= 2";
+  let n = Ints.floor_log2 mu in
+  (* Definition 5.2 says load 1/log mu, but exactly log mu + 1 items
+     (one per class 0..log mu) are active at every moment, so 1/log mu
+     would exceed bin capacity at full occupancy and break Lemma 5.5's
+     claim that no row bin ever fills. We use 1/(log mu + 1) — the value
+     the paper's analysis implicitly assumes (DESIGN.md, Errata). *)
+  let size = Load.of_fraction ~num:1 ~den:(n + 1) in
+  let items = ref [] in
+  let id = ref 0 in
+  for i = 0 to n do
+    let len = Ints.pow2 i in
+    let k = ref 0 in
+    while !k * len < mu do
+      items :=
+        Item.make ~id:!id ~arrival:(!k * len) ~departure:((!k + 1) * len) ~size :: !items;
+      incr id;
+      incr k
+    done
+  done;
+  Instance.of_items !items
+
+let item_count ~mu =
+  if mu < 2 || not (Ints.is_pow2 mu) then
+    invalid_arg "Binary_input.item_count: mu must be a power of two >= 2";
+  (2 * mu) - 1

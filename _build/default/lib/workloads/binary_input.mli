@@ -1,0 +1,16 @@
+(** The binary input [sigma_mu] (Definition 5.2) — the structured worst
+    case driving CDFF's analysis, and the instance of Figures 2 and 3.
+
+    For every class [i] in [0 .. log mu], items of duration [2^i] arrive
+    back-to-back at times [0, 2^i, 2 * 2^i, ...] until [mu]; every item
+    has load [1 / (log mu + 1)] (the paper says [1 / log mu] — an
+    off-by-one, see DESIGN.md Errata). Exactly one item of each class is
+    active at every moment, so CDFF's open-bin count at [t^+] equals
+    [max_0(binary t) + 1] (Corollary 5.8). *)
+
+val generate : mu:int -> Dbp_instance.Instance.t
+(** [mu] must be a power of two, at least 2. The instance has [2 mu - 1]
+    items and spans [[0, mu)]. *)
+
+val item_count : mu:int -> int
+(** [2 mu - 1], without materializing the instance. *)

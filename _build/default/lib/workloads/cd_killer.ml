@@ -1,0 +1,25 @@
+open Dbp_util
+open Dbp_instance
+
+let generate ?size ~mu () =
+  if mu < 2 || not (Ints.is_pow2 mu) then
+    invalid_arg "Cd_killer.generate: mu must be a power of two >= 2";
+  let n = Ints.floor_log2 mu in
+  let size =
+    match size with
+    | Some s -> Load.of_float s
+    | None -> Load.of_fraction ~num:1 ~den:(2 * (n + 1))
+  in
+  let items = ref [] in
+  let id = ref 0 in
+  for i = 0 to n do
+    let len = Ints.pow2 i in
+    let k = ref 0 in
+    while !k * len < mu do
+      items :=
+        Item.make ~id:!id ~arrival:(!k * len) ~departure:((!k + 1) * len) ~size :: !items;
+      incr id;
+      incr k
+    done
+  done;
+  Instance.of_items !items

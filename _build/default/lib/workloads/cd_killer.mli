@@ -1,0 +1,13 @@
+(** The [Omega(log mu)] workload for pure Classify-by-Duration (E17).
+
+    The binary input's arrival pattern with tiny loads: one item of each
+    duration class is active at every moment, so CD keeps [log mu + 1]
+    bins open for the whole horizon while everything fits into a single
+    bin ([OPT_R ~ mu]). This is the failure mode HA's GN bins exist to
+    avoid: HA routes these low-volume types to its shared general bins
+    and stays O(1) here. *)
+
+val generate : ?size:float -> mu:int -> unit -> Dbp_instance.Instance.t
+(** [mu] a power of two >= 2. [size] defaults to [1 / (2 (log2 mu + 1))]
+    so that all simultaneously active items fit one bin with room to
+    spare. *)

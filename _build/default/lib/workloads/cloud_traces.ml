@@ -1,0 +1,58 @@
+open Dbp_util
+open Dbp_instance
+
+type config = {
+  days : int;
+  base_rate : float;
+  diurnal_depth : float;
+  duration_mu : float;
+  duration_sigma : float;
+  min_duration : int;
+  max_duration : int;
+  tiers : float array;
+}
+
+let default =
+  {
+    days = 3;
+    base_rate = 2.0;
+    diurnal_depth = 0.8;
+    duration_mu = log 45.0;
+    duration_sigma = 0.9;
+    min_duration = 5;
+    max_duration = 480;
+    tiers = [| 0.125; 0.1875; 0.25; 0.5 |];
+  }
+
+let generate ?(config = default) ~seed () =
+  if config.days < 1 then invalid_arg "Cloud_traces: days < 1";
+  if config.min_duration < 1 || config.min_duration > config.max_duration then
+    invalid_arg "Cloud_traces: bad duration truncation";
+  if Array.length config.tiers = 0 then invalid_arg "Cloud_traces: no tiers";
+  Array.iter
+    (fun tier ->
+      if tier <= 0.0 || tier > 1.0 then invalid_arg "Cloud_traces: tier out of (0, 1]")
+    config.tiers;
+  let rng = Prng.create ~seed in
+  let horizon = config.days * 1440 in
+  let items = ref [] in
+  let id = ref 0 in
+  for t = 0 to horizon - 1 do
+    (* Diurnal modulation: peak at 20:00, trough 12 hours away. *)
+    let phase = float_of_int (t mod 1440) /. 1440.0 in
+    let wave = 0.5 *. (1.0 +. cos (2.0 *. Float.pi *. (phase -. (20.0 /. 24.0)))) in
+    let rate = config.base_rate *. (1.0 -. (config.diurnal_depth *. (1.0 -. wave))) in
+    let arrivals = Prng.poisson rng ~lambda:rate in
+    for _ = 1 to arrivals do
+      let d =
+        Prng.log_normal rng ~mu:config.duration_mu ~sigma:config.duration_sigma
+      in
+      let duration =
+        max config.min_duration (min config.max_duration (int_of_float d))
+      in
+      let size = Load.of_float (Prng.choice rng config.tiers) in
+      items := Item.make ~id:!id ~arrival:t ~departure:(t + duration) ~size :: !items;
+      incr id
+    done
+  done;
+  Instance.of_items !items

@@ -1,0 +1,29 @@
+(** Synthetic cloud-gaming session traces — the paper's motivating
+    application (Section 1; Li et al. [8] show session lengths are
+    predictable at request time, which is what makes the clairvoyant
+    model realistic).
+
+    Real traces are proprietary, so this generator produces the same
+    *statistical shape* (DESIGN.md, Substitutions): a diurnal
+    (sinusoidal) Poisson arrival process over several simulated days,
+    log-normal session durations truncated into a configurable [mu], and
+    bandwidth demands drawn from a small set of service tiers. Time unit:
+    one tick = one minute. *)
+
+type config = {
+  days : int;  (** horizon = days * 1440 ticks *)
+  base_rate : float;  (** mean arrivals per minute at the diurnal peak *)
+  diurnal_depth : float;
+      (** 0 = flat arrivals, 1 = night rate drops to zero *)
+  duration_mu : float;  (** log-normal location (log minutes) *)
+  duration_sigma : float;  (** log-normal scale *)
+  min_duration : int;  (** truncation (ticks); >= 1 *)
+  max_duration : int;
+  tiers : float array;  (** bandwidth fractions, e.g. 1/8 .. 1/2 *)
+}
+
+val default : config
+(** 3 days, peak 2 sessions/min, durations ~ log-normal(median 45 min)
+    truncated to [5, 480] minutes, four service tiers. *)
+
+val generate : ?config:config -> seed:int -> unit -> Dbp_instance.Instance.t

@@ -1,0 +1,72 @@
+open Dbp_util
+open Dbp_instance
+
+type duration_dist = Uniform | Dyadic_uniform | Pareto of float | Bimodal of float
+
+type config = {
+  horizon : int;
+  arrival_rate : float;
+  max_duration : int;
+  dist : duration_dist;
+  min_size : float;
+  max_size : float;
+  anchor_mu : bool;
+}
+
+let default =
+  {
+    horizon = 256;
+    arrival_rate = 0.8;
+    max_duration = 64;
+    dist = Dyadic_uniform;
+    min_size = 0.05;
+    max_size = 0.4;
+    anchor_mu = true;
+  }
+
+let sample_duration rng config =
+  let d =
+    match config.dist with
+    | Uniform -> Prng.int_in_range rng ~lo:1 ~hi:config.max_duration
+    | Dyadic_uniform ->
+        let top = Ints.ceil_log2 config.max_duration in
+        let cls = Prng.int_below rng (top + 1) in
+        let hi = Ints.pow2 cls in
+        let lo = (hi / 2) + 1 in
+        Prng.int_in_range rng ~lo ~hi
+    | Pareto alpha -> int_of_float (Prng.pareto rng ~alpha ~x_min:1.0)
+    | Bimodal p_short ->
+        if Prng.bernoulli rng ~p:p_short then 1
+        else config.max_duration - Prng.int_below rng (max 1 (config.max_duration / 8))
+  in
+  max 1 (min config.max_duration d)
+
+let generate ?(config = default) ~seed () =
+  if config.horizon < 1 then invalid_arg "General_random: empty horizon";
+  if config.max_duration < 1 then invalid_arg "General_random: max_duration < 1";
+  if config.min_size <= 0.0 || config.max_size > 1.0 || config.min_size > config.max_size
+  then invalid_arg "General_random: bad size range";
+  let rng = Prng.create ~seed in
+  let items = ref [] in
+  let id = ref 0 in
+  let size () =
+    Load.of_float
+      (config.min_size +. (Prng.float_unit rng *. (config.max_size -. config.min_size)))
+  in
+  let add ~arrival ~duration =
+    items :=
+      Item.make ~id:!id ~arrival ~departure:(arrival + duration) ~size:(size ())
+      :: !items;
+    incr id
+  in
+  if config.anchor_mu then begin
+    add ~arrival:0 ~duration:config.max_duration;
+    add ~arrival:0 ~duration:1
+  end;
+  for t = 0 to config.horizon - 1 do
+    let k = Prng.poisson rng ~lambda:config.arrival_rate in
+    for _ = 1 to k do
+      add ~arrival:t ~duration:(sample_duration rng config)
+    done
+  done;
+  Instance.of_items !items

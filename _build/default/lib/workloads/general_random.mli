@@ -1,0 +1,32 @@
+(** General stochastic clairvoyant workloads (no alignment).
+
+    Poisson arrivals over a horizon; durations from a configurable family
+    bounded into [[1, max_duration]] so [mu] is controlled. Used by the
+    HA sweeps (E7) and the all-algorithms comparison (E1/E13). *)
+
+type duration_dist =
+  | Uniform  (** uniform on [[1, max_duration]] *)
+  | Dyadic_uniform
+      (** pick a duration class uniformly, then a duration inside it —
+          equal mass per order of magnitude, the regime the paper's
+          classify-by-duration analysis targets *)
+  | Pareto of float  (** heavy tail with the given shape, truncated *)
+  | Bimodal of float
+      (** short jobs of duration 1 with the given probability, otherwise
+          long jobs near [max_duration] — the cloud-burst caricature *)
+
+type config = {
+  horizon : int;
+  arrival_rate : float;  (** expected arrivals per tick *)
+  max_duration : int;  (** so mu <= max_duration *)
+  dist : duration_dist;
+  min_size : float;
+  max_size : float;
+  anchor_mu : bool;
+      (** force one duration-1 and one duration-max item so the
+          realized mu equals max_duration exactly (default true). *)
+}
+
+val default : config
+
+val generate : ?config:config -> seed:int -> unit -> Dbp_instance.Instance.t

@@ -1,0 +1,22 @@
+open Dbp_util
+open Dbp_instance
+
+let generate ?groups ?k ~mu () =
+  if mu < 2 then invalid_arg "Pinning.generate: mu < 2";
+  let k = Option.value k ~default:(min mu 30_000) in
+  if k < 2 || k > 30_000 then invalid_arg "Pinning.generate: k out of [2, 30000]";
+  let groups = Option.value groups ~default:k in
+  if groups < 1 then invalid_arg "Pinning.generate: groups < 1";
+  let size = Load.of_fraction ~num:1 ~den:k in
+  let items = ref [] in
+  for g = 0 to groups - 1 do
+    for j = 0 to k - 1 do
+      (* First item of each group is the pin; ids follow arrival order so
+         FF fills bin g with exactly this group. *)
+      let departure = if j = 0 then mu else 1 in
+      items := Item.make ~id:((g * k) + j) ~arrival:0 ~departure ~size :: !items
+    done
+  done;
+  Instance.of_items !items
+
+let ff_cost_closed_form ~groups ~mu = groups * mu

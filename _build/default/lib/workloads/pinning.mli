@@ -1,0 +1,20 @@
+(** The First-Fit "pinning" workload: the non-clairvoyant [Omega(mu)]
+    regime of Table 1, row 3.
+
+    At [t = 0], [groups * k] items of size [1/k] arrive; First-Fit fills
+    bin [j] with items [jk .. (j+1)k - 1]. Exactly one item per group
+    lives for [mu] ticks, the rest depart at [t = 1] — so every FF bin
+    stays pinned open for the whole horizon by a nearly empty load:
+    [FF = groups * mu], while the repacking optimum consolidates the
+    pins: [OPT_R = groups + (mu - 1) * ceil(groups / k)]. With
+    [groups = k = mu] the ratio is [mu^2 * ... ~ mu / 2 = Omega(mu)].
+
+    A duration-aware (clairvoyant) algorithm such as HA avoids the trap
+    by segregating the long items — the contrast experiment E13. *)
+
+val generate : ?groups:int -> ?k:int -> mu:int -> unit -> Dbp_instance.Instance.t
+(** [mu >= 2] is the long items' duration. [k] (default [mu], max 30000)
+    items of size [1/k] per group; [groups] defaults to [k]. *)
+
+val ff_cost_closed_form : groups:int -> mu:int -> int
+(** [groups * mu] — what First-Fit provably pays on this instance. *)

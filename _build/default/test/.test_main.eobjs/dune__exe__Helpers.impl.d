@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Dbp_instance Dbp_util Instance Ints Item List Load Prng QCheck2 QCheck_alcotest

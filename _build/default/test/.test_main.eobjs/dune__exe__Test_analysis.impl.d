@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Binary_strings Dbp_analysis Dbp_baselines Dbp_core Dbp_instance Dbp_util Fit Helpers List Printf QCheck2 Ratio Sweep

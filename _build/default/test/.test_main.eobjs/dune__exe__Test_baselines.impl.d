@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Any_fit Bin_store Classify_duration Dbp_baselines Dbp_instance Dbp_sim Dbp_util Dbp_workloads Engine Helpers List Policy Prng Profile QCheck2 Rt_classify Span_greedy

@@ -1,0 +1,1 @@
+test/test_bin_store.ml: Alcotest Bin_store Dbp_sim Dbp_util Helpers List Load

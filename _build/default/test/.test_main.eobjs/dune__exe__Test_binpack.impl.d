@@ -1,0 +1,1 @@
+test/test_binpack.ml: Alcotest Array Dbp_binpack Dbp_util Exact Hashtbl Helpers Heuristics List Load Lower_bounds Option QCheck2 Solver

@@ -1,0 +1,1 @@
+test/test_cdff.ml: Alcotest Array Bin_store Cdff Dbp_core Dbp_instance Dbp_sim Dbp_util Engine Helpers Instance Ints Item Load Printf Prng Profile QCheck2 Theory

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Bin_store Dbp_instance Dbp_sim Dbp_util Engine Fit_group Helpers Instance Policy Profile QCheck2

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Common Dbp_experiments Dbp_instance Helpers Instance List Printf Registry String

@@ -1,0 +1,1 @@
+test/test_ff_index.ml: Alcotest Array Dbp_sim Ff_index Helpers List QCheck2

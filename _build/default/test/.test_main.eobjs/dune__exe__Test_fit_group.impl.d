@@ -1,0 +1,1 @@
+test/test_fit_group.ml: Alcotest Bin_store Dbp_binpack Dbp_instance Dbp_sim Dbp_util Fit_group Helpers Item List Load Prng QCheck2

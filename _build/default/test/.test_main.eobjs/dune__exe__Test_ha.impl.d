@@ -1,0 +1,1 @@
+test/test_ha.ml: Alcotest Bin_store Dbp_binpack Dbp_core Dbp_instance Dbp_sim Dbp_util Engine Ha Helpers Instance Int List Profile QCheck2

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Dbp_util Heap Helpers Int List QCheck2

@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Dbp_instance Dbp_util Helpers Instance List Prng Profile QCheck2

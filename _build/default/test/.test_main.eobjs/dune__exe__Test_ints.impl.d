@@ -1,0 +1,1 @@
+test/test_ints.ml: Dbp_util Helpers Ints List QCheck2

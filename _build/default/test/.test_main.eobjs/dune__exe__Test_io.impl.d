@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Dbp_instance Dbp_util Filename Fun Helpers Instance Io Item Load Prng QCheck2 Sys

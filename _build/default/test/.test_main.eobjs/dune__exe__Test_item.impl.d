@@ -1,0 +1,1 @@
+test/test_item.ml: Alcotest Dbp_instance Dbp_util Helpers Item QCheck2

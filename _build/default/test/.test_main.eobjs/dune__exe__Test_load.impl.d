@@ -1,0 +1,1 @@
+test/test_load.ml: Dbp_util Helpers Load Printf QCheck2

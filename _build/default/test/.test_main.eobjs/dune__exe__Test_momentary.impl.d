@@ -1,0 +1,1 @@
+test/test_momentary.ml: Dbp_analysis Dbp_baselines Dbp_core Dbp_instance Dbp_sim Dbp_util Dbp_workloads Engine Helpers Momentary QCheck2

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dbp_util Helpers Int Int64 Prng Stats

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Dbp_instance Dbp_util Helpers Instance Ints Item List Load Prng Profile QCheck2

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Array Dbp_instance Dbp_util Helpers Instance Item QCheck2 Reduction

@@ -1,0 +1,1 @@
+test/test_reference.ml: Alcotest Bin_store Dbp_core Dbp_instance Dbp_sim Dbp_util Dbp_workloads Engine Hashtbl Helpers Ints Item List Load Option Policy Prng QCheck2

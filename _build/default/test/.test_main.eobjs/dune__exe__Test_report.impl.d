@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Csv Dbp_baselines Dbp_report Dbp_sim Engine Filename Fun Gantt Helpers List Series String Svg Sys Table

@@ -1,0 +1,1 @@
+test/test_stats.ml: Array Dbp_util Float Helpers List Prng QCheck2 Stats

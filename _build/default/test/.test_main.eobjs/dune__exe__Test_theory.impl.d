@@ -1,0 +1,1 @@
+test/test_theory.ml: Dbp_core Helpers QCheck2 Theory

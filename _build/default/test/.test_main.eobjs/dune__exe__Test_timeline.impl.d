@@ -1,0 +1,1 @@
+test/test_timeline.ml: Array Dbp_util Helpers List QCheck2 Timeline

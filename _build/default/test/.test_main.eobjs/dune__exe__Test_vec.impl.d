@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Dbp_util Helpers QCheck2 Vec

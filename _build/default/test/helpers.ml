@@ -1,0 +1,77 @@
+(* Shared helpers for the test suites. *)
+
+open Dbp_util
+open Dbp_instance
+
+let item ~id ~a ~d ~s = Item.make ~id ~arrival:a ~departure:d ~size:(Load.of_float s)
+
+let item_frac ~id ~a ~d ~num ~den =
+  Item.make ~id ~arrival:a ~departure:d ~size:(Load.of_fraction ~num ~den)
+
+let instance specs =
+  Instance.of_items
+    (List.mapi (fun id (a, d, s) -> item ~id ~a ~d ~s) specs)
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+let qcase ?(count = 200) ~name prop gen = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float ~eps = Alcotest.(check (float eps))
+
+let check_raises_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+(* Longest run of zeros in the [bits]-bit binary representation of [t]
+   (Definition 5.7 applied to binary(t), which the paper takes to be
+   [log mu] bits wide — leading zeros count). Independent reference
+   implementation used to cross-check Dbp_analysis.Binary_strings and
+   Corollary 5.8. *)
+let max0_bits ~bits t =
+  let best = ref 0 and run = ref 0 in
+  for k = 0 to bits - 1 do
+    if (t lsr k) land 1 = 0 then begin
+      incr run;
+      if !run > !best then best := !run
+    end
+    else run := 0
+  done;
+  !best
+
+(* Binary input sigma_mu per Definition 5.2, built independently of
+   Dbp_workloads for cross-checking. Loads are 1/(log mu + 1), not the
+   paper's 1/log mu: exactly log mu + 1 items (classes 0..log mu) are
+   active at every moment, so 1/log mu would overflow the row-0 bin and
+   break the paper's own Lemma 5.5 (see DESIGN.md, Errata). *)
+let binary_input mu =
+  let n = Ints.floor_log2 mu in
+  assert (Ints.is_pow2 mu);
+  let items = ref [] in
+  let id = ref 0 in
+  for i = 0 to n do
+    let len = Ints.pow2 i in
+    let k = ref 0 in
+    while !k * len < mu do
+      items :=
+        Item.make ~id:!id ~arrival:(!k * len) ~departure:((!k + 1) * len)
+          ~size:(Load.of_fraction ~num:1 ~den:(n + 1))
+        :: !items;
+      incr id;
+      incr k
+    done
+  done;
+  Instance.of_items !items
+
+(* A small deterministic random instance generator for property tests. *)
+let random_instance rng ~n ~max_time ~max_duration =
+  let items = ref [] in
+  for id = 0 to n - 1 do
+    let a = Prng.int_below rng max_time in
+    let d = a + 1 + Prng.int_below rng max_duration in
+    let size = 1 + Prng.int_below rng Load.capacity in
+    items := Item.make ~id ~arrival:a ~departure:d ~size:(Load.of_units size) :: !items
+  done;
+  Instance.of_items !items

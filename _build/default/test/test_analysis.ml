@@ -1,0 +1,189 @@
+open Dbp_analysis
+open Helpers
+
+(* --- binary strings --- *)
+
+let test_max0_examples () =
+  check_int "zero" 4 (Binary_strings.max0 ~bits:4 0);
+  check_int "all ones" 0 (Binary_strings.max0 ~bits:4 15);
+  check_int "0b0101 in 4 bits" 1 (Binary_strings.max0 ~bits:4 0b0101);
+  check_int "0b1000 in 4 bits" 3 (Binary_strings.max0 ~bits:4 0b1000);
+  check_int "leading zeros count" 2 (Binary_strings.max0 ~bits:4 0b0100)
+
+let test_max0_string () =
+  check_int "literal" 3 (Binary_strings.max0_string "1000101");
+  check_int "empty" 0 (Binary_strings.max0_string "");
+  check_raises_invalid "bad char" (fun () -> ignore (Binary_strings.max0_string "10x"))
+
+let prop_max0_matches_reference =
+  qcase ~name:"max0 matches the independent reference"
+    (fun (bits, t) ->
+      let t = t land ((1 lsl bits) - 1) in
+      Binary_strings.max0 ~bits t = max0_bits ~bits t)
+    QCheck2.Gen.(pair (int_range 1 30) (int_range 0 (1 lsl 30)))
+
+let test_count_recurrence_small () =
+  (* strings of 3 bits with no zero-run > 1: 000,001,100,010 are out for
+     runs > 1? runs: 000(3) 001(2) 100(2) 010(1)... count <=1:
+     010,101,011,110,111,  also 101... enumerate: allowed = no "00":
+     010,011,101,110,111 -> 5 *)
+  check_int "3 bits k=1" 5 (Binary_strings.count_with_max0_at_most ~bits:3 1);
+  check_int "k >= bits" 8 (Binary_strings.count_with_max0_at_most ~bits:3 3);
+  check_int "k = 0" 1 (Binary_strings.count_with_max0_at_most ~bits:3 0);
+  check_int "negative k" 0 (Binary_strings.count_with_max0_at_most ~bits:3 (-1))
+
+let prop_count_matches_enumeration =
+  qcase ~count:50 ~name:"count recurrence matches brute enumeration"
+    (fun (bits, k) ->
+      let bits = (bits mod 12) + 1 in
+      let k = k mod (bits + 1) in
+      let brute = ref 0 in
+      for t = 0 to (1 lsl bits) - 1 do
+        if Binary_strings.max0 ~bits t <= k then incr brute
+      done;
+      Binary_strings.count_with_max0_at_most ~bits k = !brute)
+    QCheck2.Gen.(pair (int_range 1 100) (int_range 0 100))
+
+let test_expectation_small () =
+  (* bits=2: values 0,1,2 for 11 / 01,10 / 00 -> E = (0+1+1+2)/4 = 1 *)
+  check_float ~eps:1e-9 "bits=2" 1.0 (Binary_strings.expectation ~bits:2);
+  (* bits=1: 0 and 1 -> E = 1/2 *)
+  check_float ~eps:1e-9 "bits=1" 0.5 (Binary_strings.expectation ~bits:1)
+
+let prop_expectation_bound =
+  qcase ~count:20 ~name:"Lemma 5.9: E[max_0] <= 2 log2 n for n >= 2"
+    (fun bits ->
+      Binary_strings.expectation ~bits
+      <= Dbp_core.Theory.max0_expectation_bound bits +. 1e-9)
+    QCheck2.Gen.(int_range 2 30)
+
+let test_sum_over_range () =
+  (* must equal direct enumeration *)
+  List.iter
+    (fun bits ->
+      let brute = ref 0 in
+      for t = 0 to (1 lsl bits) - 1 do
+        brute := !brute + Binary_strings.max0 ~bits t
+      done;
+      check_int (Printf.sprintf "bits=%d" bits) !brute
+        (Binary_strings.sum_over_range ~bits))
+    [ 1; 2; 5; 10 ]
+
+let test_histogram_sums_to_one () =
+  let h = Binary_strings.histogram ~bits:10 in
+  check_float ~eps:1e-9 "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 h)
+
+(* --- fit --- *)
+
+let test_fit_recovers_models () =
+  let mus = Array.of_list (List.map float_of_int [ 4; 16; 64; 256; 1024; 4096 ]) in
+  let check_model model =
+    let ys = Array.map (fun mu -> (2.0 *. Fit.transform model mu) +. 1.0) mus in
+    let best = Fit.best ~mus ~ys () in
+    Alcotest.(check string)
+      (Fit.name model ^ " recovered")
+      (Fit.name model) (Fit.name best.model);
+    check_float ~eps:1e-6 "slope" 2.0 best.slope;
+    check_float ~eps:1e-6 "r2" 1.0 best.r2
+  in
+  List.iter check_model [ Fit.Sqrt_log; Fit.Log_log; Fit.Log; Fit.Linear_mu ]
+
+let test_fit_constant () =
+  let mus = [| 4.0; 16.0; 64.0 |] in
+  let ys = [| 3.0; 3.0; 3.0 |] in
+  let best = Fit.best ~mus ~ys () in
+  check_float ~eps:1e-9 "flat data has r2 1 under constant" 1.0 best.r2
+
+let test_transform_values () =
+  check_float ~eps:1e-9 "sqrt log 16" 2.0 (Fit.transform Fit.Sqrt_log 16.0);
+  check_float ~eps:1e-9 "loglog 16" 2.0 (Fit.transform Fit.Log_log 16.0);
+  check_float ~eps:1e-9 "log 16" 4.0 (Fit.transform Fit.Log 16.0);
+  check_float ~eps:1e-9 "mu" 16.0 (Fit.transform Fit.Linear_mu 16.0);
+  check_raises_invalid "mu < 1" (fun () -> ignore (Fit.transform Fit.Log 0.5))
+
+(* --- ratio --- *)
+
+let test_measure () =
+  let inst = instance [ (0, 4, 0.7); (2, 6, 0.7) ] in
+  let m = Ratio.measure ~name:"FF" Dbp_baselines.Any_fit.first_fit inst in
+  Alcotest.(check string) "name" "FF" m.algorithm;
+  check_int "cost" 8 m.cost;
+  check_int "opt" 8 m.opt;
+  check_float ~eps:1e-9 "ratio" 1.0 m.ratio;
+  check_bool "exact" true (m.opt_kind = Ratio.Opt_r_exact)
+
+let test_measure_empty () =
+  let m =
+    Ratio.measure ~name:"FF" Dbp_baselines.Any_fit.first_fit
+      (Dbp_instance.Instance.of_items [])
+  in
+  check_float ~eps:1e-9 "ratio 1" 1.0 m.ratio
+
+let test_compare_algorithms () =
+  let inst = instance [ (0, 8, 0.6); (0, 2, 0.6); (4, 6, 0.6) ] in
+  let ms =
+    Ratio.compare_algorithms
+      [ ("FF", Dbp_baselines.Any_fit.first_fit); ("HA", Dbp_core.Ha.policy ()) ]
+      inst
+  in
+  check_int "two measurements" 2 (List.length ms);
+  List.iter
+    (fun (m : Ratio.measurement) ->
+      check_bool "shared opt" true (m.opt = (List.hd ms).opt);
+      check_bool "ratio >= 1" true (m.ratio >= 1.0))
+    ms
+
+(* --- sweep --- *)
+
+let test_sweep_shapes () =
+  let curves =
+    Sweep.run
+      ~algorithms:[ ("FF", Dbp_baselines.Any_fit.first_fit) ]
+      ~workload:(fun ~mu ~seed ->
+        random_instance (Dbp_util.Prng.create ~seed) ~n:30 ~max_time:40
+          ~max_duration:mu)
+      ~mus:[ 4; 8 ] ~seeds:[ 1; 2; 3 ] ()
+  in
+  match curves with
+  | [ c ] ->
+      Alcotest.(check string) "name" "FF" c.algorithm;
+      check_int "points" 2 (List.length c.points);
+      List.iter
+        (fun (p : Sweep.point) -> check_int "seeds" 3 p.ratios.n)
+        c.points
+  | _ -> Alcotest.fail "expected one curve"
+
+let test_sweep_adversarial () =
+  let curves =
+    Sweep.adversarial
+      ~algorithms:[ ("FF", Dbp_baselines.Any_fit.first_fit) ]
+      ~mus:[ 16; 64 ] ()
+  in
+  match curves with
+  | [ c ] ->
+      check_int "points" 2 (List.length c.points);
+      List.iter
+        (fun (p : Sweep.point) -> check_bool "ratio > 1" true (p.ratios.mean > 1.0))
+        c.points
+  | _ -> Alcotest.fail "expected one curve"
+
+let suite =
+  [
+    case "max0 examples" test_max0_examples;
+    case "max0 string" test_max0_string;
+    prop_max0_matches_reference;
+    case "count recurrence" test_count_recurrence_small;
+    prop_count_matches_enumeration;
+    case "expectation small" test_expectation_small;
+    prop_expectation_bound;
+    case "sum over range" test_sum_over_range;
+    case "histogram" test_histogram_sums_to_one;
+    case "fit recovers models" test_fit_recovers_models;
+    case "fit constant" test_fit_constant;
+    case "transforms" test_transform_values;
+    case "measure" test_measure;
+    case "measure empty" test_measure_empty;
+    case "compare algorithms" test_compare_algorithms;
+    case "sweep shapes" test_sweep_shapes;
+    case "sweep adversarial" test_sweep_adversarial;
+  ]

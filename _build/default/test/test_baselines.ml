@@ -1,0 +1,161 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+open Dbp_baselines
+open Helpers
+
+let lb inst = Profile.ceil_integral (Profile.of_instance inst)
+
+let test_ff_behaviour () =
+  (* Two 0.6 items overlap -> 2 bins; a later 0.3 joins the earliest. *)
+  let inst = instance [ (0, 9, 0.6); (0, 9, 0.6); (1, 5, 0.3) ] in
+  let res = Engine.run Any_fit.first_fit inst in
+  check_int "bins" 2 res.bins_opened;
+  let b0 = Bin_store.bin_of_item res.store 0 in
+  check_int "third item joins earliest" b0 (Bin_store.bin_of_item res.store 2)
+
+let test_bf_behaviour () =
+  let inst = instance [ (0, 9, 0.7); (0, 9, 0.5); (1, 5, 0.3) ] in
+  let res = Engine.run Any_fit.best_fit inst in
+  check_int "joins fullest" (Bin_store.bin_of_item res.store 0)
+    (Bin_store.bin_of_item res.store 2)
+
+let test_wf_behaviour () =
+  let inst = instance [ (0, 9, 0.7); (0, 9, 0.5); (1, 5, 0.3) ] in
+  let res = Engine.run Any_fit.worst_fit inst in
+  check_int "joins emptiest" (Bin_store.bin_of_item res.store 1)
+    (Bin_store.bin_of_item res.store 2)
+
+let test_nf_behaviour () =
+  let inst = instance [ (0, 9, 0.4); (0, 9, 0.7); (0, 9, 0.5) ] in
+  let res = Engine.run Any_fit.next_fit inst in
+  check_int "next fit never looks back" 3 res.bins_opened
+
+let test_cd_separates_classes () =
+  (* Same sizes, different duration classes -> different bins under CD,
+     one bin under FF. *)
+  let inst = instance [ (0, 2, 0.2); (0, 8, 0.2) ] in
+  let cd = Engine.run (Classify_duration.policy ()) inst in
+  check_int "cd bins" 2 cd.bins_opened;
+  let ff = Engine.run Any_fit.first_fit inst in
+  check_int "ff bins" 1 ff.bins_opened
+
+let test_cd_killer_shape () =
+  (* On the cd-killer family CD pays ~ (log mu + 1) * mu while FF pays
+     ~ mu. *)
+  let inst = Dbp_workloads.Cd_killer.generate ~mu:64 () in
+  let cd = Engine.run (Classify_duration.policy ()) inst in
+  let ff = Engine.run Any_fit.first_fit inst in
+  check_bool "cd pays log mu more" true (cd.cost >= 5 * ff.cost);
+  check_int "ff is optimal here" 64 ff.cost
+
+let test_rt_class_bounds () =
+  let inst = instance [ (0, 1, 0.3); (0, 4, 0.3); (0, 64, 0.3) ] in
+  let res = Engine.run (Rt_classify.policy ~classes:3 ~mu_hint:64.0 ()) inst in
+  (* three durations spread across three geometric classes *)
+  check_int "bins" 3 res.bins_opened
+
+let test_rt_single_class_is_ff () =
+  let rng = Prng.create ~seed:5 in
+  let inst = random_instance rng ~n:60 ~max_time:50 ~max_duration:30 in
+  let rt = Engine.run (Rt_classify.policy ~classes:1 ~mu_hint:30.0 ()) inst in
+  let ff = Engine.run Any_fit.first_fit inst in
+  check_int "identical cost" ff.cost rt.cost;
+  check_int "identical bins" ff.bins_opened rt.bins_opened
+
+let test_rt_optimal_classes () =
+  check_int "mu=2 -> 1 class" 1 (Rt_classify.optimal_classes ~mu:2.0);
+  let n = Rt_classify.optimal_classes ~mu:65536.0 in
+  (* minimizing mu^(1/n) + n + 3 over n: 23.0, 17.2, 15.3, 14.9, 15.0 for
+     n = 4..8, so n* = 7 (the asymptotic log mu / log log mu = 4 only
+     kicks in at much larger mu) *)
+  check_int "n* for mu = 2^16" 7 n
+
+let test_span_greedy_prefers_covered_bin () =
+  (* Two 0.6 items force two bins; the 0.3 newcomer fits both. First-Fit
+     would take the earlier bin (horizon 4, extension 6); SpanGreedy
+     takes the later bin whose horizon already covers it (extension
+     0). *)
+  let inst = instance [ (0, 4, 0.6); (0, 20, 0.6); (2, 10, 0.3) ] in
+  let res = Engine.run Span_greedy.policy inst in
+  check_bool "two bins for the big items" true
+    (Bin_store.bin_of_item res.store 0 <> Bin_store.bin_of_item res.store 1);
+  check_int "span-aware choice" (Bin_store.bin_of_item res.store 1)
+    (Bin_store.bin_of_item res.store 2);
+  let ff = Engine.run Any_fit.first_fit inst in
+  check_int "FF would pick the earlier bin" (Bin_store.bin_of_item ff.store 0)
+    (Bin_store.bin_of_item ff.store 2)
+
+let test_span_greedy_opens_when_cheaper () =
+  (* Extending any open bin would cost the full duration; a new bin is
+     no worse, and SpanGreedy prefers it at equality. *)
+  let inst = instance [ (0, 2, 0.4); (2, 10, 0.4) ] in
+  let res = Engine.run Span_greedy.policy inst in
+  check_int "two bins" 2 res.bins_opened
+
+let test_non_clairvoyant_wrapper () =
+  (* The wrapper masks departure times: SpanGreedy degenerates because
+     every horizon looks like now+1. Check it still packs validly and is
+     named distinctly. *)
+  let rng = Prng.create ~seed:11 in
+  let inst = random_instance rng ~n:50 ~max_time:40 ~max_duration:20 in
+  let res = Engine.run (Policy.non_clairvoyant Span_greedy.policy) inst in
+  check_bool "valid" true (res.cost >= lb inst);
+  Alcotest.(check string) "name" "SpanGreedy-nc" res.name
+
+let prop_ff_ignores_durations =
+  qcase ~count:40 ~name:"FF = non-clairvoyant FF (duration-oblivious by construction)"
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let inst = random_instance rng ~n:60 ~max_time:60 ~max_duration:32 in
+      let a = Engine.run Any_fit.first_fit inst in
+      let b = Engine.run (Policy.non_clairvoyant Any_fit.first_fit) inst in
+      a.cost = b.cost && a.bins_opened = b.bins_opened)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let all_policies =
+  [
+    ("FF", Any_fit.first_fit);
+    ("BF", Any_fit.best_fit);
+    ("WF", Any_fit.worst_fit);
+    ("NF", Any_fit.next_fit);
+    ("CD", Classify_duration.policy ());
+    ("RT", Rt_classify.auto ~mu_hint:32.0);
+    ("SG", Span_greedy.policy);
+  ]
+
+let prop_all_above_lower_bound =
+  qcase ~count:60 ~name:"every baseline is valid and above the lower bound"
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let inst = random_instance rng ~n:60 ~max_time:60 ~max_duration:32 in
+      let bound = lb inst in
+      List.for_all (fun (_, p) -> (Engine.run p inst).cost >= bound) all_policies)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let prop_pinning_ff_closed_form =
+  qcase ~count:20 ~name:"FF pays the closed-form cost on the pinning family"
+    (fun mu ->
+      let inst = Dbp_workloads.Pinning.generate ~groups:mu ~k:mu ~mu () in
+      let res = Engine.run Any_fit.first_fit inst in
+      res.cost = Dbp_workloads.Pinning.ff_cost_closed_form ~groups:mu ~mu)
+    QCheck2.Gen.(int_range 2 24)
+
+let suite =
+  [
+    case "first fit" test_ff_behaviour;
+    case "best fit" test_bf_behaviour;
+    case "worst fit" test_wf_behaviour;
+    case "next fit" test_nf_behaviour;
+    case "cd separates classes" test_cd_separates_classes;
+    case "cd killer shape" test_cd_killer_shape;
+    case "rt class spread" test_rt_class_bounds;
+    case "rt single class = ff" test_rt_single_class_is_ff;
+    case "rt optimal classes" test_rt_optimal_classes;
+    case "span greedy covered bin" test_span_greedy_prefers_covered_bin;
+    case "span greedy opens" test_span_greedy_opens_when_cheaper;
+    case "non-clairvoyant wrapper" test_non_clairvoyant_wrapper;
+    prop_all_above_lower_bound;
+    prop_ff_ignores_durations;
+    prop_pinning_ff_closed_form;
+  ]

@@ -1,0 +1,87 @@
+open Dbp_util
+open Dbp_sim
+open Helpers
+
+let test_lifecycle () =
+  let s = Bin_store.create () in
+  let b = Bin_store.open_bin s ~now:0 ~label:"GN" in
+  check_bool "open" true (Bin_store.is_open s b);
+  check_int "opened_at" 0 (Bin_store.opened_at s b);
+  Alcotest.(check string) "label" "GN" (Bin_store.label s b);
+  let r1 = item ~id:1 ~a:0 ~d:5 ~s:0.5 in
+  let r2 = item ~id:2 ~a:0 ~d:3 ~s:0.25 in
+  Bin_store.insert s b r1;
+  Bin_store.insert s b r2;
+  check_int "load" (Load.capacity * 3 / 4) (Load.to_units (Bin_store.load s b));
+  check_int "residual" (Load.capacity / 4) (Load.to_units (Bin_store.residual s b));
+  check_int "contents" 2 (List.length (Bin_store.contents s b));
+  let bin, closed = Bin_store.remove s ~now:3 ~item_id:2 in
+  check_int "removed from" b bin;
+  check_bool "still open" false closed;
+  let _, closed = Bin_store.remove s ~now:5 ~item_id:1 in
+  check_bool "closed" true closed;
+  Alcotest.(check (option int)) "closed_at" (Some 5) (Bin_store.closed_at s b);
+  check_int "usage 5 ticks" 5 (Bin_store.closed_usage s)
+
+let test_usage_accounting () =
+  let s = Bin_store.create () in
+  let b1 = Bin_store.open_bin s ~now:0 ~label:"a" in
+  let b2 = Bin_store.open_bin s ~now:2 ~label:"b" in
+  Bin_store.insert s b1 (item ~id:1 ~a:0 ~d:10 ~s:0.5);
+  Bin_store.insert s b2 (item ~id:2 ~a:2 ~d:4 ~s:0.5);
+  check_int "open usage at 4" 6 (Bin_store.usage s ~now:4);
+  ignore (Bin_store.remove s ~now:4 ~item_id:2);
+  check_int "after b2 closes" 6 (Bin_store.usage s ~now:4);
+  ignore (Bin_store.remove s ~now:10 ~item_id:1);
+  check_int "final" 12 (Bin_store.usage s ~now:10);
+  check_int "closed = final" 12 (Bin_store.closed_usage s)
+
+let test_counters () =
+  let s = Bin_store.create () in
+  let b1 = Bin_store.open_bin s ~now:0 ~label:"x" in
+  let b2 = Bin_store.open_bin s ~now:0 ~label:"x" in
+  let b3 = Bin_store.open_bin s ~now:1 ~label:"x" in
+  Bin_store.insert s b1 (item ~id:1 ~a:0 ~d:2 ~s:0.5);
+  Bin_store.insert s b2 (item ~id:2 ~a:0 ~d:2 ~s:0.5);
+  Bin_store.insert s b3 (item ~id:3 ~a:1 ~d:4 ~s:0.5);
+  check_int "open_count" 3 (Bin_store.open_count s);
+  check_int "max_open" 3 (Bin_store.max_open s);
+  Alcotest.(check (list int)) "opening order" [ b1; b2; b3 ] (Bin_store.open_bins s);
+  ignore (Bin_store.remove s ~now:2 ~item_id:1);
+  ignore (Bin_store.remove s ~now:2 ~item_id:2);
+  check_int "open_count after closes" 1 (Bin_store.open_count s);
+  check_int "max_open sticky" 3 (Bin_store.max_open s);
+  check_int "bins_opened" 3 (Bin_store.bins_opened s)
+
+let test_errors () =
+  let s = Bin_store.create () in
+  let b = Bin_store.open_bin s ~now:0 ~label:"x" in
+  Bin_store.insert s b (item ~id:1 ~a:0 ~d:2 ~s:0.8);
+  check_raises_invalid "overflow" (fun () ->
+      Bin_store.insert s b (item ~id:2 ~a:0 ~d:2 ~s:0.3));
+  check_raises_invalid "duplicate item" (fun () ->
+      Bin_store.insert s b (item ~id:1 ~a:0 ~d:2 ~s:0.1));
+  (match Bin_store.remove s ~now:1 ~item_id:99 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found");
+  ignore (Bin_store.remove s ~now:2 ~item_id:1);
+  check_raises_invalid "insert into closed" (fun () ->
+      Bin_store.insert s b (item ~id:3 ~a:2 ~d:3 ~s:0.1))
+
+let test_assignment_log () =
+  let s = Bin_store.create () in
+  let b = Bin_store.open_bin s ~now:0 ~label:"x" in
+  Bin_store.insert s b (item ~id:7 ~a:0 ~d:2 ~s:0.5);
+  ignore (Bin_store.remove s ~now:2 ~item_id:7);
+  Alcotest.(check (list (pair int int))) "log survives departure" [ (7, b) ]
+    (Bin_store.assignment s);
+  check_int "bin_of_item after departure" b (Bin_store.bin_of_item s 7)
+
+let suite =
+  [
+    case "lifecycle" test_lifecycle;
+    case "usage accounting" test_usage_accounting;
+    case "counters" test_counters;
+    case "errors" test_errors;
+    case "assignment log" test_assignment_log;
+  ]

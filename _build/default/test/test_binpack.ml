@@ -1,0 +1,156 @@
+open Dbp_util
+open Dbp_binpack
+open Helpers
+
+let sizes l = Array.of_list (List.map Load.of_float l)
+
+let test_first_fit_example () =
+  (* 0.6 opens bin0; 0.5 opens bin1; 0.4 joins bin0; 0.3 joins bin1;
+     0.2 joins bin1. *)
+  let a = Heuristics.pack First_fit (sizes [ 0.6; 0.5; 0.4; 0.3; 0.2 ]) in
+  Alcotest.(check (array int)) "assignment" [| 0; 1; 0; 1; 1 |] a
+
+let test_next_fit_example () =
+  let c = Heuristics.count Next_fit (sizes [ 0.5; 0.6; 0.5; 0.6 ]) in
+  check_int "next fit never looks back" 4 c
+
+let test_best_fit_example () =
+  (* bins: 0.7 and 0.5 open; 0.3 best-fits into the 0.7 bin. *)
+  let a = Heuristics.pack Best_fit (sizes [ 0.7; 0.5; 0.3 ]) in
+  Alcotest.(check (array int)) "assignment" [| 0; 1; 0 |] a
+
+let test_worst_fit_example () =
+  (* 0.3 worst-fits into the emptier (0.5) bin. *)
+  let a = Heuristics.pack Worst_fit (sizes [ 0.7; 0.5; 0.3 ]) in
+  Alcotest.(check (array int)) "assignment" [| 0; 1; 1 |] a
+
+let test_ffd_example () =
+  check_int "ffd" 2 (Heuristics.ffd (sizes [ 0.2; 0.5; 0.4; 0.3; 0.6 ]));
+  check_int "ffd empty" 0 (Heuristics.ffd [||])
+
+let test_oversize_rejected () =
+  check_raises_invalid "oversize" (fun () ->
+      Heuristics.pack First_fit [| Load.of_units (Load.capacity + 1) |])
+
+let test_lower_bounds () =
+  check_int "l1 empty" 0 (Lower_bounds.l1 [||]);
+  check_int "l1" 2 (Lower_bounds.l1 (sizes [ 0.9; 0.9 ]));
+  (* three items > 1/2 are pairwise incompatible: l2 = 3, l1 = 2 *)
+  let s = sizes [ 0.6; 0.6; 0.6 ] in
+  check_int "l1 volume" 2 (Lower_bounds.l1 s);
+  check_int "l2 pairwise" 3 (Lower_bounds.l2 s);
+  check_int "best" 3 (Lower_bounds.best s)
+
+let test_exact_known () =
+  let check_opt name expected l =
+    let r = Exact.min_bins (sizes l) in
+    check_bool (name ^ " exact") true r.exact;
+    check_int name expected r.bins
+  in
+  check_opt "empty" 0 [];
+  check_opt "single" 1 [ 0.4 ];
+  check_opt "pairable" 2 [ 0.6; 0.5; 0.4; 0.3; 0.2 ];
+  check_opt "three large" 3 [ 0.6; 0.6; 0.6 ];
+  check_opt "perfect halves" 2 [ 0.5; 0.5; 0.5; 0.5 ];
+  check_opt "tricky" 3 [ 0.55; 0.45; 0.5; 0.5; 0.45; 0.55 ]
+
+let test_exact_all_equal () =
+  let r = Exact.min_bins (Array.make 10 (Load.of_fraction ~num:1 ~den:3)) in
+  check_bool "exact" true r.exact;
+  check_int "ceil(10/3)" 4 r.bins
+
+let brute_force sizes =
+  (* Reference optimum by exhaustive assignment, for tiny inputs. *)
+  let n = Array.length sizes in
+  let best = ref n in
+  let bins = Array.make n 0 in
+  let rec go i used =
+    if used >= !best then ()
+    else if i = n then best := used
+    else begin
+      for b = 0 to used - 1 do
+        let s = Load.to_units sizes.(i) in
+        if bins.(b) + s <= Load.capacity then begin
+          bins.(b) <- bins.(b) + s;
+          go (i + 1) used;
+          bins.(b) <- bins.(b) - s
+        end
+      done;
+      bins.(used) <- Load.to_units sizes.(i);
+      go (i + 1) (used + 1);
+      bins.(used) <- 0
+    end
+  in
+  if n = 0 then 0
+  else begin
+    go 0 0;
+    !best
+  end
+
+let gen_sizes =
+  QCheck2.Gen.(
+    list_size (int_range 0 9) (int_range 1 Load.capacity)
+    |> map (fun l -> Array.of_list (List.map Load.of_units l)))
+
+let prop_exact_matches_brute_force =
+  qcase ~count:100 ~name:"exact = brute force on tiny instances"
+    (fun s -> (Exact.min_bins s).bins = brute_force s)
+    gen_sizes
+
+let prop_bounds_sandwich =
+  qcase ~name:"l1 <= l2 <= exact <= ffd"
+    (fun s ->
+      let l1 = Lower_bounds.l1 s and l2 = Lower_bounds.l2 s in
+      let opt = (Exact.min_bins s).bins in
+      let ffd = Heuristics.ffd s in
+      l1 <= l2 && l2 <= opt && opt <= ffd)
+    gen_sizes
+
+let prop_pack_valid =
+  qcase ~name:"every heuristic packing respects capacity"
+    (fun (rule_ix, l) ->
+      let rule =
+        match rule_ix mod 4 with
+        | 0 -> Heuristics.First_fit
+        | 1 -> Heuristics.Best_fit
+        | 2 -> Heuristics.Worst_fit
+        | _ -> Heuristics.Next_fit
+      in
+      let s = Array.of_list (List.map Load.of_units l) in
+      let a = Heuristics.pack rule s in
+      let loads = Hashtbl.create 8 in
+      Array.iteri
+        (fun i b ->
+          let cur = Option.value (Hashtbl.find_opt loads b) ~default:0 in
+          Hashtbl.replace loads b (cur + Load.to_units s.(i)))
+        a;
+      Hashtbl.fold (fun _ load ok -> ok && load <= Load.capacity) loads true)
+    QCheck2.Gen.(pair (int_range 0 3) (list_size (int_range 0 40) (int_range 1 Load.capacity)))
+
+let test_solver_cache () =
+  let solver = Solver.create () in
+  let s = sizes [ 0.6; 0.5; 0.4 ] in
+  let r1 = Solver.min_bins solver s in
+  (* Same multiset in a different order must hit the cache. *)
+  let r2 = Solver.min_bins solver (sizes [ 0.4; 0.6; 0.5 ]) in
+  check_int "same result" r1.bins r2.bins;
+  let hits, misses = Solver.stats solver in
+  check_int "hits" 1 hits;
+  check_int "misses" 1 misses
+
+let suite =
+  [
+    case "first fit example" test_first_fit_example;
+    case "next fit example" test_next_fit_example;
+    case "best fit example" test_best_fit_example;
+    case "worst fit example" test_worst_fit_example;
+    case "ffd example" test_ffd_example;
+    case "oversize rejected" test_oversize_rejected;
+    case "lower bounds" test_lower_bounds;
+    case "exact known instances" test_exact_known;
+    case "exact all-equal shortcut" test_exact_all_equal;
+    prop_exact_matches_brute_force;
+    prop_bounds_sandwich;
+    prop_pack_valid;
+    case "solver cache" test_solver_cache;
+  ]

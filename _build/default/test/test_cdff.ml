@@ -1,0 +1,151 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+open Dbp_core
+open Helpers
+
+let run ?rule inst = Engine.run (Cdff.policy ?rule ()) inst
+
+let test_single_item () =
+  let res = run (instance [ (0, 4, 0.5) ]) in
+  check_int "cost" 4 res.cost;
+  check_int "bins" 1 res.bins_opened
+
+(* Corollary 5.8: on the binary input sigma_mu the number of open bins
+   at t^+ equals max_0(binary(t)) + 1 — for every t. This is the sharp,
+   implementation-revealing identity of the paper. *)
+let check_corollary58 mu () =
+  let n = Ints.floor_log2 mu in
+  let res = run (binary_input mu) in
+  Array.iter
+    (fun (t, open_bins) ->
+      if t >= 0 && t < mu then begin
+        let expected = max0_bits ~bits:n t + 1 in
+        if open_bins <> expected then
+          Alcotest.failf "mu=%d t=%d: %d open bins, expected %d" mu t open_bins expected
+      end)
+    res.series
+
+(* Proposition 5.3: CDFF(sigma_mu) <= (2 log log mu + 1) * mu, and
+   OPT_R(sigma_mu) = mu. *)
+let check_prop53 mu () =
+  let res = run (binary_input mu) in
+  let bound = Theory.cdff_binary_bound (float_of_int mu) *. float_of_int mu in
+  if float_of_int res.cost > bound then
+    Alcotest.failf "mu=%d: cost %d above bound %.1f" mu res.cost bound
+
+let test_figure3_sigma8 () =
+  (* Figure 3: at t=0, sigma_8's four items occupy four rows: length 8 in
+     row 0, 4 in row 1, 2 in row 2, 1 in row 3. *)
+  let res = run (binary_input 8) in
+  let label id = Bin_store.label res.store (Bin_store.bin_of_item res.store id) in
+  let inst = binary_input 8 in
+  Array.iter
+    (fun (r : Item.t) ->
+      if r.arrival = 0 then begin
+        let expected = Printf.sprintf "row%d" (3 - Item.length_class r) in
+        Alcotest.(check string)
+          (Printf.sprintf "item of length %d" (Item.duration r))
+          expected (label r.id)
+      end)
+    (Instance.items inst)
+
+let test_rows_follow_m_t () =
+  (* sigma_8 at t=2 (binary 010): m_t = ntz(2) = 1; the arriving length-2
+     item goes to row 0, the length-1 item to row 1. *)
+  let res = run (binary_input 8) in
+  let inst = binary_input 8 in
+  Array.iter
+    (fun (r : Item.t) ->
+      if r.arrival = 2 then begin
+        let expected = Printf.sprintf "row%d" (1 - Item.length_class r) in
+        Alcotest.(check string)
+          (Printf.sprintf "t=2 length %d" (Item.duration r))
+          expected
+          (Bin_store.label res.store (Bin_store.bin_of_item res.store r.id))
+      end)
+    (Instance.items inst)
+
+let test_adaptive_top_growth () =
+  (* Items arriving at t=0 in increasing-length order force CDFF to
+     re-anchor its rows (it cannot know mu in advance): the length-1 item
+     placed first must end up in the same row as a length-1 item placed
+     after the length-8 item revealed the true top class. *)
+  let items =
+    [
+      item ~id:0 ~a:0 ~d:1 ~s:0.1;
+      item ~id:1 ~a:0 ~d:8 ~s:0.1;
+      item ~id:2 ~a:0 ~d:1 ~s:0.1;
+    ]
+  in
+  let res = run (Instance.of_items items) in
+  let bin id = Bin_store.bin_of_item res.store id in
+  check_int "both length-1 items share a bin" (bin 0) (bin 2);
+  Alcotest.(check string) "length-8 in row 0" "row0" (Bin_store.label res.store (bin 1));
+  Alcotest.(check string) "length-1 row relabeled" "row3"
+    (Bin_store.label res.store (bin 0))
+
+let test_segment_partition () =
+  let factory, gauge = Cdff.instrumented () in
+  (* Two disjoint aligned bursts: [0,4) and [8,12). *)
+  let inst =
+    Instance.of_items
+      [
+        item ~id:0 ~a:0 ~d:4 ~s:0.5;
+        item ~id:1 ~a:0 ~d:2 ~s:0.5;
+        item ~id:2 ~a:8 ~d:12 ~s:0.5;
+        item ~id:3 ~a:8 ~d:10 ~s:0.5;
+      ]
+  in
+  let res = Engine.run factory inst in
+  check_int "two segments" 2 gauge.segments;
+  check_int "cost" 12 res.cost
+
+let test_non_aligned_safe () =
+  (* Guarantees are void but the packing must stay valid. *)
+  let rng = Prng.create ~seed:99 in
+  let inst = random_instance rng ~n:80 ~max_time:60 ~max_duration:40 in
+  let res = run inst in
+  check_bool "cost at least LB" true
+    (res.cost >= Profile.ceil_integral (Profile.of_instance inst))
+
+let prop_aligned_random_valid =
+  qcase ~count:60 ~name:"aligned random inputs: packed, costed, above LB"
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      (* Build an aligned instance: pick class, then an aligned arrival. *)
+      let items = ref [] in
+      for id = 0 to 59 do
+        let cls = Prng.int_below rng 5 in
+        let width = Ints.pow2 cls in
+        let arrival = width * Prng.int_below rng 8 in
+        let dur = max 1 (width / 2) + Prng.int_below rng (max 1 (width / 2)) in
+        let dur = min dur width in
+        let size = Load.of_fraction ~num:(1 + Prng.int_below rng 10) ~den:10 in
+        items := Item.make ~id ~arrival ~departure:(arrival + dur) ~size :: !items
+      done;
+      let inst = Instance.of_items !items in
+      if not (Instance.is_aligned inst) then false
+      else begin
+        let res = run inst in
+        res.cost >= Profile.ceil_integral (Profile.of_instance inst)
+      end)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let suite =
+  [
+    case "single item" test_single_item;
+    case "corollary 5.8 (mu=4)" (check_corollary58 4);
+    case "corollary 5.8 (mu=8)" (check_corollary58 8);
+    case "corollary 5.8 (mu=16)" (check_corollary58 16);
+    case "corollary 5.8 (mu=64)" (check_corollary58 64);
+    slow_case "corollary 5.8 (mu=256)" (check_corollary58 256);
+    case "proposition 5.3 (mu=16)" (check_prop53 16);
+    case "proposition 5.3 (mu=256)" (check_prop53 256);
+    case "figure 3 rows" test_figure3_sigma8;
+    case "rows follow m_t" test_rows_follow_m_t;
+    case "adaptive top growth" test_adaptive_top_growth;
+    case "segment partition" test_segment_partition;
+    case "non-aligned inputs safe" test_non_aligned_safe;
+    prop_aligned_random_valid;
+  ]

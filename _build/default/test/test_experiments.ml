@@ -1,0 +1,54 @@
+open Dbp_experiments
+open Helpers
+
+let test_registry_complete () =
+  (* Every DESIGN.md experiment id E1..E18 is present exactly once. *)
+  let ids = List.map (fun (e : Registry.entry) -> e.experiment) Registry.all in
+  check_int "20 experiments" 20 (List.length ids);
+  check_int "unique" 20 (List.length (List.sort_uniq compare ids));
+  List.iteri
+    (fun i id -> check_bool id true (List.mem (Printf.sprintf "E%d" (i + 1)) ids))
+    ids
+
+let test_registry_find () =
+  (match Registry.find "table1" with
+  | Some e -> Alcotest.(check string) "by id" "E1" e.experiment
+  | None -> Alcotest.fail "table1 not found");
+  (match Registry.find "e8" with
+  | Some e -> Alcotest.(check string) "by experiment, case-insensitive" "theorem43" e.id
+  | None -> Alcotest.fail "E8 not found");
+  check_bool "unknown" true (Registry.find "nope" = None)
+
+let test_workload_defs () =
+  let open Dbp_instance in
+  let g = Dbp_experiments.Workload_defs.general ~mu:32 ~seed:1 in
+  check_int "general realizes mu" 32 (Instance.max_duration g);
+  let a = Dbp_experiments.Workload_defs.aligned ~mu:32 ~seed:1 in
+  check_bool "aligned" true (Instance.is_aligned a);
+  let b = Dbp_experiments.Workload_defs.binary ~mu:32 ~seed:1 in
+  check_int "binary items" 63 (Instance.length b)
+
+(* Smoke-run the cheap experiments end to end; the expensive ones are
+   exercised by the bench harness. *)
+let test_figures_run () =
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some e ->
+          let out = e.run ~quick:true in
+          check_bool (id ^ " nonempty") true (String.length out > 100)
+      | None -> Alcotest.failf "%s missing" id)
+    [ "figure1"; "figure2"; "figure3"; "corollary58"; "lemma59"; "prop53" ]
+
+let test_common_roster () =
+  check_int "core roster" 4 (List.length (Common.core_roster ~mu_hint:64.0));
+  check_int "full roster" 7 (List.length (Common.clairvoyant_roster ~mu_hint:64.0))
+
+let suite =
+  [
+    case "registry complete" test_registry_complete;
+    case "registry find" test_registry_find;
+    case "workload defs" test_workload_defs;
+    slow_case "figure experiments run" test_figures_run;
+    case "rosters" test_common_roster;
+  ]

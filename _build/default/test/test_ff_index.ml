@@ -1,0 +1,92 @@
+open Dbp_sim
+open Helpers
+
+let test_push_query () =
+  let t = Ff_index.create () in
+  let s0 = Ff_index.push t ~residual:10 in
+  let _s1 = Ff_index.push t ~residual:50 in
+  let _s2 = Ff_index.push t ~residual:30 in
+  check_int "slot ids" 0 s0;
+  check_int "length" 3 (Ff_index.length t);
+  Alcotest.(check (option int)) "need 5 -> leftmost" (Some 0) (Ff_index.first_fit t 5);
+  Alcotest.(check (option int)) "need 20 -> slot 1" (Some 1) (Ff_index.first_fit t 20);
+  Alcotest.(check (option int)) "need 40 -> slot 1" (Some 1) (Ff_index.first_fit t 40);
+  Alcotest.(check (option int)) "need 60 -> none" None (Ff_index.first_fit t 60)
+
+let test_set_deactivate () =
+  let t = Ff_index.create () in
+  ignore (Ff_index.push t ~residual:10);
+  ignore (Ff_index.push t ~residual:20);
+  Ff_index.set t 0 3;
+  Alcotest.(check (option int)) "after set" (Some 1) (Ff_index.first_fit t 5);
+  Ff_index.deactivate t 1;
+  Alcotest.(check (option int)) "after deactivate" (Some 0) (Ff_index.first_fit t 3);
+  Alcotest.(check (option int)) "nothing fits" None (Ff_index.first_fit t 5);
+  check_int "residual reads -1" (-1) (Ff_index.residual t 1);
+  Alcotest.(check (list int)) "active" [ 0 ] (Ff_index.active t)
+
+let test_need_zero () =
+  let t = Ff_index.create () in
+  ignore (Ff_index.push t ~residual:0);
+  Alcotest.(check (option int)) "zero-residual satisfies zero need" (Some 0)
+    (Ff_index.first_fit t 0);
+  Ff_index.deactivate t 0;
+  Alcotest.(check (option int)) "deactivated slot never matches" None
+    (Ff_index.first_fit t 0)
+
+let test_growth () =
+  let t = Ff_index.create () in
+  for i = 0 to 99 do
+    ignore (Ff_index.push t ~residual:i)
+  done;
+  check_int "length" 100 (Ff_index.length t);
+  Alcotest.(check (option int)) "query across growth" (Some 99) (Ff_index.first_fit t 99);
+  Alcotest.(check (option int)) "leftmost across growth" (Some 50) (Ff_index.first_fit t 50)
+
+let test_bad_slot () =
+  let t = Ff_index.create () in
+  check_raises_invalid "set" (fun () -> Ff_index.set t 0 1);
+  check_raises_invalid "negative need" (fun () -> Ff_index.first_fit t (-1))
+
+(* Randomized differential test against a naive array model. *)
+let prop_vs_naive =
+  qcase ~count:100 ~name:"matches naive model under random ops"
+    (fun ops ->
+      let t = Ff_index.create () in
+      let model = ref [||] in
+      let ok = ref true in
+      List.iter
+        (fun (op, arg) ->
+          let n = Array.length !model in
+          match op mod 4 with
+          | 0 ->
+              ignore (Ff_index.push t ~residual:arg);
+              model := Array.append !model [| arg |]
+          | 1 when n > 0 ->
+              let slot = arg mod n in
+              Ff_index.set t slot (arg * 7 mod 1000);
+              !model.(slot) <- arg * 7 mod 1000
+          | 2 when n > 0 ->
+              let slot = arg mod n in
+              Ff_index.deactivate t slot;
+              !model.(slot) <- -1
+          | _ ->
+              let need = arg mod 1000 in
+              let naive = ref None in
+              Array.iteri
+                (fun i r -> if !naive = None && r >= need && r >= 0 then naive := Some i)
+                !model;
+              if Ff_index.first_fit t need <> !naive then ok := false)
+        ops;
+      !ok)
+    QCheck2.Gen.(list_size (int_range 1 200) (pair (int_range 0 3) (int_range 0 10_000)))
+
+let suite =
+  [
+    case "push/query" test_push_query;
+    case "set/deactivate" test_set_deactivate;
+    case "need zero" test_need_zero;
+    case "growth" test_growth;
+    case "bad slot" test_bad_slot;
+    prop_vs_naive;
+  ]

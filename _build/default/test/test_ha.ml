@@ -1,0 +1,128 @@
+open Dbp_instance
+open Dbp_sim
+open Dbp_core
+open Helpers
+
+let run ?rule ?threshold inst = Engine.run (Ha.policy ?rule ?threshold ()) inst
+
+let test_single_item () =
+  let res = run (instance [ (0, 4, 0.3) ]) in
+  check_int "cost" 4 res.cost;
+  check_int "bins" 1 res.bins_opened
+
+let test_under_threshold_goes_gn () =
+  (* duration 2 -> class 1, threshold 1/2: a 0.4 item stays general. *)
+  let res = run (instance [ (0, 2, 0.4) ]) in
+  let bin = Bin_store.bin_of_item res.store 0 in
+  Alcotest.(check string) "GN bin" "GN" (Bin_store.label res.store bin)
+
+let test_over_threshold_opens_cd () =
+  (* 0.6 > 1/2: HA opens a CD bin for type (1, 0). *)
+  let res = run (instance [ (0, 2, 0.6) ]) in
+  let bin = Bin_store.bin_of_item res.store 0 in
+  Alcotest.(check string) "CD bin" "CD(1,0)" (Bin_store.label res.store bin)
+
+let test_cd_attracts_same_type () =
+  (* Once a CD bin for the type exists, later same-type items join it
+     even when their own load is tiny (Algorithm 1, line 4). *)
+  let res = run (instance [ (0, 2, 0.6); (0, 2, 0.05) ]) in
+  let b0 = Bin_store.bin_of_item res.store 0 in
+  let b1 = Bin_store.bin_of_item res.store 1 in
+  check_int "same CD bin" b0 b1;
+  check_int "one bin total" 1 res.bins_opened
+
+let test_cumulative_load_crosses_threshold () =
+  (* Three 0.2 items of type (1,0): the third brings the type load to
+     0.6 > 1/2, so it opens a CD bin; the first two stay in GN. *)
+  let res = run (instance [ (0, 2, 0.2); (0, 2, 0.2); (0, 2, 0.2) ]) in
+  let label i = Bin_store.label res.store (Bin_store.bin_of_item res.store i) in
+  Alcotest.(check string) "first GN" "GN" (label 0);
+  Alcotest.(check string) "second GN" "GN" (label 1);
+  Alcotest.(check string) "third CD" "CD(1,0)" (label 2)
+
+let test_type_load_resets_after_departures () =
+  (* After the type's items depart and its CD bin closes, a fresh small
+     item of a fresh block goes back to GN. *)
+  let res = run (instance [ (0, 2, 0.9); (4, 6, 0.1) ]) in
+  let label i = Bin_store.label res.store (Bin_store.bin_of_item res.store i) in
+  Alcotest.(check string) "first CD" "CD(1,0)" (label 0);
+  Alcotest.(check string) "later GN" "GN" (label 1)
+
+let test_custom_threshold () =
+  (* A threshold above the total type load sends everything to GN. *)
+  let res = run ~threshold:(fun _ -> 2.0) (instance [ (0, 2, 0.9); (0, 2, 0.9) ]) in
+  let label i = Bin_store.label res.store (Bin_store.bin_of_item res.store i) in
+  Alcotest.(check string) "all GN" "GN" (label 0);
+  Alcotest.(check string) "all GN" "GN" (label 1)
+
+let test_any_fit_rules_valid () =
+  let inst =
+    instance
+      [ (0, 2, 0.4); (0, 4, 0.3); (1, 3, 0.6); (2, 8, 0.2); (4, 5, 0.9); (5, 9, 0.5) ]
+  in
+  List.iter
+    (fun rule ->
+      let res = run ~rule inst in
+      check_bool "cost at least LB" true
+        (res.cost >= Profile.ceil_integral (Profile.of_instance inst)))
+    Dbp_binpack.Heuristics.[ First_fit; Best_fit; Worst_fit; Next_fit ]
+
+let gauge_run inst =
+  let factory, gauge = Ha.instrumented () in
+  let res = Engine.run factory inst in
+  (res, gauge)
+
+let prop_lemma33_gn_bound =
+  qcase ~count:100 ~name:"Lemma 3.3: GN_t <= 2 + 4 sqrt(#classes)"
+    (fun seed ->
+      let inst =
+        random_instance (Dbp_util.Prng.create ~seed) ~n:120 ~max_time:64 ~max_duration:64
+      in
+      let _, gauge = gauge_run inst in
+      float_of_int gauge.max_gn
+      <= 2.0 +. (4.0 *. sqrt (float_of_int (max 1 gauge.max_classes))) +. 1e-9)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let prop_cost_above_lb =
+  qcase ~count:100 ~name:"HA cost >= ceil-integral lower bound"
+    (fun seed ->
+      let inst =
+        random_instance (Dbp_util.Prng.create ~seed) ~n:60 ~max_time:100 ~max_duration:40
+      in
+      let res = run inst in
+      res.cost >= Profile.ceil_integral (Profile.of_instance inst))
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let prop_all_items_packed =
+  qcase ~count:60 ~name:"every item is packed exactly once"
+    (fun seed ->
+      let inst =
+        random_instance (Dbp_util.Prng.create ~seed) ~n:80 ~max_time:80 ~max_duration:50
+      in
+      let res = run inst in
+      let packed = List.map fst (Bin_store.assignment res.store) in
+      List.sort_uniq Int.compare packed = List.init (Instance.length inst) (fun i -> i))
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let test_gauge_counts () =
+  let inst = instance [ (0, 2, 0.6); (0, 2, 0.1) ] in
+  let res, gauge = gauge_run inst in
+  check_int "cd bins opened" 1 res.bins_opened;
+  check_int "max gn" 0 gauge.max_gn;
+  check_int "classes" 1 gauge.max_classes
+
+let suite =
+  [
+    case "single item" test_single_item;
+    case "under threshold -> GN" test_under_threshold_goes_gn;
+    case "over threshold -> CD" test_over_threshold_opens_cd;
+    case "CD attracts same type" test_cd_attracts_same_type;
+    case "cumulative threshold" test_cumulative_load_crosses_threshold;
+    case "type load resets" test_type_load_resets_after_departures;
+    case "custom threshold" test_custom_threshold;
+    case "any-fit rules" test_any_fit_rules_valid;
+    case "gauge counts" test_gauge_counts;
+    prop_lemma33_gn_bound;
+    prop_cost_above_lb;
+    prop_all_items_packed;
+  ]

@@ -1,0 +1,66 @@
+open Dbp_util
+open Helpers
+
+let int_heap l = Heap.of_list ~cmp:Int.compare l
+
+let test_basic () =
+  let h = int_heap [ 5; 1; 4; 2; 3 ] in
+  check_int "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  check_int "pop" 1 (Heap.pop_exn h);
+  check_int "pop" 2 (Heap.pop_exn h);
+  Heap.add h 0;
+  check_int "pop new min" 0 (Heap.pop_exn h);
+  Alcotest.(check (list int)) "drain" [ 3; 4; 5 ] (Heap.drain h);
+  check_bool "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  check_raises_invalid "pop_exn empty" (fun () -> Heap.pop_exn h)
+
+let test_max_heap () =
+  let h = Heap.of_list ~cmp:(fun a b -> Int.compare b a) [ 1; 9; 5 ] in
+  check_int "max first" 9 (Heap.pop_exn h);
+  check_int "then" 5 (Heap.pop_exn h)
+
+let test_duplicates () =
+  let h = int_heap [ 2; 2; 1; 1; 3 ] in
+  Alcotest.(check (list int)) "drain with dups" [ 1; 1; 2; 2; 3 ] (Heap.drain h)
+
+let prop_drain_sorted =
+  qcase ~name:"drain returns a sorted permutation"
+    (fun l ->
+      let drained = Heap.drain (int_heap l) in
+      drained = List.sort Int.compare l)
+    QCheck2.Gen.(list int)
+
+let prop_interleaved =
+  qcase ~name:"interleaved add/pop never violates heap order"
+    (fun ops ->
+      let h = Heap.create ~cmp:Int.compare in
+      let ok = ref true in
+      let last_popped = ref None in
+      List.iter
+        (fun op ->
+          if op >= 0 then begin
+            Heap.add h op;
+            last_popped := None (* adds may introduce smaller keys *)
+          end
+          else
+            match Heap.pop h with
+            | None -> ()
+            | Some x ->
+                (match !last_popped with
+                | Some prev when prev > x -> ok := false
+                | _ -> ());
+                last_popped := Some x)
+        ops;
+      !ok)
+    QCheck2.Gen.(list (int_range (-1) 1000))
+
+let suite =
+  [
+    case "basic order" test_basic;
+    case "custom comparison" test_max_heap;
+    case "duplicates" test_duplicates;
+    prop_drain_sorted;
+    prop_interleaved;
+  ]

@@ -1,0 +1,113 @@
+open Dbp_util
+open Dbp_instance
+open Helpers
+
+let test_sorting () =
+  let inst = instance [ (5, 6, 0.1); (1, 3, 0.2); (1, 2, 0.3) ] in
+  let arr = Instance.items inst in
+  check_int "count" 3 (Instance.length inst);
+  check_int "first arrival" 1 arr.(0).arrival;
+  check_bool "tie by id" true (arr.(0).id < arr.(1).id)
+
+let test_duplicate_ids () =
+  let a = item ~id:1 ~a:0 ~d:1 ~s:0.1 and b = item ~id:1 ~a:2 ~d:3 ~s:0.1 in
+  check_raises_invalid "duplicate" (fun () -> Instance.of_items [ a; b ])
+
+let test_mu () =
+  let inst = instance [ (0, 1, 0.1); (0, 8, 0.1); (2, 6, 0.1) ] in
+  check_int "min duration" 1 (Instance.min_duration inst);
+  check_int "max duration" 8 (Instance.max_duration inst);
+  check_float ~eps:1e-9 "mu" 8.0 (Instance.mu inst);
+  check_float ~eps:1e-9 "log2 mu" 3.0 (Instance.log2_mu inst)
+
+let test_demand () =
+  (* two items: 0.5 for 4 ticks + 0.25 for 8 ticks = 4 bin-ticks *)
+  let inst = instance [ (0, 4, 0.5); (0, 8, 0.25) ] in
+  check_float ~eps:1e-6 "demand" 4.0 (Instance.demand inst)
+
+let test_span () =
+  check_int "overlap" 10 (Instance.span (instance [ (0, 10, 0.1); (2, 3, 0.1) ]));
+  check_int "gap" 3 (Instance.span (instance [ (0, 2, 0.1); (5, 6, 0.1) ]));
+  check_int "chain" 4 (Instance.span (instance [ (0, 2, 0.1); (2, 4, 0.1) ]));
+  check_int "empty" 0 (Instance.span (Instance.of_items []))
+
+let test_contiguous () =
+  check_bool "contiguous" true (Instance.is_contiguous (instance [ (0, 2, 0.1); (1, 5, 0.1) ]));
+  check_bool "gap" false (Instance.is_contiguous (instance [ (0, 2, 0.1); (5, 6, 0.1) ]));
+  check_bool "touching" true (Instance.is_contiguous (instance [ (0, 2, 0.1); (2, 4, 0.1) ]))
+
+let test_active_at () =
+  let inst = instance [ (0, 4, 0.1); (2, 6, 0.1); (5, 7, 0.1) ] in
+  check_int "at 3" 2 (List.length (Instance.active_at inst 3));
+  check_int "at 4" 1 (List.length (Instance.active_at inst 4));
+  check_int "at 10" 0 (List.length (Instance.active_at inst 10))
+
+let test_union_shift () =
+  let a = instance [ (0, 2, 0.1) ] in
+  let b =
+    Instance.of_items [ item ~id:100 ~a:4 ~d:6 ~s:0.1 ]
+  in
+  let u = Instance.union a b in
+  check_int "union size" 2 (Instance.length u);
+  let s = Instance.shift u 10 in
+  check_int "shifted start" 10 (Instance.start_time s);
+  check_int "shifted end" 16 (Instance.end_time s);
+  check_raises_invalid "negative arrival" (fun () -> Instance.shift u (-5))
+
+let test_is_aligned () =
+  check_bool "aligned" true
+    (Instance.is_aligned (instance [ (0, 8, 0.1); (4, 6, 0.1); (3, 4, 0.1) ]));
+  check_bool "not aligned" false (Instance.is_aligned (instance [ (1, 3, 0.1) ]))
+
+let test_find () =
+  let inst = instance [ (0, 2, 0.1); (1, 3, 0.2) ] in
+  check_int "find id 1" 1 (Instance.find inst 1).id;
+  (match Instance.find inst 99 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found")
+
+let test_empty_guards () =
+  let e = Instance.of_items [] in
+  check_bool "is_empty" true (Instance.is_empty e);
+  check_raises_invalid "min_duration" (fun () -> Instance.min_duration e);
+  check_raises_invalid "start_time" (fun () -> Instance.start_time e)
+
+let gen_inst =
+  QCheck2.Gen.(
+    let* n = int_range 1 40 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      (random_instance (Prng.create ~seed) ~n ~max_time:100 ~max_duration:50))
+
+let prop_span_le_window =
+  qcase ~name:"span <= end - start, with equality iff contiguous"
+    (fun inst ->
+      let window = Instance.end_time inst - Instance.start_time inst in
+      let span = Instance.span inst in
+      span <= window && Instance.is_contiguous inst = (span = window))
+    gen_inst
+
+let prop_demand_le_span_times_peak =
+  qcase ~name:"demand <= span * peak concurrent load"
+    (fun inst ->
+      let profile = Profile.of_instance inst in
+      Instance.demand_units inst
+      <= Instance.span inst * Profile.max_load_units profile)
+    gen_inst
+
+let suite =
+  [
+    case "sorting" test_sorting;
+    case "duplicate ids" test_duplicate_ids;
+    case "mu" test_mu;
+    case "demand" test_demand;
+    case "span" test_span;
+    case "contiguous" test_contiguous;
+    case "active_at" test_active_at;
+    case "union/shift" test_union_shift;
+    case "is_aligned" test_is_aligned;
+    case "find" test_find;
+    case "empty guards" test_empty_guards;
+    prop_span_le_window;
+    prop_demand_le_span_times_peak;
+  ]

@@ -1,0 +1,101 @@
+open Dbp_util
+open Helpers
+
+let test_is_pow2 () =
+  List.iter (fun n -> check_bool (string_of_int n) true (Ints.is_pow2 n)) [ 1; 2; 4; 1024 ];
+  List.iter (fun n -> check_bool (string_of_int n) false (Ints.is_pow2 n)) [ 3; 5; 6; 7; 1000 ];
+  check_raises_invalid "zero" (fun () -> Ints.is_pow2 0)
+
+let test_pow2 () =
+  check_int "2^0" 1 (Ints.pow2 0);
+  check_int "2^10" 1024 (Ints.pow2 10);
+  check_int "2^61" (1 lsl 61) (Ints.pow2 61);
+  check_raises_invalid "negative" (fun () -> Ints.pow2 (-1));
+  check_raises_invalid "too big" (fun () -> Ints.pow2 62)
+
+let test_floor_log2 () =
+  check_int "1" 0 (Ints.floor_log2 1);
+  check_int "2" 1 (Ints.floor_log2 2);
+  check_int "3" 1 (Ints.floor_log2 3);
+  check_int "4" 2 (Ints.floor_log2 4);
+  check_int "1023" 9 (Ints.floor_log2 1023);
+  check_int "1024" 10 (Ints.floor_log2 1024);
+  check_raises_invalid "zero" (fun () -> Ints.floor_log2 0)
+
+let test_ceil_log2 () =
+  check_int "1" 0 (Ints.ceil_log2 1);
+  check_int "2" 1 (Ints.ceil_log2 2);
+  check_int "3" 2 (Ints.ceil_log2 3);
+  check_int "4" 2 (Ints.ceil_log2 4);
+  check_int "5" 3 (Ints.ceil_log2 5);
+  check_int "1025" 11 (Ints.ceil_log2 1025)
+
+let test_ntz () =
+  check_int "1" 0 (Ints.ntz 1);
+  check_int "2" 1 (Ints.ntz 2);
+  check_int "12" 2 (Ints.ntz 12);
+  check_int "96" 5 (Ints.ntz 96);
+  check_int "2^40" 40 (Ints.ntz (1 lsl 40));
+  check_raises_invalid "zero" (fun () -> Ints.ntz 0)
+
+let test_popcount () =
+  check_int "0" 0 (Ints.popcount 0);
+  check_int "1" 1 (Ints.popcount 1);
+  check_int "255" 8 (Ints.popcount 255);
+  check_int "0b1010101" 4 (Ints.popcount 0b1010101)
+
+let test_ceil_div () =
+  check_int "7/2" 4 (Ints.ceil_div 7 2);
+  check_int "8/2" 4 (Ints.ceil_div 8 2);
+  check_int "0/5" 0 (Ints.ceil_div 0 5);
+  check_int "1/5" 1 (Ints.ceil_div 1 5);
+  check_raises_invalid "zero den" (fun () -> Ints.ceil_div 1 0)
+
+let test_ceil_to_multiple () =
+  check_int "7->8" 8 (Ints.ceil_to_multiple 7 4);
+  check_int "8->8" 8 (Ints.ceil_to_multiple 8 4);
+  check_int "0->0" 0 (Ints.ceil_to_multiple 0 4)
+
+let prop_log2_bracket =
+  qcase ~name:"2^floor_log2 n <= n < 2^(floor_log2 n + 1)"
+    (fun n ->
+      let k = Ints.floor_log2 n in
+      Ints.pow2 k <= n && n < Ints.pow2 (k + 1))
+    QCheck2.Gen.(int_range 1 (1 lsl 40))
+
+let prop_ceil_log2 =
+  qcase ~name:"n <= 2^ceil_log2 n < 2n"
+    (fun n ->
+      let k = Ints.ceil_log2 n in
+      n <= Ints.pow2 k && (n = 1 || Ints.pow2 k < 2 * n))
+    QCheck2.Gen.(int_range 1 (1 lsl 40))
+
+let prop_ntz_divides =
+  qcase ~name:"2^ntz n divides n, 2^(ntz n + 1) does not"
+    (fun n ->
+      let k = Ints.ntz n in
+      n mod Ints.pow2 k = 0 && n mod (2 * Ints.pow2 k) <> 0)
+    QCheck2.Gen.(int_range 1 (1 lsl 40))
+
+let prop_ceil_div =
+  qcase ~name:"ceil_div a b = ceil(a/b)"
+    (fun (a, b) ->
+      let expected = int_of_float (ceil (float_of_int a /. float_of_int b)) in
+      Ints.ceil_div a b = expected)
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 1000))
+
+let suite =
+  [
+    case "is_pow2" test_is_pow2;
+    case "pow2" test_pow2;
+    case "floor_log2" test_floor_log2;
+    case "ceil_log2" test_ceil_log2;
+    case "ntz" test_ntz;
+    case "popcount" test_popcount;
+    case "ceil_div" test_ceil_div;
+    case "ceil_to_multiple" test_ceil_to_multiple;
+    prop_log2_bracket;
+    prop_ceil_log2;
+    prop_ntz_divides;
+    prop_ceil_div;
+  ]

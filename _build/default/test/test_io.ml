@@ -1,0 +1,65 @@
+open Dbp_util
+open Dbp_instance
+open Helpers
+
+let test_roundtrip_string () =
+  let inst = instance [ (0, 4, 0.5); (2, 6, 0.25); (3, 9, 0.125) ] in
+  let back = Io.of_string (Io.to_string inst) in
+  check_int "count" (Instance.length inst) (Instance.length back);
+  Array.iter2
+    (fun (a : Item.t) (b : Item.t) ->
+      check_int "id" a.id b.id;
+      check_int "arrival" a.arrival b.arrival;
+      check_int "departure" a.departure b.departure;
+      check_int "size" (Load.to_units a.size) (Load.to_units b.size))
+    (Instance.items inst) (Instance.items back)
+
+let test_parses_comments_and_blanks () =
+  let s = "# a comment\n\nid,arrival,departure,size\n1, 0, 4, 0.5\n\n# end\n" in
+  let inst = Io.of_string s in
+  check_int "one item" 1 (Instance.length inst);
+  check_int "id" 1 (Instance.items inst).(0).id
+
+let test_errors () =
+  let expect_failure name s =
+    match Io.of_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "%s: expected Failure" name
+  in
+  expect_failure "wrong arity" "1,2,3\n";
+  expect_failure "bad number" "1,x,3,0.5\n";
+  expect_failure "inverted interval" "1,5,3,0.5\n";
+  expect_failure "duplicate ids" "1,0,2,0.5\n1,3,4,0.5\n"
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "dbp_io" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let inst = binary_input 32 in
+      Io.to_file ~path inst;
+      let back = Io.of_file ~path in
+      check_int "count" (Instance.length inst) (Instance.length back);
+      check_int "demand preserved" (Instance.demand_units inst)
+        (Instance.demand_units back))
+
+let prop_roundtrip_random =
+  qcase ~count:60 ~name:"random instances roundtrip through CSV"
+    (fun seed ->
+      let inst = random_instance (Prng.create ~seed) ~n:50 ~max_time:100 ~max_duration:50 in
+      let back = Io.of_string (Io.to_string inst) in
+      (* sizes are written with 9 decimals = full Load resolution, so the
+         roundtrip must be exact *)
+      Instance.length back = Instance.length inst
+      && Instance.demand_units back = Instance.demand_units inst
+      && Instance.span back = Instance.span inst)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let suite =
+  [
+    case "roundtrip" test_roundtrip_string;
+    case "comments and blanks" test_parses_comments_and_blanks;
+    case "errors" test_errors;
+    case "file roundtrip" test_file_roundtrip;
+    prop_roundtrip_random;
+  ]

@@ -1,0 +1,94 @@
+open Dbp_instance
+open Helpers
+
+let test_make_validation () =
+  check_raises_invalid "negative arrival" (fun () -> item ~id:0 ~a:(-1) ~d:1 ~s:0.5);
+  check_raises_invalid "zero duration" (fun () -> item ~id:0 ~a:3 ~d:3 ~s:0.5);
+  check_raises_invalid "inverted" (fun () -> item ~id:0 ~a:3 ~d:2 ~s:0.5)
+
+let test_duration_active () =
+  let r = item ~id:1 ~a:2 ~d:7 ~s:0.5 in
+  check_int "duration" 5 (Item.duration r);
+  check_bool "active at arrival" true (Item.is_active r ~at:2);
+  check_bool "active mid" true (Item.is_active r ~at:6);
+  check_bool "inactive at departure" false (Item.is_active r ~at:7);
+  check_bool "inactive before" false (Item.is_active r ~at:1)
+
+let test_length_class () =
+  (* class i covers durations in (2^(i-1), 2^i] *)
+  let cls d = Item.length_class (item ~id:0 ~a:0 ~d ~s:0.1) in
+  check_int "duration 1 -> 0" 0 (cls 1);
+  check_int "duration 2 -> 1" 1 (cls 2);
+  check_int "duration 3 -> 2" 2 (cls 3);
+  check_int "duration 4 -> 2" 2 (cls 4);
+  check_int "duration 5 -> 3" 3 (cls 5);
+  check_int "duration 8 -> 3" 3 (cls 8);
+  check_int "duration 9 -> 4" 4 (cls 9)
+
+let test_ha_class () =
+  let cls d = Item.ha_class (item ~id:0 ~a:0 ~d ~s:0.1) in
+  check_int "duration 1 -> 1 (clamped)" 1 (cls 1);
+  check_int "duration 2 -> 1" 1 (cls 2);
+  check_int "duration 3 -> 2" 2 (cls 3)
+
+let test_arrival_block () =
+  (* i = ha_class; block c has arrival in ((c-1) 2^i, c 2^i]. *)
+  let blk ~a ~dur = Item.arrival_block (item ~id:0 ~a ~d:(a + dur) ~s:0.1) in
+  check_int "arrival 0" 0 (blk ~a:0 ~dur:4);
+  (* duration 4 -> i = 2; arrivals 1..4 are block 1, 5..8 block 2 *)
+  check_int "arrival 1" 1 (blk ~a:1 ~dur:4);
+  check_int "arrival 4" 1 (blk ~a:4 ~dur:4);
+  check_int "arrival 5" 2 (blk ~a:5 ~dur:4);
+  check_int "arrival 8" 2 (blk ~a:8 ~dur:4)
+
+let test_ha_type () =
+  let r = item ~id:0 ~a:5 ~d:8 ~s:0.1 in
+  (* duration 3 -> class 2; arrival 5 in (4, 8] -> block 2 *)
+  Alcotest.(check (pair int int)) "type" (2, 2) (Item.ha_type r)
+
+let test_is_aligned () =
+  let al ~a ~dur = Item.is_aligned (item ~id:0 ~a ~d:(a + dur) ~s:0.1) in
+  check_bool "len 1 anywhere" true (al ~a:3 ~dur:1);
+  check_bool "len 2 at 4" true (al ~a:4 ~dur:2);
+  check_bool "len 2 at 3" false (al ~a:3 ~dur:2);
+  check_bool "len 3 (class 2) at 4" true (al ~a:4 ~dur:3);
+  check_bool "len 3 (class 2) at 2" false (al ~a:2 ~dur:3);
+  check_bool "len 8 at 0" true (al ~a:0 ~dur:8)
+
+let test_compare () =
+  let a = item ~id:2 ~a:1 ~d:2 ~s:0.1 in
+  let b = item ~id:1 ~a:1 ~d:9 ~s:0.1 in
+  let c = item ~id:0 ~a:5 ~d:6 ~s:0.1 in
+  check_bool "same tick: id order" true (Item.compare b a < 0);
+  check_bool "arrival dominates id" true (Item.compare a c < 0)
+
+let prop_class_bracket =
+  qcase ~name:"duration in (2^(i-1), 2^i] for i = length_class"
+    (fun d ->
+      let i = Item.length_class (item ~id:0 ~a:0 ~d ~s:0.1) in
+      let upper = Dbp_util.Ints.pow2 i in
+      d <= upper && (i = 0 || d > upper / 2))
+    QCheck2.Gen.(int_range 1 (1 lsl 30))
+
+let prop_block_bracket =
+  qcase ~name:"arrival in ((c-1) 2^i, c 2^i] for c = arrival_block"
+    (fun (a, dur) ->
+      let r = item ~id:0 ~a ~d:(a + dur) ~s:0.1 in
+      let i, c = Item.ha_type r in
+      let w = Dbp_util.Ints.pow2 i in
+      a <= c * w && a > (c - 1) * w || (a = 0 && c = 0))
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 10000))
+
+let suite =
+  [
+    case "validation" test_make_validation;
+    case "duration/active" test_duration_active;
+    case "length_class" test_length_class;
+    case "ha_class" test_ha_class;
+    case "arrival_block" test_arrival_block;
+    case "ha_type" test_ha_type;
+    case "is_aligned" test_is_aligned;
+    case "compare" test_compare;
+    prop_class_bracket;
+    prop_block_bracket;
+  ]

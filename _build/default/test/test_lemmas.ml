@@ -1,0 +1,164 @@
+(* Structural tests for the paper's two amortization lemmas — the load
+   arguments at the heart of Theorems 3.2 and 5.1. Both are checked on
+   executed runs by reconstructing bin/row membership from the store. *)
+
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+open Helpers
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Open bins with a label prefix at tick t (post-run reconstruction). *)
+let open_bins_with store ~prefix ~at =
+  let n = Bin_store.bins_opened store in
+  let rec loop b acc =
+    if b >= n then acc
+    else begin
+      let open_now =
+        Bin_store.opened_at store b <= at
+        && (match Bin_store.closed_at store b with None -> true | Some c -> c > at)
+      in
+      let acc =
+        if open_now && starts_with ~prefix (Bin_store.label store b) then b :: acc
+        else acc
+      in
+      loop (b + 1) acc
+    end
+  in
+  loop 0 []
+
+let event_ticks inst =
+  Array.to_list (Instance.items inst)
+  |> List.concat_map (fun (r : Item.t) -> [ r.arrival; r.departure - 1 ])
+  |> List.sort_uniq Int.compare
+
+(* ---- Lemma 3.5 ----
+   After the departure-rounding reduction, at every moment
+   OPT_R^t(sigma') >= max(1, k_t / (4 sqrt(log mu))) where k_t is HA's
+   open CD-bin count. *)
+let check_lemma35 inst =
+  if not (Instance.is_empty inst) then begin
+    let res = Engine.run (Dbp_core.Ha.policy ()) inst in
+    let reduced = Reduction.apply inst in
+    let opt_series = Dbp_offline.Opt_repack.series reduced in
+    let opt_at t =
+      match List.find_opt (fun (t0, t1, _) -> t0 <= t && t < t1) opt_series with
+      | Some (_, _, bins) -> bins
+      | None -> 0
+    in
+    (* The paper normalizes the shortest duration to 1, so its "log mu"
+       is the number of duration classes — log2 of the max duration in
+       ticks (every duration is >= 1 tick here). *)
+    let log_mu =
+      Float.max 1.0 (Float.log2 (float_of_int (Instance.max_duration inst)))
+    in
+    List.iter
+      (fun t ->
+        let k_t = List.length (open_bins_with res.store ~prefix:"CD" ~at:t) in
+        if k_t > 0 then begin
+          let lower = Float.max 1.0 (float_of_int k_t /. (4.0 *. sqrt log_mu)) in
+          let opt = float_of_int (opt_at t) in
+          if opt +. 1e-9 < lower then
+            Alcotest.failf "Lemma 3.5 violated at t=%d: k_t=%d OPT'=%g lower=%g" t
+              k_t opt lower
+        end)
+      (event_ticks inst)
+  end
+
+let prop_lemma35_random =
+  qcase ~count:40 ~name:"Lemma 3.5 on random inputs"
+    (fun seed ->
+      check_lemma35
+        (random_instance (Prng.create ~seed) ~n:60 ~max_time:64 ~max_duration:32);
+      true)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let test_lemma35_structured () =
+  List.iter check_lemma35
+    [
+      Dbp_workloads.Binary_input.generate ~mu:64;
+      Dbp_workloads.Pinning.generate ~mu:16 ();
+      Dbp_workloads.Cd_killer.generate ~mu:64 ();
+      (Dbp_workloads.Adversary.run ~mu:256 (Dbp_core.Ha.policy ())).instance;
+    ]
+
+(* ---- Lemma 5.12 ----
+   For aligned inputs: if CDFF has k open bins in row r at t^+, the items
+   ever packed into row r that are sigma'-active at t carry total load
+   >= (k - 1) / 2. *)
+let check_lemma512 inst =
+  if Instance.is_aligned inst && not (Instance.is_empty inst) then begin
+    let res = Engine.run (Dbp_core.Cdff.policy ()) inst in
+    let items = Instance.items inst in
+    let rows_of_bins at =
+      (* row label -> open bin count at t *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun b ->
+          let label = Bin_store.label res.store b in
+          Hashtbl.replace tbl label
+            (1 + Option.value (Hashtbl.find_opt tbl label) ~default:0))
+        (open_bins_with res.store ~prefix:"row" ~at);
+      tbl
+    in
+    List.iter
+      (fun t ->
+        let per_row = rows_of_bins t in
+        Hashtbl.iter
+          (fun row_label k ->
+            if k >= 2 then begin
+              (* load of items ever packed into this row, sigma'-active
+                 at t *)
+              let load =
+                Array.fold_left
+                  (fun acc (r : Item.t) ->
+                    let bin = Bin_store.bin_of_item res.store r.id in
+                    if
+                      Bin_store.label res.store bin = row_label
+                      && r.arrival <= t
+                      && t < Reduction.reduced_departure r
+                    then acc + Load.to_units r.size
+                    else acc)
+                  0 items
+              in
+              let needed = (k - 1) * Load.capacity / 2 in
+              if load < needed then
+                Alcotest.failf "Lemma 5.12 violated at t=%d %s: k=%d load=%d < %d" t
+                  row_label k load needed
+            end)
+          per_row)
+      (event_ticks inst)
+  end
+
+let prop_lemma512_aligned =
+  qcase ~count:40 ~name:"Lemma 5.12 on aligned random inputs"
+    (fun seed ->
+      check_lemma512
+        (Dbp_workloads.Aligned_random.generate
+           ~config:
+             {
+               Dbp_workloads.Aligned_random.default with
+               top_class = 5;
+               horizon = 96;
+               rate = 0.9;
+               max_size = 0.6;
+             }
+           ~seed ());
+      true)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let test_lemma512_binary () =
+  List.iter
+    (fun mu -> check_lemma512 (Dbp_workloads.Binary_input.generate ~mu))
+    [ 16; 64; 256 ]
+
+let suite =
+  [
+    prop_lemma35_random;
+    case "lemma 3.5 on structured inputs" test_lemma35_structured;
+    prop_lemma512_aligned;
+    case "lemma 5.12 on binary inputs" test_lemma512_binary;
+  ]

@@ -1,0 +1,85 @@
+open Dbp_util
+open Helpers
+
+let units l = Load.to_units l
+
+let test_constants () =
+  check_int "zero" 0 (units Load.zero);
+  check_int "one = capacity" Load.capacity (units Load.one)
+
+let test_of_fraction () =
+  check_int "1/2" (Load.capacity / 2) (units (Load.of_fraction ~num:1 ~den:2));
+  check_int "3/4" (Load.capacity * 3 / 4) (units (Load.of_fraction ~num:3 ~den:4));
+  check_raises_invalid "negative num" (fun () -> Load.of_fraction ~num:(-1) ~den:2);
+  check_raises_invalid "zero den" (fun () -> Load.of_fraction ~num:1 ~den:0)
+
+let test_fraction_floor_fits () =
+  (* den items of size 1/den must exactly fit one bin: the invariant
+     Corollary 5.8's exactness depends on. *)
+  for den = 1 to 64 do
+    let s = Load.of_fraction ~num:1 ~den in
+    check_bool
+      (Printf.sprintf "%d x 1/%d fits" den den)
+      true
+      (den * units s <= Load.capacity)
+  done
+
+let test_of_float () =
+  check_int "0.5" (Load.capacity / 2) (units (Load.of_float 0.5));
+  check_int "clamp high" Load.capacity (units (Load.of_float 1.5));
+  check_int "clamp low" 0 (units (Load.of_float (-0.5)));
+  check_float ~eps:1e-9 "roundtrip" 0.375 (Load.to_float (Load.of_float 0.375))
+
+let test_arithmetic () =
+  let a = Load.of_float 0.25 and b = Load.of_float 0.5 in
+  check_int "add" (Load.capacity * 3 / 4) (units (Load.add a b));
+  check_int "sub" (Load.capacity / 4) (units (Load.sub b a));
+  check_raises_invalid "sub underflow" (fun () -> Load.sub a b);
+  check_int "scale" (Load.capacity / 2) (units (Load.scale a 2));
+  check_raises_invalid "scale negative" (fun () -> Load.scale a (-1))
+
+let test_comparisons () =
+  let a = Load.of_float 0.25 and b = Load.of_float 0.5 in
+  check_bool "lt" true Load.(a < b);
+  check_bool "le" true Load.(a <= a);
+  check_bool "not lt" false Load.(b < a);
+  check_bool "equal" true (Load.equal a a);
+  check_int "compare" (-1) (Load.compare a b)
+
+let test_fits_residual () =
+  let half = Load.of_float 0.5 in
+  check_bool "fits empty" true (Load.fits half ~into:Load.zero);
+  check_bool "fits exactly" true (Load.fits half ~into:half);
+  check_bool "overflows" false (Load.fits half ~into:(Load.of_float 0.6));
+  check_int "residual" (Load.capacity / 2) (units (Load.residual half));
+  check_raises_invalid "residual over one" (fun () ->
+      Load.residual (Load.add Load.one Load.one))
+
+let prop_add_commutes =
+  qcase ~name:"add commutes"
+    (fun (a, b) ->
+      Load.equal
+        (Load.add (Load.of_units a) (Load.of_units b))
+        (Load.add (Load.of_units b) (Load.of_units a)))
+    QCheck2.Gen.(pair (int_range 0 Load.capacity) (int_range 0 Load.capacity))
+
+let prop_fraction_times_den_close =
+  qcase ~name:"den * (1/den) within den units of one"
+    (fun den ->
+      let s = units (Load.of_fraction ~num:1 ~den) in
+      let total = den * s in
+      total <= Load.capacity && Load.capacity - total < den)
+    QCheck2.Gen.(int_range 1 100_000)
+
+let suite =
+  [
+    case "constants" test_constants;
+    case "of_fraction" test_of_fraction;
+    case "fraction floor fits" test_fraction_floor_fits;
+    case "of_float" test_of_float;
+    case "arithmetic" test_arithmetic;
+    case "comparisons" test_comparisons;
+    case "fits/residual" test_fits_residual;
+    prop_add_commutes;
+    prop_fraction_times_den_close;
+  ]

@@ -1,0 +1,59 @@
+open Dbp_sim
+open Dbp_analysis
+open Helpers
+
+let measure factory inst =
+  let res = Engine.run factory inst in
+  Momentary.measure res inst
+
+let test_all_ones_when_optimal () =
+  let inst = instance [ (0, 4, 0.7); (2, 6, 0.7) ] in
+  let m = measure Dbp_baselines.Any_fit.first_fit inst in
+  check_float ~eps:1e-9 "usage" 1.0 m.usage_ratio;
+  check_float ~eps:1e-9 "momentary" 1.0 m.momentary_ratio;
+  check_float ~eps:1e-9 "max bins" 1.0 m.max_bins_ratio
+
+let test_pinning_dissociates_objectives () =
+  (* FF on pinning: peak bins are optimal (max-bins 1.0) but the pins
+     keep mu bins open against a momentary optimum of 1 afterwards. *)
+  let mu = 8 in
+  let inst = Dbp_workloads.Pinning.generate ~mu () in
+  let m = measure Dbp_baselines.Any_fit.first_fit inst in
+  check_float ~eps:1e-9 "max bins blind to waste" 1.0 m.max_bins_ratio;
+  check_float ~eps:1e-9 "momentary sees the tail" (float_of_int mu) m.momentary_ratio;
+  check_bool "usage in between" true
+    (m.usage_ratio > 2.0 && m.usage_ratio < float_of_int mu)
+
+let test_momentary_spike () =
+  (* CDFF's t=0 burst on sigma_mu opens log mu + 1 bins against OPT's
+     one. *)
+  let inst = Dbp_workloads.Binary_input.generate ~mu:16 in
+  let m = measure (Dbp_core.Cdff.policy ()) inst in
+  check_float ~eps:1e-9 "spike = log mu + 1" 5.0 m.momentary_ratio;
+  check_bool "usage much lower" true (m.usage_ratio < 3.0)
+
+let test_empty_instance () =
+  let inst = Dbp_instance.Instance.of_items [] in
+  let m = measure Dbp_baselines.Any_fit.first_fit inst in
+  check_float ~eps:1e-9 "usage" 1.0 m.usage_ratio;
+  check_float ~eps:1e-9 "max bins" 1.0 m.max_bins_ratio
+
+let prop_momentary_at_least_max_bins_consistent =
+  qcase ~count:60 ~name:"usage ratio >= 1 and momentary >= max-bins-normalized"
+    (fun seed ->
+      let inst =
+        random_instance (Dbp_util.Prng.create ~seed) ~n:40 ~max_time:50
+          ~max_duration:20
+      in
+      let m = measure Dbp_baselines.Any_fit.first_fit inst in
+      m.usage_ratio >= 1.0 -. 1e-9 && m.momentary_ratio >= 1.0 -. 1e-9)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let suite =
+  [
+    case "optimal run scores 1 everywhere" test_all_ones_when_optimal;
+    case "pinning dissociates objectives" test_pinning_dissociates_objectives;
+    case "momentary spike on binary input" test_momentary_spike;
+    case "empty instance" test_empty_instance;
+    prop_momentary_at_least_max_bins_consistent;
+  ]

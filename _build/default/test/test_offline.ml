@@ -1,0 +1,157 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_offline
+open Helpers
+
+let gen_small =
+  QCheck2.Gen.(
+    let* n = int_range 1 8 in
+    let* seed = int_range 0 1_000_000 in
+    return (random_instance (Prng.create ~seed) ~n ~max_time:20 ~max_duration:10))
+
+let gen_medium =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    return (random_instance (Prng.create ~seed) ~n:40 ~max_time:60 ~max_duration:30))
+
+let test_bounds_example () =
+  (* one item 0.5 x [0,4), one 1.0 x [2,6): S = .5,.5+1(!overflow
+     impossible: sizes <= 1 each, two bins needed on [2,4)). *)
+  let inst = instance [ (0, 4, 0.5); (2, 6, 1.0) ] in
+  let b = Bounds.compute inst in
+  check_int "span" 6 b.span;
+  check_int "demand units" (6 * Load.capacity) b.demand_units;
+  check_int "demand ceil" 6 (Bounds.demand_ceil b);
+  (* ceil(S): [0,2) -> 1, [2,4) -> 2, [4,6) -> 1 : total 8 *)
+  check_int "ceil integral" 8 b.ceil_integral;
+  check_int "lower" 8 b.lower;
+  check_int "lemma31 upper" 16 b.lemma31_upper
+
+let test_opt_repack_example () =
+  (* Two half items overlapping: one bin suffices with repacking. *)
+  let inst = instance [ (0, 4, 0.5); (2, 6, 0.5) ] in
+  let r = Opt_repack.exact inst in
+  check_bool "exact" true r.exact;
+  check_int "cost = span" 6 r.cost;
+  check_int "segments" 3 r.segments;
+  check_int "max active" 2 r.max_active
+
+let test_opt_repack_two_bins () =
+  let inst = instance [ (0, 4, 0.7); (2, 6, 0.7) ] in
+  let r = Opt_repack.exact inst in
+  check_int "cost" 8 r.cost
+
+let test_opt_repack_series () =
+  let inst = instance [ (0, 4, 0.7); (2, 6, 0.7) ] in
+  Alcotest.(check (list (triple int int int)))
+    "series" [ (0, 2, 1); (2, 4, 2); (4, 6, 1) ]
+    (Opt_repack.series inst)
+
+let test_opt_nonrepack_exact_small () =
+  (* With repacking 1 bin almost always; without repacking placing both
+     0.6 items forces 2 bins at the overlap. *)
+  let inst = instance [ (0, 4, 0.6); (2, 6, 0.6) ] in
+  match Opt_nonrepack.exact inst with
+  | Some r ->
+      check_bool "exact" true r.exact;
+      check_int "cost" 8 r.cost
+  | None -> Alcotest.fail "expected a result"
+
+let test_opt_nonrepack_single_bin () =
+  let inst = instance [ (0, 4, 0.3); (2, 6, 0.3) ] in
+  match Opt_nonrepack.exact inst with
+  | Some r -> check_int "one bin" 6 r.cost
+  | None -> Alcotest.fail "expected a result"
+
+let test_opt_nonrepack_too_big () =
+  let rng = Prng.create ~seed:4 in
+  let inst = random_instance rng ~n:30 ~max_time:10 ~max_duration:5 in
+  check_bool "declines" true (Opt_nonrepack.exact inst = None)
+
+let test_offline_ffd_pinning () =
+  (* FFD-by-duration is immune to pinning: pins share one bin. *)
+  let mu = 32 in
+  let inst = Dbp_workloads.Pinning.generate ~mu () in
+  let r = Offline_ffd.pack inst in
+  let opt = Opt_repack.exact inst in
+  check_bool "near optimal" true (r.cost <= opt.cost + mu);
+  let online_ff = Dbp_sim.Engine.run Dbp_baselines.Any_fit.first_fit inst in
+  check_bool "far below online FF" true (r.cost * 4 < online_ff.cost)
+
+let test_offline_ffd_assignment_valid () =
+  let rng = Prng.create ~seed:9 in
+  let inst = random_instance rng ~n:50 ~max_time:40 ~max_duration:20 in
+  let asg = Offline_ffd.assignment inst in
+  check_int "all placed" (Instance.length inst) (List.length asg);
+  (* No bin may ever exceed capacity: rebuild timelines and check. *)
+  let profiles = Hashtbl.create 8 in
+  List.iter
+    (fun (item_id, bin) ->
+      let r = Instance.find inst item_id in
+      let tl =
+        match Hashtbl.find_opt profiles bin with
+        | Some tl -> tl
+        | None ->
+            let tl = Timeline.create () in
+            Hashtbl.replace profiles bin tl;
+            tl
+      in
+      Timeline.add tl ~lo:r.arrival ~hi:r.departure ~units:(Load.to_units r.size))
+    asg;
+  Hashtbl.iter
+    (fun _ tl ->
+      check_bool "within capacity" true
+        (Timeline.max_on tl ~lo:0 ~hi:(Instance.end_time inst) <= Load.capacity))
+    profiles
+
+let prop_sandwich =
+  qcase ~count:60 ~name:"lower <= OPT_R <= OPT_NR <= DC-substitute"
+    (fun inst ->
+      let b = Bounds.compute inst in
+      let opt_r = Opt_repack.exact inst in
+      let dc = Dual_coloring.cost inst in
+      let ok = b.lower <= opt_r.cost && opt_r.cost <= dc in
+      match Opt_nonrepack.exact inst with
+      | Some nr -> ok && opt_r.cost <= nr.cost && (not nr.exact || nr.cost <= dc)
+      | None -> ok)
+    gen_small
+
+let prop_lemma31 =
+  qcase ~count:40 ~name:"Lemma 3.1: OPT_R <= 2 * ceil integral"
+    (fun inst ->
+      let b = Bounds.compute inst in
+      (Opt_repack.exact inst).cost <= b.lemma31_upper)
+    gen_medium
+
+let prop_ffd_proxy_upper =
+  qcase ~count:40 ~name:"exact OPT_R <= FFD proxy <= 2 * OPT_R"
+    (fun inst ->
+      let ex = (Opt_repack.exact inst).cost in
+      let proxy = (Opt_repack.ffd_proxy inst).cost in
+      ex <= proxy && proxy <= 2 * ex)
+    gen_medium
+
+let prop_offline_ffd_feasible_above_opt =
+  qcase ~count:40 ~name:"Offline FFD cost between OPT_R and online FF-decent bound"
+    (fun inst ->
+      let opt = (Opt_repack.exact inst).cost in
+      let ffd = (Offline_ffd.pack inst).cost in
+      ffd >= opt)
+    gen_medium
+
+let suite =
+  [
+    case "bounds example" test_bounds_example;
+    case "opt_repack example" test_opt_repack_example;
+    case "opt_repack two bins" test_opt_repack_two_bins;
+    case "opt_repack series" test_opt_repack_series;
+    case "opt_nonrepack small" test_opt_nonrepack_exact_small;
+    case "opt_nonrepack single bin" test_opt_nonrepack_single_bin;
+    case "opt_nonrepack declines big" test_opt_nonrepack_too_big;
+    case "offline ffd vs pinning" test_offline_ffd_pinning;
+    case "offline ffd assignment valid" test_offline_ffd_assignment_valid;
+    prop_sandwich;
+    prop_lemma31;
+    prop_ffd_proxy_upper;
+    prop_offline_ffd_feasible_above_opt;
+  ]

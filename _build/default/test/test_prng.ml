@@ -1,0 +1,161 @@
+open Dbp_util
+open Helpers
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 b)) then differs := true
+  done;
+  check_bool "different seeds diverge" true !differs
+
+let test_copy () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy tracks" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_split_independent () =
+  let parent = Prng.create ~seed:7 in
+  let child = Prng.split parent in
+  let x = Prng.bits64 parent and y = Prng.bits64 child in
+  check_bool "parent and child differ" true (not (Int64.equal x y))
+
+let test_int_below_range () =
+  let t = Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int_below t 17 in
+    check_bool "in range" true (x >= 0 && x < 17)
+  done;
+  check_raises_invalid "zero bound" (fun () -> Prng.int_below t 0)
+
+let test_int_below_uniform () =
+  let t = Prng.create ~seed:11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let x = Prng.int_below t 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d badly skewed: %d vs %d" i c expected)
+    buckets
+
+let test_int_in_range () =
+  let t = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in_range t ~lo:(-3) ~hi:3 in
+    check_bool "in range" true (x >= -3 && x <= 3)
+  done;
+  check_int "degenerate" 9 (Prng.int_in_range t ~lo:9 ~hi:9);
+  check_raises_invalid "inverted" (fun () -> Prng.int_in_range t ~lo:1 ~hi:0)
+
+let test_float_unit () =
+  let t = Prng.create ~seed:13 in
+  let sum = ref 0.0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let x = Prng.float_unit t in
+    check_bool "in [0,1)" true (x >= 0.0 && x < 1.0);
+    sum := !sum +. x
+  done;
+  check_float ~eps:0.01 "mean near 1/2" 0.5 (!sum /. float_of_int n)
+
+let test_exponential () =
+  let t = Prng.create ~seed:17 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.exponential t ~mean:4.0 in
+    check_bool "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  check_float ~eps:0.15 "mean" 4.0 (!sum /. float_of_int n);
+  check_raises_invalid "bad mean" (fun () -> Prng.exponential t ~mean:0.0)
+
+let test_normal () =
+  let t = Prng.create ~seed:19 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Prng.normal t ~mu:2.0 ~sigma:3.0) in
+  check_float ~eps:0.1 "mean" 2.0 (Stats.mean xs);
+  check_float ~eps:0.1 "stddev" 3.0 (Stats.stddev xs)
+
+let test_pareto () =
+  let t = Prng.create ~seed:23 in
+  for _ = 1 to 1000 do
+    check_bool "above x_min" true (Prng.pareto t ~alpha:2.0 ~x_min:1.5 >= 1.5)
+  done;
+  check_raises_invalid "bad alpha" (fun () -> Prng.pareto t ~alpha:0.0 ~x_min:1.0)
+
+let check_poisson_mean seed lambda =
+  let t = Prng.create ~seed in
+  let n = 30_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Prng.poisson t ~lambda
+  done;
+  check_float ~eps:(0.05 *. (lambda +. 1.0)) "poisson mean" lambda
+    (float_of_int !sum /. float_of_int n)
+
+let test_poisson () =
+  check_poisson_mean 29 0.5;
+  check_poisson_mean 31 5.0;
+  check_poisson_mean 37 80.0;
+  let t = Prng.create ~seed:41 in
+  check_int "lambda 0" 0 (Prng.poisson t ~lambda:0.0);
+  check_raises_invalid "negative" (fun () -> Prng.poisson t ~lambda:(-1.0))
+
+let test_bernoulli () =
+  let t = Prng.create ~seed:43 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bernoulli t ~p:0.3 then incr hits
+  done;
+  check_float ~eps:0.02 "frequency" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_shuffle_permutation () =
+  let t = Prng.create ~seed:47 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_choice () =
+  let t = Prng.create ~seed:53 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    check_bool "member" true (Array.mem (Prng.choice t a) a)
+  done;
+  check_raises_invalid "empty" (fun () -> Prng.choice t [||])
+
+let suite =
+  [
+    case "determinism" test_determinism;
+    case "seeds differ" test_seeds_differ;
+    case "copy" test_copy;
+    case "split independence" test_split_independent;
+    case "int_below range" test_int_below_range;
+    slow_case "int_below uniformity" test_int_below_uniform;
+    case "int_in_range" test_int_in_range;
+    case "float_unit" test_float_unit;
+    case "exponential" test_exponential;
+    case "normal" test_normal;
+    case "pareto" test_pareto;
+    case "poisson" test_poisson;
+    case "bernoulli" test_bernoulli;
+    case "shuffle" test_shuffle_permutation;
+    case "choice" test_choice;
+  ]

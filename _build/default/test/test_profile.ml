@@ -1,0 +1,97 @@
+open Dbp_util
+open Dbp_instance
+open Helpers
+
+let test_segments () =
+  let inst = instance [ (0, 4, 0.5); (2, 6, 0.25) ] in
+  let p = Profile.of_instance inst in
+  match Profile.segments p with
+  | [ s1; s2; s3 ] ->
+      check_int "s1 start" 0 s1.start;
+      check_int "s1 stop" 2 s1.stop;
+      check_int "s1 load" (Load.capacity / 2) s1.load_units;
+      check_int "s1 count" 1 s1.count;
+      check_int "s2 load" (Load.capacity * 3 / 4) s2.load_units;
+      check_int "s2 count" 2 s2.count;
+      check_int "s3 start" 4 s3.start;
+      check_int "s3 stop" 6 s3.stop;
+      check_int "s3 count" 1 s3.count
+  | segs -> Alcotest.failf "expected 3 segments, got %d" (List.length segs)
+
+let test_gap_segments () =
+  let inst = instance [ (0, 2, 0.5); (5, 7, 0.5) ] in
+  let p = Profile.of_instance inst in
+  check_int "two segments" 2 (List.length (Profile.segments p));
+  check_int "span skips gap" 4 (Profile.span p);
+  check_int "load in gap" 0 (Profile.load_at p 3)
+
+let test_ceil_integral () =
+  (* load 1.5 for 2 ticks (ceil 2), load 0.5 for 2 ticks (ceil 1):
+     integral = 2*2 + 1*2 = 6 *)
+  let inst = instance [ (0, 4, 0.5); (0, 2, 1.0) ] in
+  let p = Profile.of_instance inst in
+  check_int "ceil integral" 6 (Profile.ceil_integral p);
+  check_int "max load" (Load.capacity * 3 / 2) (Profile.max_load_units p);
+  check_int "max count" 2 (Profile.max_count p)
+
+let test_empty () =
+  let p = Profile.of_instance (Instance.of_items []) in
+  check_int "no segments" 0 (List.length (Profile.segments p));
+  check_int "span" 0 (Profile.span p);
+  check_int "demand" 0 (Profile.demand_units p)
+
+let gen_inst =
+  QCheck2.Gen.(
+    let* n = int_range 1 50 in
+    let* seed = int_range 0 1_000_000 in
+    return (random_instance (Prng.create ~seed) ~n ~max_time:200 ~max_duration:60))
+
+let prop_demand_consistent =
+  qcase ~name:"profile demand = instance demand"
+    (fun inst ->
+      Profile.demand_units (Profile.of_instance inst) = Instance.demand_units inst)
+    gen_inst
+
+let prop_span_consistent =
+  qcase ~name:"profile span = instance span"
+    (fun inst -> Profile.span (Profile.of_instance inst) = Instance.span inst)
+    gen_inst
+
+let prop_ceil_integral_bracket =
+  qcase ~name:"max(demand, span) <= ceil integral <= demand + span"
+    (fun inst ->
+      let p = Profile.of_instance inst in
+      let ci = Profile.ceil_integral p in
+      let d = Ints.ceil_div (Profile.demand_units p) Load.capacity in
+      ci >= d
+      && ci >= Profile.span p
+      && ci * Load.capacity <= Profile.demand_units p + (Profile.span p * Load.capacity))
+    gen_inst
+
+let prop_load_at_matches_active =
+  qcase ~name:"load_at t = sum of active sizes"
+    (fun inst ->
+      let p = Profile.of_instance inst in
+      let ok = ref true in
+      for t = 0 to Instance.end_time inst + 1 do
+        let expected =
+          List.fold_left
+            (fun acc (r : Item.t) -> acc + Load.to_units r.size)
+            0 (Instance.active_at inst t)
+        in
+        if Profile.load_at p t <> expected then ok := false
+      done;
+      !ok)
+    gen_inst
+
+let suite =
+  [
+    case "segments" test_segments;
+    case "gap" test_gap_segments;
+    case "ceil integral" test_ceil_integral;
+    case "empty" test_empty;
+    prop_demand_consistent;
+    prop_span_consistent;
+    prop_ceil_integral_bracket;
+    prop_load_at_matches_active;
+  ]

@@ -1,0 +1,100 @@
+open Dbp_instance
+open Helpers
+
+let gen_inst =
+  QCheck2.Gen.(
+    let* n = int_range 1 40 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      (random_instance (Dbp_util.Prng.create ~seed) ~n ~max_time:128 ~max_duration:64))
+
+let test_example () =
+  (* duration 3 -> class 2; arrival 5 in block (4,8] -> c = 2;
+     reduced departure = 3 * 4 = 12. *)
+  let r = item ~id:0 ~a:5 ~d:8 ~s:0.5 in
+  check_int "reduced departure" 12 (Reduction.reduced_departure r)
+
+let test_arrival_zero () =
+  (* arrival 0 -> c = 0 -> departure 2^i. duration 4 -> i = 2 -> 4. *)
+  let r = item ~id:0 ~a:0 ~d:4 ~s:0.5 in
+  check_int "departure 2^i" 4 (Reduction.reduced_departure r)
+
+let test_aligned_rounding () =
+  (* For aligned items the reduction rounds the departure up to the next
+     multiple of 2^i (strictly next when already there? c = arrival/2^i,
+     so departure' = arrival + 2^i >= departure). duration 3 at 4:
+     i = 2, c = 1, departure' = 8. *)
+  let r = item ~id:0 ~a:4 ~d:7 ~s:0.5 in
+  check_int "rounded" 8 (Reduction.reduced_departure r)
+
+let prop_extends =
+  qcase ~name:"reduction never shortens an item"
+    (fun inst ->
+      Array.for_all2
+        (fun (r : Item.t) (r' : Item.t) ->
+          r'.arrival = r.arrival && r'.departure >= r.departure)
+        (Instance.items inst)
+        (Instance.items (Reduction.apply inst)))
+    gen_inst
+
+let prop_duration_factor =
+  qcase ~name:"duration grows by a factor < 4"
+    (fun inst ->
+      Array.for_all
+        (fun (r : Item.t) ->
+          let d' = Reduction.reduced_departure r - r.arrival in
+          d' < 4 * Item.duration r)
+        (Instance.items inst))
+    gen_inst
+
+let prop_observation1 =
+  qcase ~name:"Observation 1: span(sigma') <= 4 span(sigma)"
+    (fun inst -> Instance.span (Reduction.apply inst) <= 4 * Instance.span inst)
+    gen_inst
+
+let prop_observation2 =
+  qcase ~name:"Observation 2: d(sigma') <= 4 d(sigma)"
+    (fun inst ->
+      Instance.demand_units (Reduction.apply inst) <= 4 * Instance.demand_units inst)
+    gen_inst
+
+let prop_same_type_departs_together =
+  qcase ~name:"same-type items depart together in sigma'"
+    (fun inst ->
+      let reduced = Instance.items (Reduction.apply inst) in
+      let original = Instance.items inst in
+      let ok = ref true in
+      Array.iteri
+        (fun i (a : Item.t) ->
+          Array.iteri
+            (fun j (b : Item.t) ->
+              if i < j && Item.ha_type original.(i) = Item.ha_type original.(j) then
+                if a.departure <> b.departure then ok := false)
+            reduced)
+        reduced;
+      !ok)
+    gen_inst
+
+let prop_preserves_class =
+  qcase ~name:"reduction keeps items within at most 2 duration classes"
+    (fun inst ->
+      (* The reduced duration lies in (2^(i-1), 2^(i+1)]: class grows by
+         at most one. *)
+      Array.for_all2
+        (fun (r : Item.t) (r' : Item.t) -> Item.ha_class r' <= Item.ha_class r + 1)
+        (Instance.items inst)
+        (Instance.items (Reduction.apply inst)))
+    gen_inst
+
+let suite =
+  [
+    case "example" test_example;
+    case "arrival zero" test_arrival_zero;
+    case "aligned rounding" test_aligned_rounding;
+    prop_extends;
+    prop_duration_factor;
+    prop_observation1;
+    prop_observation2;
+    prop_same_type_departs_together;
+    prop_preserves_class;
+  ]

@@ -1,0 +1,194 @@
+(* Differential testing: naive, direct transliterations of Algorithm 1
+   (HA) and Algorithm 2 (CDFF) — plain lists, linear scans, no segment
+   trees, no Fit_group — must make *identical* packing decisions to the
+   optimized implementations on random inputs. This pins the optimized
+   code to the paper's pseudocode, not just to cost-level invariants. *)
+
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+open Helpers
+
+(* ---- naive Algorithm 1 ---- *)
+
+let naive_ha store =
+  let gn : Bin_store.bin_id list ref = ref [] in
+  let cd : (int * int, Bin_store.bin_id list ref) Hashtbl.t = Hashtbl.create 16 in
+  let type_load : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let open_bins bins =
+    List.filter (fun b -> Bin_store.is_open store b) !bins
+  in
+  let first_fit bins (r : Item.t) =
+    List.find_opt
+      (fun b -> Load.fits r.size ~into:(Bin_store.load store b))
+      (open_bins bins)
+  in
+  let threshold i = 1.0 /. (2.0 *. sqrt (float_of_int i)) in
+  let on_arrival ~now (r : Item.t) =
+    let ty = Item.ha_type r in
+    let i = fst ty in
+    let total =
+      Option.value (Hashtbl.find_opt type_load ty) ~default:0 + Load.to_units r.size
+    in
+    Hashtbl.replace type_load ty total;
+    let cd_bins =
+      match Hashtbl.find_opt cd ty with
+      | Some bins -> bins
+      | None ->
+          let bins = ref [] in
+          Hashtbl.replace cd ty bins;
+          bins
+    in
+    let place bins label =
+      match first_fit bins r with
+      | Some b ->
+          Bin_store.insert store b r;
+          b
+      | None ->
+          let b = Bin_store.open_bin store ~now ~label in
+          Bin_store.insert store b r;
+          bins := !bins @ [ b ];
+          b
+    in
+    if open_bins cd_bins <> [] then place cd_bins "CD"
+    else if
+      float_of_int total
+      <= threshold i *. float_of_int Load.capacity
+    then place gn "GN"
+    else begin
+      let b = Bin_store.open_bin store ~now ~label:"CD" in
+      Bin_store.insert store b r;
+      cd_bins := !cd_bins @ [ b ];
+      b
+    end
+  in
+  let on_departure ~now:_ (r : Item.t) ~bin:_ ~closed:_ =
+    let ty = Item.ha_type r in
+    let rest =
+      Option.value (Hashtbl.find_opt type_load ty) ~default:0 - Load.to_units r.size
+    in
+    if rest > 0 then Hashtbl.replace type_load ty rest else Hashtbl.remove type_load ty
+  in
+  { Policy.name = "HA-naive"; on_arrival; on_departure }
+
+(* ---- naive Algorithm 2 (with the segment partition) ---- *)
+
+let naive_cdff store =
+  let rows : (int, Bin_store.bin_id list ref) Hashtbl.t = Hashtbl.create 16 in
+  let seg_start = ref 0 and seg_top = ref (-1) and have_seg = ref false in
+  let on_arrival ~now (r : Item.t) =
+    let cls = Item.length_class r in
+    if (not !have_seg) || now >= !seg_start + Ints.pow2 !seg_top then begin
+      Hashtbl.reset rows;
+      have_seg := true;
+      seg_start := now;
+      seg_top := cls
+    end;
+    if now = !seg_start && cls > !seg_top then begin
+      (* shift rows down *)
+      let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) rows [] in
+      Hashtbl.reset rows;
+      List.iter
+        (fun (k, v) -> Hashtbl.replace rows (k + cls - !seg_top) v)
+        entries;
+      seg_top := cls
+    end;
+    let m =
+      if now = !seg_start then !seg_top else min !seg_top (Ints.ntz (now - !seg_start))
+    in
+    let row = max 0 (m - cls) in
+    let bins =
+      match Hashtbl.find_opt rows row with
+      | Some bins -> bins
+      | None ->
+          let bins = ref [] in
+          Hashtbl.replace rows row bins;
+          bins
+    in
+    let live = List.filter (fun b -> Bin_store.is_open store b) !bins in
+    match
+      List.find_opt (fun b -> Load.fits r.size ~into:(Bin_store.load store b)) live
+    with
+    | Some b ->
+        Bin_store.insert store b r;
+        b
+    | None ->
+        let b = Bin_store.open_bin store ~now ~label:"row" in
+        Bin_store.insert store b r;
+        bins := !bins @ [ b ];
+        b
+  in
+  let on_departure ~now:_ _ ~bin:_ ~closed:_ = () in
+  { Policy.name = "CDFF-naive"; on_arrival; on_departure }
+
+(* ---- equivalence checks ---- *)
+
+let same_assignment res_a res_b =
+  Bin_store.assignment res_a.Engine.store = Bin_store.assignment res_b.Engine.store
+
+let check_equiv name optimized naive inst =
+  let a = Engine.run optimized inst in
+  let b = Engine.run naive inst in
+  if a.cost <> b.cost then
+    Alcotest.failf "%s: costs differ (%d vs %d)" name a.cost b.cost;
+  if a.bins_opened <> b.bins_opened then
+    Alcotest.failf "%s: bin counts differ (%d vs %d)" name a.bins_opened b.bins_opened;
+  if not (same_assignment a b) then Alcotest.failf "%s: assignments differ" name
+
+let gen_seed = QCheck2.Gen.(int_range 0 1_000_000)
+
+let prop_ha_equiv_random =
+  qcase ~count:80 ~name:"optimized HA = naive Algorithm 1 (random inputs)"
+    (fun seed ->
+      let inst =
+        random_instance (Prng.create ~seed) ~n:100 ~max_time:80 ~max_duration:60
+      in
+      check_equiv "HA" (Dbp_core.Ha.policy ()) naive_ha inst;
+      true)
+    gen_seed
+
+let prop_cdff_equiv_random =
+  qcase ~count:80 ~name:"optimized CDFF = naive Algorithm 2 (random inputs)"
+    (fun seed ->
+      let inst =
+        random_instance (Prng.create ~seed) ~n:100 ~max_time:80 ~max_duration:60
+      in
+      check_equiv "CDFF" (Dbp_core.Cdff.policy ()) naive_cdff inst;
+      true)
+    gen_seed
+
+let prop_cdff_equiv_aligned =
+  qcase ~count:60 ~name:"optimized CDFF = naive Algorithm 2 (aligned inputs)"
+    (fun seed ->
+      let inst = Dbp_workloads.Aligned_random.generate ~seed () in
+      check_equiv "CDFF" (Dbp_core.Cdff.policy ()) naive_cdff inst;
+      true)
+    gen_seed
+
+let test_equiv_binary () =
+  List.iter
+    (fun mu ->
+      let inst = Dbp_workloads.Binary_input.generate ~mu in
+      check_equiv "CDFF/binary" (Dbp_core.Cdff.policy ()) naive_cdff inst;
+      check_equiv "HA/binary" (Dbp_core.Ha.policy ()) naive_ha inst)
+    [ 4; 16; 64 ]
+
+let test_equiv_pinning () =
+  let inst = Dbp_workloads.Pinning.generate ~mu:16 () in
+  check_equiv "HA/pinning" (Dbp_core.Ha.policy ()) naive_ha inst
+
+let test_equiv_adversary () =
+  (* Run the adversary against the optimized HA, then replay the released
+     instance against both implementations. *)
+  let outcome = Dbp_workloads.Adversary.run ~mu:256 (Dbp_core.Ha.policy ()) in
+  check_equiv "HA/adversary-replay" (Dbp_core.Ha.policy ()) naive_ha outcome.instance
+
+let suite =
+  [
+    prop_ha_equiv_random;
+    prop_cdff_equiv_random;
+    prop_cdff_equiv_aligned;
+    case "binary inputs" test_equiv_binary;
+    case "pinning" test_equiv_pinning;
+    case "adversary replay" test_equiv_adversary;
+  ]

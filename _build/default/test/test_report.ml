@@ -1,0 +1,152 @@
+open Dbp_sim
+open Dbp_report
+open Helpers
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  loop 0
+
+(* --- table --- *)
+
+let test_table_render () =
+  let t = Table.create ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  check_bool "header" true (contains ~needle:"name" s);
+  check_bool "separator" true (contains ~needle:"-----" s);
+  check_bool "padded rows align" true (contains ~needle:"alpha  1" s);
+  check_raises_invalid "bad row" (fun () -> Table.add_row t [ "only-one" ]);
+  check_raises_invalid "no columns" (fun () -> Table.create ~columns:[])
+
+let test_table_markdown () =
+  let t = Table.create ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "2" ];
+  let s = Table.render_markdown t in
+  check_bool "pipes" true (contains ~needle:"| a | b |" s);
+  check_bool "rule" true (contains ~needle:"| --- | --- |" s);
+  check_bool "row" true (contains ~needle:"| 1 | 2 |" s)
+
+let test_table_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.142" (Table.cell_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.1" (Table.cell_float ~decimals:1 3.14159);
+  Alcotest.(check string) "ratio" "2.50x" (Table.cell_ratio 2.5)
+
+(* --- csv --- *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_to_string () =
+  let s = Csv.to_string ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4,5" ] ] in
+  Alcotest.(check string) "document" "x,y\n1,2\n3,\"4,5\"\n" s
+
+let test_csv_file_roundtrip () =
+  let path = Filename.temp_file "dbp_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file ~path ~header:[ "a" ] [ [ "1" ]; [ "2" ] ];
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let content = really_input_string ic n in
+      close_in ic;
+      Alcotest.(check string) "roundtrip" "a\n1\n2\n" content)
+
+(* --- gantt --- *)
+
+let run_ff inst = Engine.run Dbp_baselines.Any_fit.first_fit inst
+
+let test_items_chart () =
+  let inst = instance [ (0, 4, 0.5); (2, 6, 0.5) ] in
+  let s = Gantt.items_chart inst in
+  check_bool "class header" true (contains ~needle:"class 2" s);
+  check_bool "item a drawn" true (contains ~needle:"aaaa" s);
+  check_bool "item b drawn" true (contains ~needle:"bbbb" s)
+
+let test_packing_chart () =
+  let inst = instance [ (0, 4, 0.7); (2, 6, 0.7) ] in
+  let res = run_ff inst in
+  let s = Gantt.packing_chart inst res.store in
+  check_bool "two bins" true (contains ~needle:"b0" s && contains ~needle:"b1" s);
+  check_bool "labels" true (contains ~needle:"FF" s)
+
+let test_snapshot () =
+  let inst = instance [ (0, 4, 0.7); (2, 6, 0.7) ] in
+  let res = run_ff inst in
+  let s = Gantt.snapshot inst res.store ~at:3 in
+  check_bool "both open at 3" true (contains ~needle:"b0" s && contains ~needle:"b1" s);
+  check_bool "load bar" true (contains ~needle:"#######" s);
+  let s5 = Gantt.snapshot inst res.store ~at:5 in
+  check_bool "b0 closed at 5" true (not (contains ~needle:"b0 " s5))
+
+let test_gantt_scaling () =
+  (* A horizon much wider than the chart must still render within
+     width. *)
+  let inst = instance [ (0, 10_000, 0.5) ] in
+  let s = Gantt.items_chart ~width:40 inst in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         check_bool "line width bounded" true (String.length line < 70))
+
+(* --- series --- *)
+
+let test_series_plot () =
+  let s =
+    Series.plot
+      [ { Series.label = "ha"; points = [| (1.0, 1.0); (2.0, 2.0); (3.0, 1.5) |] } ]
+  in
+  check_bool "frame" true (contains ~needle:"|" s);
+  check_bool "legend" true (contains ~needle:"ha" s);
+  check_raises_invalid "no points" (fun () ->
+      ignore (Series.plot [ { Series.label = "x"; points = [||] } ]))
+
+(* --- svg --- *)
+
+let test_svg_elements () =
+  let doc =
+    Svg.to_string ~width:100.0 ~height:50.0
+      [
+        Svg.rect ~x:0.0 ~y:0.0 ~w:10.0 ~h:10.0 ();
+        Svg.line ~x1:0.0 ~y1:0.0 ~x2:5.0 ~y2:5.0 ();
+        Svg.text ~x:1.0 ~y:1.0 "a<b";
+        Svg.circle ~cx:1.0 ~cy:1.0 ~r:2.0 ();
+        Svg.polyline ~points:[ (0.0, 0.0); (1.0, 1.0) ] ();
+      ]
+  in
+  check_bool "xml header" true (contains ~needle:"<?xml" doc);
+  check_bool "svg tag" true (contains ~needle:"<svg" doc);
+  check_bool "escapes text" true (contains ~needle:"a&lt;b" doc);
+  check_bool "polyline" true (contains ~needle:"polyline" doc)
+
+let test_svg_line_chart () =
+  let elements =
+    Svg.line_chart ~width:300.0 ~height:200.0
+      ~series:[ ("ha", [| (1.0, 1.0); (2.0, 1.5) |]) ]
+      ()
+  in
+  check_bool "has elements" true (List.length elements > 5);
+  let doc = Svg.to_string ~width:300.0 ~height:200.0 elements in
+  check_bool "legend label" true (contains ~needle:">ha<" doc)
+
+let suite =
+  [
+    case "table render" test_table_render;
+    case "table markdown" test_table_markdown;
+    case "table cells" test_table_cells;
+    case "csv escape" test_csv_escape;
+    case "csv to_string" test_csv_to_string;
+    case "csv file roundtrip" test_csv_file_roundtrip;
+    case "items chart" test_items_chart;
+    case "packing chart" test_packing_chart;
+    case "snapshot" test_snapshot;
+    case "gantt scaling" test_gantt_scaling;
+    case "series plot" test_series_plot;
+    case "svg elements" test_svg_elements;
+    case "svg line chart" test_svg_line_chart;
+  ]

@@ -1,0 +1,95 @@
+open Dbp_util
+open Helpers
+
+let test_mean_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float ~eps:1e-9 "mean" 5.0 (Stats.mean xs);
+  (* sample stddev with n-1 denominator *)
+  check_float ~eps:1e-9 "stddev" (sqrt (32.0 /. 7.0)) (Stats.stddev xs);
+  check_raises_invalid "empty mean" (fun () -> Stats.mean [||])
+
+let test_quantile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float ~eps:1e-9 "q0" 1.0 (Stats.quantile xs 0.0);
+  check_float ~eps:1e-9 "q1" 4.0 (Stats.quantile xs 1.0);
+  check_float ~eps:1e-9 "median interpolated" 2.5 (Stats.quantile xs 0.5);
+  check_float ~eps:1e-9 "q1/3" 2.0 (Stats.quantile xs (1.0 /. 3.0));
+  check_raises_invalid "out of range" (fun () -> Stats.quantile xs 1.5)
+
+let test_summarize () =
+  let s = Stats.summarize [| 3.0; 1.0; 2.0 |] in
+  check_int "n" 3 s.n;
+  check_float ~eps:1e-9 "mean" 2.0 s.mean;
+  check_float ~eps:1e-9 "min" 1.0 s.min;
+  check_float ~eps:1e-9 "max" 3.0 s.max;
+  check_float ~eps:1e-9 "median" 2.0 s.median
+
+let test_ci95 () =
+  check_float ~eps:1e-9 "single sample" 0.0 (Stats.ci95_half_width [| 1.0 |]);
+  let xs = Array.make 100 5.0 in
+  check_float ~eps:1e-9 "constant data" 0.0 (Stats.ci95_half_width xs)
+
+let test_linear_fit_exact () =
+  let x = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let y = Array.map (fun v -> (2.5 *. v) -. 1.0) x in
+  let f = Stats.linear_fit ~x ~y in
+  check_float ~eps:1e-9 "slope" 2.5 f.slope;
+  check_float ~eps:1e-9 "intercept" (-1.0) f.intercept;
+  check_float ~eps:1e-9 "r2" 1.0 f.r2
+
+let test_linear_fit_noisy () =
+  let rng = Prng.create ~seed:1 in
+  let n = 200 in
+  let x = Array.init n float_of_int in
+  let y = Array.map (fun v -> (3.0 *. v) +. 10.0 +. Prng.normal rng ~mu:0.0 ~sigma:5.0) x in
+  let f = Stats.linear_fit ~x ~y in
+  check_float ~eps:0.1 "slope recovered" 3.0 f.slope;
+  check_bool "r2 high but below 1" true (f.r2 > 0.95 && f.r2 < 1.0)
+
+let test_linear_fit_errors () =
+  check_raises_invalid "one point" (fun () -> Stats.linear_fit ~x:[| 1.0 |] ~y:[| 1.0 |]);
+  check_raises_invalid "constant x" (fun () ->
+      Stats.linear_fit ~x:[| 1.0; 1.0 |] ~y:[| 1.0; 2.0 |]);
+  check_raises_invalid "length mismatch" (fun () ->
+      Stats.linear_fit ~x:[| 1.0; 2.0 |] ~y:[| 1.0 |])
+
+let test_pearson () =
+  let x = [| 1.0; 2.0; 3.0 |] in
+  check_float ~eps:1e-9 "perfect positive" 1.0 (Stats.pearson ~x ~y:x);
+  check_float ~eps:1e-9 "perfect negative" (-1.0)
+    (Stats.pearson ~x ~y:(Array.map (fun v -> -.v) x))
+
+let prop_mean_bounds =
+  qcase ~name:"min <= mean <= max"
+    (fun l ->
+      let xs = Array.of_list (List.map float_of_int l) in
+      let s = Stats.summarize xs in
+      s.min <= s.mean && s.mean <= s.max)
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range (-1000) 1000))
+
+let prop_fit_residual_orthogonal =
+  qcase ~name:"OLS residuals sum to ~0"
+    (fun l ->
+      let pts = Array.of_list l in
+      let x = Array.mapi (fun i _ -> float_of_int i) pts in
+      let y = Array.map float_of_int pts in
+      let f = Stats.linear_fit ~x ~y in
+      let resid =
+        Array.mapi (fun i yi -> yi -. ((f.slope *. x.(i)) +. f.intercept)) y
+      in
+      Float.abs (Array.fold_left ( +. ) 0.0 resid) < 1e-6 *. float_of_int (Array.length pts))
+    QCheck2.Gen.(list_size (int_range 2 60) (int_range (-100) 100))
+
+let suite =
+  [
+    case "mean/stddev" test_mean_stddev;
+    case "quantile" test_quantile;
+    case "summarize" test_summarize;
+    case "ci95" test_ci95;
+    case "linear fit exact" test_linear_fit_exact;
+    case "linear fit noisy" test_linear_fit_noisy;
+    case "linear fit errors" test_linear_fit_errors;
+    case "pearson" test_pearson;
+    prop_mean_bounds;
+    prop_fit_residual_orthogonal;
+  ]

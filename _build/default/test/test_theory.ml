@@ -1,0 +1,45 @@
+open Dbp_core
+open Helpers
+
+let test_log2 () =
+  check_float ~eps:1e-9 "log2 8" 3.0 (Theory.log2 8.0);
+  check_float ~eps:1e-9 "clamped below" 0.0 (Theory.log2 0.5)
+
+let test_scales () =
+  check_float ~eps:1e-9 "sqrt log 16" 2.0 (Theory.sqrt_log_mu 16.0);
+  check_float ~eps:1e-9 "loglog 16" 2.0 (Theory.log_log_mu 16.0);
+  check_float ~eps:1e-9 "loglog 2 clamps" 0.0 (Theory.log_log_mu 2.0);
+  check_float ~eps:1e-9 "loglog 1 clamps" 0.0 (Theory.log_log_mu 1.0)
+
+let test_bounds () =
+  check_float ~eps:1e-9 "gn bound 16" 10.0 (Theory.gn_bound 16.0);
+  check_float ~eps:1e-9 "cdff binary bound 16" 5.0 (Theory.cdff_binary_bound 16.0);
+  check_float ~eps:1e-9 "lemma31" 14.0 (Theory.lemma31_upper ~demand:3.0 ~span:4.0);
+  check_float ~eps:1e-9 "max0 bound" 8.0 (Theory.max0_expectation_bound 16);
+  check_float ~eps:1e-9 "span factor" 4.0 Theory.reduction_span_factor;
+  check_float ~eps:1e-9 "demand factor" 4.0 Theory.reduction_demand_factor
+
+let test_adversary_bins () =
+  check_int "mu 16 -> ceil(2)" 2 (Theory.adversary_bins 16.0);
+  check_int "mu 256 -> ceil(2.83)" 3 (Theory.adversary_bins 256.0);
+  check_int "mu 65536 -> 4" 4 (Theory.adversary_bins 65536.0);
+  check_int "mu 1 -> at least 1" 1 (Theory.adversary_bins 1.0)
+
+let prop_monotone =
+  qcase ~name:"all bound curves are monotone in mu"
+    (fun (a, b) ->
+      let lo = float_of_int (min a b) and hi = float_of_int (max a b) in
+      Theory.sqrt_log_mu lo <= Theory.sqrt_log_mu hi
+      && Theory.log_log_mu lo <= Theory.log_log_mu hi
+      && Theory.gn_bound lo <= Theory.gn_bound hi
+      && Theory.cdff_binary_bound lo <= Theory.cdff_binary_bound hi)
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+
+let suite =
+  [
+    case "log2" test_log2;
+    case "scales" test_scales;
+    case "bounds" test_bounds;
+    case "adversary bins" test_adversary_bins;
+    prop_monotone;
+  ]

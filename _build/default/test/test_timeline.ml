@@ -1,0 +1,75 @@
+open Dbp_util
+open Helpers
+
+let test_basic () =
+  let t = Timeline.create () in
+  check_int "empty" 0 (Timeline.max_on t ~lo:0 ~hi:100);
+  Timeline.add t ~lo:2 ~hi:5 ~units:3;
+  check_int "inside" 3 (Timeline.max_on t ~lo:2 ~hi:5);
+  check_int "value at" 3 (Timeline.value_at t 4);
+  check_int "before" 0 (Timeline.value_at t 1);
+  check_int "after" 0 (Timeline.value_at t 5);
+  check_int "straddle" 3 (Timeline.max_on t ~lo:0 ~hi:10);
+  check_int "disjoint" 0 (Timeline.max_on t ~lo:6 ~hi:10)
+
+let test_overlap () =
+  let t = Timeline.create () in
+  Timeline.add t ~lo:0 ~hi:10 ~units:1;
+  Timeline.add t ~lo:5 ~hi:15 ~units:2;
+  check_int "first only" 1 (Timeline.max_on t ~lo:0 ~hi:5);
+  check_int "overlap" 3 (Timeline.max_on t ~lo:5 ~hi:10);
+  check_int "second only" 2 (Timeline.max_on t ~lo:10 ~hi:15);
+  check_int "max overall" 3 (Timeline.max_on t ~lo:0 ~hi:20)
+
+let test_negative_units () =
+  let t = Timeline.create () in
+  Timeline.add t ~lo:0 ~hi:10 ~units:5;
+  Timeline.add t ~lo:3 ~hi:7 ~units:(-2);
+  check_int "dip" 3 (Timeline.value_at t 5);
+  check_int "max avoids dip" 5 (Timeline.max_on t ~lo:0 ~hi:10)
+
+let test_errors () =
+  let t = Timeline.create () in
+  check_raises_invalid "empty add" (fun () -> Timeline.add t ~lo:3 ~hi:3 ~units:1);
+  check_raises_invalid "empty query" (fun () -> ignore (Timeline.max_on t ~lo:3 ~hi:3))
+
+(* Differential test vs a plain array model. *)
+let prop_vs_array =
+  qcase ~count:100 ~name:"matches array model"
+    (fun ops ->
+      let n = 64 in
+      let t = Timeline.create () in
+      let model = Array.make n 0 in
+      let ok = ref true in
+      List.iter
+        (fun (a, b, u) ->
+          let lo = min a b and hi = max a b in
+          let lo = lo mod n and hi = (hi mod n) + 1 in
+          let u = (u mod 9) - 4 in
+          Timeline.add t ~lo ~hi ~units:u;
+          for i = lo to hi - 1 do
+            model.(i) <- model.(i) + u
+          done;
+          (* check a few random ranges via the same op values *)
+          let q_lo = lo and q_hi = min n (hi + 3) in
+          let expected = ref min_int in
+          for i = q_lo to q_hi - 1 do
+            if model.(i) > !expected then expected := model.(i)
+          done;
+          let expected = if q_lo >= n then 0 else !expected in
+          if Timeline.max_on t ~lo:q_lo ~hi:q_hi <> expected then ok := false;
+          if Timeline.value_at t (q_lo mod n) <> model.(q_lo mod n) then ok := false)
+        ops;
+      !ok)
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (triple (int_range 0 63) (int_range 0 63) (int_range 0 100)))
+
+let suite =
+  [
+    case "basic" test_basic;
+    case "overlap" test_overlap;
+    case "negative units" test_negative_units;
+    case "errors" test_errors;
+    prop_vs_array;
+  ]

@@ -1,0 +1,83 @@
+open Dbp_util
+open Helpers
+
+let test_push_get () =
+  let v = Vec.create () in
+  check_bool "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get 0" 0 (Vec.get v 0);
+  check_int "get 99" (99 * 99) (Vec.get v 99);
+  Vec.set v 5 42;
+  check_int "set" 42 (Vec.get v 5)
+
+let test_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check_raises_invalid "get -1" (fun () -> Vec.get v (-1));
+  check_raises_invalid "get 3" (fun () -> Vec.get v 3);
+  check_raises_invalid "set 3" (fun () -> Vec.set v 3 0)
+
+let test_pop () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check_int "pop" 3 (Vec.pop v);
+  check_int "last" 2 (Vec.last v);
+  check_int "pop" 2 (Vec.pop v);
+  check_int "pop" 1 (Vec.pop v);
+  check_raises_invalid "pop empty" (fun () -> Vec.pop v);
+  check_raises_invalid "last empty" (fun () -> Vec.last v)
+
+let test_swap_remove () =
+  let v = Vec.of_list [ 10; 20; 30; 40 ] in
+  check_int "removed" 20 (Vec.swap_remove v 1);
+  check_int "length" 3 (Vec.length v);
+  check_int "moved last" 40 (Vec.get v 1);
+  check_int "remove last" 30 (Vec.swap_remove v 2);
+  check_int "length" 2 (Vec.length v)
+
+let test_iteration () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  let acc = ref [] in
+  Vec.iter (fun x -> acc := x :: !acc) v;
+  Alcotest.(check (list int)) "iter order" [ 4; 3; 2; 1 ] !acc;
+  let idx = ref [] in
+  Vec.iteri (fun i x -> idx := (i, x) :: !idx) v;
+  Alcotest.(check (list (pair int int))) "iteri" [ (3, 4); (2, 3); (1, 2); (0, 1) ] !idx;
+  check_int "fold sum" 10 (Vec.fold_left ( + ) 0 v);
+  check_bool "exists" true (Vec.exists (fun x -> x = 3) v);
+  check_bool "not exists" false (Vec.exists (fun x -> x = 9) v);
+  check_bool "for_all" true (Vec.for_all (fun x -> x > 0) v);
+  Alcotest.(check (option int)) "find_index" (Some 2) (Vec.find_index (fun x -> x = 3) v);
+  Alcotest.(check (option int)) "find_index none" None (Vec.find_index (fun x -> x = 9) v)
+
+let test_clear () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Vec.clear v;
+  check_bool "cleared" true (Vec.is_empty v);
+  Vec.push v 7;
+  check_int "reusable" 7 (Vec.get v 0)
+
+let prop_roundtrip =
+  qcase ~name:"of_list |> to_list = id"
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+    QCheck2.Gen.(list int)
+
+let prop_array_roundtrip =
+  qcase ~name:"of_array |> to_array = id"
+    (fun l ->
+      let a = Array.of_list l in
+      Vec.to_array (Vec.of_array a) = a)
+    QCheck2.Gen.(list int)
+
+let suite =
+  [
+    case "push/get/set" test_push_get;
+    case "bounds checks" test_bounds;
+    case "pop/last" test_pop;
+    case "swap_remove" test_swap_remove;
+    case "iteration" test_iteration;
+    case "clear" test_clear;
+    prop_roundtrip;
+    prop_array_roundtrip;
+  ]

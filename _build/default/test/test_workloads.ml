@@ -1,0 +1,216 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_workloads
+open Helpers
+
+(* --- binary input --- *)
+
+let test_binary_matches_reference () =
+  List.iter
+    (fun mu ->
+      let a = Binary_input.generate ~mu in
+      let b = binary_input mu in
+      check_int "same count" (Instance.length b) (Instance.length a);
+      check_int "claimed count" (Binary_input.item_count ~mu) (Instance.length a);
+      Array.iter2
+        (fun (x : Item.t) (y : Item.t) ->
+          check_int "arrival" y.arrival x.arrival;
+          check_int "departure" y.departure x.departure;
+          check_int "size" (Load.to_units y.size) (Load.to_units x.size))
+        (Instance.items a) (Instance.items b))
+    [ 2; 8; 64 ]
+
+let test_binary_structure () =
+  let mu = 16 in
+  let inst = Binary_input.generate ~mu in
+  check_bool "aligned" true (Instance.is_aligned inst);
+  check_int "span" mu (Instance.span inst);
+  (* exactly one item of every class active at every tick *)
+  for t = 0 to mu - 1 do
+    let active = Instance.active_at inst t in
+    check_int (Printf.sprintf "actives at %d" t) 5 (List.length active);
+    let classes = List.map Item.length_class active |> List.sort_uniq Int.compare in
+    check_int "distinct classes" 5 (List.length classes)
+  done;
+  check_raises_invalid "mu not a power of two" (fun () -> Binary_input.generate ~mu:12)
+
+let test_binary_loads_fill_bin () =
+  (* The erratum fix: all simultaneously active items together fit one
+     bin exactly. *)
+  let inst = Binary_input.generate ~mu:16 in
+  let p = Profile.of_instance inst in
+  check_bool "S_t <= 1" true (Profile.max_load_units p <= Load.capacity);
+  check_bool "S_t nearly 1" true
+    (Profile.max_load_units p > Load.capacity - 10)
+
+(* --- aligned random --- *)
+
+let prop_aligned_random_is_aligned =
+  qcase ~count:50 ~name:"aligned generator output satisfies Definition 2.1"
+    (fun seed -> Instance.is_aligned (Aligned_random.generate ~seed ()))
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let test_aligned_anchor () =
+  let inst =
+    Aligned_random.generate
+      ~config:{ Aligned_random.default with top_class = 5; horizon = 64 }
+      ~seed:3 ()
+  in
+  let top = Instance.max_duration inst in
+  check_bool "anchor realizes the top class" true (top > 16 && top <= 32);
+  check_int "starts at zero" 0 (Instance.start_time inst)
+
+let test_aligned_determinism () =
+  let a = Aligned_random.generate ~seed:42 () in
+  let b = Aligned_random.generate ~seed:42 () in
+  check_int "same size" (Instance.length a) (Instance.length b);
+  check_int "same demand" (Instance.demand_units a) (Instance.demand_units b)
+
+(* --- general random --- *)
+
+let test_general_anchors_mu () =
+  let inst = Dbp_experiments.Workload_defs.general ~mu:64 ~seed:1 in
+  check_int "min duration" 1 (Instance.min_duration inst);
+  check_int "max duration" 64 (Instance.max_duration inst)
+
+let test_general_dists () =
+  List.iter
+    (fun dist ->
+      let config =
+        { General_random.default with dist; horizon = 64; max_duration = 32 }
+      in
+      let inst = General_random.generate ~config ~seed:5 () in
+      check_bool "nonempty" true (Instance.length inst > 0);
+      check_bool "durations bounded" true (Instance.max_duration inst <= 32))
+    [
+      General_random.Uniform;
+      General_random.Dyadic_uniform;
+      General_random.Pareto 1.5;
+      General_random.Bimodal 0.7;
+    ]
+
+(* --- adversary --- *)
+
+let test_sigma_star () =
+  let inst = Adversary.sigma_star ~mu:16 ~t:3 in
+  check_int "log mu + 1 items" 5 (Instance.length inst);
+  Array.iter
+    (fun (r : Item.t) -> check_int "arrival" 3 r.arrival)
+    (Instance.items inst);
+  let durations =
+    Array.to_list (Instance.items inst) |> List.map Item.duration |> List.sort compare
+  in
+  Alcotest.(check (list int)) "geometric durations" [ 1; 2; 4; 8; 16 ] durations
+
+let test_adversary_forces_bins () =
+  let outcome = Adversary.run ~mu:64 (Dbp_core.Ha.policy ()) in
+  check_int "target" 3 outcome.target_bins;
+  (* the algorithm held >= target bins open at every tick in [0, mu) *)
+  let by_tick = Hashtbl.create 64 in
+  Array.iter (fun (t, c) -> Hashtbl.replace by_tick t c) outcome.result.series;
+  (* series records samples at event ticks; between events the count is
+     the last sample. Walk ticks and carry the last value. *)
+  let last = ref 0 in
+  for t = 0 to 63 do
+    (match Hashtbl.find_opt by_tick t with Some c -> last := c | None -> ());
+    if t > 0 then
+      check_bool (Printf.sprintf "bins at %d" t) true (!last >= outcome.target_bins)
+  done
+
+let test_adversary_deterministic () =
+  let a = Adversary.run ~mu:32 Dbp_baselines.Any_fit.first_fit in
+  let b = Adversary.run ~mu:32 Dbp_baselines.Any_fit.first_fit in
+  check_int "same items" a.items_released b.items_released;
+  check_int "same cost" a.result.cost b.result.cost
+
+let prop_adversary_ratio_exceeds_one =
+  qcase ~count:8 ~name:"adversary hurts every algorithm"
+    (fun mu_exp ->
+      let mu = 1 lsl mu_exp in
+      List.for_all
+        (fun (_, p) ->
+          let outcome = Adversary.run ~mu p in
+          let m = Dbp_analysis.Ratio.of_run outcome.result outcome.instance in
+          m.ratio >= 1.2)
+        [
+          ("HA", Dbp_core.Ha.policy ());
+          ("FF", Dbp_baselines.Any_fit.first_fit);
+          ("CD", Dbp_baselines.Classify_duration.policy ());
+        ])
+    QCheck2.Gen.(int_range 4 10)
+
+let test_aligned_adversary () =
+  let outcome = Adversary.run_aligned ~mu:64 (Dbp_core.Cdff.policy ()) in
+  check_bool "instance is aligned" true (Instance.is_aligned outcome.instance);
+  check_int "default target" 3 outcome.target_bins;
+  let m = Dbp_analysis.Ratio.of_run outcome.result outcome.instance in
+  check_bool "still hurts" true (m.ratio > 1.0)
+
+let test_aligned_adversary_target_override () =
+  let outcome =
+    Adversary.run_aligned ~target:2 ~mu:64 Dbp_baselines.Any_fit.first_fit
+  in
+  check_int "target override" 2 outcome.target_bins
+
+(* --- pinning --- *)
+
+let test_pinning_shape () =
+  let mu = 16 in
+  let inst = Pinning.generate ~mu () in
+  check_int "mu k^2 items" (mu * mu) (Instance.length inst);
+  check_int "span" mu (Instance.span inst);
+  let ff = Dbp_sim.Engine.run Dbp_baselines.Any_fit.first_fit inst in
+  check_int "closed form" (Pinning.ff_cost_closed_form ~groups:mu ~mu) ff.cost;
+  check_int "ff bins" mu ff.bins_opened
+
+(* --- cd killer --- *)
+
+let test_cd_killer_fits_one_bin () =
+  let inst = Cd_killer.generate ~mu:64 () in
+  let p = Profile.of_instance inst in
+  check_bool "everything fits one bin" true (Profile.max_load_units p <= Load.capacity)
+
+(* --- cloud traces --- *)
+
+let test_cloud_trace_shape () =
+  let inst = Cloud_traces.generate ~seed:1 () in
+  check_bool "has sessions" true (Instance.length inst > 1000);
+  check_bool "durations truncated" true
+    (Instance.min_duration inst >= 5 && Instance.max_duration inst <= 480);
+  (* diurnal shape: the busiest hour has more arrivals than the quietest *)
+  let per_hour = Array.make 24 0 in
+  Array.iter
+    (fun (r : Item.t) ->
+      let h = r.arrival mod 1440 / 60 in
+      per_hour.(h) <- per_hour.(h) + 1)
+    (Instance.items inst);
+  let hi = Array.fold_left max 0 per_hour in
+  let lo = Array.fold_left min max_int per_hour in
+  check_bool "diurnal swing" true (hi > 2 * lo)
+
+let test_cloud_trace_determinism () =
+  let a = Cloud_traces.generate ~seed:9 () in
+  let b = Cloud_traces.generate ~seed:9 () in
+  check_int "deterministic" (Instance.demand_units a) (Instance.demand_units b)
+
+let suite =
+  [
+    case "binary matches reference" test_binary_matches_reference;
+    case "binary structure" test_binary_structure;
+    case "binary loads fill bin" test_binary_loads_fill_bin;
+    prop_aligned_random_is_aligned;
+    case "aligned anchor" test_aligned_anchor;
+    case "aligned determinism" test_aligned_determinism;
+    case "general anchors mu" test_general_anchors_mu;
+    case "general dists" test_general_dists;
+    case "sigma star" test_sigma_star;
+    case "adversary forces bins" test_adversary_forces_bins;
+    case "adversary deterministic" test_adversary_deterministic;
+    prop_adversary_ratio_exceeds_one;
+    case "aligned adversary" test_aligned_adversary;
+    case "aligned adversary target" test_aligned_adversary_target_override;
+    case "pinning shape" test_pinning_shape;
+    case "cd killer fits one bin" test_cd_killer_fits_one_bin;
+    slow_case "cloud trace shape" test_cloud_trace_shape;
+    slow_case "cloud trace determinism" test_cloud_trace_determinism;
+  ]
