@@ -1,0 +1,16 @@
+.PHONY: all build test check bench
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Build + tests + a --jobs 2 smoke test of the parallel sweep path.
+check:
+	sh scripts/check.sh
+
+bench:
+	dune exec bench/main.exe -- --skip-micro

@@ -3,20 +3,25 @@
    Part 1 regenerates every table and figure of the paper (experiments
    E1-E18 from DESIGN.md) and prints them; pass --full for the larger
    parameter sets, --only ID to run a single experiment, --skip-exps to
-   jump to the microbenchmarks.
+   jump to the microbenchmarks. --jobs N (or DBP_JOBS=N) fans the
+   experiments and their sweep grids out over N worker domains; output
+   is bit-identical to --jobs 1.
 
    Part 2 runs bechamel microbenchmarks of the hot paths: one Test.make
    per packing algorithm (per table row of E1), plus the substrate
-   operations (first-fit index, exact packer, PRNG, binary strings). *)
+   operations (first-fit index, exact packer, PRNG, binary strings).
+   --json FILE also records them machine-readably, so the perf
+   trajectory can be tracked across commits (BENCH_*.json). *)
 
 open Bechamel
 open Toolkit
 
-let usage = "bench [--full] [--only ID] [--skip-exps] [--skip-micro]"
+let usage = "bench [--full] [--only ID] [--skip-exps] [--skip-micro] [--jobs N] [--json FILE]"
 let full = ref false
 let only = ref None
 let skip_exps = ref false
 let skip_micro = ref false
+let json_path = ref None
 
 let parse_args () =
   let spec =
@@ -25,6 +30,19 @@ let parse_args () =
       ("--only", Arg.String (fun s -> only := Some s), "ID run a single experiment");
       ("--skip-exps", Arg.Set skip_exps, " skip the paper experiments");
       ("--skip-micro", Arg.Set skip_micro, " skip the microbenchmarks");
+      ( "--jobs",
+        Arg.Int
+          (fun n ->
+            if n = 0 then
+              Dbp_util.Pool.set_default_jobs (Dbp_util.Pool.recommended_jobs ())
+            else if n < 0 then
+              raise (Arg.Bad "--jobs expects a positive integer (0 = one per core)")
+            else Dbp_util.Pool.set_default_jobs n),
+        "N worker domains for the experiments; 0 = one per core (default: \
+         DBP_JOBS or 1)" );
+      ( "--json",
+        Arg.String (fun s -> json_path := Some s),
+        "FILE write microbenchmark results (name, ns/run, r2) as JSON" );
     ]
   in
   Arg.parse (Arg.align spec) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage
@@ -44,12 +62,11 @@ let run_experiments () =
             exit 2)
   in
   List.iter
-    (fun (e : Dbp_experiments.Registry.entry) ->
-      let t0 = Unix.gettimeofday () in
-      print_string (e.run ~quick);
-      Printf.printf "[%s finished in %.1fs]\n\n" e.experiment (Unix.gettimeofday () -. t0);
+    (fun ((e : Dbp_experiments.Registry.entry), report, seconds) ->
+      print_string report;
+      Printf.printf "[%s finished in %.1fs]\n\n" e.experiment seconds;
       flush stdout)
-    entries
+    (Dbp_experiments.Registry.run_entries ~quick entries)
 
 (* ---- Part 2: microbenchmarks ---- *)
 
@@ -106,30 +123,65 @@ let micro_tests () =
       (Staged.stage (fun () -> Dbp_analysis.Binary_strings.expectation ~bits:24));
   ]
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_number x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let write_json path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, ns, r2) ->
+          Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}%s\n"
+            (json_escape name) (json_number ns)
+            (match r2 with Some r -> json_number r | None -> "null")
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      output_string oc "]\n");
+  Printf.printf "wrote %s\n" path
+
 let run_micro () =
   let tests = micro_tests () in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   print_endline "Microbenchmarks (time per run):";
-  List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
-          let est = Analyze.one ols Instance.monotonic_clock raw in
-          let ns =
-            match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
-          in
-          let pretty =
-            if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
-            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-            else Printf.sprintf "%8.1f ns" ns
-          in
-          Printf.printf "  %-32s %s\n" (Test.Elt.name elt) pretty;
-          flush stdout)
-        (Test.elements test))
-    tests
+  let results =
+    List.concat_map
+      (fun test ->
+        List.map
+          (fun elt ->
+            let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+            let est = Analyze.one ols Instance.monotonic_clock raw in
+            let ns =
+              match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
+            in
+            let pretty =
+              if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+              else Printf.sprintf "%8.1f ns" ns
+            in
+            Printf.printf "  %-32s %s\n" (Test.Elt.name elt) pretty;
+            flush stdout;
+            (Test.Elt.name elt, ns, Analyze.OLS.r_square est))
+          (Test.elements test))
+      tests
+  in
+  match !json_path with None -> () | Some path -> write_json path results
 
 let () =
   parse_args ();

@@ -38,6 +38,33 @@ let workload_of_name name ~mu ~seed =
 let full_flag =
   Arg.(value & flag & info [ "full" ] ~doc:"Use the full (slow) parameter sets.")
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some 0 -> Ok (Dbp_util.Pool.recommended_jobs ())
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid jobs count %S: expected a positive integer, or 0 for \
+                one worker per core"
+               s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for experiment and sweep grids; 0 means one per \
+           core (default: $(b,DBP_JOBS), else 1 = inline). Output is \
+           bit-identical for any N.")
+
+let set_jobs jobs = Option.iter Dbp_util.Pool.set_default_jobs jobs
+
 let mu_arg =
   Arg.(value & opt int 256 & info [ "mu" ] ~docv:"MU" ~doc:"Max/min duration ratio.")
 
@@ -80,7 +107,8 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (e.g. table1, E8, corollary58).")
   in
-  let run id full =
+  let run id full jobs =
+    set_jobs jobs;
     match Registry.find id with
     | Some e ->
         print_string (e.run ~quick:(not full));
@@ -89,20 +117,21 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one table/figure/theorem by id.")
-    Term.(ret (const run $ id $ full_flag))
+    Term.(ret (const run $ id $ full_flag $ jobs_arg))
 
 (* ---- all ---- *)
 
 let all_cmd =
-  let run full =
+  let run full jobs =
+    set_jobs jobs;
     List.iter
-      (fun (e : Registry.entry) ->
-        print_string (e.run ~quick:(not full));
+      (fun (_, report, _) ->
+        print_string report;
         print_newline ())
-      Registry.all
+      (Registry.run_entries ~quick:(not full) Registry.all)
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment in order.")
-    Term.(const run $ full_flag)
+    Term.(const run $ full_flag $ jobs_arg)
 
 (* ---- run ---- *)
 
@@ -238,7 +267,8 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "svg" ] ~docv:"PATH" ~doc:"Also write an SVG chart of the curves.")
   in
-  let run workload algorithms mus seeds svg =
+  let run workload algorithms mus seeds svg jobs =
+    set_jobs jobs;
     let mu_hint = float_of_int (List.fold_left max 2 mus) in
     let resolve name =
       match algorithm_of_name ~mu_hint name with
@@ -289,7 +319,8 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep mu and measure competitive ratios.")
-    Term.(ret (const run $ workload_arg $ algorithms_arg $ mus $ seeds $ svg))
+    Term.(
+      ret (const run $ workload_arg $ algorithms_arg $ mus $ seeds $ svg $ jobs_arg))
 
 (* ---- adversary ---- *)
 

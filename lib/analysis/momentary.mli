@@ -20,4 +20,7 @@ type t = {
 
 val measure :
   ?solver:Dbp_binpack.Solver.t -> Engine.result -> Instance.t -> t
-(** Requires the result of a completed run on exactly this instance. *)
+(** Requires the result of a completed run on exactly this instance.
+    As with {!Ratio}, [?solver] must be private to the calling domain;
+    the measurement itself is deterministic regardless of cache
+    contents. *)

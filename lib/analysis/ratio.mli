@@ -5,7 +5,14 @@
     optimum [OPT_R] (when every segment solves within budget), else the
     FFD-repack proxy clamped from below by the provable lower bound. The
     [opt_kind] field records which one was used so experiment tables can
-    flag conservative rows. *)
+    flag conservative rows.
+
+    Every function here is pure up to the [?solver] cache it is handed,
+    and a given instance always yields the same measurement whether or
+    not the solve hit the cache — but the cache itself is a plain
+    hashtable and must not be shared between concurrently running
+    domains. Parallel callers ({!Sweep}) borrow a private solver per
+    task from a {!Dbp_util.Pool.Bank}. *)
 
 open Dbp_instance
 open Dbp_sim

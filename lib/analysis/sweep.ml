@@ -28,50 +28,76 @@ let point_of_measurements ~mu measurements =
     opt_exact_fraction = float_of_int exact /. float_of_int (Array.length arr);
   }
 
-let run ~algorithms ~workload ~mus ~seeds () =
-  let solver = Dbp_binpack.Solver.create () in
-  let curves =
-    List.map
-      (fun (name, _) -> (name, ref []))
-      algorithms
+let solver_bank () = Pool.Bank.create (fun () -> Dbp_binpack.Solver.create ())
+
+let record_stats solver_stats bank =
+  match solver_stats with
+  | None -> ()
+  | Some r -> r := Dbp_binpack.Solver.merged_stats (Pool.Bank.all bank)
+
+let run ?jobs ?solver_stats ~algorithms ~workload ~mus ~seeds () =
+  Pool.with_default ?jobs @@ fun pool ->
+  let bank = solver_bank () in
+  (* One task per grid cell, in grid order: the instance is built once
+     inside the task and every algorithm (plus the OPT_R estimate) is
+     evaluated there, against a solver cache borrowed for the task's
+     duration. [Pool.map] merges in submission order, so the curves are
+     bit-identical whatever the worker count. *)
+  let cells = List.concat_map (fun mu -> List.map (fun seed -> (mu, seed)) seeds) mus in
+  let per_cell =
+    Pool.map pool
+      (fun (mu, seed) ->
+        let inst = workload ~mu ~seed in
+        Pool.Bank.use bank (fun solver -> Ratio.compare_algorithms ~solver algorithms inst))
+      cells
   in
-  List.iter
-    (fun mu ->
-      let per_seed =
-        List.map
-          (fun seed ->
-            let inst = workload ~mu ~seed in
-            Ratio.compare_algorithms ~solver algorithms inst)
-          seeds
+  record_stats solver_stats bank;
+  let n_seeds = List.length seeds in
+  let arr = Array.of_list per_cell in
+  List.map
+    (fun (name, _) ->
+      let points =
+        List.mapi
+          (fun i mu ->
+            let ms =
+              List.concat
+                (List.init n_seeds (fun j ->
+                     List.filter
+                       (fun (m : Ratio.measurement) -> m.algorithm = name)
+                       arr.((i * n_seeds) + j)))
+            in
+            point_of_measurements ~mu:(float_of_int mu) ms)
+          mus
       in
-      List.iter
-        (fun (name, acc) ->
-          let ms =
-            List.concat_map
-              (List.filter (fun (m : Ratio.measurement) -> m.algorithm = name))
-              per_seed
-          in
-          acc := point_of_measurements ~mu:(float_of_int mu) ms :: !acc)
-        curves)
-    mus;
-  List.map (fun (name, acc) -> { algorithm = name; points = List.rev !acc }) curves
+      { algorithm = name; points })
+    algorithms
 
 let fit_curve ?candidates curve =
   let mus = Array.of_list (List.map (fun p -> p.mu) curve.points) in
   let ys = Array.of_list (List.map (fun p -> p.ratios.Stats.mean) curve.points) in
   Fit.best ?candidates ~mus ~ys ()
 
-let adversarial ~algorithms ~mus () =
-  let solver = Dbp_binpack.Solver.create () in
-  List.map
-    (fun (name, factory) ->
-      let points =
-        List.map
-          (fun mu ->
-            let outcome = Dbp_workloads.Adversary.run ~mu factory in
+let adversarial ?jobs ?solver_stats ~algorithms ~mus () =
+  Pool.with_default ?jobs @@ fun pool ->
+  let bank = solver_bank () in
+  let cells =
+    List.concat_map
+      (fun (name, factory) -> List.map (fun mu -> (name, factory, mu)) mus)
+      algorithms
+  in
+  let points =
+    Pool.map pool
+      (fun (name, factory, mu) ->
+        let outcome = Dbp_workloads.Adversary.run ~mu factory in
+        Pool.Bank.use bank (fun solver ->
             let m = Ratio.of_run ~solver outcome.result outcome.instance in
-            point_of_measurements ~mu:(float_of_int mu) [ { m with algorithm = name } ])
-          mus
-      in
-      { algorithm = name; points })
+            point_of_measurements ~mu:(float_of_int mu) [ { m with algorithm = name } ]))
+      cells
+  in
+  record_stats solver_stats bank;
+  let n_mus = List.length mus in
+  let arr = Array.of_list points in
+  List.mapi
+    (fun k (name, _) ->
+      { algorithm = name; points = List.init n_mus (fun i -> arr.((k * n_mus) + i)) })
     algorithms

@@ -1,6 +1,16 @@
 (** [mu]-sweep driver: measure algorithms across a range of [mu] values
     and several seeds, producing the points the experiment tables and
-    fits consume. *)
+    fits consume.
+
+    Both drivers fan their grid out on a {!Dbp_util.Pool}: one task per
+    grid cell, submitted and merged in grid order. Output is
+    bit-identical for any worker count — each task builds its own
+    instance from [(mu, seed)], shares no PRNG or accumulator with any
+    other task, and borrows a private bin-packing solver cache from a
+    bank (caching can never change a solver result, only its cost).
+    [?jobs] forces a dedicated pool of that size; omitted, the shared
+    pool sized by [DBP_JOBS] / {!Dbp_util.Pool.set_default_jobs} is
+    used (default 1 = inline, no domains). *)
 
 open Dbp_instance
 open Dbp_sim
@@ -18,24 +28,30 @@ type curve = {
 }
 
 val run :
+  ?jobs:int ->
+  ?solver_stats:(int * int) ref ->
   algorithms:(string * Policy.factory) list ->
   workload:(mu:int -> seed:int -> Instance.t) ->
   mus:int list ->
   seeds:int list ->
   unit ->
   curve list
-(** One shared bin-packing solver cache per sweep. Instances are built
-    once per (mu, seed) and shared by all algorithms. *)
+(** One task per [(mu, seed)] cell: the instance is built once and
+    shared by all algorithms, which also share that cell's OPT_R
+    computation. [?solver_stats] receives the summed (hits, misses) of
+    the per-worker solver caches once the grid has joined. *)
 
 val fit_curve : ?candidates:Fit.model list -> curve -> Fit.fitted
 (** Fit the curve's mean ratios against its mu values. *)
 
 val adversarial :
+  ?jobs:int ->
+  ?solver_stats:(int * int) ref ->
   algorithms:(string * Policy.factory) list ->
   mus:int list ->
   unit ->
   curve list
 (** Like {!run} but each algorithm faces the Theorem 4.3 adaptive
     adversary (which generates a different instance per algorithm), so
-    instances are per-algorithm and there is a single deterministic
+    the grid is [(algorithm, mu)] and there is a single deterministic
     "seed". *)

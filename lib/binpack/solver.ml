@@ -36,3 +36,8 @@ let min_bins t sizes =
       r
 
 let stats t = (t.hits, t.misses)
+
+let merged_stats solvers =
+  List.fold_left
+    (fun (h, m) t -> (h + t.hits, m + t.misses))
+    (0, 0) solvers

@@ -20,3 +20,12 @@ val min_bins : t -> Load.t array -> Exact.result
 
 val stats : t -> int * int
 (** [(hits, misses)] of the cache since creation. *)
+
+val merged_stats : t list -> int * int
+(** Summed {!stats} over a bank of solvers. A solver is not domain-safe
+    (its cache is a plain hashtable), so parallel sweeps give each
+    concurrent task a private solver from a {!Dbp_util.Pool.Bank} and
+    merge the counters with this at join time. Caching never changes a
+    result — {!Exact.min_bins} is deterministic for a given size multiset
+    and node budget — so splitting one cache into per-worker caches
+    affects speed only, never values. *)

@@ -3,7 +3,6 @@ open Dbp_report
 
 let run ~quick =
   let mu = if quick then 64 else 256 in
-  let solver = Dbp_binpack.Solver.create () in
   let table =
     Table.create
       ~columns:
@@ -23,22 +22,33 @@ let run ~quick =
       ("CDFF", Dbp_core.Cdff.policy ());
     ]
   in
-  List.iter
-    (fun (wname, inst) ->
-      List.iter
-        (fun (aname, factory) ->
-          let res = Dbp_sim.Engine.run factory inst in
-          let m = Momentary.measure ~solver res inst in
-          Table.add_row table
-            [
-              wname;
-              aname;
-              Table.cell_ratio m.usage_ratio;
-              Table.cell_ratio m.momentary_ratio;
-              Table.cell_ratio m.max_bins_ratio;
-            ])
-        algorithms)
-    families;
+  let cells =
+    List.concat_map
+      (fun (wname, inst) ->
+        List.map (fun (aname, factory) -> (wname, inst, aname, factory)) algorithms)
+      families
+  in
+  let rows =
+    Dbp_util.Pool.with_default @@ fun pool ->
+    let bank =
+      Dbp_util.Pool.Bank.create (fun () -> Dbp_binpack.Solver.create ())
+    in
+    Dbp_util.Pool.map pool
+      (fun (wname, inst, aname, factory) ->
+        let res = Dbp_sim.Engine.run factory inst in
+        let m =
+          Dbp_util.Pool.Bank.use bank (fun solver -> Momentary.measure ~solver res inst)
+        in
+        [
+          wname;
+          aname;
+          Table.cell_ratio m.usage_ratio;
+          Table.cell_ratio m.momentary_ratio;
+          Table.cell_ratio m.max_bins_ratio;
+        ])
+      cells
+  in
+  List.iter (Table.add_row table) rows;
   Common.section
     (Printf.sprintf
        "E20 / goal functions compared (mu = %d): usage-time vs momentary vs max-bins"

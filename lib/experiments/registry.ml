@@ -129,6 +129,19 @@ let all =
     };
   ]
 
+let run_entries ?jobs ~quick entries =
+  (* Independent experiments are themselves pool tasks; the sweeps they
+     run inside nest their cell tasks onto the same shared pool (workers
+     help while awaiting, so nesting cannot deadlock). Reports come back
+     in registry order whatever finished first. *)
+  Dbp_util.Pool.with_default ?jobs @@ fun pool ->
+  Dbp_util.Pool.map pool
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let report = e.run ~quick in
+      (e, report, Unix.gettimeofday () -. t0))
+    entries
+
 let find key =
   let key = String.lowercase_ascii key in
   List.find_opt

@@ -14,3 +14,11 @@ val all : entry list
 
 val find : string -> entry option
 (** Look up by [id] or [experiment] (case-insensitive). *)
+
+val run_entries :
+  ?jobs:int -> quick:bool -> entry list -> (entry * string * float) list
+(** Run independent experiments as pool tasks (see {!Dbp_util.Pool};
+    [?jobs] as in {!Dbp_analysis.Sweep.run}) and return
+    [(entry, report, seconds)] in input order. Reports are identical to
+    sequential runs; with [jobs > 1] the per-entry seconds are wall
+    clock of a possibly contended run. *)

@@ -12,9 +12,16 @@ type bin = {
   mutable items : Item.t list;  (** reverse insertion order *)
 }
 
+(* The live set is an intrusive doubly-linked list threaded through two
+   int vectors parallel to [bins] ([-1] = none), kept in opening order
+   so [open_bins] — the First-Fit scan order — is a plain traversal and
+   closing a bin unlinks it in O(1) instead of filtering a list. *)
 type t = {
   bins : bin Vec.t;
-  mutable live : bin_id list;  (** open bins, reverse opening order *)
+  live_prev : int Vec.t;
+  live_next : int Vec.t;
+  mutable live_head : bin_id;  (** oldest open bin, -1 when none *)
+  mutable live_tail : bin_id;  (** newest open bin, -1 when none *)
   current : (int, bin_id) Hashtbl.t;  (** active item id -> bin *)
   history : (int * bin_id) Vec.t;
   ever : (int, bin_id) Hashtbl.t;
@@ -26,7 +33,10 @@ type t = {
 let create () =
   {
     bins = Vec.create ();
-    live = [];
+    live_prev = Vec.create ();
+    live_next = Vec.create ();
+    live_head = -1;
+    live_tail = -1;
     current = Hashtbl.create 64;
     history = Vec.create ();
     ever = Hashtbl.create 64;
@@ -43,10 +53,20 @@ let open_bin t ~now ~label =
   let id = Vec.length t.bins in
   Vec.push t.bins
     { id; blabel = label; bopened_at = now; bclosed_at = None; bload = Load.zero; items = [] };
-  t.live <- id :: t.live;
+  Vec.push t.live_prev t.live_tail;
+  Vec.push t.live_next (-1);
+  if t.live_tail >= 0 then Vec.set t.live_next t.live_tail id else t.live_head <- id;
+  t.live_tail <- id;
   t.n_open <- t.n_open + 1;
   if t.n_open > t.hw_open then t.hw_open <- t.n_open;
   id
+
+let unlink_live t id =
+  let p = Vec.get t.live_prev id and n = Vec.get t.live_next id in
+  if p >= 0 then Vec.set t.live_next p n else t.live_head <- n;
+  if n >= 0 then Vec.set t.live_prev n p else t.live_tail <- p;
+  Vec.set t.live_prev id (-1);
+  Vec.set t.live_next id (-1)
 
 let insert t id (r : Item.t) =
   let b = bin t id in
@@ -59,23 +79,27 @@ let insert t id (r : Item.t) =
   Hashtbl.replace t.ever r.id id;
   Vec.push t.history (r.id, id)
 
+(* One pass instead of find + filter; the relative order of the
+   remaining items is preserved. *)
+let rec extract_item item_id prefix = function
+  | [] -> assert false
+  | (r : Item.t) :: rest ->
+      if r.id = item_id then (r, List.rev_append prefix rest)
+      else extract_item item_id (r :: prefix) rest
+
 let remove t ~now ~item_id =
   match Hashtbl.find_opt t.current item_id with
   | None -> raise Not_found
   | Some id ->
       Hashtbl.remove t.current item_id;
       let b = bin t id in
-      let r =
-        match List.find_opt (fun (r : Item.t) -> r.id = item_id) b.items with
-        | Some r -> r
-        | None -> assert false
-      in
-      b.items <- List.filter (fun (x : Item.t) -> x.id <> item_id) b.items;
+      let r, rest = extract_item item_id [] b.items in
+      b.items <- rest;
       b.bload <- Load.sub b.bload r.size;
       let closed = b.items = [] in
       if closed then begin
         b.bclosed_at <- Some now;
-        t.live <- List.filter (fun i -> i <> id) t.live;
+        unlink_live t id;
         t.n_open <- t.n_open - 1;
         t.done_usage <- t.done_usage + (now - b.bopened_at)
       end;
@@ -89,13 +113,20 @@ let relabel t id label = (bin t id).blabel <- label
 let opened_at t id = (bin t id).bopened_at
 let closed_at t id = (bin t id).bclosed_at
 let contents t id = List.rev (bin t id).items
-let open_bins t = List.rev t.live
+
+let fold_live f acc t =
+  let rec loop acc id =
+    if id < 0 then acc else loop (f acc id) (Vec.get t.live_next id)
+  in
+  loop acc t.live_head
+
+let open_bins t = List.rev (fold_live (fun acc id -> id :: acc) [] t)
 let open_count t = t.n_open
 let bins_opened t = Vec.length t.bins
 let max_open t = t.hw_open
 
 let usage t ~now =
-  List.fold_left (fun acc id -> acc + (now - (bin t id).bopened_at)) t.done_usage t.live
+  fold_live (fun acc id -> acc + (now - (bin t id).bopened_at)) t.done_usage t
 
 let closed_usage t = t.done_usage
 let assignment t = Vec.to_list t.history

@@ -26,7 +26,8 @@ val insert : t -> bin_id -> Item.t -> unit
 val remove : t -> now:int -> item_id:int -> bin_id * bool
 (** Remove a departed item. Returns its bin and whether that bin became
     empty and was therefore closed at [now]. Raises [Not_found] for an
-    unknown item id. *)
+    unknown item id. One pass over the bin's items; closing a bin
+    unlinks it from the live set in O(1). *)
 
 val load : t -> bin_id -> Load.t
 val residual : t -> bin_id -> Load.t

@@ -1,0 +1,228 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = { mutable state : 'a state }
+
+type task = Task : (unit -> 'a) * 'a future -> task
+
+type t = {
+  pool_jobs : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;  (** signalled per submit, broadcast at shutdown *)
+  finished : Condition.t;  (** broadcast per task completion *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let env_jobs () =
+  match Sys.getenv_opt "DBP_JOBS" with
+  | None -> None
+  | Some raw -> (
+      let s = String.trim raw in
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Some n
+      | Some 0 -> Some (recommended_jobs ())
+      | Some _ -> None
+      | None ->
+          if String.lowercase_ascii s = "auto" then Some (recommended_jobs ())
+          else None)
+
+let default = ref None
+
+let default_jobs () =
+  match !default with
+  | Some n -> n
+  | None ->
+      let n = Option.value (env_jobs ()) ~default:1 in
+      default := Some n;
+      n
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  default := Some n
+
+let jobs t = t.pool_jobs
+
+(* Runs outside the pool lock; only the state store and wake-up are
+   locked. *)
+let run_task t (Task (f, fut)) =
+  let result =
+    match f () with
+    | v -> Done v
+    | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock t.mutex;
+  fut.state <- result;
+  Condition.broadcast t.finished;
+  Mutex.unlock t.mutex
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.stop then None
+      else begin
+        Condition.wait t.has_work t.mutex;
+        next ()
+      end
+    in
+    match next () with
+    | None -> Mutex.unlock t.mutex
+    | Some task ->
+        Mutex.unlock t.mutex;
+        run_task t task;
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some n -> n | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      pool_jobs = jobs;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t f =
+  let fut = { state = Pending } in
+  if t.pool_jobs = 1 then begin
+    if t.stop then invalid_arg "Pool.submit: pool is shut down";
+    (match f () with
+    | v -> fut.state <- Done v
+    | exception e -> fut.state <- Failed (e, Printexc.get_raw_backtrace ()))
+  end
+  else begin
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push (Task (f, fut)) t.queue;
+    Condition.signal t.has_work;
+    Mutex.unlock t.mutex
+  end;
+  fut
+
+let finished_value = function
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let await t fut =
+  if t.pool_jobs = 1 then finished_value fut.state
+  else begin
+    Mutex.lock t.mutex;
+    let rec loop () =
+      match fut.state with
+      | Done _ | Failed _ ->
+          let s = fut.state in
+          Mutex.unlock t.mutex;
+          finished_value s
+      | Pending ->
+          if not (Queue.is_empty t.queue) then begin
+            (* Help: never park while there is queued work — this is
+               what makes nested submit-and-await deadlock-free. *)
+            let task = Queue.pop t.queue in
+            Mutex.unlock t.mutex;
+            run_task t task;
+            Mutex.lock t.mutex;
+            loop ()
+          end
+          else begin
+            Condition.wait t.finished t.mutex;
+            loop ()
+          end
+    in
+    loop ()
+  end
+
+let map t f items =
+  let futures = List.map (fun x -> submit t (fun () -> f x)) items in
+  List.map (await t) futures
+
+let shutdown t =
+  if t.pool_jobs = 1 then t.stop <- true
+  else begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    let workers = t.workers in
+    t.workers <- [];
+    List.iter Domain.join workers
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let shared = ref None
+
+let global () =
+  let jobs = default_jobs () in
+  match !shared with
+  | Some t when t.pool_jobs = jobs && not t.stop -> t
+  | prev ->
+      (match prev with Some t -> shutdown t | None -> ());
+      let t = create ~jobs () in
+      shared := Some t;
+      t
+
+let with_default ?jobs f =
+  match jobs with Some n -> with_pool ~jobs:n f | None -> f (global ())
+
+module Bank = struct
+  type 'r t = {
+    make : unit -> 'r;
+    mutex : Mutex.t;
+    mutable free : 'r list;
+    mutable created : 'r list;  (** reverse creation order *)
+  }
+
+  let create make = { make; mutex = Mutex.create (); free = []; created = [] }
+
+  let acquire b =
+    Mutex.lock b.mutex;
+    match b.free with
+    | r :: rest ->
+        b.free <- rest;
+        Mutex.unlock b.mutex;
+        r
+    | [] ->
+        Mutex.unlock b.mutex;
+        let r = b.make () in
+        Mutex.lock b.mutex;
+        b.created <- r :: b.created;
+        Mutex.unlock b.mutex;
+        r
+
+  let release b r =
+    Mutex.lock b.mutex;
+    b.free <- r :: b.free;
+    Mutex.unlock b.mutex
+
+  let use b f =
+    let r = acquire b in
+    Fun.protect ~finally:(fun () -> release b r) (fun () -> f r)
+
+  let all b =
+    Mutex.lock b.mutex;
+    let l = b.created in
+    Mutex.unlock b.mutex;
+    List.rev l
+end

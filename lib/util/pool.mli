@@ -1,0 +1,93 @@
+(** Fixed-size work pool over raw [Domain.spawn] (OCaml 5 domains; no
+    external dependency) used to fan experiment grids out across cores.
+
+    The pool owns a mutex+condition task queue and [jobs] worker
+    domains. [jobs = 1] spawns no domains at all: [submit] runs the
+    thunk inline, so single-core runs behave exactly like the code the
+    pool replaced and debugging stays simple.
+
+    Determinism contract: [map] submits tasks in list order and awaits
+    their futures in list order, so the result list is always in input
+    order regardless of which domain ran what — callers that keep each
+    task free of shared mutable state (fresh PRNGs, per-task or banked
+    accumulators) get output bit-identical to a sequential run.
+
+    Nested submission is supported: a task running on a worker may
+    itself [submit] to the same pool and [await] the results. [await]
+    never parks while the queue is non-empty — it pops and runs queued
+    tasks itself ("helping"), so the pool cannot deadlock on
+    tasks-waiting-for-tasks even when every worker is blocked in a
+    nested [await]. *)
+
+type t
+(** A pool handle. Values of type [t] are safe to share across
+    domains. *)
+
+type 'a future
+(** The pending result of a [submit]ted task. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val default_jobs : unit -> int
+(** The process-wide default worker count: the last value passed to
+    {!set_default_jobs}, else the [DBP_JOBS] environment variable
+    ([0] or ["auto"] meaning {!recommended_jobs}), else [1]. *)
+
+val set_default_jobs : int -> unit
+(** Override the default (e.g. from a [--jobs] CLI flag). Takes
+    precedence over [DBP_JOBS]. Raises [Invalid_argument] on [n < 1]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
+    [jobs = 1] creates an inline pool with no domains. *)
+
+val jobs : t -> int
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. On an inline pool the task runs before [submit]
+    returns. Raises [Invalid_argument] on a pool that was shut down. *)
+
+val await : t -> 'a future -> 'a
+(** Block until the task finished, helping to drain the queue while
+    waiting. Re-raises (with its original backtrace) any exception the
+    task raised. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Ordered fan-out: submit [f x] for every element, await in order.
+    If a task raised, the exception surfaces at that position (later
+    tasks still run to completion in the background). *)
+
+val shutdown : t -> unit
+(** Finish every queued task, then join the workers. Idempotent.
+    Subsequent [submit]s raise. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and always [shutdown]. *)
+
+val with_default : ?jobs:int -> (t -> 'a) -> 'a
+(** With [~jobs:n]: a temporary [n]-worker pool, shut down afterwards.
+    Without: the process-shared pool sized by {!default_jobs} (kept
+    alive for reuse) — the form the experiment layer uses, so nested
+    parallel code all lands on one pool instead of multiplying
+    domains. *)
+
+(** A bank of reusable per-worker resources (e.g. solver caches): each
+    concurrent task borrows one exclusively for the duration of a
+    [use], so at most [concurrency]-many are ever created and none is
+    shared between two domains at once. [all] lists every resource the
+    bank created, for merging once the parallel section has joined. *)
+module Bank : sig
+  type 'r t
+
+  val create : (unit -> 'r) -> 'r t
+  (** No resource is created until first [use]. *)
+
+  val use : 'r t -> ('r -> 'a) -> 'a
+  (** Borrow a free resource (creating one if none is free), run, and
+      return it to the bank even on exception. *)
+
+  val all : 'r t -> 'r list
+  (** Every resource created so far, in creation order. Only meaningful
+      once no [use] is in flight. *)
+end

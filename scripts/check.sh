@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 gate plus a parallel-path smoke test: build, run the test
+# suite, then run one sweep-heavy experiment with --jobs 2 and require
+# its report to be byte-identical to the inline (--jobs 1) run, so the
+# domain-pool path is exercised on every change. Usage: make check
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
+
+smoke=theorem32
+echo "smoke: experiment $smoke with --jobs 1 vs --jobs 2"
+dune exec bin/main.exe -- experiment "$smoke" --jobs 1 > "$tmpdir/j1.txt"
+dune exec bin/main.exe -- experiment "$smoke" --jobs 2 > "$tmpdir/j2.txt"
+if ! cmp -s "$tmpdir/j1.txt" "$tmpdir/j2.txt"; then
+  echo "FAIL: $smoke output differs between --jobs 1 and --jobs 2" >&2
+  diff "$tmpdir/j1.txt" "$tmpdir/j2.txt" >&2 || true
+  exit 1
+fi
+echo "smoke: parallel run bit-identical to inline run"
+echo "check OK"

@@ -167,6 +167,51 @@ let test_sweep_adversarial () =
         c.points
   | _ -> Alcotest.fail "expected one curve"
 
+(* The determinism contract of the parallel sweep: identical curves —
+   same ratios, costs, and opt_exact_fraction, compared structurally,
+   floats and all — for any worker count. *)
+let test_sweep_jobs_deterministic () =
+  let sweep jobs =
+    let solver_stats = ref (0, 0) in
+    let curves =
+      Sweep.run ~jobs ~solver_stats
+        ~algorithms:
+          [ ("FF", Dbp_baselines.Any_fit.first_fit); ("HA", Dbp_core.Ha.policy ()) ]
+        ~workload:(fun ~mu ~seed ->
+          random_instance (Dbp_util.Prng.create ~seed) ~n:25 ~max_time:30
+            ~max_duration:mu)
+        ~mus:[ 4; 8; 16 ] ~seeds:[ 1; 2; 3 ] ()
+    in
+    (curves, !solver_stats)
+  in
+  let reference, (hits, misses) = sweep 1 in
+  check_bool "solver cache exercised" true (hits + misses > 0);
+  List.iter
+    (fun jobs ->
+      let curves, (h, m) = sweep jobs in
+      check_bool
+        (Printf.sprintf "curves bit-identical at jobs=%d" jobs)
+        true
+        (curves = reference);
+      check_bool "merged stats cover the same solves" true (h + m > 0))
+    [ 2; 4 ]
+
+let test_adversarial_jobs_deterministic () =
+  let sweep jobs =
+    Sweep.adversarial ~jobs
+      ~algorithms:
+        [ ("FF", Dbp_baselines.Any_fit.first_fit); ("HA", Dbp_core.Ha.policy ()) ]
+      ~mus:[ 16; 64 ] ()
+  in
+  let reference = sweep 1 in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "adversarial curves bit-identical at jobs=%d" jobs)
+        true
+        (sweep jobs = reference))
+    [ 2; 4 ]
+
 let suite =
   [
     case "max0 examples" test_max0_examples;
@@ -186,4 +231,6 @@ let suite =
     case "compare algorithms" test_compare_algorithms;
     case "sweep shapes" test_sweep_shapes;
     case "sweep adversarial" test_sweep_adversarial;
+    case "sweep jobs determinism" test_sweep_jobs_deterministic;
+    case "adversarial jobs determinism" test_adversarial_jobs_deterministic;
   ]

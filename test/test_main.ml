@@ -8,6 +8,7 @@ let () =
       ("vec", Test_vec.suite);
       ("heap", Test_heap.suite);
       ("prng", Test_prng.suite);
+      ("pool", Test_pool.suite);
       ("load", Test_load.suite);
       ("stats", Test_stats.suite);
       ("binpack", Test_binpack.suite);
