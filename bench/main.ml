@@ -7,19 +7,27 @@
    experiments and their sweep grids out over N worker domains; output
    is bit-identical to --jobs 1.
 
+   Part 1.5 reports the incremental OPT_R solver's resolution counters
+   (bracket / cache / warm-started search) on the E5 and E7 reference
+   families, next to a from-scratch sweep's branch-and-bound node count;
+   --skip-optr skips it.
+
    Part 2 runs bechamel microbenchmarks of the hot paths: one Test.make
    per packing algorithm (per table row of E1), plus the substrate
    operations (first-fit index, exact packer, PRNG, binary strings).
-   --json FILE also records them machine-readably, so the perf
-   trajectory can be tracked across commits (BENCH_*.json). *)
+   --json FILE also records the counters and the microbenchmarks
+   machine-readably, so the perf trajectory can be tracked across
+   commits (BENCH_*.json). *)
 
 open Bechamel
 open Toolkit
 
-let usage = "bench [--full] [--only ID] [--skip-exps] [--skip-micro] [--jobs N] [--json FILE]"
+let usage =
+  "bench [--full] [--only ID] [--skip-exps] [--skip-optr] [--skip-micro] [--jobs N] [--json FILE]"
 let full = ref false
 let only = ref None
 let skip_exps = ref false
+let skip_optr = ref false
 let skip_micro = ref false
 let json_path = ref None
 
@@ -29,6 +37,7 @@ let parse_args () =
       ("--full", Arg.Set full, " use the full (slow) experiment parameters");
       ("--only", Arg.String (fun s -> only := Some s), "ID run a single experiment");
       ("--skip-exps", Arg.Set skip_exps, " skip the paper experiments");
+      ("--skip-optr", Arg.Set skip_optr, " skip the incremental OPT_R counter report");
       ("--skip-micro", Arg.Set skip_micro, " skip the microbenchmarks");
       ( "--jobs",
         Arg.Int
@@ -42,7 +51,7 @@ let parse_args () =
          DBP_JOBS or 1)" );
       ( "--json",
         Arg.String (fun s -> json_path := Some s),
-        "FILE write microbenchmark results (name, ns/run, r2) as JSON" );
+        "FILE write OPT_R counters and microbenchmark results as JSON" );
     ]
   in
   Arg.parse (Arg.align spec) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage
@@ -67,6 +76,65 @@ let run_experiments () =
       Printf.printf "[%s finished in %.1fs]\n\n" e.experiment seconds;
       flush stdout)
     (Dbp_experiments.Registry.run_entries ~quick entries)
+
+(* ---- Part 1.5: incremental OPT_R counters ----
+
+   Reference sweeps (the E5 and E7 instance families) through the
+   incremental solver, reporting how its segments were resolved —
+   cache, perturbation bracket, warm-started branch-and-bound — plus
+   the total B&B nodes of a cold from-scratch sweep of the same
+   instances for comparison. scripts/check.sh asserts the incremental
+   node total never regresses past the recorded seed baseline. *)
+
+let optr_families =
+  [
+    ( "OPT_R/E5 general mu=64 seeds 1-10",
+      fun () ->
+        List.init 10 (fun i -> Dbp_experiments.Workload_defs.general ~mu:64 ~seed:(i + 1)) );
+    ( "OPT_R/E7 general mu=256 seeds 1-3",
+      fun () ->
+        List.init 3 (fun i -> Dbp_experiments.Workload_defs.general ~mu:256 ~seed:(i + 1)) );
+  ]
+
+let run_optr () =
+  print_endline "Incremental OPT_R counters (per reference family):";
+  List.map
+    (fun (name, make) ->
+      let insts = make () in
+      let solver = Dbp_binpack.Solver.create () in
+      List.iter (fun inst -> ignore (Dbp_offline.Opt_repack.exact ~solver inst)) insts;
+      let c = Dbp_binpack.Solver.counters solver in
+      let reference_nodes =
+        List.fold_left
+          (fun acc inst ->
+            let _, _, nodes =
+              Dbp_offline.Opt_repack.reference
+                ~node_limit:(Dbp_binpack.Solver.node_limit solver) inst
+            in
+            acc + nodes)
+          0 insts
+      in
+      let no_search = c.segments - c.bb_searches in
+      Printf.printf
+        "  %-36s segments=%d no-search=%d (%.1f%%: bracket=%d cache=%d) warm=%d \
+         bb_nodes=%d (from-scratch %d)\n"
+        name c.segments no_search
+        (100.0 *. float_of_int no_search /. float_of_int (max 1 c.segments))
+        c.bracket_resolved c.cache_hits c.warm_starts c.bb_nodes reference_nodes;
+      flush stdout;
+      ( name,
+        [
+          ("segments", c.segments);
+          ("no_search", no_search);
+          ("bracket_resolved", c.bracket_resolved);
+          ("warm_starts", c.warm_starts);
+          ("bb_searches", c.bb_searches);
+          ("bb_nodes", c.bb_nodes);
+          ("cache_hits", c.cache_hits);
+          ("cache_misses", c.cache_misses);
+          ("reference_nodes", reference_nodes);
+        ] ))
+    optr_families
 
 (* ---- Part 2: microbenchmarks ---- *)
 
@@ -138,19 +206,31 @@ let json_escape s =
 
 let json_number x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
-let write_json path results =
+let write_json path ~optr ~micro =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      let records =
+        List.map
+          (fun (name, fields) ->
+            Printf.sprintf "{\"name\": \"%s\", %s}" (json_escape name)
+              (String.concat ", "
+                 (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) fields)))
+          optr
+        @ List.map
+            (fun (name, ns, r2) ->
+              Printf.sprintf "{\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}"
+                (json_escape name) (json_number ns)
+                (match r2 with Some r -> json_number r | None -> "null"))
+            micro
+      in
       output_string oc "[\n";
       List.iteri
-        (fun i (name, ns, r2) ->
-          Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}%s\n"
-            (json_escape name) (json_number ns)
-            (match r2 with Some r -> json_number r | None -> "null")
-            (if i = List.length results - 1 then "" else ","))
-        results;
+        (fun i r ->
+          Printf.fprintf oc "  %s%s\n" r
+            (if i = List.length records - 1 then "" else ","))
+        records;
       output_string oc "]\n");
   Printf.printf "wrote %s\n" path
 
@@ -159,31 +239,30 @@ let run_micro () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   print_endline "Microbenchmarks (time per run):";
-  let results =
-    List.concat_map
-      (fun test ->
-        List.map
-          (fun elt ->
-            let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
-            let est = Analyze.one ols Instance.monotonic_clock raw in
-            let ns =
-              match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
-            in
-            let pretty =
-              if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
-              else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-              else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-              else Printf.sprintf "%8.1f ns" ns
-            in
-            Printf.printf "  %-32s %s\n" (Test.Elt.name elt) pretty;
-            flush stdout;
-            (Test.Elt.name elt, ns, Analyze.OLS.r_square est))
-          (Test.elements test))
-      tests
-  in
-  match !json_path with None -> () | Some path -> write_json path results
+  List.concat_map
+    (fun test ->
+      List.map
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
+          in
+          let pretty =
+            if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+            else Printf.sprintf "%8.1f ns" ns
+          in
+          Printf.printf "  %-32s %s\n" (Test.Elt.name elt) pretty;
+          flush stdout;
+          (Test.Elt.name elt, ns, Analyze.OLS.r_square est))
+        (Test.elements test))
+    tests
 
 let () =
   parse_args ();
   if not !skip_exps then run_experiments ();
-  if not !skip_micro then run_micro ()
+  let optr = if not !skip_optr then run_optr () else [] in
+  let micro = if not !skip_micro then run_micro () else [] in
+  match !json_path with None -> () | Some path -> write_json path ~optr ~micro

@@ -166,13 +166,19 @@ let run_cmd =
         match algorithm_of_name ~mu_hint:(float_of_int mu) algorithm with
         | None -> fail "unknown algorithm %S" algorithm
         | Some factory ->
-            let m = Dbp_analysis.Ratio.measure ~name:algorithm factory inst in
+            let solver = Dbp_binpack.Solver.create () in
+            let m = Dbp_analysis.Ratio.measure ~solver ~name:algorithm factory inst in
             Format.printf "%a@." Dbp_analysis.Ratio.pp m;
             Printf.printf "items=%d span=%d demand=%.1f mu=%.0f\n"
               (Dbp_instance.Instance.length inst)
               (Dbp_instance.Instance.span inst)
               (Dbp_instance.Instance.demand inst)
               m.mu;
+            let c = Dbp_binpack.Solver.counters solver in
+            Printf.printf
+              "opt_r: segments=%d bracket=%d warm=%d bb_nodes=%d cache=%d/%d\n"
+              c.segments c.bracket_resolved c.warm_starts c.bb_nodes c.cache_hits
+              (c.cache_hits + c.cache_misses);
             if chart then begin
               let res = Dbp_sim.Engine.run factory inst in
               print_string (Dbp_report.Gantt.packing_chart inst res.store)

@@ -1,6 +1,7 @@
 open Dbp_util
 
 type result = { bins : int; exact : bool; nodes : int }
+type packing = int array array
 
 exception Node_budget
 
@@ -9,89 +10,178 @@ exception Node_budget
 let all_equal units =
   Array.length units > 0 && Array.for_all (fun s -> s = units.(0)) units
 
-let min_bins ?(node_limit = 200_000) sizes =
+let check_desc units =
+  let n = Array.length units in
+  for i = 0 to n - 1 do
+    if units.(i) > Load.capacity then
+      invalid_arg "Exact.solve_desc: item larger than a bin";
+    if units.(i) < 0 then invalid_arg "Exact.solve_desc: negative size";
+    if i > 0 && units.(i - 1) < units.(i) then
+      invalid_arg "Exact.solve_desc: units not sorted non-increasing"
+  done
+
+(* First-fit in array order; on a non-increasing array this is FFD.
+   Returns the bin count and, when asked, the per-bin contents. *)
+let first_fit_desc ~want_packing units =
+  let c = Load.capacity in
+  let residuals = Vec.create () in
+  let contents : int list Vec.t = Vec.create () in
+  Array.iter
+    (fun u ->
+      match Vec.find_index (fun r -> r >= u) residuals with
+      | Some j ->
+          Vec.set residuals j (Vec.get residuals j - u);
+          if want_packing then Vec.set contents j (u :: Vec.get contents j)
+      | None ->
+          Vec.push residuals (c - u);
+          if want_packing then Vec.push contents [ u ])
+    units;
+  let count = Vec.length residuals in
+  let packing =
+    if want_packing then Some (Array.map Array.of_list (Vec.to_array contents))
+    else None
+  in
+  (count, packing)
+
+let trivial_packing ~want_packing ~bins ~per_bin units =
+  if not want_packing then None
+  else begin
+    let n = Array.length units in
+    Some
+      (Array.init bins (fun b ->
+           let lo = b * per_bin in
+           Array.sub units lo (min per_bin (n - lo))))
+  end
+
+let solve_desc ?(node_limit = 200_000) ?lower ?incumbent ?(want_packing = false)
+    units =
+  check_desc units;
+  let n = Array.length units in
+  let c = Load.capacity in
+  if n = 0 then
+    ({ bins = 0; exact = true; nodes = 0 }, if want_packing then Some [||] else None)
+  else if all_equal units then begin
+    let per_bin = if units.(0) = 0 then n else c / units.(0) in
+    let bins = if per_bin = 0 then n else Ints.ceil_div n per_bin in
+    let per_bin = if per_bin = 0 then 1 else per_bin in
+    ({ bins; exact = true; nodes = 0 },
+     trivial_packing ~want_packing ~bins ~per_bin units)
+  end
+  else begin
+    let lower =
+      match lower with Some lb -> lb | None -> Lower_bounds.best_desc units
+    in
+    let start_best, start_packing =
+      match incumbent with
+      | Some ub -> (ub, None)
+      | None -> first_fit_desc ~want_packing units
+    in
+    if start_best <= lower then
+      ({ bins = start_best; exact = true; nodes = 0 }, start_packing)
+    else begin
+      (* suffix_sum.(i) = total units of items i..n-1, for the volume
+         completion bound. *)
+      let suffix_sum = Array.make (n + 1) 0 in
+      for i = n - 1 downto 0 do
+        suffix_sum.(i) <- suffix_sum.(i + 1) + units.(i)
+      done;
+      let nodes = ref 0 in
+      let residuals = Vec.create () in
+      (* Free capacity across open bins, kept as a running counter
+         updated on place/unplace instead of a fold at every node. *)
+      let free = ref 0 in
+      let assign = Array.make n (-1) in
+      let best = ref start_best in
+      let best_assign = ref None in
+      let record used =
+        if used < !best then begin
+          best := used;
+          if want_packing then best_assign := Some (Array.copy assign)
+        end
+      in
+      let exception Optimal_found in
+      let rec place i =
+        incr nodes;
+        if !nodes > node_limit then raise Node_budget;
+        if i = n then begin
+          record (Vec.length residuals);
+          if !best <= lower then raise Optimal_found
+        end
+        else begin
+          let used = Vec.length residuals in
+          let need =
+            if suffix_sum.(i) > !free then
+              Ints.ceil_div (suffix_sum.(i) - !free) c
+            else 0
+          in
+          if used + need < !best then begin
+            let s = units.(i) in
+            (* Perfect fit dominates every other placement. *)
+            match Vec.find_index (fun r -> r = s) residuals with
+            | Some j ->
+                Vec.set residuals j 0;
+                free := !free - s;
+                assign.(i) <- j;
+                place (i + 1);
+                Vec.set residuals j s;
+                free := !free + s
+            | None ->
+                let tried = Hashtbl.create 8 in
+                for j = 0 to used - 1 do
+                  let r = Vec.get residuals j in
+                  if r >= s && not (Hashtbl.mem tried r) then begin
+                    Hashtbl.add tried r ();
+                    Vec.set residuals j (r - s);
+                    free := !free - s;
+                    assign.(i) <- j;
+                    place (i + 1);
+                    Vec.set residuals j r;
+                    free := !free + s
+                  end
+                done;
+                (* New bin: only worthwhile if it can still beat the
+                   incumbent. *)
+                if used + 1 < !best then begin
+                  Vec.push residuals (c - s);
+                  free := !free + (c - s);
+                  assign.(i) <- used;
+                  place (i + 1);
+                  ignore (Vec.pop residuals);
+                  free := !free - (c - s)
+                end
+          end
+        end
+      in
+      let exact =
+        try
+          place 0;
+          true
+        with
+        | Optimal_found -> true
+        | Node_budget -> !best = lower
+      in
+      let packing =
+        if not want_packing then None
+        else
+          match !best_assign with
+          | Some a ->
+              let bins = Array.make !best [] in
+              for i = n - 1 downto 0 do
+                bins.(a.(i)) <- units.(i) :: bins.(a.(i))
+              done;
+              Some (Array.map Array.of_list bins)
+          | None -> start_packing
+      in
+      ({ bins = !best; exact; nodes = !nodes }, packing)
+    end
+  end
+
+let min_bins ?node_limit sizes =
   Array.iter
     (fun s ->
       if Load.to_units s > Load.capacity then
         invalid_arg "Exact.min_bins: item larger than a bin")
     sizes;
-  let n = Array.length sizes in
-  if n = 0 then { bins = 0; exact = true; nodes = 0 }
-  else begin
-    let units = Array.map Load.to_units sizes in
-    Array.sort (fun a b -> Int.compare b a) units;
-    let c = Load.capacity in
-    if all_equal units then begin
-      let per_bin = c / units.(0) in
-      if per_bin = 0 then { bins = n; exact = true; nodes = 0 }
-      else { bins = Ints.ceil_div n per_bin; exact = true; nodes = 0 }
-    end
-    else begin
-      let lower = Lower_bounds.best sizes in
-      let best = ref (Heuristics.ffd sizes) in
-      if !best = lower then { bins = !best; exact = true; nodes = 0 }
-      else begin
-        (* suffix_sum.(i) = total units of items i..n-1, for the volume
-           completion bound. *)
-        let suffix_sum = Array.make (n + 1) 0 in
-        for i = n - 1 downto 0 do
-          suffix_sum.(i) <- suffix_sum.(i + 1) + units.(i)
-        done;
-        let nodes = ref 0 in
-        let residuals = Vec.create () in
-        let exception Optimal_found in
-        let rec place i =
-          incr nodes;
-          if !nodes > node_limit then raise Node_budget;
-          if i = n then begin
-            best := min !best (Vec.length residuals);
-            if !best <= lower then raise Optimal_found
-          end
-          else begin
-            let used = Vec.length residuals in
-            let free = Vec.fold_left ( + ) 0 residuals in
-            let need =
-              if suffix_sum.(i) > free then Ints.ceil_div (suffix_sum.(i) - free) c
-              else 0
-            in
-            if used + need < !best then begin
-              let s = units.(i) in
-              (* Perfect fit dominates every other placement. *)
-              match Vec.find_index (fun r -> r = s) residuals with
-              | Some j ->
-                  Vec.set residuals j 0;
-                  place (i + 1);
-                  Vec.set residuals j s
-              | None ->
-                  let tried = Hashtbl.create 8 in
-                  for j = 0 to used - 1 do
-                    let r = Vec.get residuals j in
-                    if r >= s && not (Hashtbl.mem tried r) then begin
-                      Hashtbl.add tried r ();
-                      Vec.set residuals j (r - s);
-                      place (i + 1);
-                      Vec.set residuals j r
-                    end
-                  done;
-                  (* New bin: only worthwhile if it can still beat the
-                     incumbent. *)
-                  if used + 1 < !best then begin
-                    Vec.push residuals (c - s);
-                    place (i + 1);
-                    ignore (Vec.pop residuals)
-                  end
-            end
-          end
-        in
-        let exact =
-          try
-            place 0;
-            true
-          with
-          | Optimal_found -> true
-          | Node_budget -> !best = lower
-        in
-        { bins = !best; exact; nodes = !nodes }
-      end
-    end
-  end
+  let units = Array.map Load.to_units sizes in
+  Array.sort (fun a b -> Int.compare b a) units;
+  fst (solve_desc ?node_limit units)

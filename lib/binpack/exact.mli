@@ -3,9 +3,11 @@
     Items are placed in non-increasing size order; branches try existing
     bins with distinct residuals, then a fresh bin; subtrees are cut with
     the {!Lower_bounds} volume completion bound and a perfect-fit
-    dominance rule. A node budget keeps worst cases bounded: when it is
-    exhausted the best feasible solution found so far (at worst FFD) is
-    returned and flagged as inexact. *)
+    dominance rule. The free capacity across open bins is a running
+    counter updated on place/unplace, not a per-node fold. A node budget
+    keeps worst cases bounded: when it is exhausted the best feasible
+    solution found so far (at worst the starting incumbent) is returned
+    and flagged as inexact. *)
 
 open Dbp_util
 
@@ -15,6 +17,39 @@ type result = {
   nodes : int;  (** search nodes explored. *)
 }
 
+type packing = int array array
+(** Size units per bin, one inner array per bin. *)
+
 val min_bins : ?node_limit:int -> Load.t array -> result
 (** [min_bins sizes] packs all items. Default [node_limit] is 200_000.
     Raises [Invalid_argument] if a size exceeds one bin. *)
+
+val solve_desc :
+  ?node_limit:int ->
+  ?lower:int ->
+  ?incumbent:int ->
+  ?want_packing:bool ->
+  int array ->
+  result * packing option
+(** [solve_desc units] packs size units already sorted non-increasing —
+    the multiset is sorted once by the caller and never copied or
+    re-sorted here (raises [Invalid_argument] otherwise, or if a unit is
+    negative or exceeds one bin).
+
+    [?lower] supplies an externally computed lower bound and replaces
+    the internal {!Lower_bounds.best_desc} computation; it MUST be a
+    valid lower bound for the multiset or the result is undefined. A
+    lower bound stronger than the internal one (e.g. the perturbation
+    bound [BP(S) - #departures] of an incremental sweep) only prunes
+    more and certifies earlier: it can never change an [exact] value.
+
+    [?incumbent] warm-starts the search from a known feasible bin count
+    (e.g. the previous segment's packing patched by the delta items)
+    instead of running a cold FFD. A warm incumbent is an upper bound on
+    the optimum, so it too never changes an [exact] value — only the
+    node count and, if the budget runs out first, the inexact fallback.
+
+    The returned packing (requested with [~want_packing:true]) realizes
+    [result.bins] bins, except that [None] is returned when the search
+    never improved on a caller-supplied [?incumbent] — the caller
+    already holds such a packing. *)

@@ -1,8 +1,9 @@
 open Dbp_util
 
+let l1_total total = Ints.ceil_div total Load.capacity
+
 let l1 sizes =
-  let total = Array.fold_left (fun acc s -> acc + Load.to_units s) 0 sizes in
-  Ints.ceil_div total Load.capacity
+  l1_total (Array.fold_left (fun acc s -> acc + Load.to_units s) 0 sizes)
 
 (* Martello & Toth's L2. For a threshold k in [0, C/2]:
      N1 = items with size > C - k        (each needs a private bin)
@@ -10,11 +11,10 @@ let l1 sizes =
      N3 = items with size in [k, C/2]
    L2(k) = |N1| + |N2| + max(0, ceil((sum N3 - (|N2|*C - sum N2)) / C)).
    Only thresholds equal to some item size (or 0) can change the value, so
-   we iterate over distinct sizes <= C/2. *)
-let l2 sizes =
+   we iterate over distinct sizes <= C/2. [units] must be sorted
+   non-increasing; the value of L2 only depends on the multiset. *)
+let l2_desc units =
   let c = Load.capacity in
-  let units = Array.map Load.to_units sizes in
-  Array.sort (fun a b -> Int.compare b a) units;
   let n = Array.length units in
   let thresholds =
     let acc = ref [ 0 ] in
@@ -37,5 +37,13 @@ let l2 sizes =
     !n1 + !n2 + extra
   in
   List.fold_left (fun acc k -> max acc (value_at k)) 0 thresholds
+
+let l2 sizes =
+  let units = Array.map Load.to_units sizes in
+  Array.sort (fun a b -> Int.compare b a) units;
+  l2_desc units
+
+let best_desc units =
+  max (l1_total (Array.fold_left ( + ) 0 units)) (l2_desc units)
 
 let best sizes = max (l1 sizes) (l2 sizes)

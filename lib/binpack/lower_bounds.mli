@@ -2,17 +2,31 @@
 
     [l1] is the volume bound; [l2] is Martello & Toth's bound, which
     dominates [l1]. Used to prune the exact branch-and-bound solver and to
-    certify heuristic solutions as optimal. *)
+    certify heuristic solutions as optimal.
+
+    The [_total]/[_desc] variants operate on raw size units so callers
+    that already maintain a running unit total and a sorted expansion
+    (the incremental OPT_R sweep) never re-extract or re-sort. *)
 
 open Dbp_util
 
 val l1 : Load.t array -> int
 (** ceil of total size. 0 for an empty set. *)
 
+val l1_total : int -> int
+(** {!l1} from a pre-computed total of size units (O(1)). *)
+
 val l2 : Load.t array -> int
 (** Martello-Toth L2 bound: maximizes over thresholds [k <= capacity/2]
     the count of large items plus the volume of medium items that cannot
     share bins with them. Always [>= l1]. *)
 
+val l2_desc : int array -> int
+(** {!l2} on size units already sorted non-increasing (not copied, not
+    re-sorted, never mutated). *)
+
 val best : Load.t array -> int
 (** [max (l1 sizes) (l2 sizes)]. *)
+
+val best_desc : int array -> int
+(** {!best} on size units already sorted non-increasing. *)

@@ -3,41 +3,307 @@ open Dbp_util
 module Key = struct
   type t = int array
 
-  let equal = ( = )
+  (* Monomorphic int-array loop: no polymorphic-compare dispatch per
+     element. *)
+  let equal (a : t) (b : t) =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let rec loop i =
+      i >= la || (Array.unsafe_get a i = Array.unsafe_get b i && loop (i + 1))
+    in
+    loop 0
 
-  (* The default [Hashtbl.hash] only inspects ~10 values; multisets here
-     can be long and share prefixes, so hash deeply. *)
-  let hash (k : t) = Hashtbl.hash_param 500 500 k
+  (* Splitmix-style rolling hash over the whole (short) count-vector key;
+     the generic [Hashtbl.hash_param] walked the boxed representation and
+     still had to be told to look 500 levels deep. Constants are 62-bit
+     truncations of the usual 64-bit mixers. *)
+  let mix z =
+    let z = z * 0x2545F4914F6CDD1D in
+    let z = z lxor (z lsr 29) in
+    let z = z * 0x1B03738712FAD5C9 in
+    z lxor (z lsr 32)
+
+  let hash (k : t) =
+    let h = ref (Array.length k) in
+    for i = 0 to Array.length k - 1 do
+      h := mix (!h lxor Array.unsafe_get k i)
+    done;
+    !h land max_int
 end
 
 module Cache = Hashtbl.Make (Key)
 
+type counters = {
+  mutable segments : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable bracket_resolved : int;
+  mutable warm_starts : int;
+  mutable bb_searches : int;
+  mutable bb_nodes : int;
+}
+
+let zero_counters () =
+  {
+    segments = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    bracket_resolved = 0;
+    warm_starts = 0;
+    bb_searches = 0;
+    bb_nodes = 0;
+  }
+
 type t = {
-  node_limit : int;
+  limit : int;
   cache : Exact.result Cache.t;
-  mutable hits : int;
-  mutable misses : int;
+  c : counters;
 }
 
 let create ?(node_limit = 20_000) () =
-  { node_limit; cache = Cache.create 1024; hits = 0; misses = 0 }
+  { limit = node_limit; cache = Cache.create 1024; c = zero_counters () }
+
+let node_limit t = t.limit
+
+(* Run-length encode a non-increasing unit array into the canonical
+   ascending count-vector key — the same key {!Dbp_util.Multiset.key}
+   produces, so both entry points share cache lines. *)
+let key_of_desc units =
+  let n = Array.length units in
+  let distinct = ref 0 in
+  for i = 0 to n - 1 do
+    if i = 0 || units.(i) <> units.(i - 1) then incr distinct
+  done;
+  let k = Array.make (2 * !distinct) 0 in
+  let pos = ref (2 * !distinct) in
+  let i = ref 0 in
+  while !i < n do
+    let v = units.(!i) in
+    let j = ref !i in
+    while !j < n && units.(!j) = v do
+      incr j
+    done;
+    pos := !pos - 2;
+    k.(!pos) <- v;
+    k.(!pos + 1) <- !j - !i;
+    i := !j
+  done;
+  k
+
+let note_search c (r : Exact.result) =
+  c.bb_nodes <- c.bb_nodes + r.nodes;
+  if r.nodes > 0 then c.bb_searches <- c.bb_searches + 1
+
+(* Only exact results enter the cache: they are canonical (the true BP
+   of the multiset, whatever incumbent or session produced them), so
+   sharing a cache across instances — or splitting it per worker —
+   can never change a value. A budget-limited result depends on the
+   session's warm incumbent and is recomputed instead. *)
+let remember t key (r : Exact.result) = if r.exact then Cache.add t.cache key r
 
 let min_bins t sizes =
-  let key = Array.map Load.to_units sizes in
-  Array.sort Int.compare key;
+  Array.iter
+    (fun s ->
+      if Load.to_units s > Load.capacity then
+        invalid_arg "Exact.min_bins: item larger than a bin")
+    sizes;
+  let units = Array.map Load.to_units sizes in
+  Array.sort (fun a b -> Int.compare b a) units;
+  let key = key_of_desc units in
   match Cache.find_opt t.cache key with
   | Some r ->
-      t.hits <- t.hits + 1;
+      t.c.cache_hits <- t.c.cache_hits + 1;
       r
   | None ->
-      t.misses <- t.misses + 1;
-      let r = Exact.min_bins ~node_limit:t.node_limit sizes in
-      Cache.add t.cache key r;
+      t.c.cache_misses <- t.c.cache_misses + 1;
+      let r, _ = Exact.solve_desc ~node_limit:t.limit units in
+      note_search t.c r;
+      remember t key r;
       r
 
-let stats t = (t.hits, t.misses)
+let stats t = (t.c.cache_hits, t.c.cache_misses)
+
+let counters t = { t.c with segments = t.c.segments }
+
+let add_counters into c =
+  into.segments <- into.segments + c.segments;
+  into.cache_hits <- into.cache_hits + c.cache_hits;
+  into.cache_misses <- into.cache_misses + c.cache_misses;
+  into.bracket_resolved <- into.bracket_resolved + c.bracket_resolved;
+  into.warm_starts <- into.warm_starts + c.warm_starts;
+  into.bb_searches <- into.bb_searches + c.bb_searches;
+  into.bb_nodes <- into.bb_nodes + c.bb_nodes
+
+let merged_counters solvers =
+  let acc = zero_counters () in
+  List.iter (fun t -> add_counters acc t.c) solvers;
+  acc
 
 let merged_stats solvers =
-  List.fold_left
-    (fun (h, m) t -> (h + t.hits, m + t.misses))
-    (0, 0) solvers
+  let c = merged_counters solvers in
+  (c.cache_hits, c.cache_misses)
+
+module Inc = struct
+  type bin = { mutable space : int; mutable items : int list }
+
+  type session = {
+    solver : t;
+    ms : Multiset.t;
+    mutable bins : bin list;  (** bin-opening order, the first-fit scan order *)
+    mutable nbins : int;
+    mutable prev : Exact.result option;
+    mutable pending_departures : int;
+  }
+
+  let start solver =
+    {
+      solver;
+      ms = Multiset.create ();
+      bins = [];
+      nbins = 0;
+      prev = None;
+      pending_departures = 0;
+    }
+
+  let multiset sess = sess.ms
+
+  let add sess u =
+    Multiset.add sess.ms u;
+    let rec place = function
+      | [] ->
+          sess.bins <- sess.bins @ [ { space = Load.capacity - u; items = [ u ] } ];
+          sess.nbins <- sess.nbins + 1
+      | b :: rest ->
+          if b.space >= u then begin
+            b.space <- b.space - u;
+            b.items <- u :: b.items
+          end
+          else place rest
+    in
+    place sess.bins
+
+  let rec remove_first u = function
+    | [] -> invalid_arg "Solver.Inc.remove: packing out of sync"
+    | x :: rest -> if x = u then rest else x :: remove_first u rest
+
+  let remove sess u =
+    Multiset.remove sess.ms u;
+    let rec extract = function
+      | [] -> invalid_arg "Solver.Inc.remove: packing out of sync"
+      | b :: rest ->
+          if List.mem u b.items then begin
+            b.items <- remove_first u b.items;
+            b.space <- b.space + u;
+            if b.items = [] then begin
+              sess.nbins <- sess.nbins - 1;
+              rest
+            end
+            else b :: rest
+          end
+          else b :: extract rest
+    in
+    sess.bins <- extract sess.bins;
+    sess.pending_departures <- sess.pending_departures + 1
+
+  let bin_of_items items =
+    let total = List.fold_left ( + ) 0 items in
+    { space = Load.capacity - total; items }
+
+  let set_packing sess (p : Exact.packing) =
+    sess.bins <- Array.to_list (Array.map (fun b -> bin_of_items (Array.to_list b)) p);
+    sess.nbins <- Array.length p
+
+  (* Fresh first-fit over the (descending) expansion = FFD, producing a
+     replacement packing when the patched one has drifted. *)
+  let ffd_bins units =
+    let bins = ref [] in
+    let nbins = ref 0 in
+    Array.iter
+      (fun u ->
+        let rec place = function
+          | [] ->
+              bins := !bins @ [ { space = Load.capacity - u; items = [ u ] } ];
+              incr nbins
+          | b :: rest ->
+              if b.space >= u then begin
+                b.space <- b.space - u;
+                b.items <- u :: b.items
+              end
+              else place rest
+        in
+        place !bins)
+      units;
+    (!bins, !nbins)
+
+  let adopt_ffd_if_tighter sess =
+    let fresh, count = ffd_bins (Multiset.expansion sess.ms) in
+    if count < sess.nbins then begin
+      sess.bins <- fresh;
+      sess.nbins <- count
+    end
+
+  let finish sess r =
+    sess.prev <- Some r;
+    sess.pending_departures <- 0;
+    r
+
+  let solve sess =
+    let t = sess.solver in
+    let c = t.c in
+    c.segments <- c.segments + 1;
+    if Multiset.is_empty sess.ms then
+      finish sess { Exact.bins = 0; exact = true; nodes = 0 }
+    else begin
+      let key = Multiset.key sess.ms in
+      match Cache.find_opt t.cache key with
+      | Some r ->
+          c.cache_hits <- c.cache_hits + 1;
+          (* Keep the maintained packing honest: if repeated patches have
+             grown it past the known optimum, a fresh FFD usually
+             tightens it back for the next bracket. *)
+          if sess.nbins > r.Exact.bins then adopt_ffd_if_tighter sess;
+          finish sess r
+      | None ->
+          c.cache_misses <- c.cache_misses + 1;
+          let units = Multiset.expansion sess.ms in
+          let lb =
+            max
+              (Lower_bounds.l1_total (Multiset.total_units sess.ms))
+              (Lower_bounds.l2_desc units)
+          in
+          (* Perturbation bracket: removing d items lowers BP by at most
+             d, so BP >= prev - pending_departures whenever the previous
+             segment was solved to proof. *)
+          let lower =
+            match sess.prev with
+            | Some p when p.Exact.exact ->
+                max lb (p.Exact.bins - sess.pending_departures)
+            | _ -> lb
+          in
+          let bracket () =
+            c.bracket_resolved <- c.bracket_resolved + 1;
+            let r = { Exact.bins = sess.nbins; exact = true; nodes = 0 } in
+            remember t key r;
+            finish sess r
+          in
+          if sess.nbins <= lower then bracket ()
+          else begin
+            (* Warm FFD over the cached expansion: often tighter than a
+               patched packing that has drifted across many events. *)
+            adopt_ffd_if_tighter sess;
+            if sess.nbins <= lower then bracket ()
+            else begin
+              c.warm_starts <- c.warm_starts + 1;
+              let r, packing =
+                Exact.solve_desc ~node_limit:t.limit ~lower
+                  ~incumbent:sess.nbins ~want_packing:true units
+              in
+              note_search c r;
+              (match packing with Some p -> set_packing sess p | None -> ());
+              remember t key r;
+              finish sess r
+            end
+          end
+    end
+end

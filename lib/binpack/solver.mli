@@ -1,10 +1,48 @@
-(** Memoizing front-end for momentary bin packing.
+(** Memoizing front-end for momentary bin packing, with an incremental
+    mode for event sweeps.
 
     The repacking optimum evaluates [BP(active items at t)] on every
-    event interval; consecutive intervals usually share their size
-    multiset, so results are cached keyed by the sorted size multiset. *)
+    event interval; consecutive intervals differ by the handful of items
+    that arrived or departed at one timestamp. Results are cached keyed
+    by the count-vector of the size multiset, and the incremental
+    {!Inc} session resolves most segments without ever entering
+    branch-and-bound: the previous segment's value brackets the new one
+    ([|BP(S +- x) - BP(S)| <= 1] per item), and the previous packing —
+    patched by the delta items — is a ready-made warm incumbent.
+
+    Only provably-exact results are cached. An exact value is canonical
+    for its multiset — no incumbent, session history, or cache split can
+    change it — so sharing one cache across instances, or giving each
+    pool worker a private cache from a {!Dbp_util.Pool.Bank}, affects
+    speed only, never values. Budget-limited (inexact) results DO depend
+    on the session's warm incumbent; they are deliberately not cached,
+    keeping every value a deterministic function of the instance alone,
+    which is what makes parallel sweeps bit-identical across worker
+    counts. *)
 
 open Dbp_util
+
+module Key : sig
+  type t = int array
+
+  val equal : t -> t -> bool
+  (** Monomorphic int-array equality — no polymorphic compare. *)
+
+  val hash : t -> int
+  (** Splitmix-style rolling hash over every element of the (short)
+      count-vector key. *)
+end
+
+type counters = {
+  mutable segments : int;  (** {!Inc.solve} calls *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable bracket_resolved : int;
+      (** segments pinned by lower bound = feasible incumbent, no search *)
+  mutable warm_starts : int;  (** branch-and-bound calls seeded with a warm incumbent *)
+  mutable bb_searches : int;  (** solves that actually explored nodes *)
+  mutable bb_nodes : int;  (** total branch-and-bound nodes explored *)
+}
 
 type t
 
@@ -14,18 +52,53 @@ val create : ?node_limit:int -> unit -> t
     optimum solves thousands of segments and a budget-limited segment
     only ever overestimates by the tail of the FFD gap. *)
 
+val node_limit : t -> int
+
 val min_bins : t -> Load.t array -> Exact.result
 (** Optimal (or budget-limited, see {!Exact.result.exact}) bin count for
-    the multiset of sizes. *)
+    the multiset of sizes. One sort, then a shared count-vector cache
+    lookup; misses run a cold {!Exact.solve_desc} on the already-sorted
+    units. *)
 
 val stats : t -> int * int
-(** [(hits, misses)] of the cache since creation. *)
+(** [(cache hits, cache misses)] since creation. *)
+
+val counters : t -> counters
+(** Snapshot of all incremental-path counters since creation. *)
 
 val merged_stats : t list -> int * int
-(** Summed {!stats} over a bank of solvers. A solver is not domain-safe
-    (its cache is a plain hashtable), so parallel sweeps give each
-    concurrent task a private solver from a {!Dbp_util.Pool.Bank} and
-    merge the counters with this at join time. Caching never changes a
-    result — {!Exact.min_bins} is deterministic for a given size multiset
-    and node budget — so splitting one cache into per-worker caches
-    affects speed only, never values. *)
+(** Summed {!stats} over a bank of solvers (see module doc on why
+    per-worker caches are value-neutral). *)
+
+val merged_counters : t list -> counters
+(** Summed {!counters} over a bank of solvers. *)
+
+(** One incremental sweep session: a multiset of active size units
+    maintained under arrivals/departures, plus the previous segment's
+    result and a feasible packing of the current multiset, patched per
+    event. A session belongs to one instance sweep on one solver; the
+    solver's cache outlives it. *)
+module Inc : sig
+  type session
+
+  val start : t -> session
+
+  val multiset : session -> Multiset.t
+  (** The active size multiset. Read-only for callers. *)
+
+  val add : session -> int -> unit
+  (** An item of that many size units arrives: O(log k) multiset update
+      plus a first-fit patch of the maintained packing. *)
+
+  val remove : session -> int -> unit
+  (** One active item of that many size units departs. Raises
+      [Invalid_argument] if no such item is active. *)
+
+  val solve : session -> Exact.result
+  (** Bin count for the current multiset. Resolution order: cache hit;
+      perturbation bracket (lower bound meets the patched packing, no
+      search); warm FFD; branch-and-bound warm-started from the best
+      feasible packing at hand with the bracket-strengthened lower
+      bound. Values equal a from-scratch solve whenever [exact] (see
+      module doc). *)
+end

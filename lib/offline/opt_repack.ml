@@ -4,65 +4,108 @@ open Dbp_binpack
 
 type result = { cost : int; exact : bool; segments : int; max_active : int }
 
-(* Sweep the event timeline keeping the multiset of active sizes;
-   [solve] maps the multiset to a bin count (and whether it is exact). *)
-let sweep inst ~solve =
+(* The event timeline grouped by timestamp: (t, departures, arrivals)
+   in time order, departures applied first (the online convention).
+   Within a timestamp the units are sorted — departures ascending,
+   arrivals descending (so the packing patch is FFD-flavoured) — making
+   the whole sweep a function of the instance's item multiset alone:
+   item ids and input order cannot influence it. *)
+let grouped_events inst =
   let events =
     Array.to_list (Instance.items inst)
     |> List.concat_map (fun (r : Item.t) ->
-           [ (r.arrival, `Arrive r); (r.departure, `Depart r) ])
-    |> List.sort (fun (t1, e1) (t2, e2) ->
-           match Int.compare t1 t2 with
-           | 0 -> (
-               (* departures first, matching the online convention *)
-               match (e1, e2) with
-               | `Depart _, `Arrive _ -> -1
-               | `Arrive _, `Depart _ -> 1
-               | _ -> 0)
-           | c -> c)
+           let u = Load.to_units r.size in
+           [ (r.arrival, `Arrive, u); (r.departure, `Depart, u) ])
+    |> List.sort (fun (t1, _, _) (t2, _, _) -> Int.compare t1 t2)
   in
-  let active : (int, Load.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec take t deps arrs = function
+    | (t', kind, u) :: rest when t' = t -> (
+        match kind with
+        | `Depart -> take t (u :: deps) arrs rest
+        | `Arrive -> take t deps (u :: arrs) rest)
+    | rest ->
+        ( (t, List.sort Int.compare deps, List.sort (fun a b -> Int.compare b a) arrs),
+          rest )
+  in
+  let rec groups = function
+    | [] -> []
+    | (t, _, _) :: _ as l ->
+        let g, rest = take t [] [] l in
+        g :: groups rest
+  in
+  groups events
+
+(* Sweep the grouped timeline; the caller supplies the active-multiset
+   maintenance ([add]/[remove]/[active]) and the per-segment solve. *)
+let sweep inst ~add ~remove ~active ~solve =
   let cost = ref 0 and all_exact = ref true in
   let segments = ref 0 and max_active = ref 0 in
   let series = ref [] in
   let flush t0 t1 =
-    if t1 > t0 && Hashtbl.length active > 0 then begin
-      let sizes = Array.of_seq (Hashtbl.to_seq_values active) in
-      let bins, exact = solve sizes in
+    if t1 > t0 && active () > 0 then begin
+      let bins, exact = solve () in
       if not exact then all_exact := false;
       cost := !cost + (bins * (t1 - t0));
       incr segments;
-      max_active := max !max_active (Array.length sizes);
+      max_active := max !max_active (active ());
       series := (t0, t1, bins) :: !series
     end
   in
   let rec walk prev = function
     | [] -> ()
-    | (t, ev) :: rest ->
+    | (t, deps, arrs) :: rest ->
         (match prev with Some p when t > p -> flush p t | _ -> ());
-        (match ev with
-        | `Arrive (r : Item.t) -> Hashtbl.replace active r.id r.size
-        | `Depart (r : Item.t) -> Hashtbl.remove active r.id);
+        List.iter remove deps;
+        List.iter add arrs;
         walk (Some t) rest
   in
-  walk None events;
-  ( { cost = !cost; exact = !all_exact; segments = !segments; max_active = !max_active },
+  walk None (grouped_events inst);
+  ( {
+      cost = !cost;
+      exact = !all_exact;
+      segments = !segments;
+      max_active = !max_active;
+    },
     List.rev !series )
+
+let run_incremental solver inst =
+  let sess = Solver.Inc.start solver in
+  sweep inst
+    ~add:(Solver.Inc.add sess)
+    ~remove:(Solver.Inc.remove sess)
+    ~active:(fun () -> Multiset.cardinality (Solver.Inc.multiset sess))
+    ~solve:(fun () ->
+      let r = Solver.Inc.solve sess in
+      (r.Exact.bins, r.Exact.exact))
 
 let exact ?solver inst =
   let solver = match solver with Some s -> s | None -> Solver.create () in
-  let solve sizes =
-    let r = Solver.min_bins solver sizes in
-    (r.bins, r.exact)
-  in
-  fst (sweep inst ~solve)
-
-let ffd_proxy inst = fst (sweep inst ~solve:(fun sizes -> (Heuristics.ffd sizes, false)))
+  fst (run_incremental solver inst)
 
 let series ?solver inst =
   let solver = match solver with Some s -> s | None -> Solver.create () in
-  let solve sizes =
-    let r = Solver.min_bins solver sizes in
-    (r.bins, r.exact)
+  snd (run_incremental solver inst)
+
+let ffd_proxy inst =
+  let ms = Multiset.create () in
+  fst
+    (sweep inst ~add:(Multiset.add ms) ~remove:(Multiset.remove ms)
+       ~active:(fun () -> Multiset.cardinality ms)
+       ~solve:(fun () ->
+         (* the expansion is non-increasing, so plain first-fit is FFD *)
+         let sizes = Array.map Load.of_units (Multiset.expansion ms) in
+         (Heuristics.count Heuristics.First_fit sizes, false)))
+
+let reference ?node_limit inst =
+  let ms = Multiset.create () in
+  let total_nodes = ref 0 in
+  let res, series =
+    sweep inst ~add:(Multiset.add ms) ~remove:(Multiset.remove ms)
+      ~active:(fun () -> Multiset.cardinality ms)
+      ~solve:(fun () ->
+        let sizes = Array.map Load.of_units (Multiset.expansion ms) in
+        let r = Exact.min_bins ?node_limit sizes in
+        total_nodes := !total_nodes + r.nodes;
+        (r.bins, r.exact))
   in
-  snd (sweep inst ~solve)
+  (res, series, !total_nodes)

@@ -3,9 +3,15 @@
     An optimal algorithm allowed to repack at any moment packs, at every
     instant, the currently active items optimally; hence
     [OPT_R(sigma) = int BP(active(t)) dt] where [BP] is the optimal
-    static bin packing number. Time is partitioned at item events and
-    each constant-active-set segment is solved with the exact
-    branch-and-bound packer (cached by size multiset).
+    static bin packing number. Time is partitioned at item events; the
+    active size multiset is maintained incrementally (a
+    {!Dbp_util.Multiset} under arrivals/departures, never re-extracted
+    or re-sorted) and each constant-active-set segment is resolved by a
+    {!Dbp_binpack.Solver.Inc} session: count-vector cache, perturbation
+    bracket, warm-started branch-and-bound, in that order. The sweep is
+    a function of the instance's item multiset alone — item ids and
+    input order cannot change any value (events are grouped per
+    timestamp and applied in a canonical size order).
 
     If a segment exhausts the solver's node budget, that segment's value
     is the best feasible packing found (an upper bound) and the result is
@@ -23,7 +29,8 @@ type result = {
 
 val exact : ?solver:Solver.t -> Dbp_instance.Instance.t -> result
 (** The repacking optimum. The solver (and its cache) may be shared
-    across calls of a sweep. *)
+    across calls of a sweep; each call runs its own incremental
+    session. *)
 
 val ffd_proxy : Dbp_instance.Instance.t -> result
 (** Upper-bound proxy: FFD instead of exact packing per segment
@@ -36,3 +43,16 @@ val series :
   ?solver:Solver.t -> Dbp_instance.Instance.t -> (int * int * int) list
 (** [(start, stop, bins)] per segment: OPT_R's momentary bin count, for
     figures and for the momentary-ratio experiments. *)
+
+val reference :
+  ?node_limit:int ->
+  Dbp_instance.Instance.t ->
+  result * (int * int * int) list * int
+(** From-scratch oracle: every segment solved cold by
+    {!Dbp_binpack.Exact.min_bins} — no cache, no bracket, no warm start.
+    Returns the result, the segment series, and the total
+    branch-and-bound nodes explored. Agrees with {!exact}/{!series} on
+    every segment both solve to proof (exact values are canonical); used
+    by the test suite as the equivalence baseline and by the bench
+    harness to measure the incremental path's node savings. Default
+    [node_limit] is {!Dbp_binpack.Exact.min_bins}'s. *)

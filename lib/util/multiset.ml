@@ -1,0 +1,79 @@
+(* Sorted counted multiset of non-negative ints (size units). The two
+   derived views are cached and rebuilt lazily: mutation replaces the
+   cached arrays rather than editing them in place, so a caller that has
+   stored a previous [key] (e.g. as a hashtable key) is never affected
+   by later mutation. *)
+
+module IMap = Map.Make (Int)
+
+type t = {
+  mutable counts : int IMap.t;
+  mutable card : int;
+  mutable total : int;
+  mutable key_cache : int array option;
+  mutable exp_cache : int array option;
+}
+
+let create () =
+  { counts = IMap.empty; card = 0; total = 0; key_cache = None; exp_cache = None }
+
+let invalidate t =
+  t.key_cache <- None;
+  t.exp_cache <- None
+
+let add t u =
+  if u < 0 then invalid_arg "Multiset.add: negative value";
+  t.counts <-
+    IMap.update u (function None -> Some 1 | Some c -> Some (c + 1)) t.counts;
+  t.card <- t.card + 1;
+  t.total <- t.total + u;
+  invalidate t
+
+let remove t u =
+  match IMap.find_opt u t.counts with
+  | None -> invalid_arg "Multiset.remove: value not present"
+  | Some c ->
+      t.counts <-
+        (if c = 1 then IMap.remove u t.counts else IMap.add u (c - 1) t.counts);
+      t.card <- t.card - 1;
+      t.total <- t.total - u;
+      invalidate t
+
+let cardinality t = t.card
+let total_units t = t.total
+let is_empty t = t.card = 0
+let distinct t = IMap.cardinal t.counts
+let count t u = Option.value (IMap.find_opt u t.counts) ~default:0
+let iter f t = IMap.iter f t.counts
+
+let key t =
+  match t.key_cache with
+  | Some k -> k
+  | None ->
+      let k = Array.make (2 * distinct t) 0 in
+      let i = ref 0 in
+      IMap.iter
+        (fun u c ->
+          k.(!i) <- u;
+          k.(!i + 1) <- c;
+          i := !i + 2)
+        t.counts;
+      t.key_cache <- Some k;
+      k
+
+let expansion t =
+  match t.exp_cache with
+  | Some e -> e
+  | None ->
+      let e = Array.make t.card 0 in
+      (* ascending iteration filling from the back = descending array *)
+      let i = ref t.card in
+      IMap.iter
+        (fun u c ->
+          for _ = 1 to c do
+            decr i;
+            e.(!i) <- u
+          done)
+        t.counts;
+      t.exp_cache <- Some e;
+      e

@@ -1,0 +1,57 @@
+(** A sorted counted multiset of non-negative ints (size units).
+
+    Backed by a balanced map from value to count: [add]/[remove] are
+    O(log k) in the number k of distinct values, far below the O(n log n)
+    re-extract-and-sort this replaces in the repacking-optimum sweep
+    (consecutive event segments differ by a handful of items). Two
+    derived views are cached between mutations:
+
+    - {!key}: the count-vector snapshot, the canonical cache key for a
+      solver memo table — length 2k, much shorter than the n-item
+      expansion when sizes repeat;
+    - {!expansion}: the non-increasing item-size array the exact solver
+      and FFD consume, already sorted by construction.
+
+    Both returned arrays are owned by the multiset and MUST be treated
+    as read-only; they stay valid (and are never mutated in place) after
+    further [add]/[remove], which build fresh arrays instead. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Insert one occurrence. Raises [Invalid_argument] on a negative
+    value. *)
+
+val remove : t -> int -> unit
+(** Delete one occurrence. Raises [Invalid_argument] if the value is not
+    present. *)
+
+val cardinality : t -> int
+(** Number of elements, with multiplicity. *)
+
+val distinct : t -> int
+(** Number of distinct values. *)
+
+val total_units : t -> int
+(** Running sum of all elements — the L1 volume-bound numerator,
+    maintained in O(1). *)
+
+val is_empty : t -> bool
+
+val count : t -> int -> int
+(** Multiplicity of a value (0 if absent). *)
+
+val iter : (int -> int -> unit) -> t -> unit
+(** [iter f t] calls [f value count] in ascending value order. *)
+
+val key : t -> int array
+(** Count-vector snapshot [[|v1; c1; v2; c2; ...|]] in ascending value
+    order; O(k) on first call after a mutation, O(1) while unchanged.
+    Read-only (see module doc). *)
+
+val expansion : t -> int array
+(** All elements, with multiplicity, in non-increasing order; O(n) on
+    first call after a mutation, O(1) while unchanged. Read-only (see
+    module doc). *)

@@ -22,4 +22,33 @@ if ! cmp -s "$tmpdir/j1.txt" "$tmpdir/j2.txt"; then
   exit 1
 fi
 echo "smoke: parallel run bit-identical to inline run"
+
+# Incremental OPT_R perf gate: the E5 reference family must keep at
+# least half its segments out of branch-and-bound, and the node total
+# must not regress past the seed's from-scratch sweep (102557 nodes,
+# recorded when the incremental solver landed).
+echo "optr: incremental solver counters on the E5 reference family"
+dune exec bench/main.exe -- --skip-exps --skip-micro --json "$tmpdir/bench.json" \
+  > /dev/null
+e5_baseline_nodes=102557
+e5=$(grep '"OPT_R/E5' "$tmpdir/bench.json")
+field() { printf '%s\n' "$e5" | sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p"; }
+segments=$(field segments)
+bb_searches=$(field bb_searches)
+bb_nodes=$(field bb_nodes)
+if [ -z "$segments" ] || [ -z "$bb_searches" ] || [ -z "$bb_nodes" ]; then
+  echo "FAIL: could not parse OPT_R/E5 counters from bench --json" >&2
+  exit 1
+fi
+if [ "$bb_nodes" -gt "$e5_baseline_nodes" ]; then
+  echo "FAIL: E5 bb_nodes=$bb_nodes exceeds seed baseline $e5_baseline_nodes" >&2
+  exit 1
+fi
+if [ $((2 * (segments - bb_searches))) -lt "$segments" ]; then
+  echo "FAIL: fewer than half of E5 segments resolved without search" \
+    "(segments=$segments bb_searches=$bb_searches)" >&2
+  exit 1
+fi
+echo "optr: E5 bb_nodes=$bb_nodes <= $e5_baseline_nodes," \
+  "$((segments - bb_searches))/$segments segments without search"
 echo "check OK"

@@ -127,6 +127,72 @@ let prop_pack_valid =
       Hashtbl.fold (fun _ load ok -> ok && load <= Load.capacity) loads true)
     QCheck2.Gen.(pair (int_range 0 3) (list_size (int_range 0 40) (int_range 1 Load.capacity)))
 
+let desc_units_of l =
+  let u = Array.of_list l in
+  Array.sort (fun a b -> Int.compare b a) u;
+  u
+
+let prop_solve_desc_packing_valid =
+  qcase ~count:150 ~name:"solve_desc packing: right count, capacity, same multiset"
+    (fun l ->
+      let units = desc_units_of l in
+      let r, packing = Exact.solve_desc ~want_packing:true units in
+      match packing with
+      | None -> false
+      | Some bins ->
+          Array.length bins = r.bins
+          && Array.for_all
+               (fun b -> Array.fold_left ( + ) 0 b <= Load.capacity)
+               bins
+          && List.sort Int.compare (Array.to_list (Array.concat (Array.to_list bins)))
+             = List.sort Int.compare l)
+    QCheck2.Gen.(list_size (int_range 0 12) (int_range 1 Load.capacity))
+
+let prop_warm_start_value_identity =
+  qcase ~count:150 ~name:"warm incumbent and external lower never change the value"
+    (fun l ->
+      let units = desc_units_of l in
+      let cold = Exact.min_bins (Array.map Load.of_units units) in
+      let ffd = Heuristics.ffd (Array.map Load.of_units units) in
+      let lower = Lower_bounds.best_desc units in
+      let warm, _ = Exact.solve_desc ~lower ~incumbent:ffd units in
+      (* Tiny instances always solve to proof, so values must agree
+         exactly; the warm search may only explore fewer nodes. *)
+      cold.exact && warm.exact && warm.bins = cold.bins
+      && warm.nodes <= cold.nodes)
+    QCheck2.Gen.(list_size (int_range 0 10) (int_range 1 Load.capacity))
+
+let test_key_hash () =
+  let a = [| 3; 1; 5; 2 |] in
+  let b = [| 3; 1; 5; 2 |] in
+  check_bool "equal" true (Solver.Key.equal a b);
+  check_int "equal hash" (Solver.Key.hash a) (Solver.Key.hash b);
+  check_bool "length mismatch" false (Solver.Key.equal a [| 3; 1 |]);
+  check_bool "content mismatch" false (Solver.Key.equal a [| 3; 1; 5; 3 |]);
+  check_bool "hash non-negative" true (Solver.Key.hash a >= 0);
+  (* Not a collision guarantee, just a smoke test that the mixer
+     actually distinguishes near-identical keys. *)
+  check_bool "mixes" true (Solver.Key.hash a <> Solver.Key.hash [| 3; 1; 5; 3 |])
+
+let test_inc_session () =
+  let solver = Solver.create () in
+  let sess = Solver.Inc.start solver in
+  let half = Load.capacity / 2 in
+  let r0 = Solver.Inc.solve sess in
+  check_int "empty" 0 r0.bins;
+  Solver.Inc.add sess (half + 1);
+  Solver.Inc.add sess (half + 1);
+  let r1 = Solver.Inc.solve sess in
+  check_bool "exact" true r1.exact;
+  check_int "two large items" 2 r1.bins;
+  Solver.Inc.remove sess (half + 1);
+  Solver.Inc.add sess (half - 1);
+  let r2 = Solver.Inc.solve sess in
+  check_int "one large one small" 1 r2.bins;
+  let c = Solver.counters solver in
+  check_int "segments counted" 3 c.segments;
+  check_raises_invalid "remove absent" (fun () -> Solver.Inc.remove sess 17)
+
 let test_solver_cache () =
   let solver = Solver.create () in
   let s = sizes [ 0.6; 0.5; 0.4 ] in
@@ -152,5 +218,9 @@ let suite =
     prop_exact_matches_brute_force;
     prop_bounds_sandwich;
     prop_pack_valid;
+    prop_solve_desc_packing_valid;
+    prop_warm_start_value_identity;
+    case "key equality and hash" test_key_hash;
+    case "incremental session" test_inc_session;
     case "solver cache" test_solver_cache;
   ]

@@ -1,0 +1,122 @@
+(* Dbp_util.Multiset: the sorted counted multiset behind the
+   incremental OPT_R sweep. Checked against a naive sorted-list
+   reference, plus the snapshot-stability contract (previously returned
+   key/expansion arrays stay valid after further mutation). *)
+
+open Dbp_util
+open Helpers
+
+let test_basic () =
+  let ms = Multiset.create () in
+  check_bool "empty" true (Multiset.is_empty ms);
+  Multiset.add ms 5;
+  Multiset.add ms 3;
+  Multiset.add ms 5;
+  check_bool "not empty" false (Multiset.is_empty ms);
+  check_int "cardinality" 3 (Multiset.cardinality ms);
+  check_int "distinct" 2 (Multiset.distinct ms);
+  check_int "total units" 13 (Multiset.total_units ms);
+  check_int "count 5" 2 (Multiset.count ms 5);
+  check_int "count absent" 0 (Multiset.count ms 4);
+  Alcotest.(check (array int)) "key ascending" [| 3; 1; 5; 2 |] (Multiset.key ms);
+  Alcotest.(check (array int))
+    "expansion descending" [| 5; 5; 3 |] (Multiset.expansion ms);
+  Multiset.remove ms 5;
+  check_int "count after remove" 1 (Multiset.count ms 5);
+  Alcotest.(check (array int)) "key after remove" [| 3; 1; 5; 1 |] (Multiset.key ms);
+  Multiset.remove ms 5;
+  Multiset.remove ms 3;
+  check_bool "empty again" true (Multiset.is_empty ms);
+  Alcotest.(check (array int)) "empty expansion" [||] (Multiset.expansion ms)
+
+let test_iter_ascending () =
+  let ms = Multiset.create () in
+  List.iter (Multiset.add ms) [ 9; 1; 4; 4; 9; 9 ];
+  let seen = ref [] in
+  Multiset.iter (fun v c -> seen := (v, c) :: !seen) ms;
+  Alcotest.(check (list (pair int int)))
+    "value/count pairs ascending"
+    [ (1, 1); (4, 2); (9, 3) ]
+    (List.rev !seen)
+
+let test_snapshots_stable () =
+  let ms = Multiset.create () in
+  Multiset.add ms 7;
+  Multiset.add ms 2;
+  let k = Multiset.key ms in
+  let e = Multiset.expansion ms in
+  check_bool "key cached" true (Multiset.key ms == k);
+  check_bool "expansion cached" true (Multiset.expansion ms == e);
+  let k0 = Array.copy k and e0 = Array.copy e in
+  Multiset.add ms 7;
+  Multiset.remove ms 2;
+  (* The arrays handed out before the mutation must not have been
+     written through — they may be live Hashtbl keys. *)
+  Alcotest.(check (array int)) "old key untouched" k0 k;
+  Alcotest.(check (array int)) "old expansion untouched" e0 e;
+  Alcotest.(check (array int)) "new key" [| 7; 2 |] (Multiset.key ms);
+  Alcotest.(check (array int)) "new expansion" [| 7; 7 |] (Multiset.expansion ms)
+
+let test_invalid () =
+  let ms = Multiset.create () in
+  check_raises_invalid "remove absent" (fun () -> Multiset.remove ms 3);
+  check_raises_invalid "add negative" (fun () -> Multiset.add ms (-1));
+  Multiset.add ms 3;
+  Multiset.remove ms 3;
+  check_raises_invalid "remove exhausted" (fun () -> Multiset.remove ms 3)
+
+let rec remove_one v = function
+  | [] -> assert false
+  | x :: rest -> if x = v then rest else x :: remove_one v rest
+
+let rle_ascending sorted_desc =
+  let groups =
+    List.fold_left
+      (fun acc v ->
+        match acc with
+        | (w, c) :: rest when w = v -> (w, c + 1) :: rest
+        | _ -> (v, 1) :: acc)
+      [] sorted_desc
+  in
+  List.concat_map (fun (v, c) -> [ v; c ]) groups
+
+let prop_matches_reference =
+  qcase ~count:300 ~name:"random ops match a naive sorted-list reference"
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let ms = Multiset.create () in
+      let elems = ref [] in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let v = Prng.int_below rng 6 in
+        if Prng.int_below rng 3 = 0 && List.mem v !elems then begin
+          Multiset.remove ms v;
+          elems := remove_one v !elems
+        end
+        else begin
+          Multiset.add ms v;
+          elems := v :: !elems
+        end;
+        let desc = List.sort (fun a b -> Int.compare b a) !elems in
+        ok :=
+          !ok
+          && Multiset.cardinality ms = List.length !elems
+          && Multiset.total_units ms = List.fold_left ( + ) 0 !elems
+          && Multiset.distinct ms = List.length (List.sort_uniq Int.compare !elems)
+          && Array.to_list (Multiset.expansion ms) = desc
+          && Array.to_list (Multiset.key ms) = rle_ascending desc
+          && List.for_all (fun v ->
+                 Multiset.count ms v = List.length (List.filter (( = ) v) !elems))
+               [ 0; 1; 2; 3; 4; 5 ]
+      done;
+      !ok)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let suite =
+  [
+    case "basic ops" test_basic;
+    case "iter ascending" test_iter_ascending;
+    case "snapshots stable across mutation" test_snapshots_stable;
+    case "invalid ops raise" test_invalid;
+    prop_matches_reference;
+  ]

@@ -131,6 +131,113 @@ let prop_ffd_proxy_upper =
       ex <= proxy && proxy <= 2 * ex)
     gen_medium
 
+(* ---- incremental OPT_R vs the from-scratch reference sweep ---- *)
+
+(* Power-of-two durations on aligned slots: many events share a
+   timestamp, exercising the grouped (departures-first) delta path. *)
+let random_aligned rng ~n ~logt =
+  let items = ref [] in
+  for id = 0 to n - 1 do
+    let i = Prng.int_below rng (logt + 1) in
+    let len = Ints.pow2 i in
+    let a = Prng.int_below rng (Ints.pow2 (logt - i)) * len in
+    let size = 1 + Prng.int_below rng Load.capacity in
+    items :=
+      Item.make ~id ~arrival:a ~departure:(a + len) ~size:(Load.of_units size)
+      :: !items
+  done;
+  Instance.of_items !items
+
+(* Heavily overlapping near-half items: the worst case for the bracket,
+   so the warm-started branch-and-bound path actually runs. *)
+let random_adversarial rng ~n =
+  let items = ref [] in
+  for id = 0 to n - 1 do
+    let a = Prng.int_below rng 8 in
+    let d = a + 1 + Prng.int_below rng 8 in
+    let size = (Load.capacity / 2) - 5 + Prng.int_below rng 11 in
+    items :=
+      Item.make ~id ~arrival:a ~departure:d ~size:(Load.of_units size) :: !items
+  done;
+  Instance.of_items !items
+
+let gen_mixed =
+  QCheck2.Gen.(
+    let* kind = int_range 0 2 in
+    let* seed = int_range 0 1_000_000 in
+    let rng = Prng.create ~seed in
+    return
+      (match kind with
+      | 0 -> random_instance rng ~n:12 ~max_time:24 ~max_duration:12
+      | 1 -> random_aligned rng ~n:12 ~logt:4
+      | _ -> random_adversarial rng ~n:10))
+
+let same_sweep inst =
+  let solver = Dbp_binpack.Solver.create () in
+  let r = Opt_repack.exact ~solver inst in
+  let series = Opt_repack.series ~solver inst in
+  let rr, rseries, _nodes = Opt_repack.reference inst in
+  r.cost = rr.cost && r.exact = rr.exact && r.segments = rr.segments
+  && r.max_active = rr.max_active && series = rseries
+
+let prop_incremental_matches_reference =
+  qcase ~count:120
+    ~name:"incremental sweep = from-scratch reference (cost, flags, series)"
+    same_sweep gen_mixed
+
+let test_incremental_matches_reference_structured () =
+  (* The paper's own structured inputs: binary sigma_mu and the pinning
+     adversary, both dense in simultaneous events. *)
+  check_bool "binary mu=8" true (same_sweep (binary_input 8));
+  check_bool "pinning mu=8" true (same_sweep (Dbp_workloads.Pinning.generate ~mu:8 ()))
+
+let permute_ids seed inst =
+  let items = Array.to_list (Instance.items inst) in
+  let n = List.length items in
+  let perm = Array.init n (fun i -> i) in
+  let rng = Prng.create ~seed in
+  for i = n - 1 downto 1 do
+    let j = Prng.int_below rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  Instance.of_items
+    (List.mapi
+       (fun i (it : Item.t) ->
+         Item.make ~id:perm.(i) ~arrival:it.arrival ~departure:it.departure
+           ~size:it.size)
+       items)
+
+let prop_permutation_invariant =
+  qcase ~count:80 ~name:"OPT_R invariant under item-id permutation"
+    (fun (inst, seed) ->
+      let shuffled = permute_ids seed inst in
+      let a = Opt_repack.exact inst and b = Opt_repack.exact shuffled in
+      a.cost = b.cost && a.exact = b.exact && a.segments = b.segments
+      && Opt_repack.series inst = Opt_repack.series shuffled)
+    QCheck2.Gen.(pair gen_mixed (int_range 0 1_000_000))
+
+let test_jobs_bit_identity () =
+  let insts =
+    List.init 6 (fun i ->
+        random_instance (Prng.create ~seed:(100 + i)) ~n:25 ~max_time:40
+          ~max_duration:20)
+  in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let bank = Pool.Bank.create (fun () -> Dbp_binpack.Solver.create ()) in
+        Pool.map pool
+          (fun inst ->
+            Pool.Bank.use bank (fun solver ->
+                let r = Opt_repack.exact ~solver inst in
+                (r.cost, r.exact, r.segments, Opt_repack.series ~solver inst)))
+          insts)
+  in
+  let r1 = run 1 in
+  check_bool "jobs 2 = jobs 1" true (run 2 = r1);
+  check_bool "jobs 4 = jobs 1" true (run 4 = r1)
+
 let prop_offline_ffd_feasible_above_opt =
   qcase ~count:40 ~name:"Offline FFD cost between OPT_R and online FF-decent bound"
     (fun inst ->
@@ -154,4 +261,9 @@ let suite =
     prop_lemma31;
     prop_ffd_proxy_upper;
     prop_offline_ffd_feasible_above_opt;
+    prop_incremental_matches_reference;
+    case "incremental = reference on structured inputs"
+      test_incremental_matches_reference_structured;
+    prop_permutation_invariant;
+    slow_case "OPT_R bit-identical across --jobs 1/2/4" test_jobs_bit_identity;
   ]
