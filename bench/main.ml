@@ -23,13 +23,17 @@ open Bechamel
 open Toolkit
 
 let usage =
-  "bench [--full] [--only ID] [--skip-exps] [--skip-optr] [--skip-micro] [--jobs N] [--json FILE]"
+  "bench [--full] [--only ID] [--skip-exps] [--skip-optr] [--skip-micro] [--jobs N] \
+   [--json FILE] [--metrics] [--metrics-json FILE] [--trace FILE]"
 let full = ref false
 let only = ref None
 let skip_exps = ref false
 let skip_optr = ref false
 let skip_micro = ref false
 let json_path = ref None
+let metrics_table = ref false
+let metrics_json_path = ref None
+let trace_path = ref None
 
 let parse_args () =
   let spec =
@@ -52,6 +56,18 @@ let parse_args () =
       ( "--json",
         Arg.String (fun s -> json_path := Some s),
         "FILE write OPT_R counters and microbenchmark results as JSON" );
+      ( "--metrics",
+        Arg.Set metrics_table,
+        " print the metrics registry as a table on exit" );
+      ( "--metrics-json",
+        Arg.String (fun s -> metrics_json_path := Some s),
+        "FILE write the metrics registry as JSON on exit" );
+      ( "--trace",
+        Arg.String
+          (fun s ->
+            trace_path := Some s;
+            Dbp_util.Trace.set_enabled true),
+        "FILE record spans and write a Chrome trace-event JSON file" );
     ]
   in
   Arg.parse (Arg.align spec) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage
@@ -189,6 +205,10 @@ let micro_tests () =
     (* Substrate: binary-string combinatorics. *)
     Test.make ~name:"Binary_strings.expectation n=24"
       (Staged.stage (fun () -> Dbp_analysis.Binary_strings.expectation ~bits:24));
+    (* Substrate: bottom-up heapify. *)
+    (let xs = List.init 1000 (fun i -> i * 7919 mod 65536) in
+     Test.make ~name:"Heap.of_list 1000"
+       (Staged.stage (fun () -> Heap.of_list ~cmp:Int.compare xs)));
   ]
 
 let json_escape s =
@@ -205,6 +225,14 @@ let json_escape s =
   Buffer.contents buf
 
 let json_number x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+(* The registry dump as one more record in the --json array, alongside
+   the hand-formatted counter and microbenchmark records. *)
+let metrics_record () =
+  let open Dbp_util in
+  match Metrics.to_json () with
+  | Json.Obj fields -> Json.to_string (Json.Obj (("name", Json.String "metrics") :: fields))
+  | j -> Json.to_string j
 
 let write_json path ~optr ~micro =
   let oc = open_out path in
@@ -224,6 +252,7 @@ let write_json path ~optr ~micro =
                 (json_escape name) (json_number ns)
                 (match r2 with Some r -> json_number r | None -> "null"))
             micro
+        @ [ metrics_record () ]
       in
       output_string oc "[\n";
       List.iteri
@@ -265,4 +294,21 @@ let () =
   if not !skip_exps then run_experiments ();
   let optr = if not !skip_optr then run_optr () else [] in
   let micro = if not !skip_micro then run_micro () else [] in
-  match !json_path with None -> () | Some path -> write_json path ~optr ~micro
+  (match !json_path with None -> () | Some path -> write_json path ~optr ~micro);
+  if !metrics_table then print_string (Dbp_util.Metrics.to_table ());
+  (match !metrics_json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Dbp_util.Json.to_string_hum (Dbp_util.Metrics.to_json ()));
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path);
+  match !trace_path with
+  | None -> ()
+  | Some path ->
+      Dbp_util.Trace.write ~path;
+      Printf.printf "wrote %s\n" path

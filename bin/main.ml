@@ -65,6 +65,63 @@ let jobs_arg =
 
 let set_jobs jobs = Option.iter Dbp_util.Pool.set_default_jobs jobs
 
+(* ---- observability ---- *)
+
+type obs = {
+  metrics : bool;
+  metrics_json : string option;
+  trace : string option;
+}
+
+let obs_term =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Print the metrics registry as a table on exit.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry as JSON to $(docv). The $(b,metrics) \
+             section is bit-identical for any $(b,--jobs); the \
+             $(b,scheduling) section is not.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record spans and write a Chrome trace-event JSON file to $(docv) \
+             (load it in Perfetto or chrome://tracing).")
+  in
+  Term.(
+    const (fun metrics metrics_json trace -> { metrics; metrics_json; trace })
+    $ metrics $ metrics_json $ trace)
+
+(* Enable tracing before the work when requested, run it, then emit
+   every requested export. Exports run after the parallel section has
+   joined, which is the only time the registry may be read. *)
+let with_obs obs k =
+  if obs.trace <> None then Dbp_util.Trace.set_enabled true;
+  let r = k () in
+  if obs.metrics then print_string (Dbp_util.Metrics.to_table ());
+  (match obs.metrics_json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Dbp_util.Json.to_string_hum (Dbp_util.Metrics.to_json ()));
+          output_char oc '\n'));
+  (match obs.trace with None -> () | Some path -> Dbp_util.Trace.write ~path);
+  r
+
 let mu_arg =
   Arg.(value & opt int 256 & info [ "mu" ] ~docv:"MU" ~doc:"Max/min duration ratio.")
 
@@ -107,31 +164,32 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (e.g. table1, E8, corollary58).")
   in
-  let run id full jobs =
+  let run id full jobs obs =
     set_jobs jobs;
     match Registry.find id with
     | Some e ->
-        print_string (e.run ~quick:(not full));
+        with_obs obs (fun () -> print_string (e.run ~quick:(not full)));
         `Ok ()
     | None -> fail "unknown experiment %S; try `dbp list'" id
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one table/figure/theorem by id.")
-    Term.(ret (const run $ id $ full_flag $ jobs_arg))
+    Term.(ret (const run $ id $ full_flag $ jobs_arg $ obs_term))
 
 (* ---- all ---- *)
 
 let all_cmd =
-  let run full jobs =
+  let run full jobs obs =
     set_jobs jobs;
-    List.iter
-      (fun (_, report, _) ->
-        print_string report;
-        print_newline ())
-      (Registry.run_entries ~quick:(not full) Registry.all)
+    with_obs obs (fun () ->
+        List.iter
+          (fun (_, report, _) ->
+            print_string report;
+            print_newline ())
+          (Registry.run_entries ~quick:(not full) Registry.all))
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment in order.")
-    Term.(const run $ full_flag $ jobs_arg)
+    Term.(const run $ full_flag $ jobs_arg $ obs_term)
 
 (* ---- run ---- *)
 
@@ -149,7 +207,7 @@ let run_cmd =
       & info [ "input"; "i" ] ~docv:"CSV"
           ~doc:"Pack an instance from a CSV file (id,arrival,departure,size) instead of a generated workload.")
   in
-  let run algorithm workload mu seed chart input =
+  let run algorithm workload mu seed chart input obs =
     let instance =
       match input with
       | Some path -> (
@@ -166,29 +224,35 @@ let run_cmd =
         match algorithm_of_name ~mu_hint:(float_of_int mu) algorithm with
         | None -> fail "unknown algorithm %S" algorithm
         | Some factory ->
-            let solver = Dbp_binpack.Solver.create () in
-            let m = Dbp_analysis.Ratio.measure ~solver ~name:algorithm factory inst in
-            Format.printf "%a@." Dbp_analysis.Ratio.pp m;
-            Printf.printf "items=%d span=%d demand=%.1f mu=%.0f\n"
-              (Dbp_instance.Instance.length inst)
-              (Dbp_instance.Instance.span inst)
-              (Dbp_instance.Instance.demand inst)
-              m.mu;
-            let c = Dbp_binpack.Solver.counters solver in
-            Printf.printf
-              "opt_r: segments=%d bracket=%d warm=%d bb_nodes=%d cache=%d/%d\n"
-              c.segments c.bracket_resolved c.warm_starts c.bb_nodes c.cache_hits
-              (c.cache_hits + c.cache_misses);
-            if chart then begin
-              let res = Dbp_sim.Engine.run factory inst in
-              print_string (Dbp_report.Gantt.packing_chart inst res.store)
-            end;
+            with_obs obs (fun () ->
+                let solver = Dbp_binpack.Solver.create () in
+                let m =
+                  Dbp_analysis.Ratio.measure ~solver ~name:algorithm factory inst
+                in
+                Format.printf "%a@." Dbp_analysis.Ratio.pp m;
+                Printf.printf "items=%d span=%d demand=%.1f mu=%.0f\n"
+                  (Dbp_instance.Instance.length inst)
+                  (Dbp_instance.Instance.span inst)
+                  (Dbp_instance.Instance.demand inst)
+                  m.mu;
+                let c = Dbp_binpack.Solver.counters solver in
+                Printf.printf
+                  "opt_r: segments=%d bracket=%d warm=%d bb_nodes=%d cache=%d/%d\n"
+                  c.segments c.bracket_resolved c.warm_starts c.bb_nodes
+                  c.cache_hits
+                  (c.cache_hits + c.cache_misses);
+                if chart then begin
+                  let res = Dbp_sim.Engine.run factory inst in
+                  print_string (Dbp_report.Gantt.packing_chart inst res.store)
+                end);
             `Ok ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one algorithm on one workload instance.")
     Term.(
-      ret (const run $ algorithm $ workload_arg $ mu_arg $ seed_arg $ chart $ input))
+      ret
+        (const run $ algorithm $ workload_arg $ mu_arg $ seed_arg $ chart $ input
+       $ obs_term))
 
 (* ---- export ---- *)
 
@@ -273,7 +337,7 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "svg" ] ~docv:"PATH" ~doc:"Also write an SVG chart of the curves.")
   in
-  let run workload algorithms mus seeds svg jobs =
+  let run workload algorithms mus seeds svg jobs obs =
     set_jobs jobs;
     let mu_hint = float_of_int (List.fold_left max 2 mus) in
     let resolve name =
@@ -295,7 +359,9 @@ let sweep_cmd =
         | None -> fail "unknown workload %S" workload
         | Some _ ->
             let curves =
-              Dbp_analysis.Sweep.run ~algorithms ~workload:workload_fn ~mus ~seeds ()
+              with_obs obs (fun () ->
+                  Dbp_analysis.Sweep.run ~algorithms ~workload:workload_fn ~mus
+                    ~seeds ())
             in
             print_string (Common.curve_table curves);
             List.iter
@@ -326,7 +392,9 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep mu and measure competitive ratios.")
     Term.(
-      ret (const run $ workload_arg $ algorithms_arg $ mus $ seeds $ svg $ jobs_arg))
+      ret
+        (const run $ workload_arg $ algorithms_arg $ mus $ seeds $ svg $ jobs_arg
+       $ obs_term))
 
 (* ---- adversary ---- *)
 
@@ -336,22 +404,24 @@ let adversary_cmd =
       value & opt string "HA"
       & info [ "algorithm"; "a" ] ~docv:"NAME" ~doc:"Algorithm to attack.")
   in
-  let run algorithm mu =
+  let run algorithm mu obs =
     match algorithm_of_name ~mu_hint:(float_of_int mu) algorithm with
     | None -> fail "unknown algorithm %S" algorithm
     | Some factory ->
-        let outcome = Dbp_workloads.Adversary.run ~mu factory in
-        let m = Dbp_analysis.Ratio.of_run outcome.result outcome.instance in
-        Printf.printf "adversary vs %s at mu=%d: released %d items, target %d bins\n"
-          algorithm mu outcome.items_released outcome.target_bins;
-        Format.printf "%a@." Dbp_analysis.Ratio.pp m;
-        Printf.printf "sqrt(log2 mu) = %.2f\n"
-          (Dbp_core.Theory.sqrt_log_mu (float_of_int mu));
+        with_obs obs (fun () ->
+            let outcome = Dbp_workloads.Adversary.run ~mu factory in
+            let m = Dbp_analysis.Ratio.of_run outcome.result outcome.instance in
+            Printf.printf
+              "adversary vs %s at mu=%d: released %d items, target %d bins\n"
+              algorithm mu outcome.items_released outcome.target_bins;
+            Format.printf "%a@." Dbp_analysis.Ratio.pp m;
+            Printf.printf "sqrt(log2 mu) = %.2f\n"
+              (Dbp_core.Theory.sqrt_log_mu (float_of_int mu)));
         `Ok ()
   in
   Cmd.v
     (Cmd.info "adversary" ~doc:"Run the Theorem 4.3 adaptive adversary.")
-    Term.(ret (const run $ algorithm $ mu_arg))
+    Term.(ret (const run $ algorithm $ mu_arg $ obs_term))
 
 let main =
   Cmd.group

@@ -28,6 +28,9 @@ let point_of_measurements ~mu measurements =
     opt_exact_fraction = float_of_int exact /. float_of_int (Array.length arr);
   }
 
+let m_cells = Metrics.counter "sweep.cells"
+let m_adv_cells = Metrics.counter "sweep.adversarial_cells"
+
 let solver_bank () = Pool.Bank.create (fun () -> Dbp_binpack.Solver.create ())
 
 let record_stats solver_stats bank =
@@ -47,6 +50,10 @@ let run ?jobs ?solver_stats ~algorithms ~workload ~mus ~seeds () =
   let per_cell =
     Pool.map pool
       (fun (mu, seed) ->
+        Metrics.incr m_cells;
+        Trace.with_span "sweep.cell"
+          ~args:[ ("mu", string_of_int mu); ("seed", string_of_int seed) ]
+        @@ fun () ->
         let inst = workload ~mu ~seed in
         Pool.Bank.use bank (fun solver -> Ratio.compare_algorithms ~solver algorithms inst))
       cells
@@ -88,6 +95,10 @@ let adversarial ?jobs ?solver_stats ~algorithms ~mus () =
   let points =
     Pool.map pool
       (fun (name, factory, mu) ->
+        Metrics.incr m_adv_cells;
+        Trace.with_span "sweep.adversarial.cell"
+          ~args:[ ("algorithm", name); ("mu", string_of_int mu) ]
+        @@ fun () ->
         let outcome = Dbp_workloads.Adversary.run ~mu factory in
         Pool.Bank.use bank (fun solver ->
             let m = Ratio.of_run ~solver outcome.result outcome.instance in

@@ -44,6 +44,31 @@ type counters = {
   mutable bb_nodes : int;
 }
 
+(* Registry mirrors of the per-solver record: every bump below writes
+   both, so the process-wide [Metrics] view needs no merge step and the
+   per-solver accessors ([counters], [merged_counters]) stay exact.
+   Only [segments] is jobs-invariant ([Det]): a parallel sweep splits
+   its cache across per-worker solvers, so how a segment gets resolved
+   (cache hit vs bracket vs search) — and hence the node total — depends
+   on the worker count. *)
+let m_segments = Metrics.counter "solver.segments"
+let m_cache_hits = Metrics.counter ~stability:Metrics.Sched "solver.cache_hits"
+let m_cache_misses = Metrics.counter ~stability:Metrics.Sched "solver.cache_misses"
+let m_bracket = Metrics.counter ~stability:Metrics.Sched "solver.bracket_resolved"
+let m_warm = Metrics.counter ~stability:Metrics.Sched "solver.warm_starts"
+let m_bb_searches = Metrics.counter ~stability:Metrics.Sched "solver.bb_searches"
+let m_bb_nodes = Metrics.counter ~stability:Metrics.Sched "solver.bb_nodes"
+
+let bump_segments c = c.segments <- c.segments + 1; Metrics.incr m_segments
+let bump_hit c = c.cache_hits <- c.cache_hits + 1; Metrics.incr m_cache_hits
+let bump_miss c = c.cache_misses <- c.cache_misses + 1; Metrics.incr m_cache_misses
+
+let bump_bracket c =
+  c.bracket_resolved <- c.bracket_resolved + 1;
+  Metrics.incr m_bracket
+
+let bump_warm c = c.warm_starts <- c.warm_starts + 1; Metrics.incr m_warm
+
 let zero_counters () =
   {
     segments = 0;
@@ -93,7 +118,11 @@ let key_of_desc units =
 
 let note_search c (r : Exact.result) =
   c.bb_nodes <- c.bb_nodes + r.nodes;
-  if r.nodes > 0 then c.bb_searches <- c.bb_searches + 1
+  Metrics.add m_bb_nodes r.nodes;
+  if r.nodes > 0 then begin
+    c.bb_searches <- c.bb_searches + 1;
+    Metrics.incr m_bb_searches
+  end
 
 (* Only exact results enter the cache: they are canonical (the true BP
    of the multiset, whatever incumbent or session produced them), so
@@ -113,10 +142,10 @@ let min_bins t sizes =
   let key = key_of_desc units in
   match Cache.find_opt t.cache key with
   | Some r ->
-      t.c.cache_hits <- t.c.cache_hits + 1;
+      bump_hit t.c;
       r
   | None ->
-      t.c.cache_misses <- t.c.cache_misses + 1;
+      bump_miss t.c;
       let r, _ = Exact.solve_desc ~node_limit:t.limit units in
       note_search t.c r;
       remember t key r;
@@ -251,21 +280,21 @@ module Inc = struct
   let solve sess =
     let t = sess.solver in
     let c = t.c in
-    c.segments <- c.segments + 1;
+    bump_segments c;
     if Multiset.is_empty sess.ms then
       finish sess { Exact.bins = 0; exact = true; nodes = 0 }
     else begin
       let key = Multiset.key sess.ms in
       match Cache.find_opt t.cache key with
       | Some r ->
-          c.cache_hits <- c.cache_hits + 1;
+          bump_hit c;
           (* Keep the maintained packing honest: if repeated patches have
              grown it past the known optimum, a fresh FFD usually
              tightens it back for the next bracket. *)
           if sess.nbins > r.Exact.bins then adopt_ffd_if_tighter sess;
           finish sess r
       | None ->
-          c.cache_misses <- c.cache_misses + 1;
+          bump_miss c;
           let units = Multiset.expansion sess.ms in
           let lb =
             max
@@ -282,7 +311,7 @@ module Inc = struct
             | _ -> lb
           in
           let bracket () =
-            c.bracket_resolved <- c.bracket_resolved + 1;
+            bump_bracket c;
             let r = { Exact.bins = sess.nbins; exact = true; nodes = 0 } in
             remember t key r;
             finish sess r
@@ -294,7 +323,7 @@ module Inc = struct
             adopt_ffd_if_tighter sess;
             if sess.nbins <= lower then bracket ()
             else begin
-              c.warm_starts <- c.warm_starts + 1;
+              bump_warm c;
               let r, packing =
                 Exact.solve_desc ~node_limit:t.limit ~lower
                   ~incumbent:sess.nbins ~want_packing:true units

@@ -64,7 +64,11 @@ val stats : t -> int * int
 (** [(cache hits, cache misses)] since creation. *)
 
 val counters : t -> counters
-(** Snapshot of all incremental-path counters since creation. *)
+(** Snapshot of all incremental-path counters since creation. Every
+    increment is mirrored into the process-wide {!Dbp_util.Metrics}
+    registry under [solver.*] names (all but [solver.segments] as
+    scheduling-dependent, since parallel sweeps split the cache across
+    per-worker solvers); this accessor reads the per-solver record. *)
 
 val merged_stats : t list -> int * int
 (** Summed {!stats} over a bank of solvers (see module doc on why

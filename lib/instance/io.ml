@@ -40,21 +40,45 @@ let parse_line ~lineno line =
       | Invalid_argument msg -> failwith (Printf.sprintf "line %d: %s" lineno msg))
   | _ -> failwith (Printf.sprintf "line %d: expected 4 comma-separated fields" lineno)
 
+(* A header is recognized after dropping spaces/tabs and lowercasing, so
+   "Id, Arrival, Departure, Size" (and CRLF variants — [String.trim]
+   eats the '\r') is skipped, not parsed as a malformed item. *)
+let is_header line =
+  let b = Buffer.create (String.length line) in
+  String.iter
+    (fun c ->
+      match c with ' ' | '\t' -> () | c -> Buffer.add_char b (Char.lowercase_ascii c))
+    line;
+  Buffer.contents b = header
+
+let consume_line ~lineno items line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' || is_header line then items
+  else parse_line ~lineno line :: items
+
+let finish items =
+  try Instance.of_items items with Invalid_argument msg -> failwith msg
+
 let of_string s =
   let items = ref [] in
   String.split_on_char '\n' s
-  |> List.iteri (fun i line ->
-         let line = String.trim line in
-         let is_header = line = header in
-         if line <> "" && (not is_header) && line.[0] <> '#' then
-           items := parse_line ~lineno:(i + 1) line :: !items);
-  try Instance.of_items !items
-  with Invalid_argument msg -> failwith msg
+  |> List.iteri (fun i line -> items := consume_line ~lineno:(i + 1) !items line);
+  finish !items
+
+(* Line-by-line, so non-seekable inputs (/dev/stdin, pipes, process
+   substitution) work: [in_channel_length] is meaningless there. *)
+let of_channel ic =
+  let items = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       items := consume_line ~lineno:!lineno !items line
+     done
+   with End_of_file -> ());
+  finish !items
 
 let of_file ~path =
   let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      of_string (really_input_string ic n))
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

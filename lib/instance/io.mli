@@ -4,7 +4,8 @@
     Format: one item per line, [id,arrival,departure,size], where [size]
     is a decimal fraction of a bin in [0, 1]. Lines starting with ['#']
     and blank lines are ignored. A header line [id,arrival,...] is
-    tolerated on input and written on output. *)
+    tolerated on input (matched case- and whitespace-insensitively, CRLF
+    included) and written on output. *)
 
 val to_channel : out_channel -> Instance.t -> unit
 val to_file : path:string -> Instance.t -> unit
@@ -13,5 +14,9 @@ val to_string : Instance.t -> string
 val of_string : string -> Instance.t
 (** Raises [Failure] with a line-numbered message on malformed input;
     item validation errors ([Invalid_argument]) are converted too. *)
+
+val of_channel : in_channel -> Instance.t
+(** Reads line-by-line to end of input, so non-seekable channels
+    (pipes, [/dev/stdin], process substitution) work. *)
 
 val of_file : path:string -> Instance.t

@@ -35,9 +35,16 @@ let grouped_events inst =
   in
   groups events
 
+let m_sweeps = Metrics.counter "opt_repack.sweeps"
+let m_events = Metrics.counter "opt_repack.events"
+
 (* Sweep the grouped timeline; the caller supplies the active-multiset
    maintenance ([add]/[remove]/[active]) and the per-segment solve. *)
 let sweep inst ~add ~remove ~active ~solve =
+  Metrics.incr m_sweeps;
+  Trace.with_span "opt_repack.sweep"
+    ~args:[ ("items", string_of_int (Instance.length inst)) ]
+  @@ fun () ->
   let cost = ref 0 and all_exact = ref true in
   let segments = ref 0 and max_active = ref 0 in
   let series = ref [] in
@@ -59,7 +66,9 @@ let sweep inst ~add ~remove ~active ~solve =
         List.iter add arrs;
         walk (Some t) rest
   in
-  walk None (grouped_events inst);
+  let groups = grouped_events inst in
+  Metrics.add m_events (List.length groups);
+  walk None groups;
   ( {
       cost = !cost;
       exact = !all_exact;

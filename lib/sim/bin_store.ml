@@ -30,6 +30,15 @@ type t = {
   mutable done_usage : int;
 }
 
+let m_opens = Metrics.counter "bin_store.opens"
+let m_closes = Metrics.counter "bin_store.closes"
+let m_usage = Metrics.counter "bin_store.usage"
+let m_max_open = Metrics.gauge "bin_store.max_open"
+
+let m_lifetime =
+  Metrics.histogram ~buckets:[| 1; 4; 16; 64; 256; 1024; 4096; 16384 |]
+    "bin_store.lifetime"
+
 let create () =
   {
     bins = Vec.create ();
@@ -59,6 +68,8 @@ let open_bin t ~now ~label =
   t.live_tail <- id;
   t.n_open <- t.n_open + 1;
   if t.n_open > t.hw_open then t.hw_open <- t.n_open;
+  Metrics.incr m_opens;
+  Metrics.set_max m_max_open t.n_open;
   id
 
 let unlink_live t id =
@@ -101,7 +112,10 @@ let remove t ~now ~item_id =
         b.bclosed_at <- Some now;
         unlink_live t id;
         t.n_open <- t.n_open - 1;
-        t.done_usage <- t.done_usage + (now - b.bopened_at)
+        t.done_usage <- t.done_usage + (now - b.bopened_at);
+        Metrics.incr m_closes;
+        Metrics.add m_usage (now - b.bopened_at);
+        Metrics.observe m_lifetime (now - b.bopened_at)
       end;
       (id, closed)
 

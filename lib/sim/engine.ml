@@ -10,6 +10,10 @@ type result = {
   store : Bin_store.t;
 }
 
+let m_runs = Metrics.counter "engine.runs"
+let m_arrivals = Metrics.counter "engine.arrivals"
+let m_departures = Metrics.counter "engine.departures"
+
 module Interactive = struct
   type t = {
     store : Bin_store.t;
@@ -50,6 +54,7 @@ module Interactive = struct
       match Heap.peek t.departures with
       | Some (r : Item.t) when r.departure <= upto ->
           let r = Heap.pop_exn t.departures in
+          Metrics.incr m_departures;
           t.clock <- max t.clock r.departure;
           let bin, closed = Bin_store.remove t.store ~now:r.departure ~item_id:r.id in
           t.policy.on_departure ~now:r.departure r ~bin ~closed;
@@ -69,6 +74,7 @@ module Interactive = struct
 
   let arrive t (r : Item.t) =
     if r.arrival < t.clock then invalid_arg "Engine.arrive: arrival in the past";
+    Metrics.incr m_arrivals;
     drain_until t r.arrival;
     t.clock <- r.arrival;
     let bin = t.policy.on_arrival ~now:r.arrival r in
@@ -95,7 +101,15 @@ module Interactive = struct
 end
 
 let run factory inst =
+  Metrics.incr m_runs;
   let t = Interactive.start factory in
-  Array.iter (fun r -> ignore (Interactive.arrive t r)) (Instance.items inst);
-  let result, _ = Interactive.finish t in
-  result
+  Trace.with_span "engine.run"
+    ~args:
+      [
+        ("algorithm", t.Interactive.policy.Policy.name);
+        ("items", string_of_int (Instance.length inst));
+      ]
+    (fun () ->
+      Array.iter (fun r -> ignore (Interactive.arrive t r)) (Instance.items inst);
+      let result, _ = Interactive.finish t in
+      result)

@@ -52,9 +52,14 @@ let pop h =
 let pop_exn h =
   match pop h with Some x -> x | None -> invalid_arg "Heap.pop_exn: empty"
 
+(* Floyd's bottom-up heapify: sift each internal node down, deepest
+   first — O(n) total instead of n sequential [add]s' O(n log n). *)
 let of_list ~cmp l =
-  let h = create ~cmp in
-  List.iter (add h) l;
+  let h = { cmp; v = Vec.of_list l } in
+  let n = Vec.length h.v in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down h i
+  done;
   h
 
 let drain h =

@@ -24,6 +24,8 @@ val pop_exn : 'a t -> 'a
 (** Like {!pop}; raises [Invalid_argument] when empty. *)
 
 val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Build in O(n) via Floyd's bottom-up heapify (vs O(n log n) for
+    repeated {!add}). *)
 
 val drain : 'a t -> 'a list
 (** Pop everything; the result is sorted by [cmp]. Empties the heap. *)

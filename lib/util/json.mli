@@ -1,0 +1,43 @@
+(** Minimal JSON tree, writer, and parser.
+
+    The observability layer ([Metrics], [Trace]) and the bench harness
+    emit machine-readable dumps; the test suite parses them back. No
+    external JSON dependency is available in the toolchain, so this
+    module provides the small subset needed: a value tree, a
+    deterministic writer (object fields are emitted in the order given),
+    and a strict recursive-descent parser sufficient to round-trip
+    anything the writer produces (and ordinary JSON from other tools).
+
+    Not supported: streaming, duplicate-key detection, numbers outside
+    the OCaml [int]/[float] ranges. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. Non-finite floats are written as
+    [null] so the output is always valid JSON. *)
+
+val to_string_hum : t -> string
+(** Multi-line rendering with two-space indentation, for files meant to
+    be read by people (metrics dumps). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON value (surrounding whitespace allowed).
+    Numbers without a fraction or exponent that fit in an OCaml [int]
+    parse as [Int], everything else as [Float]. [\uXXXX] escapes are
+    decoded to UTF-8 (surrogate pairs supported). The error string
+    includes the byte offset. *)
+
+val parse_exn : string -> t
+(** Like {!parse}; raises [Failure] on malformed input. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None] on
+    missing keys and non-objects. *)

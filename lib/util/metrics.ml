@@ -1,0 +1,289 @@
+type stability = Det | Sched
+
+type kind =
+  | Kcounter
+  | Kgauge
+  | Khist of int array  (** ascending inclusive bucket upper bounds *)
+
+type spec = {
+  id : int;  (** dense index into every shard's cell arrays *)
+  name : string;
+  kind : kind;
+  stability : stability;
+}
+
+type counter = spec
+type gauge = spec
+type histogram = spec
+
+(* ---- registry (mutex-protected; registration is rare) ---- *)
+
+let reg_mutex = Mutex.create ()
+let specs : spec Vec.t = Vec.create ()
+let by_name : (string, spec) Hashtbl.t = Hashtbl.create 64
+
+(* One shard per domain. [cells.(id)] carries a counter's sum or a
+   gauge's high-water mark; [hists.(id)] carries a histogram's state:
+   one count per bucket (incl. overflow) plus the value sum in the last
+   slot. Cells are written only by the owning domain — no lock. *)
+type shard = {
+  mutable cells : int array;
+  mutable hists : int array option array;
+}
+
+let shards : shard Vec.t = Vec.create ()  (* guarded by reg_mutex *)
+
+let new_shard () =
+  let s = { cells = Array.make 64 0; hists = Array.make 64 None } in
+  Mutex.lock reg_mutex;
+  Vec.push shards s;
+  Mutex.unlock reg_mutex;
+  s
+
+let dls_key : shard Domain.DLS.key = Domain.DLS.new_key new_shard
+let shard () = Domain.DLS.get dls_key
+
+let same_kind a b =
+  match (a, b) with
+  | Kcounter, Kcounter | Kgauge, Kgauge -> true
+  | Khist x, Khist y -> x = y
+  | _ -> false
+
+let register ~kind ~stability name =
+  Mutex.lock reg_mutex;
+  let spec =
+    match Hashtbl.find_opt by_name name with
+    | Some s ->
+        Mutex.unlock reg_mutex;
+        if not (same_kind s.kind kind) then
+          invalid_arg (Printf.sprintf "Metrics: %S re-registered with a different kind" name);
+        if s.stability <> stability then
+          invalid_arg
+            (Printf.sprintf "Metrics: %S re-registered with a different stability" name);
+        s
+    | None ->
+        let s = { id = Vec.length specs; name; kind; stability } in
+        Vec.push specs s;
+        Hashtbl.replace by_name name s;
+        Mutex.unlock reg_mutex;
+        s
+  in
+  spec
+
+let counter ?(stability = Det) name = register ~kind:Kcounter ~stability name
+let gauge ?(stability = Det) name = register ~kind:Kgauge ~stability name
+
+let histogram ?(stability = Det) ~buckets name =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: bounds must be strictly ascending")
+    buckets;
+  register ~kind:(Khist (Array.copy buckets)) ~stability name
+
+(* ---- hot path ---- *)
+
+let ensure_cells s id =
+  if Array.length s.cells <= id then begin
+    let n = Array.length s.cells in
+    let bigger = Array.make (max (2 * n) (id + 1)) 0 in
+    Array.blit s.cells 0 bigger 0 n;
+    s.cells <- bigger
+  end
+
+let ensure_hists s id =
+  if Array.length s.hists <= id then begin
+    let n = Array.length s.hists in
+    let bigger = Array.make (max (2 * n) (id + 1)) None in
+    Array.blit s.hists 0 bigger 0 n;
+    s.hists <- bigger
+  end
+
+let add (c : counter) n =
+  let s = shard () in
+  ensure_cells s c.id;
+  s.cells.(c.id) <- s.cells.(c.id) + n
+
+let incr c = add c 1
+
+let set_max (g : gauge) v =
+  let s = shard () in
+  ensure_cells s g.id;
+  if v > s.cells.(g.id) then s.cells.(g.id) <- v
+
+let hist_state s (h : histogram) nb =
+  ensure_hists s h.id;
+  match s.hists.(h.id) with
+  | Some a -> a
+  | None ->
+      (* nb bucket counts + overflow + running sum *)
+      let a = Array.make (nb + 2) 0 in
+      s.hists.(h.id) <- Some a;
+      a
+
+let observe (h : histogram) v =
+  match h.kind with
+  | Khist bounds ->
+      let nb = Array.length bounds in
+      let a = hist_state (shard ()) h nb in
+      let rec bucket i = if i >= nb || v <= bounds.(i) then i else bucket (i + 1) in
+      let i = bucket 0 in
+      a.(i) <- a.(i) + 1;
+      a.(nb + 1) <- a.(nb + 1) + v
+  | _ -> assert false
+
+(* ---- merge and export ---- *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { bounds : int array; counts : int array; sum : int }
+
+type entry = {
+  name : string;
+  stability : stability;
+  value : value;
+  per_shard : int list;
+}
+
+let snapshot () =
+  Mutex.lock reg_mutex;
+  let shard_list = Vec.to_list shards in
+  let entries =
+    Vec.fold_left
+      (fun acc spec ->
+        let cell s = if Array.length s.cells > spec.id then s.cells.(spec.id) else 0 in
+        let entry =
+          match spec.kind with
+          | Kcounter ->
+              let per = List.map cell shard_list in
+              {
+                name = spec.name;
+                stability = spec.stability;
+                value = Counter (List.fold_left ( + ) 0 per);
+                per_shard = per;
+              }
+          | Kgauge ->
+              let per = List.map cell shard_list in
+              {
+                name = spec.name;
+                stability = spec.stability;
+                value = Gauge (List.fold_left max 0 per);
+                per_shard = per;
+              }
+          | Khist bounds ->
+              let nb = Array.length bounds in
+              let counts = Array.make (nb + 1) 0 in
+              let sum = ref 0 in
+              List.iter
+                (fun s ->
+                  if Array.length s.hists > spec.id then
+                    match s.hists.(spec.id) with
+                    | None -> ()
+                    | Some a ->
+                        for i = 0 to nb do
+                          counts.(i) <- counts.(i) + a.(i)
+                        done;
+                        sum := !sum + a.(nb + 1))
+                shard_list;
+              {
+                name = spec.name;
+                stability = spec.stability;
+                value = Histogram { bounds = Array.copy bounds; counts; sum = !sum };
+                per_shard = [];
+              }
+        in
+        entry :: acc)
+      [] specs
+  in
+  Mutex.unlock reg_mutex;
+  List.sort (fun a b -> String.compare a.name b.name) entries
+
+let deterministic () =
+  List.filter_map
+    (fun e -> if e.stability = Det then Some (e.name, e.value) else None)
+    (snapshot ())
+
+let reset () =
+  Mutex.lock reg_mutex;
+  Vec.iter
+    (fun s ->
+      Array.fill s.cells 0 (Array.length s.cells) 0;
+      Array.iter (function Some a -> Array.fill a 0 (Array.length a) 0 | None -> ()) s.hists)
+    shards;
+  Mutex.unlock reg_mutex
+
+let hist_total counts = Array.fold_left ( + ) 0 counts
+
+let to_table () =
+  let entries = snapshot () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-32s %-10s %s\n" "metric" "type" "value");
+  List.iter
+    (fun e ->
+      let star = if e.stability = Sched then "*" else "" in
+      let nonzero = List.filter (fun v -> v <> 0) e.per_shard in
+      let breakdown =
+        if e.stability = Sched && List.length nonzero > 1 then
+          Printf.sprintf " (per-shard: %s)"
+            (String.concat "/" (List.map string_of_int e.per_shard))
+        else ""
+      in
+      match e.value with
+      | Counter v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s %-10s %d%s\n" (e.name ^ star) "counter" v breakdown)
+      | Gauge v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s %-10s %d%s\n" (e.name ^ star) "gauge" v breakdown)
+      | Histogram { bounds; counts; sum } ->
+          let nb = Array.length bounds in
+          let cells =
+            List.init (nb + 1) (fun i ->
+                if i < nb then Printf.sprintf "<=%d:%d" bounds.(i) counts.(i)
+                else Printf.sprintf ">%d:%d" bounds.(nb - 1) counts.(nb))
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s %-10s n=%d sum=%d | %s\n" (e.name ^ star) "histogram"
+               (hist_total counts) sum (String.concat " " cells)))
+    entries;
+  if List.exists (fun e -> e.stability = Sched) entries then
+    Buffer.add_string buf
+      "(* = scheduling-dependent: excluded from the --jobs bit-identity contract)\n";
+  Buffer.contents buf
+
+let value_json = function
+  | Counter v | Gauge v -> Json.Int v
+  | Histogram { bounds; counts; sum } ->
+      Json.Obj
+        [
+          ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) bounds)));
+          ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) counts)));
+          ("sum", Json.Int sum);
+        ]
+
+let to_json () =
+  let entries = snapshot () in
+  let det =
+    List.filter_map
+      (fun e -> if e.stability = Det then Some (e.name, value_json e.value) else None)
+      entries
+  in
+  let sched =
+    List.filter_map
+      (fun e ->
+        if e.stability = Sched then
+          Some
+            ( e.name,
+              Json.Obj
+                [
+                  ("total", value_json e.value);
+                  ( "per_shard",
+                    Json.List (List.map (fun v -> Json.Int v) e.per_shard) );
+                ] )
+        else None)
+      entries
+  in
+  Json.Obj [ ("metrics", Json.Obj det); ("scheduling", Json.Obj sched) ]

@@ -1,0 +1,96 @@
+(** Process-wide, domain-sharded metrics registry: named counters,
+    high-water gauges, and fixed-bucket histograms.
+
+    Every instrumented subsystem registers its metrics once (at module
+    initialisation, on the main domain) and bumps them from whatever
+    domain happens to run the work. Each domain writes to a private
+    shard ([Domain.DLS]), so the hot path takes no lock and never
+    contends: an increment is a domain-local array store. Reading
+    ({!snapshot} and the exporters) merges all shards.
+
+    {b Determinism.} Merging must not reintroduce scheduling
+    nondeterminism, so every merge operator is commutative and
+    associative over the multiset of recorded values: counters sum,
+    gauges take the max (which is why gauges here are high-water marks,
+    not last-write-wins cells), histogram buckets sum. A metric whose
+    {e recorded values themselves} depend on scheduling — work stolen by
+    helping, per-worker busy time, cache hits against a per-worker cache
+    — is registered as [Sched] and reported separately; everything
+    registered [Det] is bit-identical across [--jobs 1/2/4] runs of the
+    same work (enforced by the test suite and [scripts/check.sh]).
+    Wall-clock timestamps never enter the registry at all; they live
+    exclusively in the {!Trace} stream.
+
+    {b Safety.} Registration is mutex-protected and idempotent
+    (re-registering a name returns the existing metric; a kind or
+    stability mismatch raises). {!snapshot}, {!reset}, and the exporters
+    are meant to run while no other domain is mutating — i.e. after the
+    parallel section has joined, which is when the CLI exporters run. *)
+
+type counter
+type gauge
+type histogram
+
+type stability =
+  | Det  (** value is a function of the work done; jobs-invariant *)
+  | Sched  (** value depends on scheduling (worker count, cache splits) *)
+
+val counter : ?stability:stability -> string -> counter
+(** Register (or look up) a counter. Default stability is [Det]. *)
+
+val gauge : ?stability:stability -> string -> gauge
+(** Register (or look up) a high-water gauge (starts at 0). *)
+
+val histogram : ?stability:stability -> buckets:int array -> string -> histogram
+(** Register (or look up) a histogram with the given ascending,
+    inclusive bucket upper bounds; one implicit overflow bucket is
+    appended. Raises [Invalid_argument] on an empty or non-ascending
+    bounds array. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set_max : gauge -> int -> unit
+(** Record [v]; the gauge keeps the maximum ever recorded (per shard,
+    and max-merged across shards). *)
+
+val observe : histogram -> int -> unit
+(** Count [v] into its bucket and into the running sum. *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { bounds : int array; counts : int array; sum : int }
+      (** [counts] has [Array.length bounds + 1] cells; the last is the
+          overflow bucket. [sum] is the sum of observed values. *)
+
+type entry = {
+  name : string;
+  stability : stability;
+  value : value;  (** merged over all shards *)
+  per_shard : int list;
+      (** per-shard contributions in shard-creation order (counters and
+          gauges only; [[]] for histograms). Shard attribution is
+          scheduling-dependent; only the merged value is deterministic. *)
+}
+
+val snapshot : unit -> entry list
+(** All registered metrics, sorted by name. *)
+
+val deterministic : unit -> (string * value) list
+(** The [Det] subset of {!snapshot} as (name, merged value) pairs — the
+    part of the registry the [--jobs] bit-identity contract covers. *)
+
+val reset : unit -> unit
+(** Zero every shard of every metric. Call only while no other domain is
+    recording. *)
+
+val to_table : unit -> string
+(** Text table of the whole registry ([Sched] metrics marked with [*]
+    and, when more than one shard recorded, a per-shard breakdown). *)
+
+val to_json : unit -> Json.t
+(** [{"metrics": {...}, "scheduling": {...}}]: the [Det] section maps
+    name to value (counters and gauges as numbers, histograms as
+    objects) and is byte-identical across worker counts; the
+    [scheduling] section additionally carries per-shard values. *)

@@ -48,14 +48,33 @@ let set_default_jobs n =
 
 let jobs t = t.pool_jobs
 
+(* Every submitted task runs exactly once whatever the worker count, so
+   queued/run are deterministic; which tasks get helped and how long a
+   worker stays busy are pure scheduling artifacts. *)
+let m_queued = Metrics.counter "pool.tasks_queued"
+let m_run = Metrics.counter "pool.tasks_run"
+let m_helped = Metrics.counter ~stability:Metrics.Sched "pool.tasks_helped"
+let m_busy = Metrics.counter ~stability:Metrics.Sched "pool.busy_ns"
+
+(* Run a task body on the calling domain, recording run count, busy
+   time, and (when tracing) a per-task span. Shared by workers, helping
+   awaiters, and the inline jobs=1 path. *)
+let run_thunk f =
+  Metrics.incr m_run;
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Trace.with_span "pool.task" (fun () ->
+        match f () with
+        | v -> Done v
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  Metrics.add m_busy (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+  result
+
 (* Runs outside the pool lock; only the state store and wake-up are
    locked. *)
 let run_task t (Task (f, fut)) =
-  let result =
-    match f () with
-    | v -> Done v
-    | exception e -> Failed (e, Printexc.get_raw_backtrace ())
-  in
+  let result = run_thunk f in
   Mutex.lock t.mutex;
   fut.state <- result;
   Condition.broadcast t.finished;
@@ -102,9 +121,8 @@ let submit t f =
   let fut = { state = Pending } in
   if t.pool_jobs = 1 then begin
     if t.stop then invalid_arg "Pool.submit: pool is shut down";
-    (match f () with
-    | v -> fut.state <- Done v
-    | exception e -> fut.state <- Failed (e, Printexc.get_raw_backtrace ()))
+    Metrics.incr m_queued;
+    fut.state <- run_thunk f
   end
   else begin
     Mutex.lock t.mutex;
@@ -112,6 +130,7 @@ let submit t f =
       Mutex.unlock t.mutex;
       invalid_arg "Pool.submit: pool is shut down"
     end;
+    Metrics.incr m_queued;
     Queue.push (Task (f, fut)) t.queue;
     Condition.signal t.has_work;
     Mutex.unlock t.mutex
@@ -139,6 +158,7 @@ let await t fut =
                what makes nested submit-and-await deadlock-free. *)
             let task = Queue.pop t.queue in
             Mutex.unlock t.mutex;
+            Metrics.incr m_helped;
             run_task t task;
             Mutex.lock t.mutex;
             loop ()

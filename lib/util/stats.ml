@@ -50,9 +50,25 @@ let summarize xs =
     median = quantile xs 0.5;
   }
 
+(* Two-sided Student-t critical values t_{0.975, df} for df = 1..30;
+   beyond 30 degrees of freedom the normal approximation is within half
+   a percent and we use z = 1.96. *)
+let t975 =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t95_critical ~df =
+  if df < 1 then invalid_arg "Stats.t95_critical: df must be >= 1"
+  else if df <= 30 then t975.(df - 1)
+  else 1.96
+
 let ci95_half_width xs =
   let n = Array.length xs in
-  if n < 2 then 0.0 else 1.96 *. stddev xs /. sqrt (float_of_int n)
+  if n < 2 then 0.0
+  else t95_critical ~df:(n - 1) *. stddev xs /. sqrt (float_of_int n)
 
 type fit = { slope : float; intercept : float; r2 : float }
 

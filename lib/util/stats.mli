@@ -22,9 +22,16 @@ val quantile : float array -> float -> float
 (** [quantile xs q] with [q] in [0, 1]; linear interpolation between order
     statistics. *)
 
+val t95_critical : df:int -> float
+(** Two-sided 95% Student-t critical value for [df] degrees of freedom
+    (table lookup for [df <= 30], the normal [1.96] beyond). Raises
+    [Invalid_argument] on [df < 1]. *)
+
 val ci95_half_width : float array -> float
-(** Half-width of the normal-approximation 95% confidence interval of the
-    mean ([1.96 * stddev / sqrt n]); 0 for fewer than 2 samples. *)
+(** Half-width of the 95% confidence interval of the mean,
+    [t * stddev / sqrt n] with the Student-t critical value for [n - 1]
+    degrees of freedom (the normal 1.96 would understate the interval at
+    the small seed counts sweeps use); 0 for fewer than 2 samples. *)
 
 type fit = {
   slope : float;

@@ -16,6 +16,23 @@ let value_at t at =
 let ensure_boundary t at =
   if not (IntMap.mem at t.m) then t.m <- IntMap.add at (value_at t at) t.m
 
+(* A boundary whose value equals its predecessor's (or 0 with no
+   predecessor) is redundant: dropping it leaves the step function
+   unchanged. The map is kept minimal — every adjacent pair of
+   boundaries has distinct values — so its size is exactly the number of
+   value transitions, not the number of [add] calls (long workloads
+   would otherwise grow it without bound). *)
+let coalesce_at t at =
+  match IntMap.find_opt at t.m with
+  | None -> ()
+  | Some v ->
+      let pred =
+        match IntMap.find_last_opt (fun k -> k < at) t.m with
+        | Some (_, pv) -> pv
+        | None -> 0
+      in
+      if pred = v then t.m <- IntMap.remove at t.m
+
 (* Both operations walk only the boundaries inside [lo, hi) (plus the
    O(log n) seek), so cost is proportional to the touched range. *)
 let add t ~lo ~hi ~units =
@@ -29,7 +46,15 @@ let add t ~lo ~hi ~units =
         bump rest
     | _ -> ()
   in
-  bump (IntMap.to_seq_from lo t.m)
+  bump (IntMap.to_seq_from lo t.m);
+  (* Every boundary in [lo, hi) shifted by the same [units], so adjacent
+     pairs strictly inside stay distinct; only the seams at [lo] (against
+     its unshifted predecessor) and [hi] (unshifted, against its shifted
+     predecessor) can have become redundant. *)
+  coalesce_at t hi;
+  coalesce_at t lo
+
+let boundaries t = IntMap.cardinal t.m
 
 let max_on t ~lo ~hi =
   if lo >= hi then invalid_arg "Timeline.max_on: empty range";

@@ -21,3 +21,9 @@ val max_on : t -> lo:int -> hi:int -> int
 
 val value_at : t -> int -> int
 (** The value at one tick. *)
+
+val boundaries : t -> int
+(** Number of stored segment boundaries. Adjacent segments with equal
+    values are coalesced on [add], so this is exactly the number of
+    value transitions of the step function (including the final return
+    to 0), independent of how many [add]s produced it. *)

@@ -1,0 +1,128 @@
+type completed = {
+  sname : string;
+  sargs : (string * string) list;
+  ts : float;  (** microseconds since [epoch] *)
+  dur : float;
+}
+
+type buf = {
+  pid : int;  (** the domain id, used as the Chrome trace pid *)
+  events : completed Vec.t;
+  mutable stack : (string * (string * string) list * float) list;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let mutex = Mutex.create ()
+let bufs : buf Vec.t = Vec.create ()  (* guarded by [mutex] *)
+
+let epoch = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let dls_key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { pid = (Domain.self () :> int); events = Vec.create (); stack = [] }
+      in
+      Mutex.lock mutex;
+      Vec.push bufs b;
+      Mutex.unlock mutex;
+      b)
+
+let buf () = Domain.DLS.get dls_key
+
+let begin_span ?(args = []) name =
+  if enabled () then begin
+    let b = buf () in
+    b.stack <- (name, args, now_us ()) :: b.stack
+  end
+
+let end_span () =
+  if enabled () then begin
+    let b = buf () in
+    match b.stack with
+    | [] -> invalid_arg "Trace.end_span: no open span"
+    | (sname, sargs, t0) :: rest ->
+        b.stack <- rest;
+        Vec.push b.events { sname; sargs; ts = t0; dur = now_us () -. t0 }
+  end
+
+let with_span ?args name f =
+  if not (enabled ()) then f ()
+  else begin
+    begin_span ?args name;
+    Fun.protect ~finally:end_span f
+  end
+
+let depth () = List.length (buf ()).stack
+
+let clear () =
+  Mutex.lock mutex;
+  Vec.iter (fun b -> Vec.clear b.events) bufs;
+  Mutex.unlock mutex
+
+let to_json () =
+  Mutex.lock mutex;
+  let per_domain =
+    Vec.fold_left (fun acc b -> (b.pid, Vec.to_list b.events) :: acc) [] bufs
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Mutex.unlock mutex;
+  let metadata =
+    List.map
+      (fun (pid, _) ->
+        Json.Obj
+          [
+            ("name", Json.String "process_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int pid);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "domain-%d" pid)) ]);
+          ])
+      per_domain
+  in
+  let spans =
+    List.concat_map
+      (fun (pid, events) ->
+        List.map
+          (fun e ->
+            let base =
+              [
+                ("name", Json.String e.sname);
+                ("ph", Json.String "X");
+                ("ts", Json.Float e.ts);
+                ("dur", Json.Float e.dur);
+                ("pid", Json.Int pid);
+                ("tid", Json.Int 0);
+              ]
+            in
+            let args =
+              if e.sargs = [] then []
+              else
+                [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) e.sargs)) ]
+            in
+            Json.Obj (base @ args))
+          events)
+      per_domain
+    |> List.sort (fun a b ->
+           match (Json.member "ts" a, Json.member "ts" b) with
+           | Some (Json.Float x), Some (Json.Float y) -> Float.compare x y
+           | _ -> 0)
+  in
+  Json.List (metadata @ spans)
+
+let write ~path =
+  let events = match to_json () with Json.List l -> l | _ -> assert false in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i e ->
+          Printf.fprintf oc " %s%s\n" (Json.to_string e)
+            (if i = List.length events - 1 then "" else ","))
+        events;
+      output_string oc "]\n")

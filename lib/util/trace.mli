@@ -1,0 +1,48 @@
+(** Span-based tracing with Chrome trace-event output.
+
+    Spans nest per domain: {!begin_span} pushes onto the current
+    domain's span stack, {!end_span} pops (LIFO — ending out of order is
+    a programming error and raises). Completed spans are buffered in a
+    per-domain vector, lock-free on the hot path; {!write} merges every
+    domain's buffer into one Chrome trace-event JSON array (one [pid]
+    per domain, plus [process_name] metadata) loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Tracing is {e off} by default: every entry point is a cheap no-op
+    until {!set_enabled}[ true] (the CLI flips it when [--trace FILE] is
+    given). Timestamps come from [Unix.gettimeofday] relative to process
+    start — they are wall-clock and therefore nondeterministic, which is
+    exactly why spans live here and never in the {!Metrics} registry:
+    the trace stream is excluded from the [--jobs] bit-identity
+    contract. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off. Flip only while no span is open (in
+    practice: once, at CLI startup). *)
+
+val enabled : unit -> bool
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span (closed even on
+    exception). When tracing is disabled this is just [f ()]. *)
+
+val begin_span : ?args:(string * string) list -> string -> unit
+
+val end_span : unit -> unit
+(** Close the innermost open span of the calling domain. Raises
+    [Invalid_argument] if tracing is enabled and no span is open. No-op
+    when disabled. *)
+
+val depth : unit -> int
+(** Open-span depth of the calling domain. *)
+
+val to_json : unit -> Json.t
+(** All completed spans of all domains (plus per-domain [process_name]
+    metadata), as a Chrome trace-event array sorted by timestamp.
+    Unclosed spans are not included. *)
+
+val write : path:string -> unit
+(** {!to_json} to a file, one event per line. *)
+
+val clear : unit -> unit
+(** Drop all buffered spans (open span stacks are untouched). *)

@@ -14,8 +14,10 @@ trap 'rm -rf "$tmpdir"' EXIT INT TERM
 
 smoke=theorem32
 echo "smoke: experiment $smoke with --jobs 1 vs --jobs 2"
-dune exec bin/main.exe -- experiment "$smoke" --jobs 1 > "$tmpdir/j1.txt"
-dune exec bin/main.exe -- experiment "$smoke" --jobs 2 > "$tmpdir/j2.txt"
+dune exec bin/main.exe -- experiment "$smoke" --jobs 1 \
+  --metrics-json "$tmpdir/smoke1.json" > "$tmpdir/j1.txt"
+dune exec bin/main.exe -- experiment "$smoke" --jobs 2 \
+  --metrics-json "$tmpdir/smoke2.json" > "$tmpdir/j2.txt"
 if ! cmp -s "$tmpdir/j1.txt" "$tmpdir/j2.txt"; then
   echo "FAIL: $smoke output differs between --jobs 1 and --jobs 2" >&2
   diff "$tmpdir/j1.txt" "$tmpdir/j2.txt" >&2 || true
@@ -51,4 +53,44 @@ if [ $((2 * (segments - bb_searches))) -lt "$segments" ]; then
 fi
 echo "optr: E5 bb_nodes=$bb_nodes <= $e5_baseline_nodes," \
   "$((segments - bb_searches))/$segments segments without search"
+
+# Observability gate: one E5 run with --trace and --metrics-json must
+# produce non-empty valid JSON in both files, and the deterministic
+# "metrics" section must be identical between --jobs 1 and --jobs 2.
+echo "obs: experiment E5 with --metrics-json and --trace"
+json_ok() {
+  [ -s "$1" ] || return 1
+  if command -v jq > /dev/null 2>&1; then jq -e . "$1" > /dev/null
+  else python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$1"
+  fi
+}
+metrics_section() {
+  if command -v jq > /dev/null 2>&1; then jq -S .metrics "$1" > "$2"
+  else
+    python3 -c 'import json,sys
+json.dump(json.load(open(sys.argv[1]))["metrics"], open(sys.argv[2], "w"),
+          sort_keys=True, indent=1)' "$1" "$2"
+  fi
+}
+dune exec bin/main.exe -- experiment E5 --jobs 2 \
+  --metrics-json "$tmpdir/m2.json" --trace "$tmpdir/t2.json" > /dev/null
+dune exec bin/main.exe -- experiment E5 --jobs 1 \
+  --metrics-json "$tmpdir/m1.json" > /dev/null
+for f in m1.json m2.json t2.json; do
+  if ! json_ok "$tmpdir/$f"; then
+    echo "FAIL: $f is empty or not valid JSON" >&2
+    exit 1
+  fi
+done
+for pair in "m1 m2" "smoke1 smoke2"; do
+  set -- $pair
+  metrics_section "$tmpdir/$1.json" "$tmpdir/$1.det"
+  metrics_section "$tmpdir/$2.json" "$tmpdir/$2.det"
+  if ! cmp -s "$tmpdir/$1.det" "$tmpdir/$2.det"; then
+    echo "FAIL: deterministic metrics differ between --jobs 1 and --jobs 2 ($1 vs $2)" >&2
+    diff "$tmpdir/$1.det" "$tmpdir/$2.det" >&2 || true
+    exit 1
+  fi
+done
+echo "obs: trace + metrics JSON valid, metrics jobs-invariant"
 echo "check OK"

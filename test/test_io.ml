@@ -43,6 +43,26 @@ let test_file_roundtrip () =
       check_int "demand preserved" (Instance.demand_units inst)
         (Instance.demand_units back))
 
+let test_header_variants () =
+  let s = " Id, Arrival, Departure, Size \n1,0,4,0.5\n" in
+  check_int "header with spaces and caps skipped" 1
+    (Instance.length (Io.of_string s));
+  let crlf = "id,arrival,departure,size\r\n1,0,4,0.5\r\n2,1,5,0.25\r\n" in
+  check_int "CRLF line endings" 2 (Instance.length (Io.of_string crlf))
+
+(* Reading from a pipe proves the parser streams line-by-line: a pipe
+   has no length and cannot be rewound, so any read-whole-file-first
+   implementation would fail here. *)
+let test_of_channel_pipe () =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  output_string oc "id,arrival,departure,size\n1,0,4,0.5\n2,1,5,0.25\n";
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> check_int "streamed from a pipe" 2 (Instance.length (Io.of_channel ic)))
+
 let prop_roundtrip_random =
   qcase ~count:60 ~name:"random instances roundtrip through CSV"
     (fun seed ->
@@ -61,5 +81,7 @@ let suite =
     case "comments and blanks" test_parses_comments_and_blanks;
     case "errors" test_errors;
     case "file roundtrip" test_file_roundtrip;
+    case "header variants" test_header_variants;
+    case "streaming from a pipe" test_of_channel_pipe;
     prop_roundtrip_random;
   ]

@@ -1,0 +1,97 @@
+open Dbp_util
+open Helpers
+
+let sample =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("count", Json.Int (-42));
+      ("ratio", Json.Float 2.5);
+      ("name", Json.String "a \"quoted\" line\nwith\ttabs");
+      ("list", Json.List [ Json.Int 1; Json.Int 2; Json.Obj [] ]);
+    ]
+
+let test_roundtrip () =
+  let back = Json.parse_exn (Json.to_string sample) in
+  check_bool "compact roundtrip" true (back = sample);
+  let back = Json.parse_exn (Json.to_string_hum sample) in
+  check_bool "indented roundtrip" true (back = sample)
+
+let test_literals () =
+  check_bool "int stays int" true (Json.parse_exn "17" = Json.Int 17);
+  check_bool "decimal point makes a float" true (Json.parse_exn "1.0" = Json.Float 1.0);
+  check_bool "exponent makes a float" true (Json.parse_exn "1e3" = Json.Float 1000.0);
+  check_bool "escapes" true
+    (Json.parse_exn {|"aé\n"|} = Json.String "a\xc3\xa9\n");
+  check_bool "unicode escape" true
+    (Json.parse_exn "\"\\u00e9\"" = Json.String "\xc3\xa9");
+  check_bool "surrogate pair" true
+    (Json.parse_exn "\"\\ud83d\\ude00\"" = Json.String "\xf0\x9f\x98\x80");
+  check_bool "raw utf-8 passthrough" true
+    (Json.parse_exn "\"\xf0\x9f\x98\x80\"" = Json.String "\xf0\x9f\x98\x80");
+  check_bool "whitespace tolerated" true
+    (Json.parse_exn " [ 1 , { \"a\" : null } ] "
+    = Json.List [ Json.Int 1; Json.Obj [ ("a", Json.Null) ] ])
+
+let test_errors () =
+  let bad s =
+    match Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\": 1,}";
+  bad "\"unterminated";
+  bad "1 trailing";
+  bad "nul";
+  bad "+1"
+
+let test_member () =
+  check_bool "present" true (Json.member "count" sample = Some (Json.Int (-42)));
+  check_bool "absent" true (Json.member "missing" sample = None);
+  check_bool "non-object" true (Json.member "a" (Json.Int 1) = None)
+
+let test_non_finite () =
+  check_bool "nan renders as null" true (Json.to_string (Json.Float Float.nan) = "null");
+  check_bool "inf renders as null" true
+    (Json.to_string (Json.Float Float.infinity) = "null")
+
+(* Random trees built from a deterministic seed exercise the printer and
+   parser against each other. *)
+let prop_roundtrip_random =
+  qcase ~count:100 ~name:"random values roundtrip"
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let rec gen depth =
+        match if depth = 0 then 0 else Prng.int_below rng 7 with
+        | 1 -> Json.Bool (Prng.int_below rng 2 = 0)
+        | 2 -> Json.Int (Prng.int_below rng 2_000_001 - 1_000_000)
+        | 3 -> Json.Float (float_of_int (Prng.int_below rng 1000) /. 8.0)
+        | 4 ->
+            Json.String
+              (String.init (Prng.int_below rng 8) (fun _ ->
+                   Char.chr (Prng.int_below rng 96 + 32)))
+        | 5 -> Json.List (List.init (Prng.int_below rng 4) (fun _ -> gen (depth - 1)))
+        | 6 ->
+            Json.Obj
+              (List.init (Prng.int_below rng 4) (fun i ->
+                   (Printf.sprintf "k%d" i, gen (depth - 1))))
+        | _ -> Json.Null
+      in
+      let v = gen 4 in
+      Json.parse_exn (Json.to_string v) = v
+      && Json.parse_exn (Json.to_string_hum v) = v)
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let suite =
+  [
+    case "roundtrip" test_roundtrip;
+    case "literals" test_literals;
+    case "parse errors" test_errors;
+    case "member" test_member;
+    case "non-finite floats" test_non_finite;
+    prop_roundtrip_random;
+  ]

@@ -5,6 +5,9 @@ let () =
   Alcotest.run "dbp"
     [
       ("ints", Test_ints.suite);
+      ("json", Test_json.suite);
+      ("metrics", Test_metrics.suite);
+      ("trace", Test_trace.suite);
       ("vec", Test_vec.suite);
       ("heap", Test_heap.suite);
       ("prng", Test_prng.suite);

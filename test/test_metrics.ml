@@ -1,0 +1,114 @@
+open Dbp_util
+open Helpers
+
+let find name =
+  List.find_opt (fun (e : Metrics.entry) -> e.name = name) (Metrics.snapshot ())
+
+let test_counter () =
+  let c = Metrics.counter "testm.counter" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  match find "testm.counter" with
+  | Some { value = Metrics.Counter n; stability = Metrics.Det; _ } ->
+      check_bool "counted" true (n >= 5)
+  | _ -> Alcotest.fail "counter entry missing"
+
+let test_gauge_high_water () =
+  let g = Metrics.gauge "testm.gauge" in
+  Metrics.set_max g 7;
+  Metrics.set_max g 3;
+  match find "testm.gauge" with
+  | Some { value = Metrics.Gauge 7; _ } -> ()
+  | _ -> Alcotest.fail "gauge is not a high-water mark"
+
+let test_histogram () =
+  let h = Metrics.histogram ~buckets:[| 10; 100 |] "testm.hist" in
+  Metrics.observe h 5;
+  Metrics.observe h 50;
+  Metrics.observe h 500;
+  (match find "testm.hist" with
+  | Some { value = Metrics.Histogram { bounds; counts; sum }; _ } ->
+      check_bool "bounds" true (bounds = [| 10; 100 |]);
+      check_bool "counts with overflow" true (counts = [| 1; 1; 1 |]);
+      check_int "sum" 555 sum
+  | _ -> Alcotest.fail "histogram entry missing");
+  check_raises_invalid "empty buckets" (fun () ->
+      ignore (Metrics.histogram ~buckets:[||] "testm.hist_bad"));
+  check_raises_invalid "non-ascending buckets" (fun () ->
+      ignore (Metrics.histogram ~buckets:[| 5; 5 |] "testm.hist_bad2"))
+
+let test_registration () =
+  let c = Metrics.counter "testm.idem" in
+  Metrics.incr c;
+  Metrics.incr (Metrics.counter "testm.idem");
+  (match find "testm.idem" with
+  | Some { value = Metrics.Counter 2; _ } -> ()
+  | _ -> Alcotest.fail "re-registration did not return the same counter");
+  check_raises_invalid "kind mismatch" (fun () ->
+      ignore (Metrics.gauge "testm.idem"));
+  check_raises_invalid "stability mismatch" (fun () ->
+      ignore (Metrics.counter ~stability:Metrics.Sched "testm.idem"))
+
+let test_sched_excluded () =
+  let c = Metrics.counter ~stability:Metrics.Sched "testm.sched" in
+  Metrics.incr c;
+  check_bool "Sched metric not in deterministic view" true
+    (not (List.mem_assoc "testm.sched" (Metrics.deterministic ())));
+  match Metrics.to_json () with
+  | Json.Obj fields ->
+      let section name =
+        match List.assoc name fields with Json.Obj kvs -> kvs | _ -> []
+      in
+      check_bool "in scheduling section" true
+        (List.mem_assoc "testm.sched" (section "scheduling"));
+      check_bool "not in metrics section" true
+        (not (List.mem_assoc "testm.sched" (section "metrics")))
+  | _ -> Alcotest.fail "to_json is not an object"
+
+(* The tentpole contract: everything registered [Det] merges to the same
+   values whatever the worker count. Run the same small sweep grid under
+   1, 2, and 4 domains and compare the deterministic snapshots. *)
+let tiny_workload ~mu ~seed =
+  random_instance
+    (Prng.create ~seed:((mu * 1000) + seed))
+    ~n:25 ~max_time:40 ~max_duration:10
+
+let sweep_metrics jobs =
+  Metrics.reset ();
+  ignore
+    (Dbp_analysis.Sweep.run ~jobs
+       ~algorithms:[ ("FF", Dbp_baselines.Any_fit.first_fit) ]
+       ~workload:tiny_workload ~mus:[ 4; 8 ] ~seeds:[ 1; 2 ] ());
+  Metrics.deterministic ()
+
+let test_jobs_invariant () =
+  let d1 = sweep_metrics 1 in
+  let d2 = sweep_metrics 2 in
+  let d4 = sweep_metrics 4 in
+  (match List.assoc_opt "engine.runs" d1 with
+  | Some (Metrics.Counter n) -> check_bool "sweep ran engines" true (n > 0)
+  | _ -> Alcotest.fail "engine.runs missing");
+  (match List.assoc_opt "sweep.cells" d1 with
+  | Some (Metrics.Counter 4) -> ()
+  | _ -> Alcotest.fail "sweep.cells should count the 2x2 grid");
+  check_bool "jobs 1 = jobs 2" true (d1 = d2);
+  check_bool "jobs 1 = jobs 4" true (d1 = d4)
+
+let test_reset () =
+  let c = Metrics.counter "testm.reset" in
+  Metrics.incr c;
+  Metrics.reset ();
+  match find "testm.reset" with
+  | Some { value = Metrics.Counter 0; _ } -> ()
+  | _ -> Alcotest.fail "reset did not zero the counter"
+
+let suite =
+  [
+    case "counter" test_counter;
+    case "gauge high-water" test_gauge_high_water;
+    case "histogram" test_histogram;
+    case "registration idempotent" test_registration;
+    case "Sched excluded from deterministic view" test_sched_excluded;
+    case "metrics bit-identical across jobs 1/2/4" test_jobs_invariant;
+    case "reset" test_reset;
+  ]

@@ -29,6 +29,24 @@ let test_ci95 () =
   let xs = Array.make 100 5.0 in
   check_float ~eps:1e-9 "constant data" 0.0 (Stats.ci95_half_width xs)
 
+(* Small samples must use Student-t critical values, not z = 1.96 —
+   the normal approximation understates a 5-sample interval by ~30%. *)
+let test_ci95_student () =
+  check_float ~eps:1e-9 "t df=1" 12.706 (Stats.t95_critical ~df:1);
+  check_float ~eps:1e-9 "t df=30" 2.042 (Stats.t95_critical ~df:30);
+  check_float ~eps:1e-9 "t df=99 is z" 1.96 (Stats.t95_critical ~df:99);
+  check_raises_invalid "df=0" (fun () -> ignore (Stats.t95_critical ~df:0));
+  (* n=5: mean 3, sample variance 2.5, df=4 -> t = 2.776 *)
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float ~eps:1e-9 "n=5 uses t_4"
+    (2.776 *. sqrt 2.5 /. sqrt 5.0)
+    (Stats.ci95_half_width xs);
+  (* n=100: df=99 is beyond the table -> z = 1.96 *)
+  let ys = Array.init 100 (fun i -> float_of_int (i mod 2)) in
+  check_float ~eps:1e-9 "n=100 uses 1.96"
+    (1.96 *. Stats.stddev ys /. 10.0)
+    (Stats.ci95_half_width ys)
+
 let test_linear_fit_exact () =
   let x = [| 0.0; 1.0; 2.0; 3.0 |] in
   let y = Array.map (fun v -> (2.5 *. v) -. 1.0) x in
@@ -86,6 +104,7 @@ let suite =
     case "quantile" test_quantile;
     case "summarize" test_summarize;
     case "ci95" test_ci95;
+    case "ci95 Student-t" test_ci95_student;
     case "linear fit exact" test_linear_fit_exact;
     case "linear fit noisy" test_linear_fit_noisy;
     case "linear fit errors" test_linear_fit_errors;

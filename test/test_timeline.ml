@@ -65,6 +65,49 @@ let prop_vs_array =
       list_size (int_range 1 60)
         (triple (int_range 0 63) (int_range 0 63) (int_range 0 100)))
 
+(* Coalescing keeps the boundary map minimal without changing the step
+   function: queries still match the array model, and the boundary count
+   equals the exact number of value transitions (extending the model
+   with 0 outside the touched window) — in particular it never exceeds
+   twice the number of maximal constant runs, however many overlapping
+   [add]s built the profile. *)
+let prop_coalesced_minimal =
+  qcase ~count:100 ~name:"boundary count = value transitions"
+    (fun ops ->
+      let n = 64 in
+      let t = Timeline.create () in
+      let model = Array.make n 0 in
+      List.iter
+        (fun (a, b, u) ->
+          let lo = min a b and hi = max a b in
+          let lo = lo mod n and hi = (hi mod n) + 1 in
+          let u = (u mod 9) - 4 in
+          Timeline.add t ~lo ~hi ~units:u;
+          for i = lo to hi - 1 do
+            model.(i) <- model.(i) + u
+          done)
+        ops;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Timeline.value_at t i <> model.(i) then ok := false
+      done;
+      for lo = 0 to n - 8 do
+        let expected = ref min_int in
+        for i = lo to lo + 6 do
+          if model.(i) > !expected then expected := model.(i)
+        done;
+        if Timeline.max_on t ~lo ~hi:(lo + 7) <> !expected then ok := false
+      done;
+      let transitions = ref (if model.(0) <> 0 then 1 else 0) in
+      for i = 1 to n - 1 do
+        if model.(i) <> model.(i - 1) then incr transitions
+      done;
+      if model.(n - 1) <> 0 then incr transitions;
+      !ok && Timeline.boundaries t = !transitions)
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (triple (int_range 0 63) (int_range 0 63) (int_range 0 100)))
+
 let suite =
   [
     case "basic" test_basic;
@@ -72,4 +115,5 @@ let suite =
     case "negative units" test_negative_units;
     case "errors" test_errors;
     prop_vs_array;
+    prop_coalesced_minimal;
   ]

@@ -1,0 +1,95 @@
+open Dbp_util
+open Helpers
+
+let with_tracing f =
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.clear ();
+      Trace.set_enabled false)
+    f
+
+let test_disabled () =
+  check_bool "off by default" true (not (Trace.enabled ()));
+  check_int "with_span passthrough" 7 (Trace.with_span "x" (fun () -> 7));
+  Trace.end_span ();
+  check_int "depth stays 0" 0 (Trace.depth ())
+
+let test_nesting_lifo () =
+  with_tracing (fun () ->
+      Trace.begin_span "outer";
+      check_int "depth 1" 1 (Trace.depth ());
+      Trace.begin_span ~args:[ ("k", "v") ] "inner";
+      check_int "depth 2" 2 (Trace.depth ());
+      Trace.end_span ();
+      check_int "inner closed first" 1 (Trace.depth ());
+      Trace.end_span ();
+      check_int "outer closed last" 0 (Trace.depth ());
+      check_raises_invalid "underflow raises" (fun () -> Trace.end_span ()))
+
+let test_exception_closes_span () =
+  with_tracing (fun () ->
+      (try Trace.with_span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+      check_int "span closed on exception" 0 (Trace.depth ()))
+
+let test_unclosed_excluded () =
+  with_tracing (fun () ->
+      Trace.begin_span "dangling";
+      (match Trace.to_json () with
+      | Json.List events ->
+          check_bool "open span not emitted" true
+            (not
+               (List.exists
+                  (fun e -> Json.member "name" e = Some (Json.String "dangling"))
+                  events))
+      | _ -> Alcotest.fail "to_json is not an array");
+      Trace.end_span ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_write_roundtrip () =
+  with_tracing (fun () ->
+      Trace.with_span "alpha" (fun () -> Trace.with_span "beta" (fun () -> ()));
+      let path = Filename.temp_file "dbp_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Trace.write ~path;
+          match Json.parse (read_file path) with
+          | Error e -> Alcotest.failf "trace is not valid JSON: %s" e
+          | Ok (Json.List events) ->
+              let names =
+                List.filter_map
+                  (fun e ->
+                    match Json.member "name" e with
+                    | Some (Json.String n) -> Some n
+                    | _ -> None)
+                  events
+              in
+              check_bool "alpha present" true (List.mem "alpha" names);
+              check_bool "beta present" true (List.mem "beta" names);
+              check_bool "process metadata present" true
+                (List.mem "process_name" names);
+              (* Chrome trace-event shape: complete events carry ts/dur. *)
+              check_bool "complete events have ts and dur" true
+                (List.for_all
+                   (fun e ->
+                     match Json.member "ph" e with
+                     | Some (Json.String "X") ->
+                         Json.member "ts" e <> None && Json.member "dur" e <> None
+                     | _ -> true)
+                   events)
+          | Ok _ -> Alcotest.fail "trace is not a JSON array"))
+
+let suite =
+  [
+    case "disabled is a no-op" test_disabled;
+    case "spans nest LIFO" test_nesting_lifo;
+    case "exception closes span" test_exception_closes_span;
+    case "unclosed spans excluded" test_unclosed_excluded;
+    case "Chrome trace roundtrips through the parser" test_write_roundtrip;
+  ]
