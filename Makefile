@@ -1,4 +1,4 @@
-.PHONY: all build test check bench
+.PHONY: all build test check bench fuzz
 
 all: build
 
@@ -14,3 +14,9 @@ check:
 
 bench:
 	dune exec bench/main.exe -- --skip-micro
+
+# Differential fuzz: every policy under the invariant validator vs the
+# naive reference engine, plus the OPT_R lemma oracles. Deterministic
+# for a fixed seed, whatever --jobs.
+fuzz:
+	dune exec bin/main.exe -- fuzz --n 500 --seed 1 --jobs 2

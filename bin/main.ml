@@ -423,10 +423,69 @@ let adversary_cmd =
     (Cmd.info "adversary" ~doc:"Run the Theorem 4.3 adaptive adversary.")
     Term.(ret (const run $ algorithm $ mu_arg $ obs_term))
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let n =
+    Arg.(
+      value & opt int 100
+      & info [ "num"; "n" ] ~docv:"N" ~doc:"Number of fuzzed instances.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write each finding's shrunk repro as a CSV instance into $(docv) \
+             (created if missing), named repro_case<K>_<COMPONENT>.csv.")
+  in
+  let run n seed jobs out obs =
+    set_jobs jobs;
+    match
+      match Sys.getenv_opt "DBP_CHECK_INJECT" with
+      | None | Some "" -> Ok None
+      | Some "cost" -> Ok (Some Dbp_check.Fuzz.Cost_off_by_one)
+      | Some other -> Error other
+    with
+    | Error other ->
+        fail "DBP_CHECK_INJECT=%S: expected \"cost\" (or unset)" other
+    | Ok inject ->
+        let report =
+          with_obs obs (fun () -> Dbp_check.Fuzz.run ?inject ~n ~seed ())
+        in
+        print_string (Dbp_check.Fuzz.summary report);
+        (match out with
+        | None -> ()
+        | Some dir ->
+            if report.findings <> [] && not (Sys.file_exists dir) then
+              Sys.mkdir dir 0o755;
+            List.iter
+              (fun (f : Dbp_check.Fuzz.finding) ->
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "repro_case%d_%s.csv" f.case f.component)
+                in
+                Dbp_instance.Io.to_file ~path f.repro;
+                Printf.printf "wrote %s\n" path)
+              report.findings);
+        if report.findings <> [] then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: run every policy under the invariant \
+          validator on generated and mutated instances, cross-check against \
+          the naive reference engine and the from-scratch OPT_R, and shrink \
+          any violation to a minimal repro. Deterministic in --seed; output \
+          is bit-identical for any --jobs. Exits 1 if a violation was found.")
+    Term.(ret (const run $ n $ seed_arg $ jobs_arg $ out $ obs_term))
+
 let main =
   Cmd.group
     (Cmd.info "dbp" ~version:"1.0.0"
        ~doc:"Clairvoyant dynamic bin packing (Azar & Vainstein, SPAA 2017) — simulator and experiment harness.")
-    [ list_cmd; experiment_cmd; all_cmd; run_cmd; sweep_cmd; adversary_cmd; export_cmd ]
+    [ list_cmd; experiment_cmd; all_cmd; run_cmd; sweep_cmd; adversary_cmd; export_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,229 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_workloads
+
+type injection = Cost_off_by_one
+
+type finding = {
+  case : int;
+  family : string;
+  mu : int;
+  component : string;
+  violations : Violation.t list;
+  repro : Instance.t;
+  replayed : bool;
+}
+
+type report = {
+  cases : int;
+  policy_runs : int;
+  by_family : (string * int) list;
+  findings : finding list;
+}
+
+let families =
+  [
+    "general"; "uniform"; "aligned"; "binary"; "pinning"; "cdkiller"; "cloud";
+    "adversary"; "mutated";
+  ]
+
+let mu_choices = [| 2; 4; 8; 16; 32; 64 |]
+
+type case_desc = { index : int; cfamily : string; cmu : int; cseed : int }
+
+(* Instances are kept deliberately small: every case also runs the
+   from-scratch OPT_R reference (cold branch-and-bound per segment), so
+   a fuzz run's budget goes into breadth of cases, not depth of any
+   one instance. *)
+let small_general ~dist ~mu ~seed =
+  General_random.generate
+    ~config:
+      {
+        General_random.default with
+        horizon = 24;
+        arrival_rate = 0.5;
+        max_duration = mu;
+        dist;
+      }
+    ~seed ()
+
+let small_aligned ~mu ~seed =
+  Aligned_random.generate
+    ~config:
+      {
+        Aligned_random.default with
+        top_class = Ints.ceil_log2 mu;
+        horizon = 32;
+      }
+    ~seed ()
+
+let small_cloud ~seed =
+  Cloud_traces.generate
+    ~config:{ Cloud_traces.default with days = 1; base_rate = 0.02 }
+    ~seed ()
+
+let instance_of_case c =
+  let mu = c.cmu and seed = c.cseed in
+  match c.cfamily with
+  | "general" -> small_general ~dist:General_random.Dyadic_uniform ~mu ~seed
+  | "uniform" -> small_general ~dist:General_random.Uniform ~mu ~seed
+  | "aligned" -> small_aligned ~mu ~seed
+  | "binary" -> Binary_input.generate ~mu
+  | "pinning" ->
+      let k = min mu 4 in
+      Pinning.generate ~groups:2 ~k ~mu ()
+  | "cdkiller" -> Cd_killer.generate ~mu ()
+  | "cloud" -> small_cloud ~seed
+  | "adversary" ->
+      (* The adaptive adversary interrogates a live policy; replaying
+         its released sequence against every policy is exactly the kind
+         of adversarial-but-valid input the validator should digest. *)
+      (Adversary.run ~mu Dbp_baselines.Any_fit.first_fit).instance
+  | "mutated" ->
+      let prng = Prng.create ~seed in
+      let base =
+        match Prng.choice prng [| `General; `Aligned; `Binary |] with
+        | `General -> small_general ~dist:General_random.Dyadic_uniform ~mu ~seed
+        | `Aligned -> small_aligned ~mu ~seed
+        | `Binary -> Binary_input.generate ~mu
+      in
+      Mutate.mutate prng ~ops:12 base
+  | f -> invalid_arg ("Fuzz: unknown family " ^ f)
+
+let policies ~mu_hint =
+  [
+    ("HA", Dbp_core.Ha.policy ());
+    ("CDFF", Dbp_core.Cdff.policy ());
+    ("FF", Dbp_baselines.Any_fit.first_fit);
+    ("BF", Dbp_baselines.Any_fit.best_fit);
+    ("WF", Dbp_baselines.Any_fit.worst_fit);
+    ("NF", Dbp_baselines.Any_fit.next_fit);
+    ("CD", Dbp_baselines.Classify_duration.policy ());
+    ("RT", Dbp_baselines.Rt_classify.auto ~mu_hint);
+    ("SpanGreedy", Dbp_baselines.Span_greedy.policy);
+  ]
+
+let run_case ?inject ~solver c =
+  let inst = instance_of_case c in
+  let mu_hint = if Instance.is_empty inst then 1.0 else Instance.mu inst in
+  (* Lemma oracles are stateful (shadow tables); build fresh ones per
+     evaluation so the shrinker's re-runs start clean. *)
+  let policy_oracles name =
+    if Instance.is_empty inst then []
+    else
+      match name with
+      | "HA" -> [ Oracles.ha ~mu:mu_hint ]
+      | "CDFF" -> [ Oracles.cdff () ]
+      | _ -> []
+  in
+  let tamper_for name =
+    match inject with
+    | Some Cost_off_by_one when name = "FF" ->
+        Some (fun (r : Dbp_sim.Engine.result) -> { r with cost = r.cost + 1 })
+    | None | Some Cost_off_by_one -> None
+  in
+  let eval_policy name factory candidate =
+    let res, vs =
+      Validator.run ~oracles:(policy_oracles name) ?tamper:(tamper_for name)
+        factory candidate
+    in
+    vs @ Naive.diff res (Naive.run factory candidate)
+  in
+  let components =
+    List.map
+      (fun (name, factory) -> (name, fun candidate -> eval_policy name factory candidate))
+      (policies ~mu_hint)
+    @ [ ("OPT_R", fun candidate -> Oracles.opt_r ~solver candidate) ]
+    @
+    if c.cfamily = "binary" then
+      [
+        ( "corollary58",
+          fun candidate ->
+            let res = Dbp_sim.Engine.run (Dbp_core.Cdff.policy ()) candidate in
+            Oracles.corollary58 ~mu:c.cmu res );
+      ]
+    else []
+  in
+  let findings =
+    List.filter_map
+      (fun (component, evalf) ->
+        match evalf inst with
+        | [] -> None
+        | first :: _ as violations ->
+            let target = first.Violation.oracle in
+            let keep candidate =
+              List.exists (fun v -> v.Violation.oracle = target) (evalf candidate)
+            in
+            let repro = Shrink.minimize ~keep inst in
+            let replayed =
+              match Io.of_string (Io.to_string repro) with
+              | candidate -> keep candidate
+              | exception _ -> false
+            in
+            Some
+              {
+                case = c.index;
+                family = c.cfamily;
+                mu = c.cmu;
+                component;
+                violations;
+                repro;
+                replayed;
+              })
+      components
+  in
+  (findings, List.length (policies ~mu_hint))
+
+let run ?jobs ?inject ~n ~seed () =
+  if n < 0 then invalid_arg "Fuzz.run: n must be non-negative";
+  let master = Prng.create ~seed in
+  let fam = Array.of_list families in
+  let cases =
+    List.init n (fun index ->
+        let cfamily = fam.(index mod Array.length fam) in
+        let mu0 = Prng.choice master mu_choices in
+        (* The adaptive adversary grows quadratically in mu; cap it. *)
+        let cmu = if cfamily = "adversary" then min mu0 32 else mu0 in
+        let cseed = Int64.to_int (Prng.bits64 master) land max_int in
+        { index; cfamily; cmu; cseed })
+  in
+  let bank = Pool.Bank.create (fun () -> Dbp_binpack.Solver.create ()) in
+  let per_case =
+    Pool.with_default ?jobs (fun pool ->
+        Pool.map pool
+          (fun c -> Pool.Bank.use bank (fun solver -> run_case ?inject ~solver c))
+          cases)
+  in
+  {
+    cases = n;
+    policy_runs = List.fold_left (fun acc (_, k) -> acc + k) 0 per_case;
+    by_family =
+      List.map
+        (fun f ->
+          (f, List.length (List.filter (fun c -> c.cfamily = f) cases)))
+        families;
+    findings = List.concat_map fst per_case;
+  }
+
+let summary r =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "fuzz: %d cases, %d policy runs, %d findings\n" r.cases
+    r.policy_runs (List.length r.findings);
+  Buffer.add_string buf "cases per family:";
+  List.iter (fun (f, k) -> Printf.bprintf buf " %s=%d" f k) r.by_family;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun f ->
+      Printf.bprintf buf "FINDING case %d [%s mu=%d] %s\n" f.case f.family f.mu
+        f.component;
+      List.iter
+        (fun v -> Printf.bprintf buf "  %s\n" (Violation.to_string v))
+        f.violations;
+      Printf.bprintf buf "  repro: %d items, io round-trip %s\n"
+        (Instance.length f.repro)
+        (if f.replayed then "replays" else "FAILED");
+      List.iter
+        (fun line -> if line <> "" then Printf.bprintf buf "    %s\n" line)
+        (String.split_on_char '\n' (Io.to_string f.repro)))
+    r.findings;
+  Buffer.contents buf

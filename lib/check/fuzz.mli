@@ -1,0 +1,59 @@
+(** The deterministic differential fuzzer behind [dbp fuzz].
+
+    Each case draws one instance from a rotating family of workload
+    generators (the structured generators, the Theorem 4.3 adversary's
+    released sequence, and {!Dbp_workloads.Mutate} neighbourhoods of the
+    structured inputs), then runs {b every} online policy under the
+    {!Validator} with its algorithm-specific {!Oracles}, cross-checks
+    the engine against the {!Naive} reference, checks OPT_R's
+    incremental sweep against the from-scratch solver, and — on binary
+    inputs — CDFF's series against Corollary 5.8.
+
+    Violating cases are handed to {!Shrink.minimize} with a predicate
+    that re-runs exactly the component that fired (same oracle name);
+    each finding carries the shrunk repro and whether the repro survives
+    an {!Dbp_instance.Io} round-trip with the violation intact.
+
+    Determinism: the case list is derived sequentially from the master
+    seed, every per-case computation is a function of the case alone,
+    and cases fan out via {!Dbp_util.Pool.map} (ordered submit/await)
+    with per-worker {!Dbp_binpack.Solver} caches from a
+    {!Dbp_util.Pool.Bank} — so the report is bit-identical for any
+    [--jobs]. *)
+
+open Dbp_instance
+
+type injection = Cost_off_by_one
+    (** Test-only fault: add 1 to the engine-reported cost of one policy
+        per case before the validator's post-run audit, proving the
+        ["cost-integral"] oracle and the shrinker actually fire. Enabled
+        from the CLI only via the [DBP_CHECK_INJECT] environment
+        variable — never in normal runs. *)
+
+type finding = {
+  case : int;  (** case index, [0 .. n-1] *)
+  family : string;
+  mu : int;  (** the family's mu parameter *)
+  component : string;  (** policy name, ["OPT_R"] or ["corollary58"] *)
+  violations : Violation.t list;  (** as detected, pre-shrinking *)
+  repro : Instance.t;  (** shrunk witness; same oracle still fires *)
+  replayed : bool;  (** repro survives an Io round-trip *)
+}
+
+type report = {
+  cases : int;
+  policy_runs : int;
+  by_family : (string * int) list;  (** cases per family, rotation order *)
+  findings : finding list;
+}
+
+val families : string list
+
+val run : ?jobs:int -> ?inject:injection -> n:int -> seed:int -> unit -> report
+(** Fuzz [n] cases from master [seed]. [jobs] defaults to
+    {!Dbp_util.Pool.default_jobs}. *)
+
+val summary : report -> string
+(** Human-readable report. Deliberately free of anything that varies
+    with [jobs] or wall-clock, so outputs can be compared byte-for-byte
+    across worker counts. *)

@@ -1,0 +1,93 @@
+open Dbp_instance
+open Dbp_sim
+
+type result = {
+  cost : int;
+  bins_opened : int;
+  max_open : int;
+  series : (int * int) array;
+  assignment : (int * Bin_store.bin_id) list;
+}
+
+type event = Depart of Item.t | Arrive of Item.t
+
+let event_key = function
+  | Depart r -> (r.Item.departure, 0, r.Item.id)
+  | Arrive r -> (r.Item.arrival, 1, r.Item.id)
+
+let run factory inst =
+  let store = Bin_store.create () in
+  let policy = factory store in
+  let events =
+    Array.to_list (Instance.items inst)
+    |> List.concat_map (fun r -> [ Depart r; Arrive r ])
+    |> List.sort (fun a b -> compare (event_key a) (event_key b))
+  in
+  (* Own bookkeeping, independent of the store's accounting. *)
+  let opened_at = Hashtbl.create 32 in
+  let occupancy = Hashtbl.create 32 in
+  let open_now = ref 0 and max_open = ref 0 and cost = ref 0 in
+  let assignment = ref [] in
+  let series = ref [] in
+  let record t =
+    match !series with
+    | (t', _) :: rest when t' = t -> series := (t, !open_now) :: rest
+    | _ -> series := (t, !open_now) :: !series
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Arrive r ->
+          let now = r.Item.arrival in
+          let bin = policy.Policy.on_arrival ~now r in
+          if not (Hashtbl.mem opened_at bin) then begin
+            Hashtbl.replace opened_at bin now;
+            incr open_now;
+            if !open_now > !max_open then max_open := !open_now
+          end;
+          Hashtbl.replace occupancy bin
+            (1 + Option.value (Hashtbl.find_opt occupancy bin) ~default:0);
+          assignment := (r.Item.id, bin) :: !assignment;
+          record now
+      | Depart r ->
+          let now = r.Item.departure in
+          let bin, closed = Bin_store.remove store ~now ~item_id:r.Item.id in
+          policy.Policy.on_departure ~now r ~bin ~closed;
+          let n = Option.value (Hashtbl.find_opt occupancy bin) ~default:0 - 1 in
+          Hashtbl.replace occupancy bin n;
+          if n <= 0 then begin
+            decr open_now;
+            cost := !cost + (now - Hashtbl.find opened_at bin)
+          end;
+          record now)
+    events;
+  {
+    cost = !cost;
+    bins_opened = Hashtbl.length opened_at;
+    max_open = !max_open;
+    series = Array.of_list (List.rev !series);
+    assignment = List.rev !assignment;
+  }
+
+let diff (e : Engine.result) (n : result) =
+  let vs = ref [] in
+  let emit fmt = Printf.ksprintf (fun d -> vs := { Violation.oracle = "naive-diff"; time = -1; detail = d } :: !vs) fmt in
+  if e.cost <> n.cost then emit "cost: engine %d, naive %d" e.cost n.cost;
+  if e.bins_opened <> n.bins_opened then
+    emit "bins_opened: engine %d, naive %d" e.bins_opened n.bins_opened;
+  if e.max_open <> n.max_open then emit "max_open: engine %d, naive %d" e.max_open n.max_open;
+  if e.series <> n.series then
+    emit "series: engine has %d samples, naive %d (first mismatch %s)"
+      (Array.length e.series) (Array.length n.series)
+      (let rec first i =
+         if i >= Array.length e.series || i >= Array.length n.series then
+           Printf.sprintf "at index %d (length)" (min (Array.length e.series) (Array.length n.series))
+         else if e.series.(i) <> n.series.(i) then
+           let t, a = e.series.(i) and t', b = n.series.(i) in
+           Printf.sprintf "at index %d: engine (%d,%d), naive (%d,%d)" i t a t' b
+         else first (i + 1)
+       in
+       first 0);
+  if Bin_store.assignment e.store <> n.assignment then
+    emit "assignment logs differ";
+  List.rev !vs

@@ -1,0 +1,30 @@
+(** A deliberately naive reference engine for differential testing.
+
+    {!Dbp_sim.Engine} earns its speed from a departure heap, growable
+    vectors and the store's intrusive live-list — all machinery that can
+    hide ordering bugs. This engine recomputes the same run with none of
+    it: the full event list is materialized and sorted up front
+    (departures before arrivals at equal ticks, ties by item id — the
+    paper's [t^-] convention), bins are tracked in plain association
+    tables, and the cost is accumulated directly from open/close ticks.
+    Policies are deterministic functions of the store, so a correct
+    engine pair must agree event for event. *)
+
+open Dbp_instance
+open Dbp_sim
+
+type result = {
+  cost : int;
+  bins_opened : int;
+  max_open : int;
+  series : (int * int) array;
+      (** (tick, open bins after the tick's events), event ticks only. *)
+  assignment : (int * Bin_store.bin_id) list;  (** placement order *)
+}
+
+val run : Policy.factory -> Instance.t -> result
+(** Replay the instance on a fresh policy instance. *)
+
+val diff : Engine.result -> result -> Violation.t list
+(** Field-by-field comparison; one violation (oracle ["naive-diff"]) per
+    mismatching field. *)

@@ -1,0 +1,243 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+
+(* ---- Hybrid Algorithm (Section 3) ---- *)
+
+let parse_cd label = Scanf.sscanf_opt label "CD(%d,%d)%!" (fun i c -> (i, c))
+
+let ha ~mu =
+  (* Shadow per-type active load, maintained from the raw event stream —
+     never read from the policy. *)
+  let type_load : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let open_cd store ty ~except =
+    List.exists
+      (fun b -> b <> except && parse_cd (Bin_store.label store b) = Some ty)
+      (Bin_store.open_bins store)
+  in
+  let on_arrival ~store ~now:_ (r : Item.t) bin =
+    let ty = Item.ha_type r in
+    let i = fst ty in
+    let total =
+      Option.value (Hashtbl.find_opt type_load ty) ~default:0 + Load.to_units r.size
+    in
+    Hashtbl.replace type_load ty total;
+    let label = Bin_store.label store bin in
+    let threshold = Dbp_core.Ha.threshold_units Dbp_core.Ha.default_threshold i in
+    if label = "GN" then begin
+      if total > threshold then
+        Some
+          (Printf.sprintf
+             "item %d of type (%d,%d) admitted to GN with active type load %d units > \
+              threshold %d units"
+             r.id (fst ty) (snd ty) total threshold)
+      else if open_cd store ty ~except:(-1) then
+        Some
+          (Printf.sprintf
+             "item %d placed in GN while an open CD(%d,%d) bin of its type exists" r.id
+             (fst ty) (snd ty))
+      else begin
+        let gn_open =
+          List.length
+            (List.filter
+               (fun b -> Bin_store.label store b = "GN")
+               (Bin_store.open_bins store))
+        in
+        let bound = Dbp_core.Theory.gn_bound mu in
+        if float_of_int gn_open > bound +. 1e-9 then
+          Some
+            (Printf.sprintf
+               "%d GN bins open, above the Lemma 3.3 bound 2+4*sqrt(log2 mu) = %.3f \
+                (mu = %g)"
+               gn_open bound mu)
+        else None
+      end
+    end
+    else
+      match parse_cd label with
+      | Some ty' when ty' <> ty ->
+          Some
+            (Printf.sprintf
+               "item %d of type (%d,%d) placed in bin %d of type (%d,%d) — CD bins \
+                must stay type-pure"
+               r.id (fst ty) (snd ty) bin (fst ty') (snd ty'))
+      | Some _ ->
+          (* A fresh CD bin (this item is alone in it, and no other CD bin
+             of the type is open) is only legal above the GN threshold. *)
+          let fresh =
+            (match Bin_store.contents store bin with [ only ] -> only.Item.id = r.id | _ -> false)
+            && not (open_cd store ty ~except:bin)
+          in
+          if fresh && total <= threshold then
+            Some
+              (Printf.sprintf
+                 "item %d opened a fresh CD(%d,%d) bin though its type load %d units \
+                  is within the GN threshold %d units"
+                 r.id (fst ty) (snd ty) total threshold)
+          else None
+      | None ->
+          Some (Printf.sprintf "item %d placed in a bin labelled %S — HA only opens GN or CD(i,c) bins" r.id label)
+  in
+  let on_departure ~store:_ ~now:_ (r : Item.t) ~bin:_ ~closed:_ =
+    let ty = Item.ha_type r in
+    let remaining =
+      Option.value (Hashtbl.find_opt type_load ty) ~default:0 - Load.to_units r.size
+    in
+    if remaining > 0 then Hashtbl.replace type_load ty remaining
+    else Hashtbl.remove type_load ty;
+    None
+  in
+  { Validator.oracle_name = "ha-lemma33"; on_arrival; on_departure }
+
+(* ---- CDFF (Section 5) ---- *)
+
+let cdff () =
+  (* Re-derive the paper's segment partition from the arrival stream:
+     a segment starting at s with top class n covers [s, s + 2^n); the
+     top class is learned from arrivals at the segment's first tick; at
+     any later tick t the working class is m_t = min n (ntz (t - s)). *)
+  let seg = ref None in
+  let on_arrival ~store ~now (r : Item.t) bin =
+    let cls = Item.length_class r in
+    let start, top =
+      match !seg with
+      | Some (start, top) when now < start + Ints.pow2 !top -> (start, top)
+      | _ ->
+          let top = ref cls in
+          seg := Some (now, top);
+          (now, top)
+    in
+    if now = start && cls > !top then top := cls;
+    let m = if now = start then !top else min !top (Ints.ntz (now - start)) in
+    let expected = Printf.sprintf "row%d" (max 0 (m - cls)) in
+    let actual = Bin_store.label store bin in
+    if actual <> expected then
+      Some
+        (Printf.sprintf
+           "item %d (class %d) at t=%d landed in %S, Lemma 5.5 mandates %S (segment \
+            start %d, top class %d, m_t = %d)"
+           r.id cls now actual expected start !top m)
+    else None
+  in
+  let on_departure ~store:_ ~now:_ _ ~bin:_ ~closed:_ = None in
+  { Validator.oracle_name = "cdff-lemma55"; on_arrival; on_departure }
+
+let corollary58 ~mu (result : Dbp_sim.Engine.result) =
+  if not (Ints.is_pow2 mu) then invalid_arg "Oracles.corollary58: mu must be a power of two";
+  let bits = Ints.floor_log2 mu in
+  let vs = ref [] in
+  Array.iter
+    (fun (t, c) ->
+      let expected =
+        if t < mu then Some (Dbp_analysis.Binary_strings.max0 ~bits t + 1)
+        else if t = mu then Some 0
+        else None
+      in
+      match expected with
+      | Some e when e <> c ->
+          vs :=
+            Violation.make ~oracle:"cdff-corollary58" ~time:t
+              "CDFF keeps %d bins open after tick %d of sigma_%d, Corollary 5.8 says \
+               max0(binary %d) + 1 = %d"
+              c t mu t e
+            :: !vs
+      | Some _ -> ()
+      | None ->
+          vs :=
+            Violation.make ~oracle:"cdff-corollary58" ~time:t
+              "sigma_%d has no events after t = %d, yet the series samples t = %d" mu mu
+              t
+            :: !vs)
+    result.series;
+  List.rev !vs
+
+(* ---- OPT_R (Sections 3 and 4 machinery) ---- *)
+
+let opt_r ?solver inst =
+  if Instance.is_empty inst then []
+  else begin
+    let vs = ref [] in
+    let emit ~time fmt =
+      Printf.ksprintf
+        (fun detail -> vs := { Violation.oracle = "optr"; time; detail } :: !vs)
+        fmt
+    in
+    let segs = Dbp_offline.Opt_repack.segments_exact ?solver inst in
+    let inc_cost =
+      List.fold_left (fun acc (t0, t1, b, _) -> acc + (b * (t1 - t0))) 0 segs
+    in
+    let inc_exact = List.for_all (fun (_, _, _, e) -> e) segs in
+    (* Incremental sweep vs the from-scratch reference. *)
+    let rres, rseries, _nodes = Dbp_offline.Opt_repack.reference inst in
+    if inc_exact && rres.exact && inc_cost <> rres.cost then
+      emit ~time:(-1) "incremental OPT_R = %d but the from-scratch reference finds %d"
+        inc_cost rres.cost;
+    if List.length segs <> List.length rseries then
+      emit ~time:(-1)
+        "incremental sweep produced %d segments, the reference %d — the event \
+         partition must not depend on the solving path"
+        (List.length segs) (List.length rseries)
+    else
+      List.iter2
+        (fun (t0, t1, b, e) (t0', t1', b') ->
+          if t0 <> t0' || t1 <> t1' then
+            emit ~time:t0 "segment [%d,%d) in the incremental sweep is [%d,%d) in the reference"
+              t0 t1 t0' t1'
+          else if e && rres.exact && b <> b' then
+            emit ~time:t0
+              "segment [%d,%d): incremental packs into %d bins, reference into %d — \
+               both claim proof"
+              t0 t1 b b')
+        segs rseries;
+    (* Lemma 3.1: ceil(S_t) <= BP(S_t) <= 2 ceil(S_t) per segment, and the
+       same sandwich for the integral. *)
+    let profile = Profile.of_instance inst in
+    List.iter
+      (fun (t0, t1, b, e) ->
+        let ceil_load = Ints.ceil_div (Profile.load_at profile t0) Load.capacity in
+        if b < ceil_load then
+          emit ~time:t0
+            "segment [%d,%d) claims %d bins below the fractional floor ceil(S_t) = %d"
+            t0 t1 b ceil_load;
+        if e && b > 2 * ceil_load then
+          emit ~time:t0
+            "segment [%d,%d) solved to proof with %d bins, above the Lemma 3.1 cap \
+             2 ceil(S_t) = %d"
+            t0 t1 b (2 * ceil_load))
+      segs;
+    let b = Dbp_offline.Bounds.compute inst in
+    if inc_cost < b.lower then
+      emit ~time:(-1) "OPT_R = %d beats the Lemma 3.1 lower bound %d" inc_cost b.lower;
+    if inc_exact && inc_cost > b.lemma31_upper then
+      emit ~time:(-1) "exact OPT_R = %d exceeds the Lemma 3.1 upper bound %d" inc_cost
+        b.lemma31_upper;
+    (* Lipschitz monotonicity: |BP(S + x) - BP(S)| <= 1 per item, so across
+       a boundary the bin count moves by at most the event counts there. *)
+    let arrivals = Hashtbl.create 64 and departures = Hashtbl.create 64 in
+    let bump tbl t = Hashtbl.replace tbl t (1 + Option.value (Hashtbl.find_opt tbl t) ~default:0) in
+    Array.iter
+      (fun (r : Item.t) ->
+        bump arrivals r.arrival;
+        bump departures r.departure)
+      (Instance.items inst);
+    let count tbl t = Option.value (Hashtbl.find_opt tbl t) ~default:0 in
+    let rec pairs = function
+      | (_, t1, b0, e0) :: ((t1', _, b1, e1) :: _ as rest) ->
+          if e0 && e1 && t1 = t1' then begin
+            if b1 > b0 + count arrivals t1 then
+              emit ~time:t1
+                "bin count jumps %d -> %d at t=%d with only %d arrivals — BP is \
+                 1-Lipschitz per item"
+                b0 b1 t1 (count arrivals t1);
+            if b0 > b1 + count departures t1 then
+              emit ~time:t1
+                "bin count drops %d -> %d at t=%d with only %d departures — BP is \
+                 1-Lipschitz per item"
+                b0 b1 t1 (count departures t1)
+          end;
+          pairs rest
+      | _ -> ()
+    in
+    pairs segs;
+    List.rev !vs
+  end

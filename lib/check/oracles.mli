@@ -1,0 +1,54 @@
+(** Algorithm-specific lemma oracles, re-derived from the paper's
+    definitions independently of the implementations they check.
+
+    Each oracle re-computes the quantity a lemma bounds (GN load, row
+    index, momentary bin count) from first principles — its own type
+    tables, its own segment partition — and compares against what the
+    algorithm actually did, as observed through bin labels and the
+    store. A disagreement is reported as a {!Violation.t}. *)
+
+open Dbp_instance
+open Dbp_binpack
+
+val ha : mu:float -> Validator.event_oracle
+(** The Hybrid Algorithm's structural invariants (Section 3):
+    - {b Lemma 3.3}: at every event, at most [2 + 4 sqrt(log2 mu)] GN
+      bins are open (bins labelled ["GN"]).
+    - {b type purity}: a CD bin labelled ["CD(i,c)"] only ever receives
+      items of HA type [(i, c)] (the interval-class membership that
+      Lemma 3.5's volume argument rests on).
+    - {b GN admission}: an item routed to a GN bin had total active
+      type load at most the [1/(2 sqrt i)] threshold, and no open CD
+      bin of its type existed (else HA must have used it).
+    The oracle keeps its own per-type active-load table; [mu] is the
+    instance's final duration ratio (the quantity Lemma 3.3 is phrased
+    in). *)
+
+val cdff : unit -> Validator.event_oracle
+(** CDFF's row discipline (Section 5, Lemma 5.5): re-runs the paper's
+    segment partition — a new segment when an arrival reaches the
+    current segment's horizon, top class learned at the segment's first
+    tick, [m_t] from the trailing zeros of [t - start] — and checks
+    every arrival of class [i] lands in a bin labelled
+    [row (m_t - i)] (clamped at 0 for non-aligned inputs). *)
+
+val corollary58 : mu:int -> Dbp_sim.Engine.result -> Violation.t list
+(** Corollary 5.8 on the binary input [sigma_mu]: CDFF's open-bin count
+    after the events of tick [t < mu] is exactly
+    [max_0(binary(t)) + 1], and 0 at [t = mu]. Checks every sample of
+    the run's series. [mu] must be a power of two. *)
+
+val opt_r : ?solver:Solver.t -> Instance.t -> Violation.t list
+(** The repacking optimum's internal consistency on one instance:
+    - {b incremental = reference}: the delta-driven sweep
+      ({!Dbp_offline.Opt_repack.exact}) agrees with the from-scratch
+      oracle ({!Dbp_offline.Opt_repack.reference}) on cost, exactness,
+      segment count and every per-segment value both solve to proof;
+    - {b Lemma 3.1 sandwich}: each exactly-solved segment's bin count
+      lies in [[ceil(S_t), 2 ceil(S_t)]], and the total cost in
+      [[int ceil(S_t) dt, 2 int ceil(S_t) dt]] when the whole sweep is
+      exact (cost >= the lower integral even when inexact);
+    - {b Lipschitz monotonicity}: across adjacent exact segments, the
+      bin count drops by at most the departures and rises by at most
+      the arrivals at the boundary ([|BP(S +- x) - BP(S)| <= 1] per
+      item). *)

@@ -1,0 +1,106 @@
+open Dbp_util
+open Dbp_instance
+
+(* Rebuild one item with clamped fields; None if the edit is a no-op or
+   would be invalid. *)
+let remade (r : Item.t) ~arrival ~departure ~size_units =
+  if
+    arrival < 0 || departure <= arrival || size_units <= 0
+    || size_units > Load.capacity
+    || (arrival = r.arrival && departure = r.departure
+       && size_units = Load.to_units r.size)
+  then None
+  else
+    Some
+      (Item.make ~id:r.id ~arrival ~departure ~size:(Load.of_units size_units))
+
+(* ddmin over the item list: try dropping each of [n] chunks; on success
+   restart at coarse granularity, otherwise refine. *)
+let ddmin ~keep items =
+  let try_complement items n =
+    let len = List.length items in
+    let chunk = (len + n - 1) / n in
+    let rec scan k =
+      if k * chunk >= len then None
+      else
+        let complement =
+          List.filteri (fun i _ -> i < k * chunk || i >= (k + 1) * chunk) items
+        in
+        if complement <> [] && keep (Instance.of_items complement) then
+          Some complement
+        else scan (k + 1)
+    in
+    scan 0
+  in
+  let rec go items n =
+    let len = List.length items in
+    if len <= 1 || n > len then items
+    else
+      match try_complement items n with
+      | Some smaller -> go smaller (max 2 (n - 1))
+      | None -> if n >= len then items else go items (min len (2 * n))
+  in
+  go items 2
+
+(* Candidate single-item edits, most aggressive first. *)
+let edits (r : Item.t) =
+  let dur = Item.duration r and units = Load.to_units r.size in
+  let cls = Item.length_class r in
+  [
+    (* duration *)
+    remade r ~arrival:r.arrival ~departure:(r.arrival + 1) ~size_units:units;
+    remade r ~arrival:r.arrival
+      ~departure:(r.arrival + max 1 (dur / 2))
+      ~size_units:units;
+    remade r ~arrival:r.arrival ~departure:(r.arrival + max 1 (dur - 1)) ~size_units:units;
+    (* size *)
+    remade r ~arrival:r.arrival ~departure:r.departure ~size_units:1;
+    remade r ~arrival:r.arrival ~departure:r.departure ~size_units:(max 1 (units / 2));
+    (* arrival: toward 0 (duration preserved), then onto the class grid *)
+    remade r ~arrival:0 ~departure:dur ~size_units:units;
+    remade r ~arrival:(r.arrival / 2) ~departure:((r.arrival / 2) + dur) ~size_units:units;
+    (let snapped = r.arrival - (r.arrival mod Ints.pow2 cls) in
+     remade r ~arrival:snapped ~departure:(snapped + dur) ~size_units:units);
+  ]
+  |> List.filter_map Fun.id
+
+(* One greedy pass: for each item position, retry edits until none
+   sticks. Returns (items, changed). *)
+let item_pass ~keep items =
+  let arr = Array.of_list items in
+  let changed = ref false in
+  let rebuilt i candidate =
+    Array.to_list (Array.mapi (fun j r -> if j = i then candidate else r) arr)
+  in
+  for i = 0 to Array.length arr - 1 do
+    let rec improve () =
+      let better =
+        List.find_opt
+          (fun candidate -> keep (Instance.of_items (rebuilt i candidate)))
+          (edits arr.(i))
+      in
+      match better with
+      | Some candidate ->
+          arr.(i) <- candidate;
+          changed := true;
+          improve ()
+      | None -> ()
+    in
+    improve ()
+  done;
+  (Array.to_list arr, !changed)
+
+let minimize ?(max_rounds = 8) ~keep inst =
+  if not (keep inst) then
+    invalid_arg "Shrink.minimize: the predicate does not hold on the input";
+  let rec rounds items n =
+    if n = 0 then items
+    else
+      let items' = ddmin ~keep items in
+      let items'', changed = item_pass ~keep items' in
+      if changed || List.length items'' < List.length items then
+        rounds items'' (n - 1)
+      else items''
+  in
+  let items = rounds (Array.to_list (Instance.items inst)) max_rounds in
+  Instance.of_items items

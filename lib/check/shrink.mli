@@ -1,0 +1,22 @@
+(** Greedy instance minimization (delta debugging).
+
+    Given an instance on which some predicate holds — in practice "this
+    oracle still fires" — produce a smaller instance on which it still
+    holds. The search is [ddmin] over the item list (drop chunks at
+    doubling granularity) followed by per-item greedy passes: shorten
+    durations (halve, then decrement), shrink sizes (to one unit, then
+    halve), pull arrivals toward zero and snap them onto the item's
+    class alignment. Passes repeat until a fixpoint or [max_rounds].
+
+    The search is fully deterministic — same instance, same predicate,
+    same minimum — and only ever evaluates [keep] on valid instances
+    (positive durations, sizes in (0, 1], arrivals >= 0), so a
+    predicate that replays the instance never sees malformed input. *)
+
+open Dbp_instance
+
+val minimize :
+  ?max_rounds:int -> keep:(Instance.t -> bool) -> Instance.t -> Instance.t
+(** [minimize ~keep inst] requires [keep inst = true] and returns a
+    minimal-ish instance on which [keep] still holds. [max_rounds]
+    bounds the outer fixpoint iterations (default 8). *)

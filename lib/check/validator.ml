@@ -1,0 +1,285 @@
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+
+type event_oracle = {
+  oracle_name : string;
+  on_arrival :
+    store:Bin_store.t -> now:int -> Item.t -> Bin_store.bin_id -> string option;
+  on_departure :
+    store:Bin_store.t ->
+    now:int ->
+    Item.t ->
+    bin:Bin_store.bin_id ->
+    closed:bool ->
+    string option;
+}
+
+let stateless_oracle ~name ?on_arrival ?on_departure () =
+  {
+    oracle_name = name;
+    on_arrival =
+      (match on_arrival with
+      | Some f -> f
+      | None -> fun ~store:_ ~now:_ _ _ -> None);
+    on_departure =
+      (match on_departure with
+      | Some f -> f
+      | None -> fun ~store:_ ~now:_ _ ~bin:_ ~closed:_ -> None);
+  }
+
+(* ---- per-event core invariants ---- *)
+
+let recomputed_load store bin =
+  List.fold_left
+    (fun acc (r : Item.t) -> Load.add acc r.size)
+    Load.zero
+    (Bin_store.contents store bin)
+
+let check_bin_load emit store ~now bin =
+  let sum = recomputed_load store bin in
+  if not Load.(sum <= Load.one) then
+    emit
+      (Violation.make ~oracle:"bin-load" ~time:now
+         "bin %d holds %d units > capacity %d" bin (Load.to_units sum) Load.capacity);
+  if not (Load.equal sum (Bin_store.load store bin)) then
+    emit
+      (Violation.make ~oracle:"bin-load" ~time:now
+         "bin %d store load %d units <> recomputed %d units" bin
+         (Load.to_units (Bin_store.load store bin))
+         (Load.to_units sum))
+
+let check_arrival emit store ~now (r : Item.t) bin =
+  if now <> r.arrival then
+    emit
+      (Violation.make ~oracle:"event-time" ~time:now
+         "item %d packed at t=%d but arrives at t=%d" r.id now r.arrival);
+  if not (Bin_store.is_open store bin) then
+    emit
+      (Violation.make ~oracle:"open-bin" ~time:now
+         "item %d placed into closed bin %d" r.id bin)
+  else if
+    not (List.exists (fun (m : Item.t) -> m.id = r.id) (Bin_store.contents store bin))
+  then
+    emit
+      (Violation.make ~oracle:"open-bin" ~time:now
+         "item %d not found in the bin %d the policy returned" r.id bin);
+  check_bin_load emit store ~now bin
+
+let check_departure emit store ~now (r : Item.t) ~bin ~closed =
+  if now <> r.departure then
+    emit
+      (Violation.make ~oracle:"event-time" ~time:now
+         "item %d removed at t=%d but departs at t=%d (clairvoyant promise)" r.id now
+         r.departure);
+  let contents = Bin_store.contents store bin in
+  if closed <> (contents = []) then
+    emit
+      (Violation.make ~oracle:"bin-close" ~time:now
+         "bin %d closed=%b but holds %d items" bin closed (List.length contents));
+  if closed then begin
+    if Bin_store.is_open store bin then
+      emit
+        (Violation.make ~oracle:"bin-close" ~time:now
+           "bin %d reported closed but still listed open" bin);
+    match Bin_store.closed_at store bin with
+    | Some t when t = now -> ()
+    | Some t ->
+        emit
+          (Violation.make ~oracle:"bin-close" ~time:now
+             "bin %d closing tick recorded as %d, expected %d" bin t now)
+    | None ->
+        emit
+          (Violation.make ~oracle:"bin-close" ~time:now
+             "bin %d reported closed but has no closing tick" bin)
+  end;
+  check_bin_load emit store ~now bin
+
+(* ---- post-run audit ---- *)
+
+let usage_integral store =
+  let tl = Timeline.create () in
+  let bounds = ref [] in
+  List.iter
+    (fun id ->
+      match Bin_store.closed_at store id with
+      | None -> ()
+      | Some c ->
+          let o = Bin_store.opened_at store id in
+          if c > o then begin
+            Timeline.add tl ~lo:o ~hi:c ~units:1;
+            bounds := o :: c :: !bounds
+          end)
+    (Bin_store.all_bins store);
+  let cuts = List.sort_uniq Int.compare !bounds in
+  let rec integrate acc = function
+    | a :: (b :: _ as rest) -> integrate (acc + (Timeline.value_at tl a * (b - a))) rest
+    | _ -> acc
+  in
+  integrate 0 cuts
+
+(* The gapless interval cover of one bin's items: items sorted by
+   arrival must chain without a hole (a hole means the bin emptied and
+   the store should have closed it). Returns the cover end. *)
+let cover_end emit ~bin (items : Item.t list) =
+  let sorted =
+    List.sort (fun (a : Item.t) (b : Item.t) -> compare (a.arrival, a.id) (b.arrival, b.id)) items
+  in
+  match sorted with
+  | [] -> None
+  | first :: rest ->
+      let stop =
+        List.fold_left
+          (fun stop (r : Item.t) ->
+            if r.arrival > stop then begin
+              emit
+                (Violation.make ~oracle:"bin-reuse" ~time:r.arrival
+                   "bin %d was empty on [%d, %d) yet item %d was added later — emptied \
+                    bins must close and never be reused"
+                   bin stop r.arrival r.id);
+              r.departure
+            end
+            else max stop r.departure)
+          first.departure rest
+      in
+      Some stop
+
+let audit emit (result : Engine.result) inst =
+  let store = result.store in
+  (* Placement log vs instance: every item packed exactly once. *)
+  let placed = Hashtbl.create 64 in
+  let by_bin = Hashtbl.create 64 in
+  List.iter
+    (fun (item_id, bin) ->
+      if Hashtbl.mem placed item_id then
+        emit
+          (Violation.make ~oracle:"placement" ~time:(-1)
+             "item %d placed more than once" item_id)
+      else begin
+        Hashtbl.replace placed item_id bin;
+        match Instance.find inst item_id with
+        | r -> Hashtbl.replace by_bin bin (r :: Option.value (Hashtbl.find_opt by_bin bin) ~default:[])
+        | exception Not_found ->
+            emit
+              (Violation.make ~oracle:"placement" ~time:(-1)
+                 "placement log contains item %d which is not in the instance" item_id)
+      end)
+    (Bin_store.assignment store);
+  Array.iter
+    (fun (r : Item.t) ->
+      if not (Hashtbl.mem placed r.id) then
+        emit
+          (Violation.make ~oracle:"placement" ~time:(-1) "item %d was never placed" r.id))
+    (Instance.items inst);
+  (* Every bin must be closed once every item departed, must have opened
+     with its first item and closed at the end of its gapless cover. *)
+  if Bin_store.open_count store <> 0 then
+    emit
+      (Violation.make ~oracle:"bin-close" ~time:(-1)
+         "%d bins still open after the last departure" (Bin_store.open_count store));
+  let all = Bin_store.all_bins store in
+  if result.bins_opened <> List.length all then
+    emit
+      (Violation.make ~oracle:"placement" ~time:(-1)
+         "bins_opened=%d but the store logged %d bins" result.bins_opened
+         (List.length all));
+  List.iter
+    (fun bin ->
+      let items = Option.value (Hashtbl.find_opt by_bin bin) ~default:[] in
+      match items with
+      | [] ->
+          emit
+            (Violation.make ~oracle:"placement" ~time:(-1)
+               "bin %d was opened but never held an item" bin)
+      | items -> (
+          let first_arrival =
+            List.fold_left (fun acc (r : Item.t) -> min acc r.arrival) max_int items
+          in
+          if Bin_store.opened_at store bin <> first_arrival then
+            emit
+              (Violation.make ~oracle:"bin-open" ~time:(-1)
+                 "bin %d opened at %d but its first item arrives at %d" bin
+                 (Bin_store.opened_at store bin) first_arrival);
+          match (cover_end emit ~bin items, Bin_store.closed_at store bin) with
+          | Some stop, Some closed when stop <> closed ->
+              emit
+                (Violation.make ~oracle:"bin-close" ~time:(-1)
+                   "bin %d closed at %d but its items cover up to %d" bin closed stop)
+          | _, None -> () (* already reported via open_count *)
+          | _ -> ()))
+    all;
+  (* Cost: the store's accumulator, the result, and an independent
+     Timeline integration must all agree. *)
+  let integral = usage_integral store in
+  if result.cost <> integral then
+    emit
+      (Violation.make ~oracle:"cost-integral" ~time:(-1)
+         "reported cost %d <> usage integral %d recomputed via Timeline" result.cost
+         integral);
+  (* Series and high-water mark vs the same step function. *)
+  let tl = Timeline.create () in
+  List.iter
+    (fun bin ->
+      match Bin_store.closed_at store bin with
+      | Some c when c > Bin_store.opened_at store bin ->
+          Timeline.add tl ~lo:(Bin_store.opened_at store bin) ~hi:c ~units:1
+      | _ -> ())
+    all;
+  let peak = ref 0 in
+  Array.iter
+    (fun (t, c) ->
+      peak := max !peak c;
+      let v = Timeline.value_at tl t in
+      if v <> c then
+        emit
+          (Violation.make ~oracle:"series" ~time:t
+             "series reports %d open bins but the open/close log yields %d" c v))
+    result.series;
+  if result.max_open <> !peak then
+    emit
+      (Violation.make ~oracle:"series" ~time:(-1)
+         "max_open=%d but the series peaks at %d" result.max_open !peak);
+  (* Lemma 3.1 floor: no valid packing beats int ceil(S_t) dt. *)
+  if not (Instance.is_empty inst) then begin
+    let b = Dbp_offline.Bounds.compute inst in
+    if result.cost < b.lower then
+      emit
+        (Violation.make ~oracle:"cost-lower-bound" ~time:(-1)
+           "cost %d beats the Lemma 3.1 lower bound %d — the packing cannot be valid"
+           result.cost b.lower)
+  end
+
+let run ?(oracles = []) ?tamper factory inst =
+  let vs = ref [] in
+  let emit v = vs := v :: !vs in
+  let wrapped store =
+    let inner = factory store in
+    {
+      Policy.name = inner.Policy.name;
+      on_arrival =
+        (fun ~now r ->
+          let bin = inner.on_arrival ~now r in
+          check_arrival emit store ~now r bin;
+          List.iter
+            (fun o ->
+              match o.on_arrival ~store ~now r bin with
+              | None -> ()
+              | Some detail -> emit { Violation.oracle = o.oracle_name; time = now; detail })
+            oracles;
+          bin);
+      on_departure =
+        (fun ~now r ~bin ~closed ->
+          inner.on_departure ~now r ~bin ~closed;
+          check_departure emit store ~now r ~bin ~closed;
+          List.iter
+            (fun o ->
+              match o.on_departure ~store ~now r ~bin ~closed with
+              | None -> ()
+              | Some detail -> emit { Violation.oracle = o.oracle_name; time = now; detail })
+            oracles);
+    }
+  in
+  let result = Engine.run wrapped inst in
+  let result = match tamper with None -> result | Some f -> f result in
+  audit emit result inst;
+  (result, List.rev !vs)

@@ -1,0 +1,85 @@
+(** The shadow validator: run any {!Dbp_sim.Policy.factory} under a
+    wrapper that re-checks the paper's structural packing invariants at
+    every event, then audits the finished run against an independently
+    recomputed cost integral.
+
+    Per-event (after every arrival and departure):
+    - the chosen bin is open and actually contains the arriving item;
+    - the bin's load, re-summed from its contents in exact
+      {!Dbp_util.Load} arithmetic, matches the store's accumulator and
+      never exceeds capacity;
+    - arrivals happen at the item's arrival tick, departures at its
+      promised (clairvoyant) departure tick — the engine honours the
+      paper's [t^-] convention;
+    - a bin reported closed is empty, unlisted, and stamped with the
+      closing tick.
+
+    Post-run:
+    - no bin is left open once every item departed;
+    - every instance item was placed exactly once;
+    - each bin opened at its first item's arrival, closed at the end of
+      its items' gapless interval cover (a gap would mean the store
+      missed an emptying — Section 2's "an emptied bin closes and is
+      never reused");
+    - the reported cost equals the usage integral recomputed from the
+      per-bin open/close log through an independent
+      {!Dbp_util.Timeline}, and the open-bin series and [max_open]
+      high-water match the same step function;
+    - cost is at least the Lemma 3.1 lower bound [int ceil(S_t) dt]
+      (no valid packing, repacking or not, can beat it).
+
+    Event oracles (algorithm-specific lemma checks, see {!Oracles}) ride
+    on the same wrapper. *)
+
+open Dbp_instance
+open Dbp_sim
+
+type event_oracle = {
+  oracle_name : string;
+  on_arrival :
+    store:Bin_store.t -> now:int -> Item.t -> Bin_store.bin_id -> string option;
+      (** Return [Some detail] to report a violation. Called after the
+          policy placed the item. *)
+  on_departure :
+    store:Bin_store.t ->
+    now:int ->
+    Item.t ->
+    bin:Bin_store.bin_id ->
+    closed:bool ->
+    string option;
+      (** Called after the store removed the item. *)
+}
+
+val stateless_oracle :
+  name:string ->
+  ?on_arrival:
+    (store:Bin_store.t -> now:int -> Item.t -> Bin_store.bin_id -> string option) ->
+  ?on_departure:
+    (store:Bin_store.t ->
+    now:int ->
+    Item.t ->
+    bin:Bin_store.bin_id ->
+    closed:bool ->
+    string option) ->
+  unit ->
+  event_oracle
+(** Build an oracle from optional callbacks (missing ones never fire). *)
+
+val usage_integral : Bin_store.t -> int
+(** The MinUsageTime objective recomputed from scratch: one [+1] step
+    per bin over its [[opened_at, closed_at)) interval on a fresh
+    {!Dbp_util.Timeline}, integrated over the boundary partition. Only
+    closed bins contribute (mirrors {!Bin_store.closed_usage}). *)
+
+val run :
+  ?oracles:event_oracle list ->
+  ?tamper:(Engine.result -> Engine.result) ->
+  Policy.factory ->
+  Instance.t ->
+  Engine.result * Violation.t list
+(** Execute the instance under the wrapped policy and return the run
+    result plus every violation found, in detection order (per-event
+    first, post-run audits last). [tamper] is a test-only fault-
+    injection hook applied to the engine result before the post-run
+    audit — the fuzz gate uses it to prove the validator actually
+    fires; production callers leave it unset. *)

@@ -1,0 +1,10 @@
+type t = { oracle : string; time : int; detail : string }
+
+let make ~oracle ~time fmt =
+  Printf.ksprintf (fun detail -> { oracle; time; detail }) fmt
+
+let to_string v =
+  if v.time < 0 then Printf.sprintf "[%s] %s" v.oracle v.detail
+  else Printf.sprintf "[%s@t=%d] %s" v.oracle v.time v.detail
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

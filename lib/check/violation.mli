@@ -1,0 +1,24 @@
+(** A machine-checked invariant failure.
+
+    Every oracle in {!Validator}, {!Naive} and {!Oracles} reports
+    findings as values of this type rather than raising, so a fuzz run
+    can keep going, collect everything, and hand each finding to the
+    {!Shrink} delta-debugger. The [oracle] name is the stable identity a
+    shrinker predicate matches on: a candidate instance reproduces a
+    finding iff re-checking yields a violation with the same oracle
+    name. *)
+
+type t = {
+  oracle : string;
+      (** Stable oracle identifier, e.g. ["bin-load"], ["cost-integral"],
+          ["ha-lemma33"], ["optr"]. *)
+  time : int;  (** Event tick the oracle fired at; [-1] for post-run checks. *)
+  detail : string;  (** Human-readable specifics (expected vs actual). *)
+}
+
+val make : oracle:string -> time:int -> ('a, unit, string, t) format4 -> 'a
+(** [make ~oracle ~time fmt ...] builds a violation with a formatted
+    detail string. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

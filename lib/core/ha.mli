@@ -19,6 +19,16 @@
 
 open Dbp_sim
 
+val default_threshold : int -> float
+(** The paper's GN admission cap [1 / (2 sqrt i)] for duration class
+    [i >= 1], as a fraction of a bin. *)
+
+val threshold_units : (int -> float) -> int -> int
+(** [threshold_units threshold i] is the cap in {!Dbp_util.Load} units —
+    the exact comparison HA performs. Raises [Invalid_argument] on a
+    non-positive threshold. Exposed so external validators
+    ({!Dbp_check.Oracles}) can re-check GN admissions independently. *)
+
 val policy :
   ?rule:Dbp_binpack.Heuristics.rule ->
   ?threshold:(int -> float) ->

@@ -27,17 +27,39 @@ let to_string inst =
     (Instance.items inst);
   Buffer.contents buf
 
-let parse_line ~lineno line =
+(* [seen] maps item id -> line it was first defined on, so duplicates are
+   rejected at parse time with both positions (Instance.of_items would
+   catch them too, but without line numbers). Size and duration are
+   validated here as well: Load.of_float clamps silently, and a clamped
+   size of 0 or a non-positive duration is always an input mistake, not
+   something to pack. *)
+let parse_line ~seen ~lineno line =
+  let error fmt = Printf.ksprintf (fun m -> failwith (Printf.sprintf "line %d: %s" lineno m)) fmt in
   match String.split_on_char ',' line with
   | [ id; arrival; departure; size ] -> (
-      try
-        Item.make ~id:(int_of_string (String.trim id))
-          ~arrival:(int_of_string (String.trim arrival))
-          ~departure:(int_of_string (String.trim departure))
-          ~size:(Load.of_float (float_of_string (String.trim size)))
-      with
-      | Failure _ -> failwith (Printf.sprintf "line %d: malformed number" lineno)
-      | Invalid_argument msg -> failwith (Printf.sprintf "line %d: %s" lineno msg))
+      let int_field what s =
+        match int_of_string (String.trim s) with
+        | n -> n
+        | exception Failure _ -> error "malformed %s %S" what (String.trim s)
+      in
+      let id = int_field "id" id in
+      (match Hashtbl.find_opt seen id with
+      | Some first -> error "duplicate item id %d (first defined at line %d)" id first
+      | None -> Hashtbl.replace seen id lineno);
+      let arrival = int_field "arrival" arrival in
+      let departure = int_field "departure" departure in
+      let size_f =
+        match float_of_string (String.trim size) with
+        | f -> f
+        | exception Failure _ -> error "malformed size %S" (String.trim size)
+      in
+      if departure <= arrival then
+        error "item %d has non-positive duration (arrival %d, departure %d)" id
+          arrival departure;
+      if size_f <= 0.0 then error "item %d has non-positive size %g" id size_f;
+      if size_f > 1.0 then error "item %d has size %g > 1 (a full bin)" id size_f;
+      try Item.make ~id ~arrival ~departure ~size:(Load.of_float size_f)
+      with Invalid_argument msg -> error "%s" msg)
   | _ -> failwith (Printf.sprintf "line %d: expected 4 comma-separated fields" lineno)
 
 (* A header is recognized after dropping spaces/tabs and lowercasing, so
@@ -51,30 +73,32 @@ let is_header line =
     line;
   Buffer.contents b = header
 
-let consume_line ~lineno items line =
+let consume_line ~seen ~lineno items line =
   let line = String.trim line in
   if line = "" || line.[0] = '#' || is_header line then items
-  else parse_line ~lineno line :: items
+  else parse_line ~seen ~lineno line :: items
 
 let finish items =
   try Instance.of_items items with Invalid_argument msg -> failwith msg
 
 let of_string s =
   let items = ref [] in
+  let seen = Hashtbl.create 64 in
   String.split_on_char '\n' s
-  |> List.iteri (fun i line -> items := consume_line ~lineno:(i + 1) !items line);
+  |> List.iteri (fun i line -> items := consume_line ~seen ~lineno:(i + 1) !items line);
   finish !items
 
 (* Line-by-line, so non-seekable inputs (/dev/stdin, pipes, process
    substitution) work: [in_channel_length] is meaningless there. *)
 let of_channel ic =
   let items = ref [] in
+  let seen = Hashtbl.create 64 in
   let lineno = ref 0 in
   (try
      while true do
        let line = input_line ic in
        incr lineno;
-       items := consume_line ~lineno:!lineno !items line
+       items := consume_line ~seen ~lineno:!lineno !items line
      done
    with End_of_file -> ());
   finish !items

@@ -13,7 +13,12 @@ val to_string : Instance.t -> string
 
 val of_string : string -> Instance.t
 (** Raises [Failure] with a line-numbered message on malformed input;
-    item validation errors ([Invalid_argument]) are converted too. *)
+    item validation errors ([Invalid_argument]) are converted too.
+    Rejected at parse time, each with the offending line number:
+    duplicate item ids (the message also names the line of the first
+    definition), non-positive durations ([departure <= arrival]),
+    non-positive sizes, and sizes above 1 — the latter two would
+    otherwise be clamped silently by {!Dbp_util.Load.of_float}. *)
 
 val of_channel : in_channel -> Instance.t
 (** Reads line-by-line to end of input, so non-seekable channels

@@ -55,7 +55,7 @@ let sweep inst ~add ~remove ~active ~solve =
       cost := !cost + (bins * (t1 - t0));
       incr segments;
       max_active := max !max_active (active ());
-      series := (t0, t1, bins) :: !series
+      series := (t0, t1, bins, exact) :: !series
     end
   in
   let rec walk prev = function
@@ -91,9 +91,12 @@ let exact ?solver inst =
   let solver = match solver with Some s -> s | None -> Solver.create () in
   fst (run_incremental solver inst)
 
-let series ?solver inst =
+let segments_exact ?solver inst =
   let solver = match solver with Some s -> s | None -> Solver.create () in
   snd (run_incremental solver inst)
+
+let series ?solver inst =
+  List.map (fun (t0, t1, bins, _) -> (t0, t1, bins)) (segments_exact ?solver inst)
 
 let ffd_proxy inst =
   let ms = Multiset.create () in
@@ -117,4 +120,4 @@ let reference ?node_limit inst =
         total_nodes := !total_nodes + r.nodes;
         (r.bins, r.exact))
   in
-  (res, series, !total_nodes)
+  (res, List.map (fun (t0, t1, bins, _) -> (t0, t1, bins)) series, !total_nodes)

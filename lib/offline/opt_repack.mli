@@ -44,6 +44,13 @@ val series :
 (** [(start, stop, bins)] per segment: OPT_R's momentary bin count, for
     figures and for the momentary-ratio experiments. *)
 
+val segments_exact :
+  ?solver:Solver.t -> Dbp_instance.Instance.t -> (int * int * int * bool) list
+(** Like {!series} with a per-segment exactness flag: [(start, stop,
+    bins, exact)]. Validators ({!Dbp_check.Oracles}) need the flag to
+    restrict cross-segment monotonicity checks to segments solved to
+    proof — a budget-limited segment's value is only an upper bound. *)
+
 val reference :
   ?node_limit:int ->
   Dbp_instance.Instance.t ->

@@ -135,6 +135,7 @@ let fold_live f acc t =
   loop acc t.live_head
 
 let open_bins t = List.rev (fold_live (fun acc id -> id :: acc) [] t)
+let all_bins t = List.init (Vec.length t.bins) Fun.id
 let open_count t = t.n_open
 let bins_opened t = Vec.length t.bins
 let max_open t = t.hw_open

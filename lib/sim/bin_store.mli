@@ -49,6 +49,11 @@ val contents : t -> bin_id -> Item.t list
 val open_bins : t -> bin_id list
 (** Open bins in opening order (the First-Fit scan order). *)
 
+val all_bins : t -> bin_id list
+(** Every bin ever opened (open or closed), in opening order — the
+    enumeration validators use to recompute the usage integral from the
+    per-bin [opened_at]/[closed_at] log. *)
+
 val open_count : t -> int
 val bins_opened : t -> int
 (** Total bins ever opened. *)

@@ -25,11 +25,17 @@ let escape_to buf s =
     s;
   Buffer.add_char buf '"'
 
-(* A float must stay a valid JSON number: NaN/inf become null, and a
-   value that prints without '.' or exponent (e.g. 3) is fine as-is —
-   JSON numbers need no fraction part. *)
+(* A float must stay a valid JSON number: NaN/inf become null. An
+   integral value prints via %.12g without '.' or exponent (e.g. 3) and
+   would be read back as an Int, so force a fraction part — the
+   Float/Int distinction must survive a print/parse roundtrip. *)
 let float_to buf f =
-  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  if Float.is_finite f then begin
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    if String.for_all (fun c -> c <> '.' && c <> 'e' && c <> 'E') s then
+      Buffer.add_string buf ".0"
+  end
   else Buffer.add_string buf "null"
 
 let rec write ~indent ~level buf v =

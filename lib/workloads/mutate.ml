@@ -1,0 +1,99 @@
+open Dbp_util
+open Dbp_instance
+
+(* Rebuild an item with clamped fields; the single funnel every
+   mutation goes through, so validity is enforced in one place. *)
+let remake ~id ~arrival ~departure ~size_units =
+  let arrival = max 0 arrival in
+  let departure = max (arrival + 1) departure in
+  let size_units = min Load.capacity (max 1 size_units) in
+  Item.make ~id ~arrival ~departure ~size:(Load.of_units size_units)
+
+let fresh_id items = 1 + List.fold_left (fun acc (r : Item.t) -> max acc r.id) (-1) items
+
+(* One random edit on the item list. Each branch is total: if the edit
+   cannot apply (e.g. dropping from a singleton would empty the
+   instance), it returns the list unchanged. *)
+let edit rng items =
+  let n = List.length items in
+  if n = 0 then items
+  else
+    let pick () = Prng.int_below rng n in
+    let nth k = List.nth items k in
+    let replace k r' = List.mapi (fun i r -> if i = k then r' else r) items in
+    match Prng.int_below rng 7 with
+    | 0 when n > 1 ->
+        (* drop one item *)
+        let k = pick () in
+        List.filteri (fun i _ -> i <> k) items
+    | 1 ->
+        (* duplicate with a fresh id, shifted by up to one duration *)
+        let (r : Item.t) = nth (pick ()) in
+        let shift = Prng.int_in_range rng ~lo:0 ~hi:(Item.duration r) in
+        remake ~id:(fresh_id items) ~arrival:(r.arrival + shift)
+          ~departure:(r.departure + shift) ~size_units:(Load.to_units r.size)
+        :: items
+    | 2 ->
+        (* resize: halve, double, or nudge by one unit *)
+        let k = pick () in
+        let (r : Item.t) = nth k in
+        let u = Load.to_units r.size in
+        let u' =
+          match Prng.int_below rng 4 with
+          | 0 -> u / 2
+          | 1 -> u * 2
+          | 2 -> u + 1
+          | _ -> u - 1
+        in
+        replace k (remake ~id:r.id ~arrival:r.arrival ~departure:r.departure ~size_units:u')
+    | 3 ->
+        (* stretch or shorten the duration around a class boundary *)
+        let k = pick () in
+        let (r : Item.t) = nth k in
+        let d = Item.duration r in
+        let d' =
+          match Prng.int_below rng 4 with
+          | 0 -> d * 2
+          | 1 -> d / 2
+          | 2 -> d + 1
+          | _ -> d - 1
+        in
+        replace k
+          (remake ~id:r.id ~arrival:r.arrival ~departure:(r.arrival + max 1 d')
+             ~size_units:(Load.to_units r.size))
+    | 4 ->
+        (* translate in time (possibly past other items) *)
+        let k = pick () in
+        let (r : Item.t) = nth k in
+        let shift = Prng.int_in_range rng ~lo:(-r.arrival) ~hi:(Item.duration r) in
+        replace k
+          (remake ~id:r.id ~arrival:(r.arrival + shift) ~departure:(r.departure + shift)
+             ~size_units:(Load.to_units r.size))
+    | 5 ->
+        (* snap to aligned (Definition 2.1): arrival down to a multiple
+           of 2^class — turns near-aligned noise into legal CDFF input *)
+        let k = pick () in
+        let (r : Item.t) = nth k in
+        let block = Ints.pow2 (Item.length_class r) in
+        let a' = r.arrival / block * block in
+        replace k
+          (remake ~id:r.id ~arrival:a' ~departure:(a' + Item.duration r)
+             ~size_units:(Load.to_units r.size))
+    | _ ->
+        (* split: replace one item by two half-duration halves *)
+        let k = pick () in
+        let (r : Item.t) = nth k in
+        let d = Item.duration r in
+        if d < 2 then items
+        else
+          let mid = r.arrival + (d / 2) in
+          let u = Load.to_units r.size in
+          remake ~id:(fresh_id items) ~arrival:mid ~departure:r.departure ~size_units:u
+          :: replace k (remake ~id:r.id ~arrival:r.arrival ~departure:mid ~size_units:u)
+
+let mutate rng ?(ops = 8) inst =
+  let items = ref (Array.to_list (Instance.items inst)) in
+  for _ = 1 to ops do
+    items := edit rng !items
+  done;
+  Instance.of_items !items

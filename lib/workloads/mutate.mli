@@ -1,0 +1,21 @@
+(** Mutation-based instance generation for the differential fuzzer.
+
+    Starting from a seed instance produced by any structured generator,
+    apply a burst of small random edits — drop, duplicate-and-shift,
+    resize, stretch/shorten, translate, snap-to-aligned — so the fuzz
+    corpus covers the *neighbourhood* of the structured inputs: almost-
+    aligned instances, almost-binary instances, instances whose duration
+    classes straddle a boundary. Structured generators alone never
+    produce these, yet they are exactly where off-by-one bugs in class
+    and row arithmetic hide.
+
+    All mutations preserve instance validity: ids stay distinct,
+    durations stay >= 1, arrivals stay >= 0, sizes stay in
+    (0, {!Dbp_util.Load.one}]. Deterministic in the PRNG state. *)
+
+open Dbp_instance
+
+val mutate : Dbp_util.Prng.t -> ?ops:int -> Instance.t -> Instance.t
+(** Apply [ops] random edits (default 8). The empty instance is
+    returned unchanged except that duplicate-style mutations cannot
+    apply; mutating never yields an invalid instance. *)

@@ -93,4 +93,47 @@ for pair in "m1 m2" "smoke1 smoke2"; do
   fi
 done
 echo "obs: trace + metrics JSON valid, metrics jobs-invariant"
+
+# Fuzz gate: 500 fuzzed instances through every policy under the
+# invariant validator, the naive reference engine and the OPT_R
+# cross-check, at --jobs 2. Zero violations required, and the report
+# must be byte-identical to the inline run (the fuzz path is the
+# broadest consumer of the determinism contract).
+echo "fuzz: 500 cases across all policies with --jobs 2"
+dune exec bin/main.exe -- fuzz --n 500 --seed 1 --jobs 2 > "$tmpdir/fuzz2.txt" || {
+  echo "FAIL: fuzz found violations:" >&2
+  cat "$tmpdir/fuzz2.txt" >&2
+  exit 1
+}
+dune exec bin/main.exe -- fuzz --n 500 --seed 1 --jobs 1 > "$tmpdir/fuzz1.txt"
+if ! cmp -s "$tmpdir/fuzz1.txt" "$tmpdir/fuzz2.txt"; then
+  echo "FAIL: fuzz report differs between --jobs 1 and --jobs 2" >&2
+  diff "$tmpdir/fuzz1.txt" "$tmpdir/fuzz2.txt" >&2 || true
+  exit 1
+fi
+echo "fuzz: 0 violations, report jobs-invariant"
+
+# Injected-fault gate: with DBP_CHECK_INJECT=cost the validator must
+# catch the planted off-by-one, exit non-zero, and the shrinker must
+# write minimal repro instances that parse back.
+echo "fuzz: injected fault must be caught and shrunk"
+if DBP_CHECK_INJECT=cost dune exec bin/main.exe -- fuzz --n 9 --seed 1 --jobs 2 \
+  --out "$tmpdir/repro" > "$tmpdir/fuzzinj.txt"; then
+  echo "FAIL: injected fault went undetected (exit 0)" >&2
+  exit 1
+fi
+grep -q "cost-integral" "$tmpdir/fuzzinj.txt" || {
+  echo "FAIL: injected fault not attributed to the cost-integral oracle" >&2
+  exit 1
+}
+grep -q "io round-trip replays" "$tmpdir/fuzzinj.txt" || {
+  echo "FAIL: no shrunk repro replayed the violation" >&2
+  exit 1
+}
+repros=$(ls "$tmpdir/repro"/repro_case*.csv 2> /dev/null | wc -l)
+if [ "$repros" -lt 1 ]; then
+  echo "FAIL: shrinker wrote no repro files" >&2
+  exit 1
+fi
+echo "fuzz: injected fault caught, $repros shrunk repro(s) written"
 echo "check OK"

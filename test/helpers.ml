@@ -25,6 +25,11 @@ let check_raises_invalid name f =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.failf "%s: expected Invalid_argument" name
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+  scan 0
+
 (* Longest run of zeros in the [bits]-bit binary representation of [t]
    (Definition 5.7 applied to binary(t), which the paper takes to be
    [log mu] bits wide — leading zeros count). Independent reference

@@ -1,0 +1,309 @@
+(* The validation layer validating itself: the validator passes on every
+   real policy, catches seeded faults, the naive engine agrees with the
+   real one, oracles re-derive the lemmas, the shrinker minimizes, and
+   the fuzzer is deterministic across worker counts. *)
+
+open Dbp_util
+open Dbp_instance
+open Dbp_check
+open Helpers
+
+let all_policies ~mu_hint =
+  [
+    ("HA", Dbp_core.Ha.policy ());
+    ("CDFF", Dbp_core.Cdff.policy ());
+    ("FF", Dbp_baselines.Any_fit.first_fit);
+    ("BF", Dbp_baselines.Any_fit.best_fit);
+    ("WF", Dbp_baselines.Any_fit.worst_fit);
+    ("NF", Dbp_baselines.Any_fit.next_fit);
+    ("CD", Dbp_baselines.Classify_duration.policy ());
+    ("RT", Dbp_baselines.Rt_classify.auto ~mu_hint);
+    ("SpanGreedy", Dbp_baselines.Span_greedy.policy);
+  ]
+
+let check_clean name (vs : Violation.t list) =
+  match vs with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%s: unexpected violation %s (%d total)" name
+        (Violation.to_string v) (List.length vs)
+
+(* --- validator on real policies --- *)
+
+let test_validator_clean_on_all_policies () =
+  let inst = binary_input 16 in
+  List.iter
+    (fun (name, factory) ->
+      let _, vs = Validator.run factory inst in
+      check_clean name vs)
+    (all_policies ~mu_hint:16.0)
+
+let test_usage_integral_matches_engine () =
+  let inst = instance [ (0, 4, 0.5); (2, 6, 0.7); (3, 9, 0.25) ] in
+  let res = Dbp_sim.Engine.run Dbp_baselines.Any_fit.first_fit inst in
+  check_int "integral = engine cost" res.cost (Validator.usage_integral res.store)
+
+let test_validator_catches_tampered_cost () =
+  let inst = instance [ (0, 4, 0.5); (2, 6, 0.7) ] in
+  let _, vs =
+    Validator.run
+      ~tamper:(fun r -> { r with cost = r.cost + 1 })
+      Dbp_baselines.Any_fit.first_fit inst
+  in
+  check_bool "cost-integral fires" true
+    (List.exists (fun (v : Violation.t) -> v.oracle = "cost-integral") vs)
+
+let test_validator_catches_bad_policy () =
+  (* A policy that violates the paper's bin-closing discipline: it
+     reuses a bin it knows has emptied (places into a fresh bin only
+     when the store refuses). The store raises on insertion into a
+     closed bin, so build the misbehaviour the validator can see:
+     report max_open too low via tamper on another field. *)
+  let inst = instance [ (0, 4, 0.5); (1, 5, 0.5) ] in
+  let _, vs =
+    Validator.run
+      ~tamper:(fun r -> { r with max_open = r.max_open + 1 })
+      Dbp_baselines.Any_fit.first_fit inst
+  in
+  check_bool "series oracle fires" true
+    (List.exists (fun (v : Violation.t) -> v.oracle = "series") vs)
+
+(* --- naive reference engine --- *)
+
+let prop_naive_agrees =
+  qcase ~count:40 ~name:"naive engine agrees with Engine on random instances"
+    (fun seed ->
+      let inst =
+        random_instance (Prng.create ~seed) ~n:40 ~max_time:60 ~max_duration:30
+      in
+      List.for_all
+        (fun (_, factory) ->
+          let res = Dbp_sim.Engine.run factory inst in
+          Naive.diff res (Naive.run factory inst) = [])
+        (all_policies ~mu_hint:30.0))
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+(* --- qcheck differential: cost = usage integral, every policy, the
+   three input regimes the paper distinguishes --- *)
+
+let integral_inputs seed =
+  let rng = Prng.create ~seed in
+  let general =
+    random_instance rng ~n:30 ~max_time:40 ~max_duration:20
+  in
+  let aligned =
+    Dbp_workloads.Aligned_random.generate
+      ~config:
+        {
+          Dbp_workloads.Aligned_random.default with
+          top_class = 4;
+          horizon = 32;
+        }
+      ~seed ()
+  in
+  let adversarial =
+    (Dbp_workloads.Adversary.run ~mu:16 Dbp_baselines.Any_fit.first_fit).instance
+  in
+  [ ("general", general); ("aligned", aligned); ("adversarial", adversarial) ]
+
+let prop_cost_is_timeline_integral =
+  qcase ~count:25
+    ~name:"every policy's cost equals the Timeline usage integral"
+    (fun seed ->
+      List.for_all
+        (fun (_, inst) ->
+          List.for_all
+            (fun (_, factory) ->
+              let res = Dbp_sim.Engine.run factory inst in
+              res.cost = Validator.usage_integral res.store)
+            (all_policies ~mu_hint:16.0))
+        (integral_inputs seed))
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+(* --- lemma oracles --- *)
+
+let test_ha_oracle_clean () =
+  let inst = binary_input 32 in
+  let _, vs =
+    Validator.run ~oracles:[ Oracles.ha ~mu:(Instance.mu inst) ]
+      (Dbp_core.Ha.policy ()) inst
+  in
+  check_clean "HA under its oracle" vs
+
+let test_ha_oracle_rejects_other_policy () =
+  (* First-Fit mixes types into shared unlabelled bins, which is exactly
+     what the HA oracle must flag. *)
+  let inst = binary_input 8 in
+  let _, vs =
+    Validator.run ~oracles:[ Oracles.ha ~mu:8.0 ]
+      Dbp_baselines.Any_fit.first_fit inst
+  in
+  check_bool "flags non-HA labels" true
+    (List.exists (fun (v : Violation.t) -> v.oracle = "ha-lemma33") vs)
+
+let test_cdff_oracle_clean () =
+  List.iter
+    (fun mu ->
+      let inst = binary_input mu in
+      let _, vs =
+        Validator.run ~oracles:[ Oracles.cdff () ] (Dbp_core.Cdff.policy ()) inst
+      in
+      check_clean (Printf.sprintf "CDFF rows on sigma_%d" mu) vs)
+    [ 2; 8; 32 ]
+
+let prop_cdff_oracle_on_aligned =
+  qcase ~count:30 ~name:"CDFF row oracle clean on random aligned inputs"
+    (fun seed ->
+      let inst =
+        Dbp_workloads.Aligned_random.generate
+          ~config:
+            {
+              Dbp_workloads.Aligned_random.default with
+              top_class = 5;
+              horizon = 64;
+            }
+          ~seed ()
+      in
+      let _, vs =
+        Validator.run ~oracles:[ Oracles.cdff () ] (Dbp_core.Cdff.policy ()) inst
+      in
+      vs = [])
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let test_corollary58_oracle () =
+  List.iter
+    (fun mu ->
+      let inst = Dbp_workloads.Binary_input.generate ~mu in
+      let res = Dbp_sim.Engine.run (Dbp_core.Cdff.policy ()) inst in
+      check_clean
+        (Printf.sprintf "corollary 5.8 at mu=%d" mu)
+        (Oracles.corollary58 ~mu res);
+      (* and it is not vacuous: FF packs sigma_mu differently *)
+      if mu >= 8 then begin
+        let ff = Dbp_sim.Engine.run Dbp_baselines.Any_fit.first_fit inst in
+        check_bool "FF violates the CDFF identity" true
+          (Oracles.corollary58 ~mu ff <> [])
+      end)
+    [ 2; 8; 16 ]
+
+let test_optr_oracle_clean () =
+  List.iter
+    (fun inst -> check_clean "opt_r" (Oracles.opt_r inst))
+    [
+      instance [ (0, 4, 0.5); (2, 6, 0.7); (3, 9, 0.25) ];
+      binary_input 16;
+      (Dbp_workloads.Pinning.generate ~groups:3 ~k:3 ~mu:4 ()
+      : Instance.t);
+    ]
+
+let prop_optr_oracle_random =
+  qcase ~count:20 ~name:"opt_r oracle clean on random instances"
+    (fun seed ->
+      let inst =
+        random_instance (Prng.create ~seed) ~n:20 ~max_time:30 ~max_duration:15
+      in
+      Oracles.opt_r inst = [])
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+(* --- shrinker --- *)
+
+let test_shrink_to_single_item () =
+  (* Predicate: instance contains an item of size > 1/2. Minimal witness
+     is that one item, shrunk to duration 1 at t=0. *)
+  let inst =
+    instance [ (0, 9, 0.25); (1, 4, 0.75); (3, 12, 0.1); (5, 6, 0.3) ]
+  in
+  let keep i =
+    Array.exists
+      (fun (r : Item.t) -> Load.to_float r.size > 0.5)
+      (Instance.items i)
+  in
+  let small = Shrink.minimize ~keep inst in
+  check_int "one item" 1 (Instance.length small);
+  let r = (Instance.items small).(0) in
+  check_bool "kept the heavy item" true (Load.to_float r.size > 0.5);
+  check_int "arrival pulled to 0" 0 r.arrival;
+  check_int "duration shrunk to 1" 1 (Item.duration r)
+
+let test_shrink_requires_holding_predicate () =
+  check_raises_invalid "predicate must hold initially" (fun () ->
+      ignore (Shrink.minimize ~keep:(fun _ -> false) (binary_input 4)))
+
+let test_shrink_deterministic () =
+  let inst = binary_input 16 in
+  let keep i = Instance.length i >= 3 in
+  let a = Shrink.minimize ~keep inst and b = Shrink.minimize ~keep inst in
+  Alcotest.(check string)
+    "same minimum" (Io.to_string a) (Io.to_string b);
+  check_int "minimal size" 3 (Instance.length a)
+
+(* --- mutation generator --- *)
+
+let prop_mutate_valid =
+  qcase ~count:60 ~name:"mutated instances stay valid"
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let base = binary_input 8 in
+      let m = Dbp_workloads.Mutate.mutate rng ~ops:16 base in
+      let ids = Hashtbl.create 32 in
+      Array.for_all
+        (fun (r : Item.t) ->
+          let fresh = not (Hashtbl.mem ids r.id) in
+          Hashtbl.replace ids r.id ();
+          fresh && r.arrival >= 0
+          && r.departure > r.arrival
+          && Load.to_units r.size >= 1
+          && Load.(r.size <= Load.one))
+        (Instance.items m))
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+(* --- fuzzer --- *)
+
+let test_fuzz_clean_and_jobs_invariant () =
+  let r1 = Fuzz.run ~jobs:1 ~n:45 ~seed:7 () in
+  check_int "no findings" 0 (List.length r1.findings);
+  check_int "all policies ran" (45 * 9) r1.policy_runs;
+  let r2 = Fuzz.run ~jobs:2 ~n:45 ~seed:7 () in
+  let r4 = Fuzz.run ~jobs:4 ~n:45 ~seed:7 () in
+  Alcotest.(check string) "jobs 1 = jobs 2" (Fuzz.summary r1) (Fuzz.summary r2);
+  Alcotest.(check string) "jobs 2 = jobs 4" (Fuzz.summary r2) (Fuzz.summary r4)
+
+let test_fuzz_injected_fault_shrinks () =
+  (* The acceptance gate: an injected off-by-one in one policy's
+     reported cost must be caught by the validator, shrunk to a tiny
+     repro, and the repro must replay to the same violation after an Io
+     round-trip. *)
+  let r = Fuzz.run ~jobs:2 ~inject:Fuzz.Cost_off_by_one ~n:9 ~seed:3 () in
+  check_bool "findings exist" true (r.findings <> []);
+  List.iter
+    (fun (f : Fuzz.finding) ->
+      check_bool "minimal repro (<= 6 items)" true (Instance.length f.repro <= 6);
+      check_bool "repro replays after round-trip" true f.replayed;
+      check_bool "cost-integral is among the oracles" true
+        (List.exists
+           (fun (v : Violation.t) -> v.oracle = "cost-integral")
+           f.violations))
+    r.findings
+
+let suite =
+  [
+    case "validator clean on all policies" test_validator_clean_on_all_policies;
+    case "usage integral" test_usage_integral_matches_engine;
+    case "validator catches tampered cost" test_validator_catches_tampered_cost;
+    case "validator checks the series" test_validator_catches_bad_policy;
+    prop_naive_agrees;
+    prop_cost_is_timeline_integral;
+    case "ha oracle clean" test_ha_oracle_clean;
+    case "ha oracle rejects FF" test_ha_oracle_rejects_other_policy;
+    case "cdff oracle clean" test_cdff_oracle_clean;
+    prop_cdff_oracle_on_aligned;
+    case "corollary 5.8 oracle" test_corollary58_oracle;
+    case "opt_r oracle clean" test_optr_oracle_clean;
+    prop_optr_oracle_random;
+    case "shrink to single item" test_shrink_to_single_item;
+    case "shrink rejects false predicate" test_shrink_requires_holding_predicate;
+    case "shrink deterministic" test_shrink_deterministic;
+    prop_mutate_valid;
+    slow_case "fuzz clean and jobs-invariant" test_fuzz_clean_and_jobs_invariant;
+    case "fuzz injected fault shrinks" test_fuzz_injected_fault_shrinks;
+  ]

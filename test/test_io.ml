@@ -31,6 +31,50 @@ let test_errors () =
   expect_failure "inverted interval" "1,5,3,0.5\n";
   expect_failure "duplicate ids" "1,0,2,0.5\n1,3,4,0.5\n"
 
+(* Rejections must carry the offending line number (and for duplicates,
+   the line of the first definition) so a bad trace in a thousand-line
+   file is findable. *)
+let test_positioned_errors () =
+  let expect_message name s fragment =
+    match Io.of_string s with
+    | exception Failure msg ->
+        if not (Helpers.contains ~sub:fragment msg) then
+          Alcotest.failf "%s: error %S does not mention %S" name msg fragment
+    | _ -> Alcotest.failf "%s: expected Failure" name
+  in
+  let header = "id,arrival,departure,size\n" in
+  expect_message "duplicate id cites both lines"
+    (header ^ "7,0,2,0.5\n\n7,3,4,0.25\n")
+    "line 4: duplicate item id 7 (first defined at line 2)";
+  expect_message "zero duration"
+    (header ^ "1,0,2,0.5\n2,5,5,0.5\n")
+    "line 3: item 2 has non-positive duration (arrival 5, departure 5)";
+  expect_message "negative duration"
+    (header ^ "1,9,3,0.5\n")
+    "line 2: item 1 has non-positive duration (arrival 9, departure 3)";
+  expect_message "zero size" (header ^ "1,0,2,0.0\n")
+    "line 2: item 1 has non-positive size 0";
+  expect_message "negative size" (header ^ "1,0,2,-0.25\n")
+    "line 2: item 1 has non-positive size -0.25";
+  expect_message "oversized item" (header ^ "1,0,2,1.5\n")
+    "line 2: item 1 has size 1.5 > 1";
+  expect_message "malformed arrival names the field" (header ^ "1,x,3,0.5\n")
+    "line 2: malformed arrival \"x\"";
+  (* of_channel must report the same positions as of_string *)
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  output_string oc (header ^ "7,0,2,0.5\n7,3,4,0.25\n");
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match Io.of_channel ic with
+      | exception Failure msg ->
+          if not (Helpers.contains ~sub:"line 3: duplicate item id 7" msg) then
+            Alcotest.failf "of_channel: error %S lacks position" msg
+      | _ -> Alcotest.fail "of_channel: expected Failure")
+
 let test_file_roundtrip () =
   let path = Filename.temp_file "dbp_io" ".csv" in
   Fun.protect
@@ -80,6 +124,7 @@ let suite =
     case "roundtrip" test_roundtrip_string;
     case "comments and blanks" test_parses_comments_and_blanks;
     case "errors" test_errors;
+    case "positioned errors" test_positioned_errors;
     case "file roundtrip" test_file_roundtrip;
     case "header variants" test_header_variants;
     case "streaming from a pipe" test_of_channel_pipe;

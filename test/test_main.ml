@@ -37,5 +37,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("reference", Test_reference.suite);
       ("io", Test_io.suite);
+      ("check", Test_check.suite);
       ("lemmas", Test_lemmas.suite);
     ]

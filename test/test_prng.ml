@@ -7,6 +7,66 @@ let test_determinism () =
     Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
   done
 
+(* Pinned reference vectors: the first 10 xoshiro256** outputs per seed,
+   computed by an independent Python implementation of the published
+   algorithms (splitmix64 expanding the seed into the four state words,
+   then xoshiro256** next()). Any change to the seeding path, the mixing
+   constants, or the rotation amounts — including a silent sign/overflow
+   slip in the Int64 arithmetic — shifts every stream and fails here.
+   The seeds cover 0, small values, a 62-bit value and -1 (all-ones
+   state injection). *)
+let reference_vectors =
+  [
+    ( 0,
+      [| "99ec5f36cb75f2b4"; "bf6e1f784956452a"; "1a5f849d4933e6e0";
+         "6aa594f1262d2d2c"; "bba5ad4a1f842e59"; "ffef8375d9ebcaca";
+         "6c160deed2f54c98"; "8920ad648fc30a3f"; "db032c0ba7539731";
+         "eb3a475a3e749a3d" |] );
+    ( 1,
+      [| "b3f2af6d0fc710c5"; "853b559647364cea"; "92f89756082a4514";
+         "642e1c7bc266a3a7"; "b27a48e29a233673"; "24c123126ffda722";
+         "123004ef8df510e6"; "61954dcc47b1e89d"; "ddfdb48ab9ed4a21";
+         "8d3cdb8c3aa5b1d0" |] );
+    ( 2,
+      [| "1a28690da8a8d057"; "b9bb8042daedd58a"; "2f1829af001ef205";
+         "bf733e63d139683d"; "afa78247c6a82034"; "3c69a1b6d15cf0d0";
+         "a5a9fdd18948c400"; "3813d2654a981e91"; "9be35597c9c97bfa";
+         "bfc5e80fd0b75f32" |] );
+    ( 42,
+      [| "15780b2e0c2ec716"; "6104d9866d113a7e"; "ae17533239e499a1";
+         "ecb8ad4703b360a1"; "fde6dc7fe2ec5e64"; "c50da53101795238";
+         "b82154855a65ddb2"; "d99a2743ebe60087"; "c2e96e726e97647e";
+         "9556615f775fbc3d" |] );
+    ( 123456789,
+      [| "d1eea10c836f0cc2"; "e1bb9dfa08f02548"; "1503f3b726a1b888";
+         "88bf5a022cf9d5c2"; "de0f231c26906fe1"; "7bf14df7468f6bd5";
+         "5a0e9d6a14c72b3f"; "a6d8390aa53d505c"; "23bede40b33d1ffa";
+         "31b846ab55c198dd" |] );
+    ( 4611686018427387903,
+      [| "6a2df487bd4abde8"; "7089a21212eab9fc"; "81c431e01d397a88";
+         "367a434d4b649925"; "3552cc64bfea0899"; "10dfa2f3c87ebcd8";
+         "bfef86687180de25"; "e6602b4c3a69ef87"; "286e2eae5b0b4b02";
+         "88ad1bedde4398bf" |] );
+    ( -1,
+      [| "8f5520d52a7ead08"; "c476a018caa1802d"; "81de31c0d260469e";
+         "bf658d7e065f3c2f"; "913593fda1bca32a"; "bb535e93941ba525";
+         "5ecda415c3c6dfde"; "c487398fc9de9ae2"; "a06746dbb57c4d62";
+         "9d414196fdf05c8a" |] );
+  ]
+
+let test_reference_vectors () =
+  List.iter
+    (fun (seed, expected) ->
+      let t = Prng.create ~seed in
+      Array.iteri
+        (fun i hex ->
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d output %d" seed i)
+            hex
+            (Printf.sprintf "%016Lx" (Prng.bits64 t)))
+        expected)
+    reference_vectors
+
 let test_seeds_differ () =
   let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
   let differs = ref false in
@@ -144,6 +204,7 @@ let test_choice () =
 let suite =
   [
     case "determinism" test_determinism;
+    case "pinned reference vectors" test_reference_vectors;
     case "seeds differ" test_seeds_differ;
     case "copy" test_copy;
     case "split independence" test_split_independent;

@@ -94,6 +94,65 @@ let test_gantt_scaling () =
   |> List.iter (fun line ->
          check_bool "line width bounded" true (String.length line < 70))
 
+(* --- goldens ---
+
+   Exact expected output, character for character. The report layer is
+   the last stop before human eyes and external tools; "looks roughly
+   right" substring checks would let padding, separator or quoting
+   regressions through silently. *)
+
+let test_table_golden () =
+  let t = Table.create ~columns:[ "algo"; "cost" ] in
+  Table.add_row t [ "HA"; "19" ];
+  Table.add_row t [ "CDFF"; "7" ];
+  Alcotest.(check string)
+    "two-space gutter, columns padded to widest cell, trailing pad kept"
+    "algo  cost\n----  ----\nHA    19  \nCDFF  7   \n" (Table.render t);
+  Alcotest.(check string) "markdown variant"
+    "| algo | cost |\n| --- | --- |\n| HA | 19 |\n| CDFF | 7 |\n"
+    (Table.render_markdown t)
+
+let test_csv_golden () =
+  Alcotest.(check string) "quoting only where RFC 4180 demands it"
+    "id,label\n1,plain\n2,\"comma,inside\"\n3,\"quote\"\"inside\"\n4,\"line\nbreak\"\n"
+    (Csv.to_string
+       ~header:[ "id"; "label" ]
+       [
+         [ "1"; "plain" ];
+         [ "2"; "comma,inside" ];
+         [ "3"; "quote\"inside" ];
+         [ "4"; "line\nbreak" ];
+       ])
+
+(* The Figure 3 packing: CDFF on the binary input sigma_8. The chart is
+   pinned in full — row order is bin opening order, labels are CDFF's
+   row assignments (Lemma 5.5), letters are items in instance order, and
+   '*' marks cells where a bin holds more than one item. *)
+let test_gantt_figure3_golden () =
+  let inst = Dbp_workloads.Binary_input.generate ~mu:8 in
+  let res = Engine.run (Dbp_core.Cdff.policy ()) inst in
+  Alcotest.(check string) "figure 3"
+    ("b0 row3        |a       |\n" ^ "b1 row2        |ii      |\n"
+   ^ "b2 row1        |mm*m    |\n" ^ "b3 row0        |o*******|\n"
+   ^ "b4 row2        |    e   |\n" ^ "b5 row1        |    kk  |\n"
+   ^ "b6 row1        |      g |\n")
+    (Gantt.packing_chart inst res.store)
+
+let test_svg_golden () =
+  Alcotest.(check string) "exact document"
+    ("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+   ^ "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"100\" height=\"50\" \
+      viewBox=\"0 0 100 50\">\n"
+   ^ "<rect x=\"0\" y=\"0\" width=\"10\" height=\"10\" fill=\"none\" \
+      stroke=\"black\"/>\n"
+   ^ "<text x=\"1\" y=\"1\" font-size=\"12\" fill=\"black\">a&lt;b</text>\n"
+   ^ "</svg>\n")
+    (Svg.to_string ~width:100.0 ~height:50.0
+       [
+         Svg.rect ~x:0.0 ~y:0.0 ~w:10.0 ~h:10.0 ();
+         Svg.text ~x:1.0 ~y:1.0 "a<b";
+       ])
+
 (* --- series --- *)
 
 let test_series_plot () =
@@ -146,6 +205,10 @@ let suite =
     case "packing chart" test_packing_chart;
     case "snapshot" test_snapshot;
     case "gantt scaling" test_gantt_scaling;
+    case "table golden" test_table_golden;
+    case "csv golden" test_csv_golden;
+    case "gantt figure 3 golden" test_gantt_figure3_golden;
+    case "svg golden" test_svg_golden;
     case "series plot" test_series_plot;
     case "svg elements" test_svg_elements;
     case "svg line chart" test_svg_line_chart;
