@@ -195,6 +195,27 @@ let micro_tests () =
      in
      Test.make ~name:"Exact.min_bins 40 items"
        (Staged.stage (fun () -> Dbp_binpack.Exact.min_bins sizes)));
+    (* Substrate: id -> item lookup, hash index vs the old linear scan. *)
+    (let inst = instance_of `General 256 1 in
+     let items = Dbp_instance.Instance.items inst in
+     let n = Array.length items in
+     let ids = Array.init 1000 (fun i -> items.(i * 7919 mod n).id) in
+     Test.make_grouped ~name:"Instance.find x1000"
+       [
+         Test.make ~name:"hash"
+           (Staged.stage (fun () ->
+                Array.iter (fun id -> ignore (Dbp_instance.Instance.find inst id)) ids));
+         Test.make ~name:"linear"
+           (Staged.stage (fun () ->
+                Array.iter
+                  (fun id ->
+                    match
+                      Array.find_opt (fun (r : Dbp_instance.Item.t) -> r.id = id) items
+                    with
+                    | Some _ -> ()
+                    | None -> raise Not_found)
+                  ids));
+       ]);
     (* Substrate: PRNG. *)
     (let rng = Prng.create ~seed:1 in
      Test.make ~name:"Prng.int_below x1000"

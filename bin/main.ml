@@ -396,6 +396,148 @@ let sweep_cmd =
         (const run $ workload_arg $ algorithms_arg $ mus $ seeds $ svg $ jobs_arg
        $ obs_term))
 
+(* ---- stream ---- *)
+
+let stream_cmd =
+  let workloads = [ "cloud"; "general"; "aligned" ] in
+  let workload =
+    Arg.(
+      value & opt string "cloud"
+      & info [ "workload"; "w" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Streaming workload: %s." (String.concat ", " workloads)))
+  in
+  let days =
+    Arg.(
+      value & opt int 3
+      & info [ "days" ] ~docv:"N" ~doc:"Horizon in simulated days (1440 ticks each).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 2.0
+      & info [ "rate" ] ~docv:"R" ~doc:"Arrival rate (mean items per tick at peak).")
+  in
+  let policy =
+    Arg.(
+      value & opt string "FF"
+      & info [ "policy"; "p" ] ~docv:"NAME" ~doc:"Online policy to stream through.")
+  in
+  let max_series =
+    Arg.(
+      value & opt int 512
+      & info [ "max-series" ] ~docv:"K"
+          ~doc:
+            "Cap on retained open-bins series samples (LTTB decimation; >= 3). \
+             0 disables the cap (exact, unbounded series).")
+  in
+  let retain =
+    Arg.(
+      value & flag
+      & info [ "retain" ]
+          ~doc:
+            "Keep full per-bin history (disable the Bin_store retire/compact \
+             mode). Memory grows with bins ever opened — the pre-streaming \
+             behavior, for reports and validators.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Also materialize the source and replay it through Engine.run, \
+             asserting cost, bins_opened and max_open are bit-identical to the \
+             streamed run. Costs O(items) memory; exits 1 on mismatch.")
+  in
+  let run workload days rate seed policy max_series retain verify obs =
+    if days < 1 then fail "--days must be >= 1"
+    else if rate <= 0.0 then fail "--rate must be positive"
+    else if max_series < 0 || (max_series > 0 && max_series < 3) then
+      fail "--max-series must be 0 (uncapped) or >= 3"
+    else begin
+      let open Dbp_workloads in
+      let source, mu_hint =
+        match String.lowercase_ascii workload with
+        | "cloud" ->
+            let config = { Cloud_traces.default with days; base_rate = rate } in
+            ( Some (Cloud_traces.stream ~config ~seed ()),
+              float_of_int config.max_duration /. float_of_int config.min_duration )
+        | "general" ->
+            let config =
+              { General_random.default with horizon = days * 1440; arrival_rate = rate }
+            in
+            ( Some (General_random.stream ~config ~seed ()),
+              float_of_int config.max_duration )
+        | "aligned" ->
+            let config = { Aligned_random.default with horizon = days * 1440; rate } in
+            ( Some (Aligned_random.stream ~config ~seed ()),
+              float_of_int (Dbp_util.Ints.pow2 config.top_class) )
+        | _ -> (None, 0.0)
+      in
+      match source with
+      | None -> fail "unknown streaming workload %S (try %s)" workload (String.concat ", " workloads)
+      | Some source -> (
+          match algorithm_of_name ~mu_hint policy with
+          | None -> fail "unknown algorithm %S" policy
+          | Some factory ->
+              with_obs obs (fun () ->
+                  let max_series = if max_series = 0 then None else Some max_series in
+                  let t0 = Unix.gettimeofday () in
+                  let s =
+                    Dbp_sim.Engine.Stream.run ~retire:(not retain) ?max_series factory
+                      source
+                  in
+                  let wall = Unix.gettimeofday () -. t0 in
+                  Printf.printf "stream: workload=%s days=%d rate=%g seed=%d policy=%s%s\n"
+                    (String.lowercase_ascii workload)
+                    days rate seed s.result.name
+                    (if retain then " (full retention)" else "");
+                  Printf.printf
+                    "items=%d cost=%d bins_opened=%d max_open=%d series_samples=%d\n"
+                    s.items s.result.cost s.result.bins_opened s.result.max_open
+                    (Array.length s.result.series);
+                  Printf.printf "peak_live_items=%d peak_retained_items=%d\n"
+                    s.peak_live_items s.peak_retained_items;
+                  Printf.printf "throughput=%.0f items/s (wall=%.2fs)\n"
+                    (float_of_int s.items /. Float.max wall 1e-9)
+                    wall;
+                  if verify then begin
+                    let inst = Dbp_instance.Event_source.to_instance source in
+                    let r = Dbp_sim.Engine.run factory inst in
+                    if
+                      r.cost = s.result.cost
+                      && r.bins_opened = s.result.bins_opened
+                      && r.max_open = s.result.max_open
+                      && Dbp_instance.Instance.length inst = s.items
+                    then
+                      Printf.printf
+                        "verify: OK — streamed run bit-identical to Engine.run \
+                         (cost=%d bins_opened=%d max_open=%d)\n"
+                        r.cost r.bins_opened r.max_open
+                    else begin
+                      Printf.printf
+                        "verify: MISMATCH — materialized cost=%d bins_opened=%d \
+                         max_open=%d items=%d\n"
+                        r.cost r.bins_opened r.max_open
+                        (Dbp_instance.Instance.length inst);
+                      exit 1
+                    end
+                  end);
+              `Ok ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Stream a lazy workload through an online policy in O(max concurrent \
+          items) memory: no released-item log, closed bins retired into \
+          aggregates, series bounded by LTTB decimation. Built for \
+          multi-million-item traces the materializing `run' command cannot \
+          hold.")
+    Term.(
+      ret
+        (const run $ workload $ days $ rate $ seed_arg $ policy $ max_series
+       $ retain $ verify $ obs_term))
+
 (* ---- adversary ---- *)
 
 let adversary_cmd =
@@ -486,6 +628,6 @@ let main =
   Cmd.group
     (Cmd.info "dbp" ~version:"1.0.0"
        ~doc:"Clairvoyant dynamic bin packing (Azar & Vainstein, SPAA 2017) — simulator and experiment harness.")
-    [ list_cmd; experiment_cmd; all_cmd; run_cmd; sweep_cmd; adversary_cmd; export_cmd; fuzz_cmd ]
+    [ list_cmd; experiment_cmd; all_cmd; run_cmd; stream_cmd; sweep_cmd; adversary_cmd; export_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,34 @@
+type t = Item.t Seq.t
+
+let empty : t = Seq.empty
+let of_instance inst : t = Array.to_seq (Instance.items inst)
+let of_items l : t = of_instance (Instance.of_items l)
+
+(* Stable lazy two-way merge: on ties the left source wins, so
+   [merge_list] emits equal-key items in source order. *)
+let rec merge_by ~cmp (a : 'a Seq.t) (b : 'a Seq.t) : 'a Seq.t =
+ fun () ->
+  match a () with
+  | Seq.Nil -> b ()
+  | Seq.Cons (x, a') -> (
+      match b () with
+      | Seq.Nil -> Seq.Cons (x, a')
+      | Seq.Cons (y, b') ->
+          if cmp x y <= 0 then Seq.Cons (x, merge_by ~cmp a' (fun () -> Seq.Cons (y, b')))
+          else Seq.Cons (y, merge_by ~cmp (fun () -> Seq.Cons (x, a')) b'))
+
+let merge a b = merge_by ~cmp:Item.compare a b
+let merge_list sources = List.fold_right merge sources Seq.empty
+let to_instance (s : t) = Instance.of_items (List.of_seq s)
+let length (s : t) = Seq.fold_left (fun n _ -> n + 1) 0 s
+
+let is_ordered (s : t) =
+  let ok = ref true and prev = ref None in
+  Seq.iter
+    (fun r ->
+      (match !prev with
+      | Some p when Item.compare p r > 0 -> ok := false
+      | _ -> ());
+      prev := Some r)
+    s;
+  !ok

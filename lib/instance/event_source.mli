@@ -1,0 +1,46 @@
+(** Lazy arrival-ordered item sources.
+
+    An [Event_source.t] is the streaming counterpart of {!Instance.t}: a
+    sequence of items in processing order — ascending [(arrival, id)],
+    the order {!Instance.items} stores and the engine replays — produced
+    on demand, so a multi-million-item trace is simulated without ever
+    being materialized.
+
+    Sources are expected to be {e persistent}: forcing the same sequence
+    twice yields the same items (the streaming workload constructors
+    guarantee this by carrying copied PRNG snapshots in their unfold
+    state). That makes a source reusable for a verification double-run
+    — once streamed, once materialized via {!to_instance}. *)
+
+type t = Item.t Seq.t
+
+val empty : t
+
+val of_instance : Instance.t -> t
+(** The instance's items as a source (already sorted, zero-copy). *)
+
+val of_items : Item.t list -> t
+(** Sorts into processing order; raises like {!Instance.of_items}. *)
+
+val merge : t -> t -> t
+(** Lazy stable merge by [(arrival, id)]; ties prefer the left source.
+    O(1) memory per step. Both inputs must themselves be ordered. *)
+
+val merge_list : t list -> t
+(** Fold of {!merge}; earlier sources win ties. *)
+
+val merge_by : cmp:('a -> 'a -> int) -> 'a Seq.t -> 'a Seq.t -> 'a Seq.t
+(** The underlying generic stable merge, exposed for constructors that
+    merge pre-item representations before ids are assigned. *)
+
+val to_instance : t -> Instance.t
+(** Materialize (forces the whole source; O(n) memory). Raises on
+    duplicate ids like {!Instance.of_items}. *)
+
+val length : t -> int
+(** Forces the whole source. *)
+
+val is_ordered : t -> bool
+(** Whether the source is in processing order (forces the source). All
+    constructors in this library produce ordered sources; use this to
+    validate an external one before streaming it. *)

@@ -1,6 +1,11 @@
 open Dbp_util
 
-type t = { items : Item.t array }
+type t = {
+  items : Item.t array;
+  mutable by_id : (int, Item.t) Hashtbl.t option;
+      (** built on the first [find]; validators call [find] per event, so
+          the O(n) scan this replaces was quadratic over a run *)
+}
 
 let of_items l =
   let items = Array.of_list l in
@@ -11,14 +16,25 @@ let of_items l =
       if Hashtbl.mem seen r.id then invalid_arg "Instance.of_items: duplicate item id";
       Hashtbl.add seen r.id ())
     items;
-  { items }
+  { items; by_id = None }
 
 let items t = t.items
 let length t = Array.length t.items
 let is_empty t = length t = 0
 
+(* Racing domains would each build an identical table and one write
+   would win — wasteful but sound, since [items] is immutable. *)
+let index t =
+  match t.by_id with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create (Array.length t.items) in
+      Array.iter (fun (r : Item.t) -> Hashtbl.replace h r.id r) t.items;
+      t.by_id <- Some h;
+      h
+
 let find t id =
-  match Array.find_opt (fun (r : Item.t) -> r.id = id) t.items with
+  match Hashtbl.find_opt (index t) id with
   | Some r -> r
   | None -> raise Not_found
 

@@ -15,7 +15,8 @@ val length : t -> int
 val is_empty : t -> bool
 
 val find : t -> int -> Item.t
-(** Item by id; raises [Not_found]. *)
+(** Item by id; raises [Not_found]. Amortized O(1): the id index is a
+    hashtable built lazily on the first lookup. *)
 
 val min_duration : t -> int
 (** Raises [Invalid_argument] when empty. *)

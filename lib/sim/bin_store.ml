@@ -10,40 +10,56 @@ type bin = {
   mutable bclosed_at : int option;
   mutable bload : Load.t;
   mutable items : Item.t list;  (** reverse insertion order *)
+  mutable bprev : bin_id;  (** previous open bin in opening order, -1 = none *)
+  mutable bnext : bin_id;  (** next open bin in opening order, -1 = none *)
 }
 
-(* The live set is an intrusive doubly-linked list threaded through two
-   int vectors parallel to [bins] ([-1] = none), kept in opening order
-   so [open_bins] — the First-Fit scan order — is a plain traversal and
-   closing a bin unlinks it in O(1) instead of filtering a list. *)
+(* The live set is an intrusive doubly-linked list threaded through the
+   bin records, kept in opening order so [open_bins] — the First-Fit
+   scan order — is a plain traversal and closing a bin unlinks it in
+   O(1).
+
+   Two retention modes share this structure. [`Retain] (the default)
+   keeps every bin ever opened in [bins] (slot = id) plus the permanent
+   [history]/[ever] logs — what reports, figures and the validators
+   need. [`Retire] keeps only the currently open bins, in [live]: when a
+   bin closes, its usage, count and lifetime fold into the running
+   aggregates and the record is dropped, so memory is O(open bins), not
+   O(bins ever) — the contract the streaming engine's million-item runs
+   rely on. *)
 type t = {
-  bins : bin Vec.t;
-  live_prev : int Vec.t;
-  live_next : int Vec.t;
+  retire : bool;
+  bins : bin Vec.t;  (** retain mode: every bin, slot = id *)
+  live : (bin_id, bin) Hashtbl.t;  (** retire mode: open bins only *)
+  mutable next_id : int;
   mutable live_head : bin_id;  (** oldest open bin, -1 when none *)
   mutable live_tail : bin_id;  (** newest open bin, -1 when none *)
-  current : (int, bin_id) Hashtbl.t;  (** active item id -> bin *)
-  history : (int * bin_id) Vec.t;
-  ever : (int, bin_id) Hashtbl.t;
+  current : (int, bin) Hashtbl.t;  (** active item id -> its bin *)
+  history : (int * bin_id) Vec.t;  (** retain mode only *)
+  ever : (int, bin_id) Hashtbl.t;  (** retain mode only *)
   mutable n_open : int;
   mutable hw_open : int;
+  mutable hw_items : int;
   mutable done_usage : int;
+  mutable closed_count : int;
+  lifetime_counts : int array;
+  mutable lifetime_sum : int;
 }
 
 let m_opens = Metrics.counter "bin_store.opens"
 let m_closes = Metrics.counter "bin_store.closes"
 let m_usage = Metrics.counter "bin_store.usage"
 let m_max_open = Metrics.gauge "bin_store.max_open"
+let m_live_items = Metrics.gauge "bin_store.live_items"
+let lifetime_buckets = [| 1; 4; 16; 64; 256; 1024; 4096; 16384 |]
+let m_lifetime = Metrics.histogram ~buckets:lifetime_buckets "bin_store.lifetime"
 
-let m_lifetime =
-  Metrics.histogram ~buckets:[| 1; 4; 16; 64; 256; 1024; 4096; 16384 |]
-    "bin_store.lifetime"
-
-let create () =
+let create ?(retire = false) () =
   {
+    retire;
     bins = Vec.create ();
-    live_prev = Vec.create ();
-    live_next = Vec.create ();
+    live = Hashtbl.create 64;
+    next_id = 0;
     live_head = -1;
     live_tail = -1;
     current = Hashtbl.create 64;
@@ -51,20 +67,40 @@ let create () =
     ever = Hashtbl.create 64;
     n_open = 0;
     hw_open = 0;
+    hw_items = 0;
     done_usage = 0;
+    closed_count = 0;
+    lifetime_counts = Array.make (Array.length lifetime_buckets + 1) 0;
+    lifetime_sum = 0;
   }
 
+let retire_mode t = t.retire
+
 let bin t id =
-  if id < 0 || id >= Vec.length t.bins then invalid_arg "Bin_store: unknown bin id";
-  Vec.get t.bins id
+  if id < 0 || id >= t.next_id then invalid_arg "Bin_store: unknown bin id";
+  if t.retire then
+    match Hashtbl.find_opt t.live id with
+    | Some b -> b
+    | None -> invalid_arg "Bin_store: bin retired (store is in retire mode)"
+  else Vec.get t.bins id
 
 let open_bin t ~now ~label =
-  let id = Vec.length t.bins in
-  Vec.push t.bins
-    { id; blabel = label; bopened_at = now; bclosed_at = None; bload = Load.zero; items = [] };
-  Vec.push t.live_prev t.live_tail;
-  Vec.push t.live_next (-1);
-  if t.live_tail >= 0 then Vec.set t.live_next t.live_tail id else t.live_head <- id;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let b =
+    {
+      id;
+      blabel = label;
+      bopened_at = now;
+      bclosed_at = None;
+      bload = Load.zero;
+      items = [];
+      bprev = t.live_tail;
+      bnext = -1;
+    }
+  in
+  if t.retire then Hashtbl.replace t.live id b else Vec.push t.bins b;
+  if t.live_tail >= 0 then (bin t t.live_tail).bnext <- id else t.live_head <- id;
   t.live_tail <- id;
   t.n_open <- t.n_open + 1;
   if t.n_open > t.hw_open then t.hw_open <- t.n_open;
@@ -72,12 +108,12 @@ let open_bin t ~now ~label =
   Metrics.set_max m_max_open t.n_open;
   id
 
-let unlink_live t id =
-  let p = Vec.get t.live_prev id and n = Vec.get t.live_next id in
-  if p >= 0 then Vec.set t.live_next p n else t.live_head <- n;
-  if n >= 0 then Vec.set t.live_prev n p else t.live_tail <- p;
-  Vec.set t.live_prev id (-1);
-  Vec.set t.live_next id (-1)
+let unlink_live t (b : bin) =
+  let p = b.bprev and n = b.bnext in
+  if p >= 0 then (bin t p).bnext <- n else t.live_head <- n;
+  if n >= 0 then (bin t n).bprev <- p else t.live_tail <- p;
+  b.bprev <- -1;
+  b.bnext <- -1
 
 let insert t id (r : Item.t) =
   let b = bin t id in
@@ -86,9 +122,14 @@ let insert t id (r : Item.t) =
   if not (Load.fits r.size ~into:b.bload) then invalid_arg "Bin_store.insert: does not fit";
   b.bload <- Load.add b.bload r.size;
   b.items <- r :: b.items;
-  Hashtbl.replace t.current r.id id;
-  Hashtbl.replace t.ever r.id id;
-  Vec.push t.history (r.id, id)
+  Hashtbl.replace t.current r.id b;
+  let live = Hashtbl.length t.current in
+  if live > t.hw_items then t.hw_items <- live;
+  Metrics.set_max m_live_items live;
+  if not t.retire then begin
+    Hashtbl.replace t.ever r.id id;
+    Vec.push t.history (r.id, id)
+  end
 
 (* One pass instead of find + filter; the relative order of the
    remaining items is preserved. *)
@@ -98,26 +139,38 @@ let rec extract_item item_id prefix = function
       if r.id = item_id then (r, List.rev_append prefix rest)
       else extract_item item_id (r :: prefix) rest
 
+let observe_lifetime t life =
+  t.lifetime_sum <- t.lifetime_sum + life;
+  let n = Array.length lifetime_buckets in
+  let rec slot i = if i = n || life <= lifetime_buckets.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  t.lifetime_counts.(i) <- t.lifetime_counts.(i) + 1
+
 let remove t ~now ~item_id =
   match Hashtbl.find_opt t.current item_id with
   | None -> raise Not_found
-  | Some id ->
+  | Some b ->
       Hashtbl.remove t.current item_id;
-      let b = bin t id in
       let r, rest = extract_item item_id [] b.items in
       b.items <- rest;
       b.bload <- Load.sub b.bload r.size;
       let closed = b.items = [] in
       if closed then begin
         b.bclosed_at <- Some now;
-        unlink_live t id;
+        unlink_live t b;
         t.n_open <- t.n_open - 1;
-        t.done_usage <- t.done_usage + (now - b.bopened_at);
+        let life = now - b.bopened_at in
+        t.done_usage <- t.done_usage + life;
+        t.closed_count <- t.closed_count + 1;
+        observe_lifetime t life;
+        (* Retire: the aggregates above are all that survives; dropping
+           the record is what keeps a streamed run's memory bounded. *)
+        if t.retire then Hashtbl.remove t.live b.id;
         Metrics.incr m_closes;
-        Metrics.add m_usage (now - b.bopened_at);
-        Metrics.observe m_lifetime (now - b.bopened_at)
+        Metrics.add m_usage life;
+        Metrics.observe m_lifetime life
       end;
-      (id, closed)
+      (b.id, closed)
 
 let load t id = (bin t id).bload
 let residual t id = Load.residual (bin t id).bload
@@ -129,16 +182,20 @@ let closed_at t id = (bin t id).bclosed_at
 let contents t id = List.rev (bin t id).items
 
 let fold_live f acc t =
-  let rec loop acc id =
-    if id < 0 then acc else loop (f acc id) (Vec.get t.live_next id)
-  in
+  let rec loop acc id = if id < 0 then acc else loop (f acc id) (bin t id).bnext in
   loop acc t.live_head
 
 let open_bins t = List.rev (fold_live (fun acc id -> id :: acc) [] t)
-let all_bins t = List.init (Vec.length t.bins) Fun.id
+let all_bins t = if t.retire then open_bins t else List.init t.next_id Fun.id
 let open_count t = t.n_open
-let bins_opened t = Vec.length t.bins
+let bins_opened t = t.next_id
 let max_open t = t.hw_open
+let closed_count t = t.closed_count
+let live_items t = Hashtbl.length t.current
+let max_live_items t = t.hw_items
+
+let lifetime_histogram t =
+  (Array.copy lifetime_buckets, Array.copy t.lifetime_counts, t.lifetime_sum)
 
 let usage t ~now =
   fold_live (fun acc id -> acc + (now - (bin t id).bopened_at)) t.done_usage t
@@ -147,4 +204,9 @@ let closed_usage t = t.done_usage
 let assignment t = Vec.to_list t.history
 
 let bin_of_item t item_id =
-  match Hashtbl.find_opt t.ever item_id with Some id -> id | None -> raise Not_found
+  match Hashtbl.find_opt t.current item_id with
+  | Some b -> b.id
+  | None -> (
+      match Hashtbl.find_opt t.ever item_id with
+      | Some id -> id
+      | None -> raise Not_found)

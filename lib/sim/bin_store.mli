@@ -13,7 +13,22 @@ open Dbp_instance
 type bin_id = int
 type t
 
-val create : unit -> t
+val create : ?retire:bool -> unit -> t
+(** With [~retire:false] (the default) every bin ever opened is
+    retained, with the permanent placement logs — full-fidelity state
+    for reports, figures and the validators.
+
+    With [~retire:true] the store runs in {e retire/compact} mode: a bin
+    that closes folds its usage, count and lifetime into running
+    aggregates ({!closed_usage}, {!closed_count}, {!lifetime_histogram})
+    and its record is dropped, so memory is O(currently open bins) — the
+    streaming engine's contract. In this mode per-bin accessors
+    ({!load}, {!contents}, {!closed_at}, ...) work only while the bin is
+    open (a retired id raises [Invalid_argument]), {!all_bins} lists
+    open bins only, {!assignment} is empty, and {!bin_of_item} resolves
+    active items only. *)
+
+val retire_mode : t -> bool
 
 val open_bin : t -> now:int -> label:string -> bin_id
 (** Open a fresh bin at tick [now]. [label] is free-form metadata used by
@@ -52,7 +67,8 @@ val open_bins : t -> bin_id list
 val all_bins : t -> bin_id list
 (** Every bin ever opened (open or closed), in opening order — the
     enumeration validators use to recompute the usage integral from the
-    per-bin [opened_at]/[closed_at] log. *)
+    per-bin [opened_at]/[closed_at] log. In retire mode only the open
+    bins still exist, so this equals {!open_bins}. *)
 
 val open_count : t -> int
 val bins_opened : t -> int
@@ -60,6 +76,23 @@ val bins_opened : t -> int
 
 val max_open : t -> int
 (** High-water mark of simultaneously open bins. *)
+
+val closed_count : t -> int
+(** Bins closed so far; [bins_opened - open_count]. *)
+
+val live_items : t -> int
+(** Items currently packed (arrived, not yet departed). *)
+
+val max_live_items : t -> int
+(** High-water mark of {!live_items} — in retire mode, the store's item
+    retention never exceeds this, whatever the trace length. *)
+
+val lifetime_histogram : t -> int array * int array * int
+(** [(bounds, counts, sum)] of closed-bin lifetimes: [counts] has one
+    cell per inclusive upper bound in [bounds] plus a final overflow
+    cell, and [sum] is the total closed lifetime ([= closed_usage]).
+    Accumulated in both modes; in retire mode it is the surviving record
+    of the dropped bins. *)
 
 val usage : t -> now:int -> int
 (** Accumulated usage time (bin x ticks) counting open bins up to
@@ -71,8 +104,9 @@ val closed_usage : t -> int
 
 val assignment : t -> (int * bin_id) list
 (** Permanent log of [(item_id, bin)] placements, including departed
-    items, in placement order. *)
+    items, in placement order. Empty in retire mode (the log is exactly
+    the unbounded retention retire mode exists to avoid). *)
 
 val bin_of_item : t -> int -> bin_id
 (** Bin that ever held the item (including after departure); raises
-    [Not_found]. *)
+    [Not_found]. In retire mode, only active items resolve. *)

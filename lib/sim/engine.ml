@@ -13,6 +13,8 @@ type result = {
 let m_runs = Metrics.counter "engine.runs"
 let m_arrivals = Metrics.counter "engine.arrivals"
 let m_departures = Metrics.counter "engine.departures"
+let m_live_items = Metrics.gauge "engine.live_items"
+let m_retained_items = Metrics.gauge "engine.retained_items"
 
 module Interactive = struct
   type t = {
@@ -20,8 +22,12 @@ module Interactive = struct
     policy : Policy.t;
     departures : Item.t Heap.t;  (** pending, ordered by (departure, id) *)
     released : Item.t Vec.t;
-    series : (int * int) Vec.t;
+    retain_released : bool;
+    series : Lttb.t;
     mutable clock : int;
+    mutable arrived : int;
+    mutable hw_live : int;  (** peak simultaneously active items *)
+    mutable hw_retained : int;  (** peak item records held by the core *)
   }
 
   let cmp_departure (a : Item.t) (b : Item.t) =
@@ -29,24 +35,28 @@ module Interactive = struct
     | 0 -> Int.compare a.id b.id
     | c -> c
 
-  let start factory =
-    let store = Bin_store.create () in
+  let start ?(retire = false) ?(retain_released = true) ?max_series factory =
+    let store = Bin_store.create ~retire () in
     {
       store;
       policy = factory store;
       departures = Heap.create ~cmp:cmp_departure;
       released = Vec.create ();
-      series = Vec.create ();
+      retain_released;
+      series = Lttb.create ?cap:max_series ();
       clock = 0;
+      arrived = 0;
+      hw_live = 0;
+      hw_retained = 0;
     }
 
   let record t tick =
     (* One sample per event tick: overwrite the sample if the tick
        repeats (multiple events at one tick). *)
-    let n = Vec.length t.series in
     let sample = (tick, Bin_store.open_count t.store) in
-    if n > 0 && fst (Vec.last t.series) = tick then Vec.set t.series (n - 1) sample
-    else Vec.push t.series sample
+    if (not (Lttb.is_empty t.series)) && fst (Lttb.last t.series) = tick then
+      Lttb.set_last t.series sample
+    else Lttb.push t.series sample
 
   (* Process all departures due at ticks <= [upto]. *)
   let drain_until t upto =
@@ -81,9 +91,23 @@ module Interactive = struct
     if Bin_store.bin_of_item t.store r.id <> bin then
       invalid_arg "Engine.arrive: policy returned a bin it did not pack into";
     Heap.add t.departures r;
-    Vec.push t.released r;
+    t.arrived <- t.arrived + 1;
+    if t.retain_released then Vec.push t.released r;
+    (* Live = active items (the departure heap); retained additionally
+       counts the released log, which is what a full-retention run keeps
+       and a streamed run does not. *)
+    let live = Heap.length t.departures in
+    let retained = live + Vec.length t.released in
+    if live > t.hw_live then t.hw_live <- live;
+    if retained > t.hw_retained then t.hw_retained <- retained;
+    Metrics.set_max m_live_items live;
+    Metrics.set_max m_retained_items retained;
     record t r.arrival;
     bin
+
+  let items_arrived t = t.arrived
+  let peak_live_items t = t.hw_live
+  let peak_retained_items t = t.hw_retained
 
   let finish t =
     drain_until t max_int;
@@ -93,7 +117,7 @@ module Interactive = struct
         cost = Bin_store.closed_usage t.store;
         bins_opened = Bin_store.bins_opened t.store;
         max_open = Bin_store.max_open t.store;
-        series = Vec.to_array t.series;
+        series = Lttb.to_array t.series;
         store = t.store;
       }
     in
@@ -113,3 +137,29 @@ let run factory inst =
       Array.iter (fun r -> ignore (Interactive.arrive t r)) (Instance.items inst);
       let result, _ = Interactive.finish t in
       result)
+
+module Stream = struct
+  type stats = {
+    result : result;
+    items : int;
+    peak_live_items : int;
+    peak_retained_items : int;
+  }
+
+  let m_stream_runs = Metrics.counter "engine.stream.runs"
+
+  let run ?(retire = true) ?max_series factory source =
+    Metrics.incr m_stream_runs;
+    let t = Interactive.start ~retire ~retain_released:false ?max_series factory in
+    Trace.with_span "engine.stream"
+      ~args:[ ("algorithm", t.Interactive.policy.Policy.name) ]
+      (fun () ->
+        Seq.iter (fun r -> ignore (Interactive.arrive t r)) source;
+        let result, _ = Interactive.finish t in
+        {
+          result;
+          items = Interactive.items_arrived t;
+          peak_live_items = Interactive.peak_live_items t;
+          peak_retained_items = Interactive.peak_retained_items t;
+        })
+end

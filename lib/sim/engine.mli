@@ -1,11 +1,12 @@
 (** Discrete-event execution of an online algorithm.
 
-    Two entry points: {!run} replays a fixed {!Dbp_instance.Instance.t};
-    the {!Interactive} interface lets an *adaptive adversary* release
-    items one at a time while observing the algorithm's open-bin count
-    (Theorem 4.3's lower-bound construction needs this). Both share the
-    event core: at each tick, all due departures are processed before any
-    arrival. *)
+    Three entry points share the event core (at each tick, all due
+    departures are processed before any arrival): {!run} replays a fixed
+    {!Dbp_instance.Instance.t}; {!Stream.run} consumes a lazy
+    {!Dbp_instance.Event_source.t} in O(max concurrent items) memory;
+    and the {!Interactive} interface lets an *adaptive adversary*
+    release items one at a time while observing the algorithm's open-bin
+    count (Theorem 4.3's lower-bound construction needs this). *)
 
 open Dbp_instance
 
@@ -16,7 +17,8 @@ type result = {
   max_open : int;  (** peak simultaneously-open bins *)
   series : (int * int) array;
       (** (tick, open bins after all events of that tick), at every event
-          tick, in time order *)
+          tick, in time order — or an LTTB-decimated subsequence of that
+          series when the run was started with [max_series] *)
   store : Bin_store.t;  (** post-run store, for traces and figures *)
 }
 
@@ -28,7 +30,13 @@ val run : Policy.factory -> Instance.t -> result
 module Interactive : sig
   type t
 
-  val start : Policy.factory -> t
+  val start :
+    ?retire:bool -> ?retain_released:bool -> ?max_series:int -> Policy.factory -> t
+  (** Defaults reproduce the historical behavior: a full-retention
+      {!Bin_store} ([retire:false]), every released item kept
+      ([retain_released:true] — {!finish} needs it to rebuild the
+      instance), and an exact, unbounded series. [max_series] (>= 3)
+      bounds the series buffer by LTTB decimation instead. *)
 
   val arrive : t -> Item.t -> Bin_store.bin_id
   (** Release one item. Its arrival must be >= the latest event time so
@@ -46,7 +54,43 @@ module Interactive : sig
   val now : t -> int
   (** Latest event tick processed. *)
 
+  val items_arrived : t -> int
+
+  val peak_live_items : t -> int
+  (** High-water mark of simultaneously active items (the departure
+      heap). *)
+
+  val peak_retained_items : t -> int
+  (** High-water mark of item records the core held: active items plus
+      the released log. With [retain_released:false] this equals
+      {!peak_live_items} — the streamed-memory contract the
+      [scripts/check.sh] gate asserts. *)
+
   val finish : t -> result * Instance.t
   (** Drain the remaining departures; returns the run result and the
-      instance that was released (for offline OPT evaluation). *)
+      instance that was released (for offline OPT evaluation — empty
+      when started with [retain_released:false]). *)
+end
+
+(** Constant-memory streaming execution over a lazy event source. *)
+module Stream : sig
+  type stats = {
+    result : result;
+    items : int;  (** items consumed from the source *)
+    peak_live_items : int;
+    peak_retained_items : int;
+  }
+
+  val run :
+    ?retire:bool -> ?max_series:int -> Policy.factory -> Event_source.t -> stats
+  (** Run the policy over the source without retaining released items.
+      [retire] (default [true]) runs the {!Bin_store} in retire/compact
+      mode — closed bins fold into aggregates and are dropped; pass
+      [~retire:false] when the post-run [result.store] must keep full
+      per-bin history for reports or validators. [max_series] (default
+      unbounded) caps the recorded series via LTTB decimation.
+
+      [result.cost], [result.bins_opened] and [result.max_open] are
+      bit-identical to {!run} on [Event_source.to_instance source]: the
+      source's order {e is} the replay order. *)
 end

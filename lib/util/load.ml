@@ -13,6 +13,9 @@ let to_units l = l
 let of_fraction ~num ~den =
   if num < 0 then invalid_arg "Load.of_fraction: negative numerator";
   if den <= 0 then invalid_arg "Load.of_fraction: non-positive denominator";
+  (* [num * capacity] silently wraps past [max_int / capacity]; reject
+     instead of returning a garbage (possibly negative) load. *)
+  if num > max_int / capacity then invalid_arg "Load.of_fraction: numerator overflows";
   num * capacity / den
 
 let of_float f =

@@ -27,7 +27,9 @@ val to_units : t -> int
 val of_fraction : num:int -> den:int -> t
 (** [of_fraction ~num ~den] is [num/den] of a bin, rounded down so that
     [den] items of size [of_fraction ~num:1 ~den] always fit in one bin.
-    Requires [num >= 0] and [den > 0]. *)
+    Requires [num >= 0], [den > 0], and [num <= max_int / capacity]
+    (anything larger would overflow the intermediate product and is
+    rejected with [Invalid_argument]). *)
 
 val of_float : float -> t
 (** Nearest fixed-point value; clamps to [0, 1]. *)

@@ -1,0 +1,80 @@
+(* Largest-Triangle-Three-Buckets downsampling (Steinarsson, 2013) over
+   (tick, value) samples, plus the bounded streaming buffer the
+   simulation engine records its open-bins series through. *)
+
+let area (ax, ay) (bx, by) (cx, cy) =
+  (* Twice the triangle area; only compared, never reported, so floats
+     are fine even for multi-million-tick x coordinates. *)
+  Float.abs
+    (((ax -. cx) *. (by -. ay)) -. ((ax -. bx) *. (cy -. ay)))
+
+let downsample samples ~cap =
+  if cap < 3 then invalid_arg "Lttb.downsample: cap < 3";
+  let n = Array.length samples in
+  if n <= cap then Array.copy samples
+  else begin
+    let fx i = float_of_int (fst samples.(i))
+    and fy i = float_of_int (snd samples.(i)) in
+    let out = Array.make cap samples.(0) in
+    (* cap-2 equal buckets over the n-2 interior points; the first and
+       last samples are always kept. *)
+    let every = float_of_int (n - 2) /. float_of_int (cap - 2) in
+    let bucket_start i = 1 + int_of_float (float_of_int i *. every) in
+    let a = ref 0 in
+    for i = 0 to cap - 3 do
+      let lo = bucket_start i and hi = min (bucket_start (i + 1)) (n - 1) in
+      (* Anchor the triangle's third corner on the next bucket's
+         centroid (the last point when this is the final bucket). *)
+      let nlo = hi and nhi = if i = cap - 3 then n else min (bucket_start (i + 2)) (n - 1) in
+      let nhi = max nhi (nlo + 1) in
+      let cx = ref 0.0 and cy = ref 0.0 in
+      for j = nlo to nhi - 1 do
+        cx := !cx +. fx j;
+        cy := !cy +. fy j
+      done;
+      let m = float_of_int (nhi - nlo) in
+      let c = (!cx /. m, !cy /. m) in
+      let p = (fx !a, fy !a) in
+      let best = ref lo and best_area = ref (-1.0) in
+      for j = lo to max lo (hi - 1) do
+        let ar = area p (fx j, fy j) c in
+        if ar > !best_area then begin
+          best := j;
+          best_area := ar
+        end
+      done;
+      out.(i + 1) <- samples.(!best);
+      a := !best
+    done;
+    out.(cap - 1) <- samples.(n - 1);
+    out
+  end
+
+type t = { cap : int option; buf : (int * int) Vec.t }
+
+let create ?cap () =
+  (match cap with
+  | Some c when c < 3 -> invalid_arg "Lttb.create: cap < 3"
+  | _ -> ());
+  { cap; buf = Vec.create () }
+
+let length t = Vec.length t.buf
+let is_empty t = Vec.is_empty t.buf
+let last t = Vec.last t.buf
+let set_last t s = Vec.set t.buf (Vec.length t.buf - 1) s
+
+let push t s =
+  Vec.push t.buf s;
+  match t.cap with
+  | Some cap when Vec.length t.buf >= 2 * cap ->
+      (* Amortized O(1): each decimation halves the buffer, so it runs
+         once per [cap] pushes. [Vec.clear] keeps the backing array. *)
+      let d = downsample (Vec.to_array t.buf) ~cap in
+      Vec.clear t.buf;
+      Array.iter (Vec.push t.buf) d
+  | _ -> ()
+
+let to_array t =
+  match t.cap with
+  | Some cap when Vec.length t.buf > cap -> downsample (Vec.to_array t.buf) ~cap
+  | _ -> Vec.to_array t.buf

@@ -1,0 +1,43 @@
+(** Bounded series recording via Largest-Triangle-Three-Buckets
+    decimation (Steinarsson, 2013).
+
+    A streamed multi-million-event run cannot retain one open-bins
+    sample per event tick; this buffer keeps at most [2 * cap] samples
+    live and yields at most [cap], chosen by the LTTB criterion so the
+    visual shape of the series survives. Every retained sample is one of
+    the pushed samples (never an average), the first and last pushed
+    samples are always retained, and time order is preserved — the
+    decimated series is a subsequence of the exact one. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** Without [cap], an unbounded recorder ({!to_array} returns every
+    sample — today's exact-series behavior). With [cap] (>= 3, else
+    [Invalid_argument]), memory is bounded by [2 * cap] samples. *)
+
+val push : t -> int * int -> unit
+(** Append a [(tick, value)] sample; ticks must be non-decreasing.
+    Amortized O(1): when a capped buffer reaches [2 * cap] samples it is
+    decimated back to [cap] in place. *)
+
+val length : t -> int
+(** Samples currently buffered (may exceed [cap], never [2 * cap]). *)
+
+val is_empty : t -> bool
+
+val last : t -> int * int
+(** Most recent sample; raises [Invalid_argument] when empty. *)
+
+val set_last : t -> int * int -> unit
+(** Overwrite the most recent sample (the engine folds multiple events
+    at one tick into one sample). Raises [Invalid_argument] when
+    empty. *)
+
+val to_array : t -> (int * int) array
+(** The recorded series, decimated to at most [cap] samples when capped. *)
+
+val downsample : (int * int) array -> cap:int -> (int * int) array
+(** Pure one-shot LTTB: at most [cap] (>= 3) samples, a subsequence of
+    the input, endpoints preserved. Returns a copy when the input
+    already fits. *)

@@ -85,20 +85,31 @@ let pareto t ~alpha ~x_min =
   let u = 1.0 -. float_unit t in
   x_min /. (u ** (1.0 /. alpha))
 
-let rec poisson t ~lambda =
+let poisson t ~lambda =
   if lambda < 0.0 then invalid_arg "Prng.poisson: negative lambda";
   if lambda = 0.0 then 0
-  else if lambda > 30.0 then
-    (* Poisson(a + b) = Poisson(a) + Poisson(b): halve until Knuth's
-       product method is numerically safe. *)
-    poisson t ~lambda:(lambda /. 2.0) + poisson t ~lambda:(lambda /. 2.0)
   else begin
-    let threshold = exp (-.lambda) in
-    let rec loop k p =
-      let p = p *. float_unit t in
-      if p <= threshold then k else loop (k + 1) p
-    in
-    loop 0 1.0
+    (* Poisson(a + b) = Poisson(a) + Poisson(b): halve until Knuth's
+       product method is numerically safe, then draw the 2^k independent
+       summands in a flat loop. Halving by 2 is exact in binary floating
+       point, so the per-summand lambda — and therefore the consumed
+       uniform sequence and every seeded output — is identical to the
+       recursive halving this replaces, without its call tree. *)
+    let lam = ref lambda and n = ref 1 in
+    while !lam > 30.0 do
+      lam := !lam /. 2.0;
+      n := 2 * !n
+    done;
+    let threshold = exp (-. !lam) in
+    let total = ref 0 in
+    for _ = 1 to !n do
+      let p = ref (float_unit t) in
+      while !p > threshold do
+        incr total;
+        p := !p *. float_unit t
+      done
+    done;
+    !total
   end
 
 let choice t a =

@@ -51,8 +51,9 @@ val pareto : t -> alpha:float -> x_min:float -> float
 val poisson : t -> lambda:float -> int
 (** Poisson variate. Exact (Knuth) for small [lambda]; for [lambda > 30]
     uses the split property Poisson(a+b) = Poisson(a) + Poisson(b) to stay
-    exact without floating-point underflow. [lambda] must be
-    non-negative. *)
+    exact without floating-point underflow, summing the split iteratively
+    so arbitrarily large [lambda] costs O(lambda) uniforms and O(1) stack.
+    [lambda] must be non-negative. *)
 
 val choice : t -> 'a array -> 'a
 (** Uniform element of a non-empty array. *)

@@ -60,7 +60,10 @@ let depth () = List.length (buf ()).stack
 
 let clear () =
   Mutex.lock mutex;
-  Vec.iter (fun b -> Vec.clear b.events) bufs;
+  (* A clear here means "drop the recording", not "reuse the buffer":
+     release the storage so retired spans (and their argument strings)
+     do not linger. *)
+  Vec.iter (fun b -> Vec.reset b.events) bufs;
   Mutex.unlock mutex
 
 let to_json () =

@@ -38,9 +38,19 @@ let last v =
   if v.len = 0 then invalid_arg "Vec.last: empty";
   v.data.(v.len - 1)
 
-let clear v =
+(* Keeps the backing array so per-tick reuse does not reallocate;
+   elements beyond [len] stay reachable until overwritten. *)
+let clear v = v.len <- 0
+
+let reset v =
   v.data <- [||];
   v.len <- 0
+
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.truncate: bad length";
+  v.len <- n
+
+let capacity v = Array.length v.data
 
 let swap_remove v i =
   check_index v i "swap_remove";

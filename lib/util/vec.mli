@@ -27,7 +27,20 @@ val last : 'a t -> 'a
 (** The last element; raises [Invalid_argument] when empty. *)
 
 val clear : 'a t -> unit
-(** Remove every element (releases the storage). *)
+(** Remove every element but keep the backing array, so a vector reused
+    in a per-tick loop never reallocates. Cleared slots still reference
+    their old elements until overwritten; use {!reset} when that
+    retention matters. *)
+
+val reset : 'a t -> unit
+(** Remove every element and release the storage (capacity drops to 0). *)
+
+val truncate : 'a t -> int -> unit
+(** [truncate v n] keeps the first [n] elements (capacity unchanged).
+    Raises [Invalid_argument] unless [0 <= n <= length v]. *)
+
+val capacity : 'a t -> int
+(** Current backing-array size; [length v <= capacity v]. *)
 
 val swap_remove : 'a t -> int -> 'a
 (** [swap_remove v i] removes and returns element [i] in O(1) by moving

@@ -20,11 +20,89 @@ let default =
     seed_anchor = true;
   }
 
-let generate ?(config = default) ~seed () =
+let validate config =
   if config.top_class < 0 then invalid_arg "Aligned_random: negative top_class";
   if config.horizon < 1 then invalid_arg "Aligned_random: empty horizon";
   if config.min_size <= 0.0 || config.max_size > 1.0 || config.min_size > config.max_size
-  then invalid_arg "Aligned_random: bad size range";
+  then invalid_arg "Aligned_random: bad size range"
+
+let sample_size rng config =
+  Load.of_float
+    (config.min_size +. (Prng.float_unit rng *. (config.max_size -. config.min_size)))
+
+(* Pre-id items of one class, lazily, slots ascending — so each class
+   sub-stream is arrival-ordered and the merged stream only ever holds
+   one pending slot per class. The per-node PRNG snapshot makes the
+   sequence persistent. *)
+let class_protos config rng ~cls =
+  let step = Ints.pow2 cls in
+  let hi = step and lo = (step / 2) + 1 in
+  Seq.concat_map List.to_seq
+    (Seq.unfold
+       (fun (slot, rng) ->
+         if slot * step >= config.horizon then None
+         else begin
+           let rng = Prng.copy rng in
+           let k = Prng.poisson rng ~lambda:config.rate in
+           let rec build i acc =
+             if i = k then List.rev acc
+             else begin
+               let duration = Prng.int_in_range rng ~lo ~hi in
+               let size = sample_size rng config in
+               build (i + 1) ((slot * step, duration, size) :: acc)
+             end
+           in
+           Some (build 0 [], (slot + 1, rng))
+         end)
+       (0, rng))
+
+let anchor_proto config rng =
+  let hi = Ints.pow2 config.top_class in
+  let lo = (hi / 2) + 1 in
+  let duration = Prng.int_in_range rng ~lo ~hi in
+  let size = sample_size rng config in
+  Seq.return (0, duration, size)
+
+let stream ?(config = default) ~seed () : Event_source.t =
+  validate config;
+  (* One independent PRNG per sub-stream (anchor, then class 0 up),
+     derived from a master in a fixed split order: deterministic in
+     [seed], but a different draw schedule from [generate]'s shared
+     sequential PRNG — the two constructors define distinct (equally
+     valid, equally aligned) instance families for the same seed. *)
+  let master = Prng.create ~seed in
+  let anchor_rng = Prng.split master in
+  let rec class_sources cls acc =
+    if cls > config.top_class then List.rev acc
+    else begin
+      let rng = Prng.split master in
+      class_sources (cls + 1) (class_protos config rng ~cls :: acc)
+    end
+  in
+  let sources =
+    (if config.seed_anchor then [ anchor_proto config anchor_rng ] else [])
+    @ class_sources 0 []
+  in
+  (* Stable arrival-order merge: ties go to the earlier source (anchor
+     first, then lower classes), fixing the id assignment below. *)
+  let cmp (a, _, _) (b, _, _) = Int.compare a b in
+  let protos =
+    List.fold_right (fun s acc -> Event_source.merge_by ~cmp s acc) sources Seq.empty
+  in
+  (* Ids are assigned in emission order, so the sorted materialization
+     of this source replays in exactly the streamed order. *)
+  let rec with_ids id protos () =
+    match protos () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons ((arrival, duration, size), rest) ->
+        Seq.Cons
+          ( Item.make ~id ~arrival ~departure:(arrival + duration) ~size,
+            with_ids (id + 1) rest )
+  in
+  with_ids 0 protos
+
+let generate ?(config = default) ~seed () =
+  validate config;
   let rng = Prng.create ~seed in
   let items = ref [] in
   let id = ref 0 in

@@ -23,3 +23,12 @@ val default : config
 val generate : ?config:config -> seed:int -> unit -> Dbp_instance.Instance.t
 (** Deterministic in [seed]. The result always satisfies
     [Instance.is_aligned]. *)
+
+val stream : ?config:config -> seed:int -> unit -> Dbp_instance.Event_source.t
+(** A lazy aligned source: one arrival-ordered sub-stream per class
+    (each with an independent PRNG split from [seed]), merged with
+    {!Dbp_instance.Event_source.merge_by} so memory is O(top_class)
+    rather than O(items). Deterministic and persistent, and always
+    aligned — but a {e different} instance family from {!generate} for
+    the same seed, whose single shared PRNG cannot be replayed without
+    materializing. *)

@@ -24,7 +24,7 @@ let default =
     tiers = [| 0.125; 0.1875; 0.25; 0.5 |];
   }
 
-let generate ?(config = default) ~seed () =
+let validate config =
   if config.days < 1 then invalid_arg "Cloud_traces: days < 1";
   if config.min_duration < 1 || config.min_duration > config.max_duration then
     invalid_arg "Cloud_traces: bad duration truncation";
@@ -32,18 +32,20 @@ let generate ?(config = default) ~seed () =
   Array.iter
     (fun tier ->
       if tier <= 0.0 || tier > 1.0 then invalid_arg "Cloud_traces: tier out of (0, 1]")
-    config.tiers;
-  let rng = Prng.create ~seed in
-  let horizon = config.days * 1440 in
-  let items = ref [] in
-  let id = ref 0 in
-  for t = 0 to horizon - 1 do
-    (* Diurnal modulation: peak at 20:00, trough 12 hours away. *)
-    let phase = float_of_int (t mod 1440) /. 1440.0 in
-    let wave = 0.5 *. (1.0 +. cos (2.0 *. Float.pi *. (phase -. (20.0 /. 24.0)))) in
-    let rate = config.base_rate *. (1.0 -. (config.diurnal_depth *. (1.0 -. wave))) in
-    let arrivals = Prng.poisson rng ~lambda:rate in
-    for _ = 1 to arrivals do
+    config.tiers
+
+(* One tick's worth of arrivals, in draw order (= id order). *)
+let tick_items config rng ~t ~first_id =
+  (* Diurnal modulation: peak at 20:00, trough 12 hours away. *)
+  let phase = float_of_int (t mod 1440) /. 1440.0 in
+  let wave = 0.5 *. (1.0 +. cos (2.0 *. Float.pi *. (phase -. (20.0 /. 24.0)))) in
+  let rate = config.base_rate *. (1.0 -. (config.diurnal_depth *. (1.0 -. wave))) in
+  let arrivals = Prng.poisson rng ~lambda:rate in
+  (* Explicit loop: the per-item draws must happen in id order
+     ([List.init]'s application order is unspecified). *)
+  let rec build k acc =
+    if k = arrivals then List.rev acc
+    else begin
       let d =
         Prng.log_normal rng ~mu:config.duration_mu ~sigma:config.duration_sigma
       in
@@ -51,8 +53,38 @@ let generate ?(config = default) ~seed () =
         max config.min_duration (min config.max_duration (int_of_float d))
       in
       let size = Load.of_float (Prng.choice rng config.tiers) in
-      items := Item.make ~id:!id ~arrival:t ~departure:(t + duration) ~size :: !items;
-      incr id
-    done
+      build (k + 1)
+        (Item.make ~id:(first_id + k) ~arrival:t ~departure:(t + duration) ~size :: acc)
+    end
+  in
+  build 0 []
+
+let stream ?(config = default) ~seed () : Event_source.t =
+  validate config;
+  let horizon = config.days * 1440 in
+  (* The PRNG in the unfold state is copied before every draw, so
+     re-forcing any node replays the same items: the source is
+     persistent even though Prng.t is mutable. *)
+  Seq.concat_map List.to_seq
+    (Seq.unfold
+       (fun (t, id, rng) ->
+         if t >= horizon then None
+         else begin
+           let rng = Prng.copy rng in
+           let items = tick_items config rng ~t ~first_id:id in
+           Some (items, (t + 1, id + List.length items, rng))
+         end)
+       (0, 0, Prng.create ~seed))
+
+let generate ?(config = default) ~seed () =
+  validate config;
+  let rng = Prng.create ~seed in
+  let horizon = config.days * 1440 in
+  let items = ref [] in
+  let id = ref 0 in
+  for t = 0 to horizon - 1 do
+    let batch = tick_items config rng ~t ~first_id:!id in
+    items := List.rev_append batch !items;
+    id := !id + List.length batch
   done;
   Instance.of_items !items

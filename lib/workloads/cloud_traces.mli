@@ -27,3 +27,8 @@ val default : config
     truncated to [5, 480] minutes, four service tiers. *)
 
 val generate : ?config:config -> seed:int -> unit -> Dbp_instance.Instance.t
+
+val stream : ?config:config -> seed:int -> unit -> Dbp_instance.Event_source.t
+(** The same trace as {!generate} — identical PRNG schedule, items and
+    ids — produced lazily in arrival order, in O(1) memory per tick.
+    The source is persistent (it may be forced repeatedly). *)

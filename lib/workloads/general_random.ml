@@ -41,32 +41,67 @@ let sample_duration rng config =
   in
   max 1 (min config.max_duration d)
 
-let generate ?(config = default) ~seed () =
+let validate config =
   if config.horizon < 1 then invalid_arg "General_random: empty horizon";
   if config.max_duration < 1 then invalid_arg "General_random: max_duration < 1";
   if config.min_size <= 0.0 || config.max_size > 1.0 || config.min_size > config.max_size
-  then invalid_arg "General_random: bad size range";
+  then invalid_arg "General_random: bad size range"
+
+let sample_size rng config =
+  Load.of_float
+    (config.min_size +. (Prng.float_unit rng *. (config.max_size -. config.min_size)))
+
+let make_item rng config ~id ~arrival ~duration =
+  Item.make ~id ~arrival ~departure:(arrival + duration) ~size:(sample_size rng config)
+
+(* Anchor items (drawn before any tick so mu is pinned first). *)
+let anchor_items config rng =
+  if not config.anchor_mu then []
+  else begin
+    let a = make_item rng config ~id:0 ~arrival:0 ~duration:config.max_duration in
+    let b = make_item rng config ~id:1 ~arrival:0 ~duration:1 in
+    [ a; b ]
+  end
+
+(* One tick's arrivals in draw order (= id order): per item, the
+   duration draw precedes the size draw, as [generate] always did. *)
+let tick_items config rng ~t ~first_id =
+  let k = Prng.poisson rng ~lambda:config.arrival_rate in
+  let rec build i acc =
+    if i = k then List.rev acc
+    else begin
+      let duration = sample_duration rng config in
+      build (i + 1) (make_item rng config ~id:(first_id + i) ~arrival:t ~duration :: acc)
+    end
+  in
+  build 0 []
+
+let stream ?(config = default) ~seed () : Event_source.t =
+  validate config;
+  (* Tick -1 emits the anchors; the PRNG snapshot in each unfold state
+     is copied before drawing, so the source is persistent. *)
+  Seq.concat_map List.to_seq
+    (Seq.unfold
+       (fun (t, id, rng) ->
+         if t >= config.horizon then None
+         else begin
+           let rng = Prng.copy rng in
+           let items =
+             if t < 0 then anchor_items config rng
+             else tick_items config rng ~t ~first_id:id
+           in
+           Some (items, (t + 1, id + List.length items, rng))
+         end)
+       ((if config.anchor_mu then -1 else 0), 0, Prng.create ~seed))
+
+let generate ?(config = default) ~seed () =
+  validate config;
   let rng = Prng.create ~seed in
-  let items = ref [] in
-  let id = ref 0 in
-  let size () =
-    Load.of_float
-      (config.min_size +. (Prng.float_unit rng *. (config.max_size -. config.min_size)))
-  in
-  let add ~arrival ~duration =
-    items :=
-      Item.make ~id:!id ~arrival ~departure:(arrival + duration) ~size:(size ())
-      :: !items;
-    incr id
-  in
-  if config.anchor_mu then begin
-    add ~arrival:0 ~duration:config.max_duration;
-    add ~arrival:0 ~duration:1
-  end;
+  let items = ref (List.rev (anchor_items config rng)) in
+  let id = ref (List.length !items) in
   for t = 0 to config.horizon - 1 do
-    let k = Prng.poisson rng ~lambda:config.arrival_rate in
-    for _ = 1 to k do
-      add ~arrival:t ~duration:(sample_duration rng config)
-    done
+    let batch = tick_items config rng ~t ~first_id:!id in
+    items := List.rev_append batch !items;
+    id := !id + List.length batch
   done;
   Instance.of_items !items

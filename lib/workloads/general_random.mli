@@ -30,3 +30,8 @@ type config = {
 val default : config
 
 val generate : ?config:config -> seed:int -> unit -> Dbp_instance.Instance.t
+
+val stream : ?config:config -> seed:int -> unit -> Dbp_instance.Event_source.t
+(** The same instance as {!generate} — identical PRNG schedule, items
+    and ids — produced lazily in arrival order, in O(1) memory per
+    tick. The source is persistent (it may be forced repeatedly). *)

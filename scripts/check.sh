@@ -136,4 +136,47 @@ if [ "$repros" -lt 1 ]; then
   exit 1
 fi
 echo "fuzz: injected fault caught, $repros shrunk repro(s) written"
+
+# Streaming gate: a million-item cloud trace must stream through FF
+# with bounded live state — the retained-items high-water gauge may not
+# exceed the peak-concurrent-items gauge (no released-item log, closed
+# bins retired) — and on a smaller trace every policy's streamed run
+# must be bit-identical to the materializing Engine.run.
+echo "stream: 1M-item cloud trace through FF with bounded retention"
+dune exec bin/main.exe -- stream --workload cloud --days 60 --rate 20 \
+  --seed 1 --policy FF --metrics-json "$tmpdir/stream.json" > "$tmpdir/stream.txt"
+sed -n '2,3p' "$tmpdir/stream.txt"
+items=$(sed -n 's/^items=\([0-9][0-9]*\) .*/\1/p' "$tmpdir/stream.txt")
+gauge() {
+  if command -v jq > /dev/null 2>&1; then jq -e ".metrics[\"$2\"]" "$1"
+  else python3 -c 'import json,sys
+print(json.load(open(sys.argv[1]))["metrics"][sys.argv[2]])' "$1" "$2"
+  fi
+}
+live=$(gauge "$tmpdir/stream.json" engine.live_items)
+retained=$(gauge "$tmpdir/stream.json" engine.retained_items)
+if [ -z "$items" ] || [ -z "$live" ] || [ -z "$retained" ]; then
+  echo "FAIL: could not parse stream output / metrics gauges" >&2
+  exit 1
+fi
+if [ "$items" -lt 1000000 ]; then
+  echo "FAIL: streamed only $items items (< 1000000)" >&2
+  exit 1
+fi
+if [ "$retained" -gt $((live + 8)) ]; then
+  echo "FAIL: retained-items high-water $retained exceeds peak live $live" >&2
+  exit 1
+fi
+echo "stream: $items items, retained high-water $retained <= peak live $live"
+
+echo "stream: per-policy bit-identity vs Engine.run"
+for p in HA CDFF FF BF WF NF CD RT SpanGreedy; do
+  dune exec bin/main.exe -- stream --workload cloud --days 2 --rate 3 \
+    --seed 2 --policy "$p" --verify > "$tmpdir/sv.txt" 2>&1 || {
+    echo "FAIL: streamed $p run differs from Engine.run" >&2
+    cat "$tmpdir/sv.txt" >&2
+    exit 1
+  }
+done
+echo "stream: all 9 policies bit-identical to Engine.run"
 echo "check OK"

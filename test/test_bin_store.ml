@@ -77,6 +77,71 @@ let test_assignment_log () =
     (Bin_store.assignment s);
   check_int "bin_of_item after departure" b (Bin_store.bin_of_item s 7)
 
+(* Drive the same placement script through a retain-mode and a
+   retire-mode store; every aggregate must agree — retiring only drops
+   the per-bin records. *)
+let run_script s =
+  let b1 = Bin_store.open_bin s ~now:0 ~label:"a" in
+  let b2 = Bin_store.open_bin s ~now:1 ~label:"b" in
+  Bin_store.insert s b1 (item ~id:1 ~a:0 ~d:4 ~s:0.5);
+  Bin_store.insert s b1 (item ~id:2 ~a:0 ~d:2 ~s:0.25);
+  Bin_store.insert s b2 (item ~id:3 ~a:1 ~d:7 ~s:0.5);
+  ignore (Bin_store.remove s ~now:2 ~item_id:2);
+  ignore (Bin_store.remove s ~now:4 ~item_id:1);
+  let b3 = Bin_store.open_bin s ~now:5 ~label:"c" in
+  Bin_store.insert s b3 (item ~id:4 ~a:5 ~d:6 ~s:0.1);
+  ignore (Bin_store.remove s ~now:6 ~item_id:4);
+  ignore (Bin_store.remove s ~now:7 ~item_id:3);
+  (b1, b2, b3)
+
+let test_retire_aggregates_match_retain () =
+  let retain = Bin_store.create () and retire = Bin_store.create ~retire:true () in
+  ignore (run_script retain);
+  ignore (run_script retire);
+  check_bool "mode flags" true
+    (Bin_store.retire_mode retire && not (Bin_store.retire_mode retain));
+  List.iter
+    (fun (name, f) -> check_int name (f retain) (f retire))
+    [
+      ("closed_usage", Bin_store.closed_usage);
+      ("bins_opened", Bin_store.bins_opened);
+      ("max_open", Bin_store.max_open);
+      ("open_count", Bin_store.open_count);
+      ("closed_count", Bin_store.closed_count);
+      ("live_items", Bin_store.live_items);
+      ("max_live_items", Bin_store.max_live_items);
+      ("usage at 9", fun s -> Bin_store.usage s ~now:9);
+    ];
+  let _, c1, s1 = Bin_store.lifetime_histogram retain in
+  let _, c2, s2 = Bin_store.lifetime_histogram retire in
+  check_bool "lifetime histogram" true (c1 = c2);
+  check_int "lifetime sum" s1 s2
+
+let test_retire_drops_records () =
+  let s = Bin_store.create ~retire:true () in
+  let b1, b2, _ = run_script s in
+  (* All bins closed: nothing live, records gone. *)
+  check_int "no open bins" 0 (Bin_store.open_count s);
+  Alcotest.(check (list int)) "all_bins = open bins" [] (Bin_store.all_bins s);
+  Alcotest.(check (list (pair int int))) "assignment empty" [] (Bin_store.assignment s);
+  check_raises_invalid "retired bin access" (fun () -> Bin_store.load s b1);
+  check_raises_invalid "retired closed_at" (fun () -> Bin_store.closed_at s b2);
+  check_raises_invalid "unknown id still invalid" (fun () -> Bin_store.load s 99);
+  (match Bin_store.bin_of_item s 1 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "departed item must not resolve in retire mode")
+
+let test_retire_open_bins_accessible () =
+  let s = Bin_store.create ~retire:true () in
+  let b = Bin_store.open_bin s ~now:0 ~label:"live" in
+  Bin_store.insert s b (item ~id:1 ~a:0 ~d:9 ~s:0.5);
+  check_bool "open" true (Bin_store.is_open s b);
+  Alcotest.(check string) "label" "live" (Bin_store.label s b);
+  check_int "bin_of_item while active" b (Bin_store.bin_of_item s 1);
+  Alcotest.(check (list int)) "listed" [ b ] (Bin_store.open_bins s);
+  ignore (Bin_store.remove s ~now:9 ~item_id:1);
+  check_raises_invalid "gone after close" (fun () -> Bin_store.is_open s b)
+
 let suite =
   [
     case "lifecycle" test_lifecycle;
@@ -84,4 +149,7 @@ let suite =
     case "counters" test_counters;
     case "errors" test_errors;
     case "assignment log" test_assignment_log;
+    case "retire: aggregates match retain" test_retire_aggregates_match_retain;
+    case "retire: records dropped" test_retire_drops_records;
+    case "retire: open bins accessible" test_retire_open_bins_accessible;
   ]

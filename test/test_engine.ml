@@ -114,6 +114,44 @@ let prop_cost_at_most_span_times_bins =
       res.cost <= Instance.span inst * res.bins_opened)
     QCheck2.Gen.(int_range 0 1_000_000)
 
+let test_stream_matches_run () =
+  let inst =
+    instance [ (0, 5, 0.5); (1, 3, 0.4); (2, 8, 0.3); (5, 9, 0.6); (6, 7, 0.2) ]
+  in
+  let r = Engine.run ff inst in
+  let s = Engine.Stream.run ff (Event_source.of_instance inst) in
+  check_int "cost" r.cost s.result.cost;
+  check_int "bins_opened" r.bins_opened s.result.bins_opened;
+  check_int "max_open" r.max_open s.result.max_open;
+  check_bool "series" true (r.series = s.result.series);
+  check_int "items" (Instance.length inst) s.items;
+  (* The streamed run keeps no released-item log: retention = live. *)
+  check_int "retained = live" s.peak_live_items s.peak_retained_items;
+  check_bool "retire mode by default" true (Bin_store.retire_mode s.result.store);
+  (* Opt-out: full retention preserves the per-bin history. *)
+  let f = Engine.Stream.run ~retire:false ff (Event_source.of_instance inst) in
+  check_int "full store keeps all bins" r.bins_opened
+    (List.length (Bin_store.all_bins f.result.store))
+
+let test_stream_bounded_series () =
+  let specs = List.init 200 (fun i -> (i, i + 2, 0.9)) in
+  let src = Event_source.of_instance (instance specs) in
+  let s = Engine.Stream.run ~max_series:8 ff src in
+  check_bool "series within cap" true (Array.length s.result.series <= 8);
+  check_int "peak live small" 2 s.peak_live_items
+
+let test_interactive_retention_modes () =
+  (* retain_released:false trades finish's instance for O(live) memory. *)
+  let t = Engine.Interactive.start ~retain_released:false ff in
+  ignore (Engine.Interactive.arrive t (item ~id:1 ~a:0 ~d:3 ~s:0.5));
+  ignore (Engine.Interactive.arrive t (item ~id:2 ~a:1 ~d:2 ~s:0.5));
+  check_int "items_arrived" 2 (Engine.Interactive.items_arrived t);
+  check_int "peak live" 2 (Engine.Interactive.peak_live_items t);
+  check_int "peak retained" 2 (Engine.Interactive.peak_retained_items t);
+  let result, inst = Engine.Interactive.finish t in
+  check_int "cost still computed" 3 result.cost;
+  check_bool "instance empty without the log" true (Instance.is_empty inst)
+
 let suite =
   [
     case "single item" test_single_item;
@@ -126,6 +164,9 @@ let suite =
     case "interactive rejects past" test_interactive_past_arrival_rejected;
     case "lying policy rejected" test_lying_policy_rejected;
     case "empty instance" test_empty_instance;
+    case "stream matches run" test_stream_matches_run;
+    case "stream bounded series" test_stream_bounded_series;
+    case "interactive retention modes" test_interactive_retention_modes;
     prop_cost_at_least_lower_bound;
     prop_cost_at_most_span_times_bins;
   ]

@@ -1,0 +1,210 @@
+open Dbp_instance
+open Dbp_workloads
+open Helpers
+
+(* ---- source combinators ---- *)
+
+let items_of src = List.of_seq (Seq.map (fun (r : Item.t) -> r.id) src)
+
+let test_of_instance_roundtrip () =
+  let inst = instance [ (5, 6, 0.1); (1, 3, 0.2); (1, 2, 0.3) ] in
+  let src = Event_source.of_instance inst in
+  check_bool "ordered" true (Event_source.is_ordered src);
+  check_int "length" 3 (Event_source.length src);
+  let back = Event_source.to_instance src in
+  check_bool "same items" true (Instance.items back = Instance.items inst)
+
+let test_of_items_sorts () =
+  let a = item ~id:7 ~a:4 ~d:5 ~s:0.1
+  and b = item ~id:2 ~a:4 ~d:9 ~s:0.1
+  and c = item ~id:1 ~a:0 ~d:2 ~s:0.1 in
+  Alcotest.(check (list int))
+    "sorted by (arrival, id)" [ 1; 2; 7 ]
+    (items_of (Event_source.of_items [ a; b; c ]));
+  check_raises_invalid "duplicate ids" (fun () ->
+      ignore (Event_source.length (Event_source.of_items [ a; a ])))
+
+let test_merge_order_and_stability () =
+  let left = Event_source.of_items [ item ~id:1 ~a:0 ~d:1 ~s:0.1; item ~id:4 ~a:5 ~d:6 ~s:0.1 ]
+  and right = Event_source.of_items [ item ~id:2 ~a:3 ~d:4 ~s:0.1; item ~id:9 ~a:5 ~d:7 ~s:0.1 ] in
+  Alcotest.(check (list int)) "interleaved" [ 1; 2; 4; 9 ]
+    (items_of (Event_source.merge left right));
+  (* Equal (arrival, id) keys cannot occur across real sources; use the
+     generic merge to observe tie stability directly. *)
+  let l = List.to_seq [ (0, "l") ] and r = List.to_seq [ (0, "r") ] in
+  let merged =
+    List.of_seq (Event_source.merge_by ~cmp:(fun (a, _) (b, _) -> Int.compare a b) l r)
+  in
+  Alcotest.(check (list (pair int string))) "left wins ties" [ (0, "l"); (0, "r") ] merged;
+  check_int "merge_list" 4
+    (Event_source.length (Event_source.merge_list [ left; right; Event_source.empty ]))
+
+let test_merge_is_lazy () =
+  (* Pulling one element from a merge may force both heads (to compare)
+     but must not force either tail. *)
+  let forced = ref 0 in
+  let src a id () =
+    Seq.Cons
+      ( item ~id ~a ~d:(a + 1) ~s:0.1,
+        fun () ->
+          incr forced;
+          Seq.Nil )
+  in
+  (match Event_source.merge (src 0 1) (src 1 2) () with
+  | Seq.Cons (r, _) -> check_int "head" 1 r.Item.id
+  | Seq.Nil -> Alcotest.fail "empty merge");
+  check_int "tails not forced" 0 !forced
+
+(* ---- streaming workload constructors ---- *)
+
+let same_instance name a b =
+  check_bool (name ^ ": identical items") true (Instance.items a = Instance.items b)
+
+let test_cloud_stream_matches_generate () =
+  List.iter
+    (fun seed ->
+      let src = Cloud_traces.stream ~seed () in
+      same_instance "cloud"
+        (Event_source.to_instance src)
+        (Cloud_traces.generate ~seed ());
+      check_bool "ordered" true (Event_source.is_ordered src))
+    [ 1; 7; 42 ]
+
+let test_general_stream_matches_generate () =
+  List.iter
+    (fun seed ->
+      let src = General_random.stream ~seed () in
+      same_instance "general"
+        (Event_source.to_instance src)
+        (General_random.generate ~seed ()))
+    [ 1; 7; 42 ]
+
+let test_aligned_stream_properties () =
+  let config = { Aligned_random.default with horizon = 256; rate = 0.15 } in
+  let src = Aligned_random.stream ~config ~seed:5 () in
+  let inst = Event_source.to_instance src in
+  check_bool "ordered" true (Event_source.is_ordered src);
+  check_bool "aligned" true (Instance.is_aligned inst);
+  check_bool "non-trivial" true (Instance.length inst > 0);
+  (* Ids are assigned in emission order, so the source order is exactly
+     the instance's processing order — the equivalence contract. *)
+  let ids = items_of src in
+  Alcotest.(check (list int)) "ids dense in emission order"
+    (List.init (List.length ids) Fun.id)
+    ids;
+  (* Persistence: a second forcing replays the same items. *)
+  same_instance "refetch" inst (Event_source.to_instance src)
+
+let test_stream_persistence () =
+  let src = Cloud_traces.stream ~seed:11 () in
+  same_instance "cloud refetch" (Event_source.to_instance src)
+    (Event_source.to_instance src)
+
+(* ---- Engine.Stream = Engine.run equivalence ---- *)
+
+let policies =
+  [
+    ("HA", fun () -> Dbp_core.Ha.policy ());
+    ("CDFF", fun () -> Dbp_core.Cdff.policy ());
+    ("FF", fun () -> Dbp_baselines.Any_fit.first_fit);
+    ("BF", fun () -> Dbp_baselines.Any_fit.best_fit);
+    ("WF", fun () -> Dbp_baselines.Any_fit.worst_fit);
+    ("NF", fun () -> Dbp_baselines.Any_fit.next_fit);
+    ("CD", fun () -> Dbp_baselines.Classify_duration.policy ());
+    ("RT", fun () -> Dbp_baselines.Rt_classify.auto ~mu_hint:96.0);
+    ("SpanGreedy", fun () -> Dbp_baselines.Span_greedy.policy);
+  ]
+
+let sources ~seed =
+  [
+    ( "cloud",
+      Cloud_traces.stream
+        ~config:{ Cloud_traces.default with days = 1; base_rate = 0.5 }
+        ~seed () );
+    ( "general",
+      General_random.stream
+        ~config:{ General_random.default with horizon = 400; arrival_rate = 0.5 }
+        ~seed () );
+    ( "aligned",
+      Aligned_random.stream
+        ~config:{ Aligned_random.default with horizon = 256; rate = 0.1 }
+        ~seed () );
+  ]
+
+let stream_equals_run ~policy_name factory src =
+  let s = Dbp_sim.Engine.Stream.run (factory ()) src in
+  let inst = Event_source.to_instance src in
+  let r = Dbp_sim.Engine.run (factory ()) inst in
+  s.result.cost = r.cost
+  && s.result.bins_opened = r.bins_opened
+  && s.result.max_open = r.max_open
+  && s.result.series = r.series
+  && s.items = Instance.length inst
+  && s.peak_retained_items = s.peak_live_items
+  ||
+  (Printf.eprintf "mismatch: %s stream (%d,%d,%d) vs run (%d,%d,%d)\n" policy_name
+     s.result.cost s.result.bins_opened s.result.max_open r.cost r.bins_opened
+     r.max_open;
+   false)
+
+let test_stream_equals_run_all () =
+  List.iter
+    (fun (wname, src) ->
+      List.iter
+        (fun (pname, factory) ->
+          check_bool
+            (Printf.sprintf "%s on %s" pname wname)
+            true
+            (stream_equals_run ~policy_name:pname factory src))
+        policies)
+    (sources ~seed:3)
+
+let prop_stream_equals_run =
+  qcase ~count:15 ~name:"stream = run (random seed, policy, workload)"
+    (fun (seed, p, w) ->
+      let pname, factory = List.nth policies (p mod List.length policies) in
+      let _, src = List.nth (sources ~seed) (w mod 3) in
+      stream_equals_run ~policy_name:pname factory src)
+    QCheck2.Gen.(triple (int_range 1 10_000) (int_range 0 8) (int_range 0 2))
+
+let test_decimated_series_brackets_exact () =
+  let src =
+    Cloud_traces.stream ~config:{ Cloud_traces.default with days = 1 } ~seed:9 ()
+  in
+  let cap = 16 in
+  let s = Dbp_sim.Engine.Stream.run ~max_series:cap Dbp_baselines.Any_fit.first_fit src in
+  let exact =
+    (Dbp_sim.Engine.run Dbp_baselines.Any_fit.first_fit (Event_source.to_instance src))
+      .series
+  in
+  let d = s.result.series in
+  check_bool "within cap" true (Array.length d <= cap);
+  check_bool "endpoints kept" true
+    (d.(0) = exact.(0) && d.(Array.length d - 1) = exact.(Array.length exact - 1));
+  (* Every retained sample is an exact (tick, open-bins) sample, in
+     order: the decimated series never invents or averages points. *)
+  let j = ref 0 in
+  Array.iter
+    (fun sample ->
+      while !j < Array.length exact && exact.(!j) <> sample do
+        incr j
+      done;
+      if !j = Array.length exact then
+        Alcotest.failf "sample (%d, %d) not in the exact series" (fst sample)
+          (snd sample))
+    d
+
+let suite =
+  [
+    case "of_instance round-trip" test_of_instance_roundtrip;
+    case "of_items sorts" test_of_items_sorts;
+    case "merge order and stability" test_merge_order_and_stability;
+    case "merge is lazy" test_merge_is_lazy;
+    case "cloud stream = generate" test_cloud_stream_matches_generate;
+    case "general stream = generate" test_general_stream_matches_generate;
+    case "aligned stream properties" test_aligned_stream_properties;
+    case "sources are persistent" test_stream_persistence;
+    slow_case "stream = run, 9 policies x 3 workloads" test_stream_equals_run_all;
+    prop_stream_equals_run;
+    case "decimated series brackets exact" test_decimated_series_brackets_exact;
+  ]

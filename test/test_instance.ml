@@ -66,6 +66,25 @@ let test_find () =
   | exception Not_found -> ()
   | _ -> Alcotest.fail "expected Not_found")
 
+(* The hashtable index must agree with a plain scan of [items] for
+   every id that exists — and ids are arbitrary, not dense, so the
+   random instances here exercise gaps and large ids. *)
+let prop_find_agrees_with_scan =
+  qcase ~name:"find = linear scan over items"
+    (fun inst ->
+      let arr = Instance.items inst in
+      Array.for_all (fun (r : Item.t) -> Instance.find inst r.id == r) arr
+      &&
+      let missing = 1 + Array.fold_left (fun m (r : Item.t) -> max m r.id) 0 arr in
+      match Instance.find inst missing with
+      | exception Not_found -> true
+      | _ -> false)
+    QCheck2.Gen.(
+      let* n = int_range 1 60 in
+      let* seed = int_range 0 1_000_000 in
+      return
+        (random_instance (Prng.create ~seed) ~n ~max_time:100 ~max_duration:50))
+
 let test_empty_guards () =
   let e = Instance.of_items [] in
   check_bool "is_empty" true (Instance.is_empty e);
@@ -107,6 +126,7 @@ let suite =
     case "union/shift" test_union_shift;
     case "is_aligned" test_is_aligned;
     case "find" test_find;
+    prop_find_agrees_with_scan;
     case "empty guards" test_empty_guards;
     prop_span_le_window;
     prop_demand_le_span_times_peak;

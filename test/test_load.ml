@@ -13,6 +13,19 @@ let test_of_fraction () =
   check_raises_invalid "negative num" (fun () -> Load.of_fraction ~num:(-1) ~den:2);
   check_raises_invalid "zero den" (fun () -> Load.of_fraction ~num:1 ~den:0)
 
+(* num * capacity silently wrapped to a negative load before the guard
+   landed; the boundary is max_int / capacity. *)
+let test_of_fraction_overflow () =
+  let bound = max_int / Load.capacity in
+  check_int "largest safe numerator" Load.capacity
+    (units (Load.of_fraction ~num:bound ~den:bound));
+  check_bool "huge num, huge den, positive" true
+    (units (Load.of_fraction ~num:bound ~den:(2 * bound)) > 0);
+  check_raises_invalid "num = bound + 1 overflows" (fun () ->
+      Load.of_fraction ~num:(bound + 1) ~den:(bound + 1));
+  check_raises_invalid "max_int overflows" (fun () ->
+      Load.of_fraction ~num:max_int ~den:max_int)
+
 let test_fraction_floor_fits () =
   (* den items of size 1/den must exactly fit one bin: the invariant
      Corollary 5.8's exactness depends on. *)
@@ -75,6 +88,7 @@ let suite =
   [
     case "constants" test_constants;
     case "of_fraction" test_of_fraction;
+    case "of_fraction overflow guard" test_of_fraction_overflow;
     case "fraction floor fits" test_fraction_floor_fits;
     case "of_float" test_of_float;
     case "arithmetic" test_arithmetic;

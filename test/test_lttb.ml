@@ -1,0 +1,98 @@
+open Dbp_util
+open Helpers
+
+(* Two-pointer subsequence check: every element of [sub], in order, is
+   an element of [full]. *)
+let is_subsequence sub full =
+  let n = Array.length full in
+  let rec scan i j =
+    if i = Array.length sub then true
+    else if j = n then false
+    else if sub.(i) = full.(j) then scan (i + 1) (j + 1)
+    else scan i (j + 1)
+  in
+  scan 0 0
+
+let ramp n = Array.init n (fun i -> (i, (i * 7919 mod 101) - 50))
+
+let test_downsample_identity () =
+  let s = ramp 10 in
+  Alcotest.(check (array (pair int int))) "fits: copy" s (Lttb.downsample s ~cap:10);
+  Alcotest.(check (array (pair int int))) "fits under cap" s (Lttb.downsample s ~cap:64);
+  check_bool "copy, not alias" true (Lttb.downsample s ~cap:64 != s)
+
+let test_downsample_shape () =
+  let s = ramp 1000 in
+  let d = Lttb.downsample s ~cap:50 in
+  check_int "exactly cap points" 50 (Array.length d);
+  check_bool "first kept" true (d.(0) = s.(0));
+  check_bool "last kept" true (d.(49) = s.(999));
+  check_bool "subsequence" true (is_subsequence d s)
+
+let test_downsample_guards () =
+  check_raises_invalid "cap 2" (fun () -> Lttb.downsample (ramp 10) ~cap:2);
+  check_raises_invalid "create cap 2" (fun () -> ignore (Lttb.create ~cap:2 ()))
+
+let test_uncapped_exact () =
+  let t = Lttb.create () in
+  let s = ramp 5000 in
+  Array.iter (Lttb.push t) s;
+  Alcotest.(check (array (pair int int))) "every sample kept" s (Lttb.to_array t)
+
+let test_capped_buffer_bound () =
+  let cap = 32 in
+  let t = Lttb.create ~cap () in
+  let s = ramp 10_000 in
+  Array.iter
+    (fun sample ->
+      Lttb.push t sample;
+      if Lttb.length t >= 2 * cap then
+        Alcotest.failf "buffer reached %d (cap %d)" (Lttb.length t) cap)
+    s;
+  let d = Lttb.to_array t in
+  check_bool "output within cap" true (Array.length d <= cap);
+  check_bool "first kept" true (d.(0) = s.(0));
+  check_bool "last kept" true (d.(Array.length d - 1) = s.(9999));
+  check_bool "subsequence of pushes" true (is_subsequence d s)
+
+let test_last_set_last () =
+  let t = Lttb.create ~cap:8 () in
+  check_bool "empty" true (Lttb.is_empty t);
+  check_raises_invalid "last of empty" (fun () -> ignore (Lttb.last t));
+  Lttb.push t (0, 1);
+  Lttb.push t (3, 5);
+  check_bool "last" true (Lttb.last t = (3, 5));
+  Lttb.set_last t (3, 9);
+  check_bool "overwritten" true (Lttb.last t = (3, 9));
+  check_int "length unchanged" 2 (Lttb.length t)
+
+let prop_decimated_subsequence =
+  qcase ~count:100 ~name:"decimation: subsequence, endpoints, cap"
+    (fun (seed, n, cap) ->
+      let rng = Prng.create ~seed in
+      (* Non-decreasing ticks with repeats, arbitrary values. *)
+      let tick = ref 0 in
+      let s =
+        Array.init n (fun _ ->
+            tick := !tick + Prng.int_below rng 3;
+            (!tick, Prng.int_below rng 100))
+      in
+      let t = Lttb.create ~cap () in
+      Array.iter (Lttb.push t) s;
+      let d = Lttb.to_array t in
+      Array.length d <= cap
+      && Lttb.length t < 2 * cap
+      && (n = 0 || (d.(0) = s.(0) && d.(Array.length d - 1) = s.(n - 1)))
+      && is_subsequence d s)
+    QCheck2.Gen.(triple (int_range 0 100_000) (int_range 0 500) (int_range 3 40))
+
+let suite =
+  [
+    case "downsample identity" test_downsample_identity;
+    case "downsample shape" test_downsample_shape;
+    case "cap guards" test_downsample_guards;
+    case "uncapped is exact" test_uncapped_exact;
+    case "capped buffer stays bounded" test_capped_buffer_bound;
+    case "last/set_last" test_last_set_last;
+    prop_decimated_subsequence;
+  ]

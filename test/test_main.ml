@@ -9,6 +9,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
       ("vec", Test_vec.suite);
+      ("lttb", Test_lttb.suite);
       ("heap", Test_heap.suite);
       ("prng", Test_prng.suite);
       ("pool", Test_pool.suite);
@@ -18,6 +19,7 @@ let () =
       ("binpack", Test_binpack.suite);
       ("item", Test_item.suite);
       ("instance", Test_instance.suite);
+      ("event-source", Test_event_source.suite);
       ("profile", Test_profile.suite);
       ("reduction", Test_reduction.suite);
       ("ff-index", Test_ff_index.suite);

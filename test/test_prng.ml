@@ -176,6 +176,38 @@ let test_poisson () =
   check_int "lambda 0" 0 (Prng.poisson t ~lambda:0.0);
   check_raises_invalid "negative" (fun () -> Prng.poisson t ~lambda:(-1.0))
 
+(* Pinned draw sequences captured from the original recursive
+   implementation (halve lambda until <= 30, sum two half-lambda draws;
+   halving by 2.0 is exact in binary floating point, so the iterative
+   rewrite must consume the PRNG identically). A change to the split
+   threshold, the splitting order, or the product-method loop shifts
+   these sequences and fails here. The lambda = 10_000 case is the
+   stack-depth regression: the recursive version split it 9 levels deep,
+   1024 leaf draws per sample. Format: (seed, lambda, leading draws). *)
+let poisson_pins =
+  [
+    (1, 0.5, [ 1; 0; 0; 1; 0; 0; 1; 3; 0; 1; 0; 0 ]);
+    (7, 2.0, [ 6; 0; 1; 5; 1; 1; 1; 3; 0; 1; 1; 1 ]);
+    (2, 5.0, [ 5; 9; 4; 5; 6; 2; 5; 7; 3; 5; 8; 4 ]);
+    (3, 30.0, [ 33; 31; 39; 23; 29; 34; 29; 34; 28; 37; 30; 36 ]);
+    (4, 80.0, [ 74; 83; 81; 79; 72; 77; 84; 75; 75; 62; 92; 86 ]);
+    (5, 1000.0, [ 991; 1042; 1005; 1004; 1010; 1041; 1005; 963 ]);
+    (6, 10000.0, [ 10088; 10086; 9925; 9985 ]);
+  ]
+
+let test_poisson_pinned () =
+  List.iter
+    (fun (seed, lambda, expected) ->
+      let t = Prng.create ~seed in
+      List.iteri
+        (fun i want ->
+          check_int
+            (Printf.sprintf "seed %d lambda %g draw %d" seed lambda i)
+            want
+            (Prng.poisson t ~lambda))
+        expected)
+    poisson_pins
+
 let test_bernoulli () =
   let t = Prng.create ~seed:43 in
   let n = 50_000 in
@@ -216,6 +248,7 @@ let suite =
     case "normal" test_normal;
     case "pareto" test_pareto;
     case "poisson" test_poisson;
+    case "poisson pinned draws" test_poisson_pinned;
     case "bernoulli" test_bernoulli;
     case "shuffle" test_shuffle_permutation;
     case "choice" test_choice;

@@ -58,6 +58,44 @@ let test_clear () =
   Vec.push v 7;
   check_int "reusable" 7 (Vec.get v 0)
 
+let test_clear_keeps_capacity () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  let cap = Vec.capacity v in
+  check_bool "grew" true (cap >= 1000);
+  Vec.clear v;
+  check_int "emptied" 0 (Vec.length v);
+  check_int "capacity kept" cap (Vec.capacity v);
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  (* The whole point of keeping the backing array: refilling to the old
+     length must not have grown it. *)
+  check_int "no reallocation on refill" cap (Vec.capacity v)
+
+let test_reset () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.reset v;
+  check_int "emptied" 0 (Vec.length v);
+  check_int "storage released" 0 (Vec.capacity v);
+  Vec.push v 9;
+  check_int "reusable after reset" 9 (Vec.get v 0)
+
+let test_truncate () =
+  let v = Vec.of_list [ 10; 20; 30; 40 ] in
+  let cap = Vec.capacity v in
+  Vec.truncate v 2;
+  Alcotest.(check (list int)) "prefix kept" [ 10; 20 ] (Vec.to_list v);
+  check_int "capacity unchanged" cap (Vec.capacity v);
+  Vec.truncate v 2;
+  check_int "no-op at length" 2 (Vec.length v);
+  Vec.truncate v 0;
+  check_bool "to empty" true (Vec.is_empty v);
+  check_raises_invalid "negative" (fun () -> Vec.truncate v (-1));
+  check_raises_invalid "past length" (fun () -> Vec.truncate v 1)
+
 let prop_roundtrip =
   qcase ~name:"of_list |> to_list = id"
     (fun l -> Vec.to_list (Vec.of_list l) = l)
@@ -78,6 +116,9 @@ let suite =
     case "swap_remove" test_swap_remove;
     case "iteration" test_iteration;
     case "clear" test_clear;
+    case "clear keeps capacity" test_clear_keeps_capacity;
+    case "reset" test_reset;
+    case "truncate" test_truncate;
     prop_roundtrip;
     prop_array_roundtrip;
   ]
