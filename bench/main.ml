@@ -12,6 +12,12 @@
    families, next to a from-scratch sweep's branch-and-bound node count;
    --skip-optr skips it.
 
+   Part 1.75 measures end-to-end streaming throughput (items/s) of
+   Engine.Stream over a ~100k-item cloud trace for every policy, under
+   the same GC profile `dbp stream` defaults to; --skip-stream skips
+   it. These are wall-clock measurements, not OLS fits — the regression
+   gate lives in scripts/check.sh on the pinned 1M-item trace.
+
    Part 2 runs bechamel microbenchmarks of the hot paths: one Test.make
    per packing algorithm (per table row of E1), plus the substrate
    operations (first-fit index, exact packer, PRNG, binary strings).
@@ -23,12 +29,14 @@ open Bechamel
 open Toolkit
 
 let usage =
-  "bench [--full] [--only ID] [--skip-exps] [--skip-optr] [--skip-micro] [--jobs N] \
-   [--json FILE] [--metrics] [--metrics-json FILE] [--trace FILE]"
+  "bench [--full] [--only ID] [--skip-exps] [--skip-optr] [--skip-stream] \
+   [--skip-micro] [--jobs N] [--json FILE] [--metrics] [--metrics-json FILE] \
+   [--trace FILE]"
 let full = ref false
 let only = ref None
 let skip_exps = ref false
 let skip_optr = ref false
+let skip_stream = ref false
 let skip_micro = ref false
 let json_path = ref None
 let metrics_table = ref false
@@ -42,6 +50,7 @@ let parse_args () =
       ("--only", Arg.String (fun s -> only := Some s), "ID run a single experiment");
       ("--skip-exps", Arg.Set skip_exps, " skip the paper experiments");
       ("--skip-optr", Arg.Set skip_optr, " skip the incremental OPT_R counter report");
+      ("--skip-stream", Arg.Set skip_stream, " skip the streaming-throughput report");
       ("--skip-micro", Arg.Set skip_micro, " skip the microbenchmarks");
       ( "--jobs",
         Arg.Int
@@ -152,6 +161,68 @@ let run_optr () =
         ] ))
     optr_families
 
+(* ---- Part 1.75: streaming throughput ----
+
+   Every policy over the same ~100k-item cloud trace through
+   Engine.Stream (retire mode, 512-sample series — the `dbp stream`
+   defaults), reporting end-to-end items/s. One wall-clock run each:
+   these are trajectory numbers for BENCH_*.json, not a gate — the
+   noise-robust best-of-3 regression gate on the pinned 1M-item trace
+   is in scripts/check.sh. *)
+
+let stream_policies ~mu_hint =
+  [
+    ("HA", Dbp_core.Ha.policy ());
+    ("CDFF", Dbp_core.Cdff.policy ());
+    ("FF", Dbp_baselines.Any_fit.first_fit);
+    ("BF", Dbp_baselines.Any_fit.best_fit);
+    ("WF", Dbp_baselines.Any_fit.worst_fit);
+    ("NF", Dbp_baselines.Any_fit.next_fit);
+    ("CD", Dbp_baselines.Classify_duration.policy ());
+    ("RT", Dbp_baselines.Rt_classify.auto ~mu_hint);
+    ("SpanGreedy", Dbp_baselines.Span_greedy.policy);
+  ]
+
+let run_stream () =
+  let open Dbp_workloads in
+  let config = { Cloud_traces.default with days = 6; base_rate = 20.0 } in
+  let mu_hint =
+    float_of_int config.max_duration /. float_of_int config.min_duration
+  in
+  let saved = Gc.get () in
+  Fun.protect
+    ~finally:(fun () -> Gc.set saved)
+    (fun () ->
+      Dbp_util.Gc_tune.apply Dbp_util.Gc_tune.stream_default;
+      print_endline
+        "Streaming throughput (cloud days=6 rate=20 seed=1, ~100k items):";
+      let measure name factory config =
+        let source = Cloud_traces.stream ~config ~seed:1 () in
+        let t0 = Unix.gettimeofday () in
+        let s = Dbp_sim.Engine.Stream.run ~max_series:512 factory source in
+        let wall = Unix.gettimeofday () -. t0 in
+        let ips = float_of_int s.items /. Float.max wall 1e-9 in
+        Printf.printf "  %-10s %7d items  %9.0f items/s  cost=%d\n" name
+          s.items ips s.result.cost;
+        flush stdout;
+        (s.items, ips)
+      in
+      let per_policy =
+        List.map
+          (fun (name, factory) ->
+            let items, ips = measure name factory config in
+            (Printf.sprintf "stream/%s cloud 100k" name, items, ips))
+          (stream_policies ~mu_hint)
+      in
+      (* The acceptance trace of the representation overhaul: the pinned
+         1M-item FF stream scripts/check.sh gates at >= 1.045M items/s. *)
+      print_endline "Pinned trace (cloud days=60 rate=20 seed=1, ~1M items):";
+      let items, ips =
+        measure "FF" Dbp_baselines.Any_fit.first_fit
+          { config with Cloud_traces.days = 60 }
+      in
+      per_policy @ [ ("stream/FF cloud 1M pinned", items, ips) ])
+
 (* ---- Part 2: microbenchmarks ---- *)
 
 let instance_of workload mu seed =
@@ -230,6 +301,46 @@ let micro_tests () =
     (let xs = List.init 1000 (fun i -> i * 7919 mod 65536) in
      Test.make ~name:"Heap.of_list 1000"
        (Staged.stage (fun () -> Heap.of_list ~cmp:Int.compare xs)));
+    (* Substrate: the departure queue — the slot heap with its key
+       snapshot in parallel int arrays, against the boxed generic heap
+       over (departure, id) tuples it replaced in the engine. *)
+    (let n = 1000 in
+     let rng = Prng.create ~seed:7 in
+     let block = Dbp_instance.Item_block.create () in
+     let slots =
+       Array.init n (fun i ->
+           Dbp_instance.Item_block.alloc block
+             (Dbp_instance.Item.make ~id:i ~arrival:0
+                ~departure:(1 + Prng.int_below rng 100_000)
+                ~size:(Load.of_units 1)))
+     in
+     let keys =
+       Array.map
+         (fun s ->
+           ( Dbp_instance.Item_block.departure block s,
+             Dbp_instance.Item_block.id block s ))
+         slots
+     in
+     let cmp (d1, i1) (d2, i2) =
+       if d1 <> d2 then Int.compare d1 d2 else Int.compare i1 i2
+     in
+     Test.make_grouped ~name:"Departure heap add+pop x1000"
+       [
+         Test.make ~name:"slot"
+           (Staged.stage (fun () ->
+                let h = Dbp_instance.Item_block.Heap.create () in
+                Array.iter (fun s -> Dbp_instance.Item_block.Heap.add block h s) slots;
+                while Dbp_instance.Item_block.Heap.length h > 0 do
+                  ignore (Dbp_instance.Item_block.Heap.pop h)
+                done));
+         Test.make ~name:"boxed"
+           (Staged.stage (fun () ->
+                let h = Heap.create ~cmp in
+                Array.iter (fun k -> Heap.add h k) keys;
+                while not (Heap.is_empty h) do
+                  ignore (Heap.pop_exn h)
+                done));
+       ]);
   ]
 
 let json_escape s =
@@ -255,7 +366,7 @@ let metrics_record () =
   | Json.Obj fields -> Json.to_string (Json.Obj (("name", Json.String "metrics") :: fields))
   | j -> Json.to_string j
 
-let write_json path ~optr ~micro =
+let write_json path ~optr ~stream ~micro =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -267,6 +378,12 @@ let write_json path ~optr ~micro =
               (String.concat ", "
                  (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) fields)))
           optr
+        @ List.map
+            (fun (name, items, ips) ->
+              Printf.sprintf
+                "{\"name\": \"%s\", \"items\": %d, \"items_per_sec\": %s}"
+                (json_escape name) items (json_number ips))
+            stream
         @ List.map
             (fun (name, ns, r2) ->
               Printf.sprintf "{\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}"
@@ -314,8 +431,11 @@ let () =
   parse_args ();
   if not !skip_exps then run_experiments ();
   let optr = if not !skip_optr then run_optr () else [] in
+  let stream = if not !skip_stream then run_stream () else [] in
   let micro = if not !skip_micro then run_micro () else [] in
-  (match !json_path with None -> () | Some path -> write_json path ~optr ~micro);
+  (match !json_path with
+  | None -> ()
+  | Some path -> write_json path ~optr ~stream ~micro);
   if !metrics_table then print_string (Dbp_util.Metrics.to_table ());
   (match !metrics_json_path with
   | None -> ()

@@ -448,7 +448,19 @@ let stream_cmd =
              asserting cost, bins_opened and max_open are bit-identical to the \
              streamed run. Costs O(items) memory; exits 1 on mismatch.")
   in
-  let run workload days rate seed policy max_series retain verify obs =
+  let gc_spec =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "gc" ] ~docv:"SPEC" ~env:(Cmd.Env.info "DBP_GC")
+          ~doc:
+            "GC tuning spec applied before the run, e.g. \
+             $(i,minor=2M,space=200) (minor heap in words with K/M \
+             suffixes, space_overhead in percent). Defaults to the \
+             measured streaming profile; $(i,stock) leaves the runtime \
+             untouched. Also read from $(env).")
+  in
+  let run workload days rate seed policy max_series retain verify gc_spec obs =
     if days < 1 then fail "--days must be >= 1"
     else if rate <= 0.0 then fail "--rate must be positive"
     else if max_series < 0 || (max_series > 0 && max_series < 3) then
@@ -478,7 +490,18 @@ let stream_cmd =
       | Some source -> (
           match algorithm_of_name ~mu_hint policy with
           | None -> fail "unknown algorithm %S" policy
-          | Some factory ->
+          | Some factory -> (
+              let gc_applied =
+                match gc_spec with
+                | "stock" -> Ok ()
+                | "" -> Ok (Dbp_util.Gc_tune.apply Dbp_util.Gc_tune.stream_default)
+                | spec -> (
+                    try Ok (Dbp_util.Gc_tune.apply spec)
+                    with Invalid_argument m -> Error m)
+              in
+              match gc_applied with
+              | Error m -> fail "--gc: %s" m
+              | Ok () ->
               with_obs obs (fun () ->
                   let max_series = if max_series = 0 then None else Some max_series in
                   let t0 = Unix.gettimeofday () in
@@ -522,7 +545,7 @@ let stream_cmd =
                       exit 1
                     end
                   end);
-              `Ok ())
+              `Ok ()))
     end
   in
   Cmd.v
@@ -536,7 +559,7 @@ let stream_cmd =
     Term.(
       ret
         (const run $ workload $ days $ rate $ seed_arg $ policy $ max_series
-       $ retain $ verify $ obs_term))
+       $ retain $ verify $ gc_spec $ obs_term))
 
 (* ---- adversary ---- *)
 

@@ -16,18 +16,11 @@ module Key = struct
 
   (* Splitmix-style rolling hash over the whole (short) count-vector key;
      the generic [Hashtbl.hash_param] walked the boxed representation and
-     still had to be told to look 500 levels deep. Constants are 62-bit
-     truncations of the usual 64-bit mixers. *)
-  let mix z =
-    let z = z * 0x2545F4914F6CDD1D in
-    let z = z lxor (z lsr 29) in
-    let z = z * 0x1B03738712FAD5C9 in
-    z lxor (z lsr 32)
-
+     still had to be told to look 500 levels deep. *)
   let hash (k : t) =
     let h = ref (Array.length k) in
     for i = 0 to Array.length k - 1 do
-      h := mix (!h lxor Array.unsafe_get k i)
+      h := Ints.splitmix_mix (!h lxor Array.unsafe_get k i)
     done;
     !h land max_int
 end

@@ -22,6 +22,21 @@ let merge_list sources = List.fold_right merge sources Seq.empty
 let to_instance (s : t) = Instance.of_items (List.of_seq s)
 let length (s : t) = Seq.fold_left (fun n _ -> n + 1) 0 s
 
+(* A cursor is just a resumable head of the sequence; [next_into] moves
+   each forced item straight into an {!Item_block} slot so the consumer
+   works with unboxed fields (the boxed item rides along in the block's
+   mirror for the policy boundary). *)
+type cursor = { mutable rest : t }
+
+let cursor (s : t) = { rest = s }
+
+let next_into cur block =
+  match cur.rest () with
+  | Seq.Nil -> -1
+  | Seq.Cons (r, rest) ->
+      cur.rest <- rest;
+      Item_block.alloc block r
+
 let is_ordered (s : t) =
   let ok = ref true and prev = ref None in
   Seq.iter

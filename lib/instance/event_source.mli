@@ -33,6 +33,23 @@ val merge_by : cmp:('a -> 'a -> int) -> 'a Seq.t -> 'a Seq.t -> 'a Seq.t
 (** The underlying generic stable merge, exposed for constructors that
     merge pre-item representations before ids are assigned. *)
 
+(** {2 Streaming consumption}
+
+    The streaming engine drains a source through a cursor that deposits
+    each item directly into an {!Item_block} arena, so the hot loop
+    addresses unboxed slots and the boxed item is only touched at the
+    policy boundary. *)
+
+type cursor
+
+val cursor : t -> cursor
+(** A resumable read head at the start of the source. *)
+
+val next_into : cursor -> Item_block.t -> int
+(** Force the next item, allocate it into the block and return its
+    slot; [-1] when the source is exhausted. The caller owns the slot
+    (and must eventually {!Item_block.free} it). *)
+
 val to_instance : t -> Instance.t
 (** Materialize (forces the whole source; O(n) memory). Raises on
     duplicate ids like {!Instance.of_items}. *)

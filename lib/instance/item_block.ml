@@ -1,0 +1,216 @@
+open Dbp_util
+
+(* Struct-of-arrays item arena. Four parallel int arrays hold the fields
+   of every live item; slots are recycled through a free list so the
+   arrays stay sized to the peak concurrency of the run, not its length.
+
+   Encoding invariants:
+   - [sizes.(s) >= 0] iff slot [s] is live; a free slot has
+     [sizes.(s) = -1] and [arrivals.(s)] holds the next free slot
+     (-1 = end of list).
+   - [boxed.(s)] mirrors the live slot's {!Item.t} (the value passed to
+     {!alloc}), so handing an item across the policy boundary is a plain
+     array read, not an allocation. Free slots hold [dummy].
+
+   The nested {!Heap} orders slots by [(departure, id)] reading these
+   arrays directly — the comparison the boxed engine heap performed
+   through a closure over [Item.t] records, now two unboxed loads. That
+   order is total (ids are unique), so any correct heap implementation
+   pops the same sequence: swapping the boxed heap for this one is
+   observationally identical. *)
+
+type t = {
+  mutable ids : int array;
+  mutable arrivals : int array;
+  mutable departures : int array;
+  mutable sizes : int array;  (** size in Load units; -1 marks a free slot *)
+  mutable boxed : Item.t array;
+  mutable cap : int;
+  mutable free_head : int;  (** head of the free list, -1 = none *)
+  mutable next_fresh : int;  (** first never-used slot *)
+  mutable live : int;
+}
+
+let dummy = Item.make ~id:0 ~arrival:0 ~departure:1 ~size:Load.zero
+
+let create ?(capacity = 64) () =
+  let cap = max 8 capacity in
+  {
+    ids = Array.make cap 0;
+    arrivals = Array.make cap 0;
+    departures = Array.make cap 0;
+    sizes = Array.make cap (-1);
+    boxed = Array.make cap dummy;
+    cap;
+    free_head = -1;
+    next_fresh = 0;
+    live = 0;
+  }
+
+let live t = t.live
+let capacity t = t.cap
+
+let grow t =
+  let cap' = 2 * t.cap in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 t.cap;
+    a'
+  in
+  t.ids <- extend t.ids 0;
+  t.arrivals <- extend t.arrivals 0;
+  t.departures <- extend t.departures 0;
+  t.sizes <- extend t.sizes (-1);
+  t.boxed <- extend t.boxed dummy;
+  t.cap <- cap'
+
+let alloc t (r : Item.t) =
+  let slot =
+    if t.free_head >= 0 then begin
+      let s = t.free_head in
+      t.free_head <- t.arrivals.(s);
+      s
+    end
+    else begin
+      if t.next_fresh = t.cap then grow t;
+      let s = t.next_fresh in
+      t.next_fresh <- s + 1;
+      s
+    end
+  in
+  t.ids.(slot) <- r.id;
+  t.arrivals.(slot) <- r.arrival;
+  t.departures.(slot) <- r.departure;
+  t.sizes.(slot) <- Load.to_units r.size;
+  t.boxed.(slot) <- r;
+  t.live <- t.live + 1;
+  slot
+
+let check t slot op =
+  if slot < 0 || slot >= t.cap || t.sizes.(slot) < 0 then
+    invalid_arg ("Item_block." ^ op ^ ": dead slot")
+
+let free t slot =
+  check t slot "free";
+  t.sizes.(slot) <- -1;
+  t.boxed.(slot) <- dummy;
+  t.arrivals.(slot) <- t.free_head;
+  t.free_head <- slot;
+  t.live <- t.live - 1
+
+let id t slot = check t slot "id"; t.ids.(slot)
+let arrival t slot = check t slot "arrival"; t.arrivals.(slot)
+let departure t slot = check t slot "departure"; t.departures.(slot)
+let size_units t slot = check t slot "size_units"; t.sizes.(slot)
+let item t slot = check t slot "item"; t.boxed.(slot)
+
+module Heap = struct
+  type block = t
+
+  (* The heap keeps its own copy of each element's ordering key
+     (departure, id) in parallel arrays indexed by heap position. Sift
+     comparisons then read adjacent heap words — the two children share
+     a cache line — instead of chasing slot indirections into the
+     block's arrays, two scattered loads per level on what profiling
+     shows is a cache-bound path. The key order is unchanged, and it is
+     total (ids are unique), so the pop sequence is identical to the
+     slot-indirect comparison this replaces. *)
+  type t = {
+    mutable slots : int array;
+    mutable deps : int array;
+    mutable ids : int array;
+    mutable n : int;
+  }
+
+  let create ?(capacity = 64) () =
+    let cap = max 4 capacity in
+    { slots = Array.make cap 0; deps = Array.make cap 0; ids = Array.make cap 0; n = 0 }
+
+  let length h = h.n
+  let clear h = h.n <- 0
+
+  let grow h =
+    let cap' = 2 * Array.length h.slots in
+    let extend a =
+      let a' = Array.make cap' 0 in
+      Array.blit a 0 a' 0 h.n;
+      a'
+    in
+    h.slots <- extend h.slots;
+    h.deps <- extend h.deps;
+    h.ids <- extend h.ids
+
+  let add (b : block) h slot =
+    check b slot "Heap.add";
+    if h.n = Array.length h.slots then grow h;
+    let dep = Array.unsafe_get b.departures slot
+    and id = Array.unsafe_get b.ids slot in
+    let deps = h.deps and ids = h.ids and slots = h.slots in
+    (* Sift up, holding the new element in registers. *)
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      let pd = Array.unsafe_get deps p in
+      if dep < pd || (dep = pd && id < Array.unsafe_get ids p) then begin
+        Array.unsafe_set deps !i pd;
+        Array.unsafe_set ids !i (Array.unsafe_get ids p);
+        Array.unsafe_set slots !i (Array.unsafe_get slots p);
+        i := p
+      end
+      else continue := false
+    done;
+    Array.unsafe_set deps !i dep;
+    Array.unsafe_set ids !i id;
+    Array.unsafe_set slots !i slot
+
+  let top h =
+    if h.n = 0 then invalid_arg "Item_block.Heap.top: empty";
+    Array.unsafe_get h.slots 0
+
+  let min_departure h = if h.n = 0 then max_int else Array.unsafe_get h.deps 0
+
+  let pop h =
+    if h.n = 0 then invalid_arg "Item_block.Heap.pop: empty";
+    let slots = h.slots and deps = h.deps and ids = h.ids in
+    let root = Array.unsafe_get slots 0 in
+    h.n <- h.n - 1;
+    let n = h.n in
+    if n > 0 then begin
+      (* Sift the displaced last element down from the root. *)
+      let ld = Array.unsafe_get deps n
+      and li = Array.unsafe_get ids n
+      and ls = Array.unsafe_get slots n in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 in
+        if l >= n then continue := false
+        else begin
+          let r = l + 1 in
+          let c =
+            if r < n then begin
+              let dl = Array.unsafe_get deps l and dr = Array.unsafe_get deps r in
+              if dr < dl || (dr = dl && Array.unsafe_get ids r < Array.unsafe_get ids l)
+              then r
+              else l
+            end
+            else l
+          in
+          let cd = Array.unsafe_get deps c in
+          if cd < ld || (cd = ld && Array.unsafe_get ids c < li) then begin
+            Array.unsafe_set deps !i cd;
+            Array.unsafe_set ids !i (Array.unsafe_get ids c);
+            Array.unsafe_set slots !i (Array.unsafe_get slots c);
+            i := c
+          end
+          else continue := false
+        end
+      done;
+      Array.unsafe_set deps !i ld;
+      Array.unsafe_set ids !i li;
+      Array.unsafe_set slots !i ls
+    end;
+    root
+end

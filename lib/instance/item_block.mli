@@ -1,0 +1,81 @@
+(** Struct-of-arrays arena for the items in flight.
+
+    The streaming engine holds every active item from arrival to
+    departure. Boxed {!Item.t} records work, but the hot loop then
+    chases a pointer (and a [Load.t] box) for every departure-time
+    comparison, millions of times per run. This arena stores the four
+    fields of each live item in parallel [int array]s instead — id,
+    arrival, departure, size in {!Dbp_util.Load} units — addressed by a
+    dense {e slot}. Slots are recycled through an internal free list, so
+    the arrays are sized by peak concurrency, not trace length: the
+    constant-memory contract of {!Engine.Stream} is preserved.
+
+    Each live slot also mirrors the boxed [Item.t] it was allocated
+    from, so crossing the policy boundary (which speaks [Item.t]) is an
+    array read — no re-boxing on either side.
+
+    Accessors raise [Invalid_argument] on a freed or out-of-range slot;
+    a slot is valid from {!alloc} until {!free}. Not thread-safe. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Initial slot capacity (default 64, minimum 8); grows by doubling. *)
+
+val alloc : t -> Item.t -> int
+(** Copy the item's fields into a fresh (or recycled) slot; returns the
+    slot. *)
+
+val free : t -> int -> unit
+(** Release the slot for reuse. The slot (and any aliases of it) must
+    not be used afterwards. *)
+
+val live : t -> int
+(** Currently allocated slots. *)
+
+val capacity : t -> int
+
+val id : t -> int -> int
+val arrival : t -> int -> int
+val departure : t -> int -> int
+
+val size_units : t -> int -> int
+(** Size in load units (the [Load.to_units] of the item's size). *)
+
+val item : t -> int -> Item.t
+(** The boxed item the slot was allocated from (no allocation). *)
+
+(** Min-heap of live slots ordered by [(departure, id)] — the departure
+    queue of the event loop. The heap snapshots each element's key into
+    its own parallel arrays at {!add} time, so sift comparisons touch
+    adjacent heap words rather than chasing slot indirections into the
+    arena (the cache misses that dominated the boxed heap). The order is
+    total (ids are unique), so the pop sequence is identical to any
+    other correct [(departure, id)] heap: replacing the boxed heap with
+    this one cannot change a simulation.
+
+    [add] takes the block to read the slot's key; a slot must stay live
+    from {!add} until it is popped (its key is fixed at add time — item
+    fields never mutate while live). *)
+module Heap : sig
+  type block := t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val clear : t -> unit
+
+  val add : block -> t -> int -> unit
+  (** Push a live slot. *)
+
+  val top : t -> int
+  (** Slot with the least [(departure, id)]; raises [Invalid_argument]
+      when empty. *)
+
+  val min_departure : t -> int
+  (** Departure of {!top}, or [max_int] when empty — the idiom the
+      drain loop guards on. *)
+
+  val pop : t -> int
+  (** Remove and return {!top}; raises [Invalid_argument] when empty. *)
+end

@@ -3,40 +3,55 @@ open Dbp_instance
 
 type bin_id = int
 
-type bin = {
-  id : bin_id;
-  mutable blabel : string;
-  bopened_at : int;
-  mutable bclosed_at : int option;
-  mutable bload : Load.t;
-  mutable items : Item.t list;  (** reverse insertion order *)
-  mutable bprev : bin_id;  (** previous open bin in opening order, -1 = none *)
-  mutable bnext : bin_id;  (** next open bin in opening order, -1 = none *)
-}
+(* Packed [current] values: (bin lsl size_bits) lor size_units. A size
+   is at most Load.capacity = 1e9 < 2^30 units, so 30 low bits hold it
+   exactly and the bin id gets the rest (open_bin guards the ceiling).
+   One Imap probe then yields both facts [remove] needs — which bin, and
+   how much load to give back — with no record or Item.t lookup. *)
+let size_bits = 30
+let size_mask = (1 lsl size_bits) - 1
+let () = assert (Load.capacity <= size_mask)
+let max_slot = 1 lsl 32
 
-(* The live set is an intrusive doubly-linked list threaded through the
-   bin records, kept in opening order so [open_bins] — the First-Fit
-   scan order — is a plain traversal and closing a bin unlinks it in
-   O(1).
+(* [b_closed] state encoding. *)
+let open_mark = -1
+let freed_mark = -2
 
-   Two retention modes share this structure. [`Retain] (the default)
-   keeps every bin ever opened in [bins] (slot = id) plus the permanent
-   [history]/[ever] logs — what reports, figures and the validators
-   need. [`Retire] keeps only the currently open bins, in [live]: when a
-   bin closes, its usage, count and lifetime fold into the running
-   aggregates and the record is dropped, so memory is O(open bins), not
-   O(bins ever) — the contract the streaming engine's million-item runs
-   rely on. *)
+(* Bin records as parallel int arrays indexed by bin id. The live set is
+   an intrusive doubly-linked list threaded through [b_prev]/[b_next] in
+   opening order, so [open_bins] — the First-Fit scan order — is a plain
+   traversal and closing a bin unlinks it in O(1).
+
+   Two retention modes share the arena. [`Retain] (the default) never
+   reuses a slot: ids are dense and monotonic, closed bins keep their
+   record, item lists, and the permanent [history]/[ever] logs — what
+   reports, figures and the validators need. [`Retire] recycles the slot
+   of a closed bin through a free list (threaded through [b_next]): when
+   a bin closes, its usage, count and lifetime fold into the running
+   aggregates and the slot is handed to the next [open_bin], so memory
+   is O(open bins), not O(bins ever) — the contract the streaming
+   engine's million-item runs rely on. Retired ids may therefore be
+   reassigned; nothing observable depends on id values (policies drop
+   closed ids from their tables, and costs count ticks, not ids). *)
 type t = {
   retire : bool;
-  bins : bin Vec.t;  (** retain mode: every bin, slot = id *)
-  live : (bin_id, bin) Hashtbl.t;  (** retire mode: open bins only *)
-  mutable next_id : int;
-  mutable live_head : bin_id;  (** oldest open bin, -1 when none *)
-  mutable live_tail : bin_id;  (** newest open bin, -1 when none *)
-  current : (int, bin) Hashtbl.t;  (** active item id -> its bin *)
+  mutable b_load : int array;  (** load in units *)
+  mutable b_opened : int array;
+  mutable b_closed : int array;  (** closing tick, or open/freed mark *)
+  mutable b_count : int array;  (** items currently in the bin *)
+  mutable b_prev : int array;  (** previous open bin in opening order, -1 = none *)
+  mutable b_next : int array;  (** next open bin / free-list link *)
+  mutable b_label : string array;
+  mutable b_items : Item.t list array;  (** retain mode only; reverse order *)
+  mutable cap : int;
+  mutable next_fresh : int;  (** first never-used slot *)
+  mutable free_head : int;  (** retire mode: head of the slot free list *)
+  mutable opened : int;  (** bins ever opened (identity-independent) *)
+  mutable live_head : int;  (** oldest open bin, -1 when none *)
+  mutable live_tail : int;  (** newest open bin, -1 when none *)
+  current : Imap.t;  (** active item id -> packed (bin, units) *)
   history : (int * bin_id) Vec.t;  (** retain mode only *)
-  ever : (int, bin_id) Hashtbl.t;  (** retain mode only *)
+  ever : Imap.t;  (** retain mode only: item id -> bin *)
   mutable n_open : int;
   mutable hw_open : int;
   mutable hw_items : int;
@@ -54,17 +69,28 @@ let m_live_items = Metrics.gauge "bin_store.live_items"
 let lifetime_buckets = [| 1; 4; 16; 64; 256; 1024; 4096; 16384 |]
 let m_lifetime = Metrics.histogram ~buckets:lifetime_buckets "bin_store.lifetime"
 
+let initial_cap = 16
+
 let create ?(retire = false) () =
   {
     retire;
-    bins = Vec.create ();
-    live = Hashtbl.create 64;
-    next_id = 0;
+    b_load = Array.make initial_cap 0;
+    b_opened = Array.make initial_cap 0;
+    b_closed = Array.make initial_cap freed_mark;
+    b_count = Array.make initial_cap 0;
+    b_prev = Array.make initial_cap (-1);
+    b_next = Array.make initial_cap (-1);
+    b_label = Array.make initial_cap "";
+    b_items = (if retire then [||] else Array.make initial_cap []);
+    cap = initial_cap;
+    next_fresh = 0;
+    free_head = -1;
+    opened = 0;
     live_head = -1;
     live_tail = -1;
-    current = Hashtbl.create 64;
+    current = Imap.create ~capacity:64 ();
     history = Vec.create ();
-    ever = Hashtbl.create 64;
+    ever = Imap.create ~capacity:64 ();
     n_open = 0;
     hw_open = 0;
     hw_items = 0;
@@ -76,68 +102,94 @@ let create ?(retire = false) () =
 
 let retire_mode t = t.retire
 
-let bin t id =
-  if id < 0 || id >= t.next_id then invalid_arg "Bin_store: unknown bin id";
-  if t.retire then
-    match Hashtbl.find_opt t.live id with
-    | Some b -> b
-    | None -> invalid_arg "Bin_store: bin retired (store is in retire mode)"
-  else Vec.get t.bins id
+(* Existence check shared by the public per-bin accessors. A freed slot
+   (retire mode) raises exactly like the dropped record used to. *)
+let check_bin t id =
+  if id < 0 || id >= t.next_fresh then invalid_arg "Bin_store: unknown bin id";
+  if Array.unsafe_get t.b_closed id = freed_mark then
+    invalid_arg "Bin_store: bin retired (store is in retire mode)"
+
+let grow t =
+  let cap' = 2 * t.cap in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 t.cap;
+    a'
+  in
+  t.b_load <- extend t.b_load 0;
+  t.b_opened <- extend t.b_opened 0;
+  t.b_closed <- extend t.b_closed freed_mark;
+  t.b_count <- extend t.b_count 0;
+  t.b_prev <- extend t.b_prev (-1);
+  t.b_next <- extend t.b_next (-1);
+  t.b_label <- extend t.b_label "";
+  if not t.retire then t.b_items <- extend t.b_items [];
+  t.cap <- cap'
 
 let open_bin t ~now ~label =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  let b =
-    {
-      id;
-      blabel = label;
-      bopened_at = now;
-      bclosed_at = None;
-      bload = Load.zero;
-      items = [];
-      bprev = t.live_tail;
-      bnext = -1;
-    }
+  let id =
+    if t.free_head >= 0 then begin
+      let id = t.free_head in
+      t.free_head <- t.b_next.(id);
+      id
+    end
+    else begin
+      if t.next_fresh = t.cap then grow t;
+      let id = t.next_fresh in
+      t.next_fresh <- id + 1;
+      id
+    end
   in
-  if t.retire then Hashtbl.replace t.live id b else Vec.push t.bins b;
-  if t.live_tail >= 0 then (bin t t.live_tail).bnext <- id else t.live_head <- id;
+  if id >= max_slot then invalid_arg "Bin_store.open_bin: too many concurrent bins";
+  t.b_load.(id) <- 0;
+  t.b_opened.(id) <- now;
+  t.b_closed.(id) <- open_mark;
+  t.b_count.(id) <- 0;
+  t.b_label.(id) <- label;
+  if not t.retire then t.b_items.(id) <- [];
+  t.b_prev.(id) <- t.live_tail;
+  t.b_next.(id) <- -1;
+  if t.live_tail >= 0 then t.b_next.(t.live_tail) <- id else t.live_head <- id;
   t.live_tail <- id;
+  t.opened <- t.opened + 1;
   t.n_open <- t.n_open + 1;
   if t.n_open > t.hw_open then t.hw_open <- t.n_open;
   Metrics.incr m_opens;
   Metrics.set_max m_max_open t.n_open;
   id
 
-let unlink_live t (b : bin) =
-  let p = b.bprev and n = b.bnext in
-  if p >= 0 then (bin t p).bnext <- n else t.live_head <- n;
-  if n >= 0 then (bin t n).bprev <- p else t.live_tail <- p;
-  b.bprev <- -1;
-  b.bnext <- -1
+let unlink_live t id =
+  let p = t.b_prev.(id) and n = t.b_next.(id) in
+  if p >= 0 then t.b_next.(p) <- n else t.live_head <- n;
+  if n >= 0 then t.b_prev.(n) <- p else t.live_tail <- p;
+  t.b_prev.(id) <- -1;
+  t.b_next.(id) <- -1
 
 let insert t id (r : Item.t) =
-  let b = bin t id in
-  if b.bclosed_at <> None then invalid_arg "Bin_store.insert: bin is closed";
-  if Hashtbl.mem t.current r.id then invalid_arg "Bin_store.insert: item already packed";
-  if not (Load.fits r.size ~into:b.bload) then invalid_arg "Bin_store.insert: does not fit";
-  b.bload <- Load.add b.bload r.size;
-  b.items <- r :: b.items;
-  Hashtbl.replace t.current r.id b;
-  let live = Hashtbl.length t.current in
+  check_bin t id;
+  if t.b_closed.(id) <> open_mark then invalid_arg "Bin_store.insert: bin is closed";
+  let u = Load.to_units r.size in
+  let load = t.b_load.(id) in
+  if load + u > Load.capacity then invalid_arg "Bin_store.insert: does not fit";
+  if not (Imap.add_new t.current r.id ((id lsl size_bits) lor u)) then
+    invalid_arg "Bin_store.insert: item already packed";
+  t.b_load.(id) <- load + u;
+  t.b_count.(id) <- t.b_count.(id) + 1;
+  let live = Imap.length t.current in
   if live > t.hw_items then t.hw_items <- live;
   Metrics.set_max m_live_items live;
   if not t.retire then begin
-    Hashtbl.replace t.ever r.id id;
+    t.b_items.(id) <- r :: t.b_items.(id);
+    Imap.set t.ever r.id id;
     Vec.push t.history (r.id, id)
   end
 
-(* One pass instead of find + filter; the relative order of the
-   remaining items is preserved. *)
-let rec extract_item item_id prefix = function
+(* One pass; the relative order of the remaining items is preserved. *)
+let rec remove_item item_id prefix = function
   | [] -> assert false
   | (r : Item.t) :: rest ->
-      if r.id = item_id then (r, List.rev_append prefix rest)
-      else extract_item item_id (r :: prefix) rest
+      if r.id = item_id then List.rev_append prefix rest
+      else remove_item item_id (r :: prefix) rest
 
 let observe_lifetime t life =
   t.lifetime_sum <- t.lifetime_sum + life;
@@ -147,66 +199,79 @@ let observe_lifetime t life =
   t.lifetime_counts.(i) <- t.lifetime_counts.(i) + 1
 
 let remove t ~now ~item_id =
-  match Hashtbl.find_opt t.current item_id with
-  | None -> raise Not_found
-  | Some b ->
-      Hashtbl.remove t.current item_id;
-      let r, rest = extract_item item_id [] b.items in
-      b.items <- rest;
-      b.bload <- Load.sub b.bload r.size;
-      let closed = b.items = [] in
-      if closed then begin
-        b.bclosed_at <- Some now;
-        unlink_live t b;
-        t.n_open <- t.n_open - 1;
-        let life = now - b.bopened_at in
-        t.done_usage <- t.done_usage + life;
-        t.closed_count <- t.closed_count + 1;
-        observe_lifetime t life;
-        (* Retire: the aggregates above are all that survives; dropping
-           the record is what keeps a streamed run's memory bounded. *)
-        if t.retire then Hashtbl.remove t.live b.id;
-        Metrics.incr m_closes;
-        Metrics.add m_usage life;
-        Metrics.observe m_lifetime life
-      end;
-      (b.id, closed)
+  let packed = Imap.take t.current item_id in
+  (* raises Not_found *)
+  let id = packed lsr size_bits in
+  let u = packed land size_mask in
+  t.b_load.(id) <- t.b_load.(id) - u;
+  let count = t.b_count.(id) - 1 in
+  t.b_count.(id) <- count;
+  if not t.retire then t.b_items.(id) <- remove_item item_id [] t.b_items.(id);
+  let closed = count = 0 in
+  if closed then begin
+    unlink_live t id;
+    t.n_open <- t.n_open - 1;
+    let life = now - t.b_opened.(id) in
+    t.done_usage <- t.done_usage + life;
+    t.closed_count <- t.closed_count + 1;
+    observe_lifetime t life;
+    (* Retire: the aggregates above are all that survives; recycling the
+       slot is what keeps a streamed run's memory bounded. The caller's
+       [on_departure] may still read nothing of this bin — the next
+       [open_bin] would repurpose it. *)
+    if t.retire then begin
+      t.b_closed.(id) <- freed_mark;
+      t.b_next.(id) <- t.free_head;
+      t.free_head <- id
+    end
+    else t.b_closed.(id) <- now;
+    Metrics.incr m_closes;
+    Metrics.add m_usage life;
+    Metrics.observe m_lifetime life
+  end;
+  (id, closed)
 
-let load t id = (bin t id).bload
-let residual t id = Load.residual (bin t id).bload
-let is_open t id = (bin t id).bclosed_at = None
-let label t id = (bin t id).blabel
-let relabel t id label = (bin t id).blabel <- label
-let opened_at t id = (bin t id).bopened_at
-let closed_at t id = (bin t id).bclosed_at
-let contents t id = List.rev (bin t id).items
+let load t id = check_bin t id; Load.of_units t.b_load.(id)
+let residual t id = check_bin t id; Load.of_units (Load.capacity - t.b_load.(id))
+let is_open t id = check_bin t id; t.b_closed.(id) = open_mark
+let label t id = check_bin t id; t.b_label.(id)
+let relabel t id label = check_bin t id; t.b_label.(id) <- label
+let opened_at t id = check_bin t id; t.b_opened.(id)
+
+let closed_at t id =
+  check_bin t id;
+  let c = t.b_closed.(id) in
+  if c = open_mark then None else Some c
+
+let contents t id =
+  check_bin t id;
+  if t.retire then
+    invalid_arg "Bin_store.contents: no per-item records in retire mode";
+  List.rev t.b_items.(id)
 
 let fold_live f acc t =
-  let rec loop acc id = if id < 0 then acc else loop (f acc id) (bin t id).bnext in
+  let rec loop acc id = if id < 0 then acc else loop (f acc id) t.b_next.(id) in
   loop acc t.live_head
 
 let open_bins t = List.rev (fold_live (fun acc id -> id :: acc) [] t)
-let all_bins t = if t.retire then open_bins t else List.init t.next_id Fun.id
+let all_bins t = if t.retire then open_bins t else List.init t.next_fresh Fun.id
 let open_count t = t.n_open
-let bins_opened t = t.next_id
+let bins_opened t = t.opened
 let max_open t = t.hw_open
 let closed_count t = t.closed_count
-let live_items t = Hashtbl.length t.current
+let live_items t = Imap.length t.current
 let max_live_items t = t.hw_items
 
 let lifetime_histogram t =
   (Array.copy lifetime_buckets, Array.copy t.lifetime_counts, t.lifetime_sum)
 
 let usage t ~now =
-  fold_live (fun acc id -> acc + (now - (bin t id).bopened_at)) t.done_usage t
+  fold_live (fun acc id -> acc + (now - t.b_opened.(id))) t.done_usage t
 
 let closed_usage t = t.done_usage
 let assignment t = Vec.to_list t.history
 
 let bin_of_item t item_id =
-  match Hashtbl.find_opt t.current item_id with
-  | Some b -> b.id
-  | None -> (
-      match Hashtbl.find_opt t.ever item_id with
-      | Some id -> id
-      | None -> raise Not_found)
+  match Imap.find_opt t.current item_id with
+  | Some packed -> packed lsr size_bits
+  | None -> if t.retire then raise Not_found else Imap.find t.ever item_id

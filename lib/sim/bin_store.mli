@@ -21,12 +21,15 @@ val create : ?retire:bool -> unit -> t
     With [~retire:true] the store runs in {e retire/compact} mode: a bin
     that closes folds its usage, count and lifetime into running
     aggregates ({!closed_usage}, {!closed_count}, {!lifetime_histogram})
-    and its record is dropped, so memory is O(currently open bins) — the
-    streaming engine's contract. In this mode per-bin accessors
-    ({!load}, {!contents}, {!closed_at}, ...) work only while the bin is
-    open (a retired id raises [Invalid_argument]), {!all_bins} lists
-    open bins only, {!assignment} is empty, and {!bin_of_item} resolves
-    active items only. *)
+    and its arena slot is recycled, so memory is O(currently open bins) —
+    the streaming engine's contract. In this mode per-bin accessors
+    ({!load}, {!closed_at}, ...) work only while the bin is open (a
+    retired id raises [Invalid_argument]), {!contents} is unavailable
+    (no per-item records are kept), {!all_bins} lists open bins only,
+    {!assignment} is empty, and {!bin_of_item} resolves active items
+    only. Because slots are recycled, a retired [bin_id] may later
+    denote a different, newly opened bin; ids are only meaningful while
+    their bin is open. No simulation observable depends on id values. *)
 
 val retire_mode : t -> bool
 
@@ -41,8 +44,10 @@ val insert : t -> bin_id -> Item.t -> unit
 val remove : t -> now:int -> item_id:int -> bin_id * bool
 (** Remove a departed item. Returns its bin and whether that bin became
     empty and was therefore closed at [now]. Raises [Not_found] for an
-    unknown item id. One pass over the bin's items; closing a bin
-    unlinks it from the live set in O(1). *)
+    unknown item id. In retire mode this is O(1) — one hash probe yields
+    the bin and the load to release; retain mode additionally walks the
+    bin's item list. Closing a bin unlinks it from the live set in
+    O(1). *)
 
 val load : t -> bin_id -> Load.t
 val residual : t -> bin_id -> Load.t
@@ -59,7 +64,9 @@ val closed_at : t -> bin_id -> int option
 (** Closing tick, or [None] while open. *)
 
 val contents : t -> bin_id -> Item.t list
-(** Items currently in the bin, in insertion order. *)
+(** Items currently in the bin, in insertion order. Retain mode only:
+    in retire mode the store keeps no per-item records and this raises
+    [Invalid_argument]. *)
 
 val open_bins : t -> bin_id list
 (** Open bins in opening order (the First-Fit scan order). *)

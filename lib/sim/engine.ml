@@ -17,10 +17,16 @@ let m_live_items = Metrics.gauge "engine.live_items"
 let m_retained_items = Metrics.gauge "engine.retained_items"
 
 module Interactive = struct
+  (* Items in flight live in a struct-of-arrays {!Item_block}; the
+     departure queue is a heap of block slots ordered by
+     [(departure, id)]. That order is total (ids are unique), so the pop
+     sequence — and hence every simulation observable — is identical to
+     the boxed [Item.t Heap.t] this replaces. *)
   type t = {
     store : Bin_store.t;
     policy : Policy.t;
-    departures : Item.t Heap.t;  (** pending, ordered by (departure, id) *)
+    block : Item_block.t;
+    departures : Item_block.Heap.t;  (** pending slots, by (departure, id) *)
     released : Item.t Vec.t;
     retain_released : bool;
     series : Lttb.t;
@@ -30,17 +36,13 @@ module Interactive = struct
     mutable hw_retained : int;  (** peak item records held by the core *)
   }
 
-  let cmp_departure (a : Item.t) (b : Item.t) =
-    match Int.compare a.departure b.departure with
-    | 0 -> Int.compare a.id b.id
-    | c -> c
-
   let start ?(retire = false) ?(retain_released = true) ?max_series factory =
     let store = Bin_store.create ~retire () in
     {
       store;
       policy = factory store;
-      departures = Heap.create ~cmp:cmp_departure;
+      block = Item_block.create ();
+      departures = Item_block.Heap.create ();
       released = Vec.create ();
       retain_released;
       series = Lttb.create ?cap:max_series ();
@@ -50,27 +52,36 @@ module Interactive = struct
       hw_retained = 0;
     }
 
+  let item_block t = t.block
+
   let record t tick =
     (* One sample per event tick: overwrite the sample if the tick
        repeats (multiple events at one tick). *)
-    let sample = (tick, Bin_store.open_count t.store) in
-    if (not (Lttb.is_empty t.series)) && fst (Lttb.last t.series) = tick then
-      Lttb.set_last t.series sample
-    else Lttb.push t.series sample
+    let value = Bin_store.open_count t.store in
+    if (not (Lttb.is_empty t.series)) && Lttb.last_tick t.series = tick then
+      Lttb.set_last_s t.series ~tick ~value
+    else Lttb.push_s t.series ~tick ~value
 
   (* Process all departures due at ticks <= [upto]. *)
   let drain_until t upto =
+    let blk = t.block in
     let rec loop () =
-      match Heap.peek t.departures with
-      | Some (r : Item.t) when r.departure <= upto ->
-          let r = Heap.pop_exn t.departures in
-          Metrics.incr m_departures;
-          t.clock <- max t.clock r.departure;
-          let bin, closed = Bin_store.remove t.store ~now:r.departure ~item_id:r.id in
-          t.policy.on_departure ~now:r.departure r ~bin ~closed;
-          record t r.departure;
-          loop ()
-      | _ -> ()
+      if
+        Item_block.Heap.length t.departures > 0
+        && Item_block.Heap.min_departure t.departures <= upto
+      then begin
+        let dep = Item_block.Heap.min_departure t.departures in
+        let slot = Item_block.Heap.pop t.departures in
+        Metrics.incr m_departures;
+        if dep > t.clock then t.clock <- dep;
+        let bin, closed =
+          Bin_store.remove t.store ~now:dep ~item_id:(Item_block.id blk slot)
+        in
+        t.policy.on_departure ~now:dep (Item_block.item blk slot) ~bin ~closed;
+        Item_block.free blk slot;
+        record t dep;
+        loop ()
+      end
     in
     loop ()
 
@@ -82,28 +93,43 @@ module Interactive = struct
   let open_count t = Bin_store.open_count t.store
   let now t = t.clock
 
-  let arrive t (r : Item.t) =
-    if r.arrival < t.clock then invalid_arg "Engine.arrive: arrival in the past";
+  (* The slot must already be allocated in [t.block] (the streaming path
+     fills it straight from the source cursor). *)
+  let arrive_slot t slot =
+    let r = Item_block.item t.block slot in
+    if r.arrival < t.clock then begin
+      Item_block.free t.block slot;
+      invalid_arg "Engine.arrive: arrival in the past"
+    end;
     Metrics.incr m_arrivals;
     drain_until t r.arrival;
     t.clock <- r.arrival;
     let bin = t.policy.on_arrival ~now:r.arrival r in
     if Bin_store.bin_of_item t.store r.id <> bin then
       invalid_arg "Engine.arrive: policy returned a bin it did not pack into";
-    Heap.add t.departures r;
+    Item_block.Heap.add t.block t.departures slot;
     t.arrived <- t.arrived + 1;
     if t.retain_released then Vec.push t.released r;
     (* Live = active items (the departure heap); retained additionally
        counts the released log, which is what a full-retention run keeps
        and a streamed run does not. *)
-    let live = Heap.length t.departures in
+    let live = Item_block.Heap.length t.departures in
     let retained = live + Vec.length t.released in
-    if live > t.hw_live then t.hw_live <- live;
-    if retained > t.hw_retained then t.hw_retained <- retained;
-    Metrics.set_max m_live_items live;
-    Metrics.set_max m_retained_items retained;
+    (* The gauges keep a max, so publishing only on a new local peak
+       leaves their final value unchanged while skipping two metric
+       calls on almost every arrival. *)
+    if live > t.hw_live then begin
+      t.hw_live <- live;
+      Metrics.set_max m_live_items live
+    end;
+    if retained > t.hw_retained then begin
+      t.hw_retained <- retained;
+      Metrics.set_max m_retained_items retained
+    end;
     record t r.arrival;
     bin
+
+  let arrive t (r : Item.t) = arrive_slot t (Item_block.alloc t.block r)
 
   let items_arrived t = t.arrived
   let peak_live_items t = t.hw_live
@@ -154,7 +180,18 @@ module Stream = struct
     Trace.with_span "engine.stream"
       ~args:[ ("algorithm", t.Interactive.policy.Policy.name) ]
       (fun () ->
-        Seq.iter (fun r -> ignore (Interactive.arrive t r)) source;
+        (* Cursor consumption: each item is forced straight into the
+           engine's item block and addressed by slot from then on. *)
+        let cur = Event_source.cursor source in
+        let blk = Interactive.item_block t in
+        let rec loop () =
+          let slot = Event_source.next_into cur blk in
+          if slot >= 0 then begin
+            ignore (Interactive.arrive_slot t slot);
+            loop ()
+          end
+        in
+        loop ();
         let result, _ = Interactive.finish t in
         {
           result;

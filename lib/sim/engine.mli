@@ -42,6 +42,18 @@ module Interactive : sig
   (** Release one item. Its arrival must be >= the latest event time so
       far; due departures are processed first. *)
 
+  val item_block : t -> Dbp_instance.Item_block.t
+  (** The arena holding the items in flight. Streaming callers fill
+      slots here (via {!Event_source.next_into}) and hand them to
+      {!arrive_slot}; the engine frees each slot when its item
+      departs. *)
+
+  val arrive_slot : t -> int -> Bin_store.bin_id
+  (** {!arrive}, taking an already-allocated slot of {!item_block}
+      instead of a boxed item. Ownership of the slot passes to the
+      engine (it is freed on departure, or immediately if the arrival
+      is rejected as being in the past). *)
+
   val advance_to : t -> int -> unit
   (** Process all departures due at ticks <= the given tick (the [t^-]
       state) without releasing anything. Adversaries must call this

@@ -1,50 +1,102 @@
+open Dbp_util
+
 type t = {
-  mutable cap : int;  (** leaf count, a power of two *)
+  mutable cap : int;  (** leaf count, a power of two (>= 1) *)
   mutable tree : int array;  (** 1-based heap layout; tree.(1) is the root *)
-  mutable n : int;
+  mutable base : int;  (** public slot number of leaf 0 *)
+  mutable n : int;  (** public slots ever pushed *)
 }
 
 let inactive = -1
 
-let create () = { cap = 8; tree = Array.make 16 inactive; n = 0 }
+(* Structural invariants all the unsafe accesses below rely on:
+   [Array.length tree = 2 * cap] with [cap] a power of two >= 1, leaves
+   at indices [cap, 2*cap), internal nodes at [1, cap) (none when
+   cap = 1, where tree.(1) is the lone leaf and the root at once).
+   Every internal node i therefore has both children 2i and 2i+1 in
+   bounds — no per-step child guard is needed.
 
+   Public slot [s] lives at leaf [s - base]; slots below [base] were
+   compacted away while inactive and stay retired forever. Leaves in
+   [n - base, cap) were never pushed and hold [inactive], as do
+   deactivated leaves — so the leaf window tracks the span between the
+   oldest still-active slot and the newest, not the slots ever pushed.
+   A group that opens and closes bins at a steady rate keeps a small,
+   cache-resident tree for the whole run instead of growing one leaf
+   per bin ever opened. *)
+let create ?(initial_cap = 8) () =
+  if initial_cap < 1 then invalid_arg "Ff_index.create: initial_cap < 1";
+  let cap = Ints.pow2 (Ints.ceil_log2 initial_cap) in
+  { cap; tree = Array.make (2 * cap) inactive; base = 0; n = 0 }
+
+(* Recompute ancestors after a leaf write, stopping as soon as a node's
+   value is unchanged (its ancestors then cannot change either). Called
+   with the leaf's parent, which is 0 exactly when cap = 1 — the leaf is
+   the root and there is nothing to do. An earlier version guarded each
+   child read with [2*i < 2*cap], a condition that is vacuously true for
+   every internal node and silently skipped the whole update at the
+   degenerate cap = 1 geometry instead of never being called there. *)
 let rec update_path t i =
   if i >= 1 then begin
-    let l = 2 * i and r = (2 * i) + 1 in
-    if l < 2 * t.cap then begin
-      let v = max t.tree.(l) (if r < 2 * t.cap then t.tree.(r) else inactive) in
-      if t.tree.(i) <> v then begin
-        t.tree.(i) <- v;
-        update_path t (i / 2)
-      end
+    let tree = t.tree in
+    (* An explicit int comparison: [Stdlib.max] is polymorphic and
+       costs a C call per node on this per-placement path. *)
+    let l = Array.unsafe_get tree (2 * i)
+    and r = Array.unsafe_get tree ((2 * i) + 1) in
+    let v = if l >= r then l else r in
+    if Array.unsafe_get tree i <> v then begin
+      Array.unsafe_set tree i v;
+      update_path t (i / 2)
     end
   end
+
+let rebuild_internal tree cap =
+  for i = cap - 1 downto 1 do
+    let l = tree.(2 * i) and r = tree.((2 * i) + 1) in
+    tree.(i) <- (if l >= r then l else r)
+  done
 
 let grow t =
   let cap' = 2 * t.cap in
   let tree' = Array.make (2 * cap') inactive in
   (* Copy leaves, then rebuild internal nodes bottom-up. *)
   Array.blit t.tree t.cap tree' cap' t.cap;
-  for i = cap' - 1 downto 1 do
-    tree'.(i) <- max tree'.(2 * i) tree'.((2 * i) + 1)
-  done;
+  rebuild_internal tree' cap';
   t.cap <- cap';
   t.tree <- tree'
 
-let set_leaf t slot v =
-  let i = t.cap + slot in
-  t.tree.(i) <- v;
-  update_path t (i / 2)
+(* Slide the leaf window left by half a tree: legal when every leaf of
+   the left half is inactive (tree.(2), the root's left child, spans
+   exactly those leaves). Public slot numbers are unchanged — only their
+   leaf positions move — so the leftmost-fit order is untouched. *)
+let slide t =
+  let cap = t.cap in
+  let half = cap / 2 in
+  Array.blit t.tree (cap + half) t.tree cap half;
+  Array.fill t.tree (cap + half) half inactive;
+  rebuild_internal t.tree cap;
+  t.base <- t.base + half
 
 let push t ~residual =
-  if t.n = t.cap then grow t;
+  if t.n - t.base = t.cap then begin
+    if t.cap >= 2 && t.tree.(2) = inactive then slide t else grow t
+  end;
   let slot = t.n in
   t.n <- t.n + 1;
-  set_leaf t slot residual;
+  let i = t.cap + (slot - t.base) in
+  t.tree.(i) <- residual;
+  update_path t (i / 2);
   slot
 
 let check t slot op =
-  if slot < 0 || slot >= t.n then invalid_arg ("Ff_index." ^ op ^ ": bad slot")
+  if slot < 0 || slot >= t.n then invalid_arg ("Ff_index." ^ op ^ ": bad slot");
+  if slot < t.base then
+    invalid_arg ("Ff_index." ^ op ^ ": slot compacted away (was inactive)")
+
+let set_leaf t slot v =
+  let i = t.cap + (slot - t.base) in
+  t.tree.(i) <- v;
+  update_path t (i / 2)
 
 let set t slot residual =
   check t slot "set";
@@ -56,28 +108,42 @@ let deactivate t slot =
 
 let residual t slot =
   check t slot "residual";
-  t.tree.(t.cap + slot)
+  t.tree.(t.cap + (slot - t.base))
 
 let length t = t.n
+let compacted_below t = t.base
 
-let first_fit t need =
-  if need < 0 then invalid_arg "Ff_index.first_fit: negative need";
-  if t.tree.(1) < need then None
+(* The -1 sentinel spelling of the query, for the per-item path: no
+   option cell. If the root admits [need], the left-first descent lands
+   on the leftmost adequate leaf; that leaf is necessarily a pushed,
+   active slot — unpushed and deactivated leaves hold -1 < need (need is
+   >= 0), so they can never terminate the descent. *)
+let first_fit_idx t need =
+  if need < 0 then invalid_arg "Ff_index.first_fit_idx: negative need";
+  let tree = t.tree and cap = t.cap in
+  if Array.unsafe_get tree 1 < need then -1
   else begin
-    (* Descend left-first towards the leftmost adequate leaf. *)
-    let rec descend i =
-      if i >= t.cap then Some (i - t.cap)
-      else if t.tree.(2 * i) >= need then descend (2 * i)
-      else descend ((2 * i) + 1)
-    in
-    match descend 1 with
-    | Some slot when slot < t.n -> Some slot
-    | _ -> None
+    let i = ref 1 in
+    while !i < cap do
+      let l = 2 * !i in
+      i := if Array.unsafe_get tree l >= need then l else l + 1
+    done;
+    !i - cap + t.base
   end
 
-let active t =
-  let rec loop slot acc =
-    if slot < 0 then acc
-    else loop (slot - 1) (if t.tree.(t.cap + slot) >= 0 then slot :: acc else acc)
-  in
-  loop (t.n - 1) []
+let first_fit t need =
+  match first_fit_idx t need with -1 -> None | slot -> Some slot
+
+(* Allocation-free left-to-right fold over active slots; Best/Worst-Fit
+   scan through this instead of materializing [active]. Bounded by the
+   leaf window, not by slots ever pushed. *)
+let fold_active t ~init ~f =
+  let tree = t.tree and cap = t.cap and base = t.base in
+  let acc = ref init in
+  for leaf = 0 to t.n - base - 1 do
+    let r = Array.unsafe_get tree (cap + leaf) in
+    if r >= 0 then acc := f !acc (base + leaf) r
+  done;
+  !acc
+
+let active t = List.rev (fold_active t ~init:[] ~f:(fun acc slot _ -> slot :: acc))

@@ -8,7 +8,19 @@
 
 type t
 
-val create : unit -> t
+val create : ?initial_cap:int -> unit -> t
+(** [initial_cap] (default 8, minimum 1) is rounded up to a power of
+    two; the tree doubles on demand.
+
+    The tree additionally {e compacts}: when its leaves fill up and the
+    older half are all inactive, the leaf window slides instead of
+    growing, and those slots are retired for good. Slot numbers (and
+    therefore the leftmost-fit order) never change — only the memory
+    footprint, which tracks the span of still-active slots rather than
+    the slots ever pushed. Touching a retired slot ({!set},
+    {!deactivate}, {!residual}) raises [Invalid_argument]; slots are
+    only retired while inactive, so a caller that never revives a
+    deactivated slot can never observe the difference. *)
 
 val push : t -> residual:int -> int
 (** Append a slot with the given residual; returns the slot index. *)
@@ -25,10 +37,22 @@ val residual : t -> int -> int
 val length : t -> int
 (** Number of slots ever pushed. *)
 
+val compacted_below : t -> int
+(** Slots below this bound have been retired by compaction (all were
+    inactive when the window slid). 0 until a compaction happens. *)
+
+val first_fit_idx : t -> int -> int
+(** [first_fit_idx t need] is the smallest slot index with residual >=
+    [need], or [-1] when no active slot fits — the allocation-free query
+    the per-item placement path uses. [need] must be non-negative. *)
+
 val first_fit : t -> int -> int option
-(** [first_fit t need] is the smallest slot index with residual >=
-    [need], if any. [need] must be non-negative. *)
+(** {!first_fit_idx} with an option, for callers off the hot path. *)
+
+val fold_active : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+(** [fold_active t ~init ~f] folds [f acc slot residual] over active
+    slots in increasing slot order, without allocating. Best/Worst-Fit
+    scan through this. *)
 
 val active : t -> int list
-(** Active slots in increasing order (linear; used by non-FF rules and
-    tests). *)
+(** Active slots in increasing order (used by tests and traversals). *)

@@ -7,7 +7,7 @@ type t = {
   mutable glabel : string;
   index : Ff_index.t;
   bin_of_slot : Bin_store.bin_id Vec.t;
-  slot_of_bin : (Bin_store.bin_id, int) Hashtbl.t;
+  slot_of_bin : Imap.t;
   mutable n_open : int;
   mutable last_slot : int;  (** most recent slot, for Next-Fit *)
 }
@@ -18,7 +18,7 @@ let create ?(rule = H.First_fit) ~label () =
     glabel = label;
     index = Ff_index.create ();
     bin_of_slot = Vec.create ();
-    slot_of_bin = Hashtbl.create 16;
+    slot_of_bin = Imap.create ~capacity:16 ();
     n_open = 0;
     last_slot = -1;
   }
@@ -28,48 +28,41 @@ let open_count t = t.n_open
 
 let relabel t store label =
   t.glabel <- label;
-  Hashtbl.iter (fun bin _slot -> Bin_store.relabel store bin label) t.slot_of_bin
-let owns t bin = Hashtbl.mem t.slot_of_bin bin
+  Imap.iter (fun bin _slot -> Bin_store.relabel store bin label) t.slot_of_bin
+
+let owns t bin = Imap.mem t.slot_of_bin bin
 
 let open_bins t =
   Ff_index.active t.index |> List.map (fun slot -> Vec.get t.bin_of_slot slot)
 
-(* Slot selection per rule. First-Fit uses the segment tree; the other
-   rules are linear over active slots (they have no leftmost structure to
-   exploit). *)
+(* Slot selection per rule, -1 when nothing fits. First-Fit uses the
+   segment tree; the other rules fold over active slots (they have no
+   leftmost structure to exploit) without materializing a list. *)
 let choose_slot t need =
   match t.rule with
-  | H.First_fit -> Ff_index.first_fit t.index need
+  | H.First_fit -> Ff_index.first_fit_idx t.index need
   | H.Next_fit ->
       if t.last_slot >= 0 && Ff_index.residual t.index t.last_slot >= need then
-        Some t.last_slot
-      else None
+        t.last_slot
+      else -1
   | H.Best_fit ->
-      List.fold_left
-        (fun acc slot ->
-          let r = Ff_index.residual t.index slot in
-          if r < need then acc
-          else
-            match acc with
-            | Some s when Ff_index.residual t.index s <= r -> acc
-            | _ -> Some slot)
-        None (Ff_index.active t.index)
+      (* Tightest adequate residual; ties keep the earliest slot. *)
+      fst
+        (Ff_index.fold_active t.index ~init:(-1, -1)
+           ~f:(fun ((_, br) as best) slot r ->
+             if r >= need && (br < 0 || r < br) then (slot, r) else best))
   | H.Worst_fit ->
-      List.fold_left
-        (fun acc slot ->
-          let r = Ff_index.residual t.index slot in
-          if r < need then acc
-          else
-            match acc with
-            | Some s when Ff_index.residual t.index s >= r -> acc
-            | _ -> Some slot)
-        None (Ff_index.active t.index)
+      (* Roomiest adequate residual; ties keep the earliest slot. *)
+      fst
+        (Ff_index.fold_active t.index ~init:(-1, -1)
+           ~f:(fun ((_, br) as best) slot r ->
+             if r >= need && r > br then (slot, r) else best))
 
 let register t store bin =
   let slot = Ff_index.push t.index ~residual:(Load.to_units (Bin_store.residual store bin)) in
   Vec.push t.bin_of_slot bin;
   assert (Vec.length t.bin_of_slot = Ff_index.length t.index);
-  Hashtbl.replace t.slot_of_bin bin slot;
+  Imap.set t.slot_of_bin bin slot;
   t.n_open <- t.n_open + 1;
   t.last_slot <- slot;
   slot
@@ -85,17 +78,18 @@ let place_new t store ~now (r : Item.t) =
   bin
 
 let place t store ~now (r : Item.t) =
-  match choose_slot t (Load.to_units r.size) with
-  | Some slot ->
-      let bin = Vec.get t.bin_of_slot slot in
-      Bin_store.insert store bin r;
-      resync t store bin slot;
-      t.last_slot <- slot;
-      bin
-  | None -> place_new t store ~now r
+  let slot = choose_slot t (Load.to_units r.size) in
+  if slot < 0 then place_new t store ~now r
+  else begin
+    let bin = Vec.get t.bin_of_slot slot in
+    Bin_store.insert store bin r;
+    resync t store bin slot;
+    t.last_slot <- slot;
+    bin
+  end
 
 let slot_exn t bin op =
-  match Hashtbl.find_opt t.slot_of_bin bin with
+  match Imap.find_opt t.slot_of_bin bin with
   | Some slot -> slot
   | None -> invalid_arg ("Fit_group." ^ op ^ ": bin not in group")
 
@@ -104,7 +98,7 @@ let note_insert t store bin = resync t store bin (slot_exn t bin "note_insert")
 let note_close t bin =
   let slot = slot_exn t bin "note_close" in
   Ff_index.deactivate t.index slot;
-  Hashtbl.remove t.slot_of_bin bin;
+  Imap.remove t.slot_of_bin bin;
   t.n_open <- t.n_open - 1;
   if t.last_slot = slot then t.last_slot <- -1
 

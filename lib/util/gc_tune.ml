@@ -1,0 +1,76 @@
+(* Steady-state GC settings for the streaming event loop.
+
+   The loop allocates a bounded working set (short-lived Seq cells and
+   PRNG floats from the source, mostly) at a high rate while the
+   simulator's own structures are preallocated arenas. The knobs barely
+   matter at that profile — and that is the measured finding, not a
+   failure to measure: sweeping minor heaps from 512k to 32M words on
+   the pinned 1M-item cloud trace (see DESIGN.md "Hot-path
+   representation"), a 2M-word minor heap with 200% space overhead was
+   the consistent best at ~3-5% over stock, while big minor heaps
+   (16M-32M words) ran *slower* than stock — the nursery outgrows cache
+   and every allocation touches cold lines. The default below is the
+   measured optimum; `--gc` / DBP_GC exist precisely so a different box
+   can re-measure and override. *)
+
+let stream_default = "minor=2M,space=200"
+
+let parse_words s op =
+  let fail () = invalid_arg ("Gc_tune." ^ op ^ ": bad size " ^ String.escaped s) in
+  if s = "" then fail ();
+  let n = String.length s in
+  let num, scale =
+    match s.[n - 1] with
+    | 'k' | 'K' -> (String.sub s 0 (n - 1), 1024)
+    | 'm' | 'M' -> (String.sub s 0 (n - 1), 1024 * 1024)
+    | '0' .. '9' -> (s, 1)
+    | _ -> fail ()
+  in
+  match int_of_string_opt num with
+  | Some v when v > 0 && v <= max_int / scale -> v * scale
+  | _ -> fail ()
+
+(* "minor=32M,space=200" -> settings; unknown keys, empty fields and
+   malformed numbers all raise so a typo in DBP_GC is loud, not a silent
+   run at stock settings. *)
+let parse spec =
+  let fields =
+    String.split_on_char ',' spec
+    |> List.filter_map (fun f ->
+           match String.trim f with "" -> None | f -> Some f)
+  in
+  if fields = [] then invalid_arg "Gc_tune.parse: empty spec";
+  List.map
+    (fun field ->
+      match String.index_opt field '=' with
+      | None -> invalid_arg ("Gc_tune.parse: expected key=value in " ^ String.escaped field)
+      | Some i ->
+          let key = String.trim (String.sub field 0 i) in
+          let v = String.trim (String.sub field (i + 1) (String.length field - i - 1)) in
+          (match key with
+          | "minor" -> `Minor (parse_words v "parse")
+          | "space" -> (
+              match int_of_string_opt v with
+              | Some p when p >= 1 -> `Space p
+              | _ -> invalid_arg ("Gc_tune.parse: bad space_overhead " ^ String.escaped v))
+          | _ -> invalid_arg ("Gc_tune.parse: unknown key " ^ String.escaped key)))
+    fields
+
+let apply spec =
+  let settings = parse spec in
+  let c = Gc.get () in
+  let c =
+    List.fold_left
+      (fun (c : Gc.control) -> function
+        | `Minor words -> { c with minor_heap_size = words }
+        | `Space pct -> { c with space_overhead = pct })
+      c settings
+  in
+  Gc.set c
+
+let describe spec =
+  parse spec
+  |> List.map (function
+       | `Minor words -> Printf.sprintf "minor_heap_size=%d words" words
+       | `Space pct -> Printf.sprintf "space_overhead=%d%%" pct)
+  |> String.concat ", "

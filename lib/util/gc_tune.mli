@@ -1,0 +1,31 @@
+(** Runtime GC tuning for long steady-state runs.
+
+    The streaming simulator has a flat allocation profile: a bounded
+    per-item working set that dies young, for millions of items. A spec
+    string such as ["minor=2M"] or ["minor=2M,space=200"] names the two
+    knobs that matter:
+
+    - [minor=<n>[K|M]] — minor heap size in {e words} (so [2M] is
+      16 MiB on 64-bit). A moderately larger nursery spreads minor
+      collections out; past cache size it backfires (measured: 16M+
+      words is slower than stock).
+    - [space=<pct>] — [Gc.space_overhead] percentage; higher defers
+      major slices.
+
+    Unknown keys or malformed values raise [Invalid_argument] — a typo
+    in [DBP_GC] should fail loudly, not silently run at stock
+    settings. *)
+
+val stream_default : string
+(** The spec `dbp stream` applies when neither [--gc] nor the [DBP_GC]
+    environment variable overrides it; chosen by measurement on the
+    pinned 1M-item cloud trace (see DESIGN.md). *)
+
+val apply : string -> unit
+(** Parse the spec and [Gc.set] the named knobs, leaving every other
+    field of the current [Gc.control] untouched. *)
+
+val describe : string -> string
+(** Human-readable rendering of a spec ("minor_heap_size=… words,
+    space_overhead=…%") for [--explain]-style logging. Raises on the
+    same inputs [apply] rejects. *)

@@ -1,0 +1,143 @@
+(* Open-addressing int -> int hash map with linear probing and
+   backward-shift deletion. See the .mli for the contract; the points
+   that matter for correctness:
+
+   - [keys] uses [empty_key] (min_int) as the vacant marker, so min_int
+     itself is rejected as a key.
+   - Capacity is a power of two and the live count is kept at or below
+     half of it, so every probe sequence terminates at a vacant cell.
+   - Deletion back-shifts the cluster instead of leaving tombstones: an
+     element is moved one step towards its home slot whenever its probe
+     distance allows it, which keeps lookups O(cluster) forever — the
+     streaming engine adds and removes an entry per item, millions of
+     times, and must not degrade. *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable mask : int;  (** capacity - 1; capacity is a power of two *)
+  mutable len : int;
+}
+
+let empty_key = min_int
+
+let check_key k op =
+  if k = empty_key then invalid_arg ("Imap." ^ op ^ ": min_int is not a valid key")
+
+let make_arrays cap = (Array.make cap empty_key, Array.make cap 0)
+
+let create ?(capacity = 16) () =
+  let cap = max 8 (Ints.pow2 (Ints.ceil_log2 (max 1 capacity))) in
+  let keys, vals = make_arrays cap in
+  { keys; vals; mask = cap - 1; len = 0 }
+
+let length t = t.len
+let hash k = Ints.splitmix_mix k land max_int
+
+(* Slot of [k], or the vacant slot its probe ended at ([keys.(i)] tells
+   which). Termination: load factor <= 1/2 guarantees a vacant cell. *)
+let probe t k =
+  let mask = t.mask in
+  let keys = t.keys in
+  let rec scan i =
+    let cur = Array.unsafe_get keys i in
+    if cur = k || cur = empty_key then i else scan ((i + 1) land mask)
+  in
+  scan (hash k land mask)
+
+let rec insert_fresh t k v =
+  (* Grow before the load factor crosses 1/2. *)
+  if 2 * (t.len + 1) > t.mask + 1 then begin
+    let cap' = 2 * (t.mask + 1) in
+    let keys, vals = (t.keys, t.vals) in
+    let keys', vals' = make_arrays cap' in
+    let old = { keys; vals; mask = t.mask; len = t.len } in
+    t.keys <- keys';
+    t.vals <- vals';
+    t.mask <- cap' - 1;
+    t.len <- 0;
+    for i = 0 to old.mask do
+      let k = old.keys.(i) in
+      if k <> empty_key then insert_fresh t k old.vals.(i)
+    done
+  end;
+  let i = probe t k in
+  if t.keys.(i) = empty_key then t.len <- t.len + 1;
+  t.keys.(i) <- k;
+  t.vals.(i) <- v
+
+let set t k v =
+  check_key k "set";
+  insert_fresh t k v
+
+let add_new t k v =
+  check_key k "add_new";
+  let i = probe t k in
+  if t.keys.(i) = k then false
+  else begin
+    insert_fresh t k v;
+    true
+  end
+
+let mem t k =
+  check_key k "mem";
+  t.keys.(probe t k) = k
+
+let find t k =
+  check_key k "find";
+  let i = probe t k in
+  if t.keys.(i) = k then t.vals.(i) else raise Not_found
+
+let find_opt t k =
+  check_key k "find_opt";
+  let i = probe t k in
+  if t.keys.(i) = k then Some t.vals.(i) else None
+
+(* Close the hole at [i]: walk the cluster to its right, moving back any
+   element whose home slot is not in (i, j] — i.e. whose probe path runs
+   through [i]. An element sitting at its home slot never moves. *)
+let backshift t i =
+  let mask = t.mask in
+  let rec loop i j =
+    let j = (j + 1) land mask in
+    let k = t.keys.(j) in
+    if k = empty_key then t.keys.(i) <- empty_key
+    else begin
+      let home = hash k land mask in
+      (* [k] may move into the hole iff the hole lies on its probe path:
+         distance home->i <= distance home->j (cyclically). *)
+      if (i - home) land mask <= (j - home) land mask then begin
+        t.keys.(i) <- k;
+        t.vals.(i) <- t.vals.(j);
+        loop j j
+      end
+      else loop i j
+    end
+  in
+  loop i i
+
+let take t k =
+  check_key k "take";
+  let i = probe t k in
+  if t.keys.(i) <> k then raise Not_found;
+  let v = t.vals.(i) in
+  t.len <- t.len - 1;
+  backshift t i;
+  v
+
+let remove t k = match take t k with _ -> () | exception Not_found -> ()
+
+let iter f t =
+  for i = 0 to t.mask do
+    let k = t.keys.(i) in
+    if k <> empty_key then f k t.vals.(i)
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let clear t =
+  Array.fill t.keys 0 (t.mask + 1) empty_key;
+  t.len <- 0

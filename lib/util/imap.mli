@@ -1,0 +1,50 @@
+(** Unboxed [int -> int] hash map for the simulator's hot paths.
+
+    [Hashtbl] allocates a bucket cell per binding and hashes through a C
+    call; this map is two parallel [int array]s with open addressing
+    (linear probing, {!Ints.splitmix_mix} as the hash, backward-shift
+    deletion instead of tombstones), so the add-lookup-remove cycle the
+    event loop performs once per item allocates nothing and stays
+    cache-local. The streaming engine's item -> bin table lives here.
+
+    Keys are arbitrary ints except [min_int] (the internal vacant
+    marker); passing [min_int] raises [Invalid_argument]. Not
+    thread-safe; confine a map to one domain. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Initial capacity is rounded up to a power of two (>= 8). The map
+    grows by doubling; the load factor never exceeds 1/2. *)
+
+val length : t -> int
+
+val set : t -> int -> int -> unit
+(** Bind, replacing any existing binding. *)
+
+val add_new : t -> int -> int -> bool
+(** Bind only if absent: returns [false] (and leaves the map unchanged)
+    when the key is already bound — the one-probe "insert unless
+    duplicate" the bin store's packed-item check needs. *)
+
+val mem : t -> int -> bool
+
+val find : t -> int -> int
+(** Raises [Not_found]. *)
+
+val find_opt : t -> int -> int option
+
+val take : t -> int -> int
+(** Remove the binding and return its value in one probe sequence.
+    Raises [Not_found] if absent. *)
+
+val remove : t -> int -> unit
+(** Remove if present. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+(** Unspecified order. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val clear : t -> unit
+(** Drop every binding, keeping the backing arrays. *)

@@ -25,9 +25,24 @@ let popcount n =
   let rec loop acc n = if n = 0 then acc else loop (acc + (n land 1)) (n lsr 1) in
   loop 0 n
 
+(* Finalizer of splitmix64, truncated to OCaml's 63-bit ints. This is
+   the one hash the hot paths share: the solver's count-vector keys and
+   [Imap]'s open-addressing probe both mix through it. Constants are
+   62-bit truncations of the usual 64-bit mixers; the result may be
+   negative (callers mask with [land max_int] when they need a
+   non-negative value). *)
+let splitmix_mix z =
+  let z = z * 0x2545F4914F6CDD1D in
+  let z = z lxor (z lsr 29) in
+  let z = z * 0x1B03738712FAD5C9 in
+  z lxor (z lsr 32)
+
 let ceil_div a b =
   if a < 0 then invalid_arg "Ints.ceil_div: negative numerator";
   if b <= 0 then invalid_arg "Ints.ceil_div: non-positive denominator";
-  (a + b - 1) / b
+  (* Not (a + b - 1) / b: that wraps when a + b - 1 > max_int (e.g.
+     ceil_div max_int max_int returned 0). The decrement form is equal
+     on every non-overflowing input and total on the whole domain. *)
+  if a = 0 then 0 else ((a - 1) / b) + 1
 
 let ceil_to_multiple a b = ceil_div a b * b

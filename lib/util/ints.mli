@@ -25,6 +25,14 @@ val popcount : int -> int
 (** [popcount n] is the number of set bits in [n]. [n] must be
     non-negative. *)
 
+val splitmix_mix : int -> int
+(** Splitmix64-style avalanche mixer over the full [int] range: every
+    input bit affects every output bit. Deterministic and total — any
+    [int] is a valid argument, including 0, negatives and [max_int]; the
+    result may be negative (mask with [land max_int] for a hash).
+    [splitmix_mix 0 = 0] is the one fixed point callers must not feed
+    back blindly (hash users xor in a length or salt first). *)
+
 val ceil_div : int -> int -> int
 (** [ceil_div a b] is [ceil (a / b)] over the integers. [a] must be
     non-negative, [b] positive. *)

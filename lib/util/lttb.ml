@@ -1,80 +1,126 @@
 (* Largest-Triangle-Three-Buckets downsampling (Steinarsson, 2013) over
    (tick, value) samples, plus the bounded streaming buffer the
-   simulation engine records its open-bins series through. *)
+   simulation engine records its open-bins series through.
 
-let area (ax, ay) (bx, by) (cx, cy) =
-  (* Twice the triangle area; only compared, never reported, so floats
-     are fine even for multi-million-tick x coordinates. *)
-  Float.abs
-    (((ax -. cx) *. (by -. ay)) -. ((ax -. bx) *. (cy -. ay)))
+   The streaming buffer stores ticks and values in two parallel int
+   vectors rather than one [(int * int) Vec.t]: the engine pushes two
+   samples per simulated item, and a tuple per push is the single
+   largest allocation source left on the hot path. The decimation core
+   below therefore works in terms of kept {e indices}, so both the
+   boxed one-shot API and the unboxed buffer share it. *)
+
+(* Indices of the samples LTTB keeps: strictly increasing, starts at 0,
+   ends at n-1, length exactly [cap]. Samples are two parallel int
+   arrays — passing arrays (not accessor closures) keeps every float
+   here a local the compiler leaves unboxed; with a closure, each
+   coordinate read would box its float result, and decimation runs
+   amortized on every capped push. The [fbuf] cells carry the two
+   accumulators that must survive a loop (float-array storage is
+   unboxed; a [float ref] would box on every update). Triangle areas
+   are compared, never reported, so float precision is fine even for
+   multi-million-tick x coordinates. Requires n > cap >= 3. *)
+let select ~xs ~ys ~n ~cap =
+  let out = Array.make cap 0 in
+  (* cap-2 equal buckets over the n-2 interior points; the first and
+     last samples are always kept. *)
+  let every = float_of_int (n - 2) /. float_of_int (cap - 2) in
+  let bucket_start i = 1 + int_of_float (float_of_int i *. every) in
+  let imin (a : int) b = if a <= b then a else b in
+  let imax (a : int) b = if a >= b then a else b in
+  let fbuf = Array.make 2 0.0 in
+  let a = ref 0 in
+  for i = 0 to cap - 3 do
+    let lo = bucket_start i and hi = imin (bucket_start (i + 1)) (n - 1) in
+    (* Anchor the triangle's third corner on the next bucket's centroid
+       (the last point when this is the final bucket). *)
+    let nlo = hi
+    and nhi = if i = cap - 3 then n else imin (bucket_start (i + 2)) (n - 1) in
+    let nhi = imax nhi (nlo + 1) in
+    fbuf.(0) <- 0.0;
+    fbuf.(1) <- 0.0;
+    for j = nlo to nhi - 1 do
+      fbuf.(0) <- fbuf.(0) +. float_of_int xs.(j);
+      fbuf.(1) <- fbuf.(1) +. float_of_int ys.(j)
+    done;
+    let m = float_of_int (nhi - nlo) in
+    let cx = fbuf.(0) /. m and cy = fbuf.(1) /. m in
+    let px = float_of_int xs.(!a) and py = float_of_int ys.(!a) in
+    let best = ref lo in
+    fbuf.(0) <- -1.0 (* best area so far *);
+    for j = lo to imax lo (hi - 1) do
+      let bx = float_of_int xs.(j) and by = float_of_int ys.(j) in
+      let ar = Float.abs (((px -. cx) *. (by -. py)) -. ((px -. bx) *. (cy -. py))) in
+      if ar > fbuf.(0) then begin
+        best := j;
+        fbuf.(0) <- ar
+      end
+    done;
+    out.(i + 1) <- !best;
+    a := !best
+  done;
+  out.(cap - 1) <- n - 1;
+  out
 
 let downsample samples ~cap =
   if cap < 3 then invalid_arg "Lttb.downsample: cap < 3";
   let n = Array.length samples in
   if n <= cap then Array.copy samples
-  else begin
-    let fx i = float_of_int (fst samples.(i))
-    and fy i = float_of_int (snd samples.(i)) in
-    let out = Array.make cap samples.(0) in
-    (* cap-2 equal buckets over the n-2 interior points; the first and
-       last samples are always kept. *)
-    let every = float_of_int (n - 2) /. float_of_int (cap - 2) in
-    let bucket_start i = 1 + int_of_float (float_of_int i *. every) in
-    let a = ref 0 in
-    for i = 0 to cap - 3 do
-      let lo = bucket_start i and hi = min (bucket_start (i + 1)) (n - 1) in
-      (* Anchor the triangle's third corner on the next bucket's
-         centroid (the last point when this is the final bucket). *)
-      let nlo = hi and nhi = if i = cap - 3 then n else min (bucket_start (i + 2)) (n - 1) in
-      let nhi = max nhi (nlo + 1) in
-      let cx = ref 0.0 and cy = ref 0.0 in
-      for j = nlo to nhi - 1 do
-        cx := !cx +. fx j;
-        cy := !cy +. fy j
-      done;
-      let m = float_of_int (nhi - nlo) in
-      let c = (!cx /. m, !cy /. m) in
-      let p = (fx !a, fy !a) in
-      let best = ref lo and best_area = ref (-1.0) in
-      for j = lo to max lo (hi - 1) do
-        let ar = area p (fx j, fy j) c in
-        if ar > !best_area then begin
-          best := j;
-          best_area := ar
-        end
-      done;
-      out.(i + 1) <- samples.(!best);
-      a := !best
-    done;
-    out.(cap - 1) <- samples.(n - 1);
-    out
-  end
+  else
+    let xs = Array.map fst samples and ys = Array.map snd samples in
+    let idx = select ~xs ~ys ~n ~cap in
+    Array.map (fun i -> samples.(i)) idx
 
-type t = { cap : int option; buf : (int * int) Vec.t }
+type t = { cap : int option; ticks : int Vec.t; vals : int Vec.t }
 
 let create ?cap () =
   (match cap with
   | Some c when c < 3 -> invalid_arg "Lttb.create: cap < 3"
   | _ -> ());
-  { cap; buf = Vec.create () }
+  { cap; ticks = Vec.create (); vals = Vec.create () }
 
-let length t = Vec.length t.buf
-let is_empty t = Vec.is_empty t.buf
-let last t = Vec.last t.buf
-let set_last t s = Vec.set t.buf (Vec.length t.buf - 1) s
+let length t = Vec.length t.ticks
+let is_empty t = Vec.is_empty t.ticks
+let last t = (Vec.last t.ticks, Vec.last t.vals)
+let last_tick t = Vec.last t.ticks
 
-let push t s =
-  Vec.push t.buf s;
+let set_last_s t ~tick ~value =
+  let i = Vec.length t.ticks - 1 in
+  Vec.set t.ticks i tick;
+  Vec.set t.vals i value
+
+let set_last t (tick, value) = set_last_s t ~tick ~value
+
+(* Decimate the buffer in place: the kept indices are strictly
+   increasing, so compacting left-to-right never overwrites a sample
+   still to be read. *)
+let decimate t cap =
+  let n = Vec.length t.ticks in
+  let xs = Vec.to_array t.ticks and ys = Vec.to_array t.vals in
+  let idx = select ~xs ~ys ~n ~cap in
+  Array.iteri
+    (fun k i ->
+      Vec.set t.ticks k xs.(i);
+      Vec.set t.vals k ys.(i))
+    idx;
+  Vec.truncate t.ticks cap;
+  Vec.truncate t.vals cap
+
+let push_s t ~tick ~value =
+  Vec.push t.ticks tick;
+  Vec.push t.vals value;
   match t.cap with
-  | Some cap when Vec.length t.buf >= 2 * cap ->
+  | Some cap when Vec.length t.ticks >= 2 * cap ->
       (* Amortized O(1): each decimation halves the buffer, so it runs
-         once per [cap] pushes. [Vec.clear] keeps the backing array. *)
-      let d = downsample (Vec.to_array t.buf) ~cap in
-      Vec.clear t.buf;
-      Array.iter (Vec.push t.buf) d
+         once per [cap] pushes. *)
+      decimate t cap
   | _ -> ()
+
+let push t (tick, value) = push_s t ~tick ~value
 
 let to_array t =
   match t.cap with
-  | Some cap when Vec.length t.buf > cap -> downsample (Vec.to_array t.buf) ~cap
-  | _ -> Vec.to_array t.buf
+  | Some cap when Vec.length t.ticks > cap ->
+      let xs = Vec.to_array t.ticks and ys = Vec.to_array t.vals in
+      let idx = select ~xs ~ys ~n:(length t) ~cap in
+      Array.map (fun i -> (xs.(i), ys.(i))) idx
+  | _ -> Array.init (length t) (fun i -> (Vec.get t.ticks i, Vec.get t.vals i))

@@ -21,6 +21,11 @@ val push : t -> int * int -> unit
     Amortized O(1): when a capped buffer reaches [2 * cap] samples it is
     decimated back to [cap] in place. *)
 
+val push_s : t -> tick:int -> value:int -> unit
+(** {!push} without the tuple — samples live in two parallel int
+    vectors internally, so the per-event recording path allocates
+    nothing. *)
+
 val length : t -> int
 (** Samples currently buffered (may exceed [cap], never [2 * cap]). *)
 
@@ -29,10 +34,16 @@ val is_empty : t -> bool
 val last : t -> int * int
 (** Most recent sample; raises [Invalid_argument] when empty. *)
 
+val last_tick : t -> int
+(** Tick of {!last}, without boxing a pair. *)
+
 val set_last : t -> int * int -> unit
 (** Overwrite the most recent sample (the engine folds multiple events
     at one tick into one sample). Raises [Invalid_argument] when
     empty. *)
+
+val set_last_s : t -> tick:int -> value:int -> unit
+(** {!set_last} without the tuple. *)
 
 val to_array : t -> (int * int) array
 (** The recorded series, decimated to at most [cap] samples when capped. *)

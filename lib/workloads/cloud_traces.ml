@@ -50,7 +50,10 @@ let tick_items config rng ~t ~first_id =
         Prng.log_normal rng ~mu:config.duration_mu ~sigma:config.duration_sigma
       in
       let duration =
-        max config.min_duration (min config.max_duration (int_of_float d))
+        (* Int clamp without polymorphic min/max (a C call per draw). *)
+        let d = int_of_float d in
+        let d = if d > config.max_duration then config.max_duration else d in
+        if d < config.min_duration then config.min_duration else d
       in
       let size = Load.of_float (Prng.choice rng config.tiers) in
       build (k + 1)

@@ -169,6 +169,32 @@ if [ "$retained" -gt $((live + 8)) ]; then
 fi
 echo "stream: $items items, retained high-water $retained <= peak live $live"
 
+# Throughput gate: the pinned 1M-item FF trace must stream at >= 2.5x
+# the pre-overhaul rate (418k items/s when the representation overhaul
+# landed => floor 1045000). Best of 3 runs, so one unlucky scheduler
+# quantum can't fail the gate; typical is 1.1-1.3M items/s, so a pass
+# still has real margin. The first (retention-gate) run above counts as
+# run one.
+echo "stream: throughput floor on the pinned 1M-item FF trace (best of 3)"
+throughput_floor=1045000
+best=$(sed -n 's/^throughput=\([0-9][0-9]*\) .*/\1/p' "$tmpdir/stream.txt")
+if [ -z "$best" ]; then
+  echo "FAIL: could not parse throughput= from stream output" >&2
+  exit 1
+fi
+for run in 2 3; do
+  if [ "$best" -ge "$throughput_floor" ]; then break; fi
+  dune exec bin/main.exe -- stream --workload cloud --days 60 --rate 20 \
+    --seed 1 --policy FF > "$tmpdir/stream$run.txt"
+  t=$(sed -n 's/^throughput=\([0-9][0-9]*\) .*/\1/p' "$tmpdir/stream$run.txt")
+  if [ -n "$t" ] && [ "$t" -gt "$best" ]; then best=$t; fi
+done
+if [ "$best" -lt "$throughput_floor" ]; then
+  echo "FAIL: best throughput $best items/s below floor $throughput_floor" >&2
+  exit 1
+fi
+echo "stream: $best items/s >= $throughput_floor"
+
 echo "stream: per-policy bit-identity vs Engine.run"
 for p in HA CDFF FF BF WF NF CD RT SpanGreedy; do
   dune exec bin/main.exe -- stream --workload cloud --days 2 --rate 3 \

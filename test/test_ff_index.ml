@@ -46,13 +46,70 @@ let test_growth () =
 let test_bad_slot () =
   let t = Ff_index.create () in
   check_raises_invalid "set" (fun () -> Ff_index.set t 0 1);
-  check_raises_invalid "negative need" (fun () -> Ff_index.first_fit t (-1))
+  check_raises_invalid "negative need" (fun () -> Ff_index.first_fit t (-1));
+  check_raises_invalid "negative need idx" (fun () -> Ff_index.first_fit_idx t (-1));
+  check_raises_invalid "zero cap" (fun () -> Ff_index.create ~initial_cap:0 ())
 
-(* Randomized differential test against a naive array model. *)
-let prop_vs_naive =
-  qcase ~count:100 ~name:"matches naive model under random ops"
+(* The degenerate single-leaf geometry: tree.(1) is root and leaf at
+   once, so updates have no internal node to propagate through. The old
+   update_path guard skipped its whole body at this shape; growth out of
+   it must also preserve values. *)
+let test_cap_one () =
+  let t = Ff_index.create ~initial_cap:1 () in
+  check_int "empty query" (-1) (Ff_index.first_fit_idx t 0);
+  ignore (Ff_index.push t ~residual:5);
+  check_int "one leaf" 0 (Ff_index.first_fit_idx t 5);
+  check_int "too big" (-1) (Ff_index.first_fit_idx t 6);
+  Ff_index.set t 0 2;
+  check_int "after set" (-1) (Ff_index.first_fit_idx t 3);
+  ignore (Ff_index.push t ~residual:9);
+  (* grown to cap 2 *)
+  check_int "growth kept slot 0" 2 (Ff_index.residual t 0);
+  check_int "query after growth" 1 (Ff_index.first_fit_idx t 3);
+  Ff_index.deactivate t 1;
+  check_int "deactivate propagates" (-1) (Ff_index.first_fit_idx t 3)
+
+let test_fold_active () =
+  let t = Ff_index.create () in
+  ignore (Ff_index.push t ~residual:4);
+  ignore (Ff_index.push t ~residual:7);
+  ignore (Ff_index.push t ~residual:1);
+  Ff_index.deactivate t 1;
+  let pairs =
+    Ff_index.fold_active t ~init:[] ~f:(fun acc slot r -> (slot, r) :: acc)
+  in
+  Alcotest.(check (list (pair int int))) "active pairs" [ (2, 1); (0, 4) ] pairs
+
+(* Window compaction: filling the leaves while the older half is dead
+   slides the window instead of growing, retiring those slots. Public
+   slot numbers — and so the leftmost-fit order — are unchanged. *)
+let test_compaction () =
+  let t = Ff_index.create ~initial_cap:4 () in
+  for i = 0 to 3 do
+    ignore (Ff_index.push t ~residual:(10 + i))
+  done;
+  Ff_index.deactivate t 0;
+  Ff_index.deactivate t 1;
+  (* Leaves full, left half inactive: this push slides, not grows. *)
+  check_int "post-slide slot id" 4 (Ff_index.push t ~residual:99);
+  check_int "compacted below" 2 (Ff_index.compacted_below t);
+  check_int "length keeps counting" 5 (Ff_index.length t);
+  check_int "survivor residual" 12 (Ff_index.residual t 2);
+  check_int "leftmost fit unchanged" 2 (Ff_index.first_fit_idx t 11);
+  check_int "fit reaches new slot" 4 (Ff_index.first_fit_idx t 50);
+  Alcotest.(check (list int)) "active window" [ 2; 3; 4 ] (Ff_index.active t);
+  check_raises_invalid "retired set" (fun () -> Ff_index.set t 0 5);
+  check_raises_invalid "retired deactivate" (fun () -> Ff_index.deactivate t 0);
+  check_raises_invalid "retired residual" (fun () -> Ff_index.residual t 1)
+
+(* Randomized differential test against a naive array model, over the
+   degenerate and ordinary starting capacities. Both query spellings
+   must agree with the model (and so with each other). *)
+let prop_vs_naive_at initial_cap =
+  qcase ~count:100
+    ~name:(Printf.sprintf "matches naive model under random ops (cap %d)" initial_cap)
     (fun ops ->
-      let t = Ff_index.create () in
+      let t = Ff_index.create ~initial_cap () in
       let model = ref [||] in
       let ok = ref true in
       List.iter
@@ -64,19 +121,40 @@ let prop_vs_naive =
               model := Array.append !model [| arg |]
           | 1 when n > 0 ->
               let slot = arg mod n in
-              Ff_index.set t slot (arg * 7 mod 1000);
-              !model.(slot) <- arg * 7 mod 1000
+              let v = arg * 7 mod 1000 in
+              if slot < Ff_index.compacted_below t then begin
+                (* Compaction only retires inactive slots, and retired
+                   slots reject writes. *)
+                if !model.(slot) <> -1 then ok := false;
+                match Ff_index.set t slot v with
+                | () -> ok := false
+                | exception Invalid_argument _ -> ()
+              end
+              else begin
+                Ff_index.set t slot v;
+                !model.(slot) <- v
+              end
           | 2 when n > 0 ->
               let slot = arg mod n in
-              Ff_index.deactivate t slot;
-              !model.(slot) <- -1
+              if slot < Ff_index.compacted_below t then begin
+                if !model.(slot) <> -1 then ok := false;
+                match Ff_index.deactivate t slot with
+                | () -> ok := false
+                | exception Invalid_argument _ -> ()
+              end
+              else begin
+                Ff_index.deactivate t slot;
+                !model.(slot) <- -1
+              end
           | _ ->
               let need = arg mod 1000 in
               let naive = ref None in
               Array.iteri
                 (fun i r -> if !naive = None && r >= need && r >= 0 then naive := Some i)
                 !model;
-              if Ff_index.first_fit t need <> !naive then ok := false)
+              if Ff_index.first_fit t need <> !naive then ok := false;
+              let idx = Ff_index.first_fit_idx t need in
+              if (match !naive with None -> -1 | Some s -> s) <> idx then ok := false)
         ops;
       !ok)
     QCheck2.Gen.(list_size (int_range 1 200) (pair (int_range 0 3) (int_range 0 10_000)))
@@ -88,5 +166,10 @@ let suite =
     case "need zero" test_need_zero;
     case "growth" test_growth;
     case "bad slot" test_bad_slot;
-    prop_vs_naive;
+    case "cap one" test_cap_one;
+    case "fold_active" test_fold_active;
+    case "compaction" test_compaction;
+    prop_vs_naive_at 1;
+    prop_vs_naive_at 2;
+    prop_vs_naive_at 8;
   ]

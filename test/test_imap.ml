@@ -1,0 +1,149 @@
+(* Imap is checked against a Hashtbl model over random operation
+   sequences — the map backs the streaming engine's per-item table, so
+   any divergence (especially around backward-shift deletion, which is
+   the one subtle part) must surface here, not as a wrong packing. *)
+
+open Dbp_util
+open Helpers
+
+let test_basic () =
+  let m = Imap.create () in
+  check_int "empty" 0 (Imap.length m);
+  Imap.set m 7 70;
+  Imap.set m (-3) 30;
+  Imap.set m 0 1;
+  check_int "len" 3 (Imap.length m);
+  check_int "find 7" 70 (Imap.find m 7);
+  check_int "find -3" 30 (Imap.find m (-3));
+  Imap.set m 7 71;
+  check_int "replace keeps len" 3 (Imap.length m);
+  check_int "replaced" 71 (Imap.find m 7);
+  check_bool "mem" true (Imap.mem m 0);
+  check_bool "not mem" false (Imap.mem m 12);
+  Alcotest.(check (option int)) "find_opt" (Some 1) (Imap.find_opt m 0);
+  Alcotest.(check (option int)) "find_opt none" None (Imap.find_opt m 99);
+  (match Imap.find m 99 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "find missing should raise")
+
+let test_add_new_and_take () =
+  let m = Imap.create () in
+  check_bool "fresh" true (Imap.add_new m 5 50);
+  check_bool "dup" false (Imap.add_new m 5 51);
+  check_int "dup kept old" 50 (Imap.find m 5);
+  check_int "take" 50 (Imap.take m 5);
+  check_int "taken out" 0 (Imap.length m);
+  (match Imap.take m 5 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "take missing should raise");
+  Imap.remove m 5 (* no-op, must not raise *)
+
+let test_min_int_rejected () =
+  let m = Imap.create () in
+  check_raises_invalid "set" (fun () -> Imap.set m min_int 0);
+  check_raises_invalid "mem" (fun () -> Imap.mem m min_int);
+  check_raises_invalid "take" (fun () -> Imap.take m min_int)
+
+let test_grow_many () =
+  let m = Imap.create ~capacity:8 () in
+  for i = 0 to 9_999 do
+    Imap.set m (i * 7) i
+  done;
+  check_int "len" 10_000 (Imap.length m);
+  for i = 0 to 9_999 do
+    if Imap.find m (i * 7) <> i then Alcotest.failf "lost key %d" (i * 7)
+  done;
+  (* Delete every other key, then re-check survivors: exercises
+     backshift across grown tables. *)
+  for i = 0 to 9_999 do
+    if i mod 2 = 0 then ignore (Imap.take m (i * 7))
+  done;
+  check_int "half left" 5_000 (Imap.length m);
+  for i = 0 to 9_999 do
+    let expect = if i mod 2 = 0 then None else Some i in
+    if Imap.find_opt m (i * 7) <> expect then Alcotest.failf "wrong at %d" i
+  done
+
+let test_clear () =
+  let m = Imap.create () in
+  Imap.set m 1 2;
+  Imap.set m 3 4;
+  Imap.clear m;
+  check_int "cleared" 0 (Imap.length m);
+  check_bool "gone" false (Imap.mem m 1);
+  Imap.set m 1 9;
+  check_int "reusable" 9 (Imap.find m 1)
+
+let test_iter_fold () =
+  let m = Imap.create () in
+  List.iter (fun (k, v) -> Imap.set m k v) [ (1, 10); (2, 20); (3, 30) ];
+  let sum = ref 0 in
+  Imap.iter (fun k v -> sum := !sum + k + v) m;
+  check_int "iter sum" 66 !sum;
+  check_int "fold sum" 66 (Imap.fold (fun k v acc -> acc + k + v) m 0)
+
+(* Model test: random add/set/remove/take/mem sequences against a
+   Hashtbl, checked after every operation via length and at the end via
+   full contents. Keys are drawn from a small range so collisions,
+   clusters and backshift chains are frequent. *)
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_bound 400)
+      (pair (int_range 0 4) (pair (int_range (-40) 40) (int_bound 1000))))
+
+let prop_vs_hashtbl ops =
+  let m = Imap.create ~capacity:8 () in
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun (op, (k, v)) ->
+      (match op with
+      | 0 ->
+          Imap.set m k v;
+          Hashtbl.replace h k v
+      | 1 ->
+          let fresh = Imap.add_new m k v in
+          let model_fresh = not (Hashtbl.mem h k) in
+          if fresh <> model_fresh then QCheck2.Test.fail_report "add_new freshness";
+          if model_fresh then Hashtbl.replace h k v
+      | 2 ->
+          Imap.remove m k;
+          Hashtbl.remove h k
+      | 3 -> (
+          match Imap.take m k with
+          | got ->
+              let want =
+                match Hashtbl.find_opt h k with
+                | Some v -> v
+                | None -> QCheck2.Test.fail_report "take succeeded on missing key"
+              in
+              if got <> want then QCheck2.Test.fail_report "take value";
+              Hashtbl.remove h k
+          | exception Not_found ->
+              if Hashtbl.mem h k then QCheck2.Test.fail_report "take missed present key")
+      | _ ->
+          if Imap.mem m k <> Hashtbl.mem h k then
+            QCheck2.Test.fail_report "mem disagrees");
+      if Imap.length m <> Hashtbl.length h then
+        QCheck2.Test.fail_report "length disagrees")
+    ops;
+  (* Final deep comparison both ways. *)
+  Hashtbl.iter
+    (fun k v ->
+      if Imap.find_opt m k <> Some v then QCheck2.Test.fail_report "missing binding")
+    h;
+  Imap.iter
+    (fun k v ->
+      if Hashtbl.find_opt h k <> Some v then QCheck2.Test.fail_report "phantom binding")
+    m;
+  true
+
+let suite =
+  [
+    case "basic" test_basic;
+    case "add-new-take" test_add_new_and_take;
+    case "min-int-rejected" test_min_int_rejected;
+    case "grow-many" test_grow_many;
+    case "clear" test_clear;
+    case "iter-fold" test_iter_fold;
+    qcase ~count:500 ~name:"model vs Hashtbl" prop_vs_hashtbl gen_ops;
+  ]

@@ -56,6 +56,110 @@ let test_ceil_to_multiple () =
   check_int "8->8" 8 (Ints.ceil_to_multiple 8 4);
   check_int "0->0" 0 (Ints.ceil_to_multiple 0 4)
 
+(* Exhaustive power-of-two boundary sweep: at every representable
+   exponent, pow2 / is_pow2 / floor_log2 / ceil_log2 / ntz must agree
+   at 2^k and flip correctly at 2^k +- 1. The Ff_index window geometry
+   and the aligned-workload class arithmetic both live on exactly these
+   edges. *)
+let test_pow2_boundaries () =
+  for k = 0 to 61 do
+    let p = Ints.pow2 k in
+    check_int (Printf.sprintf "pow2 %d" k) (1 lsl k) p;
+    check_bool (Printf.sprintf "is_pow2 2^%d" k) true (Ints.is_pow2 p);
+    check_int (Printf.sprintf "floor_log2 2^%d" k) k (Ints.floor_log2 p);
+    check_int (Printf.sprintf "ceil_log2 2^%d" k) k (Ints.ceil_log2 p);
+    check_int (Printf.sprintf "ntz 2^%d" k) k (Ints.ntz p);
+    if k >= 1 then begin
+      (* One below: 2^k - 1 (all-ones; equals 1 when k = 1). *)
+      check_bool (Printf.sprintf "is_pow2 (2^%d-1)" k) (k = 1) (Ints.is_pow2 (p - 1));
+      check_int
+        (Printf.sprintf "floor_log2 (2^%d-1)" k)
+        (k - 1)
+        (Ints.floor_log2 (p - 1));
+      check_int
+        (Printf.sprintf "ceil_log2 (2^%d-1)" k)
+        (if k = 1 then 0 else k)
+        (Ints.ceil_log2 (p - 1));
+      check_int (Printf.sprintf "ntz (2^%d-1)" k) 0 (Ints.ntz (p - 1));
+      check_int (Printf.sprintf "popcount (2^%d-1)" k) k (Ints.popcount (p - 1));
+      (* One above: 2^k + 1 (fits even at k = 61; ceil_log2 may return
+         62 without ever computing 2^62). *)
+      check_bool (Printf.sprintf "is_pow2 (2^%d+1)" k) false (Ints.is_pow2 (p + 1));
+      check_int (Printf.sprintf "floor_log2 (2^%d+1)" k) k (Ints.floor_log2 (p + 1));
+      check_int (Printf.sprintf "ceil_log2 (2^%d+1)" k) (k + 1) (Ints.ceil_log2 (p + 1));
+      check_int (Printf.sprintf "ntz (2^%d+1)" k) 0 (Ints.ntz (p + 1))
+    end
+  done
+
+(* 0 / 1 / max_int / min_int edges of every function's domain. max_int
+   is 2^62 - 1 on 64-bit, so its ceil_log2 is 62 — one past what pow2
+   can represent, and the implementation must not try. *)
+let test_int_extremes () =
+  check_int "floor_log2 max_int" 61 (Ints.floor_log2 max_int);
+  check_int "ceil_log2 max_int" 62 (Ints.ceil_log2 max_int);
+  check_bool "is_pow2 max_int" false (Ints.is_pow2 max_int);
+  check_int "ntz max_int" 0 (Ints.ntz max_int);
+  check_int "popcount max_int" 62 (Ints.popcount max_int);
+  check_int "popcount 0" 0 (Ints.popcount 0);
+  check_int "ceil_div max_int 1" max_int (Ints.ceil_div max_int 1);
+  check_int "ceil_div max_int max_int" 1 (Ints.ceil_div max_int max_int);
+  check_int "ceil_div 0 max_int" 0 (Ints.ceil_div 0 max_int);
+  check_int "ceil_to_multiple 0 max_int" 0 (Ints.ceil_to_multiple 0 max_int);
+  check_raises_invalid "pow2 62" (fun () -> Ints.pow2 62);
+  check_raises_invalid "pow2 min_int" (fun () -> Ints.pow2 min_int);
+  check_raises_invalid "ceil_div -1 2" (fun () -> Ints.ceil_div (-1) 2);
+  check_raises_invalid "ceil_div 1 -2" (fun () -> Ints.ceil_div 1 (-2));
+  check_raises_invalid "is_pow2 min_int" (fun () -> Ints.is_pow2 min_int);
+  check_raises_invalid "floor_log2 min_int" (fun () -> Ints.floor_log2 min_int);
+  check_raises_invalid "ceil_log2 0" (fun () -> Ints.ceil_log2 0);
+  check_raises_invalid "ceil_log2 min_int" (fun () -> Ints.ceil_log2 min_int);
+  check_raises_invalid "ntz min_int" (fun () -> Ints.ntz min_int);
+  check_raises_invalid "popcount min_int" (fun () -> Ints.popcount min_int)
+
+(* Exhaustive ceil_div / ceil_to_multiple over a dense grid, checked
+   against the division-and-remainder definition (no float detour). *)
+let test_ceil_div_exhaustive () =
+  for a = 0 to 256 do
+    for b = 1 to 16 do
+      let expected = (a / b) + if a mod b = 0 then 0 else 1 in
+      check_int (Printf.sprintf "ceil_div %d %d" a b) expected (Ints.ceil_div a b);
+      let m = Ints.ceil_to_multiple a b in
+      check_bool
+        (Printf.sprintf "ceil_to_multiple %d %d is the least multiple >= a" a b)
+        true
+        (m >= a && m mod b = 0 && m - a < b)
+    done
+  done
+
+(* Pinned splitmix_mix vectors (63-bit int semantics): the solver's
+   count-vector keys and Imap's probe sequence both depend on these
+   exact outputs, so a silent change to the mixer constants would
+   otherwise only surface as a perf anomaly. *)
+let test_splitmix_pinned () =
+  List.iter
+    (fun (input, expected) ->
+      check_int (Printf.sprintf "mix %d" input) expected (Ints.splitmix_mix input))
+    [
+      (0, 0);
+      (1, 325314373706360124);
+      (2, 650628747412720248);
+      (42, -4478504743760069021);
+      (-1, -4358557655461851615);
+      (max_int, 2988409355664667327);
+      (min_int, -1876405024465769582);
+      (0xDEADBEEF, -3102968435899162166);
+    ]
+
+let prop_splitmix_avalanche =
+  (* Flipping the low input bit must change many output bits. The true
+     minimum over +-2^40 is 12 (measured exhaustively enough); 8 leaves
+     slack so the property is about avalanche, not one exact constant. *)
+  qcase ~name:"splitmix_mix: low-bit flip changes >= 8 output bits"
+    (fun x ->
+      let d = Ints.splitmix_mix x lxor Ints.splitmix_mix (x + 1) in
+      Ints.popcount (d land max_int) >= 8)
+    QCheck2.Gen.(int_range (-(1 lsl 40)) (1 lsl 40))
+
 let prop_log2_bracket =
   qcase ~name:"2^floor_log2 n <= n < 2^(floor_log2 n + 1)"
     (fun n ->
@@ -94,6 +198,11 @@ let suite =
     case "popcount" test_popcount;
     case "ceil_div" test_ceil_div;
     case "ceil_to_multiple" test_ceil_to_multiple;
+    case "pow2 boundaries (exhaustive)" test_pow2_boundaries;
+    case "int extremes" test_int_extremes;
+    case "ceil_div (exhaustive grid)" test_ceil_div_exhaustive;
+    case "splitmix_mix pinned vectors" test_splitmix_pinned;
+    prop_splitmix_avalanche;
     prop_log2_bracket;
     prop_ceil_log2;
     prop_ntz_divides;

@@ -1,0 +1,135 @@
+(* Item_block backs the streaming engine's departure queue; these tests
+   pin the arena invariants (slot recycling, field fidelity, dead-slot
+   detection) and check the slot heap's pop order against a sorted
+   reference over random item sets. *)
+
+open Dbp_instance
+open Helpers
+
+let mk ~id ~a ~d ~s = item ~id ~a ~d ~s
+
+let test_alloc_fields () =
+  let b = Item_block.create () in
+  let r = mk ~id:7 ~a:3 ~d:9 ~s:0.25 in
+  let s = Item_block.alloc b r in
+  check_int "live" 1 (Item_block.live b);
+  check_int "id" 7 (Item_block.id b s);
+  check_int "arrival" 3 (Item_block.arrival b s);
+  check_int "departure" 9 (Item_block.departure b s);
+  check_int "size" (Dbp_util.Load.to_units r.size) (Item_block.size_units b s);
+  check_bool "boxed mirror" true (Item_block.item b s == r)
+
+let test_free_and_reuse () =
+  let b = Item_block.create () in
+  let s0 = Item_block.alloc b (mk ~id:0 ~a:0 ~d:5 ~s:0.5) in
+  let s1 = Item_block.alloc b (mk ~id:1 ~a:1 ~d:6 ~s:0.5) in
+  Item_block.free b s0;
+  check_int "live after free" 1 (Item_block.live b);
+  check_raises_invalid "dead id" (fun () -> ignore (Item_block.id b s0));
+  check_raises_invalid "double free" (fun () -> Item_block.free b s0);
+  let s2 = Item_block.alloc b (mk ~id:2 ~a:2 ~d:7 ~s:0.5) in
+  check_int "slot recycled" s0 s2;
+  check_int "fresh fields" 2 (Item_block.id b s2);
+  check_int "other slot intact" 1 (Item_block.id b s1)
+
+let test_bounds () =
+  let b = Item_block.create () in
+  check_raises_invalid "negative" (fun () -> ignore (Item_block.id b (-1)));
+  check_raises_invalid "beyond cap" (fun () -> ignore (Item_block.id b 10_000));
+  check_raises_invalid "never allocated" (fun () -> ignore (Item_block.id b 0))
+
+let test_growth () =
+  let b = Item_block.create ~capacity:8 () in
+  let slots =
+    List.init 1000 (fun i -> Item_block.alloc b (mk ~id:i ~a:i ~d:(i + 1) ~s:0.1))
+  in
+  check_int "live" 1000 (Item_block.live b);
+  List.iteri (fun i s -> check_int "id survives growth" i (Item_block.id b s)) slots
+
+let test_heap_empty () =
+  let b = Item_block.create () in
+  let h = Item_block.Heap.create () in
+  ignore b;
+  check_int "empty min_departure" max_int (Item_block.Heap.min_departure h);
+  check_raises_invalid "pop empty" (fun () -> ignore (Item_block.Heap.pop h));
+  check_raises_invalid "top empty" (fun () -> ignore (Item_block.Heap.top h))
+
+(* Random (departure, id) multiset: heap pops must equal the sorted
+   order. Departures are drawn from a tiny range so ties (resolved by
+   id) are the common case, not the exception. *)
+let gen_items =
+  QCheck2.Gen.(list_size (int_range 1 300) (int_range 1 8))
+
+let prop_pop_order deps =
+  let b = Item_block.create ~capacity:8 () in
+  let h = Item_block.Heap.create ~capacity:4 () in
+  let expected =
+    List.mapi (fun id d -> (d + 1, id)) deps
+    |> List.sort compare
+  in
+  List.iteri
+    (fun id d ->
+      let s = Item_block.alloc b (mk ~id ~a:0 ~d:(d + 1) ~s:0.01) in
+      Item_block.Heap.add b h s)
+    deps;
+  let popped = ref [] in
+  while Item_block.Heap.length h > 0 do
+    let mind = Item_block.Heap.min_departure h in
+    let s = Item_block.Heap.pop h in
+    if Item_block.departure b s <> mind then
+      QCheck2.Test.fail_report "min_departure disagrees with pop";
+    popped := (Item_block.departure b s, Item_block.id b s) :: !popped
+  done;
+  List.rev !popped = expected
+
+(* Interleaved alloc/free churn: the free list must never hand out a
+   live slot or lose track of one. Model: id -> expected item. *)
+let gen_churn =
+  QCheck2.Gen.(list_size (int_bound 400) (pair bool (int_range 1 50)))
+
+let prop_churn ops =
+  let b = Item_block.create ~capacity:8 () in
+  let slots = Hashtbl.create 16 in
+  (* id -> slot *)
+  let next = ref 0 in
+  List.iter
+    (fun (is_alloc, d) ->
+      if is_alloc || Hashtbl.length slots = 0 then begin
+        let id = !next in
+        incr next;
+        let s = Item_block.alloc b (mk ~id ~a:0 ~d ~s:0.1) in
+        Hashtbl.iter
+          (fun _ s' -> if s = s' then QCheck2.Test.fail_report "reused live slot")
+          slots;
+        Hashtbl.replace slots id s
+      end
+      else begin
+        let id, s =
+          Hashtbl.fold (fun id s acc -> match acc with None -> Some (id, s) | a -> a)
+            slots None
+          |> Option.get
+        in
+        if Item_block.id b s <> id then QCheck2.Test.fail_report "slot corrupted";
+        Item_block.free b s;
+        Hashtbl.remove slots id
+      end;
+      if Item_block.live b <> Hashtbl.length slots then
+        QCheck2.Test.fail_report "live count drifted")
+    ops;
+  Hashtbl.iter
+    (fun id s ->
+      if Item_block.id b s <> id then QCheck2.Test.fail_report "final slot corrupted")
+    slots;
+  true
+
+let suite =
+  [
+    case "alloc fields" test_alloc_fields;
+    case "free and reuse" test_free_and_reuse;
+    case "bounds" test_bounds;
+    case "growth" test_growth;
+    case "heap empty" test_heap_empty;
+    qcase ~count:500 ~name:"heap pop order = sorted (departure, id)" prop_pop_order
+      gen_items;
+    qcase ~count:300 ~name:"alloc/free churn keeps slots disjoint" prop_churn gen_churn;
+  ]

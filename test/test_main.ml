@@ -9,6 +9,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
       ("vec", Test_vec.suite);
+      ("imap", Test_imap.suite);
       ("lttb", Test_lttb.suite);
       ("heap", Test_heap.suite);
       ("prng", Test_prng.suite);
@@ -18,6 +19,7 @@ let () =
       ("stats", Test_stats.suite);
       ("binpack", Test_binpack.suite);
       ("item", Test_item.suite);
+      ("item-block", Test_item_block.suite);
       ("instance", Test_instance.suite);
       ("event-source", Test_event_source.suite);
       ("profile", Test_profile.suite);
