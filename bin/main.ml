@@ -460,34 +460,57 @@ let stream_cmd =
              measured streaming profile; $(i,stock) leaves the runtime \
              untouched. Also read from $(env).")
   in
-  let run workload days rate seed policy max_series retain verify gc_spec obs =
+  let chunk =
+    Arg.(
+      value
+      & opt int Dbp_sim.Engine.Stream.default_chunk_size
+      & info [ "chunk" ] ~docv:"N" ~env:(Cmd.Env.info "DBP_CHUNK")
+          ~doc:
+            "Items per batch pulled from the workload emitter (>= 1). The \
+             emitter deposits whole batches into the engine's item arena, so \
+             the source boundary is crossed once per $(docv) items; results \
+             are bit-identical for any value. Also read from $(env).")
+  in
+  let run workload days rate seed policy max_series retain verify gc_spec chunk
+      obs =
     if days < 1 then fail "--days must be >= 1"
     else if rate <= 0.0 then fail "--rate must be positive"
     else if max_series < 0 || (max_series > 0 && max_series < 3) then
       fail "--max-series must be 0 (uncapped) or >= 3"
+    else if chunk < 1 then fail "--chunk must be >= 1"
     else begin
       let open Dbp_workloads in
-      let source, mu_hint =
+      (* The chunked emitter is the run path (single-pass, built fresh);
+         the Seq source exists only so --verify can materialize the same
+         items for the reference replay. Both advance one PRNG through
+         the identical schedule and emit bit-identical items. *)
+      let sources, mu_hint =
         match String.lowercase_ascii workload with
         | "cloud" ->
             let config = { Cloud_traces.default with days; base_rate = rate } in
-            ( Some (Cloud_traces.stream ~config ~seed ()),
+            ( Some
+                ( Cloud_traces.chunks ~config ~seed (),
+                  fun () -> Cloud_traces.stream ~config ~seed () ),
               float_of_int config.max_duration /. float_of_int config.min_duration )
         | "general" ->
             let config =
               { General_random.default with horizon = days * 1440; arrival_rate = rate }
             in
-            ( Some (General_random.stream ~config ~seed ()),
+            ( Some
+                ( General_random.chunks ~config ~seed (),
+                  fun () -> General_random.stream ~config ~seed () ),
               float_of_int config.max_duration )
         | "aligned" ->
             let config = { Aligned_random.default with horizon = days * 1440; rate } in
-            ( Some (Aligned_random.stream ~config ~seed ()),
+            ( Some
+                ( Aligned_random.chunks ~config ~seed (),
+                  fun () -> Aligned_random.stream ~config ~seed () ),
               float_of_int (Dbp_util.Ints.pow2 config.top_class) )
         | _ -> (None, 0.0)
       in
-      match source with
+      match sources with
       | None -> fail "unknown streaming workload %S (try %s)" workload (String.concat ", " workloads)
-      | Some source -> (
+      | Some (chunk_source, seq_source) -> (
           match algorithm_of_name ~mu_hint policy with
           | None -> fail "unknown algorithm %S" policy
           | Some factory -> (
@@ -506,8 +529,8 @@ let stream_cmd =
                   let max_series = if max_series = 0 then None else Some max_series in
                   let t0 = Unix.gettimeofday () in
                   let s =
-                    Dbp_sim.Engine.Stream.run ~retire:(not retain) ?max_series factory
-                      source
+                    Dbp_sim.Engine.Stream.run_chunks ~retire:(not retain)
+                      ?max_series ~chunk_size:chunk factory chunk_source
                   in
                   let wall = Unix.gettimeofday () -. t0 in
                   Printf.printf "stream: workload=%s days=%d rate=%g seed=%d policy=%s%s\n"
@@ -524,7 +547,9 @@ let stream_cmd =
                     (float_of_int s.items /. Float.max wall 1e-9)
                     wall;
                   if verify then begin
-                    let inst = Dbp_instance.Event_source.to_instance source in
+                    let inst =
+                      Dbp_instance.Event_source.to_instance (seq_source ())
+                    in
                     let r = Dbp_sim.Engine.run factory inst in
                     if
                       r.cost = s.result.cost
@@ -559,7 +584,7 @@ let stream_cmd =
     Term.(
       ret
         (const run $ workload $ days $ rate $ seed_arg $ policy $ max_series
-       $ retain $ verify $ gc_spec $ obs_term))
+       $ retain $ verify $ gc_spec $ chunk $ obs_term))
 
 (* ---- adversary ---- *)
 

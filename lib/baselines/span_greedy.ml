@@ -2,34 +2,65 @@ open Dbp_util
 open Dbp_instance
 open Dbp_sim
 
+(* SpanGreedy picks, among open bins that fit the item, the first bin
+   minimizing the span extension max(0, departure - horizon), where a
+   bin's horizon is the latest departure ever inserted into it
+   (monotone: members only depart, so fitting now implies fitting
+   forever). It inserts only when the minimal extension is strictly
+   below the item's duration, else opens a new bin.
+
+   The old implementation scanned every open bin per arrival. The scan
+   decomposes into two Fit_tree descents over (residual, score=horizon)
+   leaves:
+   - a bin with horizon >= departure has extension 0, the global
+     minimum; the scan would keep the first such bin, which is exactly
+     [first_fit_by ~need ~min_score:departure] (extension 0 is always
+     < duration, so this is an unconditional insert);
+   - otherwise every fitting bin has extension departure - horizon > 0,
+     minimized by the maximum horizon, first-attained on ties — exactly
+     [best_score_idx ~need]. *)
 let policy store =
-  (* latest departure among a bin's current items; monotone per bin
-     because capacity admits an item now iff it admits it at every
-     future moment (members only depart). *)
-  let horizon : (Bin_store.bin_id, int) Hashtbl.t = Hashtbl.create 64 in
+  let index = Fit_tree.create () in
+  let bin_of_slot : Bin_store.bin_id Vec.t = Vec.create () in
+  let slot_of_bin = Imap.create ~capacity:16 () in
+  let resid bin = Load.to_units (Bin_store.residual store bin) in
   let on_arrival ~now (r : Item.t) =
-    let best = ref None in
-    List.iter
-      (fun bin ->
-        if Load.fits r.size ~into:(Bin_store.load store bin) then begin
-          let h = Hashtbl.find horizon bin in
-          let extension = max 0 (r.departure - h) in
-          match !best with
-          | Some (_, e) when e <= extension -> ()
-          | _ -> best := Some (bin, extension)
-        end)
-      (Bin_store.open_bins store);
-    match !best with
-    | Some (bin, extension) when extension < Item.duration r ->
-        Bin_store.insert store bin r;
-        let h = Hashtbl.find horizon bin in
-        if r.departure > h then Hashtbl.replace horizon bin r.departure;
-        bin
-    | _ ->
-        let bin = Bin_store.open_bin store ~now ~label:"SG" in
-        Bin_store.insert store bin r;
-        Hashtbl.replace horizon bin r.departure;
-        bin
+    let need = Load.to_units r.size in
+    let insert_at slot ~horizon =
+      let bin = Vec.get bin_of_slot slot in
+      Bin_store.insert store bin r;
+      Fit_tree.set index slot ~residual:(resid bin) ~score:horizon;
+      bin
+    in
+    let open_fresh () =
+      let bin = Bin_store.open_bin store ~now ~label:"SG" in
+      Bin_store.insert store bin r;
+      let slot = Fit_tree.push index ~residual:(resid bin) ~score:r.departure in
+      Vec.push bin_of_slot bin;
+      Imap.set slot_of_bin bin slot;
+      bin
+    in
+    match Fit_tree.first_fit_by index ~need ~min_score:r.departure with
+    | slot when slot >= 0 ->
+        (* Extension 0: the horizon already covers the item. *)
+        insert_at slot ~horizon:(Fit_tree.score index slot)
+    | _ -> (
+        match Fit_tree.best_score_idx index ~need with
+        | slot when slot >= 0 && r.departure - Fit_tree.score index slot < Item.duration r
+          ->
+            insert_at slot ~horizon:r.departure
+        | _ -> open_fresh ())
   in
-  let on_departure ~now:_ _ ~bin ~closed = if closed then Hashtbl.remove horizon bin in
+  let on_departure ~now:_ _ ~bin ~closed =
+    let slot = Imap.find slot_of_bin bin in
+    if closed then begin
+      Fit_tree.deactivate index slot;
+      Imap.remove slot_of_bin bin
+    end
+    else
+      (* Departures free capacity the placement index must see; the
+         horizon is a high-water mark and survives them. *)
+      Fit_tree.set index slot ~residual:(resid bin)
+        ~score:(Fit_tree.score index slot)
+  in
   { Policy.name = "SpanGreedy"; on_arrival; on_departure }

@@ -17,11 +17,19 @@ let threshold_units threshold i =
   if f <= 0.0 then invalid_arg "Ha: non-positive threshold";
   int_of_float (f *. float_of_int Load.capacity)
 
+(* A type (i, c) packed into one int: the duration class i is
+   [ceil_log2 duration] clamped to >= 1, so it fits in 6 bits, and the
+   arrival block c is a non-negative tick quotient. Packed keys keep
+   the per-item classification tables on unboxed int maps / int-keyed
+   hashing instead of allocating a tuple (and hashing it structurally)
+   for every arrival and departure. *)
+let pack_ty ~cls ~block = (block lsl 6) lor cls
+
 let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_threshold) gauge
     store =
   let gn = Fit_group.create ~rule ~label:"GN" () in
-  let cd : (int * int, Fit_group.t) Hashtbl.t = Hashtbl.create 32 in
-  let type_load : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let cd : (int, Fit_group.t) Hashtbl.t = Hashtbl.create 32 in
+  let type_load = Imap.create ~capacity:32 () in
   let owner : (Bin_store.bin_id, Fit_group.t) Hashtbl.t = Hashtbl.create 64 in
   let classes = Hashtbl.create 8 in
   let update () =
@@ -33,25 +41,25 @@ let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_thresh
         if g.gn_open > g.max_gn then g.max_gn <- g.gn_open;
         g.max_classes <- max g.max_classes (Hashtbl.length classes)
   in
-  let cd_group_of ty =
+  let cd_group_of ty ~cls ~block =
     match Hashtbl.find_opt cd ty with
     | Some grp -> grp
     | None ->
-        let i, c = ty in
-        let grp = Fit_group.create ~rule ~label:(Printf.sprintf "CD(%d,%d)" i c) () in
+        let grp =
+          Fit_group.create ~rule ~label:(Printf.sprintf "CD(%d,%d)" cls block) ()
+        in
         Hashtbl.replace cd ty grp;
         grp
   in
   let on_arrival ~now (r : Item.t) =
-    let ty = Item.ha_type r in
-    let i = fst ty in
-    Hashtbl.replace classes i ();
-    let total =
-      Option.value (Hashtbl.find_opt type_load ty) ~default:0 + Load.to_units r.size
-    in
-    Hashtbl.replace type_load ty total;
+    let cls = Item.ha_class r in
+    let block = Item.arrival_block r in
+    let ty = pack_ty ~cls ~block in
+    Hashtbl.replace classes cls ();
+    let total = Imap.find_default type_load ty 0 + Load.to_units r.size in
+    Imap.set type_load ty total;
     let place_cd fresh =
-      let grp = cd_group_of ty in
+      let grp = cd_group_of ty ~cls ~block in
       let bin =
         if fresh then Fit_group.place_new grp store ~now r
         else Fit_group.place grp store ~now r
@@ -63,7 +71,7 @@ let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_thresh
       match Hashtbl.find_opt cd ty with
       | Some grp when Fit_group.open_count grp > 0 -> place_cd false
       | _ ->
-          if total <= threshold_units threshold i then begin
+          if total <= threshold_units threshold cls then begin
             let bin = Fit_group.place gn store ~now r in
             Hashtbl.replace owner bin gn;
             bin
@@ -74,12 +82,10 @@ let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_thresh
     bin
   in
   let on_departure ~now:_ (r : Item.t) ~bin ~closed =
-    let ty = Item.ha_type r in
-    let remaining =
-      Option.value (Hashtbl.find_opt type_load ty) ~default:0 - Load.to_units r.size
-    in
-    if remaining > 0 then Hashtbl.replace type_load ty remaining
-    else Hashtbl.remove type_load ty;
+    let ty = pack_ty ~cls:(Item.ha_class r) ~block:(Item.arrival_block r) in
+    let remaining = Imap.find_default type_load ty 0 - Load.to_units r.size in
+    if remaining > 0 then Imap.set type_load ty remaining
+    else Imap.remove type_load ty;
     let grp =
       match Hashtbl.find_opt owner bin with
       | Some grp -> grp

@@ -37,6 +37,43 @@ let next_into cur block =
       cur.rest <- rest;
       Item_block.alloc block r
 
+(* Batched pull: an emitter fills up to [Array.length slots] arena
+   slots per call, so the engine pays the source boundary (a closure
+   call and its spilled registers) once per chunk instead of once per
+   item. The count contract — 0 iff exhausted — lets the drain loop
+   test for termination without a sentinel slot; emitters absorb empty
+   ticks internally rather than returning 0 mid-stream. *)
+module Chunk = struct
+  type chunk = { fill : Item_block.t -> int array -> int }
+  type t = chunk
+
+  let make fill = { fill }
+
+  let next_chunk c block slots =
+    let len = Array.length slots in
+    if len < 1 then invalid_arg "Event_source.Chunk.next_chunk: empty slot buffer";
+    let n = c.fill block slots in
+    if n < 0 || n > len then
+      invalid_arg "Event_source.Chunk.next_chunk: emitter returned a bad count";
+    n
+
+  let of_seq (s : Item.t Seq.t) =
+    let cur = cursor s in
+    make (fun block slots ->
+        let len = Array.length slots in
+        let n = ref 0 in
+        let exhausted = ref false in
+        while (not !exhausted) && !n < len do
+          let slot = next_into cur block in
+          if slot < 0 then exhausted := true
+          else begin
+            slots.(!n) <- slot;
+            incr n
+          end
+        done;
+        !n)
+end
+
 let is_ordered (s : t) =
   let ok = ref true and prev = ref None in
   Seq.iter

@@ -50,6 +50,47 @@ val next_into : cursor -> Item_block.t -> int
     slot; [-1] when the source is exhausted. The caller owns the slot
     (and must eventually {!Item_block.free} it). *)
 
+(** {2 Batched consumption}
+
+    A {!Chunk.t} hands the consumer up to K items per call instead of
+    one, so the source boundary — a closure call, its register spills
+    and (on the Seq path) a [Seq.Cons] allocation per item — is paid
+    once per chunk. Workload generators provide {e native} chunked
+    emitters ([Cloud_traces.chunks] etc.) that advance a single PRNG
+    in the exact draw order of their [stream] counterpart, making the
+    chunked item sequence bit-identical to the Seq one while skipping
+    the per-tick PRNG copies and list/Seq plumbing entirely. Native
+    emitters are single-pass (not persistent): build a fresh one per
+    run. *)
+
+module Chunk : sig
+  type source := t
+
+  type t
+  (** A chunked emitter: stateful, single-pass. *)
+
+  val make : (Item_block.t -> int array -> int) -> t
+  (** [make fill] wraps an emitter function. [fill block slots] must
+      allocate the next [n <= Array.length slots] items of the source
+      into [block] (in processing order), store their slot indices in
+      [slots.(0) .. slots.(n-1)] and return [n]. It must return [0]
+      exactly when the source is exhausted — an emitter whose current
+      tick is empty keeps drawing subsequent ticks rather than
+      returning a mid-stream [0]. *)
+
+  val next_chunk : t -> Item_block.t -> int array -> int
+  (** Pull the next chunk into [block] through [slots]. Returns the
+      number of slots filled; [0] iff the source is exhausted. Raises
+      [Invalid_argument] when [slots] is empty or the emitter reports
+      an out-of-range count. The caller owns the returned slots. *)
+
+  val of_seq : source -> t
+  (** Compatibility shim: a chunked view of any Seq-backed source, one
+      cursor step per slot. Same item sequence, none of the batching
+      savings — the reference implementation the native emitters are
+      tested against. *)
+end
+
 val to_instance : t -> Instance.t
 (** Materialize (forces the whole source; O(n) memory). Raises on
     duplicate ids like {!Instance.of_items}. *)

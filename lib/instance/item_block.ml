@@ -107,24 +107,30 @@ let item t slot = check t slot "item"; t.boxed.(slot)
 module Heap = struct
   type block = t
 
-  (* The heap keeps its own copy of each element's ordering key
-     (departure, id) in parallel arrays indexed by heap position. Sift
-     comparisons then read adjacent heap words — the two children share
-     a cache line — instead of chasing slot indirections into the
-     block's arrays, two scattered loads per level on what profiling
-     shows is a cache-bound path. The key order is unchanged, and it is
-     total (ids are unique), so the pop sequence is identical to the
-     slot-indirect comparison this replaces. *)
+  (* The heap keeps each element's ordering key (departure, id) packed
+     into one word — [(departure lsl id_bits) lor id] — in an array
+     indexed by heap position, with the slot number alongside. A sift
+     comparison is then a single int compare on one array, instead of a
+     two-field compare across two (the packing is order-preserving
+     because both fields are non-negative and bounded below [2^31], a
+     bound [add] enforces). The heap is 4-ary: half the levels of a
+     binary heap, and the four children of a node sit in adjacent words
+     — one cache line — which is what the sift-down path, the hot half
+     of every departure, is bound by. The key order is total (ids are
+     unique), so the pop sequence is identical to any other correct
+     [(departure, id)] heap. *)
   type t = {
+    mutable keys : int array;
     mutable slots : int array;
-    mutable deps : int array;
-    mutable ids : int array;
     mutable n : int;
   }
 
+  let id_bits = 31
+  let field_bound = 1 lsl id_bits
+
   let create ?(capacity = 64) () =
     let cap = max 4 capacity in
-    { slots = Array.make cap 0; deps = Array.make cap 0; ids = Array.make cap 0; n = 0 }
+    { keys = Array.make cap 0; slots = Array.make cap 0; n = 0 }
 
   let length h = h.n
   let clear h = h.n <- 0
@@ -136,81 +142,85 @@ module Heap = struct
       Array.blit a 0 a' 0 h.n;
       a'
     in
-    h.slots <- extend h.slots;
-    h.deps <- extend h.deps;
-    h.ids <- extend h.ids
+    h.keys <- extend h.keys;
+    h.slots <- extend h.slots
 
   let add (b : block) h slot =
     check b slot "Heap.add";
     if h.n = Array.length h.slots then grow h;
     let dep = Array.unsafe_get b.departures slot
     and id = Array.unsafe_get b.ids slot in
-    let deps = h.deps and ids = h.ids and slots = h.slots in
+    if dep >= field_bound || id >= field_bound then
+      invalid_arg "Item_block.Heap.add: departure or id >= 2^31";
+    let key = (dep lsl id_bits) lor id in
+    let keys = h.keys and slots = h.slots in
     (* Sift up, holding the new element in registers. *)
     let i = ref h.n in
     h.n <- h.n + 1;
     let continue = ref true in
     while !continue && !i > 0 do
-      let p = (!i - 1) / 2 in
-      let pd = Array.unsafe_get deps p in
-      if dep < pd || (dep = pd && id < Array.unsafe_get ids p) then begin
-        Array.unsafe_set deps !i pd;
-        Array.unsafe_set ids !i (Array.unsafe_get ids p);
+      let p = (!i - 1) / 4 in
+      let pk = Array.unsafe_get keys p in
+      if key < pk then begin
+        Array.unsafe_set keys !i pk;
         Array.unsafe_set slots !i (Array.unsafe_get slots p);
         i := p
       end
       else continue := false
     done;
-    Array.unsafe_set deps !i dep;
-    Array.unsafe_set ids !i id;
+    Array.unsafe_set keys !i key;
     Array.unsafe_set slots !i slot
 
   let top h =
     if h.n = 0 then invalid_arg "Item_block.Heap.top: empty";
     Array.unsafe_get h.slots 0
 
-  let min_departure h = if h.n = 0 then max_int else Array.unsafe_get h.deps 0
+  let min_departure h =
+    if h.n = 0 then max_int else Array.unsafe_get h.keys 0 lsr id_bits
 
   let pop h =
     if h.n = 0 then invalid_arg "Item_block.Heap.pop: empty";
-    let slots = h.slots and deps = h.deps and ids = h.ids in
+    let keys = h.keys and slots = h.slots in
     let root = Array.unsafe_get slots 0 in
     h.n <- h.n - 1;
     let n = h.n in
     if n > 0 then begin
       (* Sift the displaced last element down from the root. *)
-      let ld = Array.unsafe_get deps n
-      and li = Array.unsafe_get ids n
-      and ls = Array.unsafe_get slots n in
+      let lk = Array.unsafe_get keys n and ls = Array.unsafe_get slots n in
       let i = ref 0 in
       let continue = ref true in
       while !continue do
-        let l = (2 * !i) + 1 in
-        if l >= n then continue := false
+        let c0 = (4 * !i) + 1 in
+        if c0 >= n then continue := false
         else begin
-          let r = l + 1 in
-          let c =
-            if r < n then begin
-              let dl = Array.unsafe_get deps l and dr = Array.unsafe_get deps r in
-              if dr < dl || (dr = dl && Array.unsafe_get ids r < Array.unsafe_get ids l)
-              then r
-              else l
+          (* Least of the (up to four) children. *)
+          let last = if c0 + 3 < n - 1 then c0 + 3 else n - 1 in
+          let c = ref c0 in
+          let ck = ref (Array.unsafe_get keys c0) in
+          for j = c0 + 1 to last do
+            let k = Array.unsafe_get keys j in
+            if k < !ck then begin
+              ck := k;
+              c := j
             end
-            else l
-          in
-          let cd = Array.unsafe_get deps c in
-          if cd < ld || (cd = ld && Array.unsafe_get ids c < li) then begin
-            Array.unsafe_set deps !i cd;
-            Array.unsafe_set ids !i (Array.unsafe_get ids c);
-            Array.unsafe_set slots !i (Array.unsafe_get slots c);
-            i := c
+          done;
+          if !ck < lk then begin
+            Array.unsafe_set keys !i !ck;
+            Array.unsafe_set slots !i (Array.unsafe_get slots !c);
+            i := !c
           end
           else continue := false
         end
       done;
-      Array.unsafe_set deps !i ld;
-      Array.unsafe_set ids !i li;
+      Array.unsafe_set keys !i lk;
       Array.unsafe_set slots !i ls
     end;
     root
+
+  (* The drain loop's three-call idiom (length, min_departure, pop)
+     fused: one root-key compare decides, and only a due element pays
+     the sift-down. *)
+  let pop_due h ~upto =
+    if h.n = 0 || Array.unsafe_get h.keys 0 lsr id_bits > upto then -1
+    else pop h
 end

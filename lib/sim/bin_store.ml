@@ -35,6 +35,7 @@ let freed_mark = -2
    closed ids from their tables, and costs count ticks, not ids). *)
 type t = {
   retire : bool;
+  track : bool;  (** maintain [current] (item id -> packed bin, units) *)
   mutable b_load : int array;  (** load in units *)
   mutable b_opened : int array;
   mutable b_closed : int array;  (** closing tick, or open/freed mark *)
@@ -59,6 +60,9 @@ type t = {
   mutable closed_count : int;
   lifetime_counts : int array;
   mutable lifetime_sum : int;
+  mutable last_item : int;  (** item id of the most recent {!insert}, -1 = none *)
+  mutable last_bin : bin_id;  (** bin of the most recent {!insert} *)
+  mutable b_cookie : int array;  (** caller-owned stash per bin, -1 when unset *)
 }
 
 let m_opens = Metrics.counter "bin_store.opens"
@@ -71,9 +75,12 @@ let m_lifetime = Metrics.histogram ~buckets:lifetime_buckets "bin_store.lifetime
 
 let initial_cap = 16
 
-let create ?(retire = false) () =
+let create ?(retire = false) ?(track_items = true) () =
+  if (not track_items) && not retire then
+    invalid_arg "Bin_store.create: track_items:false requires retire mode";
   {
     retire;
+    track = track_items;
     b_load = Array.make initial_cap 0;
     b_opened = Array.make initial_cap 0;
     b_closed = Array.make initial_cap freed_mark;
@@ -98,6 +105,9 @@ let create ?(retire = false) () =
     closed_count = 0;
     lifetime_counts = Array.make (Array.length lifetime_buckets + 1) 0;
     lifetime_sum = 0;
+    last_item = -1;
+    last_bin = -1;
+    b_cookie = Array.make initial_cap (-1);
   }
 
 let retire_mode t = t.retire
@@ -123,6 +133,7 @@ let grow t =
   t.b_prev <- extend t.b_prev (-1);
   t.b_next <- extend t.b_next (-1);
   t.b_label <- extend t.b_label "";
+  t.b_cookie <- extend t.b_cookie (-1);
   if not t.retire then t.b_items <- extend t.b_items [];
   t.cap <- cap'
 
@@ -146,6 +157,7 @@ let open_bin t ~now ~label =
   t.b_closed.(id) <- open_mark;
   t.b_count.(id) <- 0;
   t.b_label.(id) <- label;
+  t.b_cookie.(id) <- -1;
   if not t.retire then t.b_items.(id) <- [];
   t.b_prev.(id) <- t.live_tail;
   t.b_next.(id) <- -1;
@@ -153,9 +165,14 @@ let open_bin t ~now ~label =
   t.live_tail <- id;
   t.opened <- t.opened + 1;
   t.n_open <- t.n_open + 1;
-  if t.n_open > t.hw_open then t.hw_open <- t.n_open;
+  (* The gauge keeps a max, so publishing only on a new local peak
+     leaves its final value unchanged and skips the metric call on
+     every non-record open. *)
+  if t.n_open > t.hw_open then begin
+    t.hw_open <- t.n_open;
+    Metrics.set_max m_max_open t.n_open
+  end;
   Metrics.incr m_opens;
-  Metrics.set_max m_max_open t.n_open;
   id
 
 let unlink_live t id =
@@ -165,24 +182,33 @@ let unlink_live t id =
   t.b_prev.(id) <- -1;
   t.b_next.(id) <- -1
 
-let insert t id (r : Item.t) =
+let insert_residual t id (r : Item.t) =
   check_bin t id;
   if t.b_closed.(id) <> open_mark then invalid_arg "Bin_store.insert: bin is closed";
   let u = Load.to_units r.size in
   let load = t.b_load.(id) in
   if load + u > Load.capacity then invalid_arg "Bin_store.insert: does not fit";
-  if not (Imap.add_new t.current r.id ((id lsl size_bits) lor u)) then
-    invalid_arg "Bin_store.insert: item already packed";
+  if t.track then begin
+    if not (Imap.add_new t.current r.id ((id lsl size_bits) lor u)) then
+      invalid_arg "Bin_store.insert: item already packed";
+    let live = Imap.length t.current in
+    if live > t.hw_items then begin
+      t.hw_items <- live;
+      Metrics.set_max m_live_items live
+    end
+  end;
+  t.last_item <- r.id;
+  t.last_bin <- id;
   t.b_load.(id) <- load + u;
   t.b_count.(id) <- t.b_count.(id) + 1;
-  let live = Imap.length t.current in
-  if live > t.hw_items then t.hw_items <- live;
-  Metrics.set_max m_live_items live;
   if not t.retire then begin
     t.b_items.(id) <- r :: t.b_items.(id);
     Imap.set t.ever r.id id;
     Vec.push t.history (r.id, id)
-  end
+  end;
+  Load.capacity - (load + u)
+
+let insert t id r = ignore (insert_residual t id r)
 
 (* One pass; the relative order of the remaining items is preserved. *)
 let rec remove_item item_id prefix = function
@@ -198,11 +224,11 @@ let observe_lifetime t life =
   let i = slot 0 in
   t.lifetime_counts.(i) <- t.lifetime_counts.(i) + 1
 
-let remove t ~now ~item_id =
-  let packed = Imap.take t.current item_id in
-  (* raises Not_found *)
-  let id = packed lsr size_bits in
-  let u = packed land size_mask in
+(* Give back [u] units of [item_id]'s load to bin [id]; close the bin if
+   it emptied. The packing record is the caller's business: [remove]
+   resolves it through [current], [remove_at] is handed it by a caller
+   that tracked the placement itself. *)
+let release t ~now ~item_id id u =
   t.b_load.(id) <- t.b_load.(id) - u;
   let count = t.b_count.(id) - 1 in
   t.b_count.(id) <- count;
@@ -229,10 +255,31 @@ let remove t ~now ~item_id =
     Metrics.add m_usage life;
     Metrics.observe m_lifetime life
   end;
-  (id, closed)
+  closed
+
+let remove_packed t ~now ~item_id =
+  let packed = Imap.take t.current item_id in
+  (* raises Not_found *)
+  let id = packed lsr size_bits in
+  let u = packed land size_mask in
+  let closed = release t ~now ~item_id id u in
+  (id lsl 1) lor Bool.to_int closed
+
+let remove t ~now ~item_id =
+  let p = remove_packed t ~now ~item_id in
+  (p lsr 1, p land 1 = 1)
+
+let remove_at t ~now ~item_id ~bin ~units =
+  if t.track then begin
+    let packed = Imap.take t.current item_id in
+    if packed <> (bin lsl size_bits) lor units then
+      invalid_arg "Bin_store.remove_at: bin/units disagree with the packing record"
+  end;
+  release t ~now ~item_id bin units
 
 let load t id = check_bin t id; Load.of_units t.b_load.(id)
 let residual t id = check_bin t id; Load.of_units (Load.capacity - t.b_load.(id))
+let residual_units t id = check_bin t id; Load.capacity - t.b_load.(id)
 let is_open t id = check_bin t id; t.b_closed.(id) = open_mark
 let label t id = check_bin t id; t.b_label.(id)
 let relabel t id label = check_bin t id; t.b_label.(id) <- label
@@ -275,3 +322,13 @@ let bin_of_item t item_id =
   match Imap.find_opt t.current item_id with
   | Some packed -> packed lsr size_bits
   | None -> if t.retire then raise Not_found else Imap.find t.ever item_id
+
+(* Packed values are non-negative, so -1 is a safe absent marker. *)
+let live_bin_of_item t item_id =
+  let packed = Imap.find_default t.current item_id (-1) in
+  if packed < 0 then -1 else packed lsr size_bits
+
+let last_inserted_into t ~item_id ~bin = t.last_item = item_id && t.last_bin = bin
+
+let set_cookie t id v = check_bin t id; t.b_cookie.(id) <- v
+let cookie t id = check_bin t id; t.b_cookie.(id)

@@ -13,7 +13,7 @@ open Dbp_instance
 type bin_id = int
 type t
 
-val create : ?retire:bool -> unit -> t
+val create : ?retire:bool -> ?track_items:bool -> unit -> t
 (** With [~retire:false] (the default) every bin ever opened is
     retained, with the permanent placement logs — full-fidelity state
     for reports, figures and the validators.
@@ -29,7 +29,16 @@ val create : ?retire:bool -> unit -> t
     {!assignment} is empty, and {!bin_of_item} resolves active items
     only. Because slots are recycled, a retired [bin_id] may later
     denote a different, newly opened bin; ids are only meaningful while
-    their bin is open. No simulation observable depends on id values. *)
+    their bin is open. No simulation observable depends on id values.
+
+    With [~track_items:false] (retire mode only) the store also skips
+    the per-item packing map: {!remove}/{!bin_of_item}/{!live_items}
+    have nothing to resolve items against, so departures must go
+    through {!remove_at} with the placement remembered by the caller —
+    the streaming engine keeps a bin per arena slot and hands it back,
+    trading the map's per-item hash traffic for one array word.
+    Costing, capacity enforcement and every per-bin observable are
+    unchanged. *)
 
 val retire_mode : t -> bool
 
@@ -41,6 +50,11 @@ val insert : t -> bin_id -> Item.t -> unit
 (** Raises [Invalid_argument] if the bin is closed, the item does not
     fit, or the item id is already packed. *)
 
+val insert_residual : t -> bin_id -> Item.t -> int
+(** {!insert}, returning the bin's residual capacity in load units after
+    the insertion — the value a placement index stores for the bin, read
+    here for free instead of by a second per-bin lookup. *)
+
 val remove : t -> now:int -> item_id:int -> bin_id * bool
 (** Remove a departed item. Returns its bin and whether that bin became
     empty and was therefore closed at [now]. Raises [Not_found] for an
@@ -49,8 +63,27 @@ val remove : t -> now:int -> item_id:int -> bin_id * bool
     bin's item list. Closing a bin unlinks it from the live set in
     O(1). *)
 
+val remove_packed : t -> now:int -> item_id:int -> int
+(** {!remove} without the result tuple: returns
+    [(bin lsl 1) lor (if closed then 1 else 0)]. Bin ids stay below
+    [2^32] ({!open_bin}'s ceiling), so the packing is exact — the
+    packed form keeps a drain loop allocation-free. *)
+
+val remove_at : t -> now:int -> item_id:int -> bin:bin_id -> units:int -> bool
+(** Remove a departed item whose placement the caller remembered:
+    give [units] of load back to [bin], closing it if it emptied
+    (the return value). With item tracking on, the packing record is
+    still consumed and must agree with [bin]/[units]
+    ([Invalid_argument] otherwise); with [~track_items:false] this is
+    the only removal entry point. *)
+
 val load : t -> bin_id -> Load.t
 val residual : t -> bin_id -> Load.t
+
+val residual_units : t -> bin_id -> int
+(** {!residual} in raw load units — what a placement index stores; one
+    call instead of a [Load.t] round-trip on the per-departure resync. *)
+
 val is_open : t -> bin_id -> bool
 val label : t -> bin_id -> string
 
@@ -117,3 +150,25 @@ val assignment : t -> (int * bin_id) list
 val bin_of_item : t -> int -> bin_id
 (** Bin that ever held the item (including after departure); raises
     [Not_found]. In retire mode, only active items resolve. *)
+
+val live_bin_of_item : t -> int -> bin_id
+(** Bin currently holding the {e live} item, or [-1] when the item is
+    not active — one probe, no allocation, no exception. *)
+
+val last_inserted_into : t -> item_id:int -> bin:bin_id -> bool
+(** Whether the most recent {!insert} into this store was exactly
+    [item_id] into [bin] — two field reads, no probe. The engine's
+    per-arrival sanity check ("did the policy pack where it said?")
+    lives on this: a policy's [on_arrival] performs exactly one insert
+    (its own item), so checking the last insert is as strong as a
+    table lookup. *)
+
+val set_cookie : t -> bin_id -> int -> unit
+(** Stash a caller-owned word on the bin. The store never interprets it;
+    it is reset to [-1] when a (recycled) slot is reopened. A bin
+    belongs to exactly one {!Fit_group}, which stashes its tagged index
+    slot here — turning the per-departure bin-to-slot lookup into one
+    array read. *)
+
+val cookie : t -> bin_id -> int
+(** The stashed word, or [-1] if never set since the bin opened. *)

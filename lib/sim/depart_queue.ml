@@ -1,0 +1,170 @@
+(* Calendar queue over item departures, replacing the binary-heap drain.
+
+   The engine's event clock is monotone: every pop is for a tick >= the
+   last one, and an item is only added with a departure strictly after
+   the current arrival. Under that discipline a heap's O(log n) sift per
+   operation buys generality nobody uses — a ring of per-tick buckets
+   gives O(1) add and O(1) amortized pop, with the scan over empty
+   buckets costing one compare per simulated tick, not per item.
+
+   Each bucket is an intrusive FIFO threaded through [next] (indexed by
+   the caller's slot number, as handed to {!add}). The engine must pop
+   in (departure, id) order — the total order every queue implementation
+   here has honored, pinned by the conformance tests — so an add whose
+   id is not larger than the bucket's tail walks the bucket to its
+   sorted position. On the streaming path ids are assigned in arrival
+   order, so the tail append always wins and the walk never runs; it
+   exists for interactive callers that craft ids out of order.
+
+   The ring always spans every pending departure: [cur .. hi] brackets
+   the pending ticks ([cur], the scan cursor, is a lower bound; [hi] the
+   maximum), and {!add} grows the ring whenever the bracket would reach
+   [size] ticks wide. An add below the cursor — an early departure
+   arriving after a far-future one — simply lowers the cursor; the scan
+   resumes from there. Buckets therefore never alias two ticks, which is
+   what lets a grow relink whole buckets without inspecting their
+   elements. *)
+
+type t = {
+  mutable head : int array;  (** ring: first slot of the tick's bucket, -1 = empty *)
+  mutable tail : int array;  (** ring: last slot of the tick's bucket *)
+  mutable next : int array;  (** per-slot: next slot in its bucket, -1 = end *)
+  mutable ids : int array;  (** per-slot: id, for the (departure, id) order *)
+  mutable size : int;  (** ring capacity, a power of two *)
+  mutable cur : int;  (** scan cursor; no pending departure is below it *)
+  mutable hi : int;  (** maximum pending departure (valid when [n > 0]) *)
+  mutable n : int;  (** pending items *)
+}
+
+let create ?(capacity = 256) () =
+  let size = Dbp_util.Ints.pow2 (Dbp_util.Ints.ceil_log2 (max 16 capacity)) in
+  {
+    head = Array.make size (-1);
+    tail = Array.make size (-1);
+    next = Array.make 64 (-1);
+    ids = Array.make 64 0;
+    size;
+    cur = 0;
+    hi = 0;
+    n = 0;
+  }
+
+let length t = t.n
+
+let clear t =
+  Array.fill t.head 0 t.size (-1);
+  Array.fill t.tail 0 t.size (-1);
+  t.n <- 0
+
+(* Double the ring until [lo .. hi] fits within one window. The relink
+   enumerates the old window [t.cur, t.cur + size) — which spanned every
+   pending tick before this add. Bucket lists survive untouched: a
+   bucket holds exactly one tick's items, so its head/tail just move to
+   the tick's position in the wider ring. *)
+let grow_ring t ~lo ~hi =
+  let size' =
+    let s = ref t.size in
+    while hi - lo >= !s do
+      s := 2 * !s
+    done;
+    !s
+  in
+  let head' = Array.make size' (-1) and tail' = Array.make size' (-1) in
+  let mask = t.size - 1 and mask' = size' - 1 in
+  for j = 0 to t.size - 1 do
+    let tick = t.cur + j in
+    let b = tick land mask in
+    if t.head.(b) >= 0 then begin
+      head'.(tick land mask') <- t.head.(b);
+      tail'.(tick land mask') <- t.tail.(b)
+    end
+  done;
+  t.head <- head';
+  t.tail <- tail';
+  t.size <- size'
+
+let grow_slots t slot =
+  let cap = Array.length t.next in
+  let cap' = max (2 * cap) (slot + 1) in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  t.next <- extend t.next (-1);
+  t.ids <- extend t.ids 0
+
+let add t ~dep ~id slot =
+  if slot < 0 then invalid_arg "Depart_queue.add: negative slot";
+  if t.n = 0 then begin
+    t.cur <- dep;
+    t.hi <- dep
+  end
+  else begin
+    let lo = if dep < t.cur then dep else t.cur in
+    let hi = if dep > t.hi then dep else t.hi in
+    if hi - lo >= t.size then grow_ring t ~lo ~hi;
+    t.cur <- lo;
+    t.hi <- hi
+  end;
+  if slot >= Array.length t.next then grow_slots t slot;
+  t.ids.(slot) <- id;
+  t.next.(slot) <- -1;
+  let b = dep land (t.size - 1) in
+  let tl = Array.unsafe_get t.tail b in
+  if tl < 0 then begin
+    t.head.(b) <- slot;
+    t.tail.(b) <- slot
+  end
+  else if Array.unsafe_get t.ids tl < id then begin
+    (* The streaming fast path: ids arrive in increasing order. *)
+    Array.unsafe_set t.next tl slot;
+    t.tail.(b) <- slot
+  end
+  else begin
+    (* Out-of-order id (interactive callers): sorted insert. *)
+    let hd = t.head.(b) in
+    if id < t.ids.(hd) then begin
+      t.next.(slot) <- hd;
+      t.head.(b) <- slot
+    end
+    else begin
+      let p = ref hd in
+      while t.next.(!p) >= 0 && t.ids.(t.next.(!p)) < id do
+        p := t.next.(!p)
+      done;
+      t.next.(slot) <- t.next.(!p);
+      t.next.(!p) <- slot;
+      if t.next.(slot) < 0 then t.tail.(b) <- slot
+    end
+  end;
+  t.n <- t.n + 1
+
+(* Advance the cursor to the next non-empty bucket, but never beyond
+   [upto + 1]: the caller will go on adding departures later than its
+   current event tick, and the cursor must stay a lower bound for
+   those. The cursor never retreats, so the total scan cost is one
+   compare per simulated tick. Termination: either a pending bucket
+   (pending items all live in [cur, cur + size)) or the [upto] bound
+   stops the walk. *)
+let seek_until t upto =
+  let mask = t.size - 1 in
+  while t.cur <= upto && Array.unsafe_get t.head (t.cur land mask) < 0 do
+    t.cur <- t.cur + 1
+  done
+
+let pop_due t ~upto =
+  if t.n = 0 then -1
+  else begin
+    seek_until t upto;
+    let b = t.cur land (t.size - 1) in
+    let slot = Array.unsafe_get t.head b in
+    if t.cur > upto || slot < 0 then -1
+    else begin
+      let nx = Array.unsafe_get t.next slot in
+      t.head.(b) <- nx;
+      if nx < 0 then t.tail.(b) <- -1;
+      t.n <- t.n - 1;
+      slot
+    end
+  end

@@ -1,0 +1,40 @@
+(** Calendar queue over pending departures — the engine's event queue.
+
+    A ring of per-tick buckets, each an intrusive FIFO of caller slot
+    numbers kept in id order, popped in [(departure, id)] order — the
+    same total order as a heap, at O(1) per add and pop instead of a
+    cache-bound O(log n) sift. The price is a discipline the simulation
+    clock satisfies by construction: pops are monotone in time
+    ({!pop_due} with nondecreasing [upto]), and {!add} only ever takes a
+    departure after the last pop's [upto] (the engine adds at an item's
+    arrival, which events before its departure). Adds that violate the
+    discipline are popped late, not detected.
+
+    Memory is O(pending departure span + live slots): the ring spans
+    the window from the earliest to the latest pending departure
+    (growing by doubling), and the per-slot links are indexed by the
+    caller's slot numbers. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] sizes the initial tick ring (default 256, rounded up to
+    a power of two); both the ring and the slot tables grow on
+    demand. *)
+
+val length : t -> int
+(** Pending items. *)
+
+val add : t -> dep:int -> id:int -> int -> unit
+(** [add t ~dep ~id slot] enqueues [slot] to depart at tick [dep].
+    [id] orders simultaneous departures ([(dep, id)] lexicographic).
+    Ids added in increasing order append in O(1) — the streaming path,
+    where ids are assigned in arrival order; an out-of-order id pays a
+    walk of its tick's bucket. *)
+
+val pop_due : t -> upto:int -> int
+(** The pending slot with the least [(departure, id)] if its departure
+    is [<= upto], else [-1]. Successive calls must not decrease [upto]
+    below an earlier pop's tick (the clock only moves forward). *)
+
+val clear : t -> unit

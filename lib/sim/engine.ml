@@ -18,15 +18,16 @@ let m_retained_items = Metrics.gauge "engine.retained_items"
 
 module Interactive = struct
   (* Items in flight live in a struct-of-arrays {!Item_block}; the
-     departure queue is a heap of block slots ordered by
+     departure queue is a calendar of block slots ordered by
      [(departure, id)]. That order is total (ids are unique), so the pop
      sequence — and hence every simulation observable — is identical to
-     the boxed [Item.t Heap.t] this replaces. *)
+     the heaps this replaces. *)
   type t = {
     store : Bin_store.t;
     policy : Policy.t;
     block : Item_block.t;
-    departures : Item_block.Heap.t;  (** pending slots, by (departure, id) *)
+    mutable slot_bin : int array;  (** bin holding each live arena slot *)
+    departures : Depart_queue.t;  (** pending slots, by (departure, id) *)
     released : Item.t Vec.t;
     retain_released : bool;
     series : Lttb.t;
@@ -34,15 +35,27 @@ module Interactive = struct
     mutable arrived : int;
     mutable hw_live : int;  (** peak simultaneously active items *)
     mutable hw_retained : int;  (** peak item records held by the core *)
+    mutable rec_tick : int;  (** tick of the pending series sample; [min_int] = none *)
+    mutable rec_value : int;  (** open-bin count at the last event of [rec_tick] *)
+    mutable pend_departures : int;  (** departures not yet published to metrics *)
+    mutable pub_arrivals : int;  (** prefix of [arrived] already published *)
   }
 
-  let start ?(retire = false) ?(retain_released = true) ?max_series factory =
-    let store = Bin_store.create ~retire () in
+  let start ?(retire = false) ?track_items ?(retain_released = true) ?max_series
+      factory =
+    (* The engine remembers each item's bin itself (see [slot_bin]), so
+       a streaming store can drop the per-item packing map; a retained
+       store keeps it — the full-fidelity record reports query. *)
+    let track_items =
+      match track_items with Some b -> b | None -> not retire
+    in
+    let store = Bin_store.create ~retire ~track_items () in
     {
       store;
       policy = factory store;
       block = Item_block.create ();
-      departures = Item_block.Heap.create ();
+      slot_bin = Array.make 64 (-1);
+      departures = Depart_queue.create ();
       released = Vec.create ();
       retain_released;
       series = Lttb.create ?cap:max_series ();
@@ -50,34 +63,60 @@ module Interactive = struct
       arrived = 0;
       hw_live = 0;
       hw_retained = 0;
+      rec_tick = min_int;
+      rec_value = 0;
+      pend_departures = 0;
+      pub_arrivals = 0;
     }
 
   let item_block t = t.block
 
+  (* One sample per event tick: the open-bin count after the tick's last
+     event. The sample is held pending and pushed to the series only
+     when the tick changes (or at {!finish}), so repeated events at one
+     tick cost an int compare and two stores instead of an LTTB
+     overwrite each — the series that comes out is identical. *)
   let record t tick =
-    (* One sample per event tick: overwrite the sample if the tick
-       repeats (multiple events at one tick). *)
-    let value = Bin_store.open_count t.store in
-    if (not (Lttb.is_empty t.series)) && Lttb.last_tick t.series = tick then
-      Lttb.set_last_s t.series ~tick ~value
-    else Lttb.push_s t.series ~tick ~value
+    if tick <> t.rec_tick then begin
+      if t.rec_tick <> min_int then
+        Lttb.push_s t.series ~tick:t.rec_tick ~value:t.rec_value;
+      t.rec_tick <- tick
+    end;
+    t.rec_value <- Bin_store.open_count t.store
+
+  (* Metric traffic is batched: the departure counter accumulates in a
+     plain field (flushed at {!flush_metrics}), and the live/retained
+     gauges — max-merged anyway — are published once from the local
+     high-water marks. Every published value is identical to the
+     per-event publication this replaces; only the call count drops. *)
+  let flush_metrics t =
+    if t.pend_departures > 0 then begin
+      Metrics.add m_departures t.pend_departures;
+      t.pend_departures <- 0
+    end;
+    if t.arrived > t.pub_arrivals then begin
+      Metrics.add m_arrivals (t.arrived - t.pub_arrivals);
+      t.pub_arrivals <- t.arrived
+    end;
+    Metrics.set_max m_live_items t.hw_live;
+    Metrics.set_max m_retained_items t.hw_retained
 
   (* Process all departures due at ticks <= [upto]. *)
   let drain_until t upto =
     let blk = t.block in
     let rec loop () =
-      if
-        Item_block.Heap.length t.departures > 0
-        && Item_block.Heap.min_departure t.departures <= upto
-      then begin
-        let dep = Item_block.Heap.min_departure t.departures in
-        let slot = Item_block.Heap.pop t.departures in
-        Metrics.incr m_departures;
+      let slot = Depart_queue.pop_due t.departures ~upto in
+      if slot >= 0 then begin
+        let r = Item_block.item blk slot in
+        let dep = r.Item.departure in
+        t.pend_departures <- t.pend_departures + 1;
         if dep > t.clock then t.clock <- dep;
-        let bin, closed =
-          Bin_store.remove t.store ~now:dep ~item_id:(Item_block.id blk slot)
+        let bin = Array.unsafe_get t.slot_bin slot in
+        let closed =
+          Bin_store.remove_at t.store ~now:dep ~item_id:r.id ~bin
+            ~units:(Load.to_units r.size)
         in
-        t.policy.on_departure ~now:dep (Item_block.item blk slot) ~bin ~closed;
+        t.policy.on_departure ~now:dep r ~bin ~closed;
         Item_block.free blk slot;
         record t dep;
         loop ()
@@ -101,31 +140,28 @@ module Interactive = struct
       Item_block.free t.block slot;
       invalid_arg "Engine.arrive: arrival in the past"
     end;
-    Metrics.incr m_arrivals;
     drain_until t r.arrival;
     t.clock <- r.arrival;
     let bin = t.policy.on_arrival ~now:r.arrival r in
-    if Bin_store.bin_of_item t.store r.id <> bin then
+    if not (Bin_store.last_inserted_into t.store ~item_id:r.id ~bin) then
       invalid_arg "Engine.arrive: policy returned a bin it did not pack into";
-    Item_block.Heap.add t.block t.departures slot;
+    if slot >= Array.length t.slot_bin then begin
+      let a = Array.make (max (2 * Array.length t.slot_bin) (slot + 1)) (-1) in
+      Array.blit t.slot_bin 0 a 0 (Array.length t.slot_bin);
+      t.slot_bin <- a
+    end;
+    Array.unsafe_set t.slot_bin slot bin;
+    Depart_queue.add t.departures ~dep:r.departure ~id:r.id slot;
     t.arrived <- t.arrived + 1;
     if t.retain_released then Vec.push t.released r;
     (* Live = active items (the departure heap); retained additionally
        counts the released log, which is what a full-retention run keeps
-       and a streamed run does not. *)
-    let live = Item_block.Heap.length t.departures in
+       and a streamed run does not. The high-water marks are plain
+       fields here; {!flush_metrics} publishes them. *)
+    let live = Depart_queue.length t.departures in
     let retained = live + Vec.length t.released in
-    (* The gauges keep a max, so publishing only on a new local peak
-       leaves their final value unchanged while skipping two metric
-       calls on almost every arrival. *)
-    if live > t.hw_live then begin
-      t.hw_live <- live;
-      Metrics.set_max m_live_items live
-    end;
-    if retained > t.hw_retained then begin
-      t.hw_retained <- retained;
-      Metrics.set_max m_retained_items retained
-    end;
+    if live > t.hw_live then t.hw_live <- live;
+    if retained > t.hw_retained then t.hw_retained <- retained;
     record t r.arrival;
     bin
 
@@ -137,6 +173,11 @@ module Interactive = struct
 
   let finish t =
     drain_until t max_int;
+    if t.rec_tick <> min_int then begin
+      Lttb.push_s t.series ~tick:t.rec_tick ~value:t.rec_value;
+      t.rec_tick <- min_int
+    end;
+    flush_metrics t;
     let result =
       {
         name = t.policy.name;
@@ -173,21 +214,30 @@ module Stream = struct
   }
 
   let m_stream_runs = Metrics.counter "engine.stream.runs"
+  let default_chunk_size = 256
 
-  let run ?(retire = true) ?max_series factory source =
+  let run_chunks ?(retire = true) ?max_series ?(chunk_size = default_chunk_size)
+      factory chunk =
+    if chunk_size < 1 then invalid_arg "Engine.Stream.run_chunks: chunk_size < 1";
     Metrics.incr m_stream_runs;
     let t = Interactive.start ~retire ~retain_released:false ?max_series factory in
     Trace.with_span "engine.stream"
       ~args:[ ("algorithm", t.Interactive.policy.Policy.name) ]
       (fun () ->
-        (* Cursor consumption: each item is forced straight into the
-           engine's item block and addressed by slot from then on. *)
-        let cur = Event_source.cursor source in
+        (* Batch consumption: the emitter deposits up to [chunk_size]
+           items straight into the engine's arena per call, and the
+           drain loop walks the slot buffer — the source boundary is
+           crossed once per chunk, not once per item. Event order (all
+           due departures before each arrival) is untouched: it is
+           enforced per slot inside [arrive_slot]. *)
         let blk = Interactive.item_block t in
+        let slots = Array.make chunk_size (-1) in
         let rec loop () =
-          let slot = Event_source.next_into cur blk in
-          if slot >= 0 then begin
-            ignore (Interactive.arrive_slot t slot);
+          let n = Event_source.Chunk.next_chunk chunk blk slots in
+          if n > 0 then begin
+            for i = 0 to n - 1 do
+              ignore (Interactive.arrive_slot t slots.(i))
+            done;
             loop ()
           end
         in
@@ -199,4 +249,10 @@ module Stream = struct
           peak_live_items = Interactive.peak_live_items t;
           peak_retained_items = Interactive.peak_retained_items t;
         })
+
+  (* The Seq path is the chunked path behind the [of_seq] shim, so both
+     entry points exercise one drain loop (and the conformance tests
+     pin them against each other). *)
+  let run ?retire ?max_series factory source =
+    run_chunks ?retire ?max_series factory (Event_source.Chunk.of_seq source)
 end

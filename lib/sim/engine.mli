@@ -31,12 +31,22 @@ module Interactive : sig
   type t
 
   val start :
-    ?retire:bool -> ?retain_released:bool -> ?max_series:int -> Policy.factory -> t
+    ?retire:bool ->
+    ?track_items:bool ->
+    ?retain_released:bool ->
+    ?max_series:int ->
+    Policy.factory ->
+    t
   (** Defaults reproduce the historical behavior: a full-retention
       {!Bin_store} ([retire:false]), every released item kept
       ([retain_released:true] — {!finish} needs it to rebuild the
       instance), and an exact, unbounded series. [max_series] (>= 3)
-      bounds the series buffer by LTTB decimation instead. *)
+      bounds the series buffer by LTTB decimation instead.
+      [track_items] sets the store's per-item packing map (see
+      {!Bin_store.create}); it defaults to [not retire] — the engine
+      remembers each item's bin itself, so a streaming store skips the
+      map's per-item hash traffic. Observables are identical either
+      way. *)
 
   val arrive : t -> Item.t -> Bin_store.bin_id
   (** Release one item. Its arrival must be >= the latest event time so
@@ -104,5 +114,25 @@ module Stream : sig
 
       [result.cost], [result.bins_opened] and [result.max_open] are
       bit-identical to {!run} on [Event_source.to_instance source]: the
-      source's order {e is} the replay order. *)
+      source's order {e is} the replay order. (Implemented as
+      {!run_chunks} over {!Event_source.Chunk.of_seq}.) *)
+
+  val default_chunk_size : int
+  (** Default batch size for {!run_chunks} (256). *)
+
+  val run_chunks :
+    ?retire:bool ->
+    ?max_series:int ->
+    ?chunk_size:int ->
+    Policy.factory ->
+    Event_source.Chunk.t ->
+    stats
+  (** {!run} over a batched emitter: up to [chunk_size] (default 256,
+      >= 1) items are deposited into the engine's arena per emitter
+      call before the drain loop walks them, so the source boundary is
+      paid per chunk rather than per item. Every observable — cost,
+      bins opened, max open, series, peaks — is bit-identical to
+      {!run} on the equivalent Seq source: chunking batches {e
+      allocation}, never event order. The emitter is consumed (native
+      emitters are single-pass). *)
 end

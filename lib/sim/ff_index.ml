@@ -1,20 +1,25 @@
 open Dbp_util
 
 type t = {
-  mutable cap : int;  (** leaf count, a power of two (>= 1) *)
-  mutable tree : int array;  (** 1-based heap layout; tree.(1) is the root *)
+  mutable cap : int;  (** leaf count, a power of four (>= 4) *)
+  mutable off : int;  (** internal node count [(cap - 1) / 3]; leaf 0's index *)
+  mutable tree : int array;  (** 4-ary Eytzinger layout, root at 0 *)
   mutable base : int;  (** public slot number of leaf 0 *)
   mutable n : int;  (** public slots ever pushed *)
 }
 
 let inactive = -1
 
-(* Structural invariants all the unsafe accesses below rely on:
-   [Array.length tree = 2 * cap] with [cap] a power of two >= 1, leaves
-   at indices [cap, 2*cap), internal nodes at [1, cap) (none when
-   cap = 1, where tree.(1) is the lone leaf and the root at once).
-   Every internal node i therefore has both children 2i and 2i+1 in
-   bounds — no per-step child guard is needed.
+(* Structural invariants all the unsafe accesses below rely on: the tree
+   is a complete 4-ary max-tree in Eytzinger layout — root at index 0,
+   children of node [i] at [4i+1 .. 4i+4], parent at [(i-1)/4]. With
+   [cap] leaves ([cap] a power of four >= 4) the internal nodes occupy
+   [0, off) where [off = (cap-1)/3], the leaves [off, off+cap); every
+   internal node has all four children in bounds, so no per-step child
+   guard is needed. The 4-ary shape is for the two per-item walks: half
+   the levels of a binary tree, and the four children of a node sit in
+   adjacent words — one cache line per level on the descent and the
+   update ascent alike.
 
    Public slot [s] lives at leaf [s - base]; slots below [base] were
    compacted away while inactive and stay retired forever. Leaves in
@@ -26,66 +31,74 @@ let inactive = -1
    per bin ever opened. *)
 let create ?(initial_cap = 8) () =
   if initial_cap < 1 then invalid_arg "Ff_index.create: initial_cap < 1";
-  let cap = Ints.pow2 (Ints.ceil_log2 initial_cap) in
-  { cap; tree = Array.make (2 * cap) inactive; base = 0; n = 0 }
+  let l = Ints.ceil_log2 (max 4 initial_cap) in
+  let l = if l land 1 = 1 then l + 1 else l in
+  let cap = Ints.pow2 l in
+  let off = (cap - 1) / 3 in
+  { cap; off; tree = Array.make (off + cap) inactive; base = 0; n = 0 }
 
 (* Recompute ancestors after a leaf write, stopping as soon as a node's
-   value is unchanged (its ancestors then cannot change either). Called
-   with the leaf's parent, which is 0 exactly when cap = 1 — the leaf is
-   the root and there is nothing to do. An earlier version guarded each
-   child read with [2*i < 2*cap], a condition that is vacuously true for
-   every internal node and silently skipped the whole update at the
-   degenerate cap = 1 geometry instead of never being called there. *)
+   value is unchanged (its ancestors then cannot change either).
+   Explicit int comparisons: [Stdlib.max] is polymorphic and costs a C
+   call per node on this per-placement path. *)
 let rec update_path t i =
-  if i >= 1 then begin
+  if i > 0 then begin
+    let p = (i - 1) lsr 2 in
     let tree = t.tree in
-    (* An explicit int comparison: [Stdlib.max] is polymorphic and
-       costs a C call per node on this per-placement path. *)
-    let l = Array.unsafe_get tree (2 * i)
-    and r = Array.unsafe_get tree ((2 * i) + 1) in
-    let v = if l >= r then l else r in
-    if Array.unsafe_get tree i <> v then begin
-      Array.unsafe_set tree i v;
-      update_path t (i / 2)
+    let c = 4 * p in
+    let v0 = Array.unsafe_get tree (c + 1) and v1 = Array.unsafe_get tree (c + 2) in
+    let v2 = Array.unsafe_get tree (c + 3) and v3 = Array.unsafe_get tree (c + 4) in
+    let v = if v0 >= v1 then v0 else v1 in
+    let v = if v >= v2 then v else v2 in
+    let v = if v >= v3 then v else v3 in
+    if Array.unsafe_get tree p <> v then begin
+      Array.unsafe_set tree p v;
+      update_path t p
     end
   end
 
-let rebuild_internal tree cap =
-  for i = cap - 1 downto 1 do
-    let l = tree.(2 * i) and r = tree.((2 * i) + 1) in
-    tree.(i) <- (if l >= r then l else r)
+let rebuild_internal tree off =
+  for i = off - 1 downto 0 do
+    let c = 4 * i in
+    let v0 = tree.(c + 1) and v1 = tree.(c + 2) in
+    let v2 = tree.(c + 3) and v3 = tree.(c + 4) in
+    let v = if v0 >= v1 then v0 else v1 in
+    let v = if v >= v2 then v else v2 in
+    let v = if v >= v3 then v else v3 in
+    tree.(i) <- v
   done
 
 let grow t =
-  let cap' = 2 * t.cap in
-  let tree' = Array.make (2 * cap') inactive in
+  let cap' = 4 * t.cap in
+  let off' = (cap' - 1) / 3 in
+  let tree' = Array.make (off' + cap') inactive in
   (* Copy leaves, then rebuild internal nodes bottom-up. *)
-  Array.blit t.tree t.cap tree' cap' t.cap;
-  rebuild_internal tree' cap';
+  Array.blit t.tree t.off tree' off' t.cap;
+  rebuild_internal tree' off';
   t.cap <- cap';
+  t.off <- off';
   t.tree <- tree'
 
 (* Slide the leaf window left by half a tree: legal when every leaf of
-   the left half is inactive (tree.(2), the root's left child, spans
-   exactly those leaves). Public slot numbers are unchanged — only their
-   leaf positions move — so the leftmost-fit order is untouched. *)
+   the left half is inactive (the root's first two children span exactly
+   those leaves). Public slot numbers are unchanged — only their leaf
+   positions move — so the leftmost-fit order is untouched. *)
 let slide t =
-  let cap = t.cap in
-  let half = cap / 2 in
-  Array.blit t.tree (cap + half) t.tree cap half;
-  Array.fill t.tree (cap + half) half inactive;
-  rebuild_internal t.tree cap;
+  let half = t.cap / 2 in
+  Array.blit t.tree (t.off + half) t.tree t.off half;
+  Array.fill t.tree (t.off + half) half inactive;
+  rebuild_internal t.tree t.off;
   t.base <- t.base + half
 
 let push t ~residual =
   if t.n - t.base = t.cap then begin
-    if t.cap >= 2 && t.tree.(2) = inactive then slide t else grow t
+    if t.tree.(1) = inactive && t.tree.(2) = inactive then slide t else grow t
   end;
   let slot = t.n in
   t.n <- t.n + 1;
-  let i = t.cap + (slot - t.base) in
+  let i = t.off + (slot - t.base) in
   t.tree.(i) <- residual;
-  update_path t (i / 2);
+  update_path t i;
   slot
 
 let check t slot op =
@@ -94,9 +107,9 @@ let check t slot op =
     invalid_arg ("Ff_index." ^ op ^ ": slot compacted away (was inactive)")
 
 let set_leaf t slot v =
-  let i = t.cap + (slot - t.base) in
+  let i = t.off + (slot - t.base) in
   t.tree.(i) <- v;
-  update_path t (i / 2)
+  update_path t i
 
 let set t slot residual =
   check t slot "set";
@@ -108,7 +121,7 @@ let deactivate t slot =
 
 let residual t slot =
   check t slot "residual";
-  t.tree.(t.cap + (slot - t.base))
+  t.tree.(t.off + (slot - t.base))
 
 let length t = t.n
 let compacted_below t = t.base
@@ -117,18 +130,24 @@ let compacted_below t = t.base
    option cell. If the root admits [need], the left-first descent lands
    on the leftmost adequate leaf; that leaf is necessarily a pushed,
    active slot — unpushed and deactivated leaves hold -1 < need (need is
-   >= 0), so they can never terminate the descent. *)
+   >= 0), so they can never terminate the descent. The last-child arm is
+   unconditional: the parent's aggregate guarantees some child fits, so
+   if the first three do not, the fourth does. *)
 let first_fit_idx t need =
   if need < 0 then invalid_arg "Ff_index.first_fit_idx: negative need";
-  let tree = t.tree and cap = t.cap in
-  if Array.unsafe_get tree 1 < need then -1
+  let tree = t.tree and off = t.off in
+  if Array.unsafe_get tree 0 < need then -1
   else begin
-    let i = ref 1 in
-    while !i < cap do
-      let l = 2 * !i in
-      i := if Array.unsafe_get tree l >= need then l else l + 1
+    let i = ref 0 in
+    while !i < off do
+      let c = 4 * !i in
+      i :=
+        (if Array.unsafe_get tree (c + 1) >= need then c + 1
+         else if Array.unsafe_get tree (c + 2) >= need then c + 2
+         else if Array.unsafe_get tree (c + 3) >= need then c + 3
+         else c + 4)
     done;
-    !i - cap + t.base
+    !i - off + t.base
   end
 
 let first_fit t need =
@@ -138,10 +157,10 @@ let first_fit t need =
    scan through this instead of materializing [active]. Bounded by the
    leaf window, not by slots ever pushed. *)
 let fold_active t ~init ~f =
-  let tree = t.tree and cap = t.cap and base = t.base in
+  let tree = t.tree and off = t.off and base = t.base in
   let acc = ref init in
   for leaf = 0 to t.n - base - 1 do
-    let r = Array.unsafe_get tree (cap + leaf) in
+    let r = Array.unsafe_get tree (off + leaf) in
     if r >= 0 then acc := f !acc (base + leaf) r
   done;
   !acc

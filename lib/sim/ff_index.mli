@@ -4,13 +4,16 @@
     admits an item. A linear scan is O(open bins) per placement; this
     index answers the query in O(log n) by storing, per tree node, the
     maximum residual in its span and descending left-first. Slots are
-    assigned in bin-opening order, so "leftmost slot" = "earliest bin". *)
+    assigned in bin-opening order, so "leftmost slot" = "earliest bin".
+    The tree is 4-ary: half the levels of a binary tree, with each
+    node's four children in adjacent words — one cache line per level on
+    the per-item descent and update ascent. *)
 
 type t
 
 val create : ?initial_cap:int -> unit -> t
 (** [initial_cap] (default 8, minimum 1) is rounded up to a power of
-    two; the tree doubles on demand.
+    four; the tree quadruples on demand.
 
     The tree additionally {e compacts}: when its leaves fill up and the
     older half are all inactive, the leaf window slides instead of

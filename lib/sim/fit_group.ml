@@ -2,26 +2,78 @@ open Dbp_util
 open Dbp_instance
 module H = Dbp_binpack.Heuristics
 
+(* First-Fit and Next-Fit only ever need the leftmost-fit query, which
+   the single-aggregate segment tree answers with one descent; Best-Fit
+   and Worst-Fit need min/max-residual queries, which live in the
+   three-aggregate tournament tree. Splitting by rule keeps the FF hot
+   path on the leaner structure. *)
+type index = Ff of Ff_index.t | Tree of Fit_tree.t
+
 type t = {
   rule : H.rule;
   mutable glabel : string;
-  index : Ff_index.t;
+  index : index;
+  gid : int;  (** process-unique group id, tags the bin cookies below *)
   bin_of_slot : Bin_store.bin_id Vec.t;
   slot_of_bin : Imap.t;
   mutable n_open : int;
   mutable last_slot : int;  (** most recent slot, for Next-Fit *)
 }
 
+(* Each open member bin carries its index slot in the store's per-bin
+   cookie, tagged with the owning group's id:
+   [(gid lsl 32) lor slot]. The per-departure bin-to-slot lookup is
+   then one array read plus a tag compare — the ownership check the
+   [slot_of_bin] map used to answer with a hash probe. The map stays as
+   the membership record for the cold queries ([owns], [relabel],
+   [note_close]); only the hot paths bypass it. Group ids are
+   process-unique (simulations are single-domain). *)
+let next_gid = ref 0
+let cookie_slot_bits = 32
+let cookie_slot_mask = (1 lsl cookie_slot_bits) - 1
+
 let create ?(rule = H.First_fit) ~label () =
+  let index =
+    match rule with
+    (* Best-Fit pays for the successor array (one binary search per
+       placement); Worst-Fit's query is an exact tree descent and
+       skips it. *)
+    | H.Best_fit -> Tree (Fit_tree.create ~successor:true ())
+    | H.Worst_fit -> Tree (Fit_tree.create ())
+    | H.First_fit | H.Next_fit -> Ff (Ff_index.create ())
+  in
+  incr next_gid;
   {
     rule;
     glabel = label;
-    index = Ff_index.create ();
+    index;
+    gid = !next_gid;
     bin_of_slot = Vec.create ();
     slot_of_bin = Imap.create ~capacity:16 ();
     n_open = 0;
     last_slot = -1;
   }
+
+let idx_push index ~residual =
+  match index with
+  | Ff i -> Ff_index.push i ~residual
+  | Tree i -> Fit_tree.push i ~residual ~score:0
+
+let idx_set index slot residual =
+  match index with
+  | Ff i -> Ff_index.set i slot residual
+  | Tree i -> Fit_tree.set i slot ~residual ~score:0
+
+let idx_deactivate index slot =
+  match index with
+  | Ff i -> Ff_index.deactivate i slot
+  | Tree i -> Fit_tree.deactivate i slot
+
+let idx_length index =
+  match index with Ff i -> Ff_index.length i | Tree i -> Fit_tree.length i
+
+let idx_active index =
+  match index with Ff i -> Ff_index.active i | Tree i -> Fit_tree.active i
 
 let label t = t.glabel
 let open_count t = t.n_open
@@ -33,48 +85,38 @@ let relabel t store label =
 let owns t bin = Imap.mem t.slot_of_bin bin
 
 let open_bins t =
-  Ff_index.active t.index |> List.map (fun slot -> Vec.get t.bin_of_slot slot)
+  idx_active t.index |> List.map (fun slot -> Vec.get t.bin_of_slot slot)
 
-(* Slot selection per rule, -1 when nothing fits. First-Fit uses the
-   segment tree; the other rules fold over active slots (they have no
-   leftmost structure to exploit) without materializing a list. *)
+(* Slot selection per rule, -1 when nothing fits. Every rule is a
+   single index descent; ties break toward the smallest slot = the
+   earliest-opened bin (the tree contract, pinned by tests). *)
 let choose_slot t need =
-  match t.rule with
-  | H.First_fit -> Ff_index.first_fit_idx t.index need
-  | H.Next_fit ->
-      if t.last_slot >= 0 && Ff_index.residual t.index t.last_slot >= need then
+  match t.index, t.rule with
+  | Ff i, H.First_fit -> Ff_index.first_fit_idx i need
+  | Ff i, H.Next_fit ->
+      if t.last_slot >= 0 && Ff_index.residual i t.last_slot >= need then
         t.last_slot
       else -1
-  | H.Best_fit ->
-      (* Tightest adequate residual; ties keep the earliest slot. *)
-      fst
-        (Ff_index.fold_active t.index ~init:(-1, -1)
-           ~f:(fun ((_, br) as best) slot r ->
-             if r >= need && (br < 0 || r < br) then (slot, r) else best))
-  | H.Worst_fit ->
-      (* Roomiest adequate residual; ties keep the earliest slot. *)
-      fst
-        (Ff_index.fold_active t.index ~init:(-1, -1)
-           ~f:(fun ((_, br) as best) slot r ->
-             if r >= need && r > br then (slot, r) else best))
+  | Tree i, H.Best_fit -> Fit_tree.best_fit_idx i need
+  | Tree i, H.Worst_fit -> Fit_tree.worst_fit_idx i need
+  | Ff _, (H.Best_fit | H.Worst_fit) | Tree _, (H.First_fit | H.Next_fit) ->
+      assert false (* create pairs each rule with its index *)
 
-let register t store bin =
-  let slot = Ff_index.push t.index ~residual:(Load.to_units (Bin_store.residual store bin)) in
+let register t store bin ~residual =
+  let slot = idx_push t.index ~residual in
   Vec.push t.bin_of_slot bin;
-  assert (Vec.length t.bin_of_slot = Ff_index.length t.index);
+  assert (Vec.length t.bin_of_slot = idx_length t.index);
+  assert (slot <= cookie_slot_mask);
   Imap.set t.slot_of_bin bin slot;
+  Bin_store.set_cookie store bin ((t.gid lsl cookie_slot_bits) lor slot);
   t.n_open <- t.n_open + 1;
   t.last_slot <- slot;
   slot
 
-let resync t store bin slot =
-  Ff_index.set t.index slot (Load.to_units (Bin_store.residual store bin))
-
 let place_new t store ~now (r : Item.t) =
   let bin = Bin_store.open_bin store ~now ~label:t.glabel in
-  Bin_store.insert store bin r;
-  let slot = register t store bin in
-  resync t store bin slot;
+  let residual = Bin_store.insert_residual store bin r in
+  ignore (register t store bin ~residual);
   bin
 
 let place t store ~now (r : Item.t) =
@@ -82,26 +124,46 @@ let place t store ~now (r : Item.t) =
   if slot < 0 then place_new t store ~now r
   else begin
     let bin = Vec.get t.bin_of_slot slot in
-    Bin_store.insert store bin r;
-    resync t store bin slot;
+    idx_set t.index slot (Bin_store.insert_residual store bin r);
     t.last_slot <- slot;
     bin
   end
 
-let slot_exn t bin op =
-  match Imap.find_opt t.slot_of_bin bin with
-  | Some slot -> slot
-  | None -> invalid_arg ("Fit_group." ^ op ^ ": bin not in group")
+(* Hot lookup: the cookie stashed at [register]. A wrong or stale tag
+   (unset cookie, another group's bin) fails the compare and raises,
+   matching the map-based check this replaces. *)
+let slot_hot t store bin op =
+  let c = Bin_store.cookie store bin in
+  if c lsr cookie_slot_bits <> t.gid then
+    invalid_arg ("Fit_group." ^ op ^ ": bin not in group");
+  c land cookie_slot_mask
 
-let note_insert t store bin = resync t store bin (slot_exn t bin "note_insert")
+let slot_exn t bin op =
+  let slot = Imap.find_default t.slot_of_bin bin (-1) in
+  if slot < 0 then invalid_arg ("Fit_group." ^ op ^ ": bin not in group");
+  slot
+
+let note_insert t store bin =
+  idx_set t.index
+    (slot_hot t store bin "note_insert")
+    (Bin_store.residual_units store bin)
 
 let note_close t bin =
   let slot = slot_exn t bin "note_close" in
-  Ff_index.deactivate t.index slot;
+  idx_deactivate t.index slot;
   Imap.remove t.slot_of_bin bin;
   t.n_open <- t.n_open - 1;
   if t.last_slot = slot then t.last_slot <- -1
 
 let note_depart t store bin ~closed =
-  if closed then note_close t bin
-  else resync t store bin (slot_exn t bin "note_depart")
+  if closed then begin
+    note_close t bin;
+    (* A retained bin record outlives its close; clearing the stash
+       makes a later misdirected notification raise instead of silently
+       reactivating the slot. (A retired slot is already unreadable.) *)
+    if not (Bin_store.retire_mode store) then Bin_store.set_cookie store bin (-1)
+  end
+  else
+    idx_set t.index
+      (slot_hot t store bin "note_depart")
+      (Bin_store.residual_units store bin)

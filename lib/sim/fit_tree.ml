@@ -1,0 +1,479 @@
+open Dbp_util
+
+type t = {
+  mutable cap : int;  (** leaf count, a power of two (>= 1) *)
+  mutable maxr : int array;  (** 1-based heap of max residual per subtree *)
+  mutable minr : int array;  (** min residual over *active* leaves per subtree *)
+  mutable maxs : int array;  (** max score over active leaves per subtree *)
+  mutable base : int;  (** public slot number of leaf 0 *)
+  mutable n : int;  (** public slots ever pushed *)
+  succ : bool;  (** maintain the chunked successor list below *)
+  mutable dirty : bool;  (** successor mode: internal aggregates stale *)
+  mutable schunks : int array array;  (** sorted packed keys, chunked *)
+  mutable scount : int array;  (** live keys in each chunk *)
+  mutable smins : int array;  (** first key of each chunk, flat copy *)
+  mutable snchunks : int;
+}
+
+(* Inactive leaves are absorbing for every aggregate: -1 never wins a
+   max-residual race against need >= 0, max_int never wins a
+   min-residual race, min_int never wins a max-score race. *)
+let no_residual = -1
+let no_min = max_int
+let no_score = min_int
+
+(* Same structural invariants as [Ff_index] (see ff_index.ml): arrays
+   of length [2 * cap] with [cap] a power of two, leaves at
+   [cap, 2*cap), internal nodes at [1, cap), public slot [s] at leaf
+   [s - base], slots below [base] retired forever. The only difference
+   is that each node carries three aggregates instead of one, so the
+   tree answers best-fit (min adequate residual), worst-fit (max
+   residual) and score-threshold queries in one descent each. *)
+let create ?(initial_cap = 8) ?(successor = false) () =
+  if initial_cap < 1 then invalid_arg "Fit_tree.create: initial_cap < 1";
+  let cap = Ints.pow2 (Ints.ceil_log2 initial_cap) in
+  {
+    cap;
+    maxr = Array.make (2 * cap) no_residual;
+    minr = Array.make (2 * cap) no_min;
+    maxs = Array.make (2 * cap) no_score;
+    base = 0;
+    n = 0;
+    succ = successor;
+    dirty = false;
+    schunks = [||];
+    scount = [||];
+    smins = [||];
+    snchunks = 0;
+  }
+
+(* --- Chunked successor list (opt-in) ------------------------------
+
+   The positional aggregates above cannot answer best-fit in
+   guaranteed sub-linear time: a subtree mixing too-small and
+   too-large residuals passes both the [maxr >= need] and
+   [minr < best] prunes while containing nothing in [need, best), so
+   the DFS degenerates to visiting every such node (measured ~n/2
+   nodes per query under churn). When [successor] is set at creation,
+   the tree additionally keeps the active slots as packed
+   (residual, slot) keys in sorted order: best-fit is then a successor
+   lookup — the first key >= (need, slot 0) is the minimum adequate
+   residual, and within equal residuals the smallest slot, exactly the
+   BF tie-break.
+
+   The keys live in an unrolled sorted list: fixed-capacity chunks,
+   each sorted, with a directory array searched by chunk minimum. One
+   flat sorted array was measured slower than the pruned DFS it was
+   meant to replace (every update memmoves O(active) keys); chunking
+   caps the shift at 64 words while keeping lookups two binary
+   searches. Chunks split when full and are dropped when empty —
+   under-full chunks are tolerated, which in the worst case degrades
+   toward one key per chunk: lookups stay O(log active) through the
+   directory, memory stays O(active bins). *)
+
+(* Key layout: residual in the high bits, slot in the low 32. Residuals
+   reach Load.capacity = 1e9 < 2^30, so the largest key is
+   1e9 * 2^32 + (2^32 - 1) < 2^62 — still a positive OCaml int (a
+   33-bit slot field would overflow the sign bit at full capacity). *)
+let slot_bits = 32
+let skey ~residual ~slot = (residual lsl slot_bits) lor slot
+let skey_slot k = k land ((1 lsl slot_bits) - 1)
+let chunk_cap = 64
+
+(* Last chunk whose minimum is <= k, or -1 when k precedes every
+   chunk. Chunk minimums are mirrored in the flat [smins] so the
+   directory search stays inside one or two cache lines instead of
+   chasing a chunk pointer per probe. *)
+let sc_find t k =
+  let mins = t.smins in
+  let lo = ref 0 and hi = ref t.snchunks in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get mins mid <= k then lo := mid + 1 else hi := mid
+  done;
+  !lo - 1
+
+(* First index in chunk [a] (live prefix [n]) holding a key >= k. *)
+let sc_lower a n k =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get a mid < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Make room in the directory at position [c]. *)
+let sc_open_slot t c =
+  let cap = Array.length t.scount in
+  if t.snchunks = cap then begin
+    let cap' = max 8 (2 * cap) in
+    let chunks' = Array.make cap' [||] in
+    let count' = Array.make cap' 0 in
+    let mins' = Array.make cap' max_int in
+    Array.blit t.schunks 0 chunks' 0 t.snchunks;
+    Array.blit t.scount 0 count' 0 t.snchunks;
+    Array.blit t.smins 0 mins' 0 t.snchunks;
+    t.schunks <- chunks';
+    t.scount <- count';
+    t.smins <- mins'
+  end;
+  Array.blit t.schunks c t.schunks (c + 1) (t.snchunks - c);
+  Array.blit t.scount c t.scount (c + 1) (t.snchunks - c);
+  Array.blit t.smins c t.smins (c + 1) (t.snchunks - c);
+  t.snchunks <- t.snchunks + 1
+
+let s_add t ~residual ~slot =
+  let k = skey ~residual ~slot in
+  if t.snchunks = 0 then begin
+    sc_open_slot t 0;
+    t.schunks.(0) <- Array.make chunk_cap 0;
+    t.schunks.(0).(0) <- k;
+    t.scount.(0) <- 1;
+    t.smins.(0) <- k
+  end
+  else begin
+    let c = ref (sc_find t k) in
+    if !c < 0 then c := 0;
+    if t.scount.(!c) = chunk_cap then begin
+      (* Split in half; then aim at whichever half covers k. *)
+      let a = t.schunks.(!c) in
+      let half = chunk_cap / 2 in
+      let b = Array.make chunk_cap 0 in
+      Array.blit a half b 0 half;
+      sc_open_slot t (!c + 1);
+      t.schunks.(!c + 1) <- b;
+      t.scount.(!c) <- half;
+      t.scount.(!c + 1) <- half;
+      t.smins.(!c + 1) <- b.(0);
+      if k >= b.(0) then incr c
+    end;
+    let a = t.schunks.(!c) in
+    let n = t.scount.(!c) in
+    let i = sc_lower a n k in
+    Array.blit a i a (i + 1) (n - i);
+    a.(i) <- k;
+    t.scount.(!c) <- n + 1;
+    if i = 0 then t.smins.(!c) <- k
+  end
+
+let s_remove t ~residual ~slot =
+  let k = skey ~residual ~slot in
+  let c = sc_find t k in
+  assert (c >= 0);
+  let a = t.schunks.(c) in
+  let n = t.scount.(c) in
+  let i = sc_lower a n k in
+  assert (i < n && a.(i) = k);
+  Array.blit a (i + 1) a i (n - i - 1);
+  t.scount.(c) <- n - 1;
+  if n = 1 then begin
+    Array.blit t.schunks (c + 1) t.schunks c (t.snchunks - c - 1);
+    Array.blit t.scount (c + 1) t.scount c (t.snchunks - c - 1);
+    Array.blit t.smins (c + 1) t.smins c (t.snchunks - c - 1);
+    t.snchunks <- t.snchunks - 1;
+    t.schunks.(t.snchunks) <- [||]
+  end
+  else if i = 0 then t.smins.(c) <- a.(0)
+
+(* Smallest key >= k, or -1 (keys are non-negative). *)
+let s_succ t k =
+  if t.snchunks = 0 then -1
+  else begin
+    let c = sc_find t k in
+    if c < 0 then t.schunks.(0).(0)
+    else begin
+      let a = t.schunks.(c) in
+      let n = t.scount.(c) in
+      let i = sc_lower a n k in
+      if i < n then a.(i)
+      else if c + 1 < t.snchunks then t.schunks.(c + 1).(0)
+      else -1
+    end
+  end
+
+(* Recompute ancestors after a leaf write, stopping once none of the
+   three aggregates changes (their ancestors then cannot change
+   either). *)
+let rec update_path t i =
+  if i >= 1 then begin
+    let maxr = t.maxr and minr = t.minr and maxs = t.maxs in
+    let l = 2 * i in
+    let r = l + 1 in
+    let rl = Array.unsafe_get maxr l and rr = Array.unsafe_get maxr r in
+    let vmaxr = if rl >= rr then rl else rr in
+    let ml = Array.unsafe_get minr l and mr = Array.unsafe_get minr r in
+    let vminr = if ml <= mr then ml else mr in
+    let sl = Array.unsafe_get maxs l and sr = Array.unsafe_get maxs r in
+    let vmaxs = if sl >= sr then sl else sr in
+    if
+      Array.unsafe_get maxr i <> vmaxr
+      || Array.unsafe_get minr i <> vminr
+      || Array.unsafe_get maxs i <> vmaxs
+    then begin
+      Array.unsafe_set maxr i vmaxr;
+      Array.unsafe_set minr i vminr;
+      Array.unsafe_set maxs i vmaxs;
+      update_path t (i / 2)
+    end
+  end
+
+let rebuild_internal t =
+  let maxr = t.maxr and minr = t.minr and maxs = t.maxs in
+  for i = t.cap - 1 downto 1 do
+    let l = 2 * i in
+    let r = l + 1 in
+    maxr.(i) <- (if maxr.(l) >= maxr.(r) then maxr.(l) else maxr.(r));
+    minr.(i) <- (if minr.(l) <= minr.(r) then minr.(l) else minr.(r));
+    maxs.(i) <- (if maxs.(l) >= maxs.(r) then maxs.(l) else maxs.(r))
+  done;
+  t.dirty <- false
+
+(* In successor mode the hot queries (best-fit, residual reads) never
+   touch the internal aggregates, so leaf writes skip the three-way
+   ancestor recomputation and just flag the internals stale; any
+   positional query rebuilds them first. Without the successor list the
+   aggregates ARE the index, and every write maintains them eagerly. *)
+let ensure_aggregates t = if t.dirty then rebuild_internal t
+
+let grow t =
+  let cap' = 2 * t.cap in
+  let maxr' = Array.make (2 * cap') no_residual in
+  let minr' = Array.make (2 * cap') no_min in
+  let maxs' = Array.make (2 * cap') no_score in
+  Array.blit t.maxr t.cap maxr' cap' t.cap;
+  Array.blit t.minr t.cap minr' cap' t.cap;
+  Array.blit t.maxs t.cap maxs' cap' t.cap;
+  t.cap <- cap';
+  t.maxr <- maxr';
+  t.minr <- minr';
+  t.maxs <- maxs';
+  rebuild_internal t
+
+(* Slide the leaf window left by half a tree when every leaf of the
+   left half is inactive; public slot numbers are unchanged. *)
+let slide t =
+  let cap = t.cap in
+  let half = cap / 2 in
+  Array.blit t.maxr (cap + half) t.maxr cap half;
+  Array.fill t.maxr (cap + half) half no_residual;
+  Array.blit t.minr (cap + half) t.minr cap half;
+  Array.fill t.minr (cap + half) half no_min;
+  Array.blit t.maxs (cap + half) t.maxs cap half;
+  Array.fill t.maxs (cap + half) half no_score;
+  rebuild_internal t;
+  t.base <- t.base + half
+
+let set_leaf t slot ~residual ~score =
+  let i = t.cap + (slot - t.base) in
+  t.maxr.(i) <- residual;
+  t.minr.(i) <- (if residual = no_residual then no_min else residual);
+  t.maxs.(i) <- score;
+  if t.succ then t.dirty <- true else update_path t (i / 2)
+
+(* The slide precondition — every leaf of the left half inactive — is
+   read off [maxr.(2)] when the aggregates are fresh, or by a direct
+   leaf scan when they are stale (rebuilding just to ask would cost the
+   same pass). *)
+let left_half_inactive t =
+  t.cap >= 2
+  &&
+  if not t.dirty then t.maxr.(2) = no_residual
+  else begin
+    let half = t.cap / 2 in
+    let ok = ref true in
+    let i = ref t.cap in
+    while !ok && !i < t.cap + half do
+      if Array.unsafe_get t.maxr !i <> no_residual then ok := false;
+      incr i
+    done;
+    !ok
+  end
+
+let push t ~residual ~score =
+  if residual < 0 then invalid_arg "Fit_tree.push: negative residual";
+  if t.n - t.base = t.cap then begin
+    if left_half_inactive t then slide t else grow t
+  end;
+  let slot = t.n in
+  t.n <- t.n + 1;
+  set_leaf t slot ~residual ~score;
+  if t.succ then s_add t ~residual ~slot;
+  slot
+
+let check t slot op =
+  if slot < 0 || slot >= t.n then invalid_arg ("Fit_tree." ^ op ^ ": bad slot");
+  if slot < t.base then
+    invalid_arg ("Fit_tree." ^ op ^ ": slot compacted away (was inactive)")
+
+let set t slot ~residual ~score =
+  check t slot "set";
+  if residual < 0 then invalid_arg "Fit_tree.set: negative residual";
+  if t.succ then begin
+    let old = t.maxr.(t.cap + (slot - t.base)) in
+    if old >= 0 then s_remove t ~residual:old ~slot;
+    s_add t ~residual ~slot
+  end;
+  set_leaf t slot ~residual ~score
+
+let deactivate t slot =
+  check t slot "deactivate";
+  if t.succ then begin
+    let old = t.maxr.(t.cap + (slot - t.base)) in
+    if old >= 0 then s_remove t ~residual:old ~slot
+  end;
+  set_leaf t slot ~residual:no_residual ~score:no_score
+
+let residual t slot =
+  check t slot "residual";
+  t.maxr.(t.cap + (slot - t.base))
+
+let score t slot =
+  check t slot "score";
+  t.maxs.(t.cap + (slot - t.base))
+
+let length t = t.n
+let compacted_below t = t.base
+
+(* Leftmost leaf with residual >= need: identical descent to
+   [Ff_index.first_fit_idx], on the max-residual aggregate. *)
+let first_fit_idx t need =
+  if need < 0 then invalid_arg "Fit_tree.first_fit_idx: negative need";
+  ensure_aggregates t;
+  let maxr = t.maxr and cap = t.cap in
+  if Array.unsafe_get maxr 1 < need then -1
+  else begin
+    let i = ref 1 in
+    while !i < cap do
+      let l = 2 * !i in
+      i := if Array.unsafe_get maxr l >= need then l else l + 1
+    done;
+    !i - cap + t.base
+  end
+
+(* Best fit: the minimum residual >= need, leftmost leaf on ties. With
+   the successor array it is one binary search; without it, a
+   left-first DFS pruned on two fronts — a subtree is skipped unless
+   its max residual admits [need] AND its min active residual could
+   beat the best found so far. Once a subtree's min residual is itself
+   >= need, that min IS its best candidate — descend straight to the
+   leftmost leaf attaining it instead of recursing. The strict
+   [v < best] update plus left-first order makes the leftmost minimal
+   leaf win. The DFS is worst-case O(leaves) (subtrees mixing
+   too-small and too-large residuals defeat both prunes), which is why
+   the hot Best-Fit group opts into the successor array. *)
+let best_fit_idx t need =
+  if need < 0 then invalid_arg "Fit_tree.best_fit_idx: negative need";
+  if t.succ then begin
+    (* Successor of (need, slot 0): the minimum residual >= need,
+       smallest slot within equal residuals. *)
+    let k = s_succ t (need lsl slot_bits) in
+    if k < 0 then -1 else skey_slot k
+  end
+  else begin
+  ensure_aggregates t;
+  let maxr = t.maxr and minr = t.minr and cap = t.cap in
+  if Array.unsafe_get maxr 1 < need then -1
+  else begin
+    let best_r = ref max_int and best_i = ref (-1) in
+    let rec go i =
+      if Array.unsafe_get maxr i >= need && Array.unsafe_get minr i < !best_r
+      then begin
+        let m = Array.unsafe_get minr i in
+        if m >= need then begin
+          (* Every active leaf below fits; the subtree minimum is the
+             candidate. A leaf always lands here (its min = its max). *)
+          let j = ref i in
+          while !j < cap do
+            let l = 2 * !j in
+            j := if Array.unsafe_get minr l = m then l else l + 1
+          done;
+          best_r := m;
+          best_i := !j
+        end
+        else begin
+          (* Internal node mixing too-small and adequate leaves. *)
+          go (2 * i);
+          go ((2 * i) + 1)
+        end
+      end
+    in
+    go 1;
+    if !best_i < 0 then -1 else !best_i - cap + t.base
+  end
+  end
+
+(* Worst fit: the maximum residual overall (it is >= need iff the root
+   admits need), leftmost leaf on ties — one exact descent. *)
+let worst_fit_idx t need =
+  if need < 0 then invalid_arg "Fit_tree.worst_fit_idx: negative need";
+  ensure_aggregates t;
+  let maxr = t.maxr and cap = t.cap in
+  let v = Array.unsafe_get maxr 1 in
+  if v < need then -1
+  else begin
+    let i = ref 1 in
+    while !i < cap do
+      let l = 2 * !i in
+      i := if Array.unsafe_get maxr l = v then l else l + 1
+    done;
+    !i - cap + t.base
+  end
+
+(* Leftmost leaf with residual >= need and score >= min_score. The two
+   aggregates prune independently; only a leaf certifies the
+   conjunction, so the descent backtracks. Inactive leaves fail the
+   residual test (need >= 0 > -1), so they never terminate it. *)
+let first_fit_by t ~need ~min_score =
+  if need < 0 then invalid_arg "Fit_tree.first_fit_by: negative need";
+  ensure_aggregates t;
+  let maxr = t.maxr and maxs = t.maxs and cap = t.cap in
+  let rec go i =
+    if Array.unsafe_get maxr i >= need && Array.unsafe_get maxs i >= min_score
+    then
+      if i >= cap then i
+      else begin
+        let l = go (2 * i) in
+        if l >= 0 then l else go ((2 * i) + 1)
+      end
+    else -1
+  in
+  let i = go 1 in
+  if i < 0 then -1 else i - cap + t.base
+
+(* Maximum score among leaves with residual >= need, leftmost on ties
+   (strict [>] update under left-first DFS). Prunes subtrees whose max
+   score cannot beat the best found or whose max residual is too
+   small. *)
+let best_score_idx t ~need =
+  if need < 0 then invalid_arg "Fit_tree.best_score_idx: negative need";
+  ensure_aggregates t;
+  let maxr = t.maxr and maxs = t.maxs and cap = t.cap in
+  let best_s = ref no_score and best_i = ref (-1) in
+  let rec go i =
+    if Array.unsafe_get maxr i >= need && Array.unsafe_get maxs i > !best_s
+    then
+      if i >= cap then begin
+        best_s := Array.unsafe_get maxs i;
+        best_i := i
+      end
+      else begin
+        go (2 * i);
+        go ((2 * i) + 1)
+      end
+  in
+  go 1;
+  if !best_i < 0 then -1 else !best_i - cap + t.base
+
+(* Allocation-free left-to-right fold over active slots, bounded by the
+   leaf window. *)
+let fold_active t ~init ~f =
+  let maxr = t.maxr and maxs = t.maxs and cap = t.cap and base = t.base in
+  let acc = ref init in
+  for leaf = 0 to t.n - base - 1 do
+    let r = Array.unsafe_get maxr (cap + leaf) in
+    if r >= 0 then acc := f !acc (base + leaf) r (Array.unsafe_get maxs (cap + leaf))
+  done;
+  !acc
+
+let active t =
+  List.rev (fold_active t ~init:[] ~f:(fun acc slot _ _ -> slot :: acc))

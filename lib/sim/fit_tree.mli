@@ -1,0 +1,87 @@
+(** Fit tree: a tournament tree over bin residuals answering best-fit,
+    worst-fit and score-threshold queries in (amortized) log time.
+
+    Sibling of {!Ff_index} — same slot discipline and window
+    compaction, in a flat 1-based binary layout (Ff_index went 4-ary;
+    here each node carries three aggregates, so the fan-out buys less)
+    — with, per node, three aggregates over its leaf span: max
+    residual, min {e active} residual, and max score. Best-Fit (tightest adequate bin), Worst-Fit
+    (roomiest adequate bin) and SpanGreedy's horizon queries all resolve
+    by short descents instead of an O(open bins) scan per placement.
+    Slots are assigned in bin-opening order, so every tie-break below is
+    "earliest-opened bin wins".
+
+    The [score] is an arbitrary caller-owned integer per active slot
+    (SpanGreedy stores the bin horizon there; Best/Worst-Fit leave it
+    0). Scores must be greater than [min_int], which is the inactive
+    sentinel. *)
+
+type t
+
+val create : ?initial_cap:int -> ?successor:bool -> unit -> t
+(** [initial_cap] (default 8, minimum 1) is rounded up to a power of
+    two; the tree doubles on demand and compacts exactly like
+    {!Ff_index}: when the leaves fill and the older half are all
+    inactive, the window slides and those slots are retired for good.
+    Touching a retired slot raises [Invalid_argument].
+
+    [successor] (default false) additionally maintains the active
+    slots as sorted (residual, slot) keys in an unrolled (chunked)
+    list, making {!best_fit_idx} a successor lookup — two binary
+    searches — instead of a pruned DFS (which degrades to O(active) on
+    residual populations mixing too-small and too-large values).
+    Updates then cost O(log active) search plus a bounded 64-word
+    shift per {!set}/{!deactivate}, so only the Best-Fit placement
+    group opts in. *)
+
+val push : t -> residual:int -> score:int -> int
+(** Append an active slot; returns the slot index. The residual must be
+    non-negative. *)
+
+val set : t -> int -> residual:int -> score:int -> unit
+(** [set t slot ~residual ~score] updates an active slot in place
+    (e.g. after an insertion). The residual must be non-negative. *)
+
+val deactivate : t -> int -> unit
+(** Mark a slot unusable (its bin closed). *)
+
+val residual : t -> int -> int
+(** Current residual of a slot (-1 when deactivated). *)
+
+val score : t -> int -> int
+(** Current score of a slot ([min_int] when deactivated). *)
+
+val length : t -> int
+(** Number of slots ever pushed. *)
+
+val compacted_below : t -> int
+(** Slots below this bound have been retired by compaction. *)
+
+val first_fit_idx : t -> int -> int
+(** [first_fit_idx t need] is the smallest slot with residual >=
+    [need], or [-1]. Identical contract to {!Ff_index.first_fit_idx}. *)
+
+val best_fit_idx : t -> int -> int
+(** [best_fit_idx t need] is the slot holding the {e minimum} residual
+    >= [need] — the tightest adequate bin — smallest slot on ties, or
+    [-1] when no active slot fits. *)
+
+val worst_fit_idx : t -> int -> int
+(** [worst_fit_idx t need] is the slot holding the {e maximum} residual,
+    provided it is >= [need] — the roomiest adequate bin — smallest slot
+    on ties, or [-1]. *)
+
+val first_fit_by : t -> need:int -> min_score:int -> int
+(** [first_fit_by t ~need ~min_score] is the smallest slot with
+    residual >= [need] {e and} score >= [min_score], or [-1]. *)
+
+val best_score_idx : t -> need:int -> int
+(** [best_score_idx t ~need] is the slot holding the maximum score among
+    slots with residual >= [need], smallest slot on ties, or [-1]. *)
+
+val fold_active : t -> init:'a -> f:('a -> int -> int -> int -> 'a) -> 'a
+(** [fold_active t ~init ~f] folds [f acc slot residual score] over
+    active slots in increasing slot order, without allocating. *)
+
+val active : t -> int list
+(** Active slots in increasing order (tests and traversals). *)

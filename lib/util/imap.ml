@@ -93,6 +93,11 @@ let find_opt t k =
   let i = probe t k in
   if t.keys.(i) = k then Some t.vals.(i) else None
 
+let find_default t k default =
+  check_key k "find_default";
+  let i = probe t k in
+  if t.keys.(i) = k then t.vals.(i) else default
+
 (* Close the hole at [i]: walk the cluster to its right, moving back any
    element whose home slot is not in (i, j] — i.e. whose probe path runs
    through [i]. An element sitting at its home slot never moves. *)

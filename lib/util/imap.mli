@@ -34,6 +34,10 @@ val find : t -> int -> int
 
 val find_opt : t -> int -> int option
 
+val find_default : t -> int -> int -> int
+(** [find_default t k d] is the binding of [k], or [d] when absent —
+    one probe, no option cell. *)
+
 val take : t -> int -> int
 (** Remove the binding and return its value in one probe sequence.
     Raises [Not_found] if absent. *)

@@ -101,6 +101,129 @@ let stream ?(config = default) ~seed () : Event_source.t =
   in
   with_ids 0 protos
 
+(* Chunked-emitter state for one sub-stream: its own split PRNG (so
+   draw timing is independent of the other sources), the next slot to
+   draw, and the (duration, size) protos still owed at [arrival]. *)
+type src_state = {
+  s_rng : Prng.t;
+  s_step : int;
+  s_lo : int;
+  s_hi : int;
+  mutable s_slot : int;
+  mutable s_arrival : int;  (** arrival of [s_buf]; [max_int] = exhausted *)
+  mutable s_buf : (int * Load.t) list;  (** (duration, size), draw order *)
+}
+
+(* Advance [s] past empty slots to its next non-empty batch (draws are
+   per slot: poisson, then duration + size per item — exactly
+   [class_protos]' order on this source's own PRNG). *)
+let rec src_refill config s =
+  if s.s_buf <> [] then ()
+  else if s.s_slot * s.s_step >= config.horizon then s.s_arrival <- max_int
+  else begin
+    let k = Prng.poisson s.s_rng ~lambda:config.rate in
+    let rec build i acc =
+      if i = k then List.rev acc
+      else begin
+        let duration = Prng.int_in_range s.s_rng ~lo:s.s_lo ~hi:s.s_hi in
+        let size = sample_size s.s_rng config in
+        build (i + 1) ((duration, size) :: acc)
+      end
+    in
+    s.s_arrival <- s.s_slot * s.s_step;
+    s.s_buf <- build 0 [];
+    s.s_slot <- s.s_slot + 1;
+    if s.s_buf = [] then src_refill config s
+  end
+
+let chunks ?(config = default) ~seed () =
+  validate config;
+  (* Same split order as [stream]: anchor PRNG first (drawn whether or
+     not the anchor is enabled), then one split per class — so the two
+     constructors describe the same instance family per seed. The lazy
+     merge is replaced by an O(sources) min-arrival scan per item;
+     lowest source index wins ties (anchor, then class 0 up), matching
+     [merge_by]'s left-wins fold, and ids are assigned in emission
+     order. *)
+  let master = Prng.create ~seed in
+  let anchor_rng = Prng.split master in
+  let class_src cls =
+    let step = Ints.pow2 cls in
+    let s =
+      {
+        s_rng = Prng.split master;
+        s_step = step;
+        s_lo = (step / 2) + 1;
+        s_hi = step;
+        s_slot = 0;
+        s_arrival = max_int;
+        s_buf = [];
+      }
+    in
+    src_refill config s;
+    s
+  in
+  let anchor_src () =
+    let hi = Ints.pow2 config.top_class in
+    let lo = (hi / 2) + 1 in
+    let duration = Prng.int_in_range anchor_rng ~lo ~hi in
+    let size = sample_size anchor_rng config in
+    {
+      s_rng = anchor_rng;
+      (* Exhaust on refill: the one anchor proto is pre-drawn. *)
+      s_step = config.horizon;
+      s_lo = lo;
+      s_hi = hi;
+      s_slot = 1;
+      s_arrival = 0;
+      s_buf = [ (duration, size) ];
+    }
+  in
+  (* Explicit recursion: each [class_src] splits [master], so the
+     classes must be built in ascending order ([List.init]'s
+     application order is unspecified). *)
+  let rec class_srcs cls acc =
+    if cls > config.top_class then List.rev acc
+    else class_srcs (cls + 1) (class_src cls :: acc)
+  in
+  let sources =
+    Array.of_list
+      ((if config.seed_anchor then [ anchor_src () ] else []) @ class_srcs 0 [])
+  in
+  let id = ref 0 in
+  Event_source.Chunk.make (fun block slots ->
+      let len = Array.length slots in
+      let n = ref 0 in
+      let running = ref true in
+      while !running && !n < len do
+        let best = ref (-1) in
+        let best_a = ref max_int in
+        for i = 0 to Array.length sources - 1 do
+          let a = sources.(i).s_arrival in
+          if a < !best_a then begin
+            best_a := a;
+            best := i
+          end
+        done;
+        if !best < 0 then running := false
+        else begin
+          let s = sources.(!best) in
+          match s.s_buf with
+          | [] -> assert false (* [s_arrival < max_int] implies a proto *)
+          | (duration, size) :: rest ->
+              let r =
+                Item.make ~id:!id ~arrival:s.s_arrival
+                  ~departure:(s.s_arrival + duration) ~size
+              in
+              slots.(!n) <- Item_block.alloc block r;
+              incr n;
+              incr id;
+              s.s_buf <- rest;
+              if rest = [] then src_refill config s
+        end
+      done;
+      !n)
+
 let generate ?(config = default) ~seed () =
   validate config;
   let rng = Prng.create ~seed in

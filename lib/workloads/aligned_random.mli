@@ -32,3 +32,10 @@ val stream : ?config:config -> seed:int -> unit -> Dbp_instance.Event_source.t
     aligned — but a {e different} instance family from {!generate} for
     the same seed, whose single shared PRNG cannot be replayed without
     materializing. *)
+
+val chunks : ?config:config -> seed:int -> unit -> Dbp_instance.Event_source.Chunk.t
+(** The same instance as {!stream} — item-for-item identical, same
+    split order and ids — as a native chunked emitter: the lazy merge
+    becomes an O(classes) min-arrival scan per item with per-source
+    proto buffers, no PRNG copies and no Seq allocation. Single-pass
+    (build a fresh emitter per run). *)

@@ -34,31 +34,32 @@ let validate config =
       if tier <= 0.0 || tier > 1.0 then invalid_arg "Cloud_traces: tier out of (0, 1]")
     config.tiers
 
-(* One tick's worth of arrivals, in draw order (= id order). *)
-let tick_items config rng ~t ~first_id =
-  (* Diurnal modulation: peak at 20:00, trough 12 hours away. *)
+(* Diurnal modulation: peak at 20:00, trough 12 hours away. *)
+let tick_rate config ~t =
   let phase = float_of_int (t mod 1440) /. 1440.0 in
   let wave = 0.5 *. (1.0 +. cos (2.0 *. Float.pi *. (phase -. (20.0 /. 24.0)))) in
-  let rate = config.base_rate *. (1.0 -. (config.diurnal_depth *. (1.0 -. wave))) in
-  let arrivals = Prng.poisson rng ~lambda:rate in
+  config.base_rate *. (1.0 -. (config.diurnal_depth *. (1.0 -. wave)))
+
+(* One item's draws, in order: log-normal duration, then tier choice. *)
+let draw_item config rng ~id ~arrival =
+  let d = Prng.log_normal rng ~mu:config.duration_mu ~sigma:config.duration_sigma in
+  let duration =
+    (* Int clamp without polymorphic min/max (a C call per draw). *)
+    let d = int_of_float d in
+    let d = if d > config.max_duration then config.max_duration else d in
+    if d < config.min_duration then config.min_duration else d
+  in
+  let size = Load.of_float (Prng.choice rng config.tiers) in
+  Item.make ~id ~arrival ~departure:(arrival + duration) ~size
+
+(* One tick's worth of arrivals, in draw order (= id order). *)
+let tick_items config rng ~t ~first_id =
+  let arrivals = Prng.poisson rng ~lambda:(tick_rate config ~t) in
   (* Explicit loop: the per-item draws must happen in id order
      ([List.init]'s application order is unspecified). *)
   let rec build k acc =
     if k = arrivals then List.rev acc
-    else begin
-      let d =
-        Prng.log_normal rng ~mu:config.duration_mu ~sigma:config.duration_sigma
-      in
-      let duration =
-        (* Int clamp without polymorphic min/max (a C call per draw). *)
-        let d = int_of_float d in
-        let d = if d > config.max_duration then config.max_duration else d in
-        if d < config.min_duration then config.min_duration else d
-      in
-      let size = Load.of_float (Prng.choice rng config.tiers) in
-      build (k + 1)
-        (Item.make ~id:(first_id + k) ~arrival:t ~departure:(t + duration) ~size :: acc)
-    end
+    else build (k + 1) (draw_item config rng ~id:(first_id + k) ~arrival:t :: acc)
   in
   build 0 []
 
@@ -78,6 +79,40 @@ let stream ?(config = default) ~seed () : Event_source.t =
            Some (items, (t + 1, id + List.length items, rng))
          end)
        (0, 0, Prng.create ~seed))
+
+let chunks ?(config = default) ~seed () =
+  validate config;
+  let horizon = config.days * 1440 in
+  (* Single-pass emitter: one PRNG advanced in exactly [tick_items]'
+     draw order (poisson per tick, then duration + tier per item), so
+     the item sequence is bit-identical to [stream ~seed] — but with no
+     per-tick PRNG copy, no per-tick list and no Seq nodes. [left]
+     counts the arrivals still owed by the current tick, letting a
+     chunk boundary fall mid-tick without disturbing the schedule. *)
+  let rng = Prng.create ~seed in
+  let t = ref 0 in
+  let id = ref 0 in
+  let left = ref 0 in
+  Event_source.Chunk.make (fun block slots ->
+      let len = Array.length slots in
+      let n = ref 0 in
+      let running = ref true in
+      while !running && !n < len do
+        if !left > 0 then begin
+          let r = draw_item config rng ~id:!id ~arrival:!t in
+          slots.(!n) <- Item_block.alloc block r;
+          incr n;
+          incr id;
+          decr left;
+          if !left = 0 then incr t
+        end
+        else if !t >= horizon then running := false
+        else begin
+          left := Prng.poisson rng ~lambda:(tick_rate config ~t:!t);
+          if !left = 0 then incr t
+        end
+      done;
+      !n)
 
 let generate ?(config = default) ~seed () =
   validate config;

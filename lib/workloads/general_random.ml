@@ -94,6 +94,48 @@ let stream ?(config = default) ~seed () : Event_source.t =
          end)
        ((if config.anchor_mu then -1 else 0), 0, Prng.create ~seed))
 
+let chunks ?(config = default) ~seed () =
+  validate config;
+  (* Single-pass emitter mirroring [stream]'s draw schedule without the
+     per-tick PRNG copies: tick -1 owes the two anchors (durations
+     pinned, only the size is drawn — exactly [anchor_items]), every
+     real tick owes a poisson batch with duration-then-size draws per
+     item. [left] carries the balance of the current tick across chunk
+     boundaries. *)
+  let rng = Prng.create ~seed in
+  let t = ref (if config.anchor_mu then -1 else 0) in
+  let id = ref 0 in
+  let left = ref 0 in
+  Event_source.Chunk.make (fun block slots ->
+      let len = Array.length slots in
+      let n = ref 0 in
+      let running = ref true in
+      while !running && !n < len do
+        if !left > 0 then begin
+          let r =
+            if !t < 0 then
+              (* Anchors at arrival 0: max-duration first, then 1. *)
+              let duration = if !left = 2 then config.max_duration else 1 in
+              make_item rng config ~id:!id ~arrival:0 ~duration
+            else
+              let duration = sample_duration rng config in
+              make_item rng config ~id:!id ~arrival:!t ~duration
+          in
+          slots.(!n) <- Item_block.alloc block r;
+          incr n;
+          incr id;
+          decr left;
+          if !left = 0 then incr t
+        end
+        else if !t >= config.horizon then running := false
+        else if !t < 0 then left := 2
+        else begin
+          left := Prng.poisson rng ~lambda:config.arrival_rate;
+          if !left = 0 then incr t
+        end
+      done;
+      !n)
+
 let generate ?(config = default) ~seed () =
   validate config;
   let rng = Prng.create ~seed in

@@ -35,3 +35,10 @@ val stream : ?config:config -> seed:int -> unit -> Dbp_instance.Event_source.t
 (** The same instance as {!generate} — identical PRNG schedule, items
     and ids — produced lazily in arrival order, in O(1) memory per
     tick. The source is persistent (it may be forced repeatedly). *)
+
+val chunks : ?config:config -> seed:int -> unit -> Dbp_instance.Event_source.Chunk.t
+(** The same instance as {!stream} — item-for-item identical — as a
+    native chunked emitter: one PRNG advanced straight through the
+    schedule (anchors included), no per-tick copies, no list or Seq
+    allocation per item. Single-pass (build a fresh emitter per
+    run). *)

@@ -169,14 +169,17 @@ if [ "$retained" -gt $((live + 8)) ]; then
 fi
 echo "stream: $items items, retained high-water $retained <= peak live $live"
 
-# Throughput gate: the pinned 1M-item FF trace must stream at >= 2.5x
-# the pre-overhaul rate (418k items/s when the representation overhaul
-# landed => floor 1045000). Best of 3 runs, so one unlucky scheduler
-# quantum can't fail the gate; typical is 1.1-1.3M items/s, so a pass
-# still has real margin. The first (retention-gate) run above counts as
+# Throughput gate: the pinned 1M-item FF trace must stream at >=
+# 1.6M items/s — the batched-pipeline floor (chunked emitters, 4-ary
+# fit index, calendar departure queue), up from the 1045000 floor the
+# representation overhaul set and the 418k items/s before that. Best
+# of 3 runs, so one unlucky scheduler quantum can't fail the gate;
+# single runs measure 1.5-2.3M items/s on this shared box (quiet runs
+# sit at 1.9-2.3M), so the floor keeps ~15% headroom under the worst
+# observed best-of-3. The first (retention-gate) run above counts as
 # run one.
 echo "stream: throughput floor on the pinned 1M-item FF trace (best of 3)"
-throughput_floor=1045000
+throughput_floor=1600000
 best=$(sed -n 's/^throughput=\([0-9][0-9]*\) .*/\1/p' "$tmpdir/stream.txt")
 if [ -z "$best" ]; then
   echo "FAIL: could not parse throughput= from stream output" >&2
@@ -194,6 +197,28 @@ if [ "$best" -lt "$throughput_floor" ]; then
   exit 1
 fi
 echo "stream: $best items/s >= $throughput_floor"
+
+# Best-Fit rides its own gate: BF pays a successor lookup per
+# placement (the Fit_tree sorted-key mode) instead of FF's pure
+# descent, so a regression there is invisible to the FF gate. ~100k
+# items keeps the three runs cheap; single runs measure 0.77-1.08M
+# items/s, so the 800k floor still sits ~2.5x above the pre-Fit_tree
+# BF (~0.3M) while tolerating a noisy box.
+echo "stream: BF throughput floor on the 100k-item cloud trace (best of 3)"
+bf_floor=800000
+bf_best=0
+for run in 1 2 3; do
+  if [ "$bf_best" -ge "$bf_floor" ]; then break; fi
+  dune exec bin/main.exe -- stream --workload cloud --days 6 --rate 20 \
+    --seed 1 --policy BF > "$tmpdir/bf$run.txt"
+  t=$(sed -n 's/^throughput=\([0-9][0-9]*\) .*/\1/p' "$tmpdir/bf$run.txt")
+  if [ -n "$t" ] && [ "$t" -gt "$bf_best" ]; then bf_best=$t; fi
+done
+if [ "$bf_best" -lt "$bf_floor" ]; then
+  echo "FAIL: best BF throughput $bf_best items/s below floor $bf_floor" >&2
+  exit 1
+fi
+echo "stream: BF $bf_best items/s >= $bf_floor"
 
 echo "stream: per-policy bit-identity vs Engine.run"
 for p in HA CDFF FF BF WF NF CD RT SpanGreedy; do

@@ -26,6 +26,21 @@ let test_wf_behaviour () =
   check_int "joins emptiest" (Bin_store.bin_of_item res.store 1)
     (Bin_store.bin_of_item res.store 2)
 
+(* The tie-break contract DESIGN.md pins: among equally-tight (BF) or
+   equally-roomy (WF) bins, the earliest-opened bin wins — the behavior
+   a naive left-to-right scan had, preserved by the Fit_tree rewiring. *)
+let test_bf_wf_tie_break () =
+  List.iter
+    (fun (name, factory) ->
+      let inst = instance [ (0, 9, 0.6); (0, 9, 0.6); (1, 5, 0.3) ] in
+      let res = Engine.run factory inst in
+      check_int "two bins open at the tie" 2 res.bins_opened;
+      check_int
+        (name ^ " tie joins the earliest-opened bin")
+        (Bin_store.bin_of_item res.store 0)
+        (Bin_store.bin_of_item res.store 2))
+    [ ("BF", Any_fit.best_fit); ("WF", Any_fit.worst_fit) ]
+
 let test_nf_behaviour () =
   let inst = instance [ (0, 9, 0.4); (0, 9, 0.7); (0, 9, 0.5) ] in
   let res = Engine.run Any_fit.next_fit inst in
@@ -146,6 +161,7 @@ let suite =
     case "first fit" test_ff_behaviour;
     case "best fit" test_bf_behaviour;
     case "worst fit" test_wf_behaviour;
+    case "bf/wf ties prefer earliest bin" test_bf_wf_tie_break;
     case "next fit" test_nf_behaviour;
     case "cd separates classes" test_cd_separates_classes;
     case "cd killer shape" test_cd_killer_shape;

@@ -1,0 +1,122 @@
+open Dbp_sim
+open Helpers
+
+(* The calendar queue must pop in exactly (departure, id) order — the
+   total order the engine's observables depend on. The reference here
+   is a naive list scanned for its minimum key, which is also what the
+   binary heap it replaced computed. *)
+
+let test_fifo_order () =
+  let q = Depart_queue.create () in
+  Depart_queue.add q ~dep:5 ~id:3 0;
+  Depart_queue.add q ~dep:5 ~id:1 1;
+  Depart_queue.add q ~dep:5 ~id:2 2;
+  Depart_queue.add q ~dep:4 ~id:9 3;
+  check_int "earlier tick first" 3 (Depart_queue.pop_due q ~upto:9);
+  (* Same tick: id order, not insertion order. *)
+  check_int "id 1" 1 (Depart_queue.pop_due q ~upto:9);
+  check_int "id 2" 2 (Depart_queue.pop_due q ~upto:9);
+  check_int "id 3" 0 (Depart_queue.pop_due q ~upto:9);
+  check_int "drained" (-1) (Depart_queue.pop_due q ~upto:max_int);
+  check_int "length" 0 (Depart_queue.length q)
+
+let test_upto_bound () =
+  let q = Depart_queue.create () in
+  Depart_queue.add q ~dep:10 ~id:0 0;
+  check_int "not due yet" (-1) (Depart_queue.pop_due q ~upto:9);
+  check_int "still pending" 1 (Depart_queue.length q);
+  check_int "due at its tick" 0 (Depart_queue.pop_due q ~upto:10)
+
+(* The regression that motivated the [cur .. hi] bracket: a far-future
+   departure arrives first (the cursor jumps to it), then a nearer one
+   — the cursor must come back down, and the pops stay ordered. *)
+let test_add_below_cursor () =
+  let q = Depart_queue.create () in
+  Depart_queue.add q ~dep:100 ~id:0 0;
+  check_int "far future not due" (-1) (Depart_queue.pop_due q ~upto:50);
+  Depart_queue.add q ~dep:60 ~id:1 1;
+  Depart_queue.add q ~dep:5 ~id:2 2;
+  check_int "nearest first" 2 (Depart_queue.pop_due q ~upto:200);
+  check_int "then middle" 1 (Depart_queue.pop_due q ~upto:200);
+  check_int "then far" 0 (Depart_queue.pop_due q ~upto:200)
+
+let test_growth () =
+  let q = Depart_queue.create ~capacity:16 () in
+  (* Ring growth: departures spanning far more ticks than the initial
+     ring; slot growth: slot numbers far past the initial tables. *)
+  for i = 0 to 99 do
+    Depart_queue.add q ~dep:(i * 977) ~id:i (i * 13)
+  done;
+  check_int "all pending" 100 (Depart_queue.length q);
+  for i = 0 to 99 do
+    check_int (Printf.sprintf "pop %d" i) (i * 13)
+      (Depart_queue.pop_due q ~upto:max_int)
+  done;
+  check_int "empty" (-1) (Depart_queue.pop_due q ~upto:max_int)
+
+(* Random engine-shaped schedule: nondecreasing arrivals, every arrival
+   drains due departures first (exactly the engine's discipline), ids
+   deliberately shuffled so same-tick buckets exercise the sorted
+   insert, not just the streaming tail-append. *)
+let prop_matches_naive =
+  qcase ~count:120 ~name:"pop order = (departure, id), engine discipline"
+    (fun steps ->
+      let n = List.length steps in
+      (* Unique shuffled ids: rank of (jitter, index). *)
+      let keyed =
+        List.mapi (fun i (_, _, jitter) -> (jitter, i)) steps |> List.sort compare
+      in
+      let ids = Array.make n 0 in
+      List.iteri (fun rank (_, i) -> ids.(i) <- rank) keyed;
+      let q = Depart_queue.create ~capacity:16 () in
+      let pending = ref [] in
+      let ok = ref true in
+      let naive_pop upto =
+        match
+          List.fold_left
+            (fun best (dep, id, slot) ->
+              if dep > upto then best
+              else
+                match best with
+                | Some (bd, bi, _) when (bd, bi) <= (dep, id) -> best
+                | _ -> Some (dep, id, slot))
+            None !pending
+        with
+        | None -> -1
+        | Some (dep, id, slot) ->
+            pending := List.filter (fun (d, i, _) -> (d, i) <> (dep, id)) !pending;
+            slot
+      in
+      let drain upto =
+        let continue = ref true in
+        while !continue do
+          let got = Depart_queue.pop_due q ~upto in
+          let want = naive_pop upto in
+          if got <> want then ok := false;
+          if got < 0 || want < 0 then continue := false
+        done
+      in
+      let clock = ref 0 in
+      List.iteri
+        (fun i (dt, dur, _) ->
+          let arrival = !clock + dt in
+          drain arrival;
+          clock := arrival;
+          let dep = arrival + 1 + dur in
+          Depart_queue.add q ~dep ~id:ids.(i) i;
+          pending := (dep, ids.(i), i) :: !pending)
+        steps;
+      drain max_int;
+      !ok && Depart_queue.length q = 0 && !pending = [])
+    QCheck2.Gen.(
+      list_size (int_range 1 120)
+        (triple (int_range 0 5) (int_range 0 40) (int_range 0 1_000_000)))
+
+let suite =
+  [
+    case "same-tick pops follow id order" test_fifo_order;
+    case "upto bounds the pop" test_upto_bound;
+    case "add below the cursor" test_add_below_cursor;
+    case "ring and slot growth" test_growth;
+    prop_matches_naive;
+  ]

@@ -167,6 +167,100 @@ let prop_stream_equals_run =
       stream_equals_run ~policy_name:pname factory src)
     QCheck2.Gen.(triple (int_range 1 10_000) (int_range 0 8) (int_range 0 2))
 
+(* ---- chunked emitters ---- *)
+
+(* Pull every item out of a chunked emitter through an [Item_block],
+   boxing each back into an [Item.t] — the reference decoding the
+   conformance checks compare against the Seq source. *)
+let drain_chunks ~chunk_size emitter =
+  let block = Item_block.create () in
+  let slots = Array.make chunk_size (-1) in
+  let acc = ref [] in
+  let rec loop () =
+    let n = Event_source.Chunk.next_chunk emitter block slots in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        let s = slots.(i) in
+        acc := Item_block.item block s :: !acc;
+        Item_block.free block s
+      done;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !acc
+
+(* The native chunked emitters, one per streaming workload, paired with
+   the Seq source they must reproduce item-for-item. Fresh emitter per
+   pull: native emitters are single-pass. *)
+let chunk_sources ~seed =
+  let cloud = { Cloud_traces.default with days = 1; base_rate = 0.5 }
+  and general = { General_random.default with horizon = 400; arrival_rate = 0.5 }
+  and aligned = { Aligned_random.default with horizon = 256; rate = 0.1 } in
+  [
+    ( "cloud",
+      (fun () -> Cloud_traces.chunks ~config:cloud ~seed ()),
+      Cloud_traces.stream ~config:cloud ~seed () );
+    ( "general",
+      (fun () -> General_random.chunks ~config:general ~seed ()),
+      General_random.stream ~config:general ~seed () );
+    ( "aligned",
+      (fun () -> Aligned_random.chunks ~config:aligned ~seed ()),
+      Aligned_random.stream ~config:aligned ~seed () );
+  ]
+
+let test_chunk_conformance () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (name, make_chunk, src) ->
+          let expect = List.of_seq src in
+          let total = List.length expect in
+          check_bool (name ^ ": non-trivial") true (total > 0);
+          (* Chunk sizes bracketing every boundary case: singleton
+             chunks, a size that straddles tick boundaries, the engine
+             default, and one larger than the whole stream. *)
+          List.iter
+            (fun chunk_size ->
+              let got = drain_chunks ~chunk_size (make_chunk ()) in
+              check_bool
+                (Printf.sprintf "%s seed=%d chunk=%d: native = seq" name seed
+                   chunk_size)
+                true (got = expect))
+            [ 1; 7; 256; total + 1 ];
+          let shimmed =
+            drain_chunks ~chunk_size:7 (Event_source.Chunk.of_seq src)
+          in
+          check_bool
+            (Printf.sprintf "%s seed=%d: of_seq shim = seq" name seed)
+            true (shimmed = expect))
+        (chunk_sources ~seed))
+    [ 1; 7 ]
+
+let test_run_chunks_equals_run () =
+  List.iter
+    (fun (name, make_chunk, src) ->
+      let inst = Event_source.to_instance src in
+      let r = Dbp_sim.Engine.run Dbp_baselines.Any_fit.best_fit inst in
+      List.iter
+        (fun chunk_size ->
+          let s =
+            Dbp_sim.Engine.Stream.run_chunks ~chunk_size
+              Dbp_baselines.Any_fit.best_fit (make_chunk ())
+          in
+          let ok =
+            s.result.cost = r.cost
+            && s.result.bins_opened = r.bins_opened
+            && s.result.max_open = r.max_open
+            && s.result.series = r.series
+            && s.items = Instance.length inst
+          in
+          check_bool
+            (Printf.sprintf "%s chunk=%d: run_chunks = run" name chunk_size)
+            true ok)
+        [ 1; 7; 256 ])
+    (chunk_sources ~seed:5)
+
 let test_decimated_series_brackets_exact () =
   let src =
     Cloud_traces.stream ~config:{ Cloud_traces.default with days = 1 } ~seed:9 ()
@@ -206,5 +300,7 @@ let suite =
     case "sources are persistent" test_stream_persistence;
     slow_case "stream = run, 9 policies x 3 workloads" test_stream_equals_run_all;
     prop_stream_equals_run;
+    case "chunked emitters = seq, all sizes" test_chunk_conformance;
+    case "run_chunks = run, all chunk sizes" test_run_chunks_equals_run;
     case "decimated series brackets exact" test_decimated_series_brackets_exact;
   ]

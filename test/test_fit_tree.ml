@@ -1,0 +1,208 @@
+open Dbp_sim
+open Helpers
+
+(* Differential tests of the tournament tree against a naive array
+   model, in both maintenance modes: the pruned-DFS default and the
+   successor (sorted-key) mode Best-Fit opts into — whose aggregates
+   are rebuilt lazily, so every query below also exercises the
+   dirty-flag path. *)
+
+(* ---- naive model: (residual, score) per slot, residual -1 = inactive ---- *)
+
+let naive_first m ~need =
+  let r = ref (-1) in
+  Array.iteri (fun i (res, _) -> if !r < 0 && res >= need then r := i) m;
+  !r
+
+let naive_best m ~need =
+  let best = ref (-1) and best_r = ref max_int in
+  Array.iteri
+    (fun i (res, _) -> if res >= need && res < !best_r then (best := i; best_r := res))
+    m;
+  !best
+
+let naive_worst m ~need =
+  let best = ref (-1) and best_r = ref (-1) in
+  Array.iteri
+    (fun i (res, _) -> if res >= 0 && res > !best_r then (best := i; best_r := res))
+    m;
+  if !best_r >= need then !best else -1
+
+let naive_best_score m ~need =
+  let best = ref (-1) and best_s = ref min_int in
+  Array.iteri
+    (fun i (res, s) -> if res >= need && s > !best_s then (best := i; best_s := s))
+    m;
+  !best
+
+let naive_first_by m ~need ~min_score =
+  let r = ref (-1) in
+  Array.iteri
+    (fun i (res, s) -> if !r < 0 && res >= need && s >= min_score then r := i)
+    m;
+  !r
+
+let both_modes f =
+  List.iter (fun successor -> f ~successor) [ false; true ]
+
+let mode_name successor name =
+  Printf.sprintf "%s (successor=%b)" name successor
+
+(* ---- deterministic behavior ---- *)
+
+let test_queries_basic () =
+  both_modes (fun ~successor ->
+      let n s = mode_name successor s in
+      let t = Fit_tree.create ~successor () in
+      List.iter
+        (fun (r, s) -> ignore (Fit_tree.push t ~residual:r ~score:s))
+        [ (10, 3); (50, 1); (30, 4); (50, 1) ];
+      check_int (n "first fit") 0 (Fit_tree.first_fit_idx t 5);
+      check_int (n "best fit = tightest") 2 (Fit_tree.best_fit_idx t 20);
+      check_int (n "worst fit = roomiest") 1 (Fit_tree.worst_fit_idx t 20);
+      check_int (n "worst fit too big") (-1) (Fit_tree.worst_fit_idx t 60);
+      check_int (n "best score") 2 (Fit_tree.best_score_idx t ~need:0);
+      check_int (n "best score under need") 1 (Fit_tree.best_score_idx t ~need:40);
+      check_int (n "first fit by score") 2
+        (Fit_tree.first_fit_by t ~need:20 ~min_score:4);
+      check_int (n "first fit by: none") (-1)
+        (Fit_tree.first_fit_by t ~need:20 ~min_score:5))
+
+(* Equal keys everywhere: every query must prefer the smallest slot —
+   the earliest-opened bin, the tie-break DESIGN.md pins for BF/WF. *)
+let test_tie_breaks () =
+  both_modes (fun ~successor ->
+      let n s = mode_name successor s in
+      let t = Fit_tree.create ~successor () in
+      for _ = 1 to 4 do
+        ignore (Fit_tree.push t ~residual:7 ~score:2)
+      done;
+      check_int (n "best-fit tie -> lowest slot") 0 (Fit_tree.best_fit_idx t 7);
+      check_int (n "worst-fit tie -> lowest slot") 0 (Fit_tree.worst_fit_idx t 3);
+      check_int (n "best-score tie -> lowest slot") 0
+        (Fit_tree.best_score_idx t ~need:0);
+      Fit_tree.deactivate t 0;
+      check_int (n "tie skips inactive") 1 (Fit_tree.best_fit_idx t 7);
+      check_int (n "worst tie skips inactive") 1 (Fit_tree.worst_fit_idx t 3))
+
+let test_all_inactive () =
+  both_modes (fun ~successor ->
+      let n s = mode_name successor s in
+      let t = Fit_tree.create ~successor ~initial_cap:4 () in
+      for i = 0 to 3 do
+        ignore (Fit_tree.push t ~residual:(10 * (i + 1)) ~score:i)
+      done;
+      for i = 0 to 3 do
+        Fit_tree.deactivate t i
+      done;
+      check_int (n "first fit empty") (-1) (Fit_tree.first_fit_idx t 0);
+      check_int (n "best fit empty") (-1) (Fit_tree.best_fit_idx t 0);
+      check_int (n "worst fit empty") (-1) (Fit_tree.worst_fit_idx t 0);
+      check_int (n "best score empty") (-1) (Fit_tree.best_score_idx t ~need:0);
+      (* Window full and wholly inactive: the next push slides instead
+         of growing, retiring the left half. *)
+      let slot = Fit_tree.push t ~residual:5 ~score:9 in
+      check_int (n "slot numbering continues") 4 slot;
+      check_bool (n "compaction happened") true (Fit_tree.compacted_below t >= 2);
+      check_int (n "only survivor answers") 4 (Fit_tree.best_fit_idx t 5);
+      check_int (n "worst agrees") 4 (Fit_tree.worst_fit_idx t 5);
+      check_int (n "score agrees") 4 (Fit_tree.best_score_idx t ~need:0))
+
+let test_compaction () =
+  both_modes (fun ~successor ->
+      let n s = mode_name successor s in
+      let t = Fit_tree.create ~successor ~initial_cap:4 () in
+      for i = 0 to 3 do
+        ignore (Fit_tree.push t ~residual:(10 + i) ~score:i)
+      done;
+      Fit_tree.deactivate t 0;
+      Fit_tree.deactivate t 1;
+      check_int (n "post-slide slot id") 4 (Fit_tree.push t ~residual:99 ~score:7);
+      check_int (n "compacted below") 2 (Fit_tree.compacted_below t);
+      check_int (n "survivor residual") 12 (Fit_tree.residual t 2);
+      check_int (n "best fit unchanged") 2 (Fit_tree.best_fit_idx t 11);
+      check_int (n "worst reaches new slot") 4 (Fit_tree.worst_fit_idx t 50);
+      Alcotest.(check (list int))
+        (n "active window") [ 2; 3; 4 ] (Fit_tree.active t);
+      check_raises_invalid (n "retired set") (fun () ->
+          Fit_tree.set t 0 ~residual:5 ~score:0);
+      check_raises_invalid (n "retired deactivate") (fun () ->
+          Fit_tree.deactivate t 1))
+
+(* ---- randomized differential ---- *)
+
+let prop_vs_naive ~successor ~initial_cap =
+  qcase ~count:80
+    ~name:
+      (Printf.sprintf "matches naive model (successor=%b, cap %d)" successor
+         initial_cap)
+    (fun ops ->
+      let t = Fit_tree.create ~successor ~initial_cap () in
+      let model = ref [||] in
+      let ok = ref true in
+      let agree name got want = if got <> want then begin
+        Printf.eprintf "fit_tree %s: got %d want %d\n" name got want;
+        ok := false
+      end in
+      List.iter
+        (fun (op, arg) ->
+          let m = !model in
+          let n = Array.length m in
+          let residual = arg mod 1000 in
+          let score = (arg mod 101) - 50 in
+          match op mod 8 with
+          | 0 | 1 ->
+              ignore (Fit_tree.push t ~residual ~score);
+              model := Array.append m [| (residual, score) |]
+          | 2 when n > 0 ->
+              let slot = arg mod n in
+              if slot < Fit_tree.compacted_below t then begin
+                (* Only inactive slots are retired; writes then raise. *)
+                if fst m.(slot) <> -1 then ok := false;
+                match Fit_tree.set t slot ~residual ~score with
+                | () -> ok := false
+                | exception Invalid_argument _ -> ()
+              end
+              else begin
+                Fit_tree.set t slot ~residual ~score;
+                m.(slot) <- (residual, score)
+              end
+          | 3 when n > 0 ->
+              let slot = arg mod n in
+              if slot < Fit_tree.compacted_below t then begin
+                if fst m.(slot) <> -1 then ok := false;
+                match Fit_tree.deactivate t slot with
+                | () -> ok := false
+                | exception Invalid_argument _ -> ()
+              end
+              else begin
+                Fit_tree.deactivate t slot;
+                m.(slot) <- (-1, min_int)
+              end
+          | 4 -> agree "first_fit" (Fit_tree.first_fit_idx t residual)
+                   (naive_first m ~need:residual)
+          | 5 -> agree "best_fit" (Fit_tree.best_fit_idx t residual)
+                   (naive_best m ~need:residual)
+          | 6 -> agree "worst_fit" (Fit_tree.worst_fit_idx t residual)
+                   (naive_worst m ~need:residual)
+          | _ ->
+              agree "best_score" (Fit_tree.best_score_idx t ~need:residual)
+                (naive_best_score m ~need:residual);
+              agree "first_fit_by"
+                (Fit_tree.first_fit_by t ~need:residual ~min_score:score)
+                (naive_first_by m ~need:residual ~min_score:score))
+        ops;
+      !ok)
+    QCheck2.Gen.(list_size (int_range 1 200) (pair (int_range 0 7) (int_range 0 10_000)))
+
+let suite =
+  [
+    case "queries" test_queries_basic;
+    case "ties prefer lowest slot" test_tie_breaks;
+    case "all-inactive window" test_all_inactive;
+    case "compaction" test_compaction;
+    prop_vs_naive ~successor:false ~initial_cap:1;
+    prop_vs_naive ~successor:false ~initial_cap:8;
+    prop_vs_naive ~successor:true ~initial_cap:1;
+    prop_vs_naive ~successor:true ~initial_cap:8;
+  ]
