@@ -22,15 +22,22 @@ let algorithm_of_name ~mu_hint name =
 
 let workload_names = [ "general"; "uniform"; "aligned"; "binary"; "pinning"; "cdkiller"; "cloud" ]
 
-let workload_of_name name ~mu ~seed =
+(* The deterministic constructions are scalar by design; only the
+   random generators know how to draw extra resource dimensions. *)
+let workload_of_name name ~resource ~mu ~seed =
+  let scalar_only = resource.Dbp_workloads.Resource_shape.dims = 1 in
   match String.lowercase_ascii name with
-  | "general" -> Some (Workload_defs.general ~mu ~seed)
-  | "uniform" -> Some (Workload_defs.general_uniform ~mu ~seed)
-  | "aligned" -> Some (Workload_defs.aligned ~mu ~seed)
-  | "binary" -> Some (Workload_defs.binary ~mu ~seed)
-  | "pinning" -> Some (Workload_defs.pinning ~mu ~seed)
-  | "cdkiller" -> Some (Workload_defs.cd_killer ~mu ~seed)
-  | "cloud" -> Some (Dbp_workloads.Cloud_traces.generate ~seed ())
+  | "general" -> Some (Workload_defs.general_vec ~resource ~mu ~seed)
+  | "uniform" -> Some (Workload_defs.general_uniform_vec ~resource ~mu ~seed)
+  | "aligned" -> Some (Workload_defs.aligned_vec ~resource ~mu ~seed)
+  | "binary" when scalar_only -> Some (Workload_defs.binary ~mu ~seed)
+  | "pinning" when scalar_only -> Some (Workload_defs.pinning ~mu ~seed)
+  | "cdkiller" when scalar_only -> Some (Workload_defs.cd_killer ~mu ~seed)
+  | "cloud" ->
+      Some
+        (Dbp_workloads.Cloud_traces.generate
+           ~config:{ Dbp_workloads.Cloud_traces.default with resource }
+           ~seed ())
   | _ -> None
 
 (* ---- common args ---- *)
@@ -125,6 +132,63 @@ let with_obs obs k =
 let mu_arg =
   Arg.(value & opt int 256 & info [ "mu" ] ~docv:"MU" ~doc:"Max/min duration ratio.")
 
+(* ---- vector (d-dimensional) loads ---- *)
+
+let dims_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "dims" ] ~docv:"D"
+        ~doc:
+          "Resource dimensions per item (>= 1). 1 (default) is the classic \
+           scalar engine; higher values generate and pack d-dimensional \
+           vector items (an item fits a bin only if it fits in every \
+           dimension).")
+
+let shape_conv =
+  let parse s =
+    match Dbp_workloads.Resource_shape.shape_of_string s with
+    | Some t -> Ok t
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid resource shape %S: expected independent, \
+                correlated[:RHO] or adversarial"
+               s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt t ->
+        Format.pp_print_string fmt (Dbp_workloads.Resource_shape.shape_to_string t) )
+
+let shape_arg =
+  Arg.(
+    value
+    & opt shape_conv Dbp_workloads.Resource_shape.Independent
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:
+          "With $(b,--dims) > 1, how extra dimensions relate to dimension 0: \
+           $(b,independent) (fresh uniform draws), $(b,correlated)[:RHO] \
+           (blend of dimension 0 and a fresh draw, default RHO 0.8), or \
+           $(b,adversarial) (mirror: 1 - size).")
+
+let dim_mu_arg =
+  Arg.(
+    value
+    & opt (list float) []
+    & info [ "dim-mu" ] ~docv:"MUS"
+        ~doc:
+          "Per-extra-dimension mean scale in (0, 1], comma-separated, one \
+           entry per extra dimension (default: all 1).")
+
+let resource_of ~dims ~shape ~dim_mu =
+  let spec =
+    { Dbp_workloads.Resource_shape.dims; shape; dim_mu = Array.of_list dim_mu }
+  in
+  match Dbp_workloads.Resource_shape.validate spec with
+  | () -> Ok spec
+  | exception Invalid_argument m -> Error m
+
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
 let workload_arg =
@@ -207,7 +271,10 @@ let run_cmd =
       & info [ "input"; "i" ] ~docv:"CSV"
           ~doc:"Pack an instance from a CSV file (id,arrival,departure,size) instead of a generated workload.")
   in
-  let run algorithm workload mu seed chart input obs =
+  let run algorithm workload mu seed dims shape dim_mu chart input obs =
+    match resource_of ~dims ~shape ~dim_mu with
+    | Error m -> fail "--dims/--shape/--dim-mu: %s" m
+    | Ok resource -> (
     let instance =
       match input with
       | Some path -> (
@@ -216,10 +283,14 @@ let run_cmd =
           | exception Failure msg ->
               prerr_endline msg;
               None)
-      | None -> workload_of_name workload ~mu ~seed
+      | None -> workload_of_name workload ~resource ~mu ~seed
     in
     match instance with
-    | None -> fail "no instance (unknown workload %S or unreadable input)" workload
+    | None ->
+        fail
+          "no instance (unknown workload %S, unreadable input, or --dims > 1 \
+           on a deterministic workload)"
+          workload
     | Some inst -> (
         match algorithm_of_name ~mu_hint:(float_of_int mu) algorithm with
         | None -> fail "unknown algorithm %S" algorithm
@@ -245,14 +316,14 @@ let run_cmd =
                   let res = Dbp_sim.Engine.run factory inst in
                   print_string (Dbp_report.Gantt.packing_chart inst res.store)
                 end);
-            `Ok ())
+            `Ok ()))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one algorithm on one workload instance.")
     Term.(
       ret
-        (const run $ algorithm $ workload_arg $ mu_arg $ seed_arg $ chart $ input
-       $ obs_term))
+        (const run $ algorithm $ workload_arg $ mu_arg $ seed_arg $ dims_arg
+       $ shape_arg $ dim_mu_arg $ chart $ input $ obs_term))
 
 (* ---- export ---- *)
 
@@ -351,11 +422,17 @@ let sweep_cmd =
     | _ -> (
         let algorithms = List.filter_map Result.to_option resolved in
         let workload_fn ~mu ~seed =
-          match workload_of_name workload ~mu ~seed with
+          match
+            workload_of_name workload ~resource:Dbp_workloads.Resource_shape.scalar
+              ~mu ~seed
+          with
           | Some inst -> inst
           | None -> invalid_arg ("unknown workload " ^ workload)
         in
-        match workload_of_name workload ~mu:4 ~seed:1 with
+        match
+          workload_of_name workload ~resource:Dbp_workloads.Resource_shape.scalar
+            ~mu:4 ~seed:1
+        with
         | None -> fail "unknown workload %S" workload
         | Some _ ->
             let curves =
@@ -471,14 +548,17 @@ let stream_cmd =
              the source boundary is crossed once per $(docv) items; results \
              are bit-identical for any value. Also read from $(env).")
   in
-  let run workload days rate seed policy max_series retain verify gc_spec chunk
-      obs =
+  let run workload days rate seed dims shape dim_mu policy max_series retain
+      verify gc_spec chunk obs =
     if days < 1 then fail "--days must be >= 1"
     else if rate <= 0.0 then fail "--rate must be positive"
     else if max_series < 0 || (max_series > 0 && max_series < 3) then
       fail "--max-series must be 0 (uncapped) or >= 3"
     else if chunk < 1 then fail "--chunk must be >= 1"
     else begin
+      match resource_of ~dims ~shape ~dim_mu with
+      | Error m -> fail "--dims/--shape/--dim-mu: %s" m
+      | Ok resource ->
       let open Dbp_workloads in
       (* The chunked emitter is the run path (single-pass, built fresh);
          the Seq source exists only so --verify can materialize the same
@@ -487,21 +567,30 @@ let stream_cmd =
       let sources, mu_hint =
         match String.lowercase_ascii workload with
         | "cloud" ->
-            let config = { Cloud_traces.default with days; base_rate = rate } in
+            let config =
+              { Cloud_traces.default with days; base_rate = rate; resource }
+            in
             ( Some
                 ( Cloud_traces.chunks ~config ~seed (),
                   fun () -> Cloud_traces.stream ~config ~seed () ),
               float_of_int config.max_duration /. float_of_int config.min_duration )
         | "general" ->
             let config =
-              { General_random.default with horizon = days * 1440; arrival_rate = rate }
+              {
+                General_random.default with
+                horizon = days * 1440;
+                arrival_rate = rate;
+                resource;
+              }
             in
             ( Some
                 ( General_random.chunks ~config ~seed (),
                   fun () -> General_random.stream ~config ~seed () ),
               float_of_int config.max_duration )
         | "aligned" ->
-            let config = { Aligned_random.default with horizon = days * 1440; rate } in
+            let config =
+              { Aligned_random.default with horizon = days * 1440; rate; resource }
+            in
             ( Some
                 ( Aligned_random.chunks ~config ~seed (),
                   fun () -> Aligned_random.stream ~config ~seed () ),
@@ -530,12 +619,13 @@ let stream_cmd =
                   let t0 = Unix.gettimeofday () in
                   let s =
                     Dbp_sim.Engine.Stream.run_chunks ~retire:(not retain)
-                      ?max_series ~chunk_size:chunk factory chunk_source
+                      ?max_series ~chunk_size:chunk ~dims factory chunk_source
                   in
                   let wall = Unix.gettimeofday () -. t0 in
-                  Printf.printf "stream: workload=%s days=%d rate=%g seed=%d policy=%s%s\n"
+                  Printf.printf
+                    "stream: workload=%s days=%d rate=%g seed=%d dims=%d policy=%s%s\n"
                     (String.lowercase_ascii workload)
-                    days rate seed s.result.name
+                    days rate seed dims s.result.name
                     (if retain then " (full retention)" else "");
                   Printf.printf
                     "items=%d cost=%d bins_opened=%d max_open=%d series_samples=%d\n"
@@ -583,8 +673,9 @@ let stream_cmd =
           hold.")
     Term.(
       ret
-        (const run $ workload $ days $ rate $ seed_arg $ policy $ max_series
-       $ retain $ verify $ gc_spec $ chunk $ obs_term))
+        (const run $ workload $ days $ rate $ seed_arg $ dims_arg $ shape_arg
+       $ dim_mu_arg $ policy $ max_series $ retain $ verify $ gc_spec $ chunk
+       $ obs_term))
 
 (* ---- adversary ---- *)
 

@@ -40,16 +40,41 @@ let policy store =
       Imap.set slot_of_bin bin slot;
       bin
     in
-    match Fit_tree.first_fit_by index ~need ~min_score:r.departure with
-    | slot when slot >= 0 ->
-        (* Extension 0: the horizon already covers the item. *)
-        insert_at slot ~horizon:(Fit_tree.score index slot)
-    | _ -> (
-        match Fit_tree.best_score_idx index ~need with
-        | slot when slot >= 0 && r.departure - Fit_tree.score index slot < Item.duration r
-          ->
-            insert_at slot ~horizon:r.departure
-        | _ -> open_fresh ())
+    if Bin_store.dims store = 1 then begin
+      match Fit_tree.first_fit_by index ~need ~min_score:r.departure with
+      | slot when slot >= 0 ->
+          (* Extension 0: the horizon already covers the item. *)
+          insert_at slot ~horizon:(Fit_tree.score index slot)
+      | _ -> (
+          match Fit_tree.best_score_idx index ~need with
+          | slot
+            when slot >= 0 && r.departure - Fit_tree.score index slot < Item.duration r
+            ->
+              insert_at slot ~horizon:r.departure
+          | _ -> open_fresh ())
+    end
+    else begin
+      (* Vector mode: one linear pass computes both descents' answers
+         over the bins that fit in {e every} dimension — the first
+         extension-0 slot (horizon >= departure) and the first
+         max-horizon slot. Same selection as the scalar branch, with
+         the all-dimension fit predicate. *)
+      let e0, bs, bsc =
+        Fit_tree.fold_active index ~init:(-1, -1, min_int)
+          ~f:(fun ((e0, bs, bsc) as acc) slot res score ->
+            if
+              e0 >= 0 || res < need
+              || not (Bin_store.fits_extra store (Vec.get bin_of_slot slot) r.extra)
+            then acc
+            else if score >= r.departure then (slot, bs, bsc)
+            else if score > bsc then (e0, slot, score)
+            else acc)
+      in
+      if e0 >= 0 then insert_at e0 ~horizon:(Fit_tree.score index e0)
+      else if bs >= 0 && r.departure - bsc < Item.duration r then
+        insert_at bs ~horizon:r.departure
+      else open_fresh ()
+    end
   in
   let on_departure ~now:_ _ ~bin ~closed =
     let slot = Imap.find slot_of_bin bin in

@@ -24,7 +24,7 @@ type report = {
 let families =
   [
     "general"; "uniform"; "aligned"; "binary"; "pinning"; "cdkiller"; "cloud";
-    "adversary"; "mutated";
+    "adversary"; "mutated"; "general2d"; "cloud2d"; "aligned3d";
   ]
 
 let mu_choices = [| 2; 4; 8; 16; 32; 64 |]
@@ -35,7 +35,7 @@ type case_desc = { index : int; cfamily : string; cmu : int; cseed : int }
    from-scratch OPT_R reference (cold branch-and-bound per segment), so
    a fuzz run's budget goes into breadth of cases, not depth of any
    one instance. *)
-let small_general ~dist ~mu ~seed =
+let small_general ?(resource = Resource_shape.scalar) ~dist ~mu ~seed () =
   General_random.generate
     ~config:
       {
@@ -44,36 +44,38 @@ let small_general ~dist ~mu ~seed =
         arrival_rate = 0.5;
         max_duration = mu;
         dist;
+        resource;
       }
     ~seed ()
 
-let small_aligned ~mu ~seed =
+let small_aligned ?(resource = Resource_shape.scalar) ~mu ~seed () =
   Aligned_random.generate
     ~config:
       {
         Aligned_random.default with
         top_class = Ints.ceil_log2 mu;
         horizon = 32;
+        resource;
       }
     ~seed ()
 
-let small_cloud ~seed =
+let small_cloud ?(resource = Resource_shape.scalar) ~seed () =
   Cloud_traces.generate
-    ~config:{ Cloud_traces.default with days = 1; base_rate = 0.02 }
+    ~config:{ Cloud_traces.default with days = 1; base_rate = 0.02; resource }
     ~seed ()
 
 let instance_of_case c =
   let mu = c.cmu and seed = c.cseed in
   match c.cfamily with
-  | "general" -> small_general ~dist:General_random.Dyadic_uniform ~mu ~seed
-  | "uniform" -> small_general ~dist:General_random.Uniform ~mu ~seed
-  | "aligned" -> small_aligned ~mu ~seed
+  | "general" -> small_general ~dist:General_random.Dyadic_uniform ~mu ~seed ()
+  | "uniform" -> small_general ~dist:General_random.Uniform ~mu ~seed ()
+  | "aligned" -> small_aligned ~mu ~seed ()
   | "binary" -> Binary_input.generate ~mu
   | "pinning" ->
       let k = min mu 4 in
       Pinning.generate ~groups:2 ~k ~mu ()
   | "cdkiller" -> Cd_killer.generate ~mu ()
-  | "cloud" -> small_cloud ~seed
+  | "cloud" -> small_cloud ~seed ()
   | "adversary" ->
       (* The adaptive adversary interrogates a live policy; replaying
          its released sequence against every policy is exactly the kind
@@ -83,11 +85,30 @@ let instance_of_case c =
       let prng = Prng.create ~seed in
       let base =
         match Prng.choice prng [| `General; `Aligned; `Binary |] with
-        | `General -> small_general ~dist:General_random.Dyadic_uniform ~mu ~seed
-        | `Aligned -> small_aligned ~mu ~seed
+        | `General ->
+            small_general ~dist:General_random.Dyadic_uniform ~mu ~seed ()
+        | `Aligned -> small_aligned ~mu ~seed ()
         | `Binary -> Binary_input.generate ~mu
       in
       Mutate.mutate prng ~ops:12 base
+  (* Vector families, one per resource shape: every policy runs the
+     vector engine paths under the per-dimension validator, and any
+     repro round-trips through the vector CSV columns. *)
+  | "general2d" ->
+      let resource =
+        { Resource_shape.dims = 2; shape = Correlated 0.8; dim_mu = [||] }
+      in
+      small_general ~resource ~dist:General_random.Dyadic_uniform ~mu ~seed ()
+  | "cloud2d" ->
+      let resource =
+        { Resource_shape.dims = 2; shape = Adversarial; dim_mu = [||] }
+      in
+      small_cloud ~resource ~seed ()
+  | "aligned3d" ->
+      let resource =
+        { Resource_shape.dims = 3; shape = Independent; dim_mu = [| 0.6; 0.3 |] }
+      in
+      small_aligned ~resource ~mu ~seed ()
   | f -> invalid_arg ("Fuzz: unknown family " ^ f)
 
 let policies ~mu_hint =
@@ -108,8 +129,13 @@ let run_case ?inject ~solver c =
   let mu_hint = if Instance.is_empty inst then 1.0 else Instance.mu inst in
   (* Lemma oracles are stateful (shadow tables); build fresh ones per
      evaluation so the shrinker's re-runs start clean. *)
+  (* The lemma oracles shadow the paper's scalar admission/fit rules;
+     on vector instances the policies legitimately deviate (a join the
+     scalar rule would take can violate an extra dimension), so they
+     only attach at dims = 1. The packing validator and naive diff
+     cover every dimensionality. *)
   let policy_oracles name =
-    if Instance.is_empty inst then []
+    if Instance.is_empty inst || Instance.dims inst > 1 then []
     else
       match name with
       | "HA" -> [ Oracles.ha ~mu:mu_hint ]

@@ -16,7 +16,7 @@ let event_key = function
   | Arrive r -> (r.Item.arrival, 1, r.Item.id)
 
 let run factory inst =
-  let store = Bin_store.create () in
+  let store = Bin_store.create ~dims:(Instance.dims inst) () in
   let policy = factory store in
   let events =
     Array.to_list (Instance.items inst)

@@ -11,8 +11,11 @@ let remade (r : Item.t) ~arrival ~departure ~size_units =
        && size_units = Load.to_units r.size)
   then None
   else
+    (* Extra dimensions ride along unchanged: shrinking must not change
+       the dimensionality of a vector repro. *)
     Some
-      (Item.make ~id:r.id ~arrival ~departure ~size:(Load.of_units size_units))
+      (Item.make_vec ~extra:r.extra ~id:r.id ~arrival ~departure
+         ~size:(Load.of_units size_units))
 
 (* ddmin over the item list: try dropping each of [n] chunks; on success
    restart at coarse granularity, otherwise refine. *)

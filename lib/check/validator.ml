@@ -47,7 +47,27 @@ let check_bin_load emit store ~now bin =
       (Violation.make ~oracle:"bin-load" ~time:now
          "bin %d store load %d units <> recomputed %d units" bin
          (Load.to_units (Bin_store.load store bin))
-         (Load.to_units sum))
+         (Load.to_units sum));
+  (* Vector stores: the same two invariants hold in every dimension. *)
+  if Bin_store.dims store > 1 then begin
+    let contents = Bin_store.contents store bin in
+    for k = 1 to Bin_store.dims store - 1 do
+      let sumk =
+        List.fold_left (fun acc (r : Item.t) -> acc + r.extra.(k - 1)) 0 contents
+      in
+      if sumk > Load.capacity then
+        emit
+          (Violation.make ~oracle:"bin-load" ~time:now
+             "bin %d holds %d units > capacity %d in dimension %d" bin sumk
+             Load.capacity k);
+      if sumk <> Bin_store.load_units_dim store bin k then
+        emit
+          (Violation.make ~oracle:"bin-load" ~time:now
+             "bin %d store load %d units <> recomputed %d units in dimension %d" bin
+             (Bin_store.load_units_dim store bin k)
+             sumk k)
+    done
+  end
 
 let check_arrival emit store ~now (r : Item.t) bin =
   if now <> r.arrival then

@@ -30,6 +30,12 @@ let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_thresh
   let gn = Fit_group.create ~rule ~label:"GN" () in
   let cd : (int, Fit_group.t) Hashtbl.t = Hashtbl.create 32 in
   let type_load = Imap.create ~capacity:32 () in
+  (* Vector stores: per-type accumulated load in dimensions 1..d-1; the
+     admission gauge is then the max over dimensions, so a type whose
+     load crosses the threshold in {e any} resource goes to CD bins.
+     Empty (and never touched) at d = 1. *)
+  let dims = Bin_store.dims store in
+  let type_extra : (int, int array) Hashtbl.t = Hashtbl.create 32 in
   let owner : (Bin_store.bin_id, Fit_group.t) Hashtbl.t = Hashtbl.create 64 in
   let classes = Hashtbl.create 8 in
   let update () =
@@ -58,6 +64,25 @@ let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_thresh
     Hashtbl.replace classes cls ();
     let total = Imap.find_default type_load ty 0 + Load.to_units r.size in
     Imap.set type_load ty total;
+    let gauge_total =
+      if dims = 1 then total
+      else begin
+        let ex =
+          match Hashtbl.find_opt type_extra ty with
+          | Some a -> a
+          | None ->
+              let a = Array.make (dims - 1) 0 in
+              Hashtbl.replace type_extra ty a;
+              a
+        in
+        let m = ref total in
+        for k = 0 to dims - 2 do
+          ex.(k) <- ex.(k) + r.extra.(k);
+          if ex.(k) > !m then m := ex.(k)
+        done;
+        !m
+      end
+    in
     let place_cd fresh =
       let grp = cd_group_of ty ~cls ~block in
       let bin =
@@ -71,7 +96,7 @@ let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_thresh
       match Hashtbl.find_opt cd ty with
       | Some grp when Fit_group.open_count grp > 0 -> place_cd false
       | _ ->
-          if total <= threshold_units threshold cls then begin
+          if gauge_total <= threshold_units threshold cls then begin
             let bin = Fit_group.place gn store ~now r in
             Hashtbl.replace owner bin gn;
             bin
@@ -86,6 +111,17 @@ let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_thresh
     let remaining = Imap.find_default type_load ty 0 - Load.to_units r.size in
     if remaining > 0 then Imap.set type_load ty remaining
     else Imap.remove type_load ty;
+    if dims > 1 then begin
+      match Hashtbl.find_opt type_extra ty with
+      | Some ex ->
+          let all0 = ref true in
+          for k = 0 to dims - 2 do
+            ex.(k) <- ex.(k) - r.extra.(k);
+            if ex.(k) <> 0 then all0 := false
+          done;
+          if !all0 && remaining <= 0 then Hashtbl.remove type_extra ty
+      | None -> ()
+    end;
     let grp =
       match Hashtbl.find_opt owner bin with
       | Some grp -> grp

@@ -2,7 +2,7 @@ open Dbp_workloads
 
 let horizon_for mu = max 64 (min (4 * mu) 2048)
 
-let general ~mu ~seed =
+let general_vec ~resource ~mu ~seed =
   General_random.generate
     ~config:
       {
@@ -10,10 +10,13 @@ let general ~mu ~seed =
         horizon = horizon_for mu;
         max_duration = mu;
         dist = Dyadic_uniform;
+        resource;
       }
     ~seed ()
 
-let general_uniform ~mu ~seed =
+let general ~mu ~seed = general_vec ~resource:Resource_shape.scalar ~mu ~seed
+
+let general_uniform_vec ~resource ~mu ~seed =
   General_random.generate
     ~config:
       {
@@ -21,18 +24,25 @@ let general_uniform ~mu ~seed =
         horizon = horizon_for mu;
         max_duration = mu;
         dist = Uniform;
+        resource;
       }
     ~seed ()
 
-let aligned ~mu ~seed =
+let general_uniform ~mu ~seed =
+  general_uniform_vec ~resource:Resource_shape.scalar ~mu ~seed
+
+let aligned_vec ~resource ~mu ~seed =
   Aligned_random.generate
     ~config:
       {
         Aligned_random.default with
         top_class = Dbp_util.Ints.ceil_log2 mu;
         horizon = horizon_for mu;
+        resource;
       }
     ~seed ()
+
+let aligned ~mu ~seed = aligned_vec ~resource:Resource_shape.scalar ~mu ~seed
 
 let binary ~mu ~seed:_ = Binary_input.generate ~mu
 

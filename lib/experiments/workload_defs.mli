@@ -2,6 +2,7 @@
     by [mu] and [seed] so sweeps are reproducible. *)
 
 open Dbp_instance
+open Dbp_workloads
 
 val general : mu:int -> seed:int -> Instance.t
 (** General random clairvoyant workload with dyadic-uniform durations,
@@ -13,6 +14,16 @@ val general_uniform : mu:int -> seed:int -> Instance.t
 val aligned : mu:int -> seed:int -> Instance.t
 (** Aligned random workload with top class [log2 mu]. [mu] must be a
     power of two. *)
+
+val general_vec : resource:Resource_shape.spec -> mu:int -> seed:int -> Instance.t
+val general_uniform_vec :
+  resource:Resource_shape.spec -> mu:int -> seed:int -> Instance.t
+
+val aligned_vec : resource:Resource_shape.spec -> mu:int -> seed:int -> Instance.t
+(** Vector variants of the three random workloads: same parameters plus
+    an explicit {!Dbp_workloads.Resource_shape.spec}. With
+    [Resource_shape.scalar] they are the classic builders, draw for
+    draw. *)
 
 val binary : mu:int -> seed:int -> Instance.t
 (** The deterministic binary input (seed ignored). *)

@@ -16,11 +16,21 @@ let of_items l =
       if Hashtbl.mem seen r.id then invalid_arg "Instance.of_items: duplicate item id";
       Hashtbl.add seen r.id ())
     items;
+  (* Mixed dimensionalities would make "fits" ill-defined mid-run. *)
+  if Array.length items > 0 then begin
+    let d = Item.dims items.(0) in
+    Array.iter
+      (fun r ->
+        if Item.dims r <> d then
+          invalid_arg "Instance.of_items: items of mixed dimensionality")
+      items
+  end;
   { items; by_id = None }
 
 let items t = t.items
 let length t = Array.length t.items
 let is_empty t = length t = 0
+let dims t = if is_empty t then 1 else Item.dims t.items.(0)
 
 (* Racing domains would each build an identical table and one write
    would win — wasteful but sound, since [items] is immutable. *)
@@ -98,7 +108,7 @@ let shift t offset =
   of_items
     (Array.to_list t.items
     |> List.map (fun (r : Item.t) ->
-           Item.make ~id:r.id ~arrival:(r.arrival + offset)
+           Item.make_vec ~extra:r.extra ~id:r.id ~arrival:(r.arrival + offset)
              ~departure:(r.departure + offset) ~size:r.size))
 
 let pp ppf t =

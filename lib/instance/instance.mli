@@ -6,7 +6,12 @@ type t
 
 val of_items : Item.t list -> t
 (** Sorts by [(arrival, id)]. Raises [Invalid_argument] on duplicate
-    ids. The empty instance is allowed. *)
+    ids or on items of mixed dimensionality. The empty instance is
+    allowed. *)
+
+val dims : t -> int
+(** Resource dimensionality shared by every item (enforced by
+    {!of_items}); 1 for the empty instance. *)
 
 val items : t -> Item.t array
 (** The items in processing order. Do not mutate. *)

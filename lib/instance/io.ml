@@ -2,13 +2,38 @@ open Dbp_util
 
 let header = "id,arrival,departure,size"
 
+(* Vector instances carry one extra column per extra dimension:
+   "id,arrival,departure,size,size2,...,sized". Scalar instances keep
+   the historical 4-column form byte for byte. *)
+let header_for dims =
+  if dims <= 1 then header
+  else begin
+    let b = Buffer.create 48 in
+    Buffer.add_string b header;
+    for k = 2 to dims do
+      Buffer.add_string b (Printf.sprintf ",size%d" k)
+    done;
+    Buffer.contents b
+  end
+
+let row (r : Item.t) =
+  let b = Buffer.create 48 in
+  Buffer.add_string b
+    (Printf.sprintf "%d,%d,%d,%.9f" r.id r.arrival r.departure
+       (Load.to_float r.size));
+  Array.iter
+    (fun u ->
+      Buffer.add_string b (Printf.sprintf ",%.9f" (Load.to_float (Load.of_units u))))
+    r.extra;
+  Buffer.contents b
+
 let to_channel oc inst =
-  output_string oc header;
+  output_string oc (header_for (Instance.dims inst));
   output_char oc '\n';
   Array.iter
-    (fun (r : Item.t) ->
-      Printf.fprintf oc "%d,%d,%d,%.9f\n" r.id r.arrival r.departure
-        (Load.to_float r.size))
+    (fun r ->
+      output_string oc (row r);
+      output_char oc '\n')
     (Instance.items inst)
 
 let to_file ~path inst =
@@ -17,13 +42,12 @@ let to_file ~path inst =
 
 let to_string inst =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf header;
+  Buffer.add_string buf (header_for (Instance.dims inst));
   Buffer.add_char buf '\n';
   Array.iter
-    (fun (r : Item.t) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%d,%d,%d,%.9f\n" r.id r.arrival r.departure
-           (Load.to_float r.size)))
+    (fun r ->
+      Buffer.add_string buf (row r);
+      Buffer.add_char buf '\n')
     (Instance.items inst);
   Buffer.contents buf
 
@@ -32,11 +56,13 @@ let to_string inst =
    catch them too, but without line numbers). Size and duration are
    validated here as well: Load.of_float clamps silently, and a clamped
    size of 0 or a non-positive duration is always an input mistake, not
-   something to pack. *)
+   something to pack. Fields beyond the fourth are sizes in resource
+   dimensions 2..d (which may be 0 — only dimension 0 must carry
+   load). *)
 let parse_line ~seen ~lineno line =
   let error fmt = Printf.ksprintf (fun m -> failwith (Printf.sprintf "line %d: %s" lineno m)) fmt in
   match String.split_on_char ',' line with
-  | [ id; arrival; departure; size ] -> (
+  | id :: arrival :: departure :: size :: extras -> (
       let int_field what s =
         match int_of_string (String.trim s) with
         | n -> n
@@ -48,30 +74,50 @@ let parse_line ~seen ~lineno line =
       | None -> Hashtbl.replace seen id lineno);
       let arrival = int_field "arrival" arrival in
       let departure = int_field "departure" departure in
-      let size_f =
-        match float_of_string (String.trim size) with
+      let float_field what s =
+        match float_of_string (String.trim s) with
         | f -> f
-        | exception Failure _ -> error "malformed size %S" (String.trim size)
+        | exception Failure _ -> error "malformed %s %S" what (String.trim s)
       in
+      let size_f = float_field "size" size in
       if departure <= arrival then
         error "item %d has non-positive duration (arrival %d, departure %d)" id
           arrival departure;
       if size_f <= 0.0 then error "item %d has non-positive size %g" id size_f;
       if size_f > 1.0 then error "item %d has size %g > 1 (a full bin)" id size_f;
-      try Item.make ~id ~arrival ~departure ~size:(Load.of_float size_f)
+      let extra =
+        match extras with
+        | [] -> Item.no_extra
+        | _ ->
+            extras
+            |> List.mapi (fun k s ->
+                   let f = float_field (Printf.sprintf "size%d" (k + 2)) s in
+                   if f < 0.0 then
+                     error "item %d has negative size %g in dimension %d" id f (k + 1);
+                   if f > 1.0 then
+                     error "item %d has size %g > 1 (a full bin) in dimension %d" id f
+                       (k + 1);
+                   Load.to_units (Load.of_float f))
+            |> Array.of_list
+      in
+      try Item.make_vec ~extra ~id ~arrival ~departure ~size:(Load.of_float size_f)
       with Invalid_argument msg -> error "%s" msg)
-  | _ -> failwith (Printf.sprintf "line %d: expected 4 comma-separated fields" lineno)
+  | _ -> failwith (Printf.sprintf "line %d: expected at least 4 comma-separated fields" lineno)
 
 (* A header is recognized after dropping spaces/tabs and lowercasing, so
    "Id, Arrival, Departure, Size" (and CRLF variants — [String.trim]
-   eats the '\r') is skipped, not parsed as a malformed item. *)
+   eats the '\r') is skipped, not parsed as a malformed item. Vector
+   headers extend the scalar one with ",size2..." columns, so a prefix
+   match covers every dimensionality (data lines start with a digit,
+   never "id"). *)
 let is_header line =
   let b = Buffer.create (String.length line) in
   String.iter
     (fun c ->
       match c with ' ' | '\t' -> () | c -> Buffer.add_char b (Char.lowercase_ascii c))
     line;
-  Buffer.contents b = header
+  let s = Buffer.contents b in
+  String.length s >= String.length header && String.sub s 0 (String.length header) = header
 
 let consume_line ~seen ~lineno items line =
   let line = String.trim line in

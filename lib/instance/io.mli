@@ -2,10 +2,15 @@
     instances can be archived with experiment results.
 
     Format: one item per line, [id,arrival,departure,size], where [size]
-    is a decimal fraction of a bin in [0, 1]. Lines starting with ['#']
-    and blank lines are ignored. A header line [id,arrival,...] is
-    tolerated on input (matched case- and whitespace-insensitively, CRLF
-    included) and written on output. *)
+    is a decimal fraction of a bin in [0, 1]. Vector (d-dimensional)
+    items append one column per extra dimension —
+    [id,arrival,departure,size,size2,...,sized] — each again a fraction
+    in [0, 1] (extra dimensions may be 0; only dimension 0 must carry
+    load). Lines starting with ['#'] and blank lines are ignored. A
+    header line [id,arrival,...] is tolerated on input (matched case-
+    and whitespace-insensitively, CRLF included; vector headers match
+    by prefix) and written on output. All items of one file must share
+    a dimensionality ({!Instance.of_items} enforces this). *)
 
 val to_channel : out_channel -> Instance.t -> unit
 val to_file : path:string -> Instance.t -> unit

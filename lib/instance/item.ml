@@ -1,12 +1,33 @@
 open Dbp_util
 
-type t = { id : int; arrival : int; departure : int; size : Load.t }
+type t = {
+  id : int;
+  arrival : int;
+  departure : int;
+  size : Load.t;
+  extra : int array;
+}
 
-let make ~id ~arrival ~departure ~size =
+let no_extra : int array = [||]
+
+let make_vec ~extra ~id ~arrival ~departure ~size =
   if arrival < 0 then invalid_arg "Item.make: negative arrival";
   if departure <= arrival then invalid_arg "Item.make: departure <= arrival";
   if Load.to_units size > Load.capacity then invalid_arg "Item.make: size > 1 bin";
-  { id; arrival; departure; size }
+  Array.iter
+    (fun u ->
+      if u < 0 || u > Load.capacity then
+        invalid_arg "Item.make: extra dimension out of [0, capacity]")
+    extra;
+  { id; arrival; departure; size; extra }
+
+let make ~id ~arrival ~departure ~size =
+  make_vec ~extra:no_extra ~id ~arrival ~departure ~size
+
+let dims r = 1 + Array.length r.extra
+
+let size_units r k =
+  if k = 0 then Load.to_units r.size else r.extra.(k - 1)
 
 let duration r = r.departure - r.arrival
 let is_active r ~at = r.arrival <= at && at < r.departure
@@ -20,4 +41,5 @@ let compare a b =
   match Int.compare a.arrival b.arrival with 0 -> Int.compare a.id b.id | c -> c
 
 let pp ppf r =
-  Format.fprintf ppf "#%d[%d,%d)x%a" r.id r.arrival r.departure Load.pp r.size
+  Format.fprintf ppf "#%d[%d,%d)x%a" r.id r.arrival r.departure Load.pp r.size;
+  Array.iter (fun u -> Format.fprintf ppf "x%a" Load.pp (Load.of_units u)) r.extra

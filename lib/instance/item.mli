@@ -8,10 +8,39 @@
 
 open Dbp_util
 
-type t = private { id : int; arrival : int; departure : int; size : Load.t }
+type t = private {
+  id : int;
+  arrival : int;
+  departure : int;
+  size : Load.t;
+  extra : int array;
+      (** Sizes in resource dimensions 1..d-1, in {!Load.capacity}
+          units; [[||]] for scalar (d = 1) items, so the classic path
+          allocates nothing. Dimension 0 is [size]. Treat as
+          immutable. *)
+}
+
+val no_extra : int array
+(** The shared empty extras array every scalar item carries. *)
 
 val make : id:int -> arrival:int -> departure:int -> size:Load.t -> t
-(** Requires [0 <= arrival < departure] and [size <= Load.one]. *)
+(** Requires [0 <= arrival < departure] and [size <= Load.one]. The
+    item is 1-dimensional ([extra = no_extra]). *)
+
+val make_vec :
+  extra:int array -> id:int -> arrival:int -> departure:int -> size:Load.t -> t
+(** {!make} for d-dimensional items: [size] is dimension 0, [extra]
+    holds dimensions 1..d-1 in units, each in [[0, Load.capacity]].
+    [extra] is {e not} copied — the caller hands over ownership. Pass
+    {!no_extra} (or call {!make}) for scalar items so they share the
+    one empty array. *)
+
+val dims : t -> int
+(** [1 + Array.length extra]. *)
+
+val size_units : t -> int -> int
+(** Size in dimension [k] (0-based), in units. [size_units r 0] is
+    [Load.to_units r.size]. *)
 
 val duration : t -> int
 (** [departure - arrival], always >= 1. *)

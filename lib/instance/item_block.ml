@@ -24,6 +24,10 @@ type t = {
   mutable arrivals : int array;
   mutable departures : int array;
   mutable sizes : int array;  (** size in Load units; -1 marks a free slot *)
+  mutable extras : int array array;
+      (** per-dimension size columns for dimensions 1..d-1, parallel to
+          [sizes]; [[||]] until the first multi-dimensional item is
+          allocated, so scalar runs never touch (or pay for) them *)
   mutable boxed : Item.t array;
   mutable cap : int;
   mutable free_head : int;  (** head of the free list, -1 = none *)
@@ -40,6 +44,7 @@ let create ?(capacity = 64) () =
     arrivals = Array.make cap 0;
     departures = Array.make cap 0;
     sizes = Array.make cap (-1);
+    extras = [||];
     boxed = Array.make cap dummy;
     cap;
     free_head = -1;
@@ -61,8 +66,20 @@ let grow t =
   t.arrivals <- extend t.arrivals 0;
   t.departures <- extend t.departures 0;
   t.sizes <- extend t.sizes (-1);
+  t.extras <- Array.map (fun col -> extend col 0) t.extras;
   t.boxed <- extend t.boxed dummy;
   t.cap <- cap'
+
+(* Lazily bring the extras columns up to [d - 1]; only multi-dimensional
+   allocations reach this. *)
+let ensure_extras t d =
+  let have = Array.length t.extras in
+  if d - 1 > have then begin
+    let cols = Array.init (d - 1) (fun k ->
+        if k < have then t.extras.(k) else Array.make t.cap 0)
+    in
+    t.extras <- cols
+  end
 
 let alloc t (r : Item.t) =
   let slot =
@@ -82,6 +99,13 @@ let alloc t (r : Item.t) =
   t.arrivals.(slot) <- r.arrival;
   t.departures.(slot) <- r.departure;
   t.sizes.(slot) <- Load.to_units r.size;
+  let d = Item.dims r in
+  if d > 1 then begin
+    ensure_extras t d;
+    for k = 0 to d - 2 do
+      t.extras.(k).(slot) <- r.extra.(k)
+    done
+  end;
   t.boxed.(slot) <- r;
   t.live <- t.live + 1;
   slot
@@ -102,6 +126,13 @@ let id t slot = check t slot "id"; t.ids.(slot)
 let arrival t slot = check t slot "arrival"; t.arrivals.(slot)
 let departure t slot = check t slot "departure"; t.departures.(slot)
 let size_units t slot = check t slot "size_units"; t.sizes.(slot)
+
+let extra_units t slot k =
+  check t slot "extra_units";
+  if k < 0 || k >= Array.length t.extras then
+    invalid_arg "Item_block.extra_units: dimension out of range";
+  t.extras.(k).(slot)
+
 let item t slot = check t slot "item"; t.boxed.(slot)
 
 module Heap = struct

@@ -40,7 +40,16 @@ val arrival : t -> int -> int
 val departure : t -> int -> int
 
 val size_units : t -> int -> int
-(** Size in load units (the [Load.to_units] of the item's size). *)
+(** Size in load units (the [Load.to_units] of the item's size) —
+    dimension 0 of a vector item. *)
+
+val extra_units : t -> int -> int -> int
+(** [extra_units t slot k] is the slot's size in resource dimension
+    [k + 1], in load units. The per-dimension columns exist lazily:
+    they are created the first time a multi-dimensional item is
+    allocated, so the dimension range reflects the widest item seen so
+    far ([Invalid_argument] beyond it — in particular for any [k] on a
+    purely scalar arena). *)
 
 val item : t -> int -> Item.t
 (** The boxed item the slot was allocated from (no allocation). *)

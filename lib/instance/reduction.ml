@@ -8,5 +8,5 @@ let apply inst =
   Instance.of_items
     (Array.to_list (Instance.items inst)
     |> List.map (fun (r : Item.t) ->
-           Item.make ~id:r.id ~arrival:r.arrival ~departure:(reduced_departure r)
-             ~size:r.size))
+           Item.make_vec ~extra:r.extra ~id:r.id ~arrival:r.arrival
+             ~departure:(reduced_departure r) ~size:r.size))

@@ -36,7 +36,16 @@ let freed_mark = -2
 type t = {
   retire : bool;
   track : bool;  (** maintain [current] (item id -> packed bin, units) *)
+  dims : int;  (** resource dimensions per bin; 1 = the scalar engine *)
   mutable b_load : int array;  (** load in units *)
+  mutable b_extra : int array array;
+      (** per-dimension load columns for dimensions 1..dims-1, parallel
+          to [b_load]; [[||]] when [dims = 1], so the scalar path never
+          touches them *)
+  extra_current : (int, int array) Hashtbl.t;
+      (** tracking stores with [dims > 1]: live item id -> extra units
+          (the item's own array, never mutated) — what lets the id-only
+          {!remove} give every dimension back *)
   mutable b_opened : int array;
   mutable b_closed : int array;  (** closing tick, or open/freed mark *)
   mutable b_count : int array;  (** items currently in the bin *)
@@ -75,13 +84,17 @@ let m_lifetime = Metrics.histogram ~buckets:lifetime_buckets "bin_store.lifetime
 
 let initial_cap = 16
 
-let create ?(retire = false) ?(track_items = true) () =
+let create ?(retire = false) ?(track_items = true) ?(dims = 1) () =
   if (not track_items) && not retire then
     invalid_arg "Bin_store.create: track_items:false requires retire mode";
+  if dims < 1 then invalid_arg "Bin_store.create: dims < 1";
   {
     retire;
     track = track_items;
+    dims;
     b_load = Array.make initial_cap 0;
+    b_extra = Array.init (dims - 1) (fun _ -> Array.make initial_cap 0);
+    extra_current = Hashtbl.create (if dims > 1 then 64 else 1);
     b_opened = Array.make initial_cap 0;
     b_closed = Array.make initial_cap freed_mark;
     b_count = Array.make initial_cap 0;
@@ -111,6 +124,7 @@ let create ?(retire = false) ?(track_items = true) () =
   }
 
 let retire_mode t = t.retire
+let dims t = t.dims
 
 (* Existence check shared by the public per-bin accessors. A freed slot
    (retire mode) raises exactly like the dropped record used to. *)
@@ -127,6 +141,7 @@ let grow t =
     a'
   in
   t.b_load <- extend t.b_load 0;
+  t.b_extra <- Array.map (fun col -> extend col 0) t.b_extra;
   t.b_opened <- extend t.b_opened 0;
   t.b_closed <- extend t.b_closed freed_mark;
   t.b_count <- extend t.b_count 0;
@@ -153,6 +168,9 @@ let open_bin t ~now ~label =
   in
   if id >= max_slot then invalid_arg "Bin_store.open_bin: too many concurrent bins";
   t.b_load.(id) <- 0;
+  for k = 0 to t.dims - 2 do
+    t.b_extra.(k).(id) <- 0
+  done;
   t.b_opened.(id) <- now;
   t.b_closed.(id) <- open_mark;
   t.b_count.(id) <- 0;
@@ -185,9 +203,15 @@ let unlink_live t id =
 let insert_residual t id (r : Item.t) =
   check_bin t id;
   if t.b_closed.(id) <> open_mark then invalid_arg "Bin_store.insert: bin is closed";
+  if Item.dims r <> t.dims then
+    invalid_arg "Bin_store.insert: item/store dimensionality mismatch";
   let u = Load.to_units r.size in
   let load = t.b_load.(id) in
   if load + u > Load.capacity then invalid_arg "Bin_store.insert: does not fit";
+  for k = 0 to t.dims - 2 do
+    if t.b_extra.(k).(id) + r.extra.(k) > Load.capacity then
+      invalid_arg "Bin_store.insert: does not fit"
+  done;
   if t.track then begin
     if not (Imap.add_new t.current r.id ((id lsl size_bits) lor u)) then
       invalid_arg "Bin_store.insert: item already packed";
@@ -197,9 +221,13 @@ let insert_residual t id (r : Item.t) =
       Metrics.set_max m_live_items live
     end
   end;
+  if t.track && t.dims > 1 then Hashtbl.replace t.extra_current r.id r.extra;
   t.last_item <- r.id;
   t.last_bin <- id;
   t.b_load.(id) <- load + u;
+  for k = 0 to t.dims - 2 do
+    t.b_extra.(k).(id) <- t.b_extra.(k).(id) + r.extra.(k)
+  done;
   t.b_count.(id) <- t.b_count.(id) + 1;
   if not t.retire then begin
     t.b_items.(id) <- r :: t.b_items.(id);
@@ -228,8 +256,11 @@ let observe_lifetime t life =
    it emptied. The packing record is the caller's business: [remove]
    resolves it through [current], [remove_at] is handed it by a caller
    that tracked the placement itself. *)
-let release t ~now ~item_id id u =
+let release t ~now ~item_id ~extra id u =
   t.b_load.(id) <- t.b_load.(id) - u;
+  for k = 0 to t.dims - 2 do
+    t.b_extra.(k).(id) <- t.b_extra.(k).(id) - extra.(k)
+  done;
   let count = t.b_count.(id) - 1 in
   t.b_count.(id) <- count;
   if not t.retire then t.b_items.(id) <- remove_item item_id [] t.b_items.(id);
@@ -257,29 +288,65 @@ let release t ~now ~item_id id u =
   end;
   closed
 
+(* Resolve a tracked item's extra dimensions (only a [dims > 1] store
+   has entries; the shared empty array serves everyone else). *)
+let take_extra t item_id =
+  if t.dims = 1 then Item.no_extra
+  else begin
+    match Hashtbl.find_opt t.extra_current item_id with
+    | Some e ->
+        Hashtbl.remove t.extra_current item_id;
+        e
+    | None -> raise Not_found
+  end
+
 let remove_packed t ~now ~item_id =
   let packed = Imap.take t.current item_id in
   (* raises Not_found *)
   let id = packed lsr size_bits in
   let u = packed land size_mask in
-  let closed = release t ~now ~item_id id u in
+  let extra = take_extra t item_id in
+  let closed = release t ~now ~item_id ~extra id u in
   (id lsl 1) lor Bool.to_int closed
 
 let remove t ~now ~item_id =
   let p = remove_packed t ~now ~item_id in
   (p lsr 1, p land 1 = 1)
 
-let remove_at t ~now ~item_id ~bin ~units =
+let remove_at ?(extra = Item.no_extra) t ~now ~item_id ~bin ~units =
+  if Array.length extra <> t.dims - 1 then
+    invalid_arg "Bin_store.remove_at: extra/store dimensionality mismatch";
   if t.track then begin
     let packed = Imap.take t.current item_id in
     if packed <> (bin lsl size_bits) lor units then
-      invalid_arg "Bin_store.remove_at: bin/units disagree with the packing record"
+      invalid_arg "Bin_store.remove_at: bin/units disagree with the packing record";
+    if t.dims > 1 then Hashtbl.remove t.extra_current item_id
   end;
-  release t ~now ~item_id bin units
+  release t ~now ~item_id ~extra bin units
 
 let load t id = check_bin t id; Load.of_units t.b_load.(id)
 let residual t id = check_bin t id; Load.of_units (Load.capacity - t.b_load.(id))
 let residual_units t id = check_bin t id; Load.capacity - t.b_load.(id)
+
+let check_dim t k op =
+  if k < 0 || k >= t.dims then invalid_arg ("Bin_store." ^ op ^ ": bad dimension")
+
+let load_units_dim t id k =
+  check_bin t id;
+  check_dim t k "load_units_dim";
+  if k = 0 then t.b_load.(id) else t.b_extra.(k - 1).(id)
+
+let residual_units_dim t id k = Load.capacity - load_units_dim t id k
+
+(* The vector fit predicate the placement scan uses: dimension 0 is
+   pre-filtered by the caller's index, so only dimensions 1.. are
+   checked here. *)
+let fits_extra t id (extra : int array) =
+  let ok = ref true in
+  for k = 0 to t.dims - 2 do
+    if t.b_extra.(k).(id) + extra.(k) > Load.capacity then ok := false
+  done;
+  !ok
 let is_open t id = check_bin t id; t.b_closed.(id) = open_mark
 let label t id = check_bin t id; t.b_label.(id)
 let relabel t id label = check_bin t id; t.b_label.(id) <- label

@@ -13,10 +13,16 @@ open Dbp_instance
 type bin_id = int
 type t
 
-val create : ?retire:bool -> ?track_items:bool -> unit -> t
+val create : ?retire:bool -> ?track_items:bool -> ?dims:int -> unit -> t
 (** With [~retire:false] (the default) every bin ever opened is
     retained, with the permanent placement logs — full-fidelity state
     for reports, figures and the validators.
+
+    [dims] (default 1) is the store's resource dimensionality: every
+    bin keeps one load column per dimension and {!insert} enforces
+    capacity in all of them. Items must match ([Item.dims r = dims],
+    [Invalid_argument] otherwise). The scalar store ([dims = 1]) has no
+    extra columns and its code paths are untouched.
 
     With [~retire:true] the store runs in {e retire/compact} mode: a bin
     that closes folds its usage, count and lifetime into running
@@ -41,6 +47,9 @@ val create : ?retire:bool -> ?track_items:bool -> unit -> t
     unchanged. *)
 
 val retire_mode : t -> bool
+
+val dims : t -> int
+(** Resource dimensions per bin (1 = the scalar engine). *)
 
 val open_bin : t -> now:int -> label:string -> bin_id
 (** Open a fresh bin at tick [now]. [label] is free-form metadata used by
@@ -69,13 +78,23 @@ val remove_packed : t -> now:int -> item_id:int -> int
     [2^32] ({!open_bin}'s ceiling), so the packing is exact — the
     packed form keeps a drain loop allocation-free. *)
 
-val remove_at : t -> now:int -> item_id:int -> bin:bin_id -> units:int -> bool
+val remove_at :
+  ?extra:int array ->
+  t ->
+  now:int ->
+  item_id:int ->
+  bin:bin_id ->
+  units:int ->
+  bool
 (** Remove a departed item whose placement the caller remembered:
     give [units] of load back to [bin], closing it if it emptied
     (the return value). With item tracking on, the packing record is
     still consumed and must agree with [bin]/[units]
     ([Invalid_argument] otherwise); with [~track_items:false] this is
-    the only removal entry point. *)
+    the only removal entry point. On a [dims > 1] store, [extra] must
+    be the item's extra-dimension units (length [dims - 1] — usually
+    the item's own [extra] field); it defaults to the empty array,
+    which only a scalar store accepts. *)
 
 val load : t -> bin_id -> Load.t
 val residual : t -> bin_id -> Load.t
@@ -83,6 +102,20 @@ val residual : t -> bin_id -> Load.t
 val residual_units : t -> bin_id -> int
 (** {!residual} in raw load units — what a placement index stores; one
     call instead of a [Load.t] round-trip on the per-departure resync. *)
+
+val load_units_dim : t -> bin_id -> int -> int
+(** Load in the given dimension (0-based; dimension 0 equals
+    [Load.to_units (load t id)]), in units. *)
+
+val residual_units_dim : t -> bin_id -> int -> int
+(** Free space in the given dimension, in units. *)
+
+val fits_extra : t -> bin_id -> int array -> bool
+(** Whether the bin can accept an item whose extra-dimension sizes are
+    the given array (length [dims - 1]) — dimensions 1.. only; the
+    caller has already checked dimension 0 against its fit index.
+    Vacuously true on a scalar store. No bounds or liveness checks:
+    this is the inner loop of the vector placement scan. *)
 
 val is_open : t -> bin_id -> bool
 val label : t -> bin_id -> string

@@ -42,14 +42,14 @@ module Interactive = struct
   }
 
   let start ?(retire = false) ?track_items ?(retain_released = true) ?max_series
-      factory =
+      ?(dims = 1) factory =
     (* The engine remembers each item's bin itself (see [slot_bin]), so
        a streaming store can drop the per-item packing map; a retained
        store keeps it — the full-fidelity record reports query. *)
     let track_items =
       match track_items with Some b -> b | None -> not retire
     in
-    let store = Bin_store.create ~retire ~track_items () in
+    let store = Bin_store.create ~retire ~track_items ~dims () in
     {
       store;
       policy = factory store;
@@ -113,7 +113,7 @@ module Interactive = struct
         if dep > t.clock then t.clock <- dep;
         let bin = Array.unsafe_get t.slot_bin slot in
         let closed =
-          Bin_store.remove_at t.store ~now:dep ~item_id:r.id ~bin
+          Bin_store.remove_at ~extra:r.extra t.store ~now:dep ~item_id:r.id ~bin
             ~units:(Load.to_units r.size)
         in
         t.policy.on_departure ~now:dep r ~bin ~closed;
@@ -193,7 +193,7 @@ end
 
 let run factory inst =
   Metrics.incr m_runs;
-  let t = Interactive.start factory in
+  let t = Interactive.start ~dims:(Instance.dims inst) factory in
   Trace.with_span "engine.run"
     ~args:
       [
@@ -217,10 +217,12 @@ module Stream = struct
   let default_chunk_size = 256
 
   let run_chunks ?(retire = true) ?max_series ?(chunk_size = default_chunk_size)
-      factory chunk =
+      ?(dims = 1) factory chunk =
     if chunk_size < 1 then invalid_arg "Engine.Stream.run_chunks: chunk_size < 1";
     Metrics.incr m_stream_runs;
-    let t = Interactive.start ~retire ~retain_released:false ?max_series factory in
+    let t =
+      Interactive.start ~retire ~retain_released:false ?max_series ~dims factory
+    in
     Trace.with_span "engine.stream"
       ~args:[ ("algorithm", t.Interactive.policy.Policy.name) ]
       (fun () ->
@@ -253,6 +255,6 @@ module Stream = struct
   (* The Seq path is the chunked path behind the [of_seq] shim, so both
      entry points exercise one drain loop (and the conformance tests
      pin them against each other). *)
-  let run ?retire ?max_series factory source =
-    run_chunks ?retire ?max_series factory (Event_source.Chunk.of_seq source)
+  let run ?retire ?max_series ?dims factory source =
+    run_chunks ?retire ?max_series ?dims factory (Event_source.Chunk.of_seq source)
 end

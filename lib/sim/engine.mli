@@ -25,7 +25,8 @@ type result = {
 val run : Policy.factory -> Instance.t -> result
 (** Simulate the full instance. Raises whatever the policy raises;
     [Invalid_argument] if the policy returns a bin the item was not
-    inserted into. *)
+    inserted into. The store's dimensionality follows the instance's
+    ({!Instance.dims}). *)
 
 module Interactive : sig
   type t
@@ -35,6 +36,7 @@ module Interactive : sig
     ?track_items:bool ->
     ?retain_released:bool ->
     ?max_series:int ->
+    ?dims:int ->
     Policy.factory ->
     t
   (** Defaults reproduce the historical behavior: a full-retention
@@ -46,7 +48,8 @@ module Interactive : sig
       {!Bin_store.create}); it defaults to [not retire] — the engine
       remembers each item's bin itself, so a streaming store skips the
       map's per-item hash traffic. Observables are identical either
-      way. *)
+      way. [dims] (default 1) is the store's resource dimensionality;
+      released items must match it. *)
 
   val arrive : t -> Item.t -> Bin_store.bin_id
   (** Release one item. Its arrival must be >= the latest event time so
@@ -104,7 +107,12 @@ module Stream : sig
   }
 
   val run :
-    ?retire:bool -> ?max_series:int -> Policy.factory -> Event_source.t -> stats
+    ?retire:bool ->
+    ?max_series:int ->
+    ?dims:int ->
+    Policy.factory ->
+    Event_source.t ->
+    stats
   (** Run the policy over the source without retaining released items.
       [retire] (default [true]) runs the {!Bin_store} in retire/compact
       mode — closed bins fold into aggregates and are dropped; pass
@@ -124,6 +132,7 @@ module Stream : sig
     ?retire:bool ->
     ?max_series:int ->
     ?chunk_size:int ->
+    ?dims:int ->
     Policy.factory ->
     Event_source.Chunk.t ->
     stats

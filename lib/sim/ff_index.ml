@@ -153,6 +153,35 @@ let first_fit_idx t need =
 let first_fit t need =
   match first_fit_idx t need with -1 -> None | slot -> Some slot
 
+(* [first_fit_idx] with a left bound: the leftmost active slot >= [from]
+   whose residual admits [need]. The descent prunes subtrees entirely
+   left of [from] and subtrees whose max residual is short; unpushed and
+   deactivated leaves hold -1 < need, so they never terminate it. This
+   is the resume step of the vector placement scan — dimension 0 acts
+   as the filter, and the caller re-queries from [slot + 1] when the
+   other dimensions reject a candidate. *)
+let first_fit_idx_from t ~need ~from =
+  if need < 0 then invalid_arg "Ff_index.first_fit_idx_from: negative need";
+  let from_leaf = if from <= t.base then 0 else from - t.base in
+  let tree = t.tree in
+  let rec descend i lo span =
+    if lo + span <= from_leaf || Array.unsafe_get tree i < need then -1
+    else if span = 1 then lo
+    else begin
+      let q = span lsr 2 in
+      let c = 4 * i in
+      let rec child k =
+        if k > 4 then -1
+        else
+          match descend (c + k) (lo + ((k - 1) * q)) q with
+          | -1 -> child (k + 1)
+          | leaf -> leaf
+      in
+      child 1
+    end
+  in
+  match descend 0 0 t.cap with -1 -> -1 | leaf -> leaf + t.base
+
 (* Allocation-free left-to-right fold over active slots; Best/Worst-Fit
    scan through this instead of materializing [active]. Bounded by the
    leaf window, not by slots ever pushed. *)

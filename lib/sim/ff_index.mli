@@ -52,6 +52,14 @@ val first_fit_idx : t -> int -> int
 val first_fit : t -> int -> int option
 (** {!first_fit_idx} with an option, for callers off the hot path. *)
 
+val first_fit_idx_from : t -> need:int -> from:int -> int
+(** [first_fit_idx_from t ~need ~from] is the smallest active slot
+    index [>= from] with residual >= [need], or [-1]. [first_fit_idx t
+    need = first_fit_idx_from t ~need ~from:0]. This is the resume
+    query of the vector placement scan: dimension 0 filters through the
+    tree, and the caller re-queries from the rejected candidate + 1
+    when the remaining dimensions do not fit. *)
+
 val fold_active : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
 (** [fold_active t ~init ~f] folds [f acc slot residual] over active
     slots in increasing slot order, without allocating. Best/Worst-Fit

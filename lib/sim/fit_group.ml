@@ -119,8 +119,68 @@ let place_new t store ~now (r : Item.t) =
   ignore (register t store bin ~residual);
   bin
 
+(* Vector slot selection: the index still answers dimension 0 (its
+   residuals are dimension-0 residuals), and the store verifies
+   dimensions 1.. per candidate. First-Fit resumes the tree query past
+   each rejected candidate; Best/Worst-Fit score fitting bins by the L1
+   norm of the whole residual vector (min for BF, max for WF; ties
+   toward the smallest slot), which collapses to the scalar min/max
+   residual — and hence the scalar semantics — at one dimension. These
+   scans are O(open bins) in the worst case; the vector path is not
+   throughput-gated (DESIGN.md, "Vector loads"). *)
+let choose_slot_vec t store (r : Item.t) need =
+  match t.index, t.rule with
+  | Ff i, H.First_fit ->
+      let rec scan from =
+        match Ff_index.first_fit_idx_from i ~need ~from with
+        | -1 -> -1
+        | slot ->
+            if Bin_store.fits_extra store (Vec.get t.bin_of_slot slot) r.extra
+            then slot
+            else scan (slot + 1)
+      in
+      scan 0
+  | Ff i, H.Next_fit ->
+      if
+        t.last_slot >= 0
+        && Ff_index.residual i t.last_slot >= need
+        && Bin_store.fits_extra store (Vec.get t.bin_of_slot t.last_slot) r.extra
+      then t.last_slot
+      else -1
+  | Tree i, ((H.Best_fit | H.Worst_fit) as rule) ->
+      let dims = Bin_store.dims store in
+      let best, _ =
+        Fit_tree.fold_active i ~init:(-1, 0) ~f:(fun (bs, bscore) slot res _ ->
+            if res < need then (bs, bscore)
+            else begin
+              let bin = Vec.get t.bin_of_slot slot in
+              if not (Bin_store.fits_extra store bin r.extra) then (bs, bscore)
+              else begin
+                let score = ref res in
+                for k = 1 to dims - 1 do
+                  score := !score + Bin_store.residual_units_dim store bin k
+                done;
+                let better =
+                  bs < 0
+                  ||
+                  match rule with
+                  | H.Best_fit -> !score < bscore
+                  | _ -> !score > bscore
+                in
+                if better then (slot, !score) else (bs, bscore)
+              end
+            end)
+      in
+      best
+  | Ff _, (H.Best_fit | H.Worst_fit) | Tree _, (H.First_fit | H.Next_fit) ->
+      assert false
+
 let place t store ~now (r : Item.t) =
-  let slot = choose_slot t (Load.to_units r.size) in
+  let need = Load.to_units r.size in
+  let slot =
+    if Bin_store.dims store = 1 then choose_slot t need
+    else choose_slot_vec t store r need
+  in
   if slot < 0 then place_new t store ~now r
   else begin
     let bin = Vec.get t.bin_of_slot slot in

@@ -21,7 +21,11 @@ val create : ?rule:Dbp_binpack.Heuristics.rule -> label:string -> unit -> t
 
 val place : t -> Bin_store.t -> now:int -> Item.t -> Bin_store.bin_id
 (** Pack the item into the group, opening a new bin when no open bin of
-    the group fits. *)
+    the group fits. On a vector ([dims > 1]) store, "fits" means fits
+    in every dimension: the index filters on dimension 0 and the store
+    checks the rest per candidate; Best/Worst-Fit then score fitting
+    bins by the L1 norm of the residual vector (see DESIGN.md, "Vector
+    loads"). *)
 
 val place_new : t -> Bin_store.t -> now:int -> Item.t -> Bin_store.bin_id
 (** Force-open a new bin for the item (HA opens a fresh CD bin when a

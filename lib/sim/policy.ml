@@ -11,7 +11,8 @@ type factory = Bin_store.t -> t
 let non_clairvoyant factory store =
   let inner = factory store in
   let mask (r : Item.t) =
-    Item.make ~id:r.id ~arrival:r.arrival ~departure:(r.arrival + 1) ~size:r.size
+    Item.make_vec ~extra:r.extra ~id:r.id ~arrival:r.arrival
+      ~departure:(r.arrival + 1) ~size:r.size
   in
   {
     name = inner.name ^ "-nc";

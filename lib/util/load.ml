@@ -19,11 +19,22 @@ let of_fraction ~num ~den =
   num * capacity / den
 
 let of_float f =
+  (* NaN slides through the clamp ([Float.max 0.0 nan] is [nan]) and
+     [int_of_float nan] is unspecified; reject it before clamping. The
+     clamp still absorbs +/-infinity and negatives. *)
+  if Float.is_nan f then invalid_arg "Load.of_float: nan";
   let f = Float.min 1.0 (Float.max 0.0 f) in
   int_of_float (Float.round (f *. float_of_int capacity))
 
 let to_float l = float_of_int l /. float_of_int capacity
-let add a b = a + b
+
+let add a b =
+  (* Both operands are non-negative, so overflow is exactly
+     [a + b > max_int], tested without wrapping. *)
+  if a > max_int - b then invalid_arg "Load.add: overflow";
+  a + b
+
+let add_sat a b = if a > max_int - b then max_int else a + b
 
 let sub a b =
   if b > a then invalid_arg "Load.sub: negative result";
@@ -31,6 +42,10 @@ let sub a b =
 
 let scale l k =
   if k < 0 then invalid_arg "Load.scale: negative factor";
+  (* [l * k] silently wraps past [max_int / l]; reject instead of
+     returning a garbage (possibly negative) load — same decrement-form
+     guard as [of_fraction]. *)
+  if l > 0 && k > max_int / l then invalid_arg "Load.scale: overflow";
   l * k
 
 let compare = Int.compare

@@ -32,16 +32,30 @@ val of_fraction : num:int -> den:int -> t
     rejected with [Invalid_argument]). *)
 
 val of_float : float -> t
-(** Nearest fixed-point value; clamps to [0, 1]. *)
+(** Nearest fixed-point value; clamps to [0, 1]. NaN is rejected with
+    [Invalid_argument] (it would otherwise slide through the clamp and
+    hit the unspecified [int_of_float nan]); infinities and negatives
+    clamp like any other out-of-range float. *)
 
 val to_float : t -> float
 
 val add : t -> t -> t
+(** Raises [Invalid_argument] if the sum exceeds [max_int] (long
+    accumulations, e.g. HA per-type gauges over huge instances, would
+    otherwise wrap silently negative). *)
+
+val add_sat : t -> t -> t
+(** Saturating variant of {!add} for accumulation paths ([S_t]
+    profiles, running totals) where a pinned ceiling beats an
+    exception: clips at [max_int] instead of raising. *)
+
 val sub : t -> t -> t
 (** [sub a b] requires [b <= a]. *)
 
 val scale : t -> int -> t
-(** [scale l k] is [k] copies of [l]; [k] must be non-negative. *)
+(** [scale l k] is [k] copies of [l]; [k] must be non-negative and
+    [l * k] must not exceed [max_int] ([Invalid_argument] otherwise,
+    same decrement-form guard as {!of_fraction}). *)
 
 val compare : t -> t -> int
 val equal : t -> t -> bool

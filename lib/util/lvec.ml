@@ -1,0 +1,81 @@
+type t = int array
+
+let dims v = Array.length v
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let of_units u =
+  if Array.length u = 0 then invalid_arg "Lvec.of_units: empty";
+  Array.iter (fun x -> if x < 0 then invalid_arg "Lvec.of_units: negative") u;
+  Array.copy u
+
+let to_units v = Array.copy v
+let get v k = v.(k)
+
+let of_floats f =
+  if Array.length f = 0 then invalid_arg "Lvec.of_floats: empty";
+  Array.map (fun x -> Load.to_units (Load.of_float x)) f
+
+let to_floats v = Array.map (fun u -> Load.to_float (Load.of_units u)) v
+let zero ~dims = if dims < 1 then invalid_arg "Lvec.zero: dims < 1" else Array.make dims 0
+
+let of_load l ~dims =
+  if dims < 1 then invalid_arg "Lvec.of_load: dims < 1";
+  let v = Array.make dims 0 in
+  v.(0) <- Load.to_units l;
+  v
+
+let add a b =
+  check_dims "Lvec.add" a b;
+  Array.mapi
+    (fun k x ->
+      let y = b.(k) in
+      if x > max_int - y then invalid_arg "Lvec.add: overflow";
+      x + y)
+    a
+
+let sub a b =
+  check_dims "Lvec.sub" a b;
+  Array.mapi
+    (fun k x ->
+      if b.(k) > x then invalid_arg "Lvec.sub: negative result";
+      x - b.(k))
+    a
+
+let fits v ~into =
+  check_dims "Lvec.fits" v into;
+  let ok = ref true in
+  for k = 0 to Array.length v - 1 do
+    if into.(k) + v.(k) > Load.capacity then ok := false
+  done;
+  !ok
+
+let residual used =
+  Array.map
+    (fun u ->
+      if u > Load.capacity then invalid_arg "Lvec.residual: over capacity";
+      Load.capacity - u)
+    used
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 ( = ) a b
+
+let compare a b =
+  match Int.compare (Array.length a) (Array.length b) with
+  | 0 ->
+      let rec go k =
+        if k = Array.length a then 0
+        else match Int.compare a.(k) b.(k) with 0 -> go (k + 1) | c -> c
+      in
+      go 0
+  | c -> c
+
+let pp ppf v =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun k u ->
+      if k > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "%.6g" (Load.to_float (Load.of_units u)))
+    v;
+  Format.fprintf ppf ")"

@@ -1,0 +1,61 @@
+(** d-dimensional resource vectors (vector bin packing loads).
+
+    The vector analogue of {!Load}: one fixed-point value out of
+    {!Load.capacity} per resource dimension (CPU, memory, network...).
+    A bin is the unit hypercube; an item fits iff it fits in {e every}
+    dimension. The simulator's hot path never builds these — items
+    carry dimension 0 as a scalar {!Load.t} plus a raw extra-units
+    array, and the bin store keeps per-dimension int columns — so this
+    module serves the validator, the tests, and any caller off the hot
+    path that wants whole-vector arithmetic with the same guards as
+    {!Load}.
+
+    Values are immutable: every constructor and operation returns a
+    fresh array, and accessors copy. *)
+
+type t = private int array
+(** Invariant: length >= 1, every component >= 0. Component 0 is the
+    primary dimension (the scalar engine's only one). *)
+
+val dims : t -> int
+
+val of_units : int array -> t
+(** Copies; every component must be non-negative, length >= 1. *)
+
+val to_units : t -> int array
+(** A fresh copy of the component units. *)
+
+val get : t -> int -> int
+(** Component [k], in units. *)
+
+val of_floats : float array -> t
+(** Per-component {!Load.of_float}: clamps to [0, 1], rejects NaN. *)
+
+val to_floats : t -> float array
+
+val zero : dims:int -> t
+
+val of_load : Load.t -> dims:int -> t
+(** The scalar load in dimension 0, zero elsewhere. *)
+
+val add : t -> t -> t
+(** Component-wise; dimensions must agree, overflow past [max_int] is
+    rejected like {!Load.add}. *)
+
+val sub : t -> t -> t
+(** Component-wise; requires [b <= a] in every dimension. *)
+
+val fits : t -> into:t -> bool
+(** [fits v ~into:used] iff a bin holding [used] accepts [v] in every
+    dimension: [used.(k) + v.(k) <= Load.capacity] for all [k]. *)
+
+val residual : t -> t
+(** Per-dimension free space; every component must be <= capacity. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic, shorter vectors first. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as a tuple of bin fractions, e.g. [(0.25,0.5)]. *)

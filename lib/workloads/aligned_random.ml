@@ -8,6 +8,7 @@ type config = {
   min_size : float;
   max_size : float;
   seed_anchor : bool;
+  resource : Resource_shape.spec;
 }
 
 let default =
@@ -18,17 +19,29 @@ let default =
     min_size = 0.05;
     max_size = 0.4;
     seed_anchor = true;
+    resource = Resource_shape.scalar;
   }
 
 let validate config =
   if config.top_class < 0 then invalid_arg "Aligned_random: negative top_class";
   if config.horizon < 1 then invalid_arg "Aligned_random: empty horizon";
   if config.min_size <= 0.0 || config.max_size > 1.0 || config.min_size > config.max_size
-  then invalid_arg "Aligned_random: bad size range"
+  then invalid_arg "Aligned_random: bad size range";
+  Resource_shape.validate config.resource
 
 let sample_size rng config =
   Load.of_float
     (config.min_size +. (Prng.float_unit rng *. (config.max_size -. config.min_size)))
+
+(* Size draw plus (vector configs only) one draw per extra dimension —
+   drawn together at proto-build time on the proto's own PRNG, so
+   stream and chunks keep identical schedules per source. *)
+let sample_vec rng config =
+  let size = sample_size rng config in
+  let extra =
+    Resource_shape.draw_extra config.resource rng ~base:(Load.to_float size)
+  in
+  (size, extra)
 
 (* Pre-id items of one class, lazily, slots ascending — so each class
    sub-stream is arrival-ordered and the merged stream only ever holds
@@ -48,8 +61,8 @@ let class_protos config rng ~cls =
              if i = k then List.rev acc
              else begin
                let duration = Prng.int_in_range rng ~lo ~hi in
-               let size = sample_size rng config in
-               build (i + 1) ((slot * step, duration, size) :: acc)
+               let size, extra = sample_vec rng config in
+               build (i + 1) ((slot * step, duration, size, extra) :: acc)
              end
            in
            Some (build 0 [], (slot + 1, rng))
@@ -60,8 +73,8 @@ let anchor_proto config rng =
   let hi = Ints.pow2 config.top_class in
   let lo = (hi / 2) + 1 in
   let duration = Prng.int_in_range rng ~lo ~hi in
-  let size = sample_size rng config in
-  Seq.return (0, duration, size)
+  let size, extra = sample_vec rng config in
+  Seq.return (0, duration, size, extra)
 
 let stream ?(config = default) ~seed () : Event_source.t =
   validate config;
@@ -85,7 +98,7 @@ let stream ?(config = default) ~seed () : Event_source.t =
   in
   (* Stable arrival-order merge: ties go to the earlier source (anchor
      first, then lower classes), fixing the id assignment below. *)
-  let cmp (a, _, _) (b, _, _) = Int.compare a b in
+  let cmp (a, _, _, _) (b, _, _, _) = Int.compare a b in
   let protos =
     List.fold_right (fun s acc -> Event_source.merge_by ~cmp s acc) sources Seq.empty
   in
@@ -94,9 +107,9 @@ let stream ?(config = default) ~seed () : Event_source.t =
   let rec with_ids id protos () =
     match protos () with
     | Seq.Nil -> Seq.Nil
-    | Seq.Cons ((arrival, duration, size), rest) ->
+    | Seq.Cons ((arrival, duration, size, extra), rest) ->
         Seq.Cons
-          ( Item.make ~id ~arrival ~departure:(arrival + duration) ~size,
+          ( Item.make_vec ~extra ~id ~arrival ~departure:(arrival + duration) ~size,
             with_ids (id + 1) rest )
   in
   with_ids 0 protos
@@ -111,7 +124,8 @@ type src_state = {
   s_hi : int;
   mutable s_slot : int;
   mutable s_arrival : int;  (** arrival of [s_buf]; [max_int] = exhausted *)
-  mutable s_buf : (int * Load.t) list;  (** (duration, size), draw order *)
+  mutable s_buf : (int * Load.t * int array) list;
+      (** (duration, size, extra dims), draw order *)
 }
 
 (* Advance [s] past empty slots to its next non-empty batch (draws are
@@ -126,8 +140,8 @@ let rec src_refill config s =
       if i = k then List.rev acc
       else begin
         let duration = Prng.int_in_range s.s_rng ~lo:s.s_lo ~hi:s.s_hi in
-        let size = sample_size s.s_rng config in
-        build (i + 1) ((duration, size) :: acc)
+        let size, extra = sample_vec s.s_rng config in
+        build (i + 1) ((duration, size, extra) :: acc)
       end
     in
     s.s_arrival <- s.s_slot * s.s_step;
@@ -167,7 +181,7 @@ let chunks ?(config = default) ~seed () =
     let hi = Ints.pow2 config.top_class in
     let lo = (hi / 2) + 1 in
     let duration = Prng.int_in_range anchor_rng ~lo ~hi in
-    let size = sample_size anchor_rng config in
+    let size, extra = sample_vec anchor_rng config in
     {
       s_rng = anchor_rng;
       (* Exhaust on refill: the one anchor proto is pre-drawn. *)
@@ -176,7 +190,7 @@ let chunks ?(config = default) ~seed () =
       s_hi = hi;
       s_slot = 1;
       s_arrival = 0;
-      s_buf = [ (duration, size) ];
+      s_buf = [ (duration, size, extra) ];
     }
   in
   (* Explicit recursion: each [class_src] splits [master], so the
@@ -210,9 +224,9 @@ let chunks ?(config = default) ~seed () =
           let s = sources.(!best) in
           match s.s_buf with
           | [] -> assert false (* [s_arrival < max_int] implies a proto *)
-          | (duration, size) :: rest ->
+          | (duration, size, extra) :: rest ->
               let r =
-                Item.make ~id:!id ~arrival:s.s_arrival
+                Item.make_vec ~extra ~id:!id ~arrival:s.s_arrival
                   ~departure:(s.s_arrival + duration) ~size
               in
               slots.(!n) <- Item_block.alloc block r;
@@ -229,17 +243,14 @@ let generate ?(config = default) ~seed () =
   let rng = Prng.create ~seed in
   let items = ref [] in
   let id = ref 0 in
-  let size () =
-    Load.of_float
-      (config.min_size +. (Prng.float_unit rng *. (config.max_size -. config.min_size)))
-  in
   let add ~arrival ~cls =
     (* duration in (2^(cls-1), 2^cls]: the dyadic range of the class *)
     let hi = Ints.pow2 cls in
     let lo = (hi / 2) + 1 in
     let duration = Prng.int_in_range rng ~lo ~hi in
+    let size, extra = sample_vec rng config in
     items :=
-      Item.make ~id:!id ~arrival ~departure:(arrival + duration) ~size:(size ())
+      Item.make_vec ~extra ~id:!id ~arrival ~departure:(arrival + duration) ~size
       :: !items;
     incr id
   in

@@ -16,6 +16,12 @@ type config = {
       (** when true (default), force one item of the top class at t = 0
           so the instance realizes [mu = 2^top_class] and starts a
           single CDFF segment. *)
+  resource : Resource_shape.spec;
+      (** dimensionality and shape of extra resource dimensions
+          (default {!Resource_shape.scalar}); the uniform size draw is
+          dimension 0, and extra draws ride on each sub-stream's own
+          PRNG. Scalar configs keep the historical PRNG schedule bit
+          for bit. *)
 }
 
 val default : config

@@ -10,6 +10,7 @@ type config = {
   min_duration : int;
   max_duration : int;
   tiers : float array;
+  resource : Resource_shape.spec;
 }
 
 let default =
@@ -22,6 +23,7 @@ let default =
     min_duration = 5;
     max_duration = 480;
     tiers = [| 0.125; 0.1875; 0.25; 0.5 |];
+    resource = Resource_shape.scalar;
   }
 
 let validate config =
@@ -32,7 +34,8 @@ let validate config =
   Array.iter
     (fun tier ->
       if tier <= 0.0 || tier > 1.0 then invalid_arg "Cloud_traces: tier out of (0, 1]")
-    config.tiers
+    config.tiers;
+  Resource_shape.validate config.resource
 
 (* Diurnal modulation: peak at 20:00, trough 12 hours away. *)
 let tick_rate config ~t =
@@ -40,7 +43,10 @@ let tick_rate config ~t =
   let wave = 0.5 *. (1.0 +. cos (2.0 *. Float.pi *. (phase -. (20.0 /. 24.0)))) in
   config.base_rate *. (1.0 -. (config.diurnal_depth *. (1.0 -. wave)))
 
-(* One item's draws, in order: log-normal duration, then tier choice. *)
+(* One item's draws, in order: log-normal duration, then tier choice,
+   then (vector configs only) one draw per extra dimension. Every
+   constructor goes through here, so stream/chunks/generate share one
+   schedule at any dimensionality. *)
 let draw_item config rng ~id ~arrival =
   let d = Prng.log_normal rng ~mu:config.duration_mu ~sigma:config.duration_sigma in
   let duration =
@@ -50,7 +56,10 @@ let draw_item config rng ~id ~arrival =
     if d < config.min_duration then config.min_duration else d
   in
   let size = Load.of_float (Prng.choice rng config.tiers) in
-  Item.make ~id ~arrival ~departure:(arrival + duration) ~size
+  let extra =
+    Resource_shape.draw_extra config.resource rng ~base:(Load.to_float size)
+  in
+  Item.make_vec ~extra ~id ~arrival ~departure:(arrival + duration) ~size
 
 (* One tick's worth of arrivals, in draw order (= id order). *)
 let tick_items config rng ~t ~first_id =

@@ -20,6 +20,12 @@ type config = {
   min_duration : int;  (** truncation (ticks); >= 1 *)
   max_duration : int;
   tiers : float array;  (** bandwidth fractions, e.g. 1/8 .. 1/2 *)
+  resource : Resource_shape.spec;
+      (** dimensionality and shape of extra resource dimensions
+          (default {!Resource_shape.scalar}); the tier draw is
+          dimension 0 and the [base] of correlated/adversarial
+          shapes. Scalar configs keep the historical PRNG schedule
+          bit for bit. *)
 }
 
 val default : config

@@ -11,6 +11,7 @@ type config = {
   min_size : float;
   max_size : float;
   anchor_mu : bool;
+  resource : Resource_shape.spec;
 }
 
 let default =
@@ -22,6 +23,7 @@ let default =
     min_size = 0.05;
     max_size = 0.4;
     anchor_mu = true;
+    resource = Resource_shape.scalar;
   }
 
 let sample_duration rng config =
@@ -45,14 +47,21 @@ let validate config =
   if config.horizon < 1 then invalid_arg "General_random: empty horizon";
   if config.max_duration < 1 then invalid_arg "General_random: max_duration < 1";
   if config.min_size <= 0.0 || config.max_size > 1.0 || config.min_size > config.max_size
-  then invalid_arg "General_random: bad size range"
+  then invalid_arg "General_random: bad size range";
+  Resource_shape.validate config.resource
 
 let sample_size rng config =
   Load.of_float
     (config.min_size +. (Prng.float_unit rng *. (config.max_size -. config.min_size)))
 
+(* Shared by all three constructors: size draw, then (vector configs
+   only) one draw per extra dimension — one schedule everywhere. *)
 let make_item rng config ~id ~arrival ~duration =
-  Item.make ~id ~arrival ~departure:(arrival + duration) ~size:(sample_size rng config)
+  let size = sample_size rng config in
+  let extra =
+    Resource_shape.draw_extra config.resource rng ~base:(Load.to_float size)
+  in
+  Item.make_vec ~extra ~id ~arrival ~departure:(arrival + duration) ~size
 
 (* Anchor items (drawn before any tick so mu is pinned first). *)
 let anchor_items config rng =

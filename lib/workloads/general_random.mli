@@ -25,6 +25,11 @@ type config = {
   anchor_mu : bool;
       (** force one duration-1 and one duration-max item so the
           realized mu equals max_duration exactly (default true). *)
+  resource : Resource_shape.spec;
+      (** dimensionality and shape of extra resource dimensions
+          (default {!Resource_shape.scalar}); the uniform size draw is
+          dimension 0. Scalar configs keep the historical PRNG
+          schedule bit for bit. *)
 }
 
 val default : config

@@ -3,11 +3,11 @@ open Dbp_instance
 
 (* Rebuild an item with clamped fields; the single funnel every
    mutation goes through, so validity is enforced in one place. *)
-let remake ~id ~arrival ~departure ~size_units =
+let remake ~extra ~id ~arrival ~departure ~size_units =
   let arrival = max 0 arrival in
   let departure = max (arrival + 1) departure in
   let size_units = min Load.capacity (max 1 size_units) in
-  Item.make ~id ~arrival ~departure ~size:(Load.of_units size_units)
+  Item.make_vec ~extra ~id ~arrival ~departure ~size:(Load.of_units size_units)
 
 let fresh_id items = 1 + List.fold_left (fun acc (r : Item.t) -> max acc r.id) (-1) items
 
@@ -30,7 +30,7 @@ let edit rng items =
         (* duplicate with a fresh id, shifted by up to one duration *)
         let (r : Item.t) = nth (pick ()) in
         let shift = Prng.int_in_range rng ~lo:0 ~hi:(Item.duration r) in
-        remake ~id:(fresh_id items) ~arrival:(r.arrival + shift)
+        remake ~extra:r.extra ~id:(fresh_id items) ~arrival:(r.arrival + shift)
           ~departure:(r.departure + shift) ~size_units:(Load.to_units r.size)
         :: items
     | 2 ->
@@ -45,7 +45,7 @@ let edit rng items =
           | 2 -> u + 1
           | _ -> u - 1
         in
-        replace k (remake ~id:r.id ~arrival:r.arrival ~departure:r.departure ~size_units:u')
+        replace k (remake ~extra:r.extra ~id:r.id ~arrival:r.arrival ~departure:r.departure ~size_units:u')
     | 3 ->
         (* stretch or shorten the duration around a class boundary *)
         let k = pick () in
@@ -59,7 +59,7 @@ let edit rng items =
           | _ -> d - 1
         in
         replace k
-          (remake ~id:r.id ~arrival:r.arrival ~departure:(r.arrival + max 1 d')
+          (remake ~extra:r.extra ~id:r.id ~arrival:r.arrival ~departure:(r.arrival + max 1 d')
              ~size_units:(Load.to_units r.size))
     | 4 ->
         (* translate in time (possibly past other items) *)
@@ -67,7 +67,7 @@ let edit rng items =
         let (r : Item.t) = nth k in
         let shift = Prng.int_in_range rng ~lo:(-r.arrival) ~hi:(Item.duration r) in
         replace k
-          (remake ~id:r.id ~arrival:(r.arrival + shift) ~departure:(r.departure + shift)
+          (remake ~extra:r.extra ~id:r.id ~arrival:(r.arrival + shift) ~departure:(r.departure + shift)
              ~size_units:(Load.to_units r.size))
     | 5 ->
         (* snap to aligned (Definition 2.1): arrival down to a multiple
@@ -77,7 +77,7 @@ let edit rng items =
         let block = Ints.pow2 (Item.length_class r) in
         let a' = r.arrival / block * block in
         replace k
-          (remake ~id:r.id ~arrival:a' ~departure:(a' + Item.duration r)
+          (remake ~extra:r.extra ~id:r.id ~arrival:a' ~departure:(a' + Item.duration r)
              ~size_units:(Load.to_units r.size))
     | _ ->
         (* split: replace one item by two half-duration halves *)
@@ -88,8 +88,8 @@ let edit rng items =
         else
           let mid = r.arrival + (d / 2) in
           let u = Load.to_units r.size in
-          remake ~id:(fresh_id items) ~arrival:mid ~departure:r.departure ~size_units:u
-          :: replace k (remake ~id:r.id ~arrival:r.arrival ~departure:mid ~size_units:u)
+          remake ~extra:r.extra ~id:(fresh_id items) ~arrival:mid ~departure:r.departure ~size_units:u
+          :: replace k (remake ~extra:r.extra ~id:r.id ~arrival:r.arrival ~departure:mid ~size_units:u)
 
 let mutate rng ?(ops = 8) inst =
   let items = ref (Array.to_list (Instance.items inst)) in

@@ -1,0 +1,69 @@
+open Dbp_util
+open Dbp_instance
+
+type t = Independent | Correlated of float | Adversarial
+
+type spec = { dims : int; shape : t; dim_mu : float array }
+
+let scalar = { dims = 1; shape = Independent; dim_mu = [||] }
+
+let validate spec =
+  if spec.dims < 1 then invalid_arg "Resource_shape: dims < 1";
+  (match spec.shape with
+  | Correlated rho when rho < 0.0 || rho > 1.0 || Float.is_nan rho ->
+      invalid_arg "Resource_shape: correlation out of [0, 1]"
+  | _ -> ());
+  let n = Array.length spec.dim_mu in
+  if n <> 0 && n <> spec.dims - 1 then
+    invalid_arg "Resource_shape: dim_mu must be empty or have dims - 1 entries";
+  Array.iter
+    (fun m ->
+      if not (m > 0.0 && m <= 1.0) then
+        invalid_arg "Resource_shape: dim_mu entry out of (0, 1]")
+    spec.dim_mu
+
+let shape_to_string = function
+  | Independent -> "independent"
+  | Correlated rho -> Printf.sprintf "correlated:%g" rho
+  | Adversarial -> "adversarial"
+
+let shape_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "independent" -> Some Independent
+  | "adversarial" -> Some Adversarial
+  | "correlated" -> Some (Correlated 0.8)
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "correlated" -> (
+          let arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match float_of_string_opt arg with
+          | Some rho when rho >= 0.0 && rho <= 1.0 -> Some (Correlated rho)
+          | _ -> None)
+      | _ -> None)
+
+(* Extra-dimension sizes for one item whose dimension-0 size is [base]
+   (a bin fraction). The draws advance the PRNG once per extra
+   dimension for Independent/Correlated and not at all for Adversarial
+   — an explicit loop in dimension order, so every constructor of a
+   workload (generate, stream, chunks) advances an identical schedule.
+   With [dims = 1] this returns the shared empty array and touches
+   nothing: the scalar schedule is bit-identical to the pre-vector
+   code. *)
+let draw_extra spec rng ~base =
+  if spec.dims = 1 then Item.no_extra
+  else begin
+    let n = spec.dims - 1 in
+    let out = Array.make n 0 in
+    for k = 0 to n - 1 do
+      let m = if Array.length spec.dim_mu = 0 then 1.0 else spec.dim_mu.(k) in
+      let v =
+        match spec.shape with
+        | Independent -> Prng.float_unit rng *. m
+        | Correlated rho ->
+            ((rho *. base) +. ((1.0 -. rho) *. Prng.float_unit rng)) *. m
+        | Adversarial -> (1.0 -. base) *. m
+      in
+      out.(k) <- Load.to_units (Load.of_float v)
+    done;
+    out
+  end

@@ -1,0 +1,51 @@
+(** How extra resource dimensions of generated items relate to the
+    dimension-0 size — the knob every workload generator shares for
+    vector (d-dimensional) instances. *)
+
+open Dbp_util
+
+type t =
+  | Independent  (** Each extra dimension is a fresh uniform draw. *)
+  | Correlated of float
+      (** [Correlated rho] blends the dimension-0 size with a fresh
+          uniform draw: [rho * base + (1 - rho) * u]. [rho = 1] makes
+          every dimension equal to dimension 0, [rho = 0] degenerates
+          to {!Independent}. *)
+  | Adversarial
+      (** Each extra dimension mirrors dimension 0 as [1 - base] — no
+          PRNG draw. Small items in one dimension are large in the
+          others, the shape that separates vector packing from running
+          d independent scalar instances. *)
+
+type spec = {
+  dims : int;  (** Total dimensions, >= 1. [1] = scalar, no extras. *)
+  shape : t;
+  dim_mu : float array;
+      (** Per-extra-dimension mean scale in (0, 1], applied as a
+          multiplier after the shape draw. Empty = all 1.0; otherwise
+          must hold [dims - 1] entries. *)
+}
+
+val scalar : spec
+(** [{ dims = 1; shape = Independent; dim_mu = [||] }] — the default
+    embedded in every workload config. *)
+
+val validate : spec -> unit
+(** Raises [Invalid_argument] on [dims < 1], a correlation outside
+    [0, 1], or a [dim_mu] of the wrong length or with entries outside
+    (0, 1]. *)
+
+val shape_to_string : t -> string
+val shape_of_string : string -> t option
+(** ["independent"], ["adversarial"], ["correlated"] (rho 0.8) or
+    ["correlated:RHO"]; case-insensitive. [None] on anything else. *)
+
+val draw_extra : spec -> Prng.t -> base:float -> int array
+(** Sizes (in {!Load} units) for dimensions [1 .. dims - 1] of one item
+    whose dimension-0 size is [base] (a bin fraction). Advances [rng]
+    once per extra dimension for [Independent]/[Correlated], not at all
+    for [Adversarial]. At [dims = 1] returns {!Dbp_instance.Item.no_extra}
+    without touching [rng] — scalar PRNG schedules are untouched.
+    Results are clamped to [0, capacity] via {!Load.of_float}, and the
+    returned array is fresh: callers may hand it to
+    {!Dbp_instance.Item.make_vec} directly. *)

@@ -230,4 +230,24 @@ for p in HA CDFF FF BF WF NF CD RT SpanGreedy; do
   }
 done
 echo "stream: all 9 policies bit-identical to Engine.run"
+
+# Vector (d-dimensional) smoke: a d=2 cloud trace streamed through FF
+# must verify bit-identical against the materializing Engine.run, for
+# each resource shape. The per-dimension packing validator itself runs
+# inside the 500-case fuzz gate above (families general2d, cloud2d,
+# aligned3d) and in the test suite; this exercises the CLI surface and
+# the chunked emitters' vector draw schedule end to end. The scalar
+# throughput floors above are unaffected: d=1 runs never touch the
+# vector paths.
+echo "stream: d=2 cloud-trace FF vector smoke (--dims 2, all shapes)"
+for shape in independent correlated:0.8 adversarial; do
+  dune exec bin/main.exe -- stream --workload cloud --days 2 --rate 3 \
+    --seed 2 --dims 2 --shape "$shape" --policy FF --verify \
+    > "$tmpdir/vec.txt" 2>&1 || {
+    echo "FAIL: d=2 FF stream ($shape) differs from Engine.run" >&2
+    cat "$tmpdir/vec.txt" >&2
+    exit 1
+  }
+done
+echo "stream: d=2 FF verified bit-identical for all three shapes"
 echo "check OK"

@@ -69,6 +69,25 @@ let test_cap_one () =
   Ff_index.deactivate t 1;
   check_int "deactivate propagates" (-1) (Ff_index.first_fit_idx t 3)
 
+(* The resume query behind vector placement scans: leftmost fit at or
+   after [from], so a candidate rejected on an extra dimension can be
+   skipped without rescanning the prefix. *)
+let test_fit_from () =
+  let t = Ff_index.create () in
+  ignore (Ff_index.push t ~residual:50);
+  ignore (Ff_index.push t ~residual:10);
+  ignore (Ff_index.push t ~residual:50);
+  check_int "from 0 = plain query" (Ff_index.first_fit_idx t 20)
+    (Ff_index.first_fit_idx_from t ~need:20 ~from:0);
+  check_int "from 1 skips slot 0" 2 (Ff_index.first_fit_idx_from t ~need:20 ~from:1);
+  check_int "from past slot 2" (-1) (Ff_index.first_fit_idx_from t ~need:20 ~from:3);
+  check_int "from far beyond" (-1) (Ff_index.first_fit_idx_from t ~need:0 ~from:1000);
+  Ff_index.deactivate t 2;
+  check_int "deactivated never matches" (-1)
+    (Ff_index.first_fit_idx_from t ~need:0 ~from:2);
+  check_raises_invalid "negative need" (fun () ->
+      Ff_index.first_fit_idx_from t ~need:(-1) ~from:0)
+
 let test_fold_active () =
   let t = Ff_index.create () in
   ignore (Ff_index.push t ~residual:4);
@@ -115,7 +134,7 @@ let prop_vs_naive_at initial_cap =
       List.iter
         (fun (op, arg) ->
           let n = Array.length !model in
-          match op mod 4 with
+          match op mod 5 with
           | 0 ->
               ignore (Ff_index.push t ~residual:arg);
               model := Array.append !model [| arg |]
@@ -146,7 +165,7 @@ let prop_vs_naive_at initial_cap =
                 Ff_index.deactivate t slot;
                 !model.(slot) <- -1
               end
-          | _ ->
+          | 3 ->
               let need = arg mod 1000 in
               let naive = ref None in
               Array.iteri
@@ -154,10 +173,19 @@ let prop_vs_naive_at initial_cap =
                 !model;
               if Ff_index.first_fit t need <> !naive then ok := false;
               let idx = Ff_index.first_fit_idx t need in
-              if (match !naive with None -> -1 | Some s -> s) <> idx then ok := false)
+              if (match !naive with None -> -1 | Some s -> s) <> idx then ok := false
+          | _ ->
+              let need = arg mod 1000 in
+              let from = if n = 0 then 0 else arg mod (n + 2) in
+              let naive = ref (-1) in
+              Array.iteri
+                (fun i r ->
+                  if !naive = -1 && i >= from && r >= need && r >= 0 then naive := i)
+                !model;
+              if Ff_index.first_fit_idx_from t ~need ~from <> !naive then ok := false)
         ops;
       !ok)
-    QCheck2.Gen.(list_size (int_range 1 200) (pair (int_range 0 3) (int_range 0 10_000)))
+    QCheck2.Gen.(list_size (int_range 1 200) (pair (int_range 0 4) (int_range 0 10_000)))
 
 let suite =
   [
@@ -167,6 +195,7 @@ let suite =
     case "growth" test_growth;
     case "bad slot" test_bad_slot;
     case "cap one" test_cap_one;
+    case "first_fit_idx_from" test_fit_from;
     case "fold_active" test_fold_active;
     case "compaction" test_compaction;
     prop_vs_naive_at 1;

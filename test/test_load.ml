@@ -38,9 +38,14 @@ let test_fraction_floor_fits () =
   done
 
 let test_of_float () =
+  check_int "0.0" 0 (units (Load.of_float 0.0));
   check_int "0.5" (Load.capacity / 2) (units (Load.of_float 0.5));
+  check_int "1.0" Load.capacity (units (Load.of_float 1.0));
   check_int "clamp high" Load.capacity (units (Load.of_float 1.5));
   check_int "clamp low" 0 (units (Load.of_float (-0.5)));
+  check_int "clamp +inf" Load.capacity (units (Load.of_float infinity));
+  check_int "clamp -inf" 0 (units (Load.of_float neg_infinity));
+  check_raises_invalid "nan rejected" (fun () -> Load.of_float nan);
   check_float ~eps:1e-9 "roundtrip" 0.375 (Load.to_float (Load.of_float 0.375))
 
 let test_arithmetic () =
@@ -50,6 +55,33 @@ let test_arithmetic () =
   check_raises_invalid "sub underflow" (fun () -> Load.sub a b);
   check_int "scale" (Load.capacity / 2) (units (Load.scale a 2));
   check_raises_invalid "scale negative" (fun () -> Load.scale a (-1))
+
+(* add/scale wrapped silently past max_int before the guards landed; the
+   scale boundary for a one-unit-of-capacity load is max_int / capacity,
+   mirroring the of_fraction overflow tests above. *)
+let test_add_overflow () =
+  let m = Load.of_units max_int in
+  check_int "max_int + zero" max_int (units (Load.add m Load.zero));
+  check_raises_invalid "max_int + 1 unit" (fun () ->
+      Load.add m (Load.of_units 1));
+  check_raises_invalid "one past the midpoint, doubled" (fun () ->
+      let h = Load.of_units ((max_int / 2) + 1) in
+      Load.add h h);
+  check_int "saturating variant clips" max_int
+    (units (Load.add_sat m (Load.of_units 1)));
+  check_int "saturating variant exact below ceiling" (max_int - 1)
+    (units (Load.add_sat (Load.of_units (max_int - 2)) (Load.of_units 1)))
+
+let test_scale_overflow () =
+  let bound = max_int / Load.capacity in
+  check_int "largest safe factor" (bound * Load.capacity)
+    (units (Load.scale Load.one bound));
+  check_raises_invalid "bound + 1 overflows" (fun () ->
+      Load.scale Load.one (bound + 1));
+  check_int "zero load scales by anything" 0
+    (units (Load.scale Load.zero max_int));
+  check_raises_invalid "max_int load, factor 2" (fun () ->
+      Load.scale (Load.of_units max_int) 2)
 
 let test_comparisons () =
   let a = Load.of_float 0.25 and b = Load.of_float 0.5 in
@@ -92,6 +124,8 @@ let suite =
     case "fraction floor fits" test_fraction_floor_fits;
     case "of_float" test_of_float;
     case "arithmetic" test_arithmetic;
+    case "add overflow guard" test_add_overflow;
+    case "scale overflow guard" test_scale_overflow;
     case "comparisons" test_comparisons;
     case "fits/residual" test_fits_residual;
     prop_add_commutes;

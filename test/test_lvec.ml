@@ -1,0 +1,355 @@
+(* Vector (d-dimensional) loads: Lvec arithmetic laws, workload
+   constructor schedule identity at d > 1, bit-identity of the vector
+   engine with the scalar engine on zero-extra items, validator-clean
+   vector runs for every policy, and the vector CSV round-trip. *)
+
+open Dbp_util
+open Dbp_instance
+open Dbp_sim
+open Dbp_workloads
+open Helpers
+
+let cap = Load.capacity
+
+(* ---- Lvec unit tests ---- *)
+
+let test_construct () =
+  let v = Lvec.of_units [| 1; 2; 3 |] in
+  check_int "dims" 3 (Lvec.dims v);
+  check_int "get 0" 1 (Lvec.get v 0);
+  check_int "get 2" 3 (Lvec.get v 2);
+  Alcotest.(check (array int)) "to_units" [| 1; 2; 3 |] (Lvec.to_units v);
+  let src = [| 5 |] in
+  let w = Lvec.of_units src in
+  src.(0) <- 99;
+  check_int "of_units copies" 5 (Lvec.get w 0);
+  check_raises_invalid "empty" (fun () -> Lvec.of_units [||]);
+  check_raises_invalid "negative" (fun () -> Lvec.of_units [| 1; -1 |]);
+  check_raises_invalid "nan component" (fun () -> Lvec.of_floats [| 0.5; Float.nan |])
+
+let test_zero_of_load () =
+  let z = Lvec.zero ~dims:3 in
+  Alcotest.(check (array int)) "zero" [| 0; 0; 0 |] (Lvec.to_units z);
+  let l = Lvec.of_load (Load.of_float 0.5) ~dims:2 in
+  check_int "dim 0" (cap / 2) (Lvec.get l 0);
+  check_int "dim 1" 0 (Lvec.get l 1)
+
+let test_fits_residual () =
+  let used = Lvec.of_floats [| 0.5; 0.75 |] in
+  Alcotest.(check bool) "fits" true
+    (Lvec.fits (Lvec.of_floats [| 0.5; 0.25 |]) ~into:used);
+  Alcotest.(check bool) "fails on dim 1" false
+    (Lvec.fits (Lvec.of_floats [| 0.25; 0.5 |]) ~into:used);
+  Alcotest.(check (array int)) "residual"
+    [| cap / 2; cap / 4 |]
+    (Lvec.to_units (Lvec.residual used));
+  check_raises_invalid "mixed dims" (fun () ->
+      Lvec.fits (Lvec.of_floats [| 0.1 |]) ~into:used)
+
+let test_add_sub_guards () =
+  let a = Lvec.of_units [| max_int - 1; 0 |] in
+  let b = Lvec.of_units [| 2; 1 |] in
+  check_raises_invalid "add overflow" (fun () -> Lvec.add a b);
+  check_raises_invalid "sub underflow" (fun () ->
+      Lvec.sub (Lvec.of_units [| 1; 0 |]) (Lvec.of_units [| 0; 1 |]));
+  check_raises_invalid "add mixed dims" (fun () ->
+      Lvec.add a (Lvec.of_units [| 1 |]))
+
+(* ---- Lvec qcheck laws ---- *)
+
+let gen_units =
+  QCheck2.Gen.(
+    int_range 1 4 >>= fun d -> array_size (return d) (int_range 0 cap))
+
+let gen_pair =
+  QCheck2.Gen.(
+    int_range 1 4 >>= fun d ->
+    pair (array_size (return d) (int_range 0 cap)) (array_size (return d) (int_range 0 cap)))
+
+let prop_round_trip =
+  qcase ~name:"of_units/to_units round-trips" ~count:200
+    (fun u -> Lvec.to_units (Lvec.of_units u) = u)
+    gen_units
+
+let prop_add_model =
+  qcase ~name:"add is component-wise, commutative" ~count:200
+    (fun (u, v) ->
+      let a = Lvec.of_units u and b = Lvec.of_units v in
+      let s = Lvec.to_units (Lvec.add a b) in
+      Array.for_all2 (fun x y -> x = y) s (Array.map2 ( + ) u v)
+      && Lvec.equal (Lvec.add a b) (Lvec.add b a))
+    gen_pair
+
+let prop_sub_inverts =
+  qcase ~name:"sub inverts add" ~count:200
+    (fun (u, v) ->
+      let a = Lvec.of_units u and b = Lvec.of_units v in
+      Lvec.equal (Lvec.sub (Lvec.add a b) b) a)
+    gen_pair
+
+let prop_fits_model =
+  qcase ~name:"fits = every dimension within capacity" ~count:200
+    (fun (u, v) ->
+      let used = Lvec.of_units u and item = Lvec.of_units v in
+      let expect = ref true in
+      Array.iteri (fun k x -> if x + v.(k) > cap then expect := false) u;
+      Lvec.fits item ~into:used = !expect)
+    gen_pair
+
+let prop_residual_model =
+  qcase ~name:"residual is per-dimension free space" ~count:200
+    (fun u ->
+      let u = Array.map (fun x -> x mod (cap + 1)) u in
+      let r = Lvec.to_units (Lvec.residual (Lvec.of_units u)) in
+      Array.for_all2 (fun free x -> free = cap - x) r u)
+    gen_units
+
+(* ---- workload constructor identity at d > 1 ---- *)
+
+let drain_chunks ck =
+  let block = Item_block.create () in
+  let slots = Array.make 64 0 in
+  let items = ref [] in
+  let rec loop () =
+    let n = Event_source.Chunk.next_chunk ck block slots in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        items := Item_block.item block slots.(i) :: !items
+      done;
+      loop ()
+    end
+  in
+  loop ();
+  Instance.of_items !items
+
+let check_same_items name a b =
+  Alcotest.(check int) (name ^ ": lengths") (Instance.length a) (Instance.length b);
+  Alcotest.(check bool) (name ^ ": items (extras included)") true
+    (Instance.items a = Instance.items b)
+
+let vec2 shape = { Resource_shape.dims = 2; shape; dim_mu = [||] }
+
+let test_general_constructors_agree () =
+  let config =
+    {
+      General_random.default with
+      horizon = 64;
+      max_duration = 16;
+      resource = vec2 (Correlated 0.7);
+    }
+  in
+  let g = General_random.generate ~config ~seed:11 () in
+  let s = Event_source.to_instance (General_random.stream ~config ~seed:11 ()) in
+  let c = drain_chunks (General_random.chunks ~config ~seed:11 ()) in
+  check_int "vector instance dims" 2 (Instance.dims g);
+  check_same_items "generate vs stream" g s;
+  check_same_items "stream vs chunks" s c
+
+let test_cloud_constructors_agree () =
+  let config =
+    { Cloud_traces.default with days = 1; base_rate = 0.1; resource = vec2 Adversarial }
+  in
+  let g = Cloud_traces.generate ~config ~seed:4 () in
+  let s = Event_source.to_instance (Cloud_traces.stream ~config ~seed:4 ()) in
+  let c = drain_chunks (Cloud_traces.chunks ~config ~seed:4 ()) in
+  check_int "vector instance dims" 2 (Instance.dims g);
+  check_same_items "generate vs stream" g s;
+  check_same_items "stream vs chunks" s c
+
+(* Aligned's generate is a different instance family from stream (one
+   shared PRNG vs per-class splits); only stream and chunks promise
+   item-for-item identity. *)
+let test_aligned_constructors_agree () =
+  let config =
+    {
+      Aligned_random.default with
+      top_class = 4;
+      horizon = 32;
+      resource = { Resource_shape.dims = 3; shape = Independent; dim_mu = [| 0.5; 0.25 |] };
+    }
+  in
+  let s = Event_source.to_instance (Aligned_random.stream ~config ~seed:9 ()) in
+  let c = drain_chunks (Aligned_random.chunks ~config ~seed:9 ()) in
+  check_int "vector instance dims" 3 (Instance.dims s);
+  check_int "aligned generate dims" 3
+    (Instance.dims (Aligned_random.generate ~config ~seed:9 ()));
+  check_same_items "stream vs chunks" s c
+
+(* Adversarial extras draw nothing from the PRNG: the dimension-0
+   schedule must be exactly the scalar schedule. *)
+let test_adversarial_preserves_dim0 () =
+  let scalar = { Cloud_traces.default with days = 1; base_rate = 0.1 } in
+  let vec = { scalar with resource = vec2 Adversarial } in
+  let a = Instance.items (Cloud_traces.generate ~config:scalar ~seed:21 ()) in
+  let b = Instance.items (Cloud_traces.generate ~config:vec ~seed:21 ()) in
+  check_int "same length" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (r : Item.t) ->
+      let v = b.(i) in
+      if
+        r.id <> v.Item.id || r.arrival <> v.Item.arrival
+        || r.departure <> v.Item.departure
+        || not (Load.equal r.size v.Item.size)
+      then Alcotest.failf "item %d differs in scalar fields" i;
+      check_int (Printf.sprintf "item %d mirror extra" i)
+        (cap - Load.to_units r.size)
+        (Item.size_units v 1))
+    a
+
+(* ---- d = 1 bit-identity: zero extras must not change any decision ---- *)
+
+let policies mu_hint =
+  [
+    ("HA", fun () -> Dbp_core.Ha.policy ());
+    ("CDFF", fun () -> Dbp_core.Cdff.policy ());
+    ("FF", fun () -> Dbp_baselines.Any_fit.first_fit);
+    ("BF", fun () -> Dbp_baselines.Any_fit.best_fit);
+    ("WF", fun () -> Dbp_baselines.Any_fit.worst_fit);
+    ("NF", fun () -> Dbp_baselines.Any_fit.next_fit);
+    ("CD", fun () -> Dbp_baselines.Classify_duration.policy ());
+    ("RT", fun () -> Dbp_baselines.Rt_classify.auto ~mu_hint);
+    ("SpanGreedy", fun () -> Dbp_baselines.Span_greedy.policy);
+  ]
+
+let widen inst =
+  Instance.of_items
+    (Array.to_list (Instance.items inst)
+    |> List.map (fun (r : Item.t) ->
+           Item.make_vec ~extra:[| 0 |] ~id:r.id ~arrival:r.arrival
+             ~departure:r.departure ~size:r.size))
+
+let scalar_workloads =
+  [
+    ( "general",
+      fun () ->
+        General_random.generate
+          ~config:{ General_random.default with horizon = 48; max_duration = 16 }
+          ~seed:3 () );
+    ( "aligned",
+      fun () ->
+        Aligned_random.generate
+          ~config:{ Aligned_random.default with top_class = 4; horizon = 32 }
+          ~seed:5 () );
+    ( "cloud",
+      fun () ->
+        Cloud_traces.generate
+          ~config:{ Cloud_traces.default with days = 1; base_rate = 0.05 }
+          ~seed:2 () );
+  ]
+
+let test_zero_extra_bit_identity () =
+  List.iter
+    (fun (wname, build) ->
+      let inst = build () in
+      let wide = widen inst in
+      check_int (wname ^ ": widened dims") 2 (Instance.dims wide);
+      List.iter
+        (fun (pname, factory) ->
+          let r1 = Engine.run (factory ()) inst in
+          let r2 = Engine.run (factory ()) wide in
+          let tag = Printf.sprintf "%s/%s" wname pname in
+          check_int (tag ^ ": cost") r1.cost r2.cost;
+          check_int (tag ^ ": bins_opened") r1.bins_opened r2.bins_opened;
+          check_int (tag ^ ": max_open") r1.max_open r2.max_open;
+          Alcotest.(check bool) (tag ^ ": series") true (r1.series = r2.series);
+          Alcotest.(check bool)
+            (tag ^ ": assignment") true
+            (Bin_store.assignment r1.store = Bin_store.assignment r2.store))
+        (policies (Instance.mu inst)))
+    scalar_workloads
+
+(* ---- every policy is validator- and naive-clean on vector inputs ---- *)
+
+let vector_instances =
+  [
+    ( "general 2d correlated",
+      fun () ->
+        General_random.generate
+          ~config:
+            {
+              General_random.default with
+              horizon = 32;
+              max_duration = 8;
+              resource = vec2 (Correlated 0.8);
+            }
+          ~seed:13 () );
+    ( "cloud 2d adversarial",
+      fun () ->
+        Cloud_traces.generate
+          ~config:
+            { Cloud_traces.default with days = 1; base_rate = 0.05; resource = vec2 Adversarial }
+          ~seed:17 () );
+    ( "aligned 3d independent",
+      fun () ->
+        Aligned_random.generate
+          ~config:
+            {
+              Aligned_random.default with
+              top_class = 3;
+              horizon = 16;
+              resource =
+                { Resource_shape.dims = 3; shape = Independent; dim_mu = [| 0.6; 0.3 |] };
+            }
+          ~seed:19 () );
+  ]
+
+let test_vector_runs_clean () =
+  List.iter
+    (fun (wname, build) ->
+      let inst = build () in
+      List.iter
+        (fun (pname, factory) ->
+          let tag = Printf.sprintf "%s/%s" wname pname in
+          let res, vs = Dbp_check.Validator.run (fun store -> factory () store) inst in
+          (match vs with
+          | [] -> ()
+          | v :: _ ->
+              Alcotest.failf "%s: %d violations, first: %s" tag (List.length vs)
+                (Dbp_check.Violation.to_string v));
+          match Dbp_check.Naive.diff res (Dbp_check.Naive.run (factory ()) inst) with
+          | [] -> ()
+          | v :: _ -> Alcotest.failf "%s: naive diff: %s" tag (Dbp_check.Violation.to_string v))
+        (policies (Instance.mu inst)))
+    vector_instances
+
+(* ---- vector CSV round-trip ---- *)
+
+let test_io_round_trip () =
+  let items =
+    [
+      Item.make_vec ~extra:[| 0; cap |] ~id:0 ~arrival:0 ~departure:4
+        ~size:(Load.of_float 0.5);
+      Item.make_vec
+        ~extra:[| cap / 4; 123 |]
+        ~id:1 ~arrival:2 ~departure:9
+        ~size:(Load.of_float 0.125);
+    ]
+  in
+  let inst = Instance.of_items items in
+  let s = Io.to_string inst in
+  Alcotest.(check bool) "vector header" true (contains ~sub:"id,arrival,departure,size,size2,size3" s);
+  let back = Io.of_string s in
+  check_int "dims survive" 3 (Instance.dims back);
+  check_same_items "round-trip" inst back;
+  check_raises_invalid "mixed dims rejected" (fun () ->
+      Instance.of_items [ List.hd items; item ~id:7 ~a:0 ~d:1 ~s:0.5 ])
+
+let suite =
+  [
+    case "lvec construct" test_construct;
+    case "lvec zero/of_load" test_zero_of_load;
+    case "lvec fits/residual" test_fits_residual;
+    case "lvec add/sub guards" test_add_sub_guards;
+    prop_round_trip;
+    prop_add_model;
+    prop_sub_inverts;
+    prop_fits_model;
+    prop_residual_model;
+    case "general constructors agree at d=2" test_general_constructors_agree;
+    case "cloud constructors agree at d=2" test_cloud_constructors_agree;
+    case "aligned stream=chunks at d=3" test_aligned_constructors_agree;
+    case "adversarial shape preserves dim-0 schedule" test_adversarial_preserves_dim0;
+    case "zero extras are bit-identical to scalar (9 policies)" test_zero_extra_bit_identity;
+    slow_case "vector runs are validator-clean (9 policies)" test_vector_runs_clean;
+    case "vector csv round-trip" test_io_round_trip;
+  ]

@@ -15,6 +15,7 @@ let () =
       ("prng", Test_prng.suite);
       ("pool", Test_pool.suite);
       ("load", Test_load.suite);
+      ("lvec", Test_lvec.suite);
       ("multiset", Test_multiset.suite);
       ("stats", Test_stats.suite);
       ("binpack", Test_binpack.suite);
