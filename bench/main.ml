@@ -244,10 +244,13 @@ let run_stream () =
       let drains = [ d_chunked; d_seq ] in
       print_endline
         "Streaming throughput (cloud days=6 rate=20 seed=1, ~100k items):";
-      let measure name factory config =
+      let measure ?track_items name factory config =
         let emitter = Cloud_traces.chunks ~config ~seed:1 () in
         let t0 = Unix.gettimeofday () in
-        let s = Dbp_sim.Engine.Stream.run_chunks ~max_series:512 factory emitter in
+        let s =
+          Dbp_sim.Engine.Stream.run_chunks ?track_items ~max_series:512 factory
+            emitter
+        in
         let wall = Unix.gettimeofday () -. t0 in
         let ips = float_of_int s.items /. Float.max wall 1e-9 in
         Printf.printf "  %-10s %7d items  %9.0f items/s  cost=%d\n" name
@@ -262,6 +265,17 @@ let run_stream () =
             (Printf.sprintf "stream/%s cloud 100k" name, items, ips))
           (stream_policies ~mu_hint)
       in
+      (* Recourse overhead on the same trace: FF wrapped at k=2
+         (close-emptiest, per-event). Item tracking must be on to
+         resolve move sources, so the delta vs stream/FF bundles the
+         per-item map with the repacking work itself. *)
+      print_endline "Recourse overhead (same trace, FF vs FF+r2):";
+      let r_items, r_ips =
+        measure ~track_items:true "FF+r2"
+          (Dbp_sim.Recourse.wrap ~k:2 Dbp_baselines.Any_fit.first_fit)
+          config
+      in
+      let recourse_row = [ ("stream/FF+r2 cloud 100k", r_items, r_ips) ] in
       (* The acceptance trace of the batched-pipeline work: the pinned
          1M-item FF stream scripts/check.sh gates at >= 1.6M items/s
          (best of 3). *)
@@ -270,7 +284,8 @@ let run_stream () =
         measure "FF" Dbp_baselines.Any_fit.first_fit
           { config with Cloud_traces.days = 60 }
       in
-      drains @ per_policy @ [ ("stream/FF cloud 1M pinned", items, ips) ])
+      drains @ per_policy @ recourse_row
+      @ [ ("stream/FF cloud 1M pinned", items, ips) ])
 
 (* ---- Part 2: microbenchmarks ---- *)
 

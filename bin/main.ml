@@ -191,6 +191,52 @@ let resource_of ~dims ~shape ~dim_mu =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+(* ---- bounded recourse ---- *)
+
+let recourse_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "recourse" ] ~docv:"K"
+        ~doc:
+          "Migration budget: wrap the policy in bounded-recourse repacking \
+           with up to $(docv) item moves per event (0, the default, runs \
+           the policy unwrapped and bit-identically).")
+
+let recourse_mode_arg =
+  Arg.(
+    value
+    & opt string "close-emptiest"
+    & info [ "recourse-mode" ] ~docv:"STRAT"
+        ~doc:
+          "Repacking strategy: $(b,close-emptiest), $(b,consolidate), or \
+           $(b,waste)[:F] (evacuate only while open bins exceed F times \
+           the ceil(S_t) lower bound; default F 1.5).")
+
+let amortized_arg =
+  Arg.(
+    value & flag
+    & info [ "amortized" ]
+        ~doc:
+          "Amortized recourse budget: each arrival grants K move credits \
+           that accumulate, instead of resetting the budget every event.")
+
+let recourse_wrap ~k ~strategy ~amortized factory =
+  if k < 0 then Error "--recourse must be >= 0"
+  else
+    match Dbp_sim.Recourse.strategy_of_string strategy with
+    | None ->
+        Error
+          (Printf.sprintf
+             "unknown --recourse-mode %S: expected close-emptiest, \
+              consolidate, or waste[:F]"
+             strategy)
+    | Some strategy ->
+        let mode =
+          if amortized then Dbp_sim.Recourse.Amortized
+          else Dbp_sim.Recourse.Per_event
+        in
+        Ok (Dbp_sim.Recourse.wrap ~k ~mode ~strategy factory)
+
 let workload_arg =
   Arg.(
     value
@@ -271,7 +317,8 @@ let run_cmd =
       & info [ "input"; "i" ] ~docv:"CSV"
           ~doc:"Pack an instance from a CSV file (id,arrival,departure,size) instead of a generated workload.")
   in
-  let run algorithm workload mu seed dims shape dim_mu chart input obs =
+  let run algorithm workload mu seed dims shape dim_mu chart input recourse
+      recourse_mode amortized obs =
     match resource_of ~dims ~shape ~dim_mu with
     | Error m -> fail "--dims/--shape/--dim-mu: %s" m
     | Ok resource -> (
@@ -294,12 +341,20 @@ let run_cmd =
     | Some inst -> (
         match algorithm_of_name ~mu_hint:(float_of_int mu) algorithm with
         | None -> fail "unknown algorithm %S" algorithm
-        | Some factory ->
+        | Some factory -> (
+            match
+              recourse_wrap ~k:recourse ~strategy:recourse_mode ~amortized factory
+            with
+            | Error m -> fail "%s" m
+            | Ok factory ->
             with_obs obs (fun () ->
                 let solver = Dbp_binpack.Solver.create () in
-                let m =
-                  Dbp_analysis.Ratio.measure ~solver ~name:algorithm factory inst
+                let name =
+                  if recourse > 0 then
+                    Printf.sprintf "%s+r%d" algorithm recourse
+                  else algorithm
                 in
+                let m = Dbp_analysis.Ratio.measure ~solver ~name factory inst in
                 Format.printf "%a@." Dbp_analysis.Ratio.pp m;
                 Printf.printf "items=%d span=%d demand=%.1f mu=%.0f\n"
                   (Dbp_instance.Instance.length inst)
@@ -316,14 +371,15 @@ let run_cmd =
                   let res = Dbp_sim.Engine.run factory inst in
                   print_string (Dbp_report.Gantt.packing_chart inst res.store)
                 end);
-            `Ok ()))
+            `Ok ())))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one algorithm on one workload instance.")
     Term.(
       ret
         (const run $ algorithm $ workload_arg $ mu_arg $ seed_arg $ dims_arg
-       $ shape_arg $ dim_mu_arg $ chart $ input $ obs_term))
+       $ shape_arg $ dim_mu_arg $ chart $ input $ recourse_arg
+       $ recourse_mode_arg $ amortized_arg $ obs_term))
 
 (* ---- export ---- *)
 
@@ -408,7 +464,19 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "svg" ] ~docv:"PATH" ~doc:"Also write an SVG chart of the curves.")
   in
-  let run workload algorithms mus seeds svg jobs obs =
+  let recourse_ks =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "recourse" ] ~docv:"KS"
+          ~doc:
+            "Frontier mode: comma-separated migration budgets (e.g. \
+             $(i,0,1,2,4)). Instead of sweeping mu ratios, chart each \
+             algorithm's cost-vs-migration frontier across these budgets, \
+             one table per mu.")
+  in
+  let run workload algorithms mus seeds svg recourse_ks recourse_mode amortized
+      jobs obs =
     set_jobs jobs;
     let mu_hint = float_of_int (List.fold_left max 2 mus) in
     let resolve name =
@@ -434,6 +502,34 @@ let sweep_cmd =
             ~mu:4 ~seed:1
         with
         | None -> fail "unknown workload %S" workload
+        | Some _ when recourse_ks <> [] -> (
+            if List.exists (fun k -> k < 0) recourse_ks then
+              fail "--recourse budgets must be >= 0"
+            else
+              match Dbp_sim.Recourse.strategy_of_string recourse_mode with
+              | None ->
+                  fail
+                    "unknown --recourse-mode %S: expected close-emptiest, \
+                     consolidate, or waste[:F]"
+                    recourse_mode
+              | Some strategy ->
+                  let mode =
+                    if amortized then Dbp_sim.Recourse.Amortized
+                    else Dbp_sim.Recourse.Per_event
+                  in
+                  with_obs obs (fun () ->
+                      List.iter
+                        (fun mu ->
+                          let f =
+                            Dbp_analysis.Frontier.run ~mode ~strategy
+                              ~algorithms
+                              ~workload:(fun ~seed -> workload_fn ~mu ~seed)
+                              ~ks:recourse_ks ~seeds ()
+                          in
+                          Printf.printf "mu=%d\n%s\n" mu
+                            (Common.frontier_table f))
+                        mus);
+                  `Ok ())
         | Some _ ->
             let curves =
               with_obs obs (fun () ->
@@ -470,8 +566,8 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Sweep mu and measure competitive ratios.")
     Term.(
       ret
-        (const run $ workload_arg $ algorithms_arg $ mus $ seeds $ svg $ jobs_arg
-       $ obs_term))
+        (const run $ workload_arg $ algorithms_arg $ mus $ seeds $ svg
+       $ recourse_ks $ recourse_mode_arg $ amortized_arg $ jobs_arg $ obs_term))
 
 (* ---- stream ---- *)
 
@@ -549,7 +645,7 @@ let stream_cmd =
              are bit-identical for any value. Also read from $(env).")
   in
   let run workload days rate seed dims shape dim_mu policy max_series retain
-      verify gc_spec chunk obs =
+      verify gc_spec chunk recourse recourse_mode amortized obs =
     if days < 1 then fail "--days must be >= 1"
     else if rate <= 0.0 then fail "--rate must be positive"
     else if max_series < 0 || (max_series > 0 && max_series < 3) then
@@ -603,6 +699,12 @@ let stream_cmd =
           match algorithm_of_name ~mu_hint policy with
           | None -> fail "unknown algorithm %S" policy
           | Some factory -> (
+              match
+                recourse_wrap ~k:recourse ~strategy:recourse_mode ~amortized
+                  factory
+              with
+              | Error m -> fail "%s" m
+              | Ok factory -> (
               let gc_applied =
                 match gc_spec with
                 | "stock" -> Ok ()
@@ -618,8 +720,12 @@ let stream_cmd =
                   let max_series = if max_series = 0 then None else Some max_series in
                   let t0 = Unix.gettimeofday () in
                   let s =
+                    (* Recourse needs the store's per-item map to resolve
+                       move sources; without it streaming stays map-free. *)
                     Dbp_sim.Engine.Stream.run_chunks ~retire:(not retain)
-                      ?max_series ~chunk_size:chunk ~dims factory chunk_source
+                      ~track_items:(recourse > 0 || retain) ?max_series
+                      ~chunk_size:chunk
+                      ~dims factory chunk_source
                   in
                   let wall = Unix.gettimeofday () -. t0 in
                   Printf.printf
@@ -631,6 +737,9 @@ let stream_cmd =
                     "items=%d cost=%d bins_opened=%d max_open=%d series_samples=%d\n"
                     s.items s.result.cost s.result.bins_opened s.result.max_open
                     (Array.length s.result.series);
+                  if recourse > 0 then
+                    Printf.printf "recourse: k=%d moves=%d moved_units=%d\n"
+                      recourse s.result.moves s.result.moved_units;
                   Printf.printf "peak_live_items=%d peak_retained_items=%d\n"
                     s.peak_live_items s.peak_retained_items;
                   Printf.printf "throughput=%.0f items/s (wall=%.2fs)\n"
@@ -660,7 +769,7 @@ let stream_cmd =
                       exit 1
                     end
                   end);
-              `Ok ()))
+              `Ok ())))
     end
   in
   Cmd.v
@@ -675,7 +784,7 @@ let stream_cmd =
       ret
         (const run $ workload $ days $ rate $ seed_arg $ dims_arg $ shape_arg
        $ dim_mu_arg $ policy $ max_series $ retain $ verify $ gc_spec $ chunk
-       $ obs_term))
+       $ recourse_arg $ recourse_mode_arg $ amortized_arg $ obs_term))
 
 (* ---- adversary ---- *)
 
@@ -727,10 +836,12 @@ let fuzz_cmd =
       match Sys.getenv_opt "DBP_CHECK_INJECT" with
       | None | Some "" -> Ok None
       | Some "cost" -> Ok (Some Dbp_check.Fuzz.Cost_off_by_one)
+      | Some "moves" -> Ok (Some Dbp_check.Fuzz.Move_over_budget)
       | Some other -> Error other
     with
     | Error other ->
-        fail "DBP_CHECK_INJECT=%S: expected \"cost\" (or unset)" other
+        fail "DBP_CHECK_INJECT=%S: expected \"cost\" or \"moves\" (or unset)"
+          other
     | Ok inject ->
         let report =
           with_obs obs (fun () -> Dbp_check.Fuzz.run ?inject ~n ~seed ())

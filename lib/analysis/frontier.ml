@@ -1,0 +1,125 @@
+open Dbp_util
+open Dbp_sim
+
+type point = {
+  k : int;
+  costs : Stats.summary;
+  ratios : Stats.summary;
+  moves : Stats.summary;
+  moved_units : Stats.summary;
+}
+
+type curve = { algorithm : string; points : point list; monotone : bool }
+
+type t = {
+  mode : Recourse.mode;
+  strategy : Recourse.strategy;
+  opt : Stats.summary;
+  opt_exact_fraction : float;
+  curves : curve list;
+}
+
+let m_cells = Metrics.counter "frontier.cells"
+
+(* Means of integer costs; a strict increase needs a full unit somewhere
+   in the seed pool, so half a unit of slack absorbs float rounding
+   without masking one. *)
+let monotone_means means =
+  let ok = ref true in
+  List.iteri
+    (fun i v ->
+      if i > 0 && v > List.nth means (i - 1) +. 0.5 then ok := false)
+    means;
+  !ok
+
+let run ?jobs ?(mode = Recourse.Per_event) ?(strategy = Recourse.Close_emptiest)
+    ~algorithms ~workload ~ks ~seeds () =
+  let ks = List.sort_uniq compare ks in
+  if List.exists (fun k -> k < 0) ks then invalid_arg "Frontier.run: k < 0";
+  Pool.with_default ?jobs @@ fun pool ->
+  let bank = Pool.Bank.create (fun () -> Dbp_binpack.Solver.create ()) in
+  (* One task per seed: the instance and its OPT_R estimate are computed
+     once and shared by every (algorithm, k) run on that seed. Tasks are
+     submitted and merged in seed order, so the frontier is bit-identical
+     for any worker count. *)
+  let per_seed =
+    Pool.map pool
+      (fun seed ->
+        Metrics.incr m_cells;
+        Trace.with_span "frontier.cell" ~args:[ ("seed", string_of_int seed) ]
+        @@ fun () ->
+        let inst = workload ~seed in
+        let opt, kind = Pool.Bank.use bank (fun solver -> Ratio.opt_estimate ~solver inst) in
+        let rows =
+          List.map
+            (fun (name, factory) ->
+              List.map
+                (fun k ->
+                  let res =
+                    Engine.run (Recourse.wrap ~k ~mode ~strategy factory) inst
+                  in
+                  (name, k, res.Engine.cost, res.Engine.moves, res.Engine.moved_units))
+                ks)
+            algorithms
+        in
+        (opt, kind, List.concat rows))
+      seeds
+  in
+  let opts = Array.of_list (List.map (fun (o, _, _) -> float_of_int o) per_seed) in
+  let exact =
+    List.fold_left
+      (fun acc (_, kind, _) ->
+        acc + match kind with Ratio.Opt_r_exact -> 1 | _ -> 0)
+      0 per_seed
+  in
+  let curves =
+    List.map
+      (fun (name, _) ->
+        let points =
+          List.map
+            (fun k ->
+              let cells =
+                List.concat_map
+                  (fun (opt, _, rows) ->
+                    List.filter_map
+                      (fun (n, k', cost, moves, units) ->
+                        if n = name && k' = k then Some (opt, cost, moves, units)
+                        else None)
+                      rows)
+                  per_seed
+              in
+              let arr = Array.of_list cells in
+              let costs =
+                Stats.summarize (Array.map (fun (_, c, _, _) -> float_of_int c) arr)
+              in
+              let ratios =
+                Stats.summarize
+                  (Array.map
+                     (fun (opt, c, _, _) ->
+                       if opt = 0 then 1.0 else float_of_int c /. float_of_int opt)
+                     arr)
+              in
+              let moves =
+                Stats.summarize (Array.map (fun (_, _, m, _) -> float_of_int m) arr)
+              in
+              let moved_units =
+                Stats.summarize (Array.map (fun (_, _, _, u) -> float_of_int u) arr)
+              in
+              { k; costs; ratios; moves; moved_units })
+            ks
+        in
+        let monotone =
+          monotone_means (List.map (fun p -> p.costs.Stats.mean) points)
+        in
+        { algorithm = name; points; monotone })
+      algorithms
+  in
+  {
+    mode;
+    strategy;
+    opt = Stats.summarize opts;
+    opt_exact_fraction =
+      (if per_seed = [] then 1.0
+       else float_of_int exact /. float_of_int (List.length per_seed));
+    curves;
+  }

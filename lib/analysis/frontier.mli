@@ -1,0 +1,51 @@
+(** The cost-vs-migration frontier: sweep the recourse budget [k] and
+    chart how each algorithm's usage cost descends from its zero-recourse
+    value toward the infinite-recourse optimum [OPT_R].
+
+    One task per seed ({!Dbp_util.Pool}): the instance and its OPT_R
+    estimate ({!Ratio.opt_estimate}) are computed once and shared across
+    every (algorithm, k) run on that seed, and tasks merge in seed order
+    — the frontier is bit-identical for any worker count. *)
+
+open Dbp_instance
+open Dbp_sim
+
+type point = {
+  k : int;  (** recourse budget *)
+  costs : Dbp_util.Stats.summary;  (** over seeds *)
+  ratios : Dbp_util.Stats.summary;  (** cost / OPT_R estimate, per seed *)
+  moves : Dbp_util.Stats.summary;  (** migrations actually executed *)
+  moved_units : Dbp_util.Stats.summary;  (** dim-0 size moved *)
+}
+
+type curve = {
+  algorithm : string;
+  points : point list;  (** ascending [k]; first point is [k = 0] when swept *)
+  monotone : bool;
+      (** mean cost non-increasing along the [k] axis (half-unit slack
+          for float rounding of integer-cost means) *)
+}
+
+type t = {
+  mode : Recourse.mode;
+  strategy : Recourse.strategy;
+  opt : Dbp_util.Stats.summary;  (** OPT_R estimate over seeds *)
+  opt_exact_fraction : float;
+  curves : curve list;
+}
+
+val run :
+  ?jobs:int ->
+  ?mode:Recourse.mode ->
+  ?strategy:Recourse.strategy ->
+  algorithms:(string * Policy.factory) list ->
+  workload:(seed:int -> Instance.t) ->
+  ks:int list ->
+  seeds:int list ->
+  unit ->
+  t
+(** Sweep [ks] (sorted and deduplicated; negative budgets raise) for
+    every algorithm, wrapping each factory in
+    {!Dbp_sim.Recourse.wrap}[ ~k ~mode ~strategy]. [k = 0] runs the
+    factory unwrapped — the zero-recourse baseline endpoint of the
+    frontier. *)

@@ -12,6 +12,7 @@ type measurement = {
   ratio : float;
   bins_opened : int;
   max_open : int;
+  moves : int;
   mu : float;
 }
 
@@ -38,6 +39,7 @@ let of_result ~mu (res : Engine.result) opt opt_kind =
     ratio = (if opt = 0 then 1.0 else float_of_int res.cost /. float_of_int opt);
     bins_opened = res.bins_opened;
     max_open = res.max_open;
+    moves = res.moves;
     mu;
   }
 
@@ -69,4 +71,5 @@ let pp ppf m =
     | Lower_bound_only -> "LB"
   in
   Format.fprintf ppf "%s: cost=%d opt=%d(%s) ratio=%.3f" m.algorithm m.cost m.opt kind
-    m.ratio
+    m.ratio;
+  if m.moves > 0 then Format.fprintf ppf " moves=%d" m.moves

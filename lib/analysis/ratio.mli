@@ -27,6 +27,7 @@ type measurement = {
   ratio : float;
   bins_opened : int;
   max_open : int;
+  moves : int;  (** recourse migrations executed (0 without {!Dbp_sim.Recourse}) *)
   mu : float;
 }
 

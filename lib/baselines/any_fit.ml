@@ -15,6 +15,14 @@ let policy ?name rule store =
     on_arrival = (fun ~now r -> Fit_group.place group store ~now r);
     on_departure =
       (fun ~now:_ _ ~bin ~closed -> Fit_group.note_depart group store bin ~closed);
+    (* Every bin belongs to the one group, so a relocation is a
+       departure-side resync at the source plus an insert-side one at
+       the destination. *)
+    on_move =
+      Some
+        (fun ~now:_ _ ~src ~dst ~closed ->
+          Fit_group.note_depart group store src ~closed;
+          Fit_group.note_insert group store dst);
   }
 
 let first_fit store = policy H.First_fit store

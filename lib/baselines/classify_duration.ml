@@ -26,4 +26,14 @@ let policy ?(rule = Dbp_binpack.Heuristics.First_fit) () store =
         | Some g -> Fit_group.note_depart g store bin ~closed
         | None -> invalid_arg "Classify_duration: unowned bin");
         if closed then Hashtbl.remove owner bin);
+    on_move =
+      Some
+        (fun ~now:_ _ ~src ~dst ~closed ->
+          (match Hashtbl.find_opt owner src with
+          | Some g -> Fit_group.note_depart g store src ~closed
+          | None -> invalid_arg "Classify_duration: unowned bin");
+          if closed then Hashtbl.remove owner src;
+          match Hashtbl.find_opt owner dst with
+          | Some g -> Fit_group.note_insert g store dst
+          | None -> invalid_arg "Classify_duration: unowned bin");
   }

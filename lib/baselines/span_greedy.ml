@@ -88,4 +88,21 @@ let policy store =
       Fit_tree.set index slot ~residual:(resid bin)
         ~score:(Fit_tree.score index slot)
   in
-  { Policy.name = "SpanGreedy"; on_arrival; on_departure }
+  (* A relocation frees capacity at the source (or closes it) and
+     consumes capacity at the destination; the destination's horizon is
+     a high-water mark, so it only ever grows — to the moved item's
+     departure if that exceeds it. *)
+  let on_move ~now:_ (r : Item.t) ~src ~dst ~closed =
+    let slot = Imap.find slot_of_bin src in
+    if closed then begin
+      Fit_tree.deactivate index slot;
+      Imap.remove slot_of_bin src
+    end
+    else
+      Fit_tree.set index slot ~residual:(resid src)
+        ~score:(Fit_tree.score index slot);
+    let dslot = Imap.find slot_of_bin dst in
+    Fit_tree.set index dslot ~residual:(resid dst)
+      ~score:(max (Fit_tree.score index dslot) r.departure)
+  in
+  { Policy.name = "SpanGreedy"; on_arrival; on_departure; on_move = Some on_move }

@@ -2,7 +2,7 @@ open Dbp_util
 open Dbp_instance
 open Dbp_workloads
 
-type injection = Cost_off_by_one
+type injection = Cost_off_by_one | Move_over_budget
 
 type finding = {
   case : int;
@@ -24,8 +24,22 @@ type report = {
 let families =
   [
     "general"; "uniform"; "aligned"; "binary"; "pinning"; "cdkiller"; "cloud";
-    "adversary"; "mutated"; "general2d"; "cloud2d"; "aligned3d";
+    "adversary"; "mutated"; "general2d"; "cloud2d"; "aligned3d"; "recourse1";
+    "recourse2"; "recourse_waste"; "recourse2d";
   ]
+
+(* Recourse families replay a base workload with every policy wrapped in
+   a migration budget; the validator then gets the same budget declared
+   so any over-move is a finding. One family per strategy, plus a
+   vector one so multi-dimensional evacuation plans stay covered. *)
+let recourse_of_family = function
+  | "recourse1" -> Some (1, Dbp_sim.Recourse.Per_event, Dbp_sim.Recourse.Close_emptiest)
+  | "recourse2" -> Some (2, Dbp_sim.Recourse.Per_event, Dbp_sim.Recourse.Consolidate)
+  | "recourse_waste" ->
+      Some (4, Dbp_sim.Recourse.Amortized, Dbp_sim.Recourse.Waste_threshold 1.25)
+  | "recourse2d" ->
+      Some (1, Dbp_sim.Recourse.Per_event, Dbp_sim.Recourse.Close_emptiest)
+  | _ -> None
 
 let mu_choices = [| 2; 4; 8; 16; 32; 64 |]
 
@@ -109,6 +123,14 @@ let instance_of_case c =
         { Resource_shape.dims = 3; shape = Independent; dim_mu = [| 0.6; 0.3 |] }
       in
       small_aligned ~resource ~mu ~seed ()
+  | "recourse1" -> small_general ~dist:General_random.Dyadic_uniform ~mu ~seed ()
+  | "recourse2" -> small_aligned ~mu ~seed ()
+  | "recourse_waste" -> small_cloud ~seed ()
+  | "recourse2d" ->
+      let resource =
+        { Resource_shape.dims = 2; shape = Correlated 0.8; dim_mu = [||] }
+      in
+      small_general ~resource ~dist:General_random.Dyadic_uniform ~mu ~seed ()
   | f -> invalid_arg ("Fuzz: unknown family " ^ f)
 
 let policies ~mu_hint =
@@ -134,8 +156,12 @@ let run_case ?inject ~solver c =
      scalar rule would take can violate an extra dimension), so they
      only attach at dims = 1. The packing validator and naive diff
      cover every dimensionality. *)
+  let rc = recourse_of_family c.cfamily in
+  (* The lemma oracles shadow the un-repacked admission state; under a
+     migration budget the policies legitimately drift from it, so they
+     attach only to zero-recourse scalar cases. *)
   let policy_oracles name =
-    if Instance.is_empty inst || Instance.dims inst > 1 then []
+    if Instance.is_empty inst || Instance.dims inst > 1 || rc <> None then []
     else
       match name with
       | "HA" -> [ Oracles.ha ~mu:mu_hint ]
@@ -146,12 +172,33 @@ let run_case ?inject ~solver c =
     match inject with
     | Some Cost_off_by_one when name = "FF" ->
         Some (fun (r : Dbp_sim.Engine.result) -> { r with cost = r.cost + 1 })
-    | None | Some Cost_off_by_one -> None
+    | _ -> None
+  in
+  (* [Move_over_budget]: give FF a real budget of one move per event but
+     declare zero to the validator — every executed move is then an
+     over-move, proving the migration oracle detects, shrinks and
+     replays. *)
+  let recourse_for name =
+    match (inject, rc) with
+    | Some Move_over_budget, _ when name = "FF" ->
+        let k, mode, strategy =
+          Option.value rc
+            ~default:(1, Dbp_sim.Recourse.Per_event, Dbp_sim.Recourse.Close_emptiest)
+        in
+        (Some (k, mode, strategy), Some (0, Dbp_sim.Recourse.Per_event))
+    | _, Some (k, mode, strategy) -> (Some (k, mode, strategy), Some (k, mode))
+    | _, None -> (None, None)
   in
   let eval_policy name factory candidate =
+    let wrap_cfg, budget = recourse_for name in
+    let factory =
+      match wrap_cfg with
+      | Some (k, mode, strategy) -> Dbp_sim.Recourse.wrap ~k ~mode ~strategy factory
+      | None -> factory
+    in
     let res, vs =
       Validator.run ~oracles:(policy_oracles name) ?tamper:(tamper_for name)
-        factory candidate
+        ?budget factory candidate
     in
     vs @ Naive.diff res (Naive.run factory candidate)
   in

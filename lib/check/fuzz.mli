@@ -23,12 +23,17 @@
 
 open Dbp_instance
 
-type injection = Cost_off_by_one
-    (** Test-only fault: add 1 to the engine-reported cost of one policy
-        per case before the validator's post-run audit, proving the
-        ["cost-integral"] oracle and the shrinker actually fire. Enabled
-        from the CLI only via the [DBP_CHECK_INJECT] environment
-        variable — never in normal runs. *)
+type injection = Cost_off_by_one | Move_over_budget
+    (** Test-only faults, enabled from the CLI only via the
+        [DBP_CHECK_INJECT] environment variable — never in normal runs.
+        [Cost_off_by_one] adds 1 to the engine-reported cost of one
+        policy per case before the validator's post-run audit, proving
+        the ["cost-integral"] oracle and the shrinker actually fire.
+        [Move_over_budget] gives one policy per case a real migration
+        budget of one move per event while declaring zero to the
+        validator, so every executed relocation is an over-move —
+        proving the ["migration"] oracle detects, shrinks and
+        replays. *)
 
 type finding = {
   case : int;  (** case index, [0 .. n-1] *)

@@ -5,6 +5,7 @@ type result = {
   cost : int;
   bins_opened : int;
   max_open : int;
+  moves : int;
   series : (int * int) array;
   assignment : (int * Bin_store.bin_id) list;
 }
@@ -34,6 +35,27 @@ let run factory inst =
     | (t', _) :: rest when t' = t -> series := (t, !open_now) :: rest
     | _ -> series := (t, !open_now) :: !series
   in
+  (* Recourse moves happen inside the policy callbacks (against the
+     store); replay the log entries appended since the last drain into
+     the naive tables. A move never opens a bin (destinations are
+     already open), so only occupancy — and closes, when a source
+     empties — need mirroring. *)
+  let drained = ref 0 in
+  let drain_moves () =
+    let n = Bin_store.move_logged store in
+    while !drained < n do
+      let t, _, src, dst = Bin_store.move_entry store !drained in
+      incr drained;
+      let c = Option.value (Hashtbl.find_opt occupancy src) ~default:0 - 1 in
+      Hashtbl.replace occupancy src c;
+      if c <= 0 then begin
+        decr open_now;
+        cost := !cost + (t - Hashtbl.find opened_at src)
+      end;
+      Hashtbl.replace occupancy dst
+        (1 + Option.value (Hashtbl.find_opt occupancy dst) ~default:0)
+    done
+  in
   List.iter
     (fun ev ->
       match ev with
@@ -48,6 +70,7 @@ let run factory inst =
           Hashtbl.replace occupancy bin
             (1 + Option.value (Hashtbl.find_opt occupancy bin) ~default:0);
           assignment := (r.Item.id, bin) :: !assignment;
+          drain_moves ();
           record now
       | Depart r ->
           let now = r.Item.departure in
@@ -59,12 +82,14 @@ let run factory inst =
             decr open_now;
             cost := !cost + (now - Hashtbl.find opened_at bin)
           end;
+          drain_moves ();
           record now)
     events;
   {
     cost = !cost;
     bins_opened = Hashtbl.length opened_at;
     max_open = !max_open;
+    moves = Bin_store.move_count store;
     series = Array.of_list (List.rev !series);
     assignment = List.rev !assignment;
   }
@@ -76,6 +101,7 @@ let diff (e : Engine.result) (n : result) =
   if e.bins_opened <> n.bins_opened then
     emit "bins_opened: engine %d, naive %d" e.bins_opened n.bins_opened;
   if e.max_open <> n.max_open then emit "max_open: engine %d, naive %d" e.max_open n.max_open;
+  if e.moves <> n.moves then emit "moves: engine %d, naive %d" e.moves n.moves;
   if e.series <> n.series then
     emit "series: engine has %d samples, naive %d (first mismatch %s)"
       (Array.length e.series) (Array.length n.series)

@@ -17,6 +17,7 @@ type result = {
   cost : int;
   bins_opened : int;
   max_open : int;
+  moves : int;  (** recourse relocations the policy executed *)
   series : (int * int) array;
       (** (tick, open bins after the tick's events), event ticks only. *)
   assignment : (int * Bin_store.bin_id) list;  (** placement order *)

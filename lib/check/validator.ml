@@ -86,7 +86,7 @@ let check_arrival emit store ~now (r : Item.t) bin =
          "item %d not found in the bin %d the policy returned" r.id bin);
   check_bin_load emit store ~now bin
 
-let check_departure emit store ~now (r : Item.t) ~bin ~closed =
+let check_departure emit store ~now (r : Item.t) ~bin ~closed ~moved_from =
   if now <> r.departure then
     emit
       (Violation.make ~oracle:"event-time" ~time:now
@@ -94,9 +94,18 @@ let check_departure emit store ~now (r : Item.t) ~bin ~closed =
          r.departure);
   let contents = Bin_store.contents store bin in
   if closed <> (contents = []) then
-    emit
-      (Violation.make ~oracle:"bin-close" ~time:now
-         "bin %d closed=%b but holds %d items" bin closed (List.length contents));
+    (* [closed] reports the state at removal time; a recourse pass
+       running inside the policy's departure hook may legitimately have
+       drained (and closed) the bin afterwards — allowed exactly when a
+       move out of this bin happened during this event. *)
+    if
+      (not closed) && contents = [] && moved_from bin
+      && not (Bin_store.is_open store bin)
+    then ()
+    else
+      emit
+        (Violation.make ~oracle:"bin-close" ~time:now
+           "bin %d closed=%b but holds %d items" bin closed (List.length contents));
   if closed then begin
     if Bin_store.is_open store bin then
       emit
@@ -114,6 +123,47 @@ let check_departure emit store ~now (r : Item.t) ~bin ~closed =
              "bin %d reported closed but has no closing tick" bin)
   end;
   check_bin_load emit store ~now bin
+
+(* ---- migration (recourse) checks ---- *)
+
+(* Structural checks on the moves a policy executed during one event:
+   the log entries [from, upto) appended around the inner callback.
+   Returns [upto] so the wrapper can advance its drained prefix. *)
+let check_event_moves emit store ~now ~from ~budget ~arrivals =
+  let upto = Bin_store.move_logged store in
+  for i = from to upto - 1 do
+    let t, item, src, dst = Bin_store.move_entry store i in
+    if t <> now then
+      emit
+        (Violation.make ~oracle:"migration" ~time:now
+           "move of item %d stamped t=%d during the event at t=%d" item t now);
+    (* The destination must still be open — unless a later move in the
+       same event drained it too, in which case it closed at [now]. *)
+    if Bin_store.is_open store dst then check_bin_load emit store ~now dst
+    else if Bin_store.closed_at store dst <> Some now then
+      emit
+        (Violation.make ~oracle:"migration" ~time:now
+           "item %d moved into bin %d which is not open" item dst);
+    if Bin_store.is_open store src then check_bin_load emit store ~now src
+    else if Bin_store.closed_at store src <> Some now then
+      emit
+        (Violation.make ~oracle:"migration" ~time:now
+           "item %d moved out of bin %d which closed before this event" item src)
+  done;
+  (match budget with
+  | None -> ()
+  | Some (k, Recourse.Per_event) ->
+      if upto - from > k then
+        emit
+          (Violation.make ~oracle:"migration" ~time:now
+             "event performed %d moves, budget is %d per event" (upto - from) k)
+  | Some (k, Recourse.Amortized) ->
+      if upto > k * arrivals then
+        emit
+          (Violation.make ~oracle:"migration" ~time:now
+             "%d moves after %d arrivals exceed the amortized budget %d per arrival"
+             upto arrivals k));
+  upto
 
 (* ---- post-run audit ---- *)
 
@@ -138,37 +188,42 @@ let usage_integral store =
   in
   integrate 0 cuts
 
-(* The gapless interval cover of one bin's items: items sorted by
-   arrival must chain without a hole (a hole means the bin emptied and
-   the store should have closed it). Returns the cover end. *)
-let cover_end emit ~bin (items : Item.t list) =
+(* The gapless interval cover of one bin's stints — [(lo, hi, item_id)]
+   residencies sorted by start must chain without a hole (a hole means
+   the bin emptied and the store should have closed it). Items that were
+   never relocated contribute their whole [arrival, departure) lifetime;
+   moved items contribute one stint per bin they visited. Returns the
+   cover end. *)
+let cover_end emit ~bin intervals =
   let sorted =
-    List.sort (fun (a : Item.t) (b : Item.t) -> compare (a.arrival, a.id) (b.arrival, b.id)) items
+    List.sort
+      (fun (l1, _, i1) (l2, _, i2) -> compare (l1, i1) (l2, i2))
+      intervals
   in
   match sorted with
   | [] -> None
-  | first :: rest ->
+  | (_, hi0, _) :: rest ->
       let stop =
         List.fold_left
-          (fun stop (r : Item.t) ->
-            if r.arrival > stop then begin
+          (fun stop (lo, hi, id) ->
+            if lo > stop then begin
               emit
-                (Violation.make ~oracle:"bin-reuse" ~time:r.arrival
+                (Violation.make ~oracle:"bin-reuse" ~time:lo
                    "bin %d was empty on [%d, %d) yet item %d was added later — emptied \
                     bins must close and never be reused"
-                   bin stop r.arrival r.id);
-              r.departure
+                   bin stop lo id);
+              hi
             end
-            else max stop r.departure)
-          first.departure rest
+            else max stop hi)
+          hi0 rest
       in
       Some stop
 
 let audit emit (result : Engine.result) inst =
   let store = result.store in
-  (* Placement log vs instance: every item packed exactly once. *)
+  (* Placement log vs instance: every item packed exactly once. The log
+     records initial placements; relocations live in the move log. *)
   let placed = Hashtbl.create 64 in
-  let by_bin = Hashtbl.create 64 in
   List.iter
     (fun (item_id, bin) ->
       if Hashtbl.mem placed item_id then
@@ -178,7 +233,7 @@ let audit emit (result : Engine.result) inst =
       else begin
         Hashtbl.replace placed item_id bin;
         match Instance.find inst item_id with
-        | r -> Hashtbl.replace by_bin bin (r :: Option.value (Hashtbl.find_opt by_bin bin) ~default:[])
+        | _ -> ()
         | exception Not_found ->
             emit
               (Violation.make ~oracle:"placement" ~time:(-1)
@@ -190,6 +245,81 @@ let audit emit (result : Engine.result) inst =
       if not (Hashtbl.mem placed r.id) then
         emit
           (Violation.make ~oracle:"placement" ~time:(-1) "item %d was never placed" r.id))
+    (Instance.items inst);
+  (* Move accounting: the result, the store counters and the log must
+     agree, and the carried units must re-sum from the instance. *)
+  let move_log = Bin_store.move_log store in
+  if result.moves <> Bin_store.move_count store then
+    emit
+      (Violation.make ~oracle:"migration" ~time:(-1)
+         "result reports %d moves but the store counted %d" result.moves
+         (Bin_store.move_count store));
+  if result.moves <> List.length move_log then
+    emit
+      (Violation.make ~oracle:"migration" ~time:(-1)
+         "result reports %d moves but the store logged %d" result.moves
+         (List.length move_log));
+  let recomputed_moved_units =
+    List.fold_left
+      (fun acc (_, item_id, _, _) ->
+        match Instance.find inst item_id with
+        | r -> acc + Load.to_units r.Item.size
+        | exception Not_found ->
+            emit
+              (Violation.make ~oracle:"migration" ~time:(-1)
+                 "move log contains item %d which is not in the instance" item_id);
+            acc)
+      0 move_log
+  in
+  if result.moved_units <> recomputed_moved_units then
+    emit
+      (Violation.make ~oracle:"migration" ~time:(-1)
+         "result reports %d moved units but the move log re-sums to %d"
+         result.moved_units recomputed_moved_units);
+  (* Per-item stints: start at the logged initial placement, split at
+     each relocation, end at departure. Each stint lands in its bin's
+     interval list for the gapless-cover check below. *)
+  let moves_by_item : (int, (int * int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (t, item_id, src, dst) ->
+      Hashtbl.replace moves_by_item item_id
+        ((t, src, dst)
+        :: Option.value (Hashtbl.find_opt moves_by_item item_id) ~default:[]))
+    move_log;
+  let by_bin : (Bin_store.bin_id, (int * int * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let add_stint bin ~lo ~hi item_id =
+    Hashtbl.replace by_bin bin
+      ((lo, hi, item_id) :: Option.value (Hashtbl.find_opt by_bin bin) ~default:[])
+  in
+  Array.iter
+    (fun (r : Item.t) ->
+      match Hashtbl.find_opt placed r.id with
+      | None -> () (* already reported as never placed *)
+      | Some first_bin ->
+          let moves =
+            List.rev (Option.value (Hashtbl.find_opt moves_by_item r.id) ~default:[])
+          in
+          let last_bin, last_lo =
+            List.fold_left
+              (fun (cur, lo) (t, src, dst) ->
+                if t < r.arrival || t > r.departure then
+                  emit
+                    (Violation.make ~oracle:"migration" ~time:t
+                       "item %d moved at t=%d outside its lifetime [%d, %d]" r.id t
+                       r.arrival r.departure);
+                if src <> cur then
+                  emit
+                    (Violation.make ~oracle:"migration" ~time:t
+                       "move of item %d at t=%d leaves bin %d but the item was in \
+                        bin %d"
+                       r.id t src cur);
+                add_stint cur ~lo ~hi:t r.id;
+                (dst, t))
+              (first_bin, r.arrival) moves
+          in
+          add_stint last_bin ~lo:last_lo ~hi:r.departure r.id)
     (Instance.items inst);
   (* Every bin must be closed once every item departed, must have opened
      with its first item and closed at the end of its gapless cover. *)
@@ -205,22 +335,25 @@ let audit emit (result : Engine.result) inst =
          (List.length all));
   List.iter
     (fun bin ->
-      let items = Option.value (Hashtbl.find_opt by_bin bin) ~default:[] in
-      match items with
+      let intervals = Option.value (Hashtbl.find_opt by_bin bin) ~default:[] in
+      match intervals with
       | [] ->
           emit
             (Violation.make ~oracle:"placement" ~time:(-1)
                "bin %d was opened but never held an item" bin)
-      | items -> (
-          let first_arrival =
-            List.fold_left (fun acc (r : Item.t) -> min acc r.arrival) max_int items
+      | intervals -> (
+          (* A bin is always opened by an insert (moves only target open
+             bins), so its earliest stint starts at its first item's
+             arrival. *)
+          let first_start =
+            List.fold_left (fun acc (lo, _, _) -> min acc lo) max_int intervals
           in
-          if Bin_store.opened_at store bin <> first_arrival then
+          if Bin_store.opened_at store bin <> first_start then
             emit
               (Violation.make ~oracle:"bin-open" ~time:(-1)
                  "bin %d opened at %d but its first item arrives at %d" bin
-                 (Bin_store.opened_at store bin) first_arrival);
-          match (cover_end emit ~bin items, Bin_store.closed_at store bin) with
+                 (Bin_store.opened_at store bin) first_start);
+          match (cover_end emit ~bin intervals, Bin_store.closed_at store bin) with
           | Some stop, Some closed when stop <> closed ->
               emit
                 (Violation.make ~oracle:"bin-close" ~time:(-1)
@@ -255,10 +388,22 @@ let audit emit (result : Engine.result) inst =
           (Violation.make ~oracle:"series" ~time:t
              "series reports %d open bins but the open/close log yields %d" c v))
     result.series;
-  if result.max_open <> !peak then
+  (* Without moves, the open count within a tick is maximal after its
+     last arrival, so the high-water is always attained at a sampled
+     point. A recourse pass can open a bin and close another inside one
+     event — a transient the end-of-tick series never sees — so with
+     moves the high-water may legitimately exceed the sampled peak, but
+     never fall below it. *)
+  if result.moves = 0 then begin
+    if result.max_open <> !peak then
+      emit
+        (Violation.make ~oracle:"series" ~time:(-1)
+           "max_open=%d but the series peaks at %d" result.max_open !peak)
+  end
+  else if result.max_open < !peak then
     emit
       (Violation.make ~oracle:"series" ~time:(-1)
-         "max_open=%d but the series peaks at %d" result.max_open !peak);
+         "max_open=%d below the series peak %d" result.max_open !peak);
   (* Lemma 3.1 floor: no valid packing beats int ceil(S_t) dt. *)
   if not (Instance.is_empty inst) then begin
     let b = Dbp_offline.Bounds.compute inst in
@@ -269,16 +414,26 @@ let audit emit (result : Engine.result) inst =
            result.cost b.lower)
   end
 
-let run ?(oracles = []) ?tamper factory inst =
+let run ?(oracles = []) ?tamper ?budget factory inst =
   let vs = ref [] in
   let emit v = vs := v :: !vs in
+  (* The validator sits outside any recourse wrapper, so it never sees
+     [on_move] calls directly; the store's move log is its observation
+     channel. [drained] is the log prefix already checked — the entries
+     appended across one inner callback are that event's moves. *)
+  let drained = ref 0 in
+  let arrivals = ref 0 in
   let wrapped store =
     let inner = factory store in
     {
       Policy.name = inner.Policy.name;
       on_arrival =
         (fun ~now r ->
+          incr arrivals;
           let bin = inner.on_arrival ~now r in
+          drained :=
+            check_event_moves emit store ~now ~from:!drained ~budget
+              ~arrivals:!arrivals;
           check_arrival emit store ~now r bin;
           List.iter
             (fun o ->
@@ -290,13 +445,26 @@ let run ?(oracles = []) ?tamper factory inst =
       on_departure =
         (fun ~now r ~bin ~closed ->
           inner.on_departure ~now r ~bin ~closed;
-          check_departure emit store ~now r ~bin ~closed;
+          let from = !drained in
+          drained :=
+            check_event_moves emit store ~now ~from ~budget ~arrivals:!arrivals;
+          let moved_from b =
+            let rec probe i =
+              i < !drained
+              &&
+              let _, _, src, _ = Bin_store.move_entry store i in
+              src = b || probe (i + 1)
+            in
+            probe from
+          in
+          check_departure emit store ~now r ~bin ~closed ~moved_from;
           List.iter
             (fun o ->
               match o.on_departure ~store ~now r ~bin ~closed with
               | None -> ()
               | Some detail -> emit { Violation.oracle = o.oracle_name; time = now; detail })
             oracles);
+      on_move = inner.on_move;
     }
   in
   let result = Engine.run wrapped inst in

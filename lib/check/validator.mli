@@ -14,13 +14,25 @@
     - a bin reported closed is empty, unlisted, and stamped with the
       closing tick.
 
+    Migration (bounded recourse, {!Dbp_sim.Recourse}): every move a
+    policy executes through {!Dbp_sim.Bin_store.move} is observed via
+    the store's move log and checked per event — lands in an open bin
+    whose re-summed load fits in every dimension, stamped with the
+    event's tick, and within the declared budget ([budget]: at most [k]
+    per event, or [k x arrivals] cumulatively in amortized mode).
+
     Post-run:
     - no bin is left open once every item departed;
     - every instance item was placed exactly once;
+    - move accounting is consistent (result, store counters and move
+      log agree; moved units re-sum from the instance), every logged
+      move happens within its item's lifetime, and each move's source
+      is the bin the item was actually in (the stint chain);
     - each bin opened at its first item's arrival, closed at the end of
-      its items' gapless interval cover (a gap would mean the store
+      its stints' gapless interval cover (a gap would mean the store
       missed an emptying — Section 2's "an emptied bin closes and is
-      never reused");
+      never reused"; relocated items contribute one stint per bin they
+      visited, so lifetimes stay gapless across repacks);
     - the reported cost equals the usage integral recomputed from the
       per-bin open/close log through an independent
       {!Dbp_util.Timeline}, and the open-bin series and [max_open]
@@ -74,6 +86,7 @@ val usage_integral : Bin_store.t -> int
 val run :
   ?oracles:event_oracle list ->
   ?tamper:(Engine.result -> Engine.result) ->
+  ?budget:int * Recourse.mode ->
   Policy.factory ->
   Instance.t ->
   Engine.result * Violation.t list
@@ -82,4 +95,8 @@ val run :
     first, post-run audits last). [tamper] is a test-only fault-
     injection hook applied to the engine result before the post-run
     audit — the fuzz gate uses it to prove the validator actually
-    fires; production callers leave it unset. *)
+    fires; production callers leave it unset. [budget] declares the
+    move budget the factory is supposed to respect (a
+    {!Dbp_sim.Recourse}-wrapped policy's [k] and mode); any event
+    exceeding it is a ["migration"] violation. Without [budget], moves
+    are still structurally checked but unbounded. *)

@@ -83,7 +83,20 @@ let make ?(rule = Dbp_binpack.Heuristics.First_fit) gauge store =
     if closed then Hashtbl.remove owner bin;
     update ()
   in
-  { Policy.name = "CDFF"; on_arrival; on_departure }
+  (* [owner] survives [shift_rows] re-keying (it maps bins to groups,
+     not row indices), so the move-side resync is the generic
+     ownership-table pattern. *)
+  let on_move ~now:_ (_ : Item.t) ~src ~dst ~closed =
+    (match Hashtbl.find_opt owner src with
+    | Some grp -> Fit_group.note_depart grp store src ~closed
+    | None -> invalid_arg "Cdff.on_move: unowned bin");
+    if closed then Hashtbl.remove owner src;
+    (match Hashtbl.find_opt owner dst with
+    | Some grp -> Fit_group.note_insert grp store dst
+    | None -> invalid_arg "Cdff.on_move: unowned bin");
+    update ()
+  in
+  { Policy.name = "CDFF"; on_arrival; on_departure; on_move = Some on_move }
 
 let policy ?rule () store = make ?rule None store
 

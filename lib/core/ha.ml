@@ -137,7 +137,24 @@ let make ?(rule = Dbp_binpack.Heuristics.First_fit) ?(threshold = default_thresh
     end;
     update ()
   in
-  { Policy.name = "HA"; on_arrival; on_departure }
+  (* Relocations leave the type-load gauges alone (the item is still
+     live, so its type's total is unchanged); only the two bins' fit
+     groups need resyncing. The exhausted-CD-group pruning done on
+     departure-close is skipped here: a bin may hold items of other
+     types after earlier moves, so the moved item's type does not
+     identify the group's type key — an empty group lingering in [cd]
+     is only a size optimization, never a correctness issue. *)
+  let on_move ~now:_ _ ~src ~dst ~closed =
+    (match Hashtbl.find_opt owner src with
+    | Some grp -> Fit_group.note_depart grp store src ~closed
+    | None -> invalid_arg "Ha.on_move: unowned bin");
+    if closed then Hashtbl.remove owner src;
+    (match Hashtbl.find_opt owner dst with
+    | Some grp -> Fit_group.note_insert grp store dst
+    | None -> invalid_arg "Ha.on_move: unowned bin");
+    update ()
+  in
+  { Policy.name = "HA"; on_arrival; on_departure; on_move = Some on_move }
 
 let policy ?rule ?threshold () store = make ?rule ?threshold None store
 

@@ -29,6 +29,49 @@ let section title body =
 
 let fit_line name fitted = Format.asprintf "%-10s fits as %a" name Fit.pp fitted
 
+let frontier_table (f : Frontier.t) =
+  match f.curves with
+  | [] -> "(no data)\n"
+  | first :: _ ->
+      let columns =
+        "k"
+        :: List.concat_map
+             (fun (c : Frontier.curve) -> [ c.algorithm; c.algorithm ^ " moves" ])
+             f.curves
+      in
+      let table = Dbp_report.Table.create ~columns in
+      List.iteri
+        (fun i (p : Frontier.point) ->
+          let row =
+            Dbp_report.Table.cell_int p.k
+            :: List.concat_map
+                 (fun (c : Frontier.curve) ->
+                   let q = List.nth c.points i in
+                   [
+                     Dbp_report.Table.cell_ratio q.ratios.mean;
+                     Dbp_report.Table.cell_float ~decimals:1 q.moves.mean;
+                   ])
+                 f.curves
+          in
+          Dbp_report.Table.add_row table row)
+        first.points;
+      let monotone =
+        List.map
+          (fun (c : Frontier.curve) ->
+            Printf.sprintf "%s:%s" c.algorithm
+              (if c.monotone then "monotone" else "NON-MONOTONE"))
+          f.curves
+      in
+      Printf.sprintf
+        "%s(ratios are vs OPT_R, mean over seeds; mean OPT_R = %.1f, exact on \
+         %.0f%% of seeds)\nmode=%s strategy=%s   frontier %s\n"
+        (Dbp_report.Table.render table)
+        f.opt.Dbp_util.Stats.mean
+        (100.0 *. f.opt_exact_fraction)
+        (Dbp_sim.Recourse.mode_to_string f.mode)
+        (Dbp_sim.Recourse.strategy_to_string f.strategy)
+        (String.concat " " monotone)
+
 let curve_table ?(extra = []) curves =
   match curves with
   | [] -> "(no data)\n"

@@ -31,3 +31,8 @@ val curve_table :
   string
 (** One row per [mu], one ratio column per algorithm; [extra] appends
     per-point columns computed from the first curve. *)
+
+val frontier_table : Dbp_analysis.Frontier.t -> string
+(** One row per recourse budget [k]; per algorithm, the mean ratio to
+    OPT_R and the mean number of migrations executed. Footer states the
+    budget mode/strategy and per-curve monotonicity. *)

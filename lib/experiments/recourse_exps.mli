@@ -1,0 +1,5 @@
+(** E21: the cost-vs-migration frontier — zero-recourse heuristics at one
+    end, OPT_R at the other, and {!Dbp_sim.Recourse}-wrapped policies in
+    between, swept over the per-event budget [k]. *)
+
+val frontier : quick:bool -> string

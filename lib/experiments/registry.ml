@@ -127,6 +127,12 @@ let all =
       title = "Goal functions: usage-time vs momentary vs max-bins";
       run = (fun ~quick -> Objectives.run ~quick);
     };
+    {
+      id = "frontier";
+      experiment = "E21";
+      title = "Cost-vs-migration frontier: bounded recourse";
+      run = (fun ~quick -> Recourse_exps.frontier ~quick);
+    };
   ]
 
 let run_entries ?jobs ~quick entries =

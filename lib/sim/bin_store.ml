@@ -72,6 +72,12 @@ type t = {
   mutable last_item : int;  (** item id of the most recent {!insert}, -1 = none *)
   mutable last_bin : bin_id;  (** bin of the most recent {!insert} *)
   mutable b_cookie : int array;  (** caller-owned stash per bin, -1 when unset *)
+  moves_log : (int * int * bin_id * bin_id) Vec.t;
+      (** retain mode only: (tick, item, src, dst) per {!move}, in
+          execution order — what the validators replay to reconstruct
+          per-item stints *)
+  mutable moves_n : int;  (** moves ever (both modes) *)
+  mutable moved_units_sum : int;  (** dimension-0 units carried by moves *)
 }
 
 let m_opens = Metrics.counter "bin_store.opens"
@@ -81,6 +87,8 @@ let m_max_open = Metrics.gauge "bin_store.max_open"
 let m_live_items = Metrics.gauge "bin_store.live_items"
 let lifetime_buckets = [| 1; 4; 16; 64; 256; 1024; 4096; 16384 |]
 let m_lifetime = Metrics.histogram ~buckets:lifetime_buckets "bin_store.lifetime"
+let m_moves = Metrics.counter "bin_store.moves"
+let m_moved_units = Metrics.counter "bin_store.moved_units"
 
 let initial_cap = 16
 
@@ -121,6 +129,9 @@ let create ?(retire = false) ?(track_items = true) ?(dims = 1) () =
     last_item = -1;
     last_bin = -1;
     b_cookie = Array.make initial_cap (-1);
+    moves_log = Vec.create ();
+    moves_n = 0;
+    moved_units_sum = 0;
   }
 
 let retire_mode t = t.retire
@@ -252,6 +263,30 @@ let observe_lifetime t life =
   let i = slot 0 in
   t.lifetime_counts.(i) <- t.lifetime_counts.(i) + 1
 
+(* Close an emptied bin: fold its lifetime into the aggregates and
+   either retire the slot or stamp the closing tick. Shared by item
+   departures ([release]) and by [move] draining a source bin. *)
+let close_empty t ~now id =
+  unlink_live t id;
+  t.n_open <- t.n_open - 1;
+  let life = now - t.b_opened.(id) in
+  t.done_usage <- t.done_usage + life;
+  t.closed_count <- t.closed_count + 1;
+  observe_lifetime t life;
+  (* Retire: the aggregates above are all that survives; recycling the
+     slot is what keeps a streamed run's memory bounded. The caller's
+     [on_departure] may still read nothing of this bin — the next
+     [open_bin] would repurpose it. *)
+  if t.retire then begin
+    t.b_closed.(id) <- freed_mark;
+    t.b_next.(id) <- t.free_head;
+    t.free_head <- id
+  end
+  else t.b_closed.(id) <- now;
+  Metrics.incr m_closes;
+  Metrics.add m_usage life;
+  Metrics.observe m_lifetime life
+
 (* Give back [u] units of [item_id]'s load to bin [id]; close the bin if
    it emptied. The packing record is the caller's business: [remove]
    resolves it through [current], [remove_at] is handed it by a caller
@@ -265,27 +300,7 @@ let release t ~now ~item_id ~extra id u =
   t.b_count.(id) <- count;
   if not t.retire then t.b_items.(id) <- remove_item item_id [] t.b_items.(id);
   let closed = count = 0 in
-  if closed then begin
-    unlink_live t id;
-    t.n_open <- t.n_open - 1;
-    let life = now - t.b_opened.(id) in
-    t.done_usage <- t.done_usage + life;
-    t.closed_count <- t.closed_count + 1;
-    observe_lifetime t life;
-    (* Retire: the aggregates above are all that survives; recycling the
-       slot is what keeps a streamed run's memory bounded. The caller's
-       [on_departure] may still read nothing of this bin — the next
-       [open_bin] would repurpose it. *)
-    if t.retire then begin
-      t.b_closed.(id) <- freed_mark;
-      t.b_next.(id) <- t.free_head;
-      t.free_head <- id
-    end
-    else t.b_closed.(id) <- now;
-    Metrics.incr m_closes;
-    Metrics.add m_usage life;
-    Metrics.observe m_lifetime life
-  end;
+  if closed then close_empty t ~now id;
   closed
 
 (* Resolve a tracked item's extra dimensions (only a [dims > 1] store
@@ -324,6 +339,67 @@ let remove_at ?(extra = Item.no_extra) t ~now ~item_id ~bin ~units =
   end;
   release t ~now ~item_id ~extra bin units
 
+(* Relocate a live item into another open bin. The arrival logs
+   ([history]/[ever]) record *initial* placements only; moves are logged
+   separately, so the two streams together reconstruct per-item stints.
+   [last_item]/[last_bin] are deliberately untouched: a move performed
+   inside [on_arrival] must not disturb the engine's "did the policy
+   pack where it said?" check, which keys on the arrival insert. *)
+let move t ~now ~item_id ~dst =
+  if not t.track then
+    invalid_arg "Bin_store.move: store does not track items (track_items:false)";
+  check_bin t dst;
+  if t.b_closed.(dst) <> open_mark then
+    invalid_arg "Bin_store.move: destination bin is closed";
+  let packed =
+    match Imap.find_opt t.current item_id with
+    | Some p -> p
+    | None -> invalid_arg "Bin_store.move: item is not live"
+  in
+  let src = packed lsr size_bits in
+  let u = packed land size_mask in
+  if src = dst then invalid_arg "Bin_store.move: item already in that bin";
+  if t.b_load.(dst) + u > Load.capacity then
+    invalid_arg "Bin_store.move: does not fit";
+  let extra =
+    if t.dims = 1 then Item.no_extra else Hashtbl.find t.extra_current item_id
+  in
+  for k = 0 to t.dims - 2 do
+    if t.b_extra.(k).(dst) + extra.(k) > Load.capacity then
+      invalid_arg "Bin_store.move: does not fit"
+  done;
+  Imap.set t.current item_id ((dst lsl size_bits) lor u);
+  t.b_load.(dst) <- t.b_load.(dst) + u;
+  t.b_load.(src) <- t.b_load.(src) - u;
+  for k = 0 to t.dims - 2 do
+    t.b_extra.(k).(dst) <- t.b_extra.(k).(dst) + extra.(k);
+    t.b_extra.(k).(src) <- t.b_extra.(k).(src) - extra.(k)
+  done;
+  t.b_count.(dst) <- t.b_count.(dst) + 1;
+  let count = t.b_count.(src) - 1 in
+  t.b_count.(src) <- count;
+  if not t.retire then begin
+    (* Retain mode keeps per-bin contents and the full move log; retire
+       mode drops both so streaming memory stays O(live items) — the
+       counters below still aggregate every move. *)
+    let r = List.find (fun (r : Item.t) -> r.id = item_id) t.b_items.(src) in
+    t.b_items.(src) <- remove_item item_id [] t.b_items.(src);
+    t.b_items.(dst) <- r :: t.b_items.(dst);
+    Vec.push t.moves_log (now, item_id, src, dst)
+  end;
+  t.moves_n <- t.moves_n + 1;
+  t.moved_units_sum <- t.moved_units_sum + u;
+  Metrics.incr m_moves;
+  Metrics.add m_moved_units u;
+  let closed = count = 0 in
+  if closed then close_empty t ~now src;
+  closed
+
+let move_count t = t.moves_n
+let moved_units t = t.moved_units_sum
+let move_logged t = Vec.length t.moves_log
+let move_entry t i = Vec.get t.moves_log i
+let move_log t = Vec.to_list t.moves_log
 let load t id = check_bin t id; Load.of_units t.b_load.(id)
 let residual t id = check_bin t id; Load.of_units (Load.capacity - t.b_load.(id))
 let residual_units t id = check_bin t id; Load.capacity - t.b_load.(id)
@@ -367,6 +443,8 @@ let fold_live f acc t =
   let rec loop acc id = if id < 0 then acc else loop (f acc id) t.b_next.(id) in
   loop acc t.live_head
 
+let fold_open f acc t = fold_live f acc t
+let item_count t id = check_bin t id; t.b_count.(id)
 let open_bins t = List.rev (fold_live (fun acc id -> id :: acc) [] t)
 let all_bins t = if t.retire then open_bins t else List.init t.next_fresh Fun.id
 let open_count t = t.n_open

@@ -96,6 +96,40 @@ val remove_at :
     the item's own [extra] field); it defaults to the empty array,
     which only a scalar store accepts. *)
 
+val move : t -> now:int -> item_id:int -> dst:bin_id -> bool
+(** Relocate a live item into another open bin, in O(1) unlink/relink on
+    the packing record (retain mode additionally rewrites the two bins'
+    item lists). Returns whether the source bin emptied and was closed
+    at [now] — closed by a move exactly as it would be by a departure
+    (lifetime, aggregates, live-list unlink, retire-mode slot
+    recycling). Capacity is enforced in every dimension. The arrival
+    logs ({!assignment}, {!bin_of_item} after departure) keep recording
+    {e initial} placements; moves are logged separately ({!move_log}),
+    and {!last_inserted_into} is unaffected, so a move performed inside
+    a policy's arrival hook does not disturb the engine's placement
+    check. Requires item tracking ([Invalid_argument] with
+    [~track_items:false]); raises [Invalid_argument] if the item is not
+    live, the destination is closed, equals the current bin, or lacks
+    capacity. *)
+
+val move_count : t -> int
+(** Moves ever executed (both retention modes). *)
+
+val moved_units : t -> int
+(** Total dimension-0 load units carried by moves. *)
+
+val move_log : t -> (int * int * bin_id * bin_id) list
+(** Permanent [(tick, item_id, src, dst)] log of moves in execution
+    order. Retain mode only — empty in retire mode (the same unbounded
+    retention {!assignment} avoids there). *)
+
+val move_logged : t -> int
+(** Length of {!move_log} — lets an incremental consumer (the shadow
+    validator) drain only the entries appended since its last look. *)
+
+val move_entry : t -> int -> int * int * bin_id * bin_id
+(** Random access into {!move_log} without materializing the list. *)
+
 val load : t -> bin_id -> Load.t
 val residual : t -> bin_id -> Load.t
 
@@ -136,6 +170,15 @@ val contents : t -> bin_id -> Item.t list
 
 val open_bins : t -> bin_id list
 (** Open bins in opening order (the First-Fit scan order). *)
+
+val fold_open : ('a -> bin_id -> 'a) -> 'a -> t -> 'a
+(** Fold over the open bins in opening order without materializing the
+    list — the deterministic enumeration the recourse strategies scan on
+    every event. *)
+
+val item_count : t -> bin_id -> int
+(** Items currently in the bin (both retention modes — unlike
+    {!contents}, this is a plain counter read). *)
 
 val all_bins : t -> bin_id list
 (** Every bin ever opened (open or closed), in opening order — the

@@ -6,6 +6,8 @@ type result = {
   cost : int;
   bins_opened : int;
   max_open : int;
+  moves : int;
+  moved_units : int;
   series : (int * int) array;
   store : Bin_store.t;
 }
@@ -111,10 +113,19 @@ module Interactive = struct
         let dep = r.Item.departure in
         t.pend_departures <- t.pend_departures + 1;
         if dep > t.clock then t.clock <- dep;
-        let bin = Array.unsafe_get t.slot_bin slot in
-        let closed =
-          Bin_store.remove_at ~extra:r.extra t.store ~now:dep ~item_id:r.id ~bin
-            ~units:(Load.to_units r.size)
+        (* [slot_bin] caches the arrival placement; once any move has
+           happened it can be stale, so the (slower, id-keyed) tracked
+           removal resolves the item's current bin instead. Move-free
+           runs — every k = 0 path — never take that branch. *)
+        let bin, closed =
+          if Bin_store.move_count t.store = 0 then begin
+            let bin = Array.unsafe_get t.slot_bin slot in
+            ( bin,
+              Bin_store.remove_at ~extra:r.extra t.store ~now:dep ~item_id:r.id
+                ~bin
+                ~units:(Load.to_units r.size) )
+          end
+          else Bin_store.remove t.store ~now:dep ~item_id:r.id
         in
         t.policy.on_departure ~now:dep r ~bin ~closed;
         Item_block.free blk slot;
@@ -184,6 +195,8 @@ module Interactive = struct
         cost = Bin_store.closed_usage t.store;
         bins_opened = Bin_store.bins_opened t.store;
         max_open = Bin_store.max_open t.store;
+        moves = Bin_store.move_count t.store;
+        moved_units = Bin_store.moved_units t.store;
         series = Lttb.to_array t.series;
         store = t.store;
       }
@@ -216,12 +229,13 @@ module Stream = struct
   let m_stream_runs = Metrics.counter "engine.stream.runs"
   let default_chunk_size = 256
 
-  let run_chunks ?(retire = true) ?max_series ?(chunk_size = default_chunk_size)
-      ?(dims = 1) factory chunk =
+  let run_chunks ?(retire = true) ?track_items ?max_series
+      ?(chunk_size = default_chunk_size) ?(dims = 1) factory chunk =
     if chunk_size < 1 then invalid_arg "Engine.Stream.run_chunks: chunk_size < 1";
     Metrics.incr m_stream_runs;
     let t =
-      Interactive.start ~retire ~retain_released:false ?max_series ~dims factory
+      Interactive.start ~retire ?track_items ~retain_released:false ?max_series
+        ~dims factory
     in
     Trace.with_span "engine.stream"
       ~args:[ ("algorithm", t.Interactive.policy.Policy.name) ]
@@ -255,6 +269,7 @@ module Stream = struct
   (* The Seq path is the chunked path behind the [of_seq] shim, so both
      entry points exercise one drain loop (and the conformance tests
      pin them against each other). *)
-  let run ?retire ?max_series ?dims factory source =
-    run_chunks ?retire ?max_series ?dims factory (Event_source.Chunk.of_seq source)
+  let run ?retire ?track_items ?max_series ?dims factory source =
+    run_chunks ?retire ?track_items ?max_series ?dims factory
+      (Event_source.Chunk.of_seq source)
 end

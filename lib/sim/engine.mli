@@ -15,6 +15,10 @@ type result = {
   cost : int;  (** MinUsageTime objective, in bin x ticks *)
   bins_opened : int;
   max_open : int;  (** peak simultaneously-open bins *)
+  moves : int;
+      (** recourse relocations executed through {!Bin_store.move} — 0
+          for every unwrapped (zero-recourse) policy *)
+  moved_units : int;  (** dimension-0 load units carried by those moves *)
   series : (int * int) array;
       (** (tick, open bins after all events of that tick), at every event
           tick, in time order — or an LTTB-decimated subsequence of that
@@ -108,6 +112,7 @@ module Stream : sig
 
   val run :
     ?retire:bool ->
+    ?track_items:bool ->
     ?max_series:int ->
     ?dims:int ->
     Policy.factory ->
@@ -117,8 +122,12 @@ module Stream : sig
       [retire] (default [true]) runs the {!Bin_store} in retire/compact
       mode — closed bins fold into aggregates and are dropped; pass
       [~retire:false] when the post-run [result.store] must keep full
-      per-bin history for reports or validators. [max_series] (default
-      unbounded) caps the recorded series via LTTB decimation.
+      per-bin history for reports or validators. [track_items] (default
+      [not retire], see {!Interactive.start}) must be forced [true] for
+      a {!Recourse}-wrapped policy: relocation resolves items through
+      the store's packing map. Memory stays O(live items). [max_series]
+      (default unbounded) caps the recorded series via LTTB
+      decimation.
 
       [result.cost], [result.bins_opened] and [result.max_open] are
       bit-identical to {!run} on [Event_source.to_instance source]: the
@@ -130,6 +139,7 @@ module Stream : sig
 
   val run_chunks :
     ?retire:bool ->
+    ?track_items:bool ->
     ?max_series:int ->
     ?chunk_size:int ->
     ?dims:int ->

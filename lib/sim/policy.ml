@@ -1,9 +1,18 @@
 open Dbp_instance
 
+type move_hook =
+  now:int ->
+  Item.t ->
+  src:Bin_store.bin_id ->
+  dst:Bin_store.bin_id ->
+  closed:bool ->
+  unit
+
 type t = {
   name : string;
   on_arrival : now:int -> Item.t -> Bin_store.bin_id;
   on_departure : now:int -> Item.t -> bin:Bin_store.bin_id -> closed:bool -> unit;
+  on_move : move_hook option;
 }
 
 type factory = Bin_store.t -> t
@@ -18,4 +27,8 @@ let non_clairvoyant factory store =
     name = inner.name ^ "-nc";
     on_arrival = (fun ~now r -> inner.on_arrival ~now (mask r));
     on_departure = (fun ~now r ~bin ~closed -> inner.on_departure ~now (mask r) ~bin ~closed);
+    on_move =
+      Option.map
+        (fun f ~now r ~src ~dst ~closed -> f ~now (mask r) ~src ~dst ~closed)
+        inner.on_move;
   }

@@ -3,10 +3,27 @@
     A policy reacts to arrivals and departures; the engine owns the clock
     and the event order (departures strictly before arrivals at the same
     tick — the paper's [t^-] convention). Policies must pack each arrival
-    immediately and may never repack: the only mutation available is
-    placing the arriving item into a {!Bin_store} bin. *)
+    immediately and never repack on their own: the only mutation available
+    is placing the arriving item into a {!Bin_store} bin. Repacking is the
+    {!Recourse} wrapper's privilege — a policy that also implements
+    {!field:t.on_move} can be wrapped with a migration budget and have
+    items relocated under it. *)
 
 open Dbp_instance
+
+type move_hook =
+  now:int ->
+  Item.t ->
+  src:Bin_store.bin_id ->
+  dst:Bin_store.bin_id ->
+  closed:bool ->
+  unit
+(** Notification that the given live item was just relocated from [src]
+    to [dst] through {!Bin_store.move} (the store is already updated).
+    [closed] reports whether [src] emptied and was closed — exactly the
+    contract of [on_departure]'s flag. The hook must bring the policy's
+    own structures (fit indexes, ownership tables) back in sync with the
+    store; it must not place, move or remove anything itself. *)
 
 type t = {
   name : string;
@@ -17,6 +34,9 @@ type t = {
       (** Called after the store removed the item. [closed] reports
           whether the bin emptied (algorithms drop it from their own
           structures). *)
+  on_move : move_hook option;
+      (** [None] means the policy cannot keep its structures consistent
+          across relocations and must not be wrapped with recourse. *)
 }
 
 type factory = Bin_store.t -> t

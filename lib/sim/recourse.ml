@@ -1,0 +1,246 @@
+open Dbp_util
+open Dbp_instance
+
+type mode = Per_event | Amortized
+
+type strategy =
+  | Close_emptiest
+  | Consolidate
+  | Waste_threshold of float
+
+let mode_to_string = function
+  | Per_event -> "per-event"
+  | Amortized -> "amortized"
+
+let strategy_to_string = function
+  | Close_emptiest -> "close-emptiest"
+  | Consolidate -> "consolidate"
+  | Waste_threshold f -> Printf.sprintf "waste:%g" f
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "close-emptiest" | "emptiest" -> Some Close_emptiest
+  | "consolidate" -> Some Consolidate
+  | "waste" -> Some (Waste_threshold 1.5)
+  | s ->
+      let prefix = "waste:" in
+      let n = String.length prefix in
+      if String.length s > n && String.sub s 0 n = prefix then
+        match float_of_string_opt (String.sub s n (String.length s - n)) with
+        | Some f when f >= 1.0 -> Some (Waste_threshold f)
+        | _ -> None
+      else None
+
+let m_moves = Metrics.counter "recourse.moves"
+let m_moved_units = Metrics.counter "recourse.moved_units"
+let m_closes = Metrics.counter "recourse.bins_closed"
+let m_plans_rejected = Metrics.counter "recourse.plans_rejected"
+
+let units (r : Item.t) = Load.to_units r.size
+
+(* The wrapper shadows the store with its own bin -> live items table.
+   Retain-mode stores could answer [contents] directly, but retire-mode
+   (streaming) stores keep no per-item records at all — the shadow table
+   is O(live items) in both modes and keeps the strategies
+   mode-agnostic. *)
+let wrap ~k ?(mode = Per_event) ?(strategy = Close_emptiest) factory =
+  if k < 0 then invalid_arg "Recourse.wrap: negative move budget";
+  (match strategy with
+  | Waste_threshold f when not (f >= 1.0) ->
+      invalid_arg "Recourse.wrap: waste factor must be >= 1"
+  | _ -> ());
+  if k = 0 then factory
+    (* k = 0 is the zero-recourse policy itself: returning the factory
+       unchanged makes bit-identity (and zero overhead) structural. *)
+  else fun store ->
+    let inner = factory store in
+    let on_move =
+      match inner.Policy.on_move with
+      | Some f -> f
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Recourse.wrap: policy %s does not support migration (no on_move \
+                hook)"
+               inner.Policy.name)
+    in
+    let bin_items : (Bin_store.bin_id, Item.t list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let items_of bin = Option.value (Hashtbl.find_opt bin_items bin) ~default:[] in
+    let live_units = ref 0 in
+    let credit = ref 0 in
+    let exec_move ~now (r : Item.t) ~src ~dst =
+      let closed = Bin_store.move store ~now ~item_id:r.id ~dst in
+      on_move ~now r ~src ~dst ~closed;
+      (match List.filter (fun (x : Item.t) -> x.id <> r.id) (items_of src) with
+      | [] -> Hashtbl.remove bin_items src
+      | rest -> Hashtbl.replace bin_items src rest);
+      Hashtbl.replace bin_items dst (r :: items_of dst);
+      decr credit;
+      Metrics.incr m_moves;
+      Metrics.add m_moved_units (units r);
+      if closed then Metrics.incr m_closes;
+      closed
+    in
+    (* Plan the full evacuation of [victim] before touching anything:
+       items descending by size (FFD order, ties by id) each best-fit
+       into an open bin with room left after the moves already planned —
+       in every dimension. All-or-nothing: a partial evacuation spends
+       budget without closing anything, so an infeasible plan is
+       discarded whole. *)
+    let dims = Bin_store.dims store in
+    let plan_close victim vs =
+      let planned : (Bin_store.bin_id, int array) Hashtbl.t = Hashtbl.create 8 in
+      let planned_for b =
+        match Hashtbl.find_opt planned b with
+        | Some a -> a
+        | None ->
+            let a = Array.make dims 0 in
+            Hashtbl.replace planned b a;
+            a
+      in
+      let sorted =
+        List.sort
+          (fun (a : Item.t) (b : Item.t) ->
+            match compare (units b) (units a) with 0 -> compare a.id b.id | c -> c)
+          vs
+      in
+      let target (r : Item.t) =
+        let u = units r in
+        Bin_store.fold_open
+          (fun best b ->
+            if b = victim then best
+            else begin
+              let pl = Hashtbl.find_opt planned b in
+              let extra_planned j =
+                match pl with Some a -> a.(j) | None -> 0
+              in
+              let res = Bin_store.residual_units store b - extra_planned 0 in
+              let fits =
+                res >= u
+                &&
+                let ok = ref true in
+                for j = 1 to dims - 1 do
+                  if
+                    Bin_store.residual_units_dim store b j - extra_planned j
+                    < r.extra.(j - 1)
+                  then ok := false
+                done;
+                !ok
+              in
+              if not fits then best
+              else
+                (* Best-fit: tightest post-move residual, earliest bin
+                   (fold order) on ties. *)
+                match best with
+                | Some (_, r0) when r0 <= res - u -> best
+                | _ -> Some (b, res - u)
+            end)
+          None store
+      in
+      let rec assign acc = function
+        | [] -> Some (List.rev acc)
+        | r :: rest -> (
+            match target r with
+            | None -> None
+            | Some (b, _) ->
+                let pl = planned_for b in
+                pl.(0) <- pl.(0) + units r;
+                for j = 1 to dims - 1 do
+                  pl.(j) <- pl.(j) + r.Item.extra.(j - 1)
+                done;
+                assign ((r, b) :: acc) rest)
+      in
+      assign [] sorted
+    in
+    let try_close ~now victim =
+      match Hashtbl.find_opt bin_items victim with
+      | None -> false
+      | Some vs ->
+          if List.length vs > !credit then false
+          else (
+            match plan_close victim vs with
+            | None ->
+                Metrics.incr m_plans_rejected;
+                false
+            | Some moves ->
+                List.iter (fun (r, dst) -> ignore (exec_move ~now r ~src:victim ~dst)) moves;
+                true)
+    in
+    (* Lightest open bin whose full evacuation fits the remaining
+       budget. [exclude] is the bin holding the item whose arrival we
+       are handling: the arriving item must stay put until the event
+       ends (the engine and validator check the policy's placement after
+       the hook returns), so its bin is never a victim. Opening-order
+       fold makes ties deterministic. *)
+    let emptiest ~exclude =
+      Bin_store.fold_open
+        (fun best b ->
+          if b = exclude then best
+          else begin
+            let c = Bin_store.item_count store b in
+            if c = 0 || c > !credit then best
+            else
+              let l = Bin_store.load_units_dim store b 0 in
+              match best with Some (_, l0) when l0 <= l -> best | _ -> Some (b, l)
+          end)
+        None store
+    in
+    let close_emptiest ~now ~exclude =
+      match emptiest ~exclude with
+      | Some (v, _) -> ignore (try_close ~now v)
+      | None -> ()
+    in
+    (* L1 lower bound on the bins any packing needs right now; the
+       waste trigger fires when the open-bin count exceeds it by the
+       configured factor. *)
+    let waste_fires f =
+      let floor = max 1 (Ints.ceil_div !live_units Load.capacity) in
+      float_of_int (Bin_store.open_count store) > f *. float_of_int floor
+    in
+    let repack ~now ~exclude ~departed_bin =
+      match strategy with
+      | Close_emptiest -> if !credit > 0 then close_emptiest ~now ~exclude
+      | Consolidate ->
+          (* Local consolidation: only the bin a departure just drained
+             is a candidate — the one place waste just appeared. *)
+          (match departed_bin with
+          | Some b when !credit > 0 && Bin_store.is_open store b ->
+              ignore (try_close ~now b)
+          | _ -> ())
+      | Waste_threshold f ->
+          let rec loop () =
+            if !credit > 0 && waste_fires f then
+              match emptiest ~exclude with
+              | Some (v, _) -> if try_close ~now v then loop ()
+              | None -> ()
+          in
+          loop ()
+    in
+    {
+      Policy.name = Printf.sprintf "%s+r%d" inner.Policy.name k;
+      on_arrival =
+        (fun ~now r ->
+          let bin = inner.Policy.on_arrival ~now r in
+          Hashtbl.replace bin_items bin (r :: items_of bin);
+          live_units := !live_units + units r;
+          (match mode with
+          | Per_event -> credit := k
+          | Amortized -> credit := !credit + k);
+          repack ~now ~exclude:bin ~departed_bin:None;
+          bin);
+      on_departure =
+        (fun ~now r ~bin ~closed ->
+          inner.Policy.on_departure ~now r ~bin ~closed;
+          (match List.filter (fun (x : Item.t) -> x.id <> r.id) (items_of bin) with
+          | [] -> Hashtbl.remove bin_items bin
+          | rest -> Hashtbl.replace bin_items bin rest);
+          live_units := !live_units - units r;
+          (match mode with Per_event -> credit := k | Amortized -> ());
+          repack ~now ~exclude:(-1)
+            ~departed_bin:(if closed then None else Some bin));
+      (* The wrapper is the only mover; stacking another recourse layer
+         on top would double-spend the budget. *)
+      on_move = None;
+    }

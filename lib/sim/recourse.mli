@@ -1,0 +1,66 @@
+(** Bounded-recourse repacking: wrap any policy with a migration budget.
+
+    The paper's bounds sandwich every online policy between zero-recourse
+    heuristics and the infinite-recourse optimum OPT_R; this wrapper
+    explores the regime in between, in the spirit of Gupta et al.
+    ("Fully-Dynamic Bin Packing with Limited Repacking") and Berndt et
+    al. ("Fully Dynamic Bin Packing Revisited"): after the wrapped
+    policy handles an event, the wrapper may relocate up to [k] live
+    items through {!Bin_store.move}, notifying the policy via its
+    {!Policy.move_hook} so fit indexes and ownership tables stay
+    consistent.
+
+    Invariants the wrapper maintains:
+    - at most [k] moves per event ({!Per_event}), or at most
+      [k x arrivals-so-far] moves in total ({!Amortized});
+    - the item arriving in the current event is never relocated during
+      that event (the engine and validator check the policy's placement
+      after the hook returns);
+    - every move lands in an already-open bin with capacity in every
+      dimension — repacking never opens bins;
+    - bins emptied by moves close exactly as if a departure emptied
+      them (lifetime accounting, retire-mode slot recycling).
+
+    [k = 0] returns the factory {e physically unchanged} — zero-recourse
+    runs are bit-identical to, and exactly as allocation-free as, the
+    unwrapped policy by construction. Vector ([dims > 1]) stores are
+    supported: plans check capacity in every dimension.
+
+    The wrapper needs the store's item-tracking map
+    ({!Bin_store.create}[ ~track_items:true], the default); streaming
+    runs with recourse must keep tracking on. *)
+
+type mode =
+  | Per_event  (** budget resets to [k] at every event *)
+  | Amortized
+      (** each arrival grants [k] credits; unused credits accumulate,
+          departures spend but never grant *)
+
+type strategy =
+  | Close_emptiest
+      (** on every event: evacuate the lightest open bin whose items
+          all fit elsewhere within the remaining budget *)
+  | Consolidate
+      (** on departures only: try to evacuate the bin the departure
+          just drained — local best-fit consolidation *)
+  | Waste_threshold of float
+      (** evacuate emptiest bins (repeatedly, budget permitting) only
+        while [open bins > factor x max 1 (ceil (S_t))] — the L1
+        lower-bound waste trigger; the factor must be [>= 1] *)
+
+val mode_to_string : mode -> string
+val strategy_to_string : strategy -> string
+
+val strategy_of_string : string -> strategy option
+(** Accepts ["close-emptiest"] (or ["emptiest"]), ["consolidate"],
+    ["waste"] (factor 1.5) and ["waste:F"] with [F >= 1]. *)
+
+val wrap :
+  k:int -> ?mode:mode -> ?strategy:strategy -> Policy.factory -> Policy.factory
+(** [wrap ~k factory] bounds repacking to [k] item-moves per event
+    (default {!Per_event} budget, {!Close_emptiest} strategy). Raises
+    [Invalid_argument] for [k < 0] or a waste factor [< 1]; wrapping a
+    policy whose [on_move] is [None] raises at construction time
+    (fail-fast, per store). The wrapped policy's name is
+    ["<name>+r<k>"]; its own [on_move] is [None] — recourse layers do
+    not stack. *)

@@ -250,4 +250,66 @@ for shape in independent correlated:0.8 adversarial; do
   }
 done
 echo "stream: d=2 FF verified bit-identical for all three shapes"
+
+# Recourse gate. Four properties of the bounded-recourse wrapper:
+# (1) --recourse 0 is bit-identical to not passing the flag at all (the
+#     wrapper returns the factory unchanged, so the zero-budget path
+#     cannot perturb any observable);
+# (2) the cost-vs-migration frontier sweep is jobs-invariant and every
+#     curve on the pinned seeds is monotone non-increasing in k;
+# (3) a recourse-wrapped policy streams bit-identically to Engine.run;
+# (4) DBP_CHECK_INJECT=moves (a policy moving items while declaring a
+#     zero budget) is caught by the migration oracle and shrunk.
+# The throughput floors above run without recourse and are unaffected.
+echo "recourse: k=0 bit-identity on dbp run"
+dune exec bin/main.exe -- run -a FF -w general --mu 64 --seed 3 \
+  > "$tmpdir/r_plain.txt"
+dune exec bin/main.exe -- run -a FF -w general --mu 64 --seed 3 \
+  --recourse 0 > "$tmpdir/r_k0.txt"
+if ! cmp -s "$tmpdir/r_plain.txt" "$tmpdir/r_k0.txt"; then
+  echo "FAIL: --recourse 0 output differs from the unwrapped run" >&2
+  diff "$tmpdir/r_plain.txt" "$tmpdir/r_k0.txt" >&2 || true
+  exit 1
+fi
+echo "recourse: frontier sweep jobs-invariant and monotone (pinned seeds)"
+dune exec bin/main.exe -- sweep -w general -a FF,BF --mus 64 \
+  --seeds 1,2,3 --recourse 0,1,2,4 --jobs 1 > "$tmpdir/front1.txt"
+dune exec bin/main.exe -- sweep -w general -a FF,BF --mus 64 \
+  --seeds 1,2,3 --recourse 0,1,2,4 --jobs 2 > "$tmpdir/front2.txt"
+if ! cmp -s "$tmpdir/front1.txt" "$tmpdir/front2.txt"; then
+  echo "FAIL: frontier sweep differs between --jobs 1 and --jobs 2" >&2
+  diff "$tmpdir/front1.txt" "$tmpdir/front2.txt" >&2 || true
+  exit 1
+fi
+if grep -q "NON-MONOTONE" "$tmpdir/front1.txt"; then
+  echo "FAIL: frontier curve not monotone on the pinned seeds" >&2
+  cat "$tmpdir/front1.txt" >&2
+  exit 1
+fi
+grep -q "frontier FF:monotone BF:monotone" "$tmpdir/front1.txt" || {
+  echo "FAIL: frontier monotonicity line missing from sweep output" >&2
+  exit 1
+}
+echo "recourse: streamed BF+r2 bit-identical to Engine.run"
+dune exec bin/main.exe -- stream --workload cloud --days 2 --rate 3 \
+  --seed 2 --policy BF --recourse 2 --verify > "$tmpdir/rsv.txt" 2>&1 || {
+  echo "FAIL: streamed BF+r2 run differs from Engine.run" >&2
+  cat "$tmpdir/rsv.txt" >&2
+  exit 1
+}
+echo "recourse: injected over-budget moves must be caught and shrunk"
+if DBP_CHECK_INJECT=moves dune exec bin/main.exe -- fuzz --n 9 --seed 1 \
+  --jobs 2 > "$tmpdir/rinj.txt"; then
+  echo "FAIL: over-budget moves went undetected (exit 0)" >&2
+  exit 1
+fi
+grep -q "migration" "$tmpdir/rinj.txt" || {
+  echo "FAIL: injected over-moves not attributed to the migration oracle" >&2
+  exit 1
+}
+grep -q "io round-trip replays" "$tmpdir/rinj.txt" || {
+  echo "FAIL: no shrunk repro replayed the migration violation" >&2
+  exit 1
+}
+echo "recourse: k=0 identity, monotone frontier, stream identity, oracle armed"
 echo "check OK"

@@ -142,6 +142,104 @@ let test_retire_open_bins_accessible () =
   ignore (Bin_store.remove s ~now:9 ~item_id:1);
   check_raises_invalid "gone after close" (fun () -> Bin_store.is_open s b)
 
+let test_move_basic () =
+  let s = Bin_store.create () in
+  let b1 = Bin_store.open_bin s ~now:0 ~label:"a" in
+  let b2 = Bin_store.open_bin s ~now:0 ~label:"b" in
+  Bin_store.insert s b1 (item ~id:1 ~a:0 ~d:9 ~s:0.25);
+  Bin_store.insert s b1 (item ~id:2 ~a:0 ~d:9 ~s:0.25);
+  Bin_store.insert s b2 (item ~id:3 ~a:0 ~d:9 ~s:0.5);
+  let closed = Bin_store.move s ~now:3 ~item_id:1 ~dst:b2 in
+  check_bool "source kept open" false closed;
+  check_int "src load" (Load.capacity / 4) (Load.to_units (Bin_store.load s b1));
+  check_int "dst load" (Load.capacity * 3 / 4) (Load.to_units (Bin_store.load s b2));
+  check_int "src contents" 1 (List.length (Bin_store.contents s b1));
+  check_int "dst contents" 2 (List.length (Bin_store.contents s b2));
+  check_int "item resolves to dst" b2 (Bin_store.bin_of_item s 1);
+  check_int "move_count" 1 (Bin_store.move_count s);
+  check_int "moved_units" (Load.capacity / 4) (Bin_store.moved_units s);
+  Alcotest.(check (list (pair int int)))
+    "assignment log keeps initial placements" [ (1, b1); (2, b1); (3, b2) ]
+    (List.sort compare (Bin_store.assignment s));
+  check_int "move logged" 1 (Bin_store.move_logged s);
+  check_bool "log entry" true (Bin_store.move_entry s 0 = (3, 1, b1, b2))
+
+let test_move_closes_emptied_source () =
+  let s = Bin_store.create () in
+  let b1 = Bin_store.open_bin s ~now:0 ~label:"a" in
+  let b2 = Bin_store.open_bin s ~now:1 ~label:"b" in
+  Bin_store.insert s b1 (item ~id:1 ~a:0 ~d:9 ~s:0.5);
+  Bin_store.insert s b2 (item ~id:2 ~a:1 ~d:9 ~s:0.25);
+  let closed = Bin_store.move s ~now:4 ~item_id:1 ~dst:b2 in
+  check_bool "source closed" true closed;
+  check_bool "no longer open" false (Bin_store.is_open s b1);
+  Alcotest.(check (option int)) "closed_at is the move tick" (Some 4)
+    (Bin_store.closed_at s b1);
+  check_int "usage covers [0,4)" 4 (Bin_store.closed_usage s);
+  check_int "open_count" 1 (Bin_store.open_count s)
+
+let test_move_errors () =
+  let s = Bin_store.create () in
+  let b1 = Bin_store.open_bin s ~now:0 ~label:"a" in
+  let b2 = Bin_store.open_bin s ~now:0 ~label:"b" in
+  Bin_store.insert s b1 (item ~id:1 ~a:0 ~d:9 ~s:0.6);
+  Bin_store.insert s b2 (item ~id:2 ~a:0 ~d:9 ~s:0.6);
+  check_raises_invalid "does not fit" (fun () ->
+      Bin_store.move s ~now:1 ~item_id:1 ~dst:b2);
+  check_raises_invalid "already there" (fun () ->
+      Bin_store.move s ~now:1 ~item_id:1 ~dst:b1);
+  check_raises_invalid "not live" (fun () ->
+      Bin_store.move s ~now:1 ~item_id:99 ~dst:b2);
+  ignore (Bin_store.remove s ~now:2 ~item_id:2);
+  check_raises_invalid "closed destination" (fun () ->
+      Bin_store.move s ~now:3 ~item_id:1 ~dst:b2);
+  let untracked = Bin_store.create ~retire:true ~track_items:false () in
+  let b = Bin_store.open_bin untracked ~now:0 ~label:"x" in
+  Bin_store.insert untracked b (item ~id:1 ~a:0 ~d:2 ~s:0.1);
+  check_raises_invalid "untracked store" (fun () ->
+      Bin_store.move untracked ~now:1 ~item_id:1 ~dst:b)
+
+(* Same placement-and-move script through retain and retire stores:
+   the usage/lifetime aggregates must agree even when a move (not a
+   departure) is what empties and closes a bin — the retire path
+   recycles the slot through the same close_empty bookkeeping. *)
+let run_move_script s =
+  let b1 = Bin_store.open_bin s ~now:0 ~label:"a" in
+  let b2 = Bin_store.open_bin s ~now:1 ~label:"b" in
+  Bin_store.insert s b1 (item ~id:1 ~a:0 ~d:6 ~s:0.5);
+  Bin_store.insert s b2 (item ~id:2 ~a:1 ~d:8 ~s:0.25);
+  ignore (Bin_store.move s ~now:3 ~item_id:1 ~dst:b2);
+  let b3 = Bin_store.open_bin s ~now:4 ~label:"c" in
+  Bin_store.insert s b3 (item ~id:3 ~a:4 ~d:5 ~s:0.9);
+  ignore (Bin_store.remove s ~now:5 ~item_id:3);
+  ignore (Bin_store.remove s ~now:6 ~item_id:1);
+  ignore (Bin_store.remove s ~now:8 ~item_id:2)
+
+let test_move_retire_aggregates_match_retain () =
+  let retain = Bin_store.create ()
+  and retire = Bin_store.create ~retire:true () in
+  run_move_script retain;
+  run_move_script retire;
+  List.iter
+    (fun (name, f) -> check_int name (f retain) (f retire))
+    [
+      ("closed_usage", Bin_store.closed_usage);
+      ("bins_opened", Bin_store.bins_opened);
+      ("max_open", Bin_store.max_open);
+      ("open_count", Bin_store.open_count);
+      ("closed_count", Bin_store.closed_count);
+      ("move_count", Bin_store.move_count);
+      ("moved_units", Bin_store.moved_units);
+      ("usage at 9", fun s -> Bin_store.usage s ~now:9);
+    ];
+  let _, c1, s1 = Bin_store.lifetime_histogram retain in
+  let _, c2, s2 = Bin_store.lifetime_histogram retire in
+  check_bool "lifetime histogram" true (c1 = c2);
+  check_int "lifetime sum" s1 s2;
+  (* Retire mode aggregates moves but drops the per-move log. *)
+  check_int "retain logs moves" 1 (Bin_store.move_logged retain);
+  check_int "retire drops the log" 0 (Bin_store.move_logged retire)
+
 let suite =
   [
     case "lifecycle" test_lifecycle;
@@ -152,4 +250,8 @@ let suite =
     case "retire: aggregates match retain" test_retire_aggregates_match_retain;
     case "retire: records dropped" test_retire_drops_records;
     case "retire: open bins accessible" test_retire_open_bins_accessible;
+    case "move: loads, contents, log" test_move_basic;
+    case "move: emptied source closes" test_move_closes_emptied_source;
+    case "move: errors" test_move_errors;
+    case "move: retire aggregates match retain" test_move_retire_aggregates_match_retain;
   ]

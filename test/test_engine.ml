@@ -11,6 +11,11 @@ let ff store =
     on_arrival = (fun ~now r -> Fit_group.place g store ~now r);
     on_departure =
       (fun ~now:_ _ ~bin ~closed -> Fit_group.note_depart g store bin ~closed);
+    on_move =
+      Some
+        (fun ~now:_ _ ~src ~dst ~closed ->
+          Fit_group.note_depart g store src ~closed;
+          Fit_group.note_insert g store dst);
   }
 
 let test_single_item () =

@@ -4,8 +4,8 @@ open Helpers
 let test_registry_complete () =
   (* Every DESIGN.md experiment id E1..E18 is present exactly once. *)
   let ids = List.map (fun (e : Registry.entry) -> e.experiment) Registry.all in
-  check_int "20 experiments" 20 (List.length ids);
-  check_int "unique" 20 (List.length (List.sort_uniq compare ids));
+  check_int "21 experiments" 21 (List.length ids);
+  check_int "unique" 21 (List.length (List.sort_uniq compare ids));
   List.iteri
     (fun i id -> check_bool id true (List.mem (Printf.sprintf "E%d" (i + 1)) ids))
     ids

@@ -69,7 +69,7 @@ let naive_ha store =
     in
     if rest > 0 then Hashtbl.replace type_load ty rest else Hashtbl.remove type_load ty
   in
-  { Policy.name = "HA-naive"; on_arrival; on_departure }
+  { Policy.name = "HA-naive"; on_arrival; on_departure; on_move = None }
 
 (* ---- naive Algorithm 2 (with the segment partition) ---- *)
 
@@ -119,7 +119,7 @@ let naive_cdff store =
         b
   in
   let on_departure ~now:_ _ ~bin:_ ~closed:_ = () in
-  { Policy.name = "CDFF-naive"; on_arrival; on_departure }
+  { Policy.name = "CDFF-naive"; on_arrival; on_departure; on_move = None }
 
 (* ---- equivalence checks ---- *)
 
