@@ -874,10 +874,413 @@ let fuzz_cmd =
           is bit-identical for any --jobs. Exits 1 if a violation was found.")
     Term.(ret (const run $ n $ seed_arg $ jobs_arg $ out $ obs_term))
 
+(* ---- serve ---- *)
+
+(* The daemon's transport adapters: Serve itself is fd-agnostic, so the
+   unix dependency (raw reads, select, sockets) stays here. *)
+let conn_of_fds ~in_fd ~out_fd =
+  let oc = Unix.out_channel_of_descr out_fd in
+  {
+    Dbp_sim.Serve.recv = (fun b pos len -> Unix.read in_fd b pos len);
+    ready =
+      (fun () ->
+        match Unix.select [ in_fd ] [] [] 0.0 with
+        | readable, _, _ -> readable <> []);
+    send =
+      (fun s ->
+        output_string oc s;
+        output_char oc '\n');
+    flush = (fun () -> flush oc);
+  }
+
+let serve_policies = [ "FF"; "BF"; "WF"; "NF" ]
+
+let serve_cmd =
+  let policy =
+    Arg.(
+      value & opt string "FF"
+      & info [ "policy"; "p" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Placement policy: %s (the any-fit rules with exact snapshot \
+                codecs)."
+               (String.concat ", " serve_policies)))
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Independent placement shards; item ids route by a salted hash \
+             that is sticky across restarts.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 512
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Max commands executed per batch. Batching is unobservable: \
+             responses are identical for any value.")
+  in
+  let restore =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "restore" ] ~docv:"SNAPSHOT"
+          ~doc:
+            "Resume from a snapshot file written by the `snapshot' command. \
+             The snapshot's policy, shard count and dimensions override the \
+             flags: subsequent placements are bit-identical to a daemon that \
+             never stopped.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket at $(docv) and serve one \
+             connection to completion (default: stdin/stdout).")
+  in
+  let run policy shards dims seed batch restore socket jobs obs =
+    set_jobs jobs;
+    if shards < 1 then fail "--shards must be >= 1"
+    else if batch < 1 then fail "--batch must be >= 1"
+    else
+      match Dbp_sim.Fit_group.rule_of_code (String.uppercase_ascii policy) with
+      | None ->
+          fail "serve packs with %s (got %S)"
+            (String.concat ", " serve_policies)
+            policy
+      | Some rule -> (
+          let daemon =
+            match restore with
+            | Some path -> (
+                match Dbp_sim.Serve.restore_from_file ~max_batch:batch path with
+                | t -> Ok t
+                | exception Failure m -> Error m
+                | exception Sys_error m -> Error m)
+            | None ->
+                Ok (Dbp_sim.Serve.create ~shards ~dims ~seed ~max_batch:batch rule)
+          in
+          match daemon with
+          | Error m -> fail "--restore: %s" m
+          | Ok t ->
+              (* A client that vanishes mid-write must surface as an
+                 exception, not kill the process silently. *)
+              Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+              with_obs obs (fun () ->
+                  match socket with
+                  | None ->
+                      Dbp_sim.Serve.run t
+                        (conn_of_fds ~in_fd:Unix.stdin ~out_fd:Unix.stdout)
+                  | Some path ->
+                      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                      if Sys.file_exists path then Sys.remove path;
+                      Unix.bind fd (Unix.ADDR_UNIX path);
+                      Unix.listen fd 1;
+                      Fun.protect
+                        ~finally:(fun () ->
+                          Unix.close fd;
+                          if Sys.file_exists path then Sys.remove path)
+                        (fun () ->
+                          let client, _ = Unix.accept fd in
+                          Fun.protect
+                            ~finally:(fun () -> Unix.close client)
+                            (fun () ->
+                              Dbp_sim.Serve.run t
+                                (conn_of_fds ~in_fd:client ~out_fd:client))));
+              `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived placement daemon: line-oriented place/depart/\
+          stats/snapshot/quit protocol on stdin or a Unix socket, tenants \
+          sharded across domains, snapshot/restore with bit-identical \
+          continuation.")
+    Term.(
+      ret
+        (const run $ policy $ shards $ dims_arg $ seed_arg $ batch $ restore
+       $ socket $ jobs_arg $ obs_term))
+
+(* ---- drive ---- *)
+
+let drive_cmd =
+  let workloads = [ "cloud"; "general"; "aligned" ] in
+  let workload =
+    Arg.(
+      value & opt string "cloud"
+      & info [ "workload"; "w" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Streaming workload to replay: %s."
+               (String.concat ", " workloads)))
+  in
+  let days =
+    Arg.(
+      value & opt int 1
+      & info [ "days" ] ~docv:"N" ~doc:"Horizon in simulated days (1440 ticks each).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 2.0
+      & info [ "rate" ] ~docv:"R" ~doc:"Arrival rate (mean items per tick at peak).")
+  in
+  let policy =
+    Arg.(
+      value & opt string "FF"
+      & info [ "policy"; "p" ] ~docv:"NAME"
+          ~doc:"Daemon policy (FF, BF, WF, NF).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N" ~doc:"Shard count for the spawned daemon.")
+  in
+  let skip =
+    Arg.(
+      value & opt int 0
+      & info [ "skip" ] ~docv:"N"
+          ~doc:
+            "Skip the first $(docv) arrivals (they were already placed by the \
+             daemon being resumed via --restore).")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"N"
+          ~doc:
+            "Stop after sending $(docv) arrivals (counted from the start of \
+             the trace) instead of finishing it.")
+  in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"PATH"
+          ~doc:"Ask the daemon to snapshot to $(docv) after the last arrival.")
+  in
+  let restore =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "restore" ] ~docv:"SNAPSHOT"
+          ~doc:"Spawn the daemon resuming from this snapshot (pair with --skip).")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "After the full trace, compare the daemon's cost, bins opened and \
+             peak open bins against an in-process Engine.run of the same \
+             items; exits 1 on any difference. Requires --shards 1 and a \
+             trace driven to completion.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 512
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Arrivals per lockstep write/read exchange with the daemon.")
+  in
+  let run workload days rate seed policy shards skip stop_after snapshot restore
+      verify batch obs =
+    if days < 1 then fail "--days must be >= 1"
+    else if rate <= 0.0 then fail "--rate must be positive"
+    else if shards < 1 then fail "--shards must be >= 1"
+    else if batch < 1 then fail "--batch must be >= 1"
+    else if skip < 0 then fail "--skip must be >= 0"
+    else if
+      Dbp_sim.Fit_group.rule_of_code (String.uppercase_ascii policy) = None
+    then
+      fail "drive targets the serve policies %s (got %S)"
+        (String.concat ", " serve_policies)
+        policy
+    else begin
+      let open Dbp_workloads in
+      let resource = Resource_shape.scalar in
+      let source =
+        match String.lowercase_ascii workload with
+        | "cloud" ->
+            Some
+              (Cloud_traces.stream
+                 ~config:{ Cloud_traces.default with days; base_rate = rate; resource }
+                 ~seed ())
+        | "general" ->
+            Some
+              (General_random.stream
+                 ~config:
+                   {
+                     General_random.default with
+                     horizon = days * 1440;
+                     arrival_rate = rate;
+                     resource;
+                   }
+                 ~seed ())
+        | "aligned" ->
+            Some
+              (Aligned_random.stream
+                 ~config:
+                   { Aligned_random.default with horizon = days * 1440; rate; resource }
+                 ~seed ())
+        | _ -> None
+      in
+      match source with
+      | None ->
+          fail "unknown workload %S (try %s)" workload (String.concat ", " workloads)
+      | Some source ->
+          let inst = Dbp_instance.Event_source.to_instance source in
+          let items = Dbp_instance.Instance.items inst in
+          let n = Array.length items in
+          let hi = match stop_after with Some m -> min m n | None -> n in
+          if skip > hi then fail "--skip %d exceeds the %d arrivals to send" skip hi
+          else if verify && (shards <> 1 || hi < n) then
+            fail "--verify needs --shards 1 and a trace driven to completion"
+          else begin
+            with_obs obs (fun () ->
+                let prog = Sys.executable_name in
+                let argv =
+                  Array.of_list
+                    ([
+                       prog; "serve";
+                       "--policy"; String.uppercase_ascii policy;
+                       "--shards"; string_of_int shards;
+                       "--batch"; string_of_int batch;
+                     ]
+                    @ match restore with
+                      | Some p -> [ "--restore"; p ]
+                      | None -> [])
+                in
+                let from_daemon, to_daemon = Unix.open_process_args prog argv in
+                let expect_ok what line =
+                  if not (String.length line >= 2 && String.sub line 0 2 = "ok")
+                  then begin
+                    Printf.printf "drive: daemon rejected %s: %s\n" what line;
+                    exit 1
+                  end
+                in
+                (* Lockstep exchange: write up to --batch place lines, then
+                   read exactly that many responses. The daemon answers a
+                   batch at a time, so neither side can fill a pipe buffer
+                   while the other waits. *)
+                let k = ref skip in
+                while !k < hi do
+                  let upto = min hi (!k + batch) in
+                  for i = !k to upto - 1 do
+                    let r = items.(i) in
+                    Printf.fprintf to_daemon "place %d %d %d %.9f\n" r.id
+                      r.arrival r.departure
+                      (Dbp_util.Load.to_float r.size)
+                  done;
+                  flush to_daemon;
+                  for i = !k to upto - 1 do
+                    expect_ok
+                      (Printf.sprintf "arrival %d" items.(i).id)
+                      (input_line from_daemon)
+                  done;
+                  k := upto
+                done;
+                (match snapshot with
+                | None -> ()
+                | Some path ->
+                    Printf.fprintf to_daemon "snapshot %s\n" path;
+                    flush to_daemon;
+                    expect_ok "snapshot" (input_line from_daemon);
+                    Printf.printf "drive: snapshot written to %s\n" path);
+                let horizon =
+                  1 + Array.fold_left (fun acc (r : Dbp_instance.Item.t) ->
+                          max acc r.departure) 0 items
+                in
+                let stats =
+                  if hi = n then begin
+                    Printf.fprintf to_daemon "depart %d\nstats\n" horizon;
+                    flush to_daemon;
+                    expect_ok "depart" (input_line from_daemon);
+                    let line = input_line from_daemon in
+                    expect_ok "stats" line;
+                    Some line
+                  end
+                  else begin
+                    Printf.fprintf to_daemon "stats\n";
+                    flush to_daemon;
+                    let line = input_line from_daemon in
+                    expect_ok "stats" line;
+                    Some line
+                  end
+                in
+                output_string to_daemon "quit\n";
+                flush to_daemon;
+                expect_ok "quit" (input_line from_daemon);
+                (match Unix.close_process (from_daemon, to_daemon) with
+                | Unix.WEXITED 0 -> ()
+                | status ->
+                    let what =
+                      match status with
+                      | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+                      | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+                      | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+                    in
+                    Printf.printf "drive: daemon did not exit cleanly (%s)\n" what;
+                    exit 1);
+                match stats with
+                | None -> ()
+                | Some line ->
+                    Printf.printf "drive: sent %d arrivals (of %d); daemon %s\n"
+                      (hi - skip) n line;
+                    if verify then begin
+                      let cost, opened, max_open, got_items =
+                        try
+                          Scanf.sscanf line
+                            "ok cost=%d open=%d opened=%d max=%d items=%d"
+                            (fun c _ o m i -> (c, o, m, i))
+                        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+                          Printf.printf "drive: unparseable stats %S\n" line;
+                          exit 1
+                      in
+                      let factory =
+                        Dbp_baselines.Any_fit.policy
+                          (Option.get
+                             (Dbp_sim.Fit_group.rule_of_code
+                                (String.uppercase_ascii policy)))
+                      in
+                      let r = Dbp_sim.Engine.run factory inst in
+                      if
+                        cost = r.cost && opened = r.bins_opened
+                        && max_open = r.max_open && got_items = n
+                      then
+                        Printf.printf
+                          "verify: OK — daemon bit-identical to Engine.run \
+                           (cost=%d bins_opened=%d max_open=%d items=%d)\n"
+                          cost opened max_open n
+                      else begin
+                        Printf.printf
+                          "verify: MISMATCH — offline cost=%d bins_opened=%d \
+                           max_open=%d items=%d\n"
+                          r.cost r.bins_opened r.max_open n;
+                        exit 1
+                      end
+                    end);
+            `Ok ()
+          end
+    end
+  in
+  Cmd.v
+    (Cmd.info "drive"
+       ~doc:
+         "Load-drive a `dbp serve' daemon (spawned as a child on pipes) with \
+          a generated workload, in lockstep batches; optionally snapshot \
+          mid-trace, resume from a snapshot, and verify the daemon's final \
+          cost against an in-process Engine.run of the same items.")
+    Term.(
+      ret
+        (const run $ workload $ days $ rate $ seed_arg $ policy $ shards $ skip
+       $ stop_after $ snapshot $ restore $ verify $ batch $ obs_term))
+
 let main =
   Cmd.group
     (Cmd.info "dbp" ~version:"1.0.0"
        ~doc:"Clairvoyant dynamic bin packing (Azar & Vainstein, SPAA 2017) — simulator and experiment harness.")
-    [ list_cmd; experiment_cmd; all_cmd; run_cmd; stream_cmd; sweep_cmd; adversary_cmd; export_cmd; fuzz_cmd ]
+    [ list_cmd; experiment_cmd; all_cmd; run_cmd; stream_cmd; sweep_cmd; adversary_cmd; export_cmd; fuzz_cmd; serve_cmd; drive_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,30 +1,11 @@
 open Dbp_sim
 module H = Dbp_binpack.Heuristics
 
-let rule_name = function
-  | H.First_fit -> "FF"
-  | H.Best_fit -> "BF"
-  | H.Worst_fit -> "WF"
-  | H.Next_fit -> "NF"
 
-let policy ?name rule store =
-  let name = Option.value name ~default:(rule_name rule) in
-  let group = Fit_group.create ~rule ~label:name () in
-  {
-    Policy.name;
-    on_arrival = (fun ~now r -> Fit_group.place group store ~now r);
-    on_departure =
-      (fun ~now:_ _ ~bin ~closed -> Fit_group.note_depart group store bin ~closed);
-    (* Every bin belongs to the one group, so a relocation is a
-       departure-side resync at the source plus an insert-side one at
-       the destination. *)
-    on_move =
-      Some
-        (fun ~now:_ _ ~src ~dst ~closed ->
-          Fit_group.note_depart group store src ~closed;
-          Fit_group.note_insert group store dst);
-  }
-
+(* One group over the whole store; the wiring lives with the group
+   (Fit_group.policy) so the serve daemon can reuse it without a
+   dependency on this library. *)
+let policy ?name rule store = Fit_group.policy ?name rule store
 let first_fit store = policy H.First_fit store
 let best_fit store = policy H.Best_fit store
 let worst_fit store = policy H.Worst_fit store

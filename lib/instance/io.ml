@@ -134,19 +134,45 @@ let of_string s =
   |> List.iteri (fun i line -> items := consume_line ~seen ~lineno:(i + 1) !items line);
   finish !items
 
-(* Line-by-line, so non-seekable inputs (/dev/stdin, pipes, process
-   substitution) work: [in_channel_length] is meaningless there. *)
+(* Chunked byte reader, so non-seekable inputs (/dev/stdin, pipes,
+   process substitution) work: [in_channel_length] is meaningless
+   there. Unlike [input_line], the framing is explicit: a final line
+   that the writer never terminated — a truncated upload, a producer
+   killed mid-record — is an error with its line number, not a record
+   silently parsed from half the bytes. (A missing newline after the
+   very last complete record would be indistinguishable from a record
+   cut mid-field; both are rejected.) *)
 let of_channel ic =
   let items = ref [] in
   let seen = Hashtbl.create 64 in
   let lineno = ref 0 in
-  (try
-     while true do
-       let line = input_line ic in
-       incr lineno;
-       items := consume_line ~seen ~lineno:!lineno !items line
-     done
-   with End_of_file -> ());
+  let pending = Buffer.create 256 in
+  let chunk = Bytes.create 65536 in
+  let flush_line () =
+    incr lineno;
+    let line = Buffer.contents pending in
+    Buffer.clear pending;
+    items := consume_line ~seen ~lineno:!lineno !items line
+  in
+  let eof = ref false in
+  while not !eof do
+    let n = input ic chunk 0 (Bytes.length chunk) in
+    if n = 0 then eof := true
+    else
+      for i = 0 to n - 1 do
+        let c = Bytes.unsafe_get chunk i in
+        if c = '\n' then flush_line () else Buffer.add_char pending c
+      done
+  done;
+  if String.trim (Buffer.contents pending) <> "" then begin
+    let tail = Buffer.contents pending in
+    let shown =
+      if String.length tail > 40 then String.sub tail 0 40 ^ "..." else tail
+    in
+    failwith
+      (Printf.sprintf "line %d: truncated final line (no trailing newline): %S"
+         (!lineno + 1) shown)
+  end;
   finish !items
 
 let of_file ~path =

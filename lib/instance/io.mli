@@ -27,6 +27,10 @@ val of_string : string -> Instance.t
 
 val of_channel : in_channel -> Instance.t
 (** Reads line-by-line to end of input, so non-seekable channels
-    (pipes, [/dev/stdin], process substitution) work. *)
+    (pipes, [/dev/stdin], process substitution) work. Framing is
+    strict: a non-blank final line with no trailing newline — a
+    truncated transfer or a producer killed mid-record — raises
+    [Failure] with the line number rather than parsing the partial
+    record ({!of_string} stays lenient for in-memory literals). *)
 
 val of_file : path:string -> Instance.t

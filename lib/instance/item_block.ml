@@ -135,6 +135,13 @@ let extra_units t slot k =
 
 let item t slot = check t slot "item"; t.boxed.(slot)
 
+(* Slot-order walk over the live slots; [sizes.(s) >= 0] is the liveness
+   mark. O(capacity), for cold paths (snapshots), not the event loop. *)
+let iter_live f t =
+  for s = 0 to t.next_fresh - 1 do
+    if t.sizes.(s) >= 0 then f s
+  done
+
 module Heap = struct
   type block = t
 

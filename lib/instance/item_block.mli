@@ -54,6 +54,10 @@ val extra_units : t -> int -> int -> int
 val item : t -> int -> Item.t
 (** The boxed item the slot was allocated from (no allocation). *)
 
+val iter_live : (int -> unit) -> t -> unit
+(** Apply the function to every live slot, in slot order. O(capacity) —
+    a cold-path (snapshot) walk, not an event-loop primitive. *)
+
 (** Min-heap of live slots ordered by [(departure, id)] — the departure
     queue of the event loop. The heap snapshots each element's key into
     one packed word ([(departure lsl 31) lor id]) at {!add} time, so a

@@ -477,3 +477,183 @@ let last_inserted_into t ~item_id ~bin = t.last_item = item_id && t.last_bin = b
 
 let set_cookie t id v = check_bin t id; t.b_cookie.(id) <- v
 let cookie t id = check_bin t id; t.b_cookie.(id)
+
+(* --- snapshot codec (retire-mode stores) ---
+
+   Serialize everything a restarted process needs to continue with
+   bit-identical observable behavior: the per-bin arrays up to
+   [next_fresh] (including the free list threaded through [b_next] —
+   the *order* of recycled slots decides which ids future [open_bin]
+   calls hand out, and ids are visible to serve clients), the live-list
+   links, and every aggregate that feeds costs and reports. Cookies are
+   deliberately not serialized: they hold fit-index slot stamps keyed
+   by a process-unique group id, stale by construction in a new
+   process; restored bins start unstamped (-1) and the index rebuild
+   re-stamps them.
+
+   Retain-mode stores are not snapshottable — they hold boxed item
+   lists, the full history and move logs; long-lived processes run
+   retire mode, which is exactly the state that fits in O(open bins). *)
+
+let json_ints a n = Json.List (List.init n (fun i -> Json.Int a.(i)))
+
+let to_json t =
+  if not t.retire then
+    invalid_arg "Bin_store.to_json: only retire-mode stores are snapshottable";
+  let n = t.next_fresh in
+  let current =
+    if not t.track then Json.Null
+    else begin
+      let pairs = Imap.fold (fun k v acc -> (k, v) :: acc) t.current [] in
+      let pairs = List.sort compare pairs in
+      Json.List
+        (List.concat_map (fun (k, v) -> [ Json.Int k; Json.Int v ]) pairs)
+    end
+  in
+  let extra_current =
+    if not (t.track && t.dims > 1) then Json.Null
+    else begin
+      let entries = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.extra_current [] in
+      let entries = List.sort compare entries in
+      Json.List
+        (List.map
+           (fun (k, e) ->
+             Json.List (Json.Int k :: Array.to_list (Array.map (fun u -> Json.Int u) e)))
+           entries)
+    end
+  in
+  Json.Obj
+    [
+      ("track", Json.Bool t.track);
+      ("dims", Json.Int t.dims);
+      ("next_fresh", Json.Int n);
+      ("free_head", Json.Int t.free_head);
+      ("b_load", json_ints t.b_load n);
+      ( "b_extra",
+        Json.List (Array.to_list (Array.map (fun col -> json_ints col n) t.b_extra)) );
+      ("b_opened", json_ints t.b_opened n);
+      ("b_closed", json_ints t.b_closed n);
+      ("b_count", json_ints t.b_count n);
+      ("b_prev", json_ints t.b_prev n);
+      ("b_next", json_ints t.b_next n);
+      ( "b_label",
+        Json.List (List.init n (fun i -> Json.String t.b_label.(i))) );
+      ("live_head", Json.Int t.live_head);
+      ("live_tail", Json.Int t.live_tail);
+      ("opened", Json.Int t.opened);
+      ("n_open", Json.Int t.n_open);
+      ("hw_open", Json.Int t.hw_open);
+      ("hw_items", Json.Int t.hw_items);
+      ("done_usage", Json.Int t.done_usage);
+      ("closed_count", Json.Int t.closed_count);
+      ("lifetime_counts", json_ints t.lifetime_counts (Array.length t.lifetime_counts));
+      ("lifetime_sum", Json.Int t.lifetime_sum);
+      ("moves_n", Json.Int t.moves_n);
+      ("moved_units_sum", Json.Int t.moved_units_sum);
+      ("current", current);
+      ("extra_current", extra_current);
+    ]
+
+let of_json j =
+  let fail msg = failwith ("Bin_store.of_json: " ^ msg) in
+  let field name =
+    match Json.member name j with Some v -> v | None -> fail ("missing " ^ name)
+  in
+  let int name = match field name with Json.Int i -> i | _ -> fail (name ^ ": expected int") in
+  let bool name = match field name with Json.Bool b -> b | _ -> fail (name ^ ": expected bool") in
+  let int_list = function
+    | Json.List l -> List.map (function Json.Int i -> i | _ -> fail "expected int") l
+    | _ -> fail "expected int list"
+  in
+  let track = bool "track" and dims = int "dims" in
+  if dims < 1 then fail "dims < 1";
+  let n = int "next_fresh" in
+  if n < 0 then fail "negative next_fresh";
+  let cap = max initial_cap (Ints.pow2 (Ints.ceil_log2 (max 1 n))) in
+  let t = { (create ~retire:true ~track_items:track ~dims ()) with cap } in
+  let fill name arr of_field tail =
+    let l = of_field (field name) in
+    if List.length l <> n then fail (name ^ ": wrong length");
+    let a = Array.make cap tail in
+    List.iteri (fun i v -> a.(i) <- v) l;
+    arr a
+  in
+  fill "b_load" (fun a -> t.b_load <- a) int_list 0;
+  fill "b_opened" (fun a -> t.b_opened <- a) int_list 0;
+  fill "b_closed" (fun a -> t.b_closed <- a) int_list freed_mark;
+  fill "b_count" (fun a -> t.b_count <- a) int_list 0;
+  fill "b_prev" (fun a -> t.b_prev <- a) int_list (-1);
+  fill "b_next" (fun a -> t.b_next <- a) int_list (-1);
+  fill "b_label"
+    (fun a -> t.b_label <- a)
+    (function
+      | Json.List l -> List.map (function Json.String s -> s | _ -> fail "expected string") l
+      | _ -> fail "expected string list")
+    "";
+  t.b_cookie <- Array.make cap (-1);
+  (match field "b_extra" with
+  | Json.List cols ->
+      if List.length cols <> dims - 1 then fail "b_extra: wrong dimension count";
+      t.b_extra <-
+        Array.of_list
+          (List.map
+             (fun col ->
+               let l = int_list col in
+               if List.length l <> n then fail "b_extra: wrong length";
+               let a = Array.make cap 0 in
+               List.iteri (fun i v -> a.(i) <- v) l;
+               a)
+             cols)
+  | _ -> fail "b_extra: expected list");
+  t.next_fresh <- n;
+  t.free_head <- int "free_head";
+  t.live_head <- int "live_head";
+  t.live_tail <- int "live_tail";
+  t.opened <- int "opened";
+  t.n_open <- int "n_open";
+  t.hw_open <- int "hw_open";
+  t.hw_items <- int "hw_items";
+  t.done_usage <- int "done_usage";
+  t.closed_count <- int "closed_count";
+  (let l = int_list (field "lifetime_counts") in
+   if List.length l <> Array.length t.lifetime_counts then
+     fail "lifetime_counts: wrong length";
+   List.iteri (fun i v -> t.lifetime_counts.(i) <- v) l);
+  t.lifetime_sum <- int "lifetime_sum";
+  t.moves_n <- int "moves_n";
+  t.moved_units_sum <- int "moved_units_sum";
+  (match field "current" with
+  | Json.Null -> if track then fail "current: missing for a tracking store"
+  | js ->
+      if not track then fail "current: present for a non-tracking store";
+      let rec pairs = function
+        | [] -> ()
+        | k :: v :: rest ->
+            if not (Imap.add_new t.current k v) then fail "current: duplicate id";
+            pairs rest
+        | _ -> fail "current: odd pair list"
+      in
+      pairs (int_list js));
+  (match field "extra_current" with
+  | Json.Null -> ()
+  | Json.List entries ->
+      List.iter
+        (function
+          | Json.List (Json.Int k :: e) ->
+              Hashtbl.replace t.extra_current k
+                (Array.of_list
+                   (List.map (function Json.Int u -> u | _ -> fail "extra_current") e))
+          | _ -> fail "extra_current: malformed entry")
+        entries
+  | _ -> fail "extra_current: expected list");
+  (* Sanity: the live list must link exactly [n_open] open bins. *)
+  let rec walk acc id =
+    if id < 0 then acc
+    else if acc > n then fail "live list cycle"
+    else begin
+      if t.b_closed.(id) <> open_mark then fail "live list links a closed bin";
+      walk (acc + 1) t.b_next.(id)
+    end
+  in
+  if walk 0 t.live_head <> t.n_open then fail "live list length <> n_open";
+  t

@@ -248,3 +248,21 @@ val set_cookie : t -> bin_id -> int -> unit
 
 val cookie : t -> bin_id -> int
 (** The stashed word, or [-1] if never set since the bin opened. *)
+
+val to_json : t -> Dbp_util.Json.t
+(** Snapshot a retire-mode store: per-bin arrays up to the high-water
+    slot (including the free list threaded through the next links —
+    recycled-slot order decides which ids future {!open_bin} calls hand
+    out), the live-list links, the id->placement table when item
+    tracking is on, and every cost/report aggregate. Fit-index cookies
+    are {e not} serialized: they are stamps keyed by a process-unique
+    group id, meaningless after restart; restored bins read as unstamped
+    until an index re-registers them. Raises [Invalid_argument] on a
+    retain-mode store (unbounded history; long-lived processes run
+    retire mode). *)
+
+val of_json : Dbp_util.Json.t -> t
+(** Rebuild a store from {!to_json} output. The result is
+    observationally identical to the snapshotted store: same open bins,
+    loads, ids, aggregates, and — via the restored free list — the same
+    future id assignments. Raises [Failure] on malformed input. *)

@@ -23,7 +23,14 @@
    arriving after a far-future one — simply lowers the cursor; the scan
    resumes from there. Buckets therefore never alias two ticks, which is
    what lets a grow relink whole buckets without inspecting their
-   elements. *)
+   elements.
+
+   The bracket is re-based, not absolute: the cursor is tightened to the
+   first pending bucket before a grow is paid for, and once the pending
+   span collapses to an eighth of the ring the ring shrinks back toward
+   the span's scale. A long-lived server whose tick values increase
+   without bound therefore keeps the ring at the size of its
+   *concurrent* departure window, not of one historical flash crowd. *)
 
 type t = {
   mutable head : int array;  (** ring: first slot of the tick's bucket, -1 = empty *)
@@ -34,6 +41,7 @@ type t = {
   mutable cur : int;  (** scan cursor; no pending departure is below it *)
   mutable hi : int;  (** maximum pending departure (valid when [n > 0]) *)
   mutable n : int;  (** pending items *)
+  base : int;  (** creation-time ring size; shrinks never go below it *)
 }
 
 let create ?(capacity = 256) () =
@@ -47,13 +55,24 @@ let create ?(capacity = 256) () =
     cur = 0;
     hi = 0;
     n = 0;
+    base = size;
   }
 
 let length t = t.n
+let ring_size t = t.size
 
 let clear t =
-  Array.fill t.head 0 t.size (-1);
-  Array.fill t.tail 0 t.size (-1);
+  if t.size > t.base then begin
+    t.head <- Array.make t.base (-1);
+    t.tail <- Array.make t.base (-1);
+    t.size <- t.base
+  end
+  else begin
+    Array.fill t.head 0 t.size (-1);
+    Array.fill t.tail 0 t.size (-1)
+  end;
+  t.cur <- 0;
+  t.hi <- 0;
   t.n <- 0
 
 (* Double the ring until [lo .. hi] fits within one window. The relink
@@ -83,6 +102,43 @@ let grow_ring t ~lo ~hi =
   t.tail <- tail';
   t.size <- size'
 
+(* Advance a stale cursor to the first pending bucket. Pops leave [cur]
+   at [upto + 1], which can lag the earliest pending departure by an
+   arbitrary idle gap; before that gap is allowed to force a wider ring
+   (or block a shrink) the bracket is re-based on what is actually
+   pending. Requires [n > 0]; terminates within [size] steps because
+   every pending tick lies in [cur, cur + size). *)
+let tighten t =
+  let mask = t.size - 1 in
+  while Array.unsafe_get t.head (t.cur land mask) < 0 do
+    t.cur <- t.cur + 1
+  done
+
+(* Rebuild the ring at the scale of the pending bracket. Only ticks in
+   [lo .. hi] can hold items (lo a lower bound, hi the max), so the
+   relink walks just the bracket — O(span), amortized against the adds
+   that widened it. The target leaves 2x headroom over the span and
+   never drops below the creation size, and the trigger (span <= size/8)
+   leaves a 4x hysteresis band so an oscillating span cannot thrash
+   grow/shrink. *)
+let shrink_ring t ~lo ~hi =
+  let want = max t.base (2 * (hi - lo + 1)) in
+  let size' = Dbp_util.Ints.pow2 (Dbp_util.Ints.ceil_log2 want) in
+  if size' < t.size then begin
+    let head' = Array.make size' (-1) and tail' = Array.make size' (-1) in
+    let mask = t.size - 1 and mask' = size' - 1 in
+    for tick = lo to hi do
+      let b = tick land mask in
+      if t.head.(b) >= 0 then begin
+        head'.(tick land mask') <- t.head.(b);
+        tail'.(tick land mask') <- t.tail.(b)
+      end
+    done;
+    t.head <- head';
+    t.tail <- tail';
+    t.size <- size'
+  end
+
 let grow_slots t slot =
   let cap = Array.length t.next in
   let cap' = max (2 * cap) (slot + 1) in
@@ -97,15 +153,42 @@ let grow_slots t slot =
 let add t ~dep ~id slot =
   if slot < 0 then invalid_arg "Depart_queue.add: negative slot";
   if t.n = 0 then begin
+    (* Ring is empty: re-base the window on [dep] and, if a past crowd
+       left an oversized ring behind, drop it back to the base size
+       (every bucket is already empty, so no relink is needed). *)
+    if t.size > t.base then begin
+      t.head <- Array.make t.base (-1);
+      t.tail <- Array.make t.base (-1);
+      t.size <- t.base
+    end;
     t.cur <- dep;
     t.hi <- dep
   end
   else begin
     let lo = if dep < t.cur then dep else t.cur in
     let hi = if dep > t.hi then dep else t.hi in
-    if hi - lo >= t.size then grow_ring t ~lo ~hi;
-    t.cur <- lo;
-    t.hi <- hi
+    if hi - lo >= t.size then begin
+      (* Before paying for a wider ring, re-base: the cursor may lag the
+         earliest pending departure, making the bracket look wider than
+         the items it actually holds. *)
+      tighten t;
+      let lo = if dep < t.cur then dep else t.cur in
+      if hi - lo >= t.size then grow_ring t ~lo ~hi;
+      t.cur <- lo;
+      t.hi <- hi
+    end
+    else begin
+      t.cur <- lo;
+      t.hi <- hi;
+      if t.size > t.base && 8 * (hi - lo + 1) <= t.size then begin
+        (* Tighten first so the shrink lands as low as the pending set
+           allows; clamp back to [dep], whose bucket is not linked yet
+           and must stay inside the window. *)
+        tighten t;
+        if dep < t.cur then t.cur <- dep;
+        shrink_ring t ~lo:t.cur ~hi
+      end
+    end
   end;
   if slot >= Array.length t.next then grow_slots t slot;
   t.ids.(slot) <- id;

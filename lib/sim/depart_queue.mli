@@ -12,8 +12,11 @@
 
     Memory is O(pending departure span + live slots): the ring spans
     the window from the earliest to the latest pending departure
-    (growing by doubling), and the per-slot links are indexed by the
-    caller's slot numbers. *)
+    (growing by doubling) and is re-based on the pending bracket — the
+    cursor is tightened before a grow, and the ring shrinks (with 4x
+    hysteresis, never below its creation size) when the concurrent span
+    collapses, so a long-lived process with ever-increasing ticks keeps
+    the ring at its concurrent-departure scale. *)
 
 type t
 
@@ -37,4 +40,11 @@ val pop_due : t -> upto:int -> int
     is [<= upto], else [-1]. Successive calls must not decrease [upto]
     below an earlier pop's tick (the clock only moves forward). *)
 
+val ring_size : t -> int
+(** Current tick-ring capacity (a power of two). Exposed so tests and
+    gauges can assert the ring tracks the concurrent-departure span
+    rather than the absolute tick magnitude. *)
+
 val clear : t -> unit
+(** Drop every pending departure, reset the window to tick 0, and
+    return an oversized ring to its creation size. *)

@@ -181,6 +181,146 @@ module Interactive = struct
   let items_arrived t = t.arrived
   let peak_live_items t = t.hw_live
   let peak_retained_items t = t.hw_retained
+  let store t = t.store
+
+  (* --- snapshot codec ---
+
+     A snapshot is everything needed to continue the event sequence
+     with bit-identical observables in another process: the store
+     (which carries bins, the free list, and every aggregate), the live
+     items with their bins, the series buffer, and the engine scalars.
+     Live items are written ordered by [(departure, id)] — the one
+     order with meaning here — and re-allocated densely in that order
+     on restore: arena slot numbers are private to the process (every
+     tie-break that matters reads ids, never slots), so renumbering is
+     unobservable.
+
+     The policy is *not* serialized here; the caller owns it (it knows
+     the policy's concrete state — e.g. a {!Fit_group} snapshot) and
+     rebuilds it via the factory passed to {!of_snapshot}, which runs
+     against the already-restored store. *)
+
+  let snapshot t =
+    if t.retain_released then
+      invalid_arg
+        "Engine.Interactive.snapshot: retained-instance engines are not \
+         snapshottable (start with ~retain_released:false)";
+    if Bin_store.move_count t.store > 0 then
+      invalid_arg
+        "Engine.Interactive.snapshot: engines that performed migrations are \
+         not snapshottable";
+    flush_metrics t;
+    let blk = t.block in
+    let live = ref [] in
+    Item_block.iter_live
+      (fun slot ->
+        let r = Item_block.item blk slot in
+        live := (r, Array.unsafe_get t.slot_bin slot) :: !live)
+      blk;
+    let live =
+      List.sort
+        (fun ((a : Item.t), _) ((b : Item.t), _) ->
+          compare (a.departure, a.id) (b.departure, b.id))
+        !live
+    in
+    let item_row ((r : Item.t), bin) =
+      Json.List
+        (Json.Int r.id :: Json.Int r.arrival :: Json.Int r.departure
+        :: Json.Int (Load.to_units r.size)
+        :: (Array.to_list (Array.map (fun u -> Json.Int u) r.extra)
+           @ [ Json.Int bin ]))
+    in
+    Json.Obj
+      [
+        ("clock", Json.Int t.clock);
+        ("arrived", Json.Int t.arrived);
+        ("hw_live", Json.Int t.hw_live);
+        ("hw_retained", Json.Int t.hw_retained);
+        ("rec_tick", Json.Int t.rec_tick);
+        ("rec_value", Json.Int t.rec_value);
+        ("store", Bin_store.to_json t.store);
+        ("items", Json.List (List.map item_row live));
+        ("series", Lttb.to_json t.series);
+      ]
+
+  let of_snapshot factory j =
+    let fail msg = failwith ("Engine.of_snapshot: " ^ msg) in
+    let field name =
+      match Json.member name j with
+      | Some v -> v
+      | None -> fail ("missing " ^ name)
+    in
+    let int name =
+      match field name with Json.Int i -> i | _ -> fail (name ^ ": expected int")
+    in
+    let store = Bin_store.of_json (field "store") in
+    let arrived = int "arrived" in
+    let t =
+      {
+        store;
+        policy = factory store;
+        block = Item_block.create ();
+        slot_bin = Array.make 64 (-1);
+        departures = Depart_queue.create ();
+        released = Vec.create ();
+        retain_released = false;
+        series = Lttb.of_json (field "series");
+        clock = int "clock";
+        arrived;
+        hw_live = int "hw_live";
+        hw_retained = int "hw_retained";
+        rec_tick = int "rec_tick";
+        rec_value = int "rec_value";
+        pend_departures = 0;
+        (* The snapshot was taken after a metrics flush; the restored
+           process publishes only what happens from here on. *)
+        pub_arrivals = arrived;
+      }
+    in
+    (match field "items" with
+    | Json.List rows ->
+        List.iter
+          (fun row ->
+            let ints =
+              match row with
+              | Json.List l ->
+                  List.map
+                    (function Json.Int i -> i | _ -> fail "items: expected int")
+                    l
+              | _ -> fail "items: expected row list"
+            in
+            match ints with
+            | id :: arrival :: departure :: size_units :: rest ->
+                let rec split acc = function
+                  | [ bin ] -> (Array.of_list (List.rev acc), bin)
+                  | u :: rest -> split (u :: acc) rest
+                  | [] -> fail "items: row missing bin"
+                in
+                let extra, bin = split [] rest in
+                if not (Bin_store.is_open store bin) then
+                  fail
+                    (Printf.sprintf "item %d placed in bin %d, which is not open"
+                       id bin);
+                let r =
+                  try
+                    Item.make_vec ~extra ~id ~arrival ~departure
+                      ~size:(Load.of_units size_units)
+                  with Invalid_argument msg -> fail msg
+                in
+                let slot = Item_block.alloc t.block r in
+                if slot >= Array.length t.slot_bin then begin
+                  let a =
+                    Array.make (max (2 * Array.length t.slot_bin) (slot + 1)) (-1)
+                  in
+                  Array.blit t.slot_bin 0 a 0 (Array.length t.slot_bin);
+                  t.slot_bin <- a
+                end;
+                t.slot_bin.(slot) <- bin;
+                Depart_queue.add t.departures ~dep:departure ~id slot
+            | _ -> fail "items: short row")
+          rows
+    | _ -> fail "items: expected list");
+    t
 
   let finish t =
     drain_until t max_int;

@@ -99,6 +99,30 @@ module Interactive : sig
   (** Drain the remaining departures; returns the run result and the
       instance that was released (for offline OPT evaluation — empty
       when started with [retain_released:false]). *)
+
+  val store : t -> Bin_store.t
+  (** The engine's bin store (live aggregates: open bins, closed usage —
+      the serve daemon's stats read them without finishing the run). *)
+
+  val snapshot : t -> Dbp_util.Json.t
+  (** Serialize the full engine state — store (bins, free list,
+      aggregates), live items with their bins ordered by
+      [(departure, id)], series buffer, clock and counters — such that
+      {!of_snapshot} in a fresh process continues with bit-identical
+      observables. The policy's own state is the caller's to serialize
+      alongside. Raises [Invalid_argument] on an engine started with
+      [retain_released:true] (the released log is unbounded) or one
+      that performed migrations (the snapshot encodes arrival
+      placements only). *)
+
+  val of_snapshot : Policy.factory -> Dbp_util.Json.t -> t
+  (** Rebuild an engine from {!snapshot} output. The factory is applied
+      to the {e restored} store — the caller's chance to rebuild the
+      policy's state against the restored bins (e.g.
+      {!Fit_group.of_json}). Live items are re-allocated densely in
+      [(departure, id)] order; arena slot numbers differ from the
+      snapshotting process but are unobservable. Raises [Failure] on
+      malformed input. *)
 end
 
 (** Constant-memory streaming execution over a lazy event source. *)

@@ -227,3 +227,109 @@ let note_depart t store bin ~closed =
     idx_set t.index
       (slot_hot t store bin "note_depart")
       (Bin_store.residual_units store bin)
+
+(* --- policy wrapper ---
+
+   The standard wiring of one group over the whole store: every Any-Fit
+   baseline is this, and the serve daemon builds its per-shard policies
+   here rather than in dbp_baselines (which sits above dbp_sim in the
+   library order). Exposing it from the group module also lets a caller
+   keep the group handle — the serve snapshot path needs it. *)
+
+let rule_code = function
+  | H.First_fit -> "FF"
+  | H.Best_fit -> "BF"
+  | H.Worst_fit -> "WF"
+  | H.Next_fit -> "NF"
+
+let rule_of_code = function
+  | "FF" -> Some H.First_fit
+  | "BF" -> Some H.Best_fit
+  | "WF" -> Some H.Worst_fit
+  | "NF" -> Some H.Next_fit
+  | _ -> None
+
+let policy_of t store =
+  {
+    Policy.name = t.glabel;
+    on_arrival = (fun ~now r -> place t store ~now r);
+    on_departure = (fun ~now:_ _ ~bin ~closed -> note_depart t store bin ~closed);
+    (* Every bin belongs to the one group, so a relocation is a
+       departure-side resync at the source plus an insert-side one at
+       the destination. *)
+    on_move =
+      Some
+        (fun ~now:_ _ ~src ~dst ~closed ->
+          note_depart t store src ~closed;
+          note_insert t store dst);
+  }
+
+let policy ?name rule store =
+  let name = Option.value name ~default:(rule_code rule) in
+  policy_of (create ~rule ~label:name ()) store
+
+(* --- snapshot codec ---
+
+   A group serializes as its rule, label, member bins in slot order, and
+   the Next-Fit anchor bin. Nothing else: residuals are re-read from the
+   (already restored) store, the index is rebuilt by re-registering each
+   bin — which compacts slots to 0..n-1 and re-stamps every cookie under
+   the new process's group id. Slot numbers are unobservable (all the
+   rules' tie-breaks use relative slot order, which registration
+   preserves), so the compaction is behavior-neutral. *)
+
+let to_json t =
+  let bins = open_bins t in
+  let last_bin =
+    if t.last_slot < 0 then -1 else Vec.get t.bin_of_slot t.last_slot
+  in
+  Json.Obj
+    [
+      ("rule", Json.String (rule_code t.rule));
+      ("label", Json.String t.glabel);
+      ("bins", Json.List (List.map (fun b -> Json.Int b) bins));
+      ("last_bin", Json.Int last_bin);
+    ]
+
+let of_json ~store j =
+  let fail msg = failwith ("Fit_group.of_json: " ^ msg) in
+  let field name =
+    match Json.member name j with Some v -> v | None -> fail ("missing " ^ name)
+  in
+  let rule =
+    match field "rule" with
+    | Json.String s -> (
+        match rule_of_code s with
+        | Some r -> r
+        | None -> fail ("unknown rule " ^ s))
+    | _ -> fail "rule: expected string"
+  in
+  let label =
+    match field "label" with Json.String s -> s | _ -> fail "label: expected string"
+  in
+  let last_bin =
+    match field "last_bin" with Json.Int b -> b | _ -> fail "last_bin: expected int"
+  in
+  let t = create ~rule ~label () in
+  (match field "bins" with
+  | Json.List bins ->
+      List.iter
+        (function
+          | Json.Int bin ->
+              if not (Bin_store.is_open store bin) then
+                fail (Printf.sprintf "bin %d is not open in the store" bin);
+              if Imap.mem t.slot_of_bin bin then
+                fail (Printf.sprintf "bin %d registered twice" bin);
+              ignore
+                (register t store bin
+                   ~residual:(Bin_store.residual_units store bin))
+          | _ -> fail "bins: expected int list")
+        bins
+  | _ -> fail "bins: expected list");
+  t.last_slot <-
+    (if last_bin < 0 then -1
+     else
+       match Imap.find_default t.slot_of_bin last_bin (-1) with
+       | -1 -> fail (Printf.sprintf "last_bin %d is not a member" last_bin)
+       | slot -> slot);
+  t

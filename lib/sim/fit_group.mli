@@ -54,3 +54,29 @@ val label : t -> string
 val relabel : t -> Bin_store.t -> string -> unit
 (** Rename the group and its open member bins (future bins use the new
     label too). *)
+
+val policy_of : t -> Bin_store.t -> Policy.t
+(** Wire an existing group over the whole store as a policy: arrivals
+    place into the group, departures resync it, moves resync both ends.
+    The caller keeps the group handle — this is the serve daemon's
+    snapshot hook. *)
+
+val policy : ?name:string -> Dbp_binpack.Heuristics.rule -> Policy.factory
+(** One-group Any-Fit policy over the whole store ([policy_of] over a
+    fresh group). [name] defaults to the rule's short code (FF/BF/WF/NF)
+    and doubles as the group label. *)
+
+val rule_code : Dbp_binpack.Heuristics.rule -> string
+val rule_of_code : string -> Dbp_binpack.Heuristics.rule option
+(** Short codes FF/BF/WF/NF, the serve protocol's policy names. *)
+
+val to_json : t -> Dbp_util.Json.t
+(** Snapshot the group: rule, label, member bins in slot order, Next-Fit
+    anchor. Residuals and loads live in the store's own snapshot. *)
+
+val of_json : store:Bin_store.t -> Dbp_util.Json.t -> t
+(** Rebuild a group against an already-restored [store]: each member bin
+    is re-registered in slot order (slots compact to [0..n-1]; relative
+    order — all any-fit tie-breaks need — is preserved) and its cookie
+    re-stamped under the new process's group id. Raises [Failure] on
+    malformed input or bins the store does not consider open. *)

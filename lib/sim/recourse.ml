@@ -88,9 +88,31 @@ let wrap ~k ?(mode = Per_event) ?(strategy = Close_emptiest) factory =
        into an open bin with room left after the moves already planned —
        in every dimension. All-or-nothing: a partial evacuation spends
        budget without closing anything, so an infeasible plan is
-       discarded whole. *)
+       discarded whole.
+
+       A feasible plan must also *pay*: the schedule is clairvoyant, so
+       the usage-time saved by closing the victim now — its longest
+       remaining item lifetime — is known exactly, as is the cost of
+       parking evacuees in bins they would outlive (every such bin stays
+       open until the evacuee departs). Greedy space-only evacuation
+       ignored that second term, and at k = 8 the larger plans it could
+       afford would shuffle long-lived items into short-lived bins,
+       extending their lifetimes by more than the close saved — the
+       sporadic cost *increase* with budget the monotonicity suite used
+       to carve out. Rejecting plans whose summed destination extension
+       reaches the saving restores a net-gain invariant per executed
+       plan. *)
     let dims = Bin_store.dims store in
-    let plan_close victim vs =
+    let close_tick bin =
+      (* When every live item of [bin] is gone the bin closes: the max
+         pending departure over the shadow table. Open bins the wrapper
+         has seen always have live items; [min_int] covers the
+         (unreachable) empty case conservatively. *)
+      List.fold_left
+        (fun acc (r : Item.t) -> max acc r.departure)
+        min_int (items_of bin)
+    in
+    let plan_close ~now victim vs =
       let planned : (Bin_store.bin_id, int array) Hashtbl.t = Hashtbl.create 8 in
       let planned_for b =
         match Hashtbl.find_opt planned b with
@@ -152,7 +174,30 @@ let wrap ~k ?(mode = Per_event) ?(strategy = Close_emptiest) factory =
                 done;
                 assign ((r, b) :: acc) rest)
       in
-      assign [] sorted
+      match assign [] sorted with
+      | None -> None
+      | Some moves ->
+          (* The clairvoyant benefit check: closing the victim saves its
+             remaining lifetime; every destination that an evacuee
+             outlives is extended to that evacuee's departure. Strict
+             inequality — an even trade spends moves for nothing. *)
+          let saving = close_tick victim - now in
+          let ext : (Bin_store.bin_id, int) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun ((r : Item.t), dst) ->
+              let c =
+                match Hashtbl.find_opt ext dst with
+                | Some c -> c
+                | None -> close_tick dst
+              in
+              Hashtbl.replace ext dst (max c r.departure))
+            moves;
+          let extension =
+            Hashtbl.fold
+              (fun dst c acc -> acc + max 0 (c - close_tick dst))
+              ext 0
+          in
+          if extension >= saving then None else Some moves
     in
     let try_close ~now victim =
       match Hashtbl.find_opt bin_items victim with
@@ -160,7 +205,7 @@ let wrap ~k ?(mode = Per_event) ?(strategy = Close_emptiest) factory =
       | Some vs ->
           if List.length vs > !credit then false
           else (
-            match plan_close victim vs with
+            match plan_close ~now victim vs with
             | None ->
                 Metrics.incr m_plans_rejected;
                 false

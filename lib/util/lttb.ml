@@ -124,3 +124,38 @@ let to_array t =
       let idx = select ~xs ~ys ~n:(length t) ~cap in
       Array.map (fun i -> (xs.(i), ys.(i))) idx
   | _ -> Array.init (length t) (fun i -> (Vec.get t.ticks i, Vec.get t.vals i))
+
+(* Exact buffer codec, for daemon snapshots. [to_array] decimates a
+   capped buffer down to [cap], so it cannot serve as a snapshot: the
+   restored recorder would decimate future pushes against a different
+   resident set than the uninterrupted one. This codec copies the raw
+   buffer instead — a restart is invisible to the final series. *)
+let to_json t =
+  let ints v = Json.List (List.map (fun i -> Json.Int i) (Vec.to_list v)) in
+  Json.Obj
+    [
+      ("cap", match t.cap with None -> Json.Null | Some c -> Json.Int c);
+      ("ticks", ints t.ticks);
+      ("vals", ints t.vals);
+    ]
+
+let of_json j =
+  let fail () = failwith "Lttb.of_json: malformed series" in
+  let ints = function
+    | Json.List l ->
+        Vec.of_list
+          (List.map (function Json.Int i -> i | _ -> fail ()) l)
+    | _ -> fail ()
+  in
+  match (Json.member "cap" j, Json.member "ticks" j, Json.member "vals" j) with
+  | Some cap, Some ticks, Some vals ->
+      let cap =
+        match cap with
+        | Json.Null -> None
+        | Json.Int c when c >= 3 -> Some c
+        | _ -> fail ()
+      in
+      let ticks = ints ticks and vals = ints vals in
+      if Vec.length ticks <> Vec.length vals then fail ();
+      { cap; ticks; vals }
+  | _ -> fail ()

@@ -52,3 +52,11 @@ val downsample : (int * int) array -> cap:int -> (int * int) array
 (** Pure one-shot LTTB: at most [cap] (>= 3) samples, a subsequence of
     the input, endpoints preserved. Returns a copy when the input
     already fits. *)
+
+val to_json : t -> Json.t
+(** Exact recorder state (cap and the raw, undecimated buffer), for
+    daemon snapshots: a recorder restored with {!of_json} produces the
+    same final series as one that was never interrupted. *)
+
+val of_json : Json.t -> t
+(** Inverse of {!to_json}; raises [Failure] on malformed input. *)

@@ -123,3 +123,31 @@ let shuffle t a =
     a.(i) <- a.(j);
     a.(j) <- x
   done
+
+(* State codec for daemon snapshots. Each 64-bit word is written as a
+   decimal string: OCaml ints are 63-bit, so [Json.Int] cannot carry a
+   full xoshiro word. *)
+let to_json t =
+  Json.List
+    [
+      Json.String (Int64.to_string t.s0);
+      Json.String (Int64.to_string t.s1);
+      Json.String (Int64.to_string t.s2);
+      Json.String (Int64.to_string t.s3);
+    ]
+
+let of_json j =
+  let word = function
+    | Json.String s -> (
+        match Int64.of_string_opt s with
+        | Some w -> w
+        | None -> failwith "Prng.of_json: malformed state word")
+    | _ -> failwith "Prng.of_json: expected a string state word"
+  in
+  match j with
+  | Json.List [ a; b; c; d ] ->
+      let t = { s0 = word a; s1 = word b; s2 = word c; s3 = word d } in
+      if Int64.(equal (logor (logor t.s0 t.s1) (logor t.s2 t.s3)) 0L) then
+        failwith "Prng.of_json: all-zero state";
+      t
+  | _ -> failwith "Prng.of_json: expected a list of four state words"

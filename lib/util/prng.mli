@@ -60,3 +60,11 @@ val choice : t -> 'a array -> 'a
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
+
+val to_json : t -> Json.t
+(** Exact generator state, for daemon snapshots: a restored generator
+    continues the identical output stream. *)
+
+val of_json : Json.t -> t
+(** Inverse of {!to_json}; raises [Failure] on malformed input or an
+    all-zero state. *)

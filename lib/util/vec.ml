@@ -1,6 +1,6 @@
-type 'a t = { mutable data : 'a array; mutable len : int }
+type 'a t = { mutable data : 'a array; mutable len : int; mutable hw : int }
 
-let create () = { data = [||]; len = 0 }
+let create () = { data = [||]; len = 0; hw = 0 }
 let length v = v.len
 let is_empty v = v.len = 0
 
@@ -42,9 +42,21 @@ let last v =
    elements beyond [len] stay reachable until overwritten. *)
 let clear v = v.len <- 0
 
+(* Clear for long-lived reuse loops: track a decaying high-water mark of
+   recent fill levels and drop the backing array once its capacity
+   exceeds 4x that mark, so one flash-crowd tick cannot pin a huge block
+   for the rest of the process's life. The 1/8 decay per call gives the
+   mark a half-life of ~5 clears; the floor of 8 matches the smallest
+   block [grow] allocates, so small vectors never thrash. *)
+let clear_shrink v =
+  v.hw <- max v.len (v.hw - (v.hw asr 3));
+  if Array.length v.data > 4 * max 8 v.hw then v.data <- [||];
+  v.len <- 0
+
 let reset v =
   v.data <- [||];
-  v.len <- 0
+  v.len <- 0;
+  v.hw <- 0
 
 let truncate v n =
   if n < 0 || n > v.len then invalid_arg "Vec.truncate: bad length";

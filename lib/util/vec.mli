@@ -32,6 +32,14 @@ val clear : 'a t -> unit
     their old elements until overwritten; use {!reset} when that
     retention matters. *)
 
+val clear_shrink : 'a t -> unit
+(** Like {!clear}, but bound the retained capacity: a decaying
+    high-water mark of recent lengths is maintained, and when the
+    backing array exceeds 4x that mark it is released (next push
+    reallocates at the small default size). Use in long-lived reuse
+    loops — e.g. a daemon's per-batch buffers — where {!clear}'s
+    keep-forever policy would pin the largest batch ever seen. *)
+
 val reset : 'a t -> unit
 (** Remove every element and release the storage (capacity drops to 0). *)
 

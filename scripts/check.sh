@@ -312,4 +312,55 @@ grep -q "io round-trip replays" "$tmpdir/rinj.txt" || {
   exit 1
 }
 echo "recourse: k=0 identity, monotone frontier, stream identity, oracle armed"
+
+# Serve gate. The placement daemon must (1) answer a driven cloud trace
+# with final cost/bins/max bit-identical to the in-process Engine.run
+# of the same items (dbp drive --verify exits 1 otherwise), and
+# (2) survive a kill-restart: drive half the trace into one daemon
+# process, snapshot, quit, spawn a fresh process restored from the
+# snapshot, drive the rest, and verify the combined run is still
+# bit-identical to the uninterrupted offline replay. The same
+# invariance is asserted for a sharded daemon against its own
+# uninterrupted run (no offline analogue at shards > 1).
+echo "serve: driven FF daemon bit-identical to Engine.run"
+dune exec bin/main.exe -- drive --workload cloud --days 1 --rate 2 --seed 3 \
+  --policy FF --verify > "$tmpdir/drive.txt" 2>&1 || {
+  echo "FAIL: driven daemon differs from Engine.run" >&2
+  cat "$tmpdir/drive.txt" >&2
+  exit 1
+}
+echo "serve: snapshot at arrival 900, restart in a fresh process, finish"
+dune exec bin/main.exe -- drive --workload cloud --days 1 --rate 2 --seed 3 \
+  --policy FF --stop-after 900 --snapshot "$tmpdir/serve_snap.json" \
+  > /dev/null 2>&1
+json_ok "$tmpdir/serve_snap.json" || {
+  echo "FAIL: daemon snapshot is empty or not valid JSON" >&2
+  exit 1
+}
+dune exec bin/main.exe -- drive --workload cloud --days 1 --rate 2 --seed 3 \
+  --policy FF --skip 900 --restore "$tmpdir/serve_snap.json" --verify \
+  > "$tmpdir/drive2.txt" 2>&1 || {
+  echo "FAIL: restored daemon's completed run differs from Engine.run" >&2
+  cat "$tmpdir/drive2.txt" >&2
+  exit 1
+}
+echo "serve: sharded daemon resume identical to its uninterrupted run"
+dune exec bin/main.exe -- drive --workload cloud --days 1 --rate 2 --seed 3 \
+  --policy BF --shards 4 > "$tmpdir/shard_full.txt" 2>&1
+dune exec bin/main.exe -- drive --workload cloud --days 1 --rate 2 --seed 3 \
+  --policy BF --shards 4 --stop-after 700 \
+  --snapshot "$tmpdir/shard_snap.json" > /dev/null 2>&1
+dune exec bin/main.exe -- drive --workload cloud --days 1 --rate 2 --seed 3 \
+  --policy BF --shards 4 --skip 700 --restore "$tmpdir/shard_snap.json" \
+  > "$tmpdir/shard_resumed.txt" 2>&1
+full_stats=$(sed -n 's/.*daemon \(ok .*\)/\1/p' "$tmpdir/shard_full.txt")
+resumed_stats=$(sed -n 's/.*daemon \(ok .*\)/\1/p' "$tmpdir/shard_resumed.txt")
+if [ -z "$full_stats" ] || [ "$full_stats" != "$resumed_stats" ]; then
+  echo "FAIL: sharded resume stats differ from the uninterrupted daemon" >&2
+  echo "  full:    $full_stats" >&2
+  echo "  resumed: $resumed_stats" >&2
+  exit 1
+fi
+echo "serve: drive verified, kill-restart-replay verified, shards sticky"
+
 echo "check OK"

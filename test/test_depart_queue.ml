@@ -54,13 +54,88 @@ let test_growth () =
   done;
   check_int "empty" (-1) (Depart_queue.pop_due q ~upto:max_int)
 
+(* The longevity property: an always-on server's tick values increase
+   without bound, but the ring must track the *concurrent* departure
+   span, not the absolute span since process start. *)
+let test_ring_rebases_on_advancing_clock () =
+  let q = Depart_queue.create ~capacity:16 () in
+  let base = Depart_queue.ring_size q in
+  (* Steady state: every stride the clock jumps 1000 ticks, everything
+     due departs, and a burst of items departing 1..8 ticks out
+     arrives. The clock reaches 10M ticks but the concurrent span never
+     exceeds 8, so the ring must stay at base the whole run. *)
+  let clock = ref 0 in
+  let id = ref 0 in
+  for _ = 1 to 10_000 do
+    clock := !clock + 1_000;
+    while Depart_queue.pop_due q ~upto:!clock >= 0 do
+      ()
+    done;
+    for j = 1 to 8 do
+      Depart_queue.add q ~dep:(!clock + j) ~id:!id j;
+      incr id
+    done;
+    check_int "ring stays at base" base (Depart_queue.ring_size q)
+  done
+
+let test_ring_shrinks_after_flash_crowd () =
+  let q = Depart_queue.create ~capacity:16 () in
+  let base = Depart_queue.ring_size q in
+  (* Flash crowd: departures spread over ~100k ticks force a wide ring. *)
+  for i = 0 to 199 do
+    Depart_queue.add q ~dep:(500 * i) ~id:i i
+  done;
+  let crowd = Depart_queue.ring_size q in
+  check_bool "crowd widened the ring" true (crowd > base);
+  (* Drain the crowd only up to tick 97500 — four stragglers keep the
+     queue nonempty, so the shrink below must happen on the live add
+     path, not the empty-queue reset. *)
+  for i = 0 to 195 do
+    check_int (Printf.sprintf "crowd pop %d" i) i
+      (Depart_queue.pop_due q ~upto:97_500)
+  done;
+  check_int "stragglers not due" (-1) (Depart_queue.pop_due q ~upto:97_500);
+  (* Narrow steady phase: new departures land within a 100-tick span.
+     The ring must re-base toward the concurrent bracket. *)
+  for j = 0 to 99 do
+    Depart_queue.add q ~dep:(100_000 + j) ~id:(200 + j) (200 + j)
+  done;
+  check_bool
+    (Printf.sprintf "ring shrank (crowd %d -> %d)" crowd
+       (Depart_queue.ring_size q))
+    true
+    (Depart_queue.ring_size q < crowd && Depart_queue.ring_size q <= 4096);
+  (* Pop order stays exact across the shrink: stragglers first, then
+     the steady phase in id order. *)
+  for i = 196 to 199 do
+    check_int (Printf.sprintf "straggler %d" i) i
+      (Depart_queue.pop_due q ~upto:max_int)
+  done;
+  for j = 0 to 99 do
+    check_int (Printf.sprintf "steady pop %d" j) (200 + j)
+      (Depart_queue.pop_due q ~upto:max_int)
+  done;
+  check_int "drained" 0 (Depart_queue.length q)
+
+let test_clear_resets_window () =
+  let q = Depart_queue.create ~capacity:16 () in
+  let base = Depart_queue.ring_size q in
+  for i = 0 to 99 do
+    Depart_queue.add q ~dep:(1_000_000 + (977 * i)) ~id:i i
+  done;
+  check_bool "grew" true (Depart_queue.ring_size q > base);
+  Depart_queue.clear q;
+  check_int "emptied" 0 (Depart_queue.length q);
+  check_int "ring back to base" base (Depart_queue.ring_size q);
+  (* Reusable from tick 0 again after the window reset. *)
+  Depart_queue.add q ~dep:3 ~id:0 7;
+  check_int "pops after clear" 7 (Depart_queue.pop_due q ~upto:5)
+
 (* Random engine-shaped schedule: nondecreasing arrivals, every arrival
    drains due departures first (exactly the engine's discipline), ids
    deliberately shuffled so same-tick buckets exercise the sorted
    insert, not just the streaming tail-append. *)
-let prop_matches_naive =
-  qcase ~count:120 ~name:"pop order = (departure, id), engine discipline"
-    (fun steps ->
+let engine_discipline_matches_naive steps =
       let n = List.length steps in
       (* Unique shuffled ids: rank of (jitter, index). *)
       let keyed =
@@ -107,10 +182,33 @@ let prop_matches_naive =
           pending := (dep, ids.(i), i) :: !pending)
         steps;
       drain max_int;
-      !ok && Depart_queue.length q = 0 && !pending = [])
+      !ok && Depart_queue.length q = 0 && !pending = []
+
+let prop_matches_naive =
+  qcase ~count:120 ~name:"pop order = (departure, id), engine discipline"
+    engine_discipline_matches_naive
     QCheck2.Gen.(
       list_size (int_range 1 120)
         (triple (int_range 0 5) (int_range 0 40) (int_range 0 1_000_000)))
+
+(* Same model, re-based horizons: occasional huge clock jumps and a
+   mix of tiny and very long durations, so runs repeatedly widen the
+   bracket (grow), go idle (stale cursor to tighten), and collapse back
+   to a narrow span (shrink). The pop order must survive every ring
+   transition. *)
+let prop_matches_naive_rebased =
+  qcase ~count:80 ~name:"pop order survives ring re-basing (wide horizons)"
+    engine_discipline_matches_naive
+    QCheck2.Gen.(
+      let dt =
+        frequency
+          [ (6, int_range 0 3); (1, int_range 5_000 100_000) ]
+      in
+      let dur =
+        frequency
+          [ (5, int_range 0 20); (2, int_range 2_000 50_000) ]
+      in
+      list_size (int_range 1 120) (triple dt dur (int_range 0 1_000_000)))
 
 let suite =
   [
@@ -118,5 +216,9 @@ let suite =
     case "upto bounds the pop" test_upto_bound;
     case "add below the cursor" test_add_below_cursor;
     case "ring and slot growth" test_growth;
+    case "ring stays at base under an advancing clock" test_ring_rebases_on_advancing_clock;
+    case "ring shrinks after a flash crowd" test_ring_shrinks_after_flash_crowd;
+    case "clear resets the window and ring" test_clear_resets_window;
     prop_matches_naive;
+    prop_matches_naive_rebased;
   ]

@@ -107,6 +107,47 @@ let test_of_channel_pipe () =
     ~finally:(fun () -> close_in ic)
     (fun () -> check_int "streamed from a pipe" 2 (Instance.length (Io.of_channel ic)))
 
+(* The serve protocol's framing need: a producer killed mid-write must
+   surface as a line-numbered error, never as a silently shorter
+   instance. Both flavors of truncation — a complete-looking record
+   whose newline never arrived, and a record cut mid-field — go through
+   a real pipe so the EOF is the kernel's, not a string's. *)
+let expect_truncated name payload ~line =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  output_string oc payload;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match Io.of_channel ic with
+      | exception Failure msg ->
+          let want = Printf.sprintf "line %d: truncated final line" line in
+          if not (Helpers.contains ~sub:want msg) then
+            Alcotest.failf "%s: error %S does not mention %S" name msg want
+      | inst ->
+          Alcotest.failf "%s: silently parsed %d items from truncated input"
+            name (Instance.length inst))
+
+let test_truncated_final_line () =
+  expect_truncated "no trailing newline on last record"
+    "id,arrival,departure,size\n1,0,4,0.5\n2,1,5,0.25" ~line:3;
+  expect_truncated "mid-record EOF"
+    "id,arrival,departure,size\n1,0,4,0.5\n2,1," ~line:3;
+  expect_truncated "single unterminated record" "1,0,4,0.5" ~line:1;
+  (* Terminated input with trailing whitespace-only tail still parses:
+     the strict framing only rejects non-blank unterminated bytes. *)
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  output_string oc "id,arrival,departure,size\n1,0,4,0.5\n  ";
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      check_int "blank tail tolerated" 1 (Instance.length (Io.of_channel ic)))
+
 let prop_roundtrip_random =
   qcase ~count:60 ~name:"random instances roundtrip through CSV"
     (fun seed ->
@@ -128,5 +169,6 @@ let suite =
     case "file roundtrip" test_file_roundtrip;
     case "header variants" test_header_variants;
     case "streaming from a pipe" test_of_channel_pipe;
+    case "truncated final line is a framing error" test_truncated_final_line;
     prop_roundtrip_random;
   ]

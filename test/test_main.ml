@@ -31,6 +31,7 @@ let () =
       ("bin-store", Test_bin_store.suite);
       ("fit-group", Test_fit_group.suite);
       ("engine", Test_engine.suite);
+      ("serve", Test_serve.suite);
       ("recourse", Test_recourse.suite);
       ("ha", Test_ha.suite);
       ("cdff", Test_cdff.suite);

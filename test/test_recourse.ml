@@ -105,28 +105,41 @@ let test_over_budget_detected () =
 (* --- monotonicity on pinned seeds --- *)
 
 let test_cost_monotone_in_k () =
-  (* Pinned seeds and budgets where the close-emptiest frontier is
-     monotone for every listed policy (verified property of these
-     instances, not of the strategy in general — greedy evacuation has
-     no such theorem, and at k = 8 some seeds overshoot by a few
-     ticks). *)
+  (* Budgets up to k = 4 are monotone on these pinned seeds for every
+     listed policy. Past that, strict monotonicity is not a theorem of
+     greedy evacuation: every executed plan is individually net-gain
+     (the clairvoyant benefit guard in [Recourse.plan_close] enforces
+     saving > summed destination extension), but a beneficial close
+     changes the inner policy's *later* placements, and with a larger
+     budget those path effects can cost a few ticks. So k = 8 is held
+     to an oracle-backed bound instead: the cost stays above the
+     paper's certified lower bound on OPT_R and within 1% of the k = 4
+     cost. (The deterministic overshoot itself is pinned in
+     [test_k8_overshoot_repro].) *)
   List.iter
     (fun seed ->
       let inst = Dbp_experiments.Workload_defs.general ~mu:64 ~seed in
+      let floor = (Dbp_offline.Bounds.compute inst).lower in
       List.iter
         (fun (name, factory) ->
-          let costs =
-            List.map
-              (fun k -> (Engine.run (Recourse.wrap ~k factory) inst).cost)
-              [ 0; 1; 2; 4 ]
-          in
+          let cost k = (Engine.run (Recourse.wrap ~k factory) inst).cost in
+          let costs = List.map cost [ 0; 1; 2; 4 ] in
           let rec mono = function
             | a :: (b :: _ as rest) -> a >= b && mono rest
             | _ -> true
           in
           if not (mono costs) then
             Alcotest.failf "%s seed %d: costs not monotone: %s" name seed
-              (String.concat " " (List.map string_of_int costs)))
+              (String.concat " " (List.map string_of_int costs));
+          let c4 = List.nth costs 3 and c8 = cost 8 in
+          let slack = (c4 + 99) / 100 in
+          if c8 < floor then
+            Alcotest.failf "%s seed %d: k=8 cost %d below OPT_R bound %d" name
+              seed c8 floor;
+          if c8 > c4 + slack then
+            Alcotest.failf
+              "%s seed %d: k=8 cost %d exceeds k=4 cost %d by more than 1%%"
+              name seed c8 c4)
         [
           ("FF", Dbp_baselines.Any_fit.first_fit);
           ("BF", Dbp_baselines.Any_fit.best_fit);
@@ -134,6 +147,26 @@ let test_cost_monotone_in_k () =
           ("CDFF", Dbp_core.Cdff.policy ());
         ])
     [ 1; 2; 3 ]
+
+let test_k8_overshoot_repro () =
+  (* The deterministic residue of the old "sporadically overshoots"
+     caveat, pinned: general mu = 64, seed 1, FF. Raising the budget
+     from 4 to 8 lets an early (individually net-gain) close steer FF
+     into slightly worse later placements — 7 ticks here, bracketed by
+     the oracle: both costs sit well above the certified OPT_R lower
+     bound, and the overshoot is under 1%. These exact values are the
+     repro; a change in strategy accounting moves them and must be
+     re-justified. *)
+  let inst = Dbp_experiments.Workload_defs.general ~mu:64 ~seed:1 in
+  let cost k =
+    (Engine.run (Recourse.wrap ~k Dbp_baselines.Any_fit.first_fit) inst).cost
+  in
+  let floor = (Dbp_offline.Bounds.compute inst).lower in
+  let c4 = cost 4 and c8 = cost 8 in
+  check_int "k=4 cost (pinned)" 849 c4;
+  check_int "k=8 cost (pinned overshoot)" 856 c8;
+  check_bool "both above the OPT_R lower bound" true (floor <= c4 && floor <= c8);
+  check_bool "overshoot under 1%" true (c8 - c4 <= (c4 + 99) / 100)
 
 (* --- the sandwich: OPT_R <= cost(k+1) <= cost(k) <= cost(0) --- *)
 
@@ -240,6 +273,7 @@ let suite =
     prop_budget_respected;
     case "over-budget run is detected" test_over_budget_detected;
     slow_case "cost monotone in k on pinned seeds" test_cost_monotone_in_k;
+    slow_case "k=8 path-dependence overshoot pinned" test_k8_overshoot_repro;
     case "OPT_R sandwich on a known instance" test_sandwich;
     case "strategy_of_string" test_strategy_of_string;
     case "invalid arguments" test_invalid_args;

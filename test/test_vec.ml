@@ -75,6 +75,47 @@ let test_clear_keeps_capacity () =
      length must not have grown it. *)
   check_int "no reallocation on refill" cap (Vec.capacity v)
 
+let test_clear_shrink_releases () =
+  (* Flash crowd: one huge batch, then a steady trickle. clear_shrink
+     must let the capacity come back down instead of pinning the
+     high-water block forever (the long-lived daemon leak). *)
+  let v = Vec.create () in
+  for i = 0 to 99_999 do
+    Vec.push v i
+  done;
+  check_bool "grew past the crowd" true (Vec.capacity v >= 100_000);
+  (* Decaying mark: after a handful of small ticks the 4x bound trips. *)
+  for _ = 1 to 64 do
+    Vec.clear_shrink v;
+    for i = 0 to 9 do
+      Vec.push v i
+    done
+  done;
+  Vec.clear_shrink v;
+  check_bool
+    (Printf.sprintf "capacity released (now %d)" (Vec.capacity v))
+    true
+    (Vec.capacity v <= 64);
+  Vec.push v 5;
+  check_int "still usable" 5 (Vec.get v 0)
+
+let test_clear_shrink_keeps_steady_state () =
+  (* A vector that refills to the same level every tick must never
+     reallocate: the mark tracks the steady level, 4x bound never
+     trips. *)
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  let cap = Vec.capacity v in
+  for _ = 1 to 100 do
+    Vec.clear_shrink v;
+    for i = 0 to 999 do
+      Vec.push v i
+    done
+  done;
+  check_int "steady capacity untouched" cap (Vec.capacity v)
+
 let test_reset () =
   let v = Vec.of_list [ 1; 2; 3 ] in
   Vec.reset v;
@@ -117,6 +158,8 @@ let suite =
     case "iteration" test_iteration;
     case "clear" test_clear;
     case "clear keeps capacity" test_clear_keeps_capacity;
+    case "clear_shrink releases a flash-crowd block" test_clear_shrink_releases;
+    case "clear_shrink leaves steady-state reuse alone" test_clear_shrink_keeps_steady_state;
     case "reset" test_reset;
     case "truncate" test_truncate;
     prop_roundtrip;
